@@ -1,0 +1,92 @@
+// Enforcement latency — "the speed of enforcement is fast" (§I.C) made
+// measurable: per-result latency percentiles of the select-project region
+// query under the punctuation mechanism, across sp:tuple ratios, plus the
+// reorder-buffer's latency cost when out-of-order repair is enabled.
+#include "bench_util.h"
+#include "exec/replay.h"
+#include "exec/reorder.h"
+#include "exec/sa_project.h"
+#include "exec/sa_select.h"
+#include "exec/ss_operator.h"
+
+namespace spstream::bench {
+namespace {
+
+constexpr size_t kUpdates = 20000;
+
+LatencySummary RunLatency(int tuples_per_sp, bool with_reorder,
+                          Timestamp slack = 0) {
+  RoleCatalog roles;
+  StreamCatalog streams;
+  EnforcementWorkload wl = MakeLocationWorkload(
+      &roles, kUpdates, tuples_per_sp, /*roles_per_policy=*/2,
+      /*role_pool=*/100);
+  auto r1 = roles.Lookup("r1").value();
+  auto r2 = roles.Lookup("r2").value();
+
+  ExecContext ctx{&roles, &streams};
+  Pipeline pipeline(&ctx);
+  auto* src = pipeline.Add<SourceOperator>("src", wl.elements);
+  Operator* top = src;
+  if (with_reorder) {
+    auto* reorder = pipeline.Add<ReorderOp>(ReorderOptions{slack});
+    top->AddOutput(reorder);
+    top = reorder;
+  }
+  SsOptions ss_opts;
+  ss_opts.predicates = {RoleSet::FromIds({r1, r2})};
+  ss_opts.stream_name = wl.stream_name;
+  ss_opts.schema = wl.schema;
+  auto* ss = pipeline.Add<SsOperator>(std::move(ss_opts));
+  top->AddOutput(ss);
+  auto* sel = pipeline.Add<SaSelect>(Expr::Compare(
+      Expr::CmpOp::kLe,
+      Expr::Distance(Expr::Column(1), Expr::Column(2),
+                     Expr::Literal(Value(1450.0)),
+                     Expr::Literal(Value(1450.0))),
+      Expr::Literal(Value(1200.0))));
+  ss->AddOutput(sel);
+  auto* proj = pipeline.Add<SaProject>(std::vector<int>{0, 1, 2}, wl.schema);
+  sel->AddOutput(proj);
+  auto* sink = pipeline.Add<LatencySink>();
+  proj->AddOutput(sink);
+
+  ReplayOptions ropts;
+  ropts.arrival_rate_per_ms = 0;  // back-to-back: pure processing latency
+  ReplayWithLatency(&pipeline, {src}, sink, ropts);
+  return sink->Summarize();
+}
+
+}  // namespace
+}  // namespace spstream::bench
+
+int main() {
+  using namespace spstream;
+  using namespace spstream::bench;
+  std::cout << "Per-result enforcement latency (select-project region "
+               "query, " << kUpdates << " updates)\n";
+
+  PrintHeader("Latency", "result latency percentiles (us) vs sp:tuple ratio");
+  PrintLegend("sp:tuple", {"mean", "p50", "p95", "p99", "results"});
+  for (int k : {1, 10, 50, 100}) {
+    LatencySummary s = RunLatency(k, /*with_reorder=*/false);
+    PrintRow("1/" + std::to_string(k),
+             {s.mean_us, s.p50_us, s.p95_us, s.p99_us,
+              static_cast<double>(s.count)},
+             2);
+  }
+
+  PrintHeader("Latency",
+              "reorder-buffer cost: slack delays results (ratio 1/10)");
+  PrintLegend("slack (ts units)", {"mean", "p50", "p99"});
+  for (Timestamp slack : {Timestamp{0}, Timestamp{16}, Timestamp{64},
+                          Timestamp{256}}) {
+    LatencySummary s = RunLatency(10, /*with_reorder=*/true, slack);
+    PrintRow(std::to_string(slack), {s.mean_us, s.p50_us, s.p99_us}, 2);
+  }
+  std::cout << "\nPunctuation enforcement adds no queuing: per-result "
+               "latency is the plan's\nprocessing time, dropping as sps are "
+               "shared. Out-of-order slack trades latency\nfor repair "
+               "tolerance (buffered elements wait for the watermark).\n";
+  return 0;
+}

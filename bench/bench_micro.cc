@@ -1,0 +1,148 @@
+// Micro-benchmarks (google-benchmark) for the primitives on the engine's
+// hot paths: role bitmaps, pattern matching, policy algebra, sp codec,
+// policy tracking, and the Security Shield per-element costs.
+#include <benchmark/benchmark.h>
+
+#include "exec/policy_tracker.h"
+#include "exec/ss_operator.h"
+#include "security/pattern.h"
+#include "security/policy.h"
+#include "security/role_set.h"
+#include "security/sp_codec.h"
+
+namespace spstream {
+namespace {
+
+RoleSet MakeRoles(size_t count, size_t stride = 3) {
+  RoleSet s;
+  for (size_t i = 0; i < count; ++i) {
+    s.Insert(static_cast<RoleId>(i * stride));
+  }
+  return s;
+}
+
+void BM_RoleSetIntersects(benchmark::State& state) {
+  const RoleSet a = MakeRoles(static_cast<size_t>(state.range(0)));
+  const RoleSet b = MakeRoles(static_cast<size_t>(state.range(0)), 5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.Intersects(b));
+  }
+}
+BENCHMARK(BM_RoleSetIntersects)->Arg(1)->Arg(10)->Arg(100)->Arg(500);
+
+void BM_RoleSetUnion(benchmark::State& state) {
+  const RoleSet a = MakeRoles(static_cast<size_t>(state.range(0)));
+  const RoleSet b = MakeRoles(static_cast<size_t>(state.range(0)), 5);
+  for (auto _ : state) {
+    RoleSet u = RoleSet::Union(a, b);
+    benchmark::DoNotOptimize(u);
+  }
+}
+BENCHMARK(BM_RoleSetUnion)->Arg(10)->Arg(500);
+
+void BM_PatternRangeMatch(benchmark::State& state) {
+  const Pattern p = Pattern::Range(120, 133);
+  int64_t v = 100;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(p.MatchesInt(v));
+    v = (v + 7) % 200;
+  }
+}
+BENCHMARK(BM_PatternRangeMatch);
+
+void BM_PatternGlobMatch(benchmark::State& state) {
+  const Pattern p = Pattern::Compile("hr_ward*_bed?").value();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(p.MatchesString("hr_ward12_bed3"));
+  }
+}
+BENCHMARK(BM_PatternGlobMatch);
+
+void BM_PatternCopy(benchmark::State& state) {
+  const Pattern p = Pattern::Compile("s1|s2|[100-200]|adm*").value();
+  for (auto _ : state) {
+    Pattern q = p;  // shared-rep: one refcount bump
+    benchmark::DoNotOptimize(q);
+  }
+}
+BENCHMARK(BM_PatternCopy);
+
+void BM_PolicyIntersect(benchmark::State& state) {
+  const Policy a(MakeRoles(static_cast<size_t>(state.range(0))), 1);
+  const Policy b(MakeRoles(static_cast<size_t>(state.range(0)), 5), 2);
+  for (auto _ : state) {
+    Policy p = Policy::Intersect(a, b);
+    benchmark::DoNotOptimize(p);
+  }
+}
+BENCHMARK(BM_PolicyIntersect)->Arg(10)->Arg(100);
+
+void BM_SpEncode(benchmark::State& state) {
+  SecurityPunctuation sp = SecurityPunctuation::TupleLevel(
+      Pattern::Literal("Location"), Pattern::Range(1000, 1099),
+      Pattern::Any(), 42);
+  sp.SetResolvedRoles(MakeRoles(static_cast<size_t>(state.range(0))));
+  std::string buf;
+  for (auto _ : state) {
+    buf.clear();
+    EncodeSp(sp, &buf);
+    benchmark::DoNotOptimize(buf);
+  }
+  state.counters["bytes"] =
+      static_cast<double>(EncodedSpSize(sp));
+}
+BENCHMARK(BM_SpEncode)->Arg(1)->Arg(10)->Arg(100);
+
+void BM_SpDecode(benchmark::State& state) {
+  SecurityPunctuation sp = SecurityPunctuation::TupleLevel(
+      Pattern::Literal("Location"), Pattern::Range(1000, 1099),
+      Pattern::Any(), 42);
+  sp.SetResolvedRoles(MakeRoles(static_cast<size_t>(state.range(0))));
+  std::string buf;
+  EncodeSp(sp, &buf);
+  for (auto _ : state) {
+    size_t off = 0;
+    auto decoded = DecodeSp(buf, &off);
+    benchmark::DoNotOptimize(decoded);
+  }
+}
+BENCHMARK(BM_SpDecode)->Arg(1)->Arg(100);
+
+void BM_PolicyTrackerTuple(benchmark::State& state) {
+  RoleCatalog catalog;
+  catalog.RegisterSyntheticRoles(32);
+  PolicyTracker tracker(&catalog, "Location");
+  SecurityPunctuation sp = SecurityPunctuation::TupleLevel(
+      Pattern::Literal("Location"), Pattern::Range(0, 1000000),
+      Pattern::Any(), 1);
+  sp.SetResolvedRoles(MakeRoles(4));
+  tracker.OnSp(sp);
+  Tuple t(0, 500, {Value(1), Value(2.0)}, 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tracker.PolicyFor(t));
+  }
+}
+BENCHMARK(BM_PolicyTrackerTuple);
+
+void BM_SsStateMatch(benchmark::State& state) {
+  SsOptions opts;
+  for (int i = 0; i < state.range(0); ++i) {
+    opts.predicates.push_back(RoleSet::Of(static_cast<RoleId>(i)));
+  }
+  opts.use_predicate_index = state.range(1) != 0;
+  SsState ss(opts);
+  const Policy policy(MakeRoles(4, 7), 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ss.Matches(policy));
+  }
+}
+BENCHMARK(BM_SsStateMatch)
+    ->Args({10, 0})
+    ->Args({10, 1})
+    ->Args({500, 0})
+    ->Args({500, 1});
+
+}  // namespace
+}  // namespace spstream
+
+BENCHMARK_MAIN();

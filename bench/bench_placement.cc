@@ -1,0 +1,124 @@
+// Ablation A1 — the §IV.A access-control filtering placements:
+// pre-filtering (SS at the sources, sps stripped), post-filtering (SS at
+// the plan root) and intermediate filtering (plan-embedded SS), swept over
+// query selectivity x access-control selectivity, on a join query where
+// placement actually matters.
+#include "bench_util.h"
+#include "exec/plan_builder.h"
+#include "query/planner.h"
+#include "workload/policy_gen.h"
+
+namespace spstream::bench {
+namespace {
+
+constexpr size_t kTuplesPerStream = 8000;
+
+struct PlacementCosts {
+  double pre_ms;
+  double post_ms;
+  double mid_ms;
+  int64_t results;
+};
+
+PlacementCosts RunAllPlacements(double sp_selectivity,
+                                double query_selectivity) {
+  RoleCatalog roles;
+  StreamCatalog streams;
+  JoinWorkloadOptions wopts;
+  wopts.tuples_per_stream = kTuplesPerStream;
+  wopts.tuples_per_sp = 10;
+  wopts.sp_selectivity = sp_selectivity;
+  wopts.join_key_cardinality = 200;
+  wopts.seed = 4;
+  JoinWorkload wl = GenerateJoinWorkload(&roles, wopts);
+  (void)streams.RegisterStream(wl.left_schema);
+  (void)streams.RegisterStream(wl.right_schema);
+  ExecContext ctx{&roles, &streams};
+
+  // Query: join on key, then select a payload range whose width sets the
+  // query selectivity.
+  const auto max_payload = static_cast<int64_t>(
+      query_selectivity * static_cast<double>(kTuplesPerStream));
+  auto bare = LogicalNode::Select(
+      Expr::Compare(Expr::CmpOp::kLt, Expr::Column(1),
+                    Expr::Literal(Value(max_payload))),
+      LogicalNode::Join(0, 0, /*window=*/200,
+                        LogicalNode::Source("s1", wl.left_schema),
+                        LogicalNode::Source("s2", wl.right_schema)));
+
+  // The access predicate: the shared role — matches σ_sp of the stream's
+  // policies, so ss-selectivity tracks sp_selectivity.
+  RoleSet q = RoleSet::Of(roles.Lookup("g_shared").value());
+
+  std::unordered_map<std::string, std::vector<StreamElement>> inputs{
+      {"s1", wl.left}, {"s2", wl.right}};
+
+  auto run = [&](SsPlacement placement) {
+    LogicalNodePtr plan = ApplySsPlacement(bare, q, placement);
+    Pipeline pipeline(&ctx);
+    auto built = BuildPhysicalPlan(&pipeline, plan, inputs);
+    if (!built.ok()) {
+      std::cerr << built.status().ToString() << "\n";
+      return std::pair<double, int64_t>{0, 0};
+    }
+    int64_t elapsed = 0;
+    {
+      ScopedTimer timer(&elapsed);
+      pipeline.Run(256);
+    }
+    return std::pair<double, int64_t>{
+        elapsed / 1e6,
+        static_cast<int64_t>(built->sink->Tuples().size())};
+  };
+
+  PlacementCosts out{};
+  auto [pre_ms, pre_n] = run(SsPlacement::kPreFilter);
+  auto [post_ms, post_n] = run(SsPlacement::kPostFilter);
+  auto [mid_ms, mid_n] = run(SsPlacement::kIntermediate);
+  out.pre_ms = pre_ms;
+  out.post_ms = post_ms;
+  out.mid_ms = mid_ms;
+  out.results = pre_n;
+  if (pre_n != post_n || post_n != mid_n) {
+    std::cerr << "WARNING: placements disagree: " << pre_n << "/" << post_n
+              << "/" << mid_n << "\n";
+  }
+  return out;
+}
+
+}  // namespace
+}  // namespace spstream::bench
+
+int main() {
+  using spstream::bench::PrintHeader;
+  using spstream::bench::PrintLegend;
+  using spstream::bench::PrintRow;
+  using spstream::bench::RunAllPlacements;
+
+  std::cout
+      << "Ablation A1 (SIV.A): SS placement strategies on a join query\n"
+      << "(two streams x " << spstream::bench::kTuplesPerStream
+      << " tuples; pre = SS@source + drop sps, post = SS@root, "
+         "intermediate = plan-embedded SS@sources)\n";
+
+  PrintHeader("Placement",
+              "total pipeline time (ms) across selectivity mix");
+  PrintLegend("s_sp/q_sel", {"pre", "post", "intermediate", "results"});
+  for (double sp_sel : {0.1, 0.5, 1.0}) {
+    for (double q_sel : {0.1, 1.0}) {
+      auto c = RunAllPlacements(sp_sel, q_sel);
+      char label[32];
+      snprintf(label, sizeof(label), "%.1f / %.1f", sp_sel, q_sel);
+      PrintRow(label, {c.pre_ms, c.post_ms, c.mid_ms,
+                       static_cast<double>(c.results)},
+               2);
+    }
+  }
+  std::cout
+      << "\nExpected shape: with selective access control (s_sp = 0.1) the\n"
+         "pre/intermediate placements win big (the join never sees\n"
+         "unauthorized segments); with loose access control (s_sp = 1.0)\n"
+         "post-filtering is competitive because the shield filters "
+         "nothing.\n";
+  return 0;
+}

@@ -1,0 +1,69 @@
+#include "bench_util.h"
+
+namespace spstream::bench {
+
+void PrintHeader(const std::string& figure, const std::string& title) {
+  std::cout << "\n=== " << figure << ": " << title << " ===\n";
+}
+
+void PrintLegend(const std::string& first,
+                 const std::vector<std::string>& columns) {
+  std::cout << std::left << std::setw(18) << first;
+  for (const std::string& c : columns) {
+    std::cout << std::right << std::setw(16) << c;
+  }
+  std::cout << "\n";
+}
+
+void PrintRow(const std::string& label, const std::vector<double>& values,
+              int precision) {
+  std::cout << std::left << std::setw(18) << label;
+  for (double v : values) {
+    std::cout << std::right << std::setw(16) << std::fixed
+              << std::setprecision(precision) << v;
+  }
+  std::cout << "\n";
+}
+
+EnforcementWorkload MakeLocationWorkload(RoleCatalog* roles,
+                                         size_t num_updates,
+                                         int tuples_per_sp,
+                                         size_t roles_per_policy,
+                                         size_t role_pool,
+                                         size_t distinct_policies,
+                                         uint64_t seed) {
+  MovingObjectsGenerator::SeedRoles(roles, role_pool);
+  MovingObjectsOptions opts;
+  opts.num_objects = std::min<size_t>(num_updates, 110000);  // paper: 110K
+  opts.num_updates = num_updates;
+  opts.tuples_per_sp = tuples_per_sp;
+  opts.roles_per_policy = roles_per_policy;
+  opts.role_pool = role_pool;
+  opts.distinct_policies = distinct_policies;
+  opts.seed = seed;
+  RoadNetworkOptions net_opts;
+  net_opts.grid_width = 30;  // Worcester-scale synthetic road grid
+  net_opts.grid_height = 30;
+  MovingObjectsGenerator gen(roles, RoadNetwork::Grid(net_opts), opts);
+  EnforcementWorkload wl;
+  wl.elements = gen.Generate();
+  wl.schema = MovingObjectsGenerator::LocationSchema("Location");
+  wl.stream_name = "Location";
+  return wl;
+}
+
+EnforcementQuery MakeRegionQuery(RoleSet query_roles, double center_x,
+                                 double center_y, double radius) {
+  EnforcementQuery q;
+  q.select_predicate = Expr::Compare(
+      Expr::CmpOp::kLe,
+      Expr::Distance(Expr::Column(1), Expr::Column(2),
+                     Expr::Literal(Value(center_x)),
+                     Expr::Literal(Value(center_y))),
+      Expr::Literal(Value(radius)));
+  q.project_columns = {0, 1, 2};
+  q.query_roles = std::move(query_roles);
+  return q;
+}
+
+}  // namespace spstream::bench

@@ -1,0 +1,45 @@
+// Shared helpers for the figure-reproduction benchmarks: fixed-width table
+// printing in the shape of the paper's plots, plus common workload/query
+// builders.
+#pragma once
+
+#include <iomanip>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "baselines/enforcement.h"
+#include "exec/expr.h"
+#include "security/role_catalog.h"
+#include "workload/moving_objects.h"
+#include "workload/road_network.h"
+
+namespace spstream::bench {
+
+/// \brief Print a section header for one figure/panel.
+void PrintHeader(const std::string& figure, const std::string& title);
+
+/// \brief Print one table row: first column label + numeric columns.
+void PrintRow(const std::string& label, const std::vector<double>& values,
+              int precision = 3);
+
+/// \brief Print the column legend.
+void PrintLegend(const std::string& first,
+                 const std::vector<std::string>& columns);
+
+/// \brief Build the §VII.A moving-objects workload.
+EnforcementWorkload MakeLocationWorkload(RoleCatalog* roles,
+                                         size_t num_updates,
+                                         int tuples_per_sp,
+                                         size_t roles_per_policy,
+                                         size_t role_pool,
+                                         size_t distinct_policies = 0,
+                                         uint64_t seed = 2008);
+
+/// \brief The paper's running query: "continuously retrieve all moving
+/// objects in the two mile region around the store" — a select-project over
+/// the location stream.
+EnforcementQuery MakeRegionQuery(RoleSet query_roles, double center_x,
+                                 double center_y, double radius);
+
+}  // namespace spstream::bench

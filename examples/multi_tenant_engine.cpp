@@ -1,0 +1,113 @@
+// Multi-tenant engine demo: the integrated SpStreamEngine facade running
+// several continuous queries for different subjects over one punctuated
+// stream, with server-side policy refinement, an incremental policy change
+// (§IX extension), and a runtime role-assignment change (§IX extension).
+#include <iostream>
+
+#include "engine/engine.h"
+
+using namespace spstream;
+
+namespace {
+
+Tuple Reading(TupleId patient, int64_t bpm, Timestamp ts) {
+  return Tuple(0, patient,
+               {Value(static_cast<int64_t>(patient)), Value(bpm)}, ts);
+}
+
+void Report(SpStreamEngine& engine, QueryId q, const std::string& who) {
+  auto results = engine.TakeResults(q);
+  if (!results.ok()) {
+    std::cerr << results.status().ToString() << "\n";
+    return;
+  }
+  std::cout << "  " << who << " received " << results->size()
+            << " tuple(s)";
+  if (!results->empty()) {
+    std::cout << " (first: " << results->front().ToString() << ")";
+  }
+  std::cout << "\n";
+}
+
+}  // namespace
+
+int main() {
+  SpStreamEngine engine;
+  engine.RegisterRole("GP");
+  engine.RegisterRole("ND");
+  engine.RegisterRole("E");
+
+  if (auto st = engine.RegisterStream(MakeSchema(
+          "Vitals", {Field{"patient_id", ValueType::kInt64},
+                     Field{"bpm", ValueType::kInt64}}));
+      !st.ok()) {
+    std::cerr << st.status().ToString() << "\n";
+    return 1;
+  }
+
+  // Hospital-wide server policy: Vitals never leaves clinical roles.
+  SecurityPunctuation server = SecurityPunctuation::StreamLevel(
+      Pattern::Literal("Vitals"), Pattern::Compile("GP|ND").value(), 0);
+  (void)engine.AddServerPolicy("Vitals", server);
+
+  (void)engine.RegisterSubject("alice_gp", {"GP"});
+  (void)engine.RegisterSubject("bob_nurse", {"ND"});
+  (void)engine.RegisterSubject("carol_admin", {"E"});
+
+  auto q_alice = engine.RegisterQuery(
+      "alice_gp", "SELECT patient_id, bpm FROM Vitals WHERE bpm > 100");
+  auto q_bob = engine.RegisterQuery("bob_nurse",
+                                    "SELECT patient_id, bpm FROM Vitals");
+  auto q_carol = engine.RegisterQuery("carol_admin",
+                                      "SELECT patient_id FROM Vitals");
+  if (!q_alice.ok() || !q_bob.ok() || !q_carol.ok()) {
+    std::cerr << "query registration failed\n";
+    return 1;
+  }
+  std::cout << "plan for alice:\n" << *engine.ExplainQuery(*q_alice);
+
+  // ---- epoch 1: patient grants GP and the (server-blocked) employee ------
+  (void)engine.ExecuteInsertSp(
+      "INSERT SP INTO STREAM Vitals "
+      "LET DDP = (Vitals, *, *), SRP = (RBAC, GP|E), TS = 1");
+  (void)engine.Push("Vitals", {StreamElement(Reading(120, 110, 1)),
+                               StreamElement(Reading(121, 80, 2))});
+  (void)engine.Run();
+  std::cout << "\nepoch 1 (policy GP|E, server clamps to GP|ND):\n";
+  Report(engine, *q_alice, "alice (GP, bpm>100)");
+  Report(engine, *q_bob, "bob   (ND)");
+  Report(engine, *q_carol, "carol (E)  [server policy blocks employees]");
+
+  // ---- epoch 2: incremental delta adds the nurse role (§IX) ---------------
+  // Base policy (GP only), then a delta sp that EDITS it (+ND) instead of
+  // overriding — both ride the stream ahead of the reading.
+  (void)engine.ExecuteInsertSp(
+      "INSERT SP INTO STREAM Vitals "
+      "LET DDP = (Vitals, *, *), SRP = (RBAC, GP), TS = 9");
+  (void)engine.ExecuteInsertSp(
+      "INSERT SP INTO STREAM Vitals "
+      "LET DDP = (Vitals, *, *), SRP = (RBAC, ND), SIGN = positive, "
+      "INCREMENTAL = true, TS = 10");
+  (void)engine.Push("Vitals", {StreamElement(Reading(120, 120, 10))});
+  (void)engine.Run();
+  std::cout << "\nepoch 2 (base GP, then incremental +ND):\n";
+  Report(engine, *q_alice, "alice (GP)  [keeps access: delta edits, not "
+                           "overrides]");
+  Report(engine, *q_bob, "bob   (ND)  [gains access via the delta sp]");
+
+  // ---- epoch 3: runtime role change — bob is promoted to GP (§IX) --------
+  (void)engine.UpdateSubjectRoles("bob_nurse", {"GP"});
+  (void)engine.ExecuteInsertSp(
+      "INSERT SP INTO STREAM Vitals "
+      "LET DDP = (Vitals, *, *), SRP = (RBAC, GP), TS = 20");
+  (void)engine.Push("Vitals", {StreamElement(Reading(122, 95, 20))});
+  (void)engine.Run();
+  std::cout << "\nepoch 3 (policy GP-only; bob now holds GP):\n";
+  Report(engine, *q_bob, "bob   (GP after runtime role change)");
+  Report(engine, *q_carol, "carol (E)");
+
+  std::cout << "\nOne engine, three tenants: every result above was "
+               "authorized by punctuations\nstreamed with the data, refined "
+               "by the server, and enforced inside the plans.\n";
+  return 0;
+}

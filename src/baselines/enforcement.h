@@ -1,0 +1,107 @@
+// The three access-control enforcement mechanisms of §I.C, driven over an
+// identical workload for the Figure 7 comparison:
+//
+//   * store-and-probe  — policies in a central PolicyStore; every sp is a
+//     table update, every tuple access a table probe;
+//   * tuple-embedded   — every tuple carries its own policy copy; the
+//     select-project pipeline checks it per tuple;
+//   * security punctuations — the paper's approach: the spstream engine
+//     runs SS -> select -> project over the punctuated stream.
+//
+// All three execute the same logical query (the "two-mile region" select-
+// project of §VII.A) and report processing time, output rate, and resident
+// policy-metadata memory.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "exec/expr.h"
+#include "security/policy_store.h"
+#include "security/role_catalog.h"
+#include "stream/stream_element.h"
+
+namespace spstream {
+
+/// \brief The workload all drivers replay.
+struct EnforcementWorkload {
+  std::vector<StreamElement> elements;
+  SchemaPtr schema;
+  std::string stream_name;
+};
+
+/// \brief The query all drivers execute.
+struct EnforcementQuery {
+  ExprPtr select_predicate;        // null = pass-through
+  std::vector<int> project_columns;
+  RoleSet query_roles;
+};
+
+/// \brief What one driver run reports.
+struct EnforcementResult {
+  std::string mechanism;
+  int64_t tuples_in = 0;
+  int64_t tuples_out = 0;
+  double elapsed_ms = 0;
+  double output_rate_per_ms = 0;   ///< Figure 7a
+  double cost_per_tuple_us = 0;    ///< Figures 7b / 7d
+  size_t policy_memory_bytes = 0;  ///< Figure 7c
+
+  std::string ToString() const;
+};
+
+/// \brief Common interface of the three mechanisms.
+class EnforcementDriver {
+ public:
+  virtual ~EnforcementDriver() = default;
+  virtual EnforcementResult Run(const EnforcementWorkload& workload,
+                                const EnforcementQuery& query) = 0;
+};
+
+/// \brief §I.C "non-streaming: store-and-probe".
+class StoreAndProbeDriver : public EnforcementDriver {
+ public:
+  explicit StoreAndProbeDriver(const RoleCatalog* catalog)
+      : catalog_(catalog) {}
+  EnforcementResult Run(const EnforcementWorkload& workload,
+                        const EnforcementQuery& query) override;
+
+ private:
+  const RoleCatalog* catalog_;
+};
+
+/// \brief §I.C "streaming: tuple-embedded".
+class TupleEmbeddedDriver : public EnforcementDriver {
+ public:
+  explicit TupleEmbeddedDriver(const RoleCatalog* catalog)
+      : catalog_(catalog) {}
+  EnforcementResult Run(const EnforcementWorkload& workload,
+                        const EnforcementQuery& query) override;
+
+ private:
+  const RoleCatalog* catalog_;
+};
+
+/// \brief §I.C "streaming: punctuation-based" — the paper's sp framework,
+/// executed by the spstream engine (SS -> σ -> π pipeline).
+class SpFrameworkDriver : public EnforcementDriver {
+ public:
+  SpFrameworkDriver(RoleCatalog* catalog, StreamCatalog* streams)
+      : catalog_(catalog), streams_(streams) {}
+  EnforcementResult Run(const EnforcementWorkload& workload,
+                        const EnforcementQuery& query) override;
+
+ private:
+  RoleCatalog* catalog_;
+  StreamCatalog* streams_;
+};
+
+/// \brief Policy-metadata bytes resident at once while the stream is in
+/// transit, modelled over a sliding span of `span` elements: sps count once
+/// per appearance (punctuation model) or per covered tuple (embedded
+/// model). Used for the Figure 7c accounting of the two streaming
+/// mechanisms; store-and-probe reports its table size instead.
+size_t PeakTransitPolicyBytes(const std::vector<StreamElement>& elements,
+                              bool embedded, size_t span = 1000);
+
+}  // namespace spstream

@@ -1,0 +1,19 @@
+#include "common/metrics.h"
+
+#include <sstream>
+
+namespace spstream {
+
+std::string OperatorMetrics::ToString() const {
+  std::ostringstream os;
+  os << "in=" << tuples_in << " out=" << tuples_out << " sps_in=" << sps_in
+     << " sps_out=" << sps_out << " sec_drop=" << tuples_dropped_security
+     << " pred_drop=" << tuples_dropped_predicate
+     << " total_ms=" << total_nanos / 1e6 << " join_ms=" << join_nanos / 1e6
+     << " sp_maint_ms=" << sp_maintenance_nanos / 1e6
+     << " tup_maint_ms=" << tuple_maintenance_nanos / 1e6
+     << " peak_state_bytes=" << peak_state_bytes;
+  return os.str();
+}
+
+}  // namespace spstream

@@ -1,0 +1,80 @@
+// Lightweight per-operator instrumentation: counters, wall-clock timers and
+// memory gauges that the benchmark harness reads to regenerate the paper's
+// processing-cost and memory figures.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace spstream {
+
+/// \brief Monotonic nanosecond wall clock.
+inline int64_t NowNanos() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// \brief Scoped stopwatch accumulating elapsed nanoseconds into a sink.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(int64_t* sink_nanos)
+      : sink_(sink_nanos), start_(NowNanos()) {}
+  ~ScopedTimer() { *sink_ += NowNanos() - start_; }
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  int64_t* sink_;
+  int64_t start_;
+};
+
+/// \brief Cost breakdown one operator accumulates while running.
+///
+/// The split into join / sp-maintenance / tuple-maintenance time mirrors the
+/// breakdown reported in the paper's Figure 9.
+struct OperatorMetrics {
+  int64_t tuples_in = 0;
+  int64_t tuples_out = 0;
+  int64_t sps_in = 0;
+  int64_t sps_out = 0;
+  int64_t tuples_dropped_security = 0;  ///< denied by access control
+  int64_t tuples_dropped_predicate = 0; ///< failed the query predicate
+
+  int64_t total_nanos = 0;              ///< all processing time
+  int64_t join_nanos = 0;               ///< probe/match work (joins)
+  int64_t sp_maintenance_nanos = 0;     ///< sp insert/purge/index upkeep
+  int64_t tuple_maintenance_nanos = 0;  ///< window insert/invalidate
+
+  /// Current state footprint (windows, policies, indexes), in bytes.
+  int64_t state_bytes = 0;
+  /// High-water mark of state_bytes.
+  int64_t peak_state_bytes = 0;
+
+  void NoteStateBytes(int64_t bytes) {
+    state_bytes = bytes;
+    if (bytes > peak_state_bytes) peak_state_bytes = bytes;
+  }
+
+  void Merge(const OperatorMetrics& o) {
+    tuples_in += o.tuples_in;
+    tuples_out += o.tuples_out;
+    sps_in += o.sps_in;
+    sps_out += o.sps_out;
+    tuples_dropped_security += o.tuples_dropped_security;
+    tuples_dropped_predicate += o.tuples_dropped_predicate;
+    total_nanos += o.total_nanos;
+    join_nanos += o.join_nanos;
+    sp_maintenance_nanos += o.sp_maintenance_nanos;
+    tuple_maintenance_nanos += o.tuple_maintenance_nanos;
+    state_bytes += o.state_bytes;
+    peak_state_bytes += o.peak_state_bytes;
+  }
+
+  std::string ToString() const;
+};
+
+}  // namespace spstream

@@ -1,0 +1,148 @@
+// Arrow-style Status / Result error handling. No exceptions cross the
+// spstream public API; fallible functions return Status or Result<T>.
+#pragma once
+
+#include <cassert>
+#include <memory>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace spstream {
+
+/// \brief Error category carried by a non-OK Status.
+enum class StatusCode : int {
+  kOk = 0,
+  kInvalidArgument,
+  kParseError,
+  kNotFound,
+  kAlreadyExists,
+  kUnauthorized,   ///< access-control denial surfaced as an error
+  kOutOfRange,
+  kUnimplemented,
+  kInternal,
+};
+
+/// \brief Human-readable name of a StatusCode (e.g. "InvalidArgument").
+const char* StatusCodeToString(StatusCode code);
+
+/// \brief Outcome of a fallible operation: OK, or a code plus message.
+///
+/// The OK state carries no allocation; error state holds a heap message so
+/// that Status stays one pointer wide and cheap to move/copy on hot paths.
+class Status {
+ public:
+  Status() = default;  // OK
+
+  Status(StatusCode code, std::string message)
+      : rep_(std::make_shared<Rep>(Rep{code, std::move(message)})) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status Unauthorized(std::string msg) {
+    return Status(StatusCode::kUnauthorized, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return rep_ == nullptr; }
+  StatusCode code() const { return rep_ ? rep_->code : StatusCode::kOk; }
+  const std::string& message() const {
+    static const std::string kEmpty;
+    return rep_ ? rep_->message : kEmpty;
+  }
+
+  /// \brief "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code() == other.code() && message() == other.message();
+  }
+
+ private:
+  struct Rep {
+    StatusCode code;
+    std::string message;
+  };
+  std::shared_ptr<const Rep> rep_;  // null == OK
+};
+
+/// \brief A value of type T or, on failure, a Status explaining why.
+template <typename T>
+class Result {
+ public:
+  /*implicit*/ Result(T value) : var_(std::move(value)) {}
+  /*implicit*/ Result(Status status) : var_(std::move(status)) {
+    assert(!std::get<Status>(var_).ok() && "Result from OK status");
+  }
+
+  bool ok() const { return std::holds_alternative<T>(var_); }
+
+  const Status& status() const {
+    static const Status kOk;
+    return ok() ? kOk : std::get<Status>(var_);
+  }
+
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(var_);
+  }
+  T& value() & {
+    assert(ok());
+    return std::get<T>(var_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(var_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  T value_or(T fallback) const {
+    return ok() ? std::get<T>(var_) : std::move(fallback);
+  }
+
+ private:
+  std::variant<T, Status> var_;
+};
+
+/// \brief Propagate a non-OK Status to the caller.
+#define SP_RETURN_NOT_OK(expr)            \
+  do {                                    \
+    ::spstream::Status _st = (expr);      \
+    if (!_st.ok()) return _st;            \
+  } while (0)
+
+/// \brief Assign from a Result<T>, propagating failure.
+#define SP_ASSIGN_OR_RETURN(lhs, expr)         \
+  auto SP_CONCAT_(_res_, __LINE__) = (expr);   \
+  if (!SP_CONCAT_(_res_, __LINE__).ok())       \
+    return SP_CONCAT_(_res_, __LINE__).status(); \
+  lhs = std::move(SP_CONCAT_(_res_, __LINE__)).value()
+
+#define SP_CONCAT_INNER_(a, b) a##b
+#define SP_CONCAT_(a, b) SP_CONCAT_INNER_(a, b)
+
+}  // namespace spstream

@@ -1,0 +1,36 @@
+// Small string helpers shared by the CQL parser, pattern compiler and
+// punctuation text codec.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace spstream {
+
+/// \brief Split on a delimiter character; empty pieces are preserved.
+std::vector<std::string> Split(std::string_view s, char delim);
+
+/// \brief Trim ASCII whitespace from both ends.
+std::string_view Trim(std::string_view s);
+
+/// \brief Case-insensitive ASCII equality.
+bool EqualsIgnoreCase(std::string_view a, std::string_view b);
+
+/// \brief Lower-cased ASCII copy.
+std::string ToLower(std::string_view s);
+
+/// \brief Upper-cased ASCII copy.
+std::string ToUpper(std::string_view s);
+
+/// \brief True if s consists only of ASCII digits (and is non-empty).
+bool IsAllDigits(std::string_view s);
+
+/// \brief Join pieces with a separator.
+std::string Join(const std::vector<std::string>& pieces,
+                 std::string_view sep);
+
+/// \brief True if `s` starts with `prefix`.
+bool StartsWith(std::string_view s, std::string_view prefix);
+
+}  // namespace spstream

@@ -1,0 +1,22 @@
+// Fundamental scalar identifiers shared across modules.
+#pragma once
+
+#include <cstdint>
+
+namespace spstream {
+
+/// \brief Logical timestamp of a stream element (milliseconds since epoch in
+/// examples; any monotone integer in tests/benchmarks).
+using Timestamp = int64_t;
+
+/// \brief Dense id of a registered stream.
+using StreamId = uint32_t;
+
+/// \brief Tuple identifier within a stream (akin to a primary key, e.g. a
+/// patient id or moving-object id — see paper footnote 2).
+using TupleId = int64_t;
+
+constexpr Timestamp kMinTimestamp = INT64_MIN;
+constexpr Timestamp kMaxTimestamp = INT64_MAX;
+
+}  // namespace spstream

@@ -1,0 +1,137 @@
+#include "common/value.h"
+
+#include <cmath>
+#include <functional>
+
+namespace spstream {
+
+const char* ValueTypeToString(ValueType type) {
+  switch (type) {
+    case ValueType::kNull:
+      return "NULL";
+    case ValueType::kInt64:
+      return "INT64";
+    case ValueType::kDouble:
+      return "DOUBLE";
+    case ValueType::kString:
+      return "STRING";
+    case ValueType::kBool:
+      return "BOOL";
+  }
+  return "UNKNOWN";
+}
+
+ValueType Value::type() const {
+  switch (var_.index()) {
+    case 0:
+      return ValueType::kNull;
+    case 1:
+      return ValueType::kInt64;
+    case 2:
+      return ValueType::kDouble;
+    case 3:
+      return ValueType::kString;
+    case 4:
+      return ValueType::kBool;
+  }
+  return ValueType::kNull;
+}
+
+double Value::AsDouble() const {
+  if (is_int64()) return static_cast<double>(int64());
+  if (is_double()) return dbl();
+  if (is_bool()) return boolean() ? 1.0 : 0.0;
+  return 0.0;
+}
+
+std::string Value::ToString() const {
+  switch (type()) {
+    case ValueType::kNull:
+      return "NULL";
+    case ValueType::kInt64:
+      return std::to_string(int64());
+    case ValueType::kDouble: {
+      std::string s = std::to_string(dbl());
+      return s;
+    }
+    case ValueType::kString:
+      return str();
+    case ValueType::kBool:
+      return boolean() ? "true" : "false";
+  }
+  return "NULL";
+}
+
+namespace {
+
+// Rank for cross-kind ordering: null < numeric < string < bool.
+int KindRank(const Value& v) {
+  switch (v.type()) {
+    case ValueType::kNull:
+      return 0;
+    case ValueType::kInt64:
+    case ValueType::kDouble:
+      return 1;
+    case ValueType::kString:
+      return 2;
+    case ValueType::kBool:
+      return 3;
+  }
+  return 0;
+}
+
+}  // namespace
+
+int Value::Compare(const Value& other) const {
+  const int lr = KindRank(*this), rr = KindRank(other);
+  if (lr != rr) return lr < rr ? -1 : 1;
+  switch (lr) {
+    case 0:
+      return 0;  // both null
+    case 1: {
+      if (is_int64() && other.is_int64()) {
+        const int64_t a = int64(), b = other.int64();
+        return a < b ? -1 : (a > b ? 1 : 0);
+      }
+      const double a = AsDouble(), b = other.AsDouble();
+      return a < b ? -1 : (a > b ? 1 : 0);
+    }
+    case 2:
+      return str().compare(other.str()) < 0
+                 ? -1
+                 : (str() == other.str() ? 0 : 1);
+    case 3:
+      return boolean() == other.boolean() ? 0 : (boolean() ? 1 : -1);
+  }
+  return 0;
+}
+
+size_t Value::Hash() const {
+  switch (type()) {
+    case ValueType::kNull:
+      return 0x9e3779b97f4a7c15ull;
+    case ValueType::kInt64:
+      // Hash int64 via its double image only when it is exactly
+      // representable; otherwise the raw integer hash keeps distinct keys
+      // distinct while equal int64/double values still collide-to-equal for
+      // the common (small) case used in group keys.
+      return std::hash<double>{}(static_cast<double>(int64()));
+    case ValueType::kDouble:
+      return std::hash<double>{}(dbl());
+    case ValueType::kString:
+      return std::hash<std::string>{}(str());
+    case ValueType::kBool:
+      return boolean() ? 0x5bf03635u : 0x2545f491u;
+  }
+  return 0;
+}
+
+size_t Value::MemoryBytes() const {
+  size_t bytes = sizeof(Value);
+  if (is_string() && str().capacity() > sizeof(std::string)) {
+    bytes += str().capacity();
+  }
+  return bytes;
+}
+
+}  // namespace spstream

@@ -1,0 +1,398 @@
+#include "engine/engine.h"
+
+#include <algorithm>
+
+#include "exec/ss_operator.h"
+
+namespace spstream {
+
+namespace {
+
+/// Source stream names referenced by a plan (leaf scan names).
+void CollectSourceStreams(const LogicalNodePtr& node,
+                          std::vector<std::string>* out) {
+  if (node->kind == LogicalNode::Kind::kSource) {
+    out->push_back(node->stream_name);
+    return;
+  }
+  for (const LogicalNodePtr& child : node->children) {
+    CollectSourceStreams(child, out);
+  }
+}
+
+}  // namespace
+
+SpStreamEngine::SpStreamEngine(EngineOptions options)
+    : options_(std::move(options)) {}
+
+Result<StreamId> SpStreamEngine::RegisterStream(SchemaPtr schema) {
+  const std::string name = schema->stream_name();
+  SP_ASSIGN_OR_RETURN(StreamId id, streams_.RegisterStream(std::move(schema)));
+  StreamState state;
+  state.analyzer = std::make_unique<SpAnalyzer>(&roles_, name);
+  stream_states_.emplace(name, std::move(state));
+  return id;
+}
+
+Status SpStreamEngine::RegisterSubject(
+    const std::string& name, const std::vector<std::string>& role_names) {
+  if (subjects_.count(name)) {
+    return Status::AlreadyExists("subject '" + name + "' already exists");
+  }
+  std::vector<RoleId> ids;
+  ids.reserve(role_names.size());
+  for (const std::string& r : role_names) {
+    // Subjects may only activate roles that exist (§II.A).
+    SP_ASSIGN_OR_RETURN(RoleId id, roles_.Lookup(r));
+    ids.push_back(id);
+  }
+  if (ids.empty()) {
+    return Status::InvalidArgument(
+        "every query specifier must hold at least one role (SII.A)");
+  }
+  subjects_.emplace(name, Subject(name, std::move(ids)));
+  return Status::OK();
+}
+
+Status SpStreamEngine::UpdateSubjectRoles(
+    const std::string& name, const std::vector<std::string>& role_names) {
+  auto sub_it = subjects_.find(name);
+  if (sub_it == subjects_.end()) {
+    return Status::NotFound("unknown subject: " + name);
+  }
+  std::vector<RoleId> ids;
+  ids.reserve(role_names.size());
+  for (const std::string& r : role_names) {
+    SP_ASSIGN_OR_RETURN(RoleId id, roles_.Lookup(r));
+    ids.push_back(id);
+  }
+  if (ids.empty()) {
+    return Status::InvalidArgument(
+        "a subject must keep at least one role");
+  }
+  sub_it->second.ReplaceRolesUnchecked(std::move(ids));
+
+  // Re-plan every active query of this subject against the new roles.
+  Planner planner(&streams_, &roles_);
+  const RoleSet new_roles = RoleSet::FromIds(sub_it->second.roles());
+  for (QueryState& qs : queries_) {
+    if (!qs.active || qs.subject != name) continue;
+    LogicalNodePtr plan = ApplySsPlacement(qs.bare_plan, new_roles,
+                                           options_.initial_placement);
+    if (options_.optimize_plans) {
+      std::unordered_map<std::string, SourceStats> stats;
+      for (const std::string& s : qs.source_streams) {
+        stats[s] = options_.default_source_stats;
+      }
+      CostModel model(std::move(stats), options_.cost_options);
+      Optimizer optimizer(&model);
+      plan = optimizer.Optimize(plan);
+    }
+    qs.plan = std::move(plan);
+    qs.roles = new_roles;
+    // The new shield requires a fresh pipeline; continuous state resets
+    // (windows refill; the next sps re-install policies).
+    qs.pipeline.reset();
+    qs.physical = StreamingPhysicalPlan{};
+  }
+  return Status::OK();
+}
+
+Status SpStreamEngine::ExecuteInsertSp(const std::string& sql) {
+  SP_ASSIGN_OR_RETURN(InsertSpStatement stmt, ParseInsertSp(sql));
+  auto it = stream_states_.find(stmt.stream);
+  if (it == stream_states_.end()) {
+    return Status::NotFound("unknown stream: " + stmt.stream);
+  }
+  Planner planner(&streams_, &roles_);
+  SP_ASSIGN_OR_RETURN(SecurityPunctuation sp,
+                      planner.BuildSp(stmt, next_default_ts_++));
+  return Push(stmt.stream, {StreamElement(std::move(sp))});
+}
+
+Status SpStreamEngine::AddServerPolicy(const std::string& stream_name,
+                                       SecurityPunctuation sp) {
+  auto it = stream_states_.find(stream_name);
+  if (it == stream_states_.end()) {
+    return Status::NotFound("unknown stream: " + stream_name);
+  }
+  return it->second.analyzer->AddServerPolicy(std::move(sp));
+}
+
+Result<QueryId> SpStreamEngine::RegisterQuery(const std::string& subject,
+                                              const std::string& sql) {
+  auto sub_it = subjects_.find(subject);
+  if (sub_it == subjects_.end()) {
+    return Status::NotFound("unknown subject: " + subject);
+  }
+  SP_ASSIGN_OR_RETURN(SelectStatement stmt, ParseSelect(sql));
+
+  Planner planner(&streams_, &roles_);
+  const RoleSet query_roles = RoleSet::FromIds(sub_it->second.roles());
+  SP_ASSIGN_OR_RETURN(LogicalNodePtr bare, planner.PlanSelect(stmt, RoleSet()));
+  LogicalNodePtr plan =
+      ApplySsPlacement(bare, query_roles, options_.initial_placement);
+
+  if (options_.optimize_plans) {
+    std::unordered_map<std::string, SourceStats> stats;
+    std::vector<std::string> sources;
+    CollectSourceStreams(plan, &sources);
+    for (const std::string& s : sources) {
+      stats[s] = options_.default_source_stats;
+    }
+    CostModel model(std::move(stats), options_.cost_options);
+    Optimizer optimizer(&model);
+    plan = optimizer.Optimize(plan);
+  }
+
+  QueryState qs;
+  qs.subject = subject;
+  qs.sql = sql;
+  qs.plan = plan;
+  qs.roles = query_roles;
+  qs.bare_plan = bare;  // shield-free twin: the multi-query sharing key
+  CollectSourceStreams(plan, &qs.source_streams);
+  for (const std::string& s : qs.source_streams) {
+    if (!stream_states_.count(s)) {
+      return Status::NotFound("query references unknown stream: " + s);
+    }
+  }
+  // The subject's role assignment freezes while it has registered queries.
+  sub_it->second.Freeze();
+  queries_.push_back(std::move(qs));
+  return static_cast<QueryId>(queries_.size() - 1);
+}
+
+Status SpStreamEngine::DeregisterQuery(QueryId id) {
+  SP_ASSIGN_OR_RETURN(QueryState * qs, FindQuery(id));
+  if (!qs->active) {
+    return Status::InvalidArgument("query already deregistered");
+  }
+  qs->active = false;
+  qs->pipeline.reset();
+  qs->physical = StreamingPhysicalPlan{};
+  auto sub_it = subjects_.find(qs->subject);
+  if (sub_it != subjects_.end()) sub_it->second.Unfreeze();
+  return Status::OK();
+}
+
+Result<std::string> SpStreamEngine::ExplainQuery(QueryId id) const {
+  SP_ASSIGN_OR_RETURN(const QueryState* qs, FindQuery(id));
+  return qs->plan->ToString();
+}
+
+Status SpStreamEngine::Push(const std::string& stream_name,
+                            std::vector<StreamElement> elements) {
+  auto it = stream_states_.find(stream_name);
+  if (it == stream_states_.end()) {
+    return Status::NotFound("unknown stream: " + stream_name);
+  }
+  StreamState& state = it->second;
+  for (StreamElement& e : elements) {
+    for (StreamElement& admitted : state.analyzer->Process(std::move(e))) {
+      state.pending.push_back(std::move(admitted));
+    }
+  }
+  return Status::OK();
+}
+
+Status SpStreamEngine::Run() {
+  // Flush analyzer tails so trailing sps are visible to the queries.
+  for (auto& [name, state] : stream_states_) {
+    (void)name;
+    for (StreamElement& e : state.analyzer->Flush()) {
+      state.pending.push_back(std::move(e));
+    }
+  }
+
+  ExecContext ctx{&roles_, &streams_};
+  if (!options_.share_plans) {
+    for (QueryState& qs : queries_) {
+      if (!qs.active) continue;
+      SP_RETURN_NOT_OK(RunSolo(&ctx, &qs));
+    }
+  } else {
+    // Group share-compatible queries (identical shield-free plans) and run
+    // each group through one shared trunk (§VI.C merge/split).
+    std::unordered_map<std::string, std::vector<size_t>> groups;
+    for (size_t i = 0; i < queries_.size(); ++i) {
+      if (!queries_[i].active) continue;
+      groups[queries_[i].bare_plan->ToString()].push_back(i);
+    }
+    for (auto& [key, indexes] : groups) {
+      (void)key;
+      if (indexes.size() == 1) {
+        SP_RETURN_NOT_OK(RunSolo(&ctx, &queries_[indexes[0]]));
+      } else {
+        SP_RETURN_NOT_OK(RunSharedGroup(&ctx, indexes));
+      }
+    }
+  }
+  if (options_.adaptive) {
+    for (auto& [name, state] : stream_states_) {
+      if (!state.pending.empty()) {
+        measured_stats_[name] = CollectStreamStatistics(state.pending);
+      }
+    }
+  }
+  for (auto& [name, state] : stream_states_) {
+    (void)name;
+    state.pending.clear();
+  }
+  if (options_.adaptive) {
+    SP_RETURN_NOT_OK(AdaptPlans());
+  }
+  return Status::OK();
+}
+
+Status SpStreamEngine::AdaptPlans() {
+  if (measured_stats_.empty()) return Status::OK();
+  for (QueryState& qs : queries_) {
+    if (!qs.active) continue;
+    // Cost model fed by the latest measurements of this query's sources.
+    CostModelOptions mopts = options_.cost_options;
+    std::unordered_map<std::string, SourceStats> src_stats;
+    bool any_measured = false;
+    for (const std::string& s : qs.source_streams) {
+      auto it = measured_stats_.find(s);
+      if (it == measured_stats_.end()) {
+        src_stats[s] = options_.default_source_stats;
+      } else {
+        src_stats[s] = it->second.ToSourceStats();
+        it->second.ApplyTo(&mopts);
+        any_measured = true;
+      }
+    }
+    if (!any_measured) continue;
+    LogicalNodePtr fresh = ApplySsPlacement(qs.bare_plan, qs.roles,
+                                            options_.initial_placement);
+    CostModel model(std::move(src_stats), mopts);
+    Optimizer optimizer(&model);
+    LogicalNodePtr adapted = optimizer.Optimize(fresh);
+    if (!PlansEqual(adapted, qs.plan)) {
+      qs.plan = std::move(adapted);
+      qs.pipeline.reset();  // rebuilt (with the new shape) on next Run
+      qs.physical = StreamingPhysicalPlan{};
+      ++adaptations_;
+    }
+  }
+  return Status::OK();
+}
+
+const StreamStatistics* SpStreamEngine::measured_stats(
+    const std::string& stream) const {
+  auto it = measured_stats_.find(stream);
+  return it == measured_stats_.end() ? nullptr : &it->second;
+}
+
+Status SpStreamEngine::RunSolo(ExecContext* ctx, QueryState* qs) {
+  if (!qs->pipeline) {
+    // First run (or after a re-plan): build the long-lived pipeline.
+    qs->pipeline = std::make_unique<Pipeline>(ctx);
+    SP_ASSIGN_OR_RETURN(qs->physical,
+                        BuildStreamingPhysicalPlan(qs->pipeline.get(),
+                                                   qs->plan,
+                                                   options_.physical));
+  }
+  // Feed this epoch's admitted elements; operator state persists, so a
+  // policy installed in an earlier epoch still governs later tuples.
+  for (auto& [stream, src] : qs->physical.sources) {
+    for (const StreamElement& e : stream_states_.at(stream).pending) {
+      src->Feed(e);  // copy: several queries read the same pending input
+    }
+  }
+  for (Tuple& t : qs->physical.sink->TakeTuples()) {
+    if (qs->callback) qs->callback(t);
+    qs->results.push_back(std::move(t));
+  }
+  return Status::OK();
+}
+
+Status SpStreamEngine::SubscribeResults(
+    QueryId id, std::function<void(const Tuple&)> cb) {
+  SP_ASSIGN_OR_RETURN(QueryState * qs, FindQuery(id));
+  qs->callback = std::move(cb);
+  return Status::OK();
+}
+
+Status SpStreamEngine::RunSharedGroup(
+    ExecContext* ctx, const std::vector<size_t>& query_indexes) {
+  std::vector<RoleSet> group_roles;
+  group_roles.reserve(query_indexes.size());
+  for (size_t i : query_indexes) {
+    group_roles.push_back(queries_[i].roles);
+  }
+  QueryState& first = queries_[query_indexes[0]];
+  SharedPlan shared = BuildSharedPlan(first.bare_plan, group_roles);
+
+  std::unordered_map<std::string, std::vector<StreamElement>> inputs;
+  for (const std::string& s : first.source_streams) {
+    inputs[s] = stream_states_.at(s).pending;
+  }
+
+  // One execution of the merged-SS trunk...
+  Pipeline trunk_pipeline(ctx);
+  SP_ASSIGN_OR_RETURN(PhysicalPlan trunk,
+                      BuildPhysicalPlan(&trunk_pipeline, shared.trunk,
+                                        inputs, options_.physical));
+  trunk_pipeline.Run(/*batch_per_poll=*/64);
+  const std::vector<StreamElement>& trunk_out = trunk.sink->elements();
+
+  // ...then one cheap split shield per query over the (small) shared
+  // output.
+  for (size_t i : query_indexes) {
+    QueryState& qs = queries_[i];
+    Pipeline split(ctx);
+    auto* src = split.Add<SourceOperator>("trunk", trunk_out);
+    SsOptions o;
+    o.predicates = {qs.roles};
+    o.stream_name = trunk.output_stream_name;
+    o.schema = trunk.output_schema;
+    auto* ss = split.Add<SsOperator>(std::move(o), "split_ss");
+    auto* sink = split.Add<CollectorSink>();
+    src->AddOutput(ss);
+    ss->AddOutput(sink);
+    split.Run(/*batch_per_poll=*/64);
+    for (Tuple& t : sink->Tuples()) {
+      if (qs.callback) qs.callback(t);
+      qs.results.push_back(std::move(t));
+    }
+  }
+  return Status::OK();
+}
+
+Result<std::vector<Tuple>> SpStreamEngine::Results(QueryId id) const {
+  SP_ASSIGN_OR_RETURN(const QueryState* qs, FindQuery(id));
+  return qs->results;
+}
+
+Result<std::vector<Tuple>> SpStreamEngine::TakeResults(QueryId id) {
+  SP_ASSIGN_OR_RETURN(QueryState * qs, FindQuery(id));
+  std::vector<Tuple> out = std::move(qs->results);
+  qs->results.clear();
+  return out;
+}
+
+const SpAnalyzerStats* SpStreamEngine::analyzer_stats(
+    const std::string& stream) const {
+  auto it = stream_states_.find(stream);
+  return it == stream_states_.end() ? nullptr
+                                    : &it->second.analyzer->stats();
+}
+
+auto SpStreamEngine::FindQuery(QueryId id) -> Result<QueryState*> {
+  if (id >= queries_.size()) {
+    return Status::NotFound("no query with id " + std::to_string(id));
+  }
+  return &queries_[id];
+}
+
+auto SpStreamEngine::FindQuery(QueryId id) const
+    -> Result<const QueryState*> {
+  if (id >= queries_.size()) {
+    return Status::NotFound("no query with id " + std::to_string(id));
+  }
+  return &queries_[id];
+}
+
+}  // namespace spstream

@@ -1,0 +1,184 @@
+// SpStreamEngine — the integrated DSMS facade (the "server" of Figure 1).
+//
+// Ties the whole system together behind one API: role/subject management,
+// stream registration, server-side policies, the per-stream SP Analyzer
+// admission path, continuous-query registration (CQL text in, subject roles
+// inherited, plan optimized), and pipelined execution with per-query result
+// sinks. This is the entry point a downstream application would embed.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "analyzer/sp_analyzer.h"
+#include "common/status.h"
+#include "exec/plan_builder.h"
+#include "optimizer/optimizer.h"
+#include "optimizer/statistics.h"
+#include "query/parser.h"
+#include "query/planner.h"
+
+namespace spstream {
+
+/// \brief Identifier of a registered continuous query.
+using QueryId = uint32_t;
+
+/// \brief Engine-wide configuration.
+struct EngineOptions {
+  /// Optimize registered query plans with the Table II rules + §VI.A costs.
+  bool optimize_plans = true;
+  /// Where the query's Security Shield is initially placed (§IV.A) before
+  /// any optimization: at the sources (intermediate, the default), at the
+  /// plan root (post-filter), or pre-filtering with sp stripping.
+  SsPlacement initial_placement = SsPlacement::kIntermediate;
+  /// Multi-query sharing (§VI.C): queries whose shield-free plans are
+  /// identical execute one shared trunk behind a merged SS, then per-query
+  /// split shields — instead of one full pipeline each. Note: shared
+  /// trunks are rebuilt per Run() epoch, so policies do NOT persist across
+  /// epochs in this mode (solo pipelines are long-lived and persist).
+  bool share_plans = false;
+  /// Physical compilation knobs (join implementation, skipping rule, ...).
+  PhysicalPlanOptions physical;
+  /// Cost-model configuration used when optimize_plans is set.
+  CostModelOptions cost_options;
+  /// Default per-source statistics assumed for cost estimation.
+  SourceStats default_source_stats;
+  /// CAPE-style runtime adaptivity: measure each epoch's streams
+  /// (rates, roles-per-sp, per-role match fractions) and re-optimize
+  /// registered plans against the measured numbers. A query whose optimal
+  /// shape changes gets a rebuilt pipeline (continuous state resets —
+  /// windows refill, the next sps re-install policies).
+  bool adaptive = false;
+};
+
+/// \brief The integrated stream engine.
+class SpStreamEngine {
+ public:
+  explicit SpStreamEngine(EngineOptions options = {});
+
+  // ---- catalog management -----------------------------------------------
+  /// \brief Register (or look up) a role.
+  RoleId RegisterRole(const std::string& name) {
+    return roles_.RegisterRole(name);
+  }
+
+  /// \brief Register a stream; creates its SP Analyzer admission path.
+  Result<StreamId> RegisterStream(SchemaPtr schema);
+
+  /// \brief Register a query specifier with its activated roles (§II.A).
+  Status RegisterSubject(const std::string& name,
+                         const std::vector<std::string>& role_names);
+
+  /// \brief Runtime role-assignment change (the paper's §IX future-work
+  /// extension). The base model freezes a subject's roles while it has
+  /// registered queries; this override replaces the role set and re-plans
+  /// every active query of the subject so their Security Shields enforce
+  /// the new predicate from the next Run() on. Accumulated results are
+  /// kept (they were authorized under the old assignment).
+  Status UpdateSubjectRoles(const std::string& name,
+                            const std::vector<std::string>& role_names);
+
+  // ---- policies -----------------------------------------------------------
+  /// \brief Execute an INSERT SP statement: the punctuation is admitted
+  /// into the named stream's pending input (data-provider policy).
+  Status ExecuteInsertSp(const std::string& sql);
+
+  /// \brief Add a server-side policy for a stream; arriving mutable sps are
+  /// refined by intersection (§II.B).
+  Status AddServerPolicy(const std::string& stream_name,
+                         SecurityPunctuation sp);
+
+  // ---- queries -------------------------------------------------------------
+  /// \brief Register a continuous SELECT for `subject`. The query inherits
+  /// the subject's roles; the subject's role set freezes while registered.
+  Result<QueryId> RegisterQuery(const std::string& subject,
+                                const std::string& sql);
+
+  /// \brief Deregister a query (unfreezes the subject when it was the
+  /// subject's last query).
+  Status DeregisterQuery(QueryId id);
+
+  /// \brief The optimized logical plan of a registered query (debugging).
+  Result<std::string> ExplainQuery(QueryId id) const;
+
+  // ---- data ------------------------------------------------------------
+  /// \brief Append raw elements (tuples/sps) to a stream's pending input.
+  /// Elements pass through the stream's SP Analyzer on admission.
+  Status Push(const std::string& stream_name,
+              std::vector<StreamElement> elements);
+
+  /// \brief Run all registered queries over everything pushed so far, then
+  /// clear the pending inputs. Results accumulate per query.
+  Status Run();
+
+  /// \brief Results of a query accumulated by Run() calls.
+  Result<std::vector<Tuple>> Results(QueryId id) const;
+  /// \brief Drain (return and clear) a query's accumulated results.
+  Result<std::vector<Tuple>> TakeResults(QueryId id);
+
+  /// \brief Push-style delivery: `callback` fires for every result tuple
+  /// produced by subsequent Run() calls (in addition to accumulation —
+  /// use TakeResults to keep memory bounded, or rely on the callback only
+  /// and Drain).
+  Status SubscribeResults(QueryId id, std::function<void(const Tuple&)> cb);
+
+  // ---- introspection ----------------------------------------------------
+  RoleCatalog* roles() { return &roles_; }
+  StreamCatalog* streams() { return &streams_; }
+  const SpAnalyzerStats* analyzer_stats(const std::string& stream) const;
+  size_t query_count() const { return queries_.size(); }
+  /// \brief Number of plan swaps the adaptive mode has performed.
+  int64_t adaptations() const { return adaptations_; }
+  /// \brief Latest measured statistics of a stream (adaptive mode), or
+  /// nullptr before its first epoch.
+  const StreamStatistics* measured_stats(const std::string& stream) const;
+
+ private:
+  struct StreamState {
+    std::unique_ptr<SpAnalyzer> analyzer;
+    std::vector<StreamElement> pending;  // admitted, not yet executed
+  };
+  struct QueryState {
+    std::string subject;
+    std::string sql;
+    LogicalNodePtr plan;       // optimized, shield included
+    LogicalNodePtr bare_plan;  // shield-free (sharing key, §VI.C)
+    RoleSet roles;             // the query's security predicate
+    std::vector<std::string> source_streams;
+    std::vector<Tuple> results;
+    std::function<void(const Tuple&)> callback;  // optional push delivery
+    bool active = true;
+    // Long-lived continuous pipeline (solo mode): operator state — the
+    // policies in force, windows, aggregates — persists across Run()
+    // epochs, like a genuinely continuous query. Rebuilt (state reset)
+    // after a re-plan.
+    std::unique_ptr<Pipeline> pipeline;
+    StreamingPhysicalPlan physical;
+  };
+
+  /// Execute one group of share-compatible queries through a shared trunk.
+  Status RunSharedGroup(ExecContext* ctx,
+                        const std::vector<size_t>& query_indexes);
+  /// Execute one query through its own full pipeline.
+  Status RunSolo(ExecContext* ctx, QueryState* qs);
+  /// Adaptive mode: re-optimize plans against measured statistics.
+  Status AdaptPlans();
+
+  Result<QueryState*> FindQuery(QueryId id);
+  Result<const QueryState*> FindQuery(QueryId id) const;
+
+  EngineOptions options_;
+  RoleCatalog roles_;
+  StreamCatalog streams_;
+  std::unordered_map<std::string, StreamState> stream_states_;
+  std::unordered_map<std::string, Subject> subjects_;
+  std::vector<QueryState> queries_;
+  std::unordered_map<std::string, StreamStatistics> measured_stats_;
+  int64_t adaptations_ = 0;
+  Timestamp next_default_ts_ = 1;
+};
+
+}  // namespace spstream

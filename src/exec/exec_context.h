@@ -1,0 +1,16 @@
+// Shared runtime context handed to every physical operator.
+#pragma once
+
+#include "security/role_catalog.h"
+#include "stream/schema.h"
+
+namespace spstream {
+
+/// \brief Catalogs every operator may consult. Owned by the engine/driver;
+/// outlives all operators.
+struct ExecContext {
+  RoleCatalog* roles = nullptr;
+  StreamCatalog* streams = nullptr;
+};
+
+}  // namespace spstream

@@ -1,0 +1,71 @@
+#include "exec/operator.h"
+
+namespace spstream {
+
+void Operator::Push(StreamElement elem, int port) {
+  if (elem.is_end_of_stream()) {
+    OnPortFinished(port);
+    if (++finished_ports_ >= (num_inputs_ == 0 ? 1 : num_inputs_)) {
+      OnAllFinished();
+      Emit(std::move(elem));  // propagate EOS exactly once
+    }
+    return;
+  }
+  Process(std::move(elem), port);
+}
+
+void Operator::Emit(StreamElement elem) {
+  if (outputs_.empty()) return;
+  // Copy for all but the last edge; move into the last.
+  for (size_t i = 0; i + 1 < outputs_.size(); ++i) {
+    outputs_[i].op->Push(elem, outputs_[i].port);
+  }
+  outputs_.back().op->Push(std::move(elem), outputs_.back().port);
+}
+
+size_t SourceOperator::Poll(size_t max_elements) {
+  size_t pushed = 0;
+  while (pushed < max_elements && next_ < elements_.size()) {
+    Emit(std::move(elements_[next_++]));
+    ++pushed;
+  }
+  if (next_ >= elements_.size() && !eos_sent_) {
+    eos_sent_ = true;
+    const Timestamp ts =
+        elements_.empty() ? 0 : kMaxTimestamp;
+    // Route EOS through Push so finished-port accounting fires downstream.
+    Emit(StreamElement::EndOfStream(ts));
+  }
+  return pushed;
+}
+
+std::vector<Tuple> CollectorSink::Tuples() const {
+  std::vector<Tuple> out;
+  for (const StreamElement& e : elements_) {
+    if (e.is_tuple()) out.push_back(e.tuple());
+  }
+  return out;
+}
+
+std::vector<SecurityPunctuation> CollectorSink::Sps() const {
+  std::vector<SecurityPunctuation> out;
+  for (const StreamElement& e : elements_) {
+    if (e.is_sp()) out.push_back(e.sp());
+  }
+  return out;
+}
+
+void Pipeline::Run(size_t batch_per_poll) {
+  bool progressed = true;
+  while (progressed) {
+    progressed = false;
+    for (SourceOperator* src : sources_) {
+      if (!src->exhausted()) {
+        src->Poll(batch_per_poll);
+        progressed = true;
+      }
+    }
+  }
+}
+
+}  // namespace spstream

@@ -1,0 +1,216 @@
+// Push-based pipelined operator framework (the CAPE-substitute execution
+// model of §IV): operators form a DAG, elements are pushed downstream as
+// soon as they are produced, and every operator tracks its own cost/memory
+// metrics for the benchmark harness.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/metrics.h"
+#include "exec/exec_context.h"
+#include "stream/stream_element.h"
+
+namespace spstream {
+
+/// \brief Base class of all physical operators.
+class Operator {
+ public:
+  Operator(ExecContext* ctx, std::string label, int num_inputs = 1)
+      : ctx_(ctx), label_(std::move(label)), num_inputs_(num_inputs) {}
+  virtual ~Operator() = default;
+
+  Operator(const Operator&) = delete;
+  Operator& operator=(const Operator&) = delete;
+
+  /// \brief Wire `downstream` to receive this operator's output on
+  /// `downstream_port`. Fan-out (several downstreams) is supported —
+  /// elements are copied per edge; fan-in must go through distinct ports of
+  /// a multi-input operator (e.g. UnionOp), never two parents on one port.
+  void AddOutput(Operator* downstream, int downstream_port = 0) {
+    outputs_.push_back(Edge{downstream, downstream_port});
+  }
+
+  /// \brief Push one element into input `port`. End-of-stream controls are
+  /// routed to OnPortFinished and propagate downstream once *all* ports have
+  /// finished.
+  void Push(StreamElement elem, int port = 0);
+
+  const std::string& label() const { return label_; }
+  int num_inputs() const { return num_inputs_; }
+  const OperatorMetrics& metrics() const { return metrics_; }
+  OperatorMetrics& mutable_metrics() { return metrics_; }
+  ExecContext* ctx() const { return ctx_; }
+
+ protected:
+  /// \brief Operator-specific processing of a non-EOS element.
+  virtual void Process(StreamElement elem, int port) = 0;
+
+  /// \brief Called when a port sees end-of-stream. Default: nothing.
+  virtual void OnPortFinished(int port) { (void)port; }
+
+  /// \brief Called once, after every input port has finished, before EOS
+  /// propagates. Stateful operators flush pending results here.
+  virtual void OnAllFinished() {}
+
+  /// \brief Send an element to all downstream operators.
+  void Emit(StreamElement elem);
+  void EmitTuple(Tuple t) {
+    ++metrics_.tuples_out;
+    Emit(StreamElement(std::move(t)));
+  }
+  void EmitSp(SecurityPunctuation sp) {
+    ++metrics_.sps_out;
+    Emit(StreamElement(std::move(sp)));
+  }
+
+  ExecContext* ctx_;
+  OperatorMetrics metrics_;
+
+ private:
+  struct Edge {
+    Operator* op;
+    int port;
+  };
+
+  std::string label_;
+  int num_inputs_;
+  int finished_ports_ = 0;
+  std::vector<Edge> outputs_;
+};
+
+/// \brief Feeds a pre-materialized element sequence into the DAG. The
+/// executor polls sources round-robin, giving pipelined interleaving across
+/// streams.
+class SourceOperator : public Operator {
+ public:
+  SourceOperator(ExecContext* ctx, std::string label,
+                 std::vector<StreamElement> elements)
+      : Operator(ctx, std::move(label), /*num_inputs=*/0),
+        elements_(std::move(elements)) {}
+
+  /// \brief Push up to `max_elements` downstream; returns the number pushed
+  /// (0 once exhausted). Emits EOS after the last element.
+  size_t Poll(size_t max_elements);
+
+  bool exhausted() const { return eos_sent_; }
+
+ protected:
+  void Process(StreamElement, int) override {}  // sources take no input
+
+ private:
+  std::vector<StreamElement> elements_;
+  size_t next_ = 0;
+  bool eos_sent_ = false;
+};
+
+/// \brief Externally-fed source for long-lived (continuous) pipelines: the
+/// owner pushes elements as they are admitted instead of pre-materializing
+/// the stream. Never emits EOS on its own — call Finish() to end the
+/// stream explicitly.
+class PushSource : public Operator {
+ public:
+  explicit PushSource(ExecContext* ctx, std::string label = "push_src")
+      : Operator(ctx, std::move(label), /*num_inputs=*/0) {}
+
+  /// \brief Inject one element; it flows through the whole DAG before this
+  /// returns (synchronous pipelined execution).
+  void Feed(StreamElement elem) {
+    if (elem.is_tuple()) {
+      ++metrics_.tuples_in;
+    } else if (elem.is_sp()) {
+      ++metrics_.sps_in;
+    }
+    Emit(std::move(elem));
+  }
+
+  /// \brief Terminate the stream (propagates EOS; stateful downstream
+  /// operators flush).
+  void Finish() {
+    if (!finished_) {
+      finished_ = true;
+      Emit(StreamElement::EndOfStream(kMaxTimestamp));
+    }
+  }
+
+  bool finished() const { return finished_; }
+
+ protected:
+  void Process(StreamElement, int) override {}
+
+ private:
+  bool finished_ = false;
+};
+
+/// \brief Terminal operator collecting results for inspection.
+class CollectorSink : public Operator {
+ public:
+  explicit CollectorSink(ExecContext* ctx, std::string label = "sink")
+      : Operator(ctx, std::move(label)) {}
+
+  const std::vector<StreamElement>& elements() const { return elements_; }
+
+  /// \brief Only the data tuples, in arrival order.
+  std::vector<Tuple> Tuples() const;
+  /// \brief Only the sps, in arrival order.
+  std::vector<SecurityPunctuation> Sps() const;
+
+  /// \brief Drain: return collected tuples and clear everything (used by
+  /// long-lived pipelines between result pulls).
+  std::vector<Tuple> TakeTuples() {
+    std::vector<Tuple> out = Tuples();
+    elements_.clear();
+    return out;
+  }
+
+  void Clear() { elements_.clear(); }
+
+ protected:
+  void Process(StreamElement elem, int) override {
+    if (elem.is_tuple()) {
+      ++metrics_.tuples_in;
+    } else if (elem.is_sp()) {
+      ++metrics_.sps_in;
+    }
+    elements_.push_back(std::move(elem));
+  }
+
+ private:
+  std::vector<StreamElement> elements_;
+};
+
+/// \brief Owns a DAG of operators plus its sources, and drives them.
+class Pipeline {
+ public:
+  explicit Pipeline(ExecContext* ctx) : ctx_(ctx) {}
+
+  /// \brief Take ownership of an operator.
+  template <typename T, typename... Args>
+  T* Add(Args&&... args) {
+    auto op = std::make_unique<T>(ctx_, std::forward<Args>(args)...);
+    T* raw = op.get();
+    operators_.push_back(std::move(op));
+    if constexpr (std::is_base_of_v<SourceOperator, T>) {
+      sources_.push_back(raw);
+    }
+    return raw;
+  }
+
+  /// \brief Round-robin the sources until all are exhausted (pipelined
+  /// execution: every element flows through the whole DAG before the next
+  /// source poll).
+  void Run(size_t batch_per_poll = 1);
+
+  const std::vector<std::unique_ptr<Operator>>& operators() const {
+    return operators_;
+  }
+  ExecContext* ctx() const { return ctx_; }
+
+ private:
+  ExecContext* ctx_;
+  std::vector<std::unique_ptr<Operator>> operators_;
+  std::vector<SourceOperator*> sources_;
+};
+
+}  // namespace spstream

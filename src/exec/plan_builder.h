@@ -1,0 +1,72 @@
+// Compiles logical plans into physical operator pipelines, and builds the
+// three access-control placement strategies of §IV.A (pre-, post- and
+// intermediate filtering) for comparison.
+#pragma once
+
+#include "common/status.h"
+#include "exec/operator.h"
+#include "exec/sajoin.h"
+#include "query/logical_plan.h"
+
+namespace spstream {
+
+/// \brief Physical compilation knobs.
+struct PhysicalPlanOptions {
+  enum class JoinImpl { kNestedLoop, kIndex };
+  JoinImpl join_impl = JoinImpl::kIndex;
+  SaJoinOptions::ProbeMethod probe_method =
+      SaJoinOptions::ProbeMethod::kProbeAndFilter;
+  bool use_skipping_rule = true;
+  bool ss_use_predicate_index = true;
+  bool ss_mask_attributes = false;
+};
+
+/// \brief Result of compiling one plan: sources to feed and the sink that
+/// collects results. All operators are owned by the pipeline.
+struct PhysicalPlan {
+  std::vector<SourceOperator*> sources;  // one per source leaf, plan order
+  CollectorSink* sink = nullptr;
+  Operator* root = nullptr;              // operator feeding the sink
+  SchemaPtr output_schema;               // schema of the sink's tuples
+  std::string output_stream_name;        // logical name of the output
+};
+
+/// \brief Compile `plan` into `pipeline`. `inputs[stream]` supplies the
+/// element sequence for each source leaf (one SourceOperator per leaf; a
+/// stream read by two leaves gets two sources over a copy).
+Result<PhysicalPlan> BuildPhysicalPlan(
+    Pipeline* pipeline, const LogicalNodePtr& plan,
+    const std::unordered_map<std::string, std::vector<StreamElement>>& inputs,
+    const PhysicalPlanOptions& options = {});
+
+/// \brief Result of compiling a *continuous* plan: externally-fed sources
+/// keyed by stream name (one entry per source leaf).
+struct StreamingPhysicalPlan {
+  std::vector<std::pair<std::string, PushSource*>> sources;
+  CollectorSink* sink = nullptr;
+  Operator* root = nullptr;
+  SchemaPtr output_schema;
+  std::string output_stream_name;
+};
+
+/// \brief Compile `plan` with PushSource leaves for long-lived execution:
+/// the caller feeds admitted elements incrementally and operator state
+/// (policies in force, windows, aggregates) persists between feeds.
+Result<StreamingPhysicalPlan> BuildStreamingPhysicalPlan(
+    Pipeline* pipeline, const LogicalNodePtr& plan,
+    const PhysicalPlanOptions& options = {});
+
+/// \brief §IV.A placement strategies for access-control filtering.
+enum class SsPlacement {
+  kPreFilter,     ///< SS at each source, sps then stripped; plain plan after
+  kPostFilter,    ///< plain plan; SS once, at the very end
+  kIntermediate,  ///< SS above each source (plan-embedded, optimizer-movable)
+};
+
+/// \brief Wrap a (shield-free) logical plan with the chosen placement of the
+/// query's access-control predicate.
+LogicalNodePtr ApplySsPlacement(const LogicalNodePtr& plan,
+                                const RoleSet& query_roles,
+                                SsPlacement placement);
+
+}  // namespace spstream

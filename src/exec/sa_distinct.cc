@@ -1,0 +1,108 @@
+#include "exec/sa_distinct.h"
+
+namespace spstream {
+
+SaDistinct::SaDistinct(ExecContext* ctx, SaDistinctOptions options,
+                       std::string label)
+    : Operator(ctx, std::move(label)),
+      options_(std::move(options)),
+      tracker_(ctx->roles, options_.stream_name) {}
+
+void SaDistinct::Invalidate(Timestamp now) {
+  const Timestamp cutoff = now - options_.window_size;
+  while (!input_window_.empty() && input_window_.front().ts <= cutoff) {
+    const InputRec& rec = input_window_.front();
+    auto it = output_state_.find(rec.key);
+    if (it != output_state_.end() && --it->second.live_count <= 0) {
+      // The value left the window entirely: forget it so a future arrival
+      // counts as a fresh distinct value.
+      output_state_.erase(it);
+    }
+    input_window_.pop_front();
+  }
+}
+
+void SaDistinct::UpdateStateBytes() {
+  size_t bytes = sizeof(SaDistinct) + tracker_.MemoryBytes();
+  bytes += input_window_.size() * sizeof(InputRec);
+  for (const auto& [key, st] : output_state_) {
+    bytes += key.MemoryBytes() + st.representative.MemoryBytes() +
+             st.emitted_roles.MemoryBytes();
+  }
+  metrics_.NoteStateBytes(static_cast<int64_t>(bytes));
+}
+
+void SaDistinct::Process(StreamElement elem, int) {
+  ScopedTimer total(&metrics_.total_nanos);
+  if (elem.is_sp()) {
+    ++metrics_.sps_in;
+    ScopedTimer t(&metrics_.sp_maintenance_nanos);
+    tracker_.OnSp(elem.sp());
+    return;
+  }
+  if (!elem.is_tuple()) {
+    Emit(std::move(elem));
+    return;
+  }
+
+  ++metrics_.tuples_in;
+  Tuple& t = elem.tuple();
+  if (options_.key_col < 0 ||
+      static_cast<size_t>(options_.key_col) >= t.values.size()) {
+    return;  // malformed tuple; nothing to deduplicate on
+  }
+
+  {
+    ScopedTimer tm(&metrics_.tuple_maintenance_nanos);
+    Invalidate(t.ts);
+  }
+
+  PolicyPtr policy;
+  {
+    ScopedTimer tm(&metrics_.sp_maintenance_nanos);
+    policy = tracker_.PolicyFor(t);
+  }
+  const Value key = t.values[static_cast<size_t>(options_.key_col)];
+  input_window_.push_back(InputRec{t.ts, key});
+
+  auto it = output_state_.find(key);
+  if (it == output_state_.end()) {
+    OutState st;
+    st.representative = t;
+    st.emitted_roles = policy->allowed();
+    st.live_count = 1;
+    output_state_.emplace(key, std::move(st));
+    if (!policy->allowed().Empty()) {
+      if (output_emitter_.NeedsSp(policy->allowed(), t.ts)) {
+        EmitSp(SynthesizeSp(policy->allowed(),
+                            output_emitter_.MonotoneTs(t.ts),
+                            options_.output_stream_name, *ctx_->roles));
+      }
+      Tuple out = std::move(t);
+      out.sid = options_.output_sid;
+      EmitTuple(std::move(out));
+    }
+    UpdateStateBytes();
+    return;
+  }
+
+  OutState& st = it->second;
+  ++st.live_count;
+  // Roles in P_new that never received this value yet.
+  RoleSet fresh = RoleSet::Difference(policy->allowed(), st.emitted_roles);
+  st.emitted_roles.UnionWith(policy->allowed());
+  if (!fresh.Empty()) {
+    if (output_emitter_.NeedsSp(fresh, t.ts)) {
+      EmitSp(SynthesizeSp(fresh, output_emitter_.MonotoneTs(t.ts),
+                          options_.output_stream_name, *ctx_->roles));
+    }
+    Tuple out = std::move(t);
+    out.sid = options_.output_sid;
+    EmitTuple(std::move(out));
+  } else {
+    ++metrics_.tuples_dropped_predicate;  // duplicate for every role
+  }
+  UpdateStateBytes();
+}
+
+}  // namespace spstream

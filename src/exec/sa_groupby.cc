@@ -1,0 +1,226 @@
+#include "exec/sa_groupby.h"
+
+#include <algorithm>
+
+namespace spstream {
+
+const char* AggFnToString(AggFn fn) {
+  switch (fn) {
+    case AggFn::kCount:
+      return "COUNT";
+    case AggFn::kSum:
+      return "SUM";
+    case AggFn::kAvg:
+      return "AVG";
+    case AggFn::kMin:
+      return "MIN";
+    case AggFn::kMax:
+      return "MAX";
+  }
+  return "?";
+}
+
+SaGroupBy::SaGroupBy(ExecContext* ctx, SaGroupByOptions options,
+                     std::string label)
+    : Operator(ctx, std::move(label)),
+      options_(std::move(options)),
+      tracker_(ctx->roles, options_.stream_name) {
+  output_schema_ = MakeSchema(
+      options_.output_stream_name,
+      {Field{"group_key", ValueType::kNull},
+       Field{std::string(AggFnToString(options_.agg_fn)),
+             ValueType::kDouble}});
+}
+
+SaGroupBy::AsgPtr SaGroupBy::Find(AsgPtr node) {
+  while (node->parent) node = node->parent;
+  return node;
+}
+
+void SaGroupBy::AddToAsg(const AsgPtr& asg, double v) {
+  ++asg->count;
+  asg->sum += v;
+  if (options_.agg_fn == AggFn::kMin || options_.agg_fn == AggFn::kMax) {
+    asg->ordered.insert(v);
+  }
+}
+
+void SaGroupBy::RemoveFromAsg(const AsgPtr& asg, double v) {
+  --asg->count;
+  asg->sum -= v;
+  if (options_.agg_fn == AggFn::kMin || options_.agg_fn == AggFn::kMax) {
+    auto it = asg->ordered.find(v);
+    if (it != asg->ordered.end()) asg->ordered.erase(it);
+  }
+}
+
+Value SaGroupBy::CurrentAggregate(const Asg& asg) const {
+  switch (options_.agg_fn) {
+    case AggFn::kCount:
+      return asg.count;
+    case AggFn::kSum:
+      return asg.sum;
+    case AggFn::kAvg:
+      return asg.count == 0 ? Value::Null() : Value(asg.sum / asg.count);
+    case AggFn::kMin:
+      return asg.ordered.empty() ? Value::Null() : Value(*asg.ordered.begin());
+    case AggFn::kMax:
+      return asg.ordered.empty() ? Value::Null()
+                                 : Value(*asg.ordered.rbegin());
+  }
+  return Value::Null();
+}
+
+void SaGroupBy::EmitAsgResult(const Asg& asg, Timestamp ts) {
+  if (asg.policy.Empty()) return;  // nobody may read this subgroup
+  if (output_emitter_.NeedsSp(asg.policy, ts)) {
+    EmitSp(SynthesizeSp(asg.policy, output_emitter_.MonotoneTs(ts),
+                        options_.output_stream_name, *ctx_->roles));
+  }
+  Tuple out;
+  out.sid = options_.output_sid;
+  out.tid = 0;
+  out.ts = ts;
+  out.values = {asg.key, CurrentAggregate(asg)};
+  EmitTuple(std::move(out));
+}
+
+void SaGroupBy::Invalidate(Timestamp now) {
+  const Timestamp cutoff = now - options_.window_size;
+  while (!input_window_.empty() && input_window_.front().ts <= cutoff) {
+    InputRec rec = std::move(input_window_.front());
+    input_window_.pop_front();
+    AsgPtr root = Find(rec.asg);
+    RemoveFromAsg(root, rec.agg_value);  // expiry update (2nd change)
+    if (options_.emit_on_expiry && root->count > 0) {
+      EmitAsgResult(*root, now);
+    }
+    if (root->count <= 0) {
+      auto git = groups_.find(root->key);
+      if (git != groups_.end()) {
+        auto& vec = git->second;
+        vec.erase(std::remove_if(vec.begin(), vec.end(),
+                                 [&](const AsgPtr& a) {
+                                   return Find(a) == root || a == root;
+                                 }),
+                  vec.end());
+        if (vec.empty()) groups_.erase(git);
+      }
+    }
+  }
+}
+
+void SaGroupBy::Process(StreamElement elem, int) {
+  ScopedTimer total(&metrics_.total_nanos);
+  if (elem.is_sp()) {
+    ++metrics_.sps_in;
+    ScopedTimer t(&metrics_.sp_maintenance_nanos);
+    tracker_.OnSp(elem.sp());
+    return;
+  }
+  if (!elem.is_tuple()) {
+    Emit(std::move(elem));
+    return;
+  }
+
+  ++metrics_.tuples_in;
+  const Tuple& t = elem.tuple();
+  const size_t key_col = static_cast<size_t>(options_.key_col);
+  const size_t agg_col = static_cast<size_t>(options_.agg_col);
+  if (key_col >= t.values.size() ||
+      (options_.agg_fn != AggFn::kCount && agg_col >= t.values.size())) {
+    return;
+  }
+
+  {
+    ScopedTimer tm(&metrics_.tuple_maintenance_nanos);
+    Invalidate(t.ts);
+  }
+
+  PolicyPtr policy;
+  {
+    ScopedTimer tm(&metrics_.sp_maintenance_nanos);
+    policy = tracker_.PolicyFor(t);
+  }
+  const Value key = t.values[key_col];
+  const double agg_value =
+      options_.agg_fn == AggFn::kCount ? 1.0 : t.values[agg_col].AsDouble();
+
+  // Locate the ASG(s) of this key whose policies intersect the tuple's.
+  auto& asgs = groups_[key];
+  AsgPtr target;
+  for (auto& asg_ref : asgs) {
+    AsgPtr root = Find(asg_ref);
+    if (root->count <= 0) continue;
+    if (!root->policy.Intersects(policy->allowed())) continue;
+    if (!target) {
+      target = root;
+    } else if (root != target) {
+      // The tuple's policy bridges two subgroups: merge (their policies
+      // stay pairwise non-intersecting by construction afterwards).
+      target->count += root->count;
+      target->sum += root->sum;
+      target->ordered.insert(root->ordered.begin(), root->ordered.end());
+      target->policy.UnionWith(root->policy);
+      root->parent = target;
+      root->ordered.clear();
+    }
+  }
+  if (!target) {
+    target = std::make_shared<Asg>();
+    target->key = key;
+    asgs.push_back(target);
+  }
+  target->policy.UnionWith(policy->allowed());
+  AddToAsg(target, agg_value);  // arrival update (1st change)
+  input_window_.push_back(InputRec{t.ts, agg_value, target});
+
+  // Drop forwarding stubs so lookups stay short.
+  asgs.erase(std::remove_if(asgs.begin(), asgs.end(),
+                            [](const AsgPtr& a) {
+                              return a->parent != nullptr;
+                            }),
+             asgs.end());
+
+  EmitAsgResult(*target, t.ts);
+  UpdateStateBytes();
+}
+
+void SaGroupBy::OnAllFinished() {
+  // Final snapshot: report every live subgroup once more.
+  for (auto& [key, asgs] : groups_) {
+    (void)key;
+    for (auto& asg : asgs) {
+      AsgPtr root = Find(asg);
+      if (root->count > 0 && asg == root) {
+        EmitAsgResult(*root, kMaxTimestamp);
+      }
+    }
+  }
+}
+
+size_t SaGroupBy::asg_count() const {
+  size_t n = 0;
+  for (const auto& [key, asgs] : groups_) {
+    (void)key;
+    for (const auto& asg : asgs) {
+      if (!asg->parent && asg->count > 0) ++n;
+    }
+  }
+  return n;
+}
+
+void SaGroupBy::UpdateStateBytes() {
+  size_t bytes = sizeof(SaGroupBy) + tracker_.MemoryBytes();
+  bytes += input_window_.size() * sizeof(InputRec);
+  for (const auto& [key, asgs] : groups_) {
+    bytes += key.MemoryBytes();
+    for (const auto& asg : asgs) {
+      bytes += sizeof(Asg) + asg->policy.MemoryBytes() +
+               asg->ordered.size() * (sizeof(double) + 3 * sizeof(void*));
+    }
+  }
+  metrics_.NoteStateBytes(static_cast<int64_t>(bytes));
+}
+
+}  // namespace spstream

@@ -1,0 +1,94 @@
+// Security-aware group-by with incremental aggregates (Table I).
+//
+// Each attribute group (AG — one group per key value) is partitioned into
+// attribute subgroups (ASGs) whose policies are pairwise non-intersecting.
+// A new tuple joins the ASG(s) its policy intersects — merging them when it
+// bridges several — or founds a new ASG. One aggregate result is maintained
+// per ASG and emitted preceded by the subgroup's policy, replacing the
+// previously reported answer for that subgroup.
+//
+// Aggregates update twice per tuple: once on arrival, once on expiry from
+// the sliding window (the 2C(λ1+λsp1) of the §VI.A cost model).
+#pragma once
+
+#include <deque>
+#include <memory>
+#include <set>
+#include <unordered_map>
+
+#include "exec/operator.h"
+#include "exec/policy_tracker.h"
+#include "exec/sp_synth.h"
+
+namespace spstream {
+
+/// \brief Supported incremental aggregate functions.
+enum class AggFn : uint8_t { kCount, kSum, kAvg, kMin, kMax };
+
+const char* AggFnToString(AggFn fn);
+
+struct SaGroupByOptions {
+  int key_col = 0;             ///< grouping attribute A
+  int agg_col = 0;             ///< aggregated attribute (ignored for COUNT)
+  AggFn agg_fn = AggFn::kCount;
+  Timestamp window_size = 1000;
+  std::string stream_name;
+  std::string output_stream_name = "groupby_out";
+  StreamId output_sid = 0;
+  /// Emit a refreshed result when expiry changes an aggregate (in addition
+  /// to the always-on emission on arrival).
+  bool emit_on_expiry = false;
+};
+
+class SaGroupBy : public Operator {
+ public:
+  SaGroupBy(ExecContext* ctx, SaGroupByOptions options,
+            std::string label = "groupby");
+
+  /// \brief Number of (group, subgroup) aggregates currently alive.
+  size_t asg_count() const;
+
+ protected:
+  void Process(StreamElement elem, int) override;
+  void OnAllFinished() override;
+
+ private:
+  struct ValueHash {
+    size_t operator()(const Value& v) const { return v.Hash(); }
+  };
+
+  /// One attribute subgroup. Merging (when a policy bridges subgroups) is
+  /// union-find style: a merged-away node forwards to its parent.
+  struct Asg {
+    std::shared_ptr<Asg> parent;  // non-null once merged away
+    RoleSet policy;
+    int64_t count = 0;
+    double sum = 0;
+    std::multiset<double> ordered;  // for MIN/MAX under expiry
+    Value key;
+  };
+  using AsgPtr = std::shared_ptr<Asg>;
+
+  struct InputRec {
+    Timestamp ts;
+    double agg_value;
+    AsgPtr asg;
+  };
+
+  static AsgPtr Find(AsgPtr node);
+  void AddToAsg(const AsgPtr& asg, double v);
+  void RemoveFromAsg(const AsgPtr& asg, double v);
+  Value CurrentAggregate(const Asg& asg) const;
+  void EmitAsgResult(const Asg& asg, Timestamp ts);
+  void Invalidate(Timestamp now);
+  void UpdateStateBytes();
+
+  SaGroupByOptions options_;
+  PolicyTracker tracker_;
+  std::deque<InputRec> input_window_;
+  std::unordered_map<Value, std::vector<AsgPtr>, ValueHash> groups_;
+  OutputPolicyEmitter output_emitter_;
+  SchemaPtr output_schema_;
+};
+
+}  // namespace spstream

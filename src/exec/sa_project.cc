@@ -1,0 +1,64 @@
+#include "exec/sa_project.h"
+
+namespace spstream {
+
+SaProject::SaProject(ExecContext* ctx, std::vector<int> keep_columns,
+                     SchemaPtr input_schema, std::string label)
+    : Operator(ctx, std::move(label)),
+      keep_columns_(std::move(keep_columns)),
+      input_schema_(std::move(input_schema)) {
+  std::vector<Field> fields;
+  fields.reserve(keep_columns_.size());
+  for (int col : keep_columns_) {
+    if (col >= 0 &&
+        static_cast<size_t>(col) < input_schema_->num_fields()) {
+      fields.push_back(input_schema_->field(static_cast<size_t>(col)));
+    }
+  }
+  output_schema_ =
+      MakeSchema(input_schema_->stream_name() + "_proj", std::move(fields));
+}
+
+bool SaProject::SpIrrelevantAfterProjection(
+    const SecurityPunctuation& sp) const {
+  if (sp.CoversWholeTuple()) return false;  // tuple/stream policies survive
+  for (int col : keep_columns_) {
+    if (col >= 0 &&
+        static_cast<size_t>(col) < input_schema_->num_fields() &&
+        sp.AppliesToAttribute(
+            input_schema_->field(static_cast<size_t>(col)).name)) {
+      return false;
+    }
+  }
+  return true;  // covered only projected-away attributes
+}
+
+void SaProject::Process(StreamElement elem, int) {
+  ScopedTimer timer(&metrics_.total_nanos);
+  if (elem.is_sp()) {
+    ++metrics_.sps_in;
+    if (SpIrrelevantAfterProjection(elem.sp())) return;
+    EmitSp(std::move(elem.sp()));
+    return;
+  }
+  if (!elem.is_tuple()) {
+    Emit(std::move(elem));
+    return;
+  }
+
+  ++metrics_.tuples_in;
+  Tuple& t = elem.tuple();
+  std::vector<Value> projected;
+  projected.reserve(keep_columns_.size());
+  for (int col : keep_columns_) {
+    if (col >= 0 && static_cast<size_t>(col) < t.values.size()) {
+      projected.push_back(std::move(t.values[static_cast<size_t>(col)]));
+    } else {
+      projected.push_back(Value::Null());
+    }
+  }
+  t.values = std::move(projected);
+  EmitTuple(std::move(t));
+}
+
+}  // namespace spstream

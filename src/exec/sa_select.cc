@@ -1,0 +1,41 @@
+#include "exec/sa_select.h"
+
+namespace spstream {
+
+void SaSelect::Process(StreamElement elem, int) {
+  ScopedTimer timer(&metrics_.total_nanos);
+  if (elem.is_sp()) {
+    ++metrics_.sps_in;
+    const Timestamp sp_ts = elem.sp().ts();
+    if (!pending_ts_ || *pending_ts_ != sp_ts) {
+      // New batch: the previous one (if unsent) covered only filtered
+      // tuples, so its sps are discarded per Table I.
+      pending_sps_.clear();
+      pending_ts_ = sp_ts;
+      pending_emitted_ = false;
+    }
+    pending_sps_.push_back(std::move(elem.sp()));
+    return;
+  }
+  if (!elem.is_tuple()) {
+    Emit(std::move(elem));
+    return;
+  }
+
+  ++metrics_.tuples_in;
+  const Tuple& t = elem.tuple();
+  if (!predicate_->EvalBool(t)) {
+    ++metrics_.tuples_dropped_predicate;
+    return;
+  }
+  if (!pending_emitted_) {
+    pending_emitted_ = true;
+    for (SecurityPunctuation& sp : pending_sps_) {
+      EmitSp(std::move(sp));
+    }
+    pending_sps_.clear();
+  }
+  EmitTuple(std::move(elem.tuple()));
+}
+
+}  // namespace spstream

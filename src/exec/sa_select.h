@@ -1,0 +1,31 @@
+// Security-aware selection σ (Table I): drops tuples failing the query
+// condition; *delays* sp propagation until at least one tuple governed by
+// the sp passes, and discards sps whose whole segment was filtered.
+#pragma once
+
+#include <optional>
+
+#include "exec/expr.h"
+#include "exec/operator.h"
+
+namespace spstream {
+
+class SaSelect : public Operator {
+ public:
+  SaSelect(ExecContext* ctx, ExprPtr predicate, std::string label = "select")
+      : Operator(ctx, std::move(label)), predicate_(std::move(predicate)) {}
+
+  const ExprPtr& predicate() const { return predicate_; }
+
+ protected:
+  void Process(StreamElement elem, int) override;
+
+ private:
+  ExprPtr predicate_;
+  // Sps of the current batch, buffered until a covered tuple passes.
+  std::vector<SecurityPunctuation> pending_sps_;
+  bool pending_emitted_ = true;
+  std::optional<Timestamp> pending_ts_;
+};
+
+}  // namespace spstream

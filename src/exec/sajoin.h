@@ -1,0 +1,194 @@
+// Security-aware sliding-window equijoin (§V.B).
+//
+// Both physical variants share window/policy bookkeeping here:
+//  1. Policy Collection — arriving sps install the upcoming segment policy.
+//  2. Invalidation — a new tuple expires old tuples from the *opposite*
+//     window head; a fully-drained segment's sps purge with it.
+//  3. Join — the new tuple probes the opposite window; result policies are
+//     the intersection of the base tuples' policies, and empty intersections
+//     discard the result (incompatible policies).
+//
+// The nested-loop variant scans the opposite window (probe-and-filter or
+// filter-and-probe order); the index variant probes the SPIndex to touch
+// only policy-compatible segments, with the Lemma 5.1 skipping rule.
+#pragma once
+
+#include "exec/operator.h"
+#include "exec/policy_tracker.h"
+#include "exec/sp_synth.h"
+#include "exec/window.h"
+
+namespace spstream {
+
+/// \brief Configuration shared by both SAJoin variants.
+struct SaJoinOptions {
+  Timestamp window_size = 1000;  ///< time-based window extent (both sides)
+  /// Per-side overrides (CQL gives each stream its own [RANGE n]); <= 0
+  /// falls back to window_size.
+  Timestamp left_window_size = 0;
+  Timestamp right_window_size = 0;
+  int left_key_col = 0;          ///< equijoin column on port 0
+  int right_key_col = 0;         ///< equijoin column on port 1
+  std::string left_stream_name;
+  std::string right_stream_name;
+  std::string output_stream_name = "join_out";
+  StreamId output_sid = 0;
+
+  /// Nested-loop probe order (§V.B.1): probe-and-filter checks the join
+  /// value first, filter-and-probe checks policy compatibility first.
+  enum class ProbeMethod { kProbeAndFilter, kFilterAndProbe };
+  ProbeMethod probe_method = ProbeMethod::kProbeAndFilter;
+
+  /// Index variant: apply the Lemma 5.1 skipping rule (turning it off falls
+  /// back to visit-stamp dedup — correct but does redundant scanning; kept
+  /// as an ablation knob).
+  bool use_skipping_rule = true;
+};
+
+/// \brief Common machinery of the two SAJoin variants.
+class SaJoinBase : public Operator {
+ public:
+  SaJoinBase(ExecContext* ctx, SaJoinOptions options, std::string label);
+
+  const SaJoinOptions& options() const { return options_; }
+  const SegmentedWindow& left_window() const { return windows_[0]; }
+  const SegmentedWindow& right_window() const { return windows_[1]; }
+
+ protected:
+  void Process(StreamElement elem, int port) override;
+
+  /// \brief Variant-specific: probe the window opposite to `from_port` with
+  /// tuple `t` (policy `t_policy`) and emit join results.
+  virtual void Probe(const Tuple& t, const PolicyPtr& t_policy,
+                     int from_port) = 0;
+
+  /// \brief Hook: a tuple landed in `segment` of window `port` (the segment
+  /// may be freshly created). The index variant maintains the SPIndex here.
+  virtual void OnSegmentTouched(Segment* segment, bool created, int port) {
+    (void)segment;
+    (void)created;
+    (void)port;
+  }
+
+  /// \brief Hook: `segment` of window `port` is being purged.
+  virtual void OnSegmentPurged(Segment* segment, int port) {
+    (void)segment;
+    (void)port;
+  }
+
+  /// \brief Emit one join result (policies already known compatible or to be
+  /// checked here): intersects the base policies, discards on empty, and
+  /// precedes output with a synthesized sp when the policy changed.
+  void EmitJoinResult(const Tuple& left, const Tuple& right,
+                      const Policy& left_policy, const Policy& right_policy);
+
+  /// \brief Key value of a tuple on the given port.
+  const Value& KeyOf(const Tuple& t, int port) const {
+    const int col =
+        port == 0 ? options_.left_key_col : options_.right_key_col;
+    return t.values[static_cast<size_t>(col)];
+  }
+
+  void UpdateStateBytes();
+
+  SaJoinOptions options_;
+  PolicyTracker trackers_[2];
+  SegmentedWindow windows_[2];
+  OutputPolicyEmitter output_emitter_;
+};
+
+/// \brief Nested-loop SAJoin (§V.B.1).
+class SaJoinNl : public SaJoinBase {
+ public:
+  SaJoinNl(ExecContext* ctx, SaJoinOptions options,
+           std::string label = "sajoin_nl")
+      : SaJoinBase(ctx, std::move(options), std::move(label)) {}
+
+ protected:
+  void Probe(const Tuple& t, const PolicyPtr& t_policy,
+             int from_port) override;
+};
+
+/// \brief The Security Punctuation Index of §V.B.2 (Figure 6): an r-node
+/// array over all roles, each pointing at the FIFO list of index entries
+/// (one per resident segment policy) containing that role.
+class SpIndex {
+ public:
+  explicit SpIndex(size_t role_capacity) : rnodes_(role_capacity) {}
+  ~SpIndex();
+
+  SpIndex(SpIndex&&) = default;
+  SpIndex& operator=(SpIndex&&) = default;
+  SpIndex(const SpIndex&) = delete;
+  SpIndex& operator=(const SpIndex&) = delete;
+
+  /// \brief Add an index entry for a newly created segment.
+  void Insert(Segment* segment);
+
+  /// \brief Remove the entry of a purged segment. Expiry is FIFO, so the
+  /// entry sits at the r-head of each of its roles' lists (property 3).
+  void Remove(Segment* segment);
+
+  /// \brief Visit policy-compatible segments: for each role in
+  /// `probe_roles` (ascending), walk that r-node's entries. With the
+  /// skipping rule (Lemma 5.1) each compatible segment is delivered exactly
+  /// once, skipped in O(1) on re-encounters. Without it — the naive
+  /// baseline — fn fires once per shared role; `first_visit` is false on
+  /// re-encounters so callers can suppress duplicate emission while still
+  /// paying the duplicate processing cost.
+  /// \return number of index entries touched (scan-work metric).
+  size_t Probe(const RoleSet& probe_roles, bool use_skipping_rule,
+               const std::function<void(Segment*, bool first_visit)>& fn);
+
+  size_t entry_count() const { return entry_count_; }
+  size_t MemoryBytes() const;
+
+ private:
+  struct Entry {
+    Segment* segment = nullptr;
+    RoleId first_role = 0;               // for the skipping rule
+    std::vector<RoleId> roles;           // ascending
+    std::vector<Entry*> next;            // parallel to roles
+    uint64_t visit_stamp = 0;            // no-skipping dedup
+  };
+  struct RNode {
+    Entry* head = nullptr;
+    Entry* tail = nullptr;
+  };
+
+  Entry* FindEntrySlot(Entry* e, RoleId role, size_t* slot) const;
+
+  std::vector<RNode> rnodes_;
+  std::unordered_map<Segment*, Entry*> by_segment_;
+  uint64_t stamp_ = 0;
+  size_t entry_count_ = 0;
+};
+
+/// \brief Index SAJoin (§V.B.2): probes the opposite window's SPIndex to
+/// join only with policy-compatible segments.
+class SaJoinIndex : public SaJoinBase {
+ public:
+  SaJoinIndex(ExecContext* ctx, SaJoinOptions options,
+              std::string label = "sajoin_index");
+
+  /// \brief Index entries scanned so far (work metric for Lemma 5.1 tests).
+  int64_t index_entries_scanned() const { return entries_scanned_; }
+
+  /// \brief Segment probings performed. With the skipping rule each
+  /// compatible segment is probed once per tuple; the naive mode probes it
+  /// once per shared role — the duplicate work Lemma 5.1 eliminates.
+  int64_t segments_processed() const { return segments_processed_; }
+
+ protected:
+  void Probe(const Tuple& t, const PolicyPtr& t_policy,
+             int from_port) override;
+  void OnSegmentTouched(Segment* segment, bool created, int port) override;
+  void OnSegmentPurged(Segment* segment, int port) override;
+
+ private:
+  SpIndex indexes_[2];  // one SPIndex per input window
+  int64_t entries_scanned_ = 0;
+  int64_t segments_processed_ = 0;
+};
+
+}  // namespace spstream

@@ -1,0 +1,50 @@
+// Synthesis of output sps: stateful operators (join, distinct, group-by)
+// emit results "preceded by the sp(s) depicting" the result policy
+// (Table I). This helper fabricates a punctuation for a resolved role set
+// and dedups consecutive equal-policy emissions.
+#pragma once
+
+#include <string>
+
+#include "security/policy.h"
+#include "security/security_punctuation.h"
+
+namespace spstream {
+
+/// \brief Build a positive tuple-level sp over `stream_name` authorizing
+/// exactly `roles` from `ts` on. The SRP pattern text is reconstructed from
+/// catalog names for readability; the resolved bitmap is attached so no
+/// downstream re-resolution is needed.
+SecurityPunctuation SynthesizeSp(const RoleSet& roles, Timestamp ts,
+                                 const std::string& stream_name,
+                                 const RoleCatalog& catalog);
+
+/// \brief Tracks the policy last emitted on an output stream and decides
+/// whether a new result needs a fresh preceding sp. This is what lets many
+/// same-policy results share one output punctuation.
+class OutputPolicyEmitter {
+ public:
+  /// \brief Returns true when `policy` differs from the last emitted one
+  /// (caller must emit an sp before the result) and records it as current.
+  bool NeedsSp(const RoleSet& policy_roles, Timestamp ts);
+
+  /// \brief Timestamp to stamp on the synthesized sp: clamped to be
+  /// non-decreasing across emissions. Derived-stream event times are not
+  /// globally ordered (a join interleaves two inputs), but downstream
+  /// policy trackers rightly drop out-of-order punctuations as stale — an
+  /// sp stream MUST be ts-monotone or tuples would silently inherit the
+  /// previous (possibly broader) policy.
+  Timestamp MonotoneTs(Timestamp proposed) {
+    if (proposed > last_ts_) last_ts_ = proposed;
+    return last_ts_;
+  }
+
+  const RoleSet& current_roles() const { return current_; }
+
+ private:
+  bool has_current_ = false;
+  RoleSet current_;
+  Timestamp last_ts_ = kMinTimestamp;
+};
+
+}  // namespace spstream

@@ -1,0 +1,150 @@
+#include "exec/ss_operator.h"
+
+#include <algorithm>
+
+namespace spstream {
+
+SsState::SsState(const SsOptions& options)
+    : predicates_(options.predicates), use_index_(options.use_predicate_index) {
+  for (const RoleSet& p : predicates_) union_.UnionWith(p);
+  if (use_index_) {
+    RoleId max_role = 0;
+    bool any = false;
+    union_.ForEach([&](RoleId id) {
+      max_role = id;
+      any = true;
+    });
+    postings_.resize(any ? max_role + 1 : 0);
+    for (uint32_t i = 0; i < predicates_.size(); ++i) {
+      predicates_[i].ForEach(
+          [&](RoleId id) { postings_[id].push_back(i); });
+    }
+  }
+}
+
+bool SsState::Matches(const Policy& policy) const {
+  if (use_index_) {
+    // One word-parallel intersection against the precomputed union — the
+    // predicate-index fast path (vs the paper's per-sp full state scan).
+    return policy.Authorizes(union_);
+  }
+  for (const RoleSet& p : predicates_) {
+    if (policy.Authorizes(p)) return true;
+  }
+  return false;
+}
+
+std::vector<size_t> SsState::MatchingPredicates(const Policy& policy) const {
+  std::vector<size_t> out;
+  if (use_index_ && !postings_.empty()) {
+    std::vector<bool> seen(predicates_.size(), false);
+    policy.allowed().ForEach([&](RoleId id) {
+      if (id < postings_.size()) {
+        for (uint32_t pred : postings_[id]) {
+          if (!seen[pred]) {
+            seen[pred] = true;
+            out.push_back(pred);
+          }
+        }
+      }
+    });
+    std::sort(out.begin(), out.end());
+    return out;
+  }
+  for (size_t i = 0; i < predicates_.size(); ++i) {
+    if (policy.Authorizes(predicates_[i])) out.push_back(i);
+  }
+  return out;
+}
+
+size_t SsState::MemoryBytes() const {
+  size_t bytes = sizeof(SsState) + union_.MemoryBytes();
+  for (const RoleSet& p : predicates_) bytes += p.MemoryBytes();
+  for (const auto& list : postings_) {
+    bytes += sizeof(list) + list.capacity() * sizeof(uint32_t);
+  }
+  return bytes;
+}
+
+SsOperator::SsOperator(ExecContext* ctx, SsOptions options, std::string label)
+    : Operator(ctx, std::move(label)),
+      options_(std::move(options)),
+      state_(options_),
+      tracker_(ctx->roles, options_.stream_name) {
+  UpdateStateBytes();
+}
+
+void SsOperator::UpdateStateBytes() {
+  metrics_.NoteStateBytes(static_cast<int64_t>(
+      state_.MemoryBytes() + tracker_.MemoryBytes() +
+      pending_sps_.capacity() * sizeof(SecurityPunctuation)));
+}
+
+bool SsOperator::ApplyAttributeMask(Tuple* t) {
+  const Schema& schema = *options_.schema;
+  bool any_visible = false;
+  // EffectiveRolesForAttribute folds whole-tuple sps in (their attribute
+  // pattern matches every column), so it is the complete per-attribute
+  // answer: grants extend it, attribute-level denials subtract from it.
+  for (size_t i = 0; i < schema.num_fields() && i < t->values.size(); ++i) {
+    const RoleSet attr_roles =
+        tracker_.EffectiveRolesForAttribute(*t, schema.field(i).name);
+    if (attr_roles.Intersects(state_.predicate_union())) {
+      any_visible = true;
+    } else {
+      t->values[i] = Value::Null();
+    }
+  }
+  return any_visible;
+}
+
+void SsOperator::Process(StreamElement elem, int) {
+  ScopedTimer timer(&metrics_.total_nanos);
+  if (elem.is_sp()) {
+    ++metrics_.sps_in;
+    const Timestamp sp_ts = elem.sp().ts();
+    if (!tracker_.OnSp(elem.sp())) return;  // stale, dropped
+    if (!pending_ts_ || *pending_ts_ != sp_ts) {
+      // A new sp-batch begins; the previous unsent batch covered a segment
+      // with no authorized tuples and is discarded with them.
+      pending_sps_.clear();
+      pending_ts_ = sp_ts;
+      pending_emitted_ = false;
+    }
+    pending_sps_.push_back(std::move(elem.sp()));
+    UpdateStateBytes();
+    return;
+  }
+  if (!elem.is_tuple()) {
+    Emit(std::move(elem));  // flush/control passes through
+    return;
+  }
+
+  ++metrics_.tuples_in;
+  Tuple& t = elem.tuple();
+
+  // PolicyFor finalizes any open sp-batch (and thereby decides whether the
+  // batch carries attribute-granularity policies).
+  const PolicyPtr policy = tracker_.PolicyFor(t);
+  bool authorized;
+  if (options_.mask_attributes && tracker_.has_attribute_policies()) {
+    authorized = ApplyAttributeMask(&t);
+  } else {
+    authorized = state_.Matches(*policy);
+  }
+
+  if (!authorized) {
+    ++metrics_.tuples_dropped_security;
+    return;
+  }
+  if (!pending_emitted_) {
+    pending_emitted_ = true;
+    for (SecurityPunctuation& sp : pending_sps_) {
+      EmitSp(std::move(sp));
+    }
+    pending_sps_.clear();
+  }
+  EmitTuple(std::move(t));
+}
+
+}  // namespace spstream

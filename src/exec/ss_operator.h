@@ -1,0 +1,94 @@
+// The Security Shield (SS, ψ) operator of §V.A — the paper's new
+// special-purpose access-control filter that can be placed anywhere in a
+// query plan.
+//
+// State: the security predicates (role sets) of the queries downstream.
+// Behaviour: buffers the policy streamed by sps (sp-batch assembly +
+// override on newer ts); a tuple passes iff its policy intersects some
+// predicate; unauthorized tuples *and their sps* are discarded. Sps of an
+// authorized segment are propagated lazily, just before the segment's first
+// passing tuple, so fully-filtered segments ship no metadata downstream.
+#pragma once
+
+#include <optional>
+
+#include "exec/operator.h"
+#include "exec/policy_tracker.h"
+
+namespace spstream {
+
+/// \brief Configuration of one SS operator instance.
+struct SsOptions {
+  /// One predicate per query (or query group) whose results flow through
+  /// this SS. A policy is satisfied when it intersects ANY predicate.
+  std::vector<RoleSet> predicates;
+
+  /// Name of the stream on this input (for DDP stream matching).
+  std::string stream_name;
+
+  /// Schema of the input (required when mask_attributes is set).
+  SchemaPtr schema;
+
+  /// Use the role->predicate posting-list index (the grouped-filter style
+  /// speed-up of §V.A) instead of scanning every predicate per sp.
+  bool use_predicate_index = true;
+
+  /// Enforce attribute-granularity policies by nulling out attributes the
+  /// predicate roles may not read (instead of only tuple-level pass/drop).
+  bool mask_attributes = false;
+};
+
+/// \brief The SS state: predicates plus the optional role->predicate index.
+class SsState {
+ public:
+  explicit SsState(const SsOptions& options);
+
+  /// \brief Does the policy satisfy any predicate? Uses the index or the
+  /// linear scan depending on options.
+  bool Matches(const Policy& policy) const;
+
+  /// \brief Indices of all predicates the policy satisfies (multi-query
+  /// routing; used by SS splitting experiments).
+  std::vector<size_t> MatchingPredicates(const Policy& policy) const;
+
+  /// \brief Union of all predicate role sets.
+  const RoleSet& predicate_union() const { return union_; }
+
+  size_t predicate_count() const { return predicates_.size(); }
+  size_t MemoryBytes() const;
+
+ private:
+  std::vector<RoleSet> predicates_;
+  RoleSet union_;
+  bool use_index_;
+  // Posting lists: role id -> predicate indices containing that role.
+  std::vector<std::vector<uint32_t>> postings_;
+};
+
+/// \brief Physical SS operator.
+class SsOperator : public Operator {
+ public:
+  SsOperator(ExecContext* ctx, SsOptions options, std::string label = "SS");
+
+  const SsState& state() const { return state_; }
+
+ protected:
+  void Process(StreamElement elem, int port) override;
+
+ private:
+  void UpdateStateBytes();
+  /// Null out attributes of `t` the predicate roles may not read; returns
+  /// false when nothing remains visible (tuple must drop).
+  bool ApplyAttributeMask(Tuple* t);
+
+  SsOptions options_;
+  SsState state_;
+  PolicyTracker tracker_;
+  // Sps of the newest batch, held until the segment's first authorized
+  // tuple; emitted_ flags whether they already went downstream.
+  std::vector<SecurityPunctuation> pending_sps_;
+  bool pending_emitted_ = true;
+  std::optional<Timestamp> pending_ts_;
+};
+
+}  // namespace spstream

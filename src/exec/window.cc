@@ -1,0 +1,60 @@
+#include "exec/window.h"
+
+namespace spstream {
+
+size_t Segment::MemoryBytes() const {
+  size_t bytes = sizeof(Segment);
+  bytes += policy ? policy->MemoryBytes() : 0;
+  for (const SecurityPunctuation& sp : sps) bytes += sp.MemoryBytes();
+  for (const Tuple& t : tuples) bytes += t.MemoryBytes();
+  return bytes;
+}
+
+std::pair<Segment*, bool> SegmentedWindow::InsertTuple(
+    Tuple t, const PolicyPtr& policy,
+    const std::vector<SecurityPunctuation>& batch_sps) {
+  ++tuple_count_;
+  if (!segments_.empty()) {
+    Segment& tail = segments_.back();
+    // Same policy object, or an equal policy, extends the tail segment —
+    // this is the sp-sharing that keeps punctuation memory sublinear.
+    if (tail.policy == policy ||
+        (tail.policy && policy && *tail.policy == *policy)) {
+      tail.tuples.push_back(std::move(t));
+      return {&tail, false};
+    }
+  }
+  segments_.push_back(Segment{policy, batch_sps, {}});
+  segments_.back().tuples.push_back(std::move(t));
+  return {&segments_.back(), true};
+}
+
+SegmentedWindow::InvalidationStats SegmentedWindow::Invalidate(
+    Timestamp now, const std::function<void(Segment*)>& on_purge) {
+  InvalidationStats stats;
+  const Timestamp cutoff = now - window_size_;
+  while (!segments_.empty()) {
+    Segment& head = segments_.front();
+    while (!head.tuples.empty() && head.tuples.front().ts <= cutoff) {
+      head.tuples.pop_front();
+      --tuple_count_;
+      ++stats.tuples_removed;
+    }
+    if (!head.tuples.empty()) break;
+    // All tuples of the head segment are invalidated: purge its sps too
+    // (§V.B.1 step 2).
+    ++stats.segments_purged;
+    stats.sps_purged += head.sps.size();
+    if (on_purge) on_purge(&head);
+    segments_.pop_front();
+  }
+  return stats;
+}
+
+size_t SegmentedWindow::MemoryBytes() const {
+  size_t bytes = sizeof(SegmentedWindow);
+  for (const Segment& s : segments_) bytes += s.MemoryBytes();
+  return bytes;
+}
+
+}  // namespace spstream

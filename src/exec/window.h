@@ -1,0 +1,74 @@
+// Time-based sliding window organized as s-punctuated segments (§V.B):
+// runs of tuples sharing one access-control policy, each preceded by the
+// sp(s) describing it. Invalidation purges a segment's sps exactly when its
+// last tuple expires.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "common/types.h"
+#include "security/policy.h"
+#include "security/security_punctuation.h"
+#include "stream/tuple.h"
+
+namespace spstream {
+
+/// \brief One s-punctuated segment: a policy, the sps that expressed it, and
+/// the run of tuples it governs (chronological, newest at the back).
+struct Segment {
+  PolicyPtr policy;
+  std::vector<SecurityPunctuation> sps;
+  std::deque<Tuple> tuples;
+
+  size_t MemoryBytes() const;
+};
+
+/// \brief Sliding window over one join input, segment-partitioned.
+///
+/// Tuples are appended at the tail (most recent); expiry removes from the
+/// head — the list structure of §V.B.1. Segment objects have stable
+/// addresses for the lifetime of their residency (the SPIndex points at
+/// them).
+class SegmentedWindow {
+ public:
+  explicit SegmentedWindow(Timestamp window_size)
+      : window_size_(window_size) {}
+
+  /// \brief Append a tuple under `policy`. Starts a new segment when the
+  /// policy differs from the tail segment's; `batch_sps` (the sps that
+  /// carried the policy) are recorded on the new segment.
+  /// \return the segment holding the tuple, and whether it was just created.
+  std::pair<Segment*, bool> InsertTuple(
+      Tuple t, const PolicyPtr& policy,
+      const std::vector<SecurityPunctuation>& batch_sps);
+
+  struct InvalidationStats {
+    size_t tuples_removed = 0;
+    size_t segments_purged = 0;
+    size_t sps_purged = 0;
+  };
+
+  /// \brief Remove tuples with ts <= now - window_size from the head.
+  /// `on_purge` (optional) fires for each fully-drained segment while it is
+  /// still alive, so callers can unhook index entries.
+  InvalidationStats Invalidate(
+      Timestamp now, const std::function<void(Segment*)>& on_purge = {});
+
+  std::deque<Segment>& segments() { return segments_; }
+  const std::deque<Segment>& segments() const { return segments_; }
+
+  size_t tuple_count() const { return tuple_count_; }
+  size_t segment_count() const { return segments_.size(); }
+  Timestamp window_size() const { return window_size_; }
+
+  size_t MemoryBytes() const;
+
+ private:
+  Timestamp window_size_;
+  std::deque<Segment> segments_;
+  size_t tuple_count_ = 0;
+};
+
+}  // namespace spstream

@@ -1,0 +1,166 @@
+#include "optimizer/cost_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace spstream {
+
+double CostModel::SsSelectivity(
+    const std::vector<RoleSet>& predicates) const {
+  if (options_.role_match_fraction.empty()) {
+    // No per-role stats: each conjunctive predicate filters independently
+    // at the default rate.
+    double s = 1.0;
+    for (size_t i = 0; i < predicates.size(); ++i) {
+      s *= options_.ss_selectivity;
+    }
+    return predicates.empty() ? 1.0 : s;
+  }
+  double s = 1.0;
+  for (const RoleSet& pred : predicates) {
+    // P(policy ∩ pred != ∅) = 1 − Π_r (1 − f_r), independence approx.
+    double miss = 1.0;
+    pred.ForEach([&](RoleId r) {
+      auto it = options_.role_match_fraction.find(r);
+      const double f = it != options_.role_match_fraction.end()
+                           ? it->second
+                           : options_.ss_selectivity;
+      miss *= 1.0 - f;
+    });
+    s *= 1.0 - miss;
+  }
+  return s;
+}
+
+NodeEstimate CostModel::Estimate(const LogicalNodePtr& node) const {
+  NodeEstimate est;
+  if (!node) return est;
+
+  std::vector<NodeEstimate> kids;
+  kids.reserve(node->children.size());
+  double kid_cost = 0;
+  for (const LogicalNodePtr& child : node->children) {
+    kids.push_back(Estimate(child));
+    kid_cost += kids.back().subtree_cost;
+  }
+
+  const CostModelOptions& o = options_;
+  switch (node->kind) {
+    case LogicalNode::Kind::kSource: {
+      auto it = sources_.find(node->stream_name);
+      const SourceStats stats =
+          it != sources_.end() ? it->second : SourceStats{};
+      est.tuple_rate = stats.tuple_rate;
+      est.sp_rate = stats.sp_rate;
+      est.cost = 0;
+      break;
+    }
+    case LogicalNode::Kind::kSs: {
+      const NodeEstimate& in = kids[0];
+      // N_R: total roles held in the SS state.
+      double n_r = 0;
+      for (const RoleSet& p : node->ss_predicates) {
+        n_r += static_cast<double>(p.Count());
+      }
+      est.cost = in.tuple_rate + in.sp_rate * (o.roles_per_sp + n_r);
+      // Only predicates not already enforced upstream filter anything.
+      est.applied_ss = in.applied_ss;
+      std::vector<RoleSet> fresh;
+      for (const RoleSet& p : node->ss_predicates) {
+        const std::string key = p.ToString();
+        if (std::find(est.applied_ss.begin(), est.applied_ss.end(), key) ==
+            est.applied_ss.end()) {
+          fresh.push_back(p);
+          est.applied_ss.push_back(key);
+        }
+      }
+      const double sel = SsSelectivity(fresh);
+      est.tuple_rate = in.tuple_rate * sel;
+      est.sp_rate = in.sp_rate * sel;
+      break;
+    }
+    case LogicalNode::Kind::kSelect: {
+      const NodeEstimate& in = kids[0];
+      est.cost = in.tuple_rate + in.sp_rate;
+      est.applied_ss = in.applied_ss;
+      est.tuple_rate = in.tuple_rate * o.select_selectivity;
+      // An sp survives selection iff at least one tuple of its segment
+      // passes: 1 - (1-σ)^k with k tuples per segment.
+      const double k =
+          in.sp_rate > 0 ? std::max(1.0, in.tuple_rate / in.sp_rate) : 1.0;
+      const double survive =
+          1.0 - std::pow(1.0 - o.select_selectivity, k);
+      est.sp_rate = in.sp_rate * survive;
+      break;
+    }
+    case LogicalNode::Kind::kProject: {
+      const NodeEstimate& in = kids[0];
+      est.cost = in.tuple_rate + in.sp_rate;
+      est.applied_ss = in.applied_ss;
+      est.tuple_rate = in.tuple_rate;
+      est.sp_rate = in.sp_rate;
+      break;
+    }
+    case LogicalNode::Kind::kJoin: {
+      const NodeEstimate& l = kids[0];
+      const NodeEstimate& r = kids[1];
+      // A predicate enforced on BOTH inputs stays enforced on the output.
+      for (const std::string& key : l.applied_ss) {
+        if (std::find(r.applied_ss.begin(), r.applied_ss.end(), key) !=
+            r.applied_ss.end()) {
+          est.applied_ss.push_back(key);
+        }
+      }
+      const double w = static_cast<double>(node->window);
+      const double n1 = w * l.tuple_rate, n2 = w * r.tuple_rate;
+      const double nsp1 = w * l.sp_rate, nsp2 = w * r.sp_rate;
+      if (o.index_join) {
+        est.cost = l.tuple_rate * o.sp_selectivity * (n2 + nsp2) +
+                   r.tuple_rate * o.sp_selectivity * (n1 + nsp1) +
+                   o.roles_per_sp * (l.sp_rate + r.sp_rate);
+      } else {
+        est.cost = l.tuple_rate * (n2 + nsp2) + r.tuple_rate * (n1 + nsp1);
+      }
+      est.tuple_rate = 2.0 * l.tuple_rate * r.tuple_rate * w *
+                       o.join_match_selectivity * o.sp_selectivity;
+      // Output sps: one per output policy change; bounded by input sp rates.
+      est.sp_rate = std::min(est.tuple_rate, l.sp_rate + r.sp_rate);
+      est.window = w;
+      break;
+    }
+    case LogicalNode::Kind::kDistinct: {
+      const NodeEstimate& in = kids[0];
+      const double w = static_cast<double>(node->window);
+      const double no = std::min(w * in.tuple_rate, o.distinct_values);
+      const double nspo = std::min(no, w * in.sp_rate);
+      est.applied_ss = in.applied_ss;
+      est.cost = in.tuple_rate * (no + nspo);
+      est.tuple_rate = std::min(in.tuple_rate, o.distinct_values / w * 1.0);
+      est.sp_rate = std::min(in.sp_rate, est.tuple_rate);
+      est.window = w;
+      break;
+    }
+    case LogicalNode::Kind::kGroupBy: {
+      const NodeEstimate& in = kids[0];
+      est.applied_ss = in.applied_ss;
+      est.cost = 2.0 * o.groupby_recompute_cost *
+                 (in.tuple_rate + in.sp_rate);
+      est.tuple_rate = in.tuple_rate;  // one refreshed result per arrival
+      est.sp_rate = std::min(in.sp_rate, est.tuple_rate);
+      est.window = static_cast<double>(node->window);
+      break;
+    }
+    case LogicalNode::Kind::kUnion: {
+      for (const NodeEstimate& in : kids) {
+        est.tuple_rate += in.tuple_rate;
+        est.sp_rate += in.sp_rate;
+        est.cost += in.tuple_rate + in.sp_rate;
+      }
+      break;
+    }
+  }
+  est.subtree_cost = est.cost + kid_cost;
+  return est;
+}
+
+}  // namespace spstream

@@ -1,0 +1,90 @@
+#include "optimizer/optimizer.h"
+
+#include <algorithm>
+#include <functional>
+#include <unordered_set>
+
+namespace spstream {
+
+LogicalNodePtr Optimizer::Optimize(const LogicalNodePtr& plan) const {
+  candidates_evaluated_ = 0;
+
+  struct Scored {
+    LogicalNodePtr plan;
+    double cost;
+  };
+  LogicalNodePtr best = plan->Clone();
+  double best_cost = cost_model_->PlanCost(best);
+
+  std::vector<Scored> beam = {{best, best_cost}};
+  std::unordered_set<std::string> seen = {best->ToString()};
+
+  for (int round = 0; round < options_.max_rounds; ++round) {
+    std::vector<Scored> frontier;
+    size_t evaluated_this_round = 0;
+    for (const Scored& entry : beam) {
+      for (LogicalNodePtr& cand : Neighbors(entry.plan)) {
+        if (evaluated_this_round >= options_.max_candidates_per_round) {
+          break;
+        }
+        if (!seen.insert(cand->ToString()).second) continue;
+        ++candidates_evaluated_;
+        ++evaluated_this_round;
+        frontier.push_back({cand, cost_model_->PlanCost(cand)});
+      }
+    }
+    if (frontier.empty()) break;  // rewrite space exhausted
+    std::sort(frontier.begin(), frontier.end(),
+              [](const Scored& a, const Scored& b) {
+                return a.cost < b.cost;
+              });
+    if (frontier.size() > options_.beam_width) {
+      frontier.resize(options_.beam_width);
+    }
+    if (frontier.front().cost < best_cost) {
+      best = frontier.front().plan;
+      best_cost = frontier.front().cost;
+    }
+    beam = std::move(frontier);
+  }
+  return best;
+}
+
+SharedPlan BuildSharedPlan(const LogicalNodePtr& shared_subplan,
+                           const std::vector<RoleSet>& query_roles) {
+  SharedPlan out;
+  // Merged SS "at the beginning": one shield whose single predicate is the
+  // union of every query's roles — data no query may see dies before the
+  // shared work.
+  RoleSet merged;
+  for (const RoleSet& r : query_roles) merged.UnionWith(r);
+
+  LogicalNodePtr trunk = shared_subplan->Clone();
+  // Place the merged shield below the shared subplan: directly above each
+  // source leaf.
+  std::function<void(LogicalNodePtr&)> shield_sources =
+      [&](LogicalNodePtr& node) {
+        for (LogicalNodePtr& child : node->children) {
+          if (child->kind == LogicalNode::Kind::kSource) {
+            child = LogicalNode::Ss({merged}, child);
+          } else {
+            shield_sources(child);
+          }
+        }
+      };
+  if (trunk->kind == LogicalNode::Kind::kSource) {
+    trunk = LogicalNode::Ss({merged}, trunk);
+  } else {
+    shield_sources(trunk);
+  }
+  out.trunk = trunk;
+
+  // Split SS "at the end": each query re-filters the shared result with its
+  // own (narrower) predicate.
+  for (const RoleSet& r : query_roles) {
+    out.query_roots.push_back(LogicalNode::Ss({r}, trunk));
+  }
+  return out;
+}
+
+}  // namespace spstream

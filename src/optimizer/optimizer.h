@@ -1,0 +1,58 @@
+// Security-aware query optimization (§VI.C): cost-guided local search over
+// the Table II rewrite space, plus the multi-query SS merge/split sharing
+// construction.
+#pragma once
+
+#include "optimizer/cost_model.h"
+#include "optimizer/rules.h"
+
+namespace spstream {
+
+struct OptimizerOptions {
+  /// Maximum rewrite rounds (each round expands the beam's neighbors;
+  /// search stops early when a round yields nothing new).
+  int max_rounds = 8;
+  /// Cap on candidate plans evaluated per round.
+  size_t max_candidates_per_round = 256;
+  /// Beam width: how many of the cheapest frontier plans are expanded each
+  /// round. 1 degenerates to greedy descent; a small beam escapes the
+  /// local optima greedy hits on split-and-push shapes (§VI.C).
+  size_t beam_width = 4;
+};
+
+/// \brief Rule- and cost-driven plan optimizer (beam search over the
+/// Table II rewrite space).
+class Optimizer {
+ public:
+  Optimizer(const CostModel* cost_model, OptimizerOptions options = {})
+      : cost_model_(cost_model), options_(options) {}
+
+  /// \brief Beam search: expand the cheapest frontier plans' neighbors
+  /// each round; return the cheapest plan ever seen.
+  LogicalNodePtr Optimize(const LogicalNodePtr& plan) const;
+
+  /// \brief Candidates evaluated by the last Optimize call.
+  size_t last_candidates_evaluated() const { return candidates_evaluated_; }
+
+ private:
+  const CostModel* cost_model_;
+  OptimizerOptions options_;
+  mutable size_t candidates_evaluated_ = 0;
+};
+
+/// \brief Multi-query sharing (§VI.C): given N queries that share a common
+/// subplan but hold different role predicates, build one shared plan —
+/// a merged SS (the union of all roles) *before* the shared subplan, and a
+/// per-query split SS *after* it. Returns the shared trunk and the per-query
+/// roots (each query's root is its own split SS over the trunk).
+struct SharedPlan {
+  LogicalNodePtr trunk;                    // merged-SS + shared subplan
+  std::vector<LogicalNodePtr> query_roots; // one split SS per query
+};
+
+/// \param shared_subplan the subplan all queries execute (sources included).
+/// \param query_roles one role predicate per query.
+SharedPlan BuildSharedPlan(const LogicalNodePtr& shared_subplan,
+                           const std::vector<RoleSet>& query_roles);
+
+}  // namespace spstream

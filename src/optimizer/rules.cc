@@ -1,0 +1,277 @@
+#include "optimizer/rules.h"
+
+#include <unordered_set>
+
+namespace spstream {
+
+namespace {
+
+using Kind = LogicalNode::Kind;
+
+bool IsBinary(const LogicalNodePtr& n) {
+  return n->kind == Kind::kJoin || n->kind == Kind::kUnion;
+}
+
+bool IsCommutableUnary(const LogicalNodePtr& n) {
+  switch (n->kind) {
+    case Kind::kSelect:
+    case Kind::kProject:
+    case Kind::kDistinct:
+    case Kind::kGroupBy:
+    case Kind::kSs:
+      return true;
+    default:
+      return false;
+  }
+}
+
+/// Number of attribute columns flowing out of a plan node (-1 unknown).
+int PlanOutputWidth(const LogicalNodePtr& n) {
+  switch (n->kind) {
+    case Kind::kSource:
+      return n->schema ? static_cast<int>(n->schema->num_fields()) : -1;
+    case Kind::kSelect:
+    case Kind::kSs:
+    case Kind::kDistinct:
+      return PlanOutputWidth(n->children[0]);
+    case Kind::kProject:
+      return static_cast<int>(n->columns.size());
+    case Kind::kJoin: {
+      const int l = PlanOutputWidth(n->children[0]);
+      const int r = PlanOutputWidth(n->children[1]);
+      return (l < 0 || r < 0) ? -1 : l + r;
+    }
+    case Kind::kGroupBy:
+      return 2;  // (group_key, aggregate)
+    case Kind::kUnion:
+      return PlanOutputWidth(n->children[0]);
+  }
+  return -1;
+}
+
+}  // namespace
+
+LogicalNodePtr SplitSs(const LogicalNodePtr& node) {
+  if (node->kind != Kind::kSs || node->ss_predicates.size() < 2) {
+    return nullptr;
+  }
+  LogicalNodePtr plan = node->children[0]->Clone();
+  // Innermost shield carries the last predicate (cascade order per Rule 1).
+  for (size_t i = node->ss_predicates.size(); i > 0; --i) {
+    plan = LogicalNode::Ss({node->ss_predicates[i - 1]}, std::move(plan));
+  }
+  return plan;
+}
+
+LogicalNodePtr MergeSs(const LogicalNodePtr& node) {
+  if (node->kind != Kind::kSs || node->children[0]->kind != Kind::kSs) {
+    return nullptr;
+  }
+  const LogicalNodePtr& inner = node->children[0];
+  std::vector<RoleSet> merged = node->ss_predicates;
+  merged.insert(merged.end(), inner->ss_predicates.begin(),
+                inner->ss_predicates.end());
+  return LogicalNode::Ss(std::move(merged), inner->children[0]->Clone());
+}
+
+LogicalNodePtr PushSsDown(const LogicalNodePtr& node) {
+  if (node->kind != Kind::kSs) return nullptr;
+  const LogicalNodePtr& op = node->children[0];
+  if (!IsCommutableUnary(op)) return nullptr;
+  // ψ(op(x)) -> op(ψ(x))
+  auto new_ss =
+      LogicalNode::Ss(node->ss_predicates, op->children[0]->Clone());
+  auto new_op = std::make_shared<LogicalNode>(*op);
+  new_op->children = {std::move(new_ss)};
+  return new_op;
+}
+
+LogicalNodePtr PullSsUp(const LogicalNodePtr& node) {
+  if (!IsCommutableUnary(node) || node->kind == Kind::kSs) return nullptr;
+  if (node->children.empty() || node->children[0]->kind != Kind::kSs) {
+    return nullptr;
+  }
+  const LogicalNodePtr& ss = node->children[0];
+  // op(ψ(x)) -> ψ(op(x))
+  auto new_op = std::make_shared<LogicalNode>(*node);
+  new_op->children = {ss->children[0]->Clone()};
+  return LogicalNode::Ss(ss->ss_predicates, std::move(new_op));
+}
+
+LogicalNodePtr PushSsOverBinary(const LogicalNodePtr& node, bool push_left,
+                                bool push_right) {
+  if (node->kind != Kind::kSs || !(push_left || push_right)) return nullptr;
+  const LogicalNodePtr& bin = node->children[0];
+  if (!IsBinary(bin)) return nullptr;
+  auto new_bin = std::make_shared<LogicalNode>(*bin);
+  new_bin->children.clear();
+  LogicalNodePtr left = bin->children[0]->Clone();
+  LogicalNodePtr right = bin->children[1]->Clone();
+  if (push_left) left = LogicalNode::Ss(node->ss_predicates, std::move(left));
+  if (push_right) {
+    right = LogicalNode::Ss(node->ss_predicates, std::move(right));
+  }
+  new_bin->children = {std::move(left), std::move(right)};
+
+  // Soundness (the Table II side-condition made explicit): dropping the
+  // shield above a JOIN is only valid when the pushed shields subsume it.
+  // That holds for a union, and for a both-sides push with single-role
+  // predicates (l ∩ p ≠ ∅ ∧ r ∩ p ≠ ∅ ⇒ p ⊆ l ∩ r for |p| = 1). In every
+  // other case — one-sided pushes (the paper's "only T streams policies"
+  // case cannot be verified statically) and multi-role predicates, where
+  // l and r can each intersect p through different roles while l ∩ r
+  // misses p entirely — a residual shield stays on top.
+  bool residual_needed = bin->kind == Kind::kJoin;
+  if (bin->kind == Kind::kJoin && push_left && push_right) {
+    bool all_single_role = true;
+    for (const RoleSet& p : node->ss_predicates) {
+      if (p.Count() != 1) all_single_role = false;
+    }
+    residual_needed = !all_single_role;
+  }
+  if (residual_needed) {
+    return LogicalNode::Ss(node->ss_predicates, std::move(new_bin));
+  }
+  return new_bin;
+}
+
+LogicalNodePtr PullSsAboveBinary(const LogicalNodePtr& node) {
+  if (!IsBinary(node)) return nullptr;
+  const LogicalNodePtr& l = node->children[0];
+  const LogicalNodePtr& r = node->children[1];
+  if (l->kind != Kind::kSs || r->kind != Kind::kSs) return nullptr;
+  if (l->ss_predicates != r->ss_predicates) return nullptr;
+  if (node->kind == Kind::kJoin) {
+    // Mirror of the push-down side-condition: equivalence of per-side
+    // shields and one root shield over a join only holds for single-role
+    // predicates (see PushSsOverBinary).
+    for (const RoleSet& p : l->ss_predicates) {
+      if (p.Count() != 1) return nullptr;
+    }
+  }
+  auto new_bin = std::make_shared<LogicalNode>(*node);
+  new_bin->children = {l->children[0]->Clone(), r->children[0]->Clone()};
+  return LogicalNode::Ss(l->ss_predicates, std::move(new_bin));
+}
+
+namespace {
+
+/// Commute a bare join (keys and per-side windows follow their inputs).
+/// The swapped join emits columns as right++left, so a compensating
+/// projection restores the original left++right order — otherwise every
+/// column reference above the join (projections, predicates, group keys)
+/// would silently read the wrong field.
+LogicalNodePtr CommuteBareJoin(const LogicalNodePtr& join) {
+  if (join->kind != Kind::kJoin) return nullptr;
+  const int left_width = PlanOutputWidth(join->children[0]);
+  const int right_width = PlanOutputWidth(join->children[1]);
+  if (left_width < 0 || right_width < 0) return nullptr;
+  auto n = std::make_shared<LogicalNode>(*join);
+  n->children = {join->children[1]->Clone(), join->children[0]->Clone()};
+  n->left_key = join->right_key;
+  n->right_key = join->left_key;
+  if (join->right_window > 0 && join->right_window != join->window) {
+    n->window = join->right_window;
+    n->right_window = join->window;
+  }
+  std::vector<int> restore;
+  restore.reserve(static_cast<size_t>(left_width + right_width));
+  for (int i = 0; i < left_width; ++i) restore.push_back(right_width + i);
+  for (int i = 0; i < right_width; ++i) restore.push_back(i);
+  return LogicalNode::Project(std::move(restore), std::move(n));
+}
+
+/// Re-associate a bare nested join ((T ⋈ E) ⋈ K) -> (T ⋈ (E ⋈ K)).
+LogicalNodePtr AssociateBareJoin(const LogicalNodePtr& outer) {
+  if (outer->kind != Kind::kJoin) return nullptr;
+  const LogicalNodePtr& inner = outer->children[0];
+  if (inner->kind != Kind::kJoin) return nullptr;
+  // Heterogeneous per-side windows do not re-associate soundly.
+  if ((outer->right_window > 0 && outer->right_window != outer->window) ||
+      (inner->right_window > 0 && inner->right_window != inner->window) ||
+      outer->window != inner->window) {
+    return nullptr;
+  }
+  const int t_width = PlanOutputWidth(inner->children[0]);
+  if (t_width < 0) return nullptr;
+  // The outer key must reference the E side of the inner output.
+  if (outer->left_key < t_width) return nullptr;
+  auto inner2 = LogicalNode::Join(outer->left_key - t_width,
+                                  outer->right_key, outer->window,
+                                  inner->children[1]->Clone(),
+                                  outer->children[1]->Clone());
+  return LogicalNode::Join(inner->left_key, inner->right_key, inner->window,
+                           inner->children[0]->Clone(), std::move(inner2));
+}
+
+}  // namespace
+
+LogicalNodePtr CommuteJoin(const LogicalNodePtr& node) {
+  if (node->kind == Kind::kSs && node->children[0]->kind == Kind::kJoin) {
+    LogicalNodePtr inner = CommuteBareJoin(node->children[0]);
+    if (!inner) return nullptr;
+    return LogicalNode::Ss(node->ss_predicates, std::move(inner));
+  }
+  return CommuteBareJoin(node);
+}
+
+LogicalNodePtr AssociateJoin(const LogicalNodePtr& node) {
+  if (node->kind == Kind::kSs && node->children[0]->kind == Kind::kJoin) {
+    LogicalNodePtr inner = AssociateBareJoin(node->children[0]);
+    if (!inner) return nullptr;
+    return LogicalNode::Ss(node->ss_predicates, std::move(inner));
+  }
+  return AssociateBareJoin(node);
+}
+
+namespace {
+
+void CollectNeighbors(const LogicalNodePtr& node,
+                      std::vector<LogicalNodePtr>* out) {
+  auto add = [&](LogicalNodePtr p) {
+    if (p) out->push_back(std::move(p));
+  };
+  add(SplitSs(node));
+  add(MergeSs(node));
+  add(PushSsDown(node));
+  add(PullSsUp(node));
+  add(PushSsOverBinary(node, true, true));
+  add(PushSsOverBinary(node, true, false));
+  add(PushSsOverBinary(node, false, true));
+  add(PullSsAboveBinary(node));
+  add(CommuteJoin(node));
+  add(AssociateJoin(node));
+
+  // Recurse: a rewrite inside child i yields a rewrite of this node.
+  for (size_t i = 0; i < node->children.size(); ++i) {
+    std::vector<LogicalNodePtr> child_rewrites;
+    CollectNeighbors(node->children[i], &child_rewrites);
+    for (LogicalNodePtr& cr : child_rewrites) {
+      auto copy = std::make_shared<LogicalNode>(*node);
+      copy->children.clear();
+      for (size_t j = 0; j < node->children.size(); ++j) {
+        copy->children.push_back(j == i ? cr : node->children[j]->Clone());
+      }
+      out->push_back(std::move(copy));
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<LogicalNodePtr> Neighbors(const LogicalNodePtr& root) {
+  std::vector<LogicalNodePtr> raw;
+  CollectNeighbors(root, &raw);
+  // Dedup by rendered form, and never return the input itself.
+  std::unordered_set<std::string> seen;
+  seen.insert(root->ToString());
+  std::vector<LogicalNodePtr> out;
+  for (LogicalNodePtr& p : raw) {
+    if (seen.insert(p->ToString()).second) {
+      out.push_back(std::move(p));
+    }
+  }
+  return out;
+}
+
+}  // namespace spstream

@@ -1,0 +1,75 @@
+// The security-aware algebraic equivalence rules of Table II, as plan
+// rewrites. Every function is non-destructive: it returns a rewritten clone
+// (or nullptr when the rule does not apply at the given node).
+//
+//   Rule 1  SS splitting/merging      ψ_{p1∧…∧pn}(T) ≡ ψp1(…ψpn(T))
+//   Rule 2  SS commuting              ψ ⇄ ψ, π, σ, δ, G
+//   Rule 3  SS over binary operators  ψp(T Θ E) ≡ ψp(T) Θ [ψp(E)]
+//   Rule 4  binary commutativity      ψp(T Θ E) ≡ ψp(E Θ T)
+//   Rule 5  binary associativity      ψp((T Θ E) Θ K) ≡ ψp(T Θ (E Θ K))
+//
+// A logical SS node's predicate list is CONJUNCTIVE (the policy must
+// intersect every entry); multi-query disjunction is expressed by unioning
+// roles into one entry. That makes Rule 1 exactly list split/concat.
+#pragma once
+
+#include "query/logical_plan.h"
+
+namespace spstream {
+
+// ----- Rule 1: splitting / merging ------------------------------------
+
+/// \brief Split an SS with >= 2 predicates into a cascade of single-
+/// predicate SS operators. nullptr if not an SS or has < 2 predicates.
+LogicalNodePtr SplitSs(const LogicalNodePtr& node);
+
+/// \brief Merge a cascade ψp1(ψp2(x)) into ψ{p1,p2}(x). nullptr unless the
+/// node and its child are both SS.
+LogicalNodePtr MergeSs(const LogicalNodePtr& node);
+
+// ----- Rule 2: commuting with unary operators --------------------------
+
+/// \brief If `node` is SS over a commutable unary operator (σ, π, δ, G or
+/// another ψ), swap them: ψ(op(x)) -> op(ψ(x)) — pushing the shield DOWN.
+/// For projection the rule requires the sp-relevant attribute set to
+/// survive; tuple-granularity shields always commute (the Table II caveat
+/// concerns attribute-policy-addressed columns, which projection itself
+/// already narrows).
+LogicalNodePtr PushSsDown(const LogicalNodePtr& node);
+
+/// \brief The inverse: if `node` is a commutable unary operator over SS,
+/// swap to ψ(op(x)) — pulling the shield UP.
+LogicalNodePtr PullSsUp(const LogicalNodePtr& node);
+
+// ----- Rule 3: pushing SS over binary operators -------------------------
+
+/// \brief ψp(T Θ E) -> ψp(T) Θ ψp(E) (or one-sided when only one input
+/// streams policies). `push_left`/`push_right` select the sides to receive
+/// a shield; at least one must be set. nullptr unless node is SS over a
+/// binary operator.
+LogicalNodePtr PushSsOverBinary(const LogicalNodePtr& node, bool push_left,
+                                bool push_right);
+
+/// \brief Inverse of Rule 3 (two-sided form): ψp(T) Θ ψp(E) -> ψp(T Θ E)
+/// when both children are SS with identical predicates.
+LogicalNodePtr PullSsAboveBinary(const LogicalNodePtr& node);
+
+// ----- Rules 4 & 5: binary commutativity / associativity under ψ -------
+
+/// \brief ψp(T ⋈ E) -> ψp(E ⋈ T): swap join inputs (keys swap with them).
+/// Also applies to a bare join node.
+LogicalNodePtr CommuteJoin(const LogicalNodePtr& node);
+
+/// \brief ψp((T ⋈ E) ⋈ K) -> ψp(T ⋈ (E ⋈ K)) where the join keys permit
+/// re-association (the outer key must reference the E side). Also applies
+/// to a bare nested join.
+LogicalNodePtr AssociateJoin(const LogicalNodePtr& node);
+
+// ----- Search helper ----------------------------------------------------
+
+/// \brief All plans reachable from `root` by applying any single rule at
+/// any node (deduplicated, excluding `root` itself). The optimizer iterates
+/// this to explore the rewrite space.
+std::vector<LogicalNodePtr> Neighbors(const LogicalNodePtr& root);
+
+}  // namespace spstream

@@ -1,0 +1,46 @@
+#include "optimizer/statistics.h"
+
+namespace spstream {
+
+StreamStatistics CollectStreamStatistics(
+    const std::vector<StreamElement>& elements) {
+  StreamStatistics stats;
+  Timestamp first_ts = kMaxTimestamp, last_ts = kMinTimestamp;
+  size_t total_roles = 0;
+  std::unordered_map<RoleId, size_t> role_counts;
+
+  for (const StreamElement& e : elements) {
+    if (e.is_tuple()) {
+      ++stats.tuples;
+    } else if (e.is_sp()) {
+      ++stats.sps;
+      total_roles += e.sp().roles().Count();
+      e.sp().roles().ForEach([&](RoleId r) { ++role_counts[r]; });
+    } else {
+      continue;
+    }
+    first_ts = std::min(first_ts, e.ts());
+    last_ts = std::max(last_ts, e.ts());
+  }
+
+  if (stats.sps > 0) {
+    stats.tuples_per_sp =
+        static_cast<double>(stats.tuples) / static_cast<double>(stats.sps);
+    stats.roles_per_sp =
+        static_cast<double>(total_roles) / static_cast<double>(stats.sps);
+    for (const auto& [role, count] : role_counts) {
+      stats.role_match_fraction[role] =
+          static_cast<double>(count) / static_cast<double>(stats.sps);
+    }
+  }
+  if (last_ts > first_ts) {
+    stats.ts_span = last_ts - first_ts;
+    stats.tuple_rate = static_cast<double>(stats.tuples) /
+                       static_cast<double>(stats.ts_span);
+    stats.sp_rate = static_cast<double>(stats.sps) /
+                    static_cast<double>(stats.ts_span);
+  }
+  return stats;
+}
+
+}  // namespace spstream

@@ -1,0 +1,49 @@
+// Stream statistics collection: estimates the quantities the §VI.A cost
+// model consumes (tuple/sp rates, roles-per-sp, per-role match fractions)
+// from an observed prefix of a punctuated stream — the feedback loop that
+// lets the optimizer's selectivity-driven rewrites (SS split/push, §VI.C)
+// run on measured rather than assumed numbers.
+#pragma once
+
+#include <unordered_map>
+
+#include "optimizer/cost_model.h"
+#include "stream/stream_element.h"
+
+namespace spstream {
+
+/// \brief Measured statistics of one punctuated stream.
+struct StreamStatistics {
+  size_t tuples = 0;
+  size_t sps = 0;
+  double tuples_per_sp = 0;      ///< the observed sp:tuple ratio (1/k -> k)
+  double roles_per_sp = 0;       ///< N_Rsp
+  Timestamp ts_span = 0;         ///< last ts - first ts
+  double tuple_rate = 0;         ///< tuples per ts unit
+  double sp_rate = 0;            ///< sps per ts unit
+  /// Fraction of sps whose resolved policy contains each role.
+  std::unordered_map<RoleId, double> role_match_fraction;
+
+  /// \brief The cost model's per-source rates.
+  SourceStats ToSourceStats() const {
+    SourceStats s;
+    if (tuple_rate > 0) s.tuple_rate = tuple_rate;
+    if (sp_rate > 0) s.sp_rate = sp_rate;
+    return s;
+  }
+
+  /// \brief Fold the measured numbers into cost-model options.
+  void ApplyTo(CostModelOptions* options) const {
+    if (roles_per_sp > 0) options->roles_per_sp = roles_per_sp;
+    for (const auto& [role, fraction] : role_match_fraction) {
+      options->role_match_fraction[role] = fraction;
+    }
+  }
+};
+
+/// \brief Scan a stream prefix (resolved sps expected — post-analyzer) and
+/// measure it.
+StreamStatistics CollectStreamStatistics(
+    const std::vector<StreamElement>& elements);
+
+}  // namespace spstream

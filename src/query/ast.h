@@ -1,0 +1,122 @@
+// Abstract syntax of the CQL subset plus the paper's INSERT SP extension
+// (§III.D). The parser produces these nodes; the planner binds them against
+// the catalogs into a logical plan.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/types.h"
+#include "common/value.h"
+
+namespace spstream {
+
+// ------------------------------------------------------- expressions
+
+struct AstExpr;
+using AstExprPtr = std::shared_ptr<AstExpr>;
+
+/// \brief Untyped expression node as parsed (columns still by name).
+struct AstExpr {
+  enum class Kind : uint8_t {
+    kIdent,     // column reference, possibly qualified: stream.attr
+    kLiteral,   // number / string / boolean
+    kBinary,    // op in {AND,OR,=,!=,<,<=,>,>=,+,-,*,/}
+    kUnary,     // NOT, unary minus
+    kCall,      // function call, e.g. DISTANCE(x, y, cx, cy)
+  };
+
+  Kind kind;
+  // kIdent
+  std::string qualifier;  // optional stream name
+  std::string ident;
+  // kLiteral
+  Value literal;
+  // kBinary / kUnary / kCall
+  std::string op_or_fn;
+  std::vector<AstExprPtr> args;
+
+  static AstExprPtr Ident(std::string qualifier, std::string name) {
+    auto e = std::make_shared<AstExpr>();
+    e->kind = Kind::kIdent;
+    e->qualifier = std::move(qualifier);
+    e->ident = std::move(name);
+    return e;
+  }
+  static AstExprPtr Lit(Value v) {
+    auto e = std::make_shared<AstExpr>();
+    e->kind = Kind::kLiteral;
+    e->literal = std::move(v);
+    return e;
+  }
+  static AstExprPtr Binary(std::string op, AstExprPtr l, AstExprPtr r) {
+    auto e = std::make_shared<AstExpr>();
+    e->kind = Kind::kBinary;
+    e->op_or_fn = std::move(op);
+    e->args = {std::move(l), std::move(r)};
+    return e;
+  }
+  static AstExprPtr Unary(std::string op, AstExprPtr operand) {
+    auto e = std::make_shared<AstExpr>();
+    e->kind = Kind::kUnary;
+    e->op_or_fn = std::move(op);
+    e->args = {std::move(operand)};
+    return e;
+  }
+  static AstExprPtr Call(std::string fn, std::vector<AstExprPtr> args) {
+    auto e = std::make_shared<AstExpr>();
+    e->kind = Kind::kCall;
+    e->op_or_fn = std::move(fn);
+    e->args = std::move(args);
+    return e;
+  }
+};
+
+// ------------------------------------------------------- SELECT
+
+/// \brief One item of the select list: a column or an aggregate call.
+struct SelectItem {
+  std::string agg_fn;     // empty for a bare column
+  std::string qualifier;  // optional stream prefix
+  std::string column;     // column name, or "*" inside COUNT(*)
+};
+
+/// \brief FROM entry: stream name with an optional sliding window.
+struct FromClause {
+  std::string stream;
+  std::optional<Timestamp> range;  // [RANGE n] window extent
+};
+
+/// \brief Parsed continuous SELECT query.
+struct SelectStatement {
+  bool distinct = false;
+  std::vector<SelectItem> items;  // empty means SELECT *
+  std::vector<FromClause> from;   // 1 (unary plan) or 2 (join)
+  AstExprPtr where;               // may be null
+  std::optional<std::string> group_by;  // grouping column name
+};
+
+// ------------------------------------------------------- INSERT SP
+
+/// \brief Parsed INSERT SP statement (§III.D syntax).
+struct InsertSpStatement {
+  std::string sp_name;    // optional [AS sp_name]
+  std::string stream;     // INTO STREAM <name>
+  std::string ddp_stream; // LET DDP = (es, et, ea)
+  std::string ddp_tuple;
+  std::string ddp_attr;
+  std::string srp_model = "RBAC";  // LET SRP = (model, er) or just er
+  std::string srp_roles;
+  bool positive = true;            // SIGN = positive | negative
+  bool immutable = false;          // IMMUTABLE = true | false
+  bool incremental = false;        // INCREMENTAL = true | false (§IX ext.)
+  std::optional<Timestamp> ts;     // TS = n (extension; defaults to now)
+};
+
+/// \brief Any parsed statement.
+using Statement = std::variant<SelectStatement, InsertSpStatement>;
+
+}  // namespace spstream

@@ -1,0 +1,96 @@
+#include "query/lexer.h"
+
+#include <cctype>
+#include <charconv>
+
+namespace spstream {
+
+Result<std::vector<Token>> Tokenize(std::string_view sql) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  const size_t n = sql.size();
+  while (i < n) {
+    const char c = sql[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      size_t start = i;
+      while (i < n && (std::isalnum(static_cast<unsigned char>(sql[i])) ||
+                       sql[i] == '_')) {
+        ++i;
+      }
+      tokens.push_back(Token{TokenKind::kIdent,
+                             std::string(sql.substr(start, i - start)),
+                             Value(), start});
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && i + 1 < n &&
+         std::isdigit(static_cast<unsigned char>(sql[i + 1])))) {
+      size_t start = i;
+      bool is_float = false;
+      while (i < n && (std::isdigit(static_cast<unsigned char>(sql[i])) ||
+                       sql[i] == '.')) {
+        if (sql[i] == '.') is_float = true;
+        ++i;
+      }
+      std::string text(sql.substr(start, i - start));
+      Value num;
+      if (is_float) {
+        num = Value(std::strtod(text.c_str(), nullptr));
+      } else {
+        int64_t v = 0;
+        auto [ptr, ec] =
+            std::from_chars(text.data(), text.data() + text.size(), v);
+        if (ec != std::errc()) {
+          return Status::ParseError("bad number '" + text + "' at offset " +
+                                    std::to_string(start));
+        }
+        (void)ptr;
+        num = Value(v);
+      }
+      tokens.push_back(
+          Token{TokenKind::kNumber, std::move(text), std::move(num), start});
+      continue;
+    }
+    if (c == '\'') {
+      size_t start = ++i;
+      while (i < n && sql[i] != '\'') ++i;
+      if (i >= n) {
+        return Status::ParseError("unterminated string literal at offset " +
+                                  std::to_string(start - 1));
+      }
+      tokens.push_back(Token{TokenKind::kString,
+                             std::string(sql.substr(start, i - start)),
+                             Value(), start});
+      ++i;  // closing quote
+      continue;
+    }
+    // Two-char operators first.
+    if (i + 1 < n) {
+      std::string_view two = sql.substr(i, 2);
+      if (two == "!=" || two == "<=" || two == ">=" || two == "<>") {
+        tokens.push_back(Token{TokenKind::kSymbol,
+                               two == "<>" ? "!=" : std::string(two), Value(),
+                               i});
+        i += 2;
+        continue;
+      }
+    }
+    static constexpr std::string_view kSingles = "(),.*=<>+-/|[];";
+    if (kSingles.find(c) != std::string_view::npos) {
+      tokens.push_back(
+          Token{TokenKind::kSymbol, std::string(1, c), Value(), i});
+      ++i;
+      continue;
+    }
+    return Status::ParseError("unexpected character '" + std::string(1, c) +
+                              "' at offset " + std::to_string(i));
+  }
+  tokens.push_back(Token{TokenKind::kEnd, "", Value(), n});
+  return tokens;
+}
+
+}  // namespace spstream

@@ -1,0 +1,31 @@
+// Hand-rolled tokenizer for the CQL subset + INSERT SP extension.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/value.h"
+
+namespace spstream {
+
+enum class TokenKind : uint8_t {
+  kIdent,
+  kNumber,
+  kString,   // 'single quoted'
+  kSymbol,   // punctuation / operators
+  kEnd,
+};
+
+struct Token {
+  TokenKind kind;
+  std::string text;   // uppercased for idents? no — original; keywords match
+                      // case-insensitively
+  Value number;       // valid for kNumber
+  size_t position;    // offset in the source, for error messages
+};
+
+/// \brief Tokenize `sql`. Symbols cover ( ) , . * = != < <= > >= + - / | [ ].
+Result<std::vector<Token>> Tokenize(std::string_view sql);
+
+}  // namespace spstream

@@ -1,0 +1,192 @@
+#include "query/logical_plan.h"
+
+namespace spstream {
+
+LogicalNodePtr LogicalNode::Clone() const {
+  auto copy = std::make_shared<LogicalNode>(*this);
+  copy->children.clear();
+  for (const LogicalNodePtr& child : children) {
+    copy->children.push_back(child->Clone());
+  }
+  return copy;
+}
+
+std::string LogicalNode::Describe() const {
+  switch (kind) {
+    case Kind::kSource:
+      return "Source(" + stream_name + ")";
+    case Kind::kSelect:
+      return "Select(" + (predicate ? predicate->ToString() : "true") + ")";
+    case Kind::kProject: {
+      std::string s = "Project(";
+      for (size_t i = 0; i < columns.size(); ++i) {
+        if (i) s += ",";
+        s += std::to_string(columns[i]);
+      }
+      return s + ")";
+    }
+    case Kind::kJoin:
+      return "Join($" + std::to_string(left_key) + "=$" +
+             std::to_string(right_key) + ", W=" + std::to_string(window) +
+             ")";
+    case Kind::kDistinct:
+      return "Distinct($" + std::to_string(key_col) +
+             ", W=" + std::to_string(window) + ")";
+    case Kind::kGroupBy:
+      return std::string("GroupBy($") + std::to_string(key_col) + ", " +
+             AggFnToString(agg_fn) + "($" + std::to_string(agg_col) +
+             "), W=" + std::to_string(window) + ")";
+    case Kind::kSs: {
+      std::string s = "SS[";
+      for (size_t i = 0; i < ss_predicates.size(); ++i) {
+        if (i) s += "; ";
+        s += ss_predicates[i].ToString();
+      }
+      return s + "]";
+    }
+    case Kind::kUnion:
+      return "Union";
+  }
+  return "?";
+}
+
+std::string LogicalNode::ToString(int indent) const {
+  std::string out(static_cast<size_t>(indent) * 2, ' ');
+  out += Describe();
+  out += "\n";
+  for (const LogicalNodePtr& child : children) {
+    out += child->ToString(indent + 1);
+  }
+  return out;
+}
+
+LogicalNodePtr LogicalNode::Source(std::string stream_name, SchemaPtr schema) {
+  auto n = std::make_shared<LogicalNode>();
+  n->kind = Kind::kSource;
+  n->stream_name = std::move(stream_name);
+  n->schema = std::move(schema);
+  return n;
+}
+
+LogicalNodePtr LogicalNode::Select(ExprPtr predicate, LogicalNodePtr child) {
+  auto n = std::make_shared<LogicalNode>();
+  n->kind = Kind::kSelect;
+  n->predicate = std::move(predicate);
+  n->children = {std::move(child)};
+  return n;
+}
+
+LogicalNodePtr LogicalNode::Project(std::vector<int> columns,
+                                    LogicalNodePtr child) {
+  auto n = std::make_shared<LogicalNode>();
+  n->kind = Kind::kProject;
+  n->columns = std::move(columns);
+  n->children = {std::move(child)};
+  return n;
+}
+
+LogicalNodePtr LogicalNode::Join(int left_key, int right_key,
+                                 Timestamp window, LogicalNodePtr left,
+                                 LogicalNodePtr right) {
+  auto n = std::make_shared<LogicalNode>();
+  n->kind = Kind::kJoin;
+  n->left_key = left_key;
+  n->right_key = right_key;
+  n->window = window;
+  n->children = {std::move(left), std::move(right)};
+  return n;
+}
+
+LogicalNodePtr LogicalNode::Distinct(int key_col, Timestamp window,
+                                     LogicalNodePtr child) {
+  auto n = std::make_shared<LogicalNode>();
+  n->kind = Kind::kDistinct;
+  n->key_col = key_col;
+  n->window = window;
+  n->children = {std::move(child)};
+  return n;
+}
+
+LogicalNodePtr LogicalNode::GroupBy(int key_col, AggFn fn, int agg_col,
+                                    Timestamp window, LogicalNodePtr child) {
+  auto n = std::make_shared<LogicalNode>();
+  n->kind = Kind::kGroupBy;
+  n->key_col = key_col;
+  n->agg_fn = fn;
+  n->agg_col = agg_col;
+  n->window = window;
+  n->children = {std::move(child)};
+  return n;
+}
+
+LogicalNodePtr LogicalNode::Ss(std::vector<RoleSet> predicates,
+                               LogicalNodePtr child) {
+  auto n = std::make_shared<LogicalNode>();
+  n->kind = Kind::kSs;
+  n->ss_predicates = std::move(predicates);
+  n->children = {std::move(child)};
+  return n;
+}
+
+LogicalNodePtr LogicalNode::Union(std::vector<LogicalNodePtr> children) {
+  auto n = std::make_shared<LogicalNode>();
+  n->kind = Kind::kUnion;
+  n->children = std::move(children);
+  return n;
+}
+
+bool PlansEqual(const LogicalNodePtr& a, const LogicalNodePtr& b) {
+  if (!a || !b) return a == b;
+  if (a->kind != b->kind) return false;
+  if (a->children.size() != b->children.size()) return false;
+  switch (a->kind) {
+    case LogicalNode::Kind::kSource:
+      if (a->stream_name != b->stream_name) return false;
+      break;
+    case LogicalNode::Kind::kSelect:
+      // Compare predicate text (expressions are immutable trees).
+      if ((a->predicate ? a->predicate->ToString() : "") !=
+          (b->predicate ? b->predicate->ToString() : "")) {
+        return false;
+      }
+      break;
+    case LogicalNode::Kind::kProject:
+      if (a->columns != b->columns) return false;
+      break;
+    case LogicalNode::Kind::kJoin:
+      if (a->left_key != b->left_key || a->right_key != b->right_key ||
+          a->window != b->window || a->right_window != b->right_window) {
+        return false;
+      }
+      break;
+    case LogicalNode::Kind::kDistinct:
+      if (a->key_col != b->key_col || a->window != b->window) return false;
+      break;
+    case LogicalNode::Kind::kGroupBy:
+      if (a->key_col != b->key_col || a->agg_fn != b->agg_fn ||
+          a->agg_col != b->agg_col || a->window != b->window) {
+        return false;
+      }
+      break;
+    case LogicalNode::Kind::kSs:
+      if (a->ss_predicates != b->ss_predicates) return false;
+      break;
+    case LogicalNode::Kind::kUnion:
+      break;
+  }
+  for (size_t i = 0; i < a->children.size(); ++i) {
+    if (!PlansEqual(a->children[i], b->children[i])) return false;
+  }
+  return true;
+}
+
+size_t CountNodes(const LogicalNodePtr& root, LogicalNode::Kind kind) {
+  if (!root) return 0;
+  size_t n = root->kind == kind ? 1 : 0;
+  for (const LogicalNodePtr& child : root->children) {
+    n += CountNodes(child, kind);
+  }
+  return n;
+}
+
+}  // namespace spstream

@@ -1,0 +1,98 @@
+// Logical query plans: the representation the security-aware optimizer
+// rewrites with the Table II equivalence rules before physical compilation.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "exec/expr.h"
+#include "exec/sa_groupby.h"
+#include "security/role_set.h"
+#include "stream/schema.h"
+
+namespace spstream {
+
+struct LogicalNode;
+using LogicalNodePtr = std::shared_ptr<LogicalNode>;
+
+/// \brief One node of a logical plan tree. A tagged struct (rather than a
+/// class hierarchy) keeps rewrite-rule code simple.
+struct LogicalNode {
+  enum class Kind : uint8_t {
+    kSource,    // leaf: scan of a registered stream
+    kSelect,    // σ predicate
+    kProject,   // π columns
+    kJoin,      // ⋈ sliding-window equijoin
+    kDistinct,  // δ
+    kGroupBy,   // G
+    kSs,        // ψ Security Shield
+    kUnion,     // ∪
+  };
+
+  Kind kind;
+  std::vector<LogicalNodePtr> children;
+
+  // kSource
+  std::string stream_name;
+  SchemaPtr schema;  // also: computed output schema for inner nodes
+
+  // kSelect
+  ExprPtr predicate;
+
+  // kProject
+  std::vector<int> columns;
+
+  // kJoin
+  int left_key = 0;
+  int right_key = 0;
+  Timestamp window = 0;  // left-side window; also kDistinct / kGroupBy
+  /// Right-side window override for joins (0 = same as `window`); CQL
+  /// gives each joined stream its own [RANGE n].
+  Timestamp right_window = 0;
+
+  // kDistinct / kGroupBy
+  int key_col = 0;
+  AggFn agg_fn = AggFn::kCount;
+  int agg_col = 0;
+
+  // kSs
+  std::vector<RoleSet> ss_predicates;
+  /// Pre-filtering strategy (§IV.A): strip sps after this shield so the
+  /// downstream plan is a plain, security-unaware pipeline.
+  bool ss_drop_sps = false;
+
+  /// \brief Deep copy of this subtree (rewrites never mutate shared input).
+  LogicalNodePtr Clone() const;
+
+  /// \brief One-line operator description.
+  std::string Describe() const;
+
+  /// \brief Multi-line indented tree rendering.
+  std::string ToString(int indent = 0) const;
+
+  // Factory helpers.
+  static LogicalNodePtr Source(std::string stream_name, SchemaPtr schema);
+  static LogicalNodePtr Select(ExprPtr predicate, LogicalNodePtr child);
+  static LogicalNodePtr Project(std::vector<int> columns,
+                                LogicalNodePtr child);
+  static LogicalNodePtr Join(int left_key, int right_key, Timestamp window,
+                             LogicalNodePtr left, LogicalNodePtr right);
+  static LogicalNodePtr Distinct(int key_col, Timestamp window,
+                                 LogicalNodePtr child);
+  static LogicalNodePtr GroupBy(int key_col, AggFn fn, int agg_col,
+                                Timestamp window, LogicalNodePtr child);
+  static LogicalNodePtr Ss(std::vector<RoleSet> predicates,
+                           LogicalNodePtr child);
+  static LogicalNodePtr Union(std::vector<LogicalNodePtr> children);
+};
+
+/// \brief Structural equality of plans (used by rule round-trip tests).
+bool PlansEqual(const LogicalNodePtr& a, const LogicalNodePtr& b);
+
+/// \brief Count nodes of a given kind in the tree.
+size_t CountNodes(const LogicalNodePtr& root, LogicalNode::Kind kind);
+
+}  // namespace spstream

@@ -1,0 +1,449 @@
+#include "query/parser.h"
+
+#include "common/string_util.h"
+
+namespace spstream {
+
+namespace {
+
+class ParserImpl {
+ public:
+  ParserImpl(std::string_view sql, std::vector<Token> tokens)
+      : sql_(sql), tokens_(std::move(tokens)) {}
+
+  Result<Statement> Parse() {
+    if (AcceptKeyword("SELECT")) {
+      SP_ASSIGN_OR_RETURN(SelectStatement stmt, ParseSelectBody());
+      SP_RETURN_NOT_OK(ExpectEnd());
+      return Statement(std::move(stmt));
+    }
+    if (AcceptKeyword("INSERT")) {
+      SP_RETURN_NOT_OK(ExpectKeyword("SP"));
+      SP_ASSIGN_OR_RETURN(InsertSpStatement stmt, ParseInsertSpBody());
+      SP_RETURN_NOT_OK(ExpectEnd());
+      return Statement(std::move(stmt));
+    }
+    return Err("expected SELECT or INSERT SP");
+  }
+
+ private:
+  // ------------------------------------------------------------ helpers
+  const Token& Peek(size_t ahead = 0) const {
+    const size_t i = pos_ + ahead;
+    return i < tokens_.size() ? tokens_[i] : tokens_.back();
+  }
+  const Token& Advance() { return tokens_[pos_ < tokens_.size() - 1 ? pos_++ : pos_]; }
+
+  bool PeekKeyword(std::string_view kw, size_t ahead = 0) const {
+    const Token& t = Peek(ahead);
+    return t.kind == TokenKind::kIdent && EqualsIgnoreCase(t.text, kw);
+  }
+  bool AcceptKeyword(std::string_view kw) {
+    if (PeekKeyword(kw)) {
+      Advance();
+      return true;
+    }
+    return false;
+  }
+  Status ExpectKeyword(std::string_view kw) {
+    if (!AcceptKeyword(kw)) {
+      return Err("expected '" + std::string(kw) + "'");
+    }
+    return Status::OK();
+  }
+  bool AcceptSymbol(std::string_view sym) {
+    if (Peek().kind == TokenKind::kSymbol && Peek().text == sym) {
+      Advance();
+      return true;
+    }
+    return false;
+  }
+  Status ExpectSymbol(std::string_view sym) {
+    if (!AcceptSymbol(sym)) {
+      return Err("expected '" + std::string(sym) + "'");
+    }
+    return Status::OK();
+  }
+  Result<std::string> ExpectIdent() {
+    if (Peek().kind != TokenKind::kIdent) {
+      return Err("expected identifier");
+    }
+    return Advance().text;
+  }
+  Status ExpectEnd() {
+    if (Peek().kind != TokenKind::kEnd && !AcceptSymbol(";")) {
+      return Err("unexpected trailing input");
+    }
+    return Status::OK();
+  }
+  Status Err(std::string msg) const {
+    return Status::ParseError(msg + " at offset " +
+                              std::to_string(Peek().position) + " (near '" +
+                              Peek().text + "')");
+  }
+
+  // ------------------------------------------------------------ SELECT
+  Result<SelectStatement> ParseSelectBody() {
+    SelectStatement stmt;
+    stmt.distinct = AcceptKeyword("DISTINCT");
+
+    if (AcceptSymbol("*")) {
+      // SELECT * — empty item list.
+    } else {
+      do {
+        SP_ASSIGN_OR_RETURN(SelectItem item, ParseSelectItem());
+        stmt.items.push_back(std::move(item));
+      } while (AcceptSymbol(","));
+    }
+
+    SP_RETURN_NOT_OK(ExpectKeyword("FROM"));
+    do {
+      FromClause fc;
+      SP_ASSIGN_OR_RETURN(fc.stream, ExpectIdent());
+      if (AcceptSymbol("[")) {
+        SP_RETURN_NOT_OK(ExpectKeyword("RANGE"));
+        if (Peek().kind != TokenKind::kNumber) {
+          return Err("expected window extent after RANGE");
+        }
+        Timestamp extent = Advance().number.int64();
+        // Optional unit (timestamps are milliseconds by convention):
+        // MILLISECONDS (default) | SECONDS | MINUTES | HOURS.
+        if (PeekKeyword("MILLISECONDS") || PeekKeyword("MS")) {
+          Advance();
+        } else if (AcceptKeyword("SECONDS")) {
+          extent *= 1000;
+        } else if (AcceptKeyword("MINUTES")) {
+          extent *= 60 * 1000;
+        } else if (AcceptKeyword("HOURS")) {
+          extent *= 60 * 60 * 1000;
+        }
+        fc.range = extent;
+        SP_RETURN_NOT_OK(ExpectSymbol("]"));
+      }
+      stmt.from.push_back(std::move(fc));
+    } while (AcceptSymbol(","));
+    if (stmt.from.size() > 4) {
+      return Err("at most four streams in FROM are supported");
+    }
+
+    if (AcceptKeyword("WHERE")) {
+      SP_ASSIGN_OR_RETURN(stmt.where, ParseExpr());
+    }
+    if (AcceptKeyword("GROUP")) {
+      SP_RETURN_NOT_OK(ExpectKeyword("BY"));
+      SP_ASSIGN_OR_RETURN(std::string col, ExpectIdent());
+      // Allow qualified group-by column; keep the bare attribute name.
+      if (AcceptSymbol(".")) {
+        SP_ASSIGN_OR_RETURN(col, ExpectIdent());
+      }
+      stmt.group_by = std::move(col);
+    }
+    return stmt;
+  }
+
+  Result<SelectItem> ParseSelectItem() {
+    SelectItem item;
+    SP_ASSIGN_OR_RETURN(std::string first, ExpectIdent());
+    static const char* kAggs[] = {"COUNT", "SUM", "AVG", "MIN", "MAX"};
+    bool is_agg = false;
+    for (const char* agg : kAggs) {
+      if (EqualsIgnoreCase(first, agg) && Peek().kind == TokenKind::kSymbol &&
+          Peek().text == "(") {
+        is_agg = true;
+        break;
+      }
+    }
+    if (is_agg) {
+      item.agg_fn = ToUpper(first);
+      SP_RETURN_NOT_OK(ExpectSymbol("("));
+      if (AcceptSymbol("*")) {
+        item.column = "*";
+      } else {
+        SP_ASSIGN_OR_RETURN(item.column, ExpectIdent());
+        if (AcceptSymbol(".")) {
+          item.qualifier = item.column;
+          SP_ASSIGN_OR_RETURN(item.column, ExpectIdent());
+        }
+      }
+      SP_RETURN_NOT_OK(ExpectSymbol(")"));
+      return item;
+    }
+    item.column = std::move(first);
+    if (AcceptSymbol(".")) {
+      item.qualifier = item.column;
+      SP_ASSIGN_OR_RETURN(item.column, ExpectIdent());
+    }
+    return item;
+  }
+
+  // ------------------------------------------------------- expressions
+  Result<AstExprPtr> ParseExpr() { return ParseOr(); }
+
+  Result<AstExprPtr> ParseOr() {
+    SP_ASSIGN_OR_RETURN(AstExprPtr lhs, ParseAnd());
+    while (AcceptKeyword("OR")) {
+      SP_ASSIGN_OR_RETURN(AstExprPtr rhs, ParseAnd());
+      lhs = AstExpr::Binary("OR", std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+  Result<AstExprPtr> ParseAnd() {
+    SP_ASSIGN_OR_RETURN(AstExprPtr lhs, ParseNot());
+    while (AcceptKeyword("AND")) {
+      SP_ASSIGN_OR_RETURN(AstExprPtr rhs, ParseNot());
+      lhs = AstExpr::Binary("AND", std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+  Result<AstExprPtr> ParseNot() {
+    if (AcceptKeyword("NOT")) {
+      SP_ASSIGN_OR_RETURN(AstExprPtr operand, ParseNot());
+      return AstExpr::Unary("NOT", std::move(operand));
+    }
+    return ParseComparison();
+  }
+  Result<AstExprPtr> ParseComparison() {
+    SP_ASSIGN_OR_RETURN(AstExprPtr lhs, ParseAdditive());
+    static const char* kOps[] = {"=", "!=", "<=", ">=", "<", ">"};
+    for (const char* op : kOps) {
+      if (Peek().kind == TokenKind::kSymbol && Peek().text == op) {
+        Advance();
+        SP_ASSIGN_OR_RETURN(AstExprPtr rhs, ParseAdditive());
+        return AstExpr::Binary(op, std::move(lhs), std::move(rhs));
+      }
+    }
+    return lhs;
+  }
+  Result<AstExprPtr> ParseAdditive() {
+    SP_ASSIGN_OR_RETURN(AstExprPtr lhs, ParseMultiplicative());
+    while (Peek().kind == TokenKind::kSymbol &&
+           (Peek().text == "+" || Peek().text == "-")) {
+      std::string op = Advance().text;
+      SP_ASSIGN_OR_RETURN(AstExprPtr rhs, ParseMultiplicative());
+      lhs = AstExpr::Binary(op, std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+  Result<AstExprPtr> ParseMultiplicative() {
+    SP_ASSIGN_OR_RETURN(AstExprPtr lhs, ParseUnary());
+    while (Peek().kind == TokenKind::kSymbol &&
+           (Peek().text == "*" || Peek().text == "/")) {
+      std::string op = Advance().text;
+      SP_ASSIGN_OR_RETURN(AstExprPtr rhs, ParseUnary());
+      lhs = AstExpr::Binary(op, std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+  Result<AstExprPtr> ParseUnary() {
+    if (Peek().kind == TokenKind::kSymbol && Peek().text == "-") {
+      Advance();
+      SP_ASSIGN_OR_RETURN(AstExprPtr operand, ParseUnary());
+      return AstExpr::Unary("-", std::move(operand));
+    }
+    return ParsePrimary();
+  }
+  Result<AstExprPtr> ParsePrimary() {
+    const Token& t = Peek();
+    if (t.kind == TokenKind::kNumber) {
+      Advance();
+      return AstExpr::Lit(t.number);
+    }
+    if (t.kind == TokenKind::kString) {
+      Advance();
+      return AstExpr::Lit(Value(t.text));
+    }
+    if (t.kind == TokenKind::kSymbol && t.text == "(") {
+      Advance();
+      SP_ASSIGN_OR_RETURN(AstExprPtr inner, ParseExpr());
+      SP_RETURN_NOT_OK(ExpectSymbol(")"));
+      return inner;
+    }
+    if (t.kind == TokenKind::kIdent) {
+      if (EqualsIgnoreCase(t.text, "TRUE")) {
+        Advance();
+        return AstExpr::Lit(Value(true));
+      }
+      if (EqualsIgnoreCase(t.text, "FALSE")) {
+        Advance();
+        return AstExpr::Lit(Value(false));
+      }
+      std::string name = Advance().text;
+      if (AcceptSymbol("(")) {
+        // Function call.
+        std::vector<AstExprPtr> args;
+        if (!AcceptSymbol(")")) {
+          do {
+            SP_ASSIGN_OR_RETURN(AstExprPtr arg, ParseExpr());
+            args.push_back(std::move(arg));
+          } while (AcceptSymbol(","));
+          SP_RETURN_NOT_OK(ExpectSymbol(")"));
+        }
+        return AstExpr::Call(ToUpper(name), std::move(args));
+      }
+      if (AcceptSymbol(".")) {
+        SP_ASSIGN_OR_RETURN(std::string attr, ExpectIdent());
+        return AstExpr::Ident(std::move(name), std::move(attr));
+      }
+      return AstExpr::Ident("", std::move(name));
+    }
+    return Err("expected expression");
+  }
+
+  // --------------------------------------------------------- INSERT SP
+  Result<InsertSpStatement> ParseInsertSpBody() {
+    InsertSpStatement stmt;
+    if (AcceptKeyword("AS")) {
+      SP_ASSIGN_OR_RETURN(stmt.sp_name, ExpectIdent());
+    } else if (Peek().kind == TokenKind::kIdent &&
+               !PeekKeyword("INTO")) {
+      stmt.sp_name = Advance().text;
+    }
+    SP_RETURN_NOT_OK(ExpectKeyword("INTO"));
+    SP_RETURN_NOT_OK(ExpectKeyword("STREAM"));
+    SP_ASSIGN_OR_RETURN(stmt.stream, ExpectIdent());
+    SP_RETURN_NOT_OK(ExpectKeyword("LET"));
+
+    bool saw_ddp = false, saw_srp = false;
+    do {
+      SP_ASSIGN_OR_RETURN(std::string field, ExpectIdent());
+      if (!stmt.sp_name.empty() &&
+          EqualsIgnoreCase(field, stmt.sp_name) && AcceptSymbol(".")) {
+        SP_ASSIGN_OR_RETURN(field, ExpectIdent());
+      }
+      SP_RETURN_NOT_OK(ExpectSymbol("="));
+      if (EqualsIgnoreCase(field, "DDP")) {
+        SP_ASSIGN_OR_RETURN(std::vector<std::string> parts,
+                            ParseRawParenGroup(3));
+        stmt.ddp_stream = parts[0];
+        stmt.ddp_tuple = parts[1];
+        stmt.ddp_attr = parts[2];
+        saw_ddp = true;
+      } else if (EqualsIgnoreCase(field, "SRP")) {
+        if (Peek().kind == TokenKind::kSymbol && Peek().text == "(") {
+          SP_ASSIGN_OR_RETURN(std::vector<std::string> parts,
+                              ParseRawParenGroup(2));
+          stmt.srp_model = parts[0];
+          stmt.srp_roles = parts[1];
+        } else {
+          SP_ASSIGN_OR_RETURN(stmt.srp_roles, ParseRawUntilDelim());
+        }
+        saw_srp = true;
+      } else if (EqualsIgnoreCase(field, "SIGN")) {
+        SP_ASSIGN_OR_RETURN(std::string v, ExpectIdent());
+        if (EqualsIgnoreCase(v, "positive")) {
+          stmt.positive = true;
+        } else if (EqualsIgnoreCase(v, "negative")) {
+          stmt.positive = false;
+        } else {
+          return Err("SIGN must be positive or negative");
+        }
+      } else if (EqualsIgnoreCase(field, "IMMUTABLE")) {
+        SP_ASSIGN_OR_RETURN(std::string v, ExpectIdent());
+        if (EqualsIgnoreCase(v, "true")) {
+          stmt.immutable = true;
+        } else if (EqualsIgnoreCase(v, "false")) {
+          stmt.immutable = false;
+        } else {
+          return Err("IMMUTABLE must be true or false");
+        }
+      } else if (EqualsIgnoreCase(field, "INCREMENTAL")) {
+        SP_ASSIGN_OR_RETURN(std::string v, ExpectIdent());
+        if (EqualsIgnoreCase(v, "true")) {
+          stmt.incremental = true;
+        } else if (EqualsIgnoreCase(v, "false")) {
+          stmt.incremental = false;
+        } else {
+          return Err("INCREMENTAL must be true or false");
+        }
+      } else if (EqualsIgnoreCase(field, "TS")) {
+        if (Peek().kind != TokenKind::kNumber) {
+          return Err("TS must be a number");
+        }
+        stmt.ts = Advance().number.int64();
+      } else {
+        return Err("unknown INSERT SP field '" + field + "'");
+      }
+    } while (AcceptSymbol(","));
+
+    if (!saw_ddp) return Err("INSERT SP requires LET DDP = (...)");
+    if (!saw_srp) return Err("INSERT SP requires LET SRP = ...");
+    return stmt;
+  }
+
+  /// Captures the raw source of a parenthesized group "(a, b, c)" — pattern
+  /// text may contain lexer symbols like '|', '[', '-' — and splits it into
+  /// exactly `expected_parts` top-level comma pieces.
+  Result<std::vector<std::string>> ParseRawParenGroup(size_t expected_parts) {
+    if (!(Peek().kind == TokenKind::kSymbol && Peek().text == "(")) {
+      return Err("expected '('");
+    }
+    const size_t open_off = Peek().position;
+    const size_t close_off = sql_.find(')', open_off);
+    if (close_off == std::string_view::npos) {
+      return Err("unterminated '(' group");
+    }
+    // Skip tokens up to and including the ')'.
+    while (!(Peek().kind == TokenKind::kSymbol && Peek().text == ")" ) &&
+           Peek().kind != TokenKind::kEnd) {
+      Advance();
+    }
+    SP_RETURN_NOT_OK(ExpectSymbol(")"));
+
+    std::string body(sql_.substr(open_off + 1, close_off - open_off - 1));
+    std::vector<std::string> parts;
+    for (const std::string& p : Split(body, ',')) {
+      parts.emplace_back(Trim(p));
+    }
+    if (parts.size() != expected_parts) {
+      return Err("expected " + std::to_string(expected_parts) +
+                 " comma-separated values in group");
+    }
+    return parts;
+  }
+
+  /// Captures raw source until the next top-level ',' or end — used for the
+  /// bare-role-pattern SRP form.
+  Result<std::string> ParseRawUntilDelim() {
+    const size_t start_off = Peek().position;
+    size_t end_off = start_off;
+    while (Peek().kind != TokenKind::kEnd &&
+           !(Peek().kind == TokenKind::kSymbol &&
+             (Peek().text == "," || Peek().text == ";"))) {
+      end_off = Peek().position + Peek().text.size();
+      Advance();
+    }
+    std::string raw(Trim(sql_.substr(start_off, end_off - start_off)));
+    if (raw.empty()) return Err("expected SRP value");
+    return raw;
+  }
+
+  std::string_view sql_;
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<Statement> ParseStatement(std::string_view sql) {
+  SP_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(sql));
+  ParserImpl parser(sql, std::move(tokens));
+  return parser.Parse();
+}
+
+Result<SelectStatement> ParseSelect(std::string_view sql) {
+  SP_ASSIGN_OR_RETURN(Statement stmt, ParseStatement(sql));
+  if (auto* sel = std::get_if<SelectStatement>(&stmt)) {
+    return std::move(*sel);
+  }
+  return Status::ParseError("expected a SELECT statement");
+}
+
+Result<InsertSpStatement> ParseInsertSp(std::string_view sql) {
+  SP_ASSIGN_OR_RETURN(Statement stmt, ParseStatement(sql));
+  if (auto* ins = std::get_if<InsertSpStatement>(&stmt)) {
+    return std::move(*ins);
+  }
+  return Status::ParseError("expected an INSERT SP statement");
+}
+
+}  // namespace spstream

@@ -1,0 +1,30 @@
+// Recursive-descent parser for the CQL subset and the paper's INSERT SP
+// declaration (§III.D):
+//
+//   SELECT [DISTINCT] item[, ...] FROM stream [RANGE n] [, stream [RANGE n]]
+//     [WHERE expr] [GROUP BY column]
+//
+//   INSERT SP [[AS] name] INTO STREAM stream
+//     LET [name.]DDP = (es, et, ea),
+//         [name.]SRP = (model, er) | er
+//         [, [name.]SIGN = positive | negative]
+//         [, [name.]IMMUTABLE = true | false]
+//         [, [name.]TS = n]
+#pragma once
+
+#include "common/status.h"
+#include "query/ast.h"
+#include "query/lexer.h"
+
+namespace spstream {
+
+/// \brief Parse one statement (SELECT or INSERT SP).
+Result<Statement> ParseStatement(std::string_view sql);
+
+/// \brief Convenience: parse, requiring a SELECT.
+Result<SelectStatement> ParseSelect(std::string_view sql);
+
+/// \brief Convenience: parse, requiring an INSERT SP.
+Result<InsertSpStatement> ParseInsertSp(std::string_view sql);
+
+}  // namespace spstream

@@ -1,0 +1,310 @@
+#include "query/planner.h"
+
+#include "common/string_util.h"
+
+namespace spstream {
+
+namespace {
+
+constexpr Timestamp kDefaultWindow = 1000;
+
+Result<AggFn> AggFnFromString(const std::string& s) {
+  if (EqualsIgnoreCase(s, "COUNT")) return AggFn::kCount;
+  if (EqualsIgnoreCase(s, "SUM")) return AggFn::kSum;
+  if (EqualsIgnoreCase(s, "AVG")) return AggFn::kAvg;
+  if (EqualsIgnoreCase(s, "MIN")) return AggFn::kMin;
+  if (EqualsIgnoreCase(s, "MAX")) return AggFn::kMax;
+  return Status::ParseError("unknown aggregate: " + s);
+}
+
+/// Splits `expr` into conjuncts.
+void CollectConjuncts(const AstExprPtr& expr,
+                      std::vector<AstExprPtr>* conjuncts) {
+  if (expr && expr->kind == AstExpr::Kind::kBinary &&
+      expr->op_or_fn == "AND") {
+    CollectConjuncts(expr->args[0], conjuncts);
+    CollectConjuncts(expr->args[1], conjuncts);
+    return;
+  }
+  if (expr) conjuncts->push_back(expr);
+}
+
+}  // namespace
+
+Result<int> Planner::ResolveColumn(const Scope& scope,
+                                   const std::string& qualifier,
+                                   const std::string& name) const {
+  int found = -1;
+  for (const BoundColumn& col : scope) {
+    if (!EqualsIgnoreCase(col.name, name)) continue;
+    if (!qualifier.empty() && !EqualsIgnoreCase(col.qualifier, qualifier)) {
+      continue;
+    }
+    if (found >= 0) {
+      return Status::InvalidArgument("ambiguous column '" + name +
+                                     "'; qualify with a stream name");
+    }
+    found = col.index;
+  }
+  if (found < 0) {
+    return Status::NotFound("unknown column '" +
+                            (qualifier.empty() ? name
+                                               : qualifier + "." + name) +
+                            "'");
+  }
+  return found;
+}
+
+Result<ExprPtr> Planner::BindExpr(const AstExprPtr& ast,
+                                  const Scope& scope) const {
+  switch (ast->kind) {
+    case AstExpr::Kind::kIdent: {
+      SP_ASSIGN_OR_RETURN(int idx,
+                          ResolveColumn(scope, ast->qualifier, ast->ident));
+      return Expr::Column(idx, ast->qualifier.empty()
+                                   ? ast->ident
+                                   : ast->qualifier + "." + ast->ident);
+    }
+    case AstExpr::Kind::kLiteral:
+      return Expr::Literal(ast->literal);
+    case AstExpr::Kind::kUnary: {
+      SP_ASSIGN_OR_RETURN(ExprPtr operand, BindExpr(ast->args[0], scope));
+      if (ast->op_or_fn == "NOT") return Expr::Not(std::move(operand));
+      if (ast->op_or_fn == "-") {
+        return Expr::Arith(Expr::ArithOp::kSub, Expr::Literal(Value(0)),
+                           std::move(operand));
+      }
+      return Status::ParseError("unknown unary op: " + ast->op_or_fn);
+    }
+    case AstExpr::Kind::kBinary: {
+      SP_ASSIGN_OR_RETURN(ExprPtr lhs, BindExpr(ast->args[0], scope));
+      SP_ASSIGN_OR_RETURN(ExprPtr rhs, BindExpr(ast->args[1], scope));
+      const std::string& op = ast->op_or_fn;
+      if (op == "AND") return Expr::And(std::move(lhs), std::move(rhs));
+      if (op == "OR") return Expr::Or(std::move(lhs), std::move(rhs));
+      if (op == "=")
+        return Expr::Compare(Expr::CmpOp::kEq, std::move(lhs),
+                             std::move(rhs));
+      if (op == "!=")
+        return Expr::Compare(Expr::CmpOp::kNe, std::move(lhs),
+                             std::move(rhs));
+      if (op == "<")
+        return Expr::Compare(Expr::CmpOp::kLt, std::move(lhs),
+                             std::move(rhs));
+      if (op == "<=")
+        return Expr::Compare(Expr::CmpOp::kLe, std::move(lhs),
+                             std::move(rhs));
+      if (op == ">")
+        return Expr::Compare(Expr::CmpOp::kGt, std::move(lhs),
+                             std::move(rhs));
+      if (op == ">=")
+        return Expr::Compare(Expr::CmpOp::kGe, std::move(lhs),
+                             std::move(rhs));
+      if (op == "+")
+        return Expr::Arith(Expr::ArithOp::kAdd, std::move(lhs),
+                           std::move(rhs));
+      if (op == "-")
+        return Expr::Arith(Expr::ArithOp::kSub, std::move(lhs),
+                           std::move(rhs));
+      if (op == "*")
+        return Expr::Arith(Expr::ArithOp::kMul, std::move(lhs),
+                           std::move(rhs));
+      if (op == "/")
+        return Expr::Arith(Expr::ArithOp::kDiv, std::move(lhs),
+                           std::move(rhs));
+      return Status::ParseError("unknown binary op: " + op);
+    }
+    case AstExpr::Kind::kCall: {
+      if (ast->op_or_fn == "DISTANCE") {
+        if (ast->args.size() != 4) {
+          return Status::ParseError("DISTANCE takes 4 arguments");
+        }
+        std::vector<ExprPtr> bound;
+        for (const AstExprPtr& arg : ast->args) {
+          SP_ASSIGN_OR_RETURN(ExprPtr b, BindExpr(arg, scope));
+          bound.push_back(std::move(b));
+        }
+        return Expr::Distance(bound[0], bound[1], bound[2], bound[3]);
+      }
+      return Status::ParseError("unknown function: " + ast->op_or_fn);
+    }
+  }
+  return Status::Internal("unreachable");
+}
+
+Result<LogicalNodePtr> Planner::PlanSelect(const SelectStatement& stmt,
+                                           const RoleSet& query_roles) const {
+  if (stmt.from.empty()) {
+    return Status::InvalidArgument("query must have a FROM clause");
+  }
+
+  // Build sources (+ the query's SS directly above each, by default).
+  std::vector<LogicalNodePtr> inputs;
+  Scope scope;
+  std::vector<SchemaPtr> schemas;
+  for (const FromClause& fc : stmt.from) {
+    SP_ASSIGN_OR_RETURN(SchemaPtr schema, streams_->LookupSchema(fc.stream));
+    LogicalNodePtr node = LogicalNode::Source(fc.stream, schema);
+    if (!query_roles.Empty()) {
+      node = LogicalNode::Ss({query_roles}, std::move(node));
+      node->schema = schema;
+    }
+    const int base = static_cast<int>(scope.size());
+    for (size_t i = 0; i < schema->num_fields(); ++i) {
+      scope.push_back(BoundColumn{fc.stream, schema->field(i).name,
+                                  base + static_cast<int>(i)});
+    }
+    schemas.push_back(schema);
+    inputs.push_back(std::move(node));
+  }
+
+  LogicalNodePtr plan;
+  AstExprPtr residual_where;
+
+  if (inputs.size() >= 2) {
+    // Build a left-deep join tree: stream i joins the accumulated prefix
+    // through one equijoin conjunct linking a prefix column to one of
+    // stream i's columns. Remaining conjuncts become a Select above.
+    std::vector<AstExprPtr> conjuncts;
+    CollectConjuncts(stmt.where, &conjuncts);
+    std::vector<bool> used(conjuncts.size(), false);
+
+    // Each stream's [RANGE n] bounds its own join window.
+    Timestamp prefix_window = stmt.from[0].range.value_or(kDefaultWindow);
+    plan = inputs[0];
+    int prefix_width = static_cast<int>(schemas[0]->num_fields());
+    for (size_t s = 1; s < inputs.size(); ++s) {
+      const int right_width = static_cast<int>(schemas[s]->num_fields());
+      const int right_base = prefix_width;
+      int left_key = -1, right_key = -1;
+      for (size_t ci = 0; ci < conjuncts.size(); ++ci) {
+        if (used[ci]) continue;
+        const AstExprPtr& c = conjuncts[ci];
+        if (c->kind != AstExpr::Kind::kBinary || c->op_or_fn != "=" ||
+            c->args[0]->kind != AstExpr::Kind::kIdent ||
+            c->args[1]->kind != AstExpr::Kind::kIdent) {
+          continue;
+        }
+        auto l =
+            ResolveColumn(scope, c->args[0]->qualifier, c->args[0]->ident);
+        auto r =
+            ResolveColumn(scope, c->args[1]->qualifier, c->args[1]->ident);
+        if (!l.ok() || !r.ok()) continue;
+        int li = *l, ri = *r;
+        // Normalize: li in the prefix, ri in stream s.
+        if (ri < prefix_width && li >= right_base &&
+            li < right_base + right_width) {
+          std::swap(li, ri);
+        }
+        if (li < prefix_width && ri >= right_base &&
+            ri < right_base + right_width) {
+          left_key = li;
+          right_key = ri - right_base;
+          used[ci] = true;
+          break;
+        }
+      }
+      if (left_key < 0) {
+        return Status::InvalidArgument(
+            "stream '" + stmt.from[s].stream +
+            "' has no equijoin predicate connecting it to the preceding "
+            "FROM entries");
+      }
+      const Timestamp right_window =
+          stmt.from[s].range.value_or(kDefaultWindow);
+      plan = LogicalNode::Join(left_key, right_key, prefix_window,
+                               std::move(plan), inputs[s]);
+      plan->right_window = right_window;
+      prefix_window = std::max(prefix_window, right_window);
+      prefix_width += right_width;
+    }
+
+    // Re-AND the residual conjuncts.
+    for (size_t ci = 0; ci < conjuncts.size(); ++ci) {
+      if (used[ci]) continue;
+      residual_where = residual_where
+                           ? AstExpr::Binary("AND", residual_where,
+                                             conjuncts[ci])
+                           : conjuncts[ci];
+    }
+  } else {
+    plan = inputs[0];
+    residual_where = stmt.where;
+  }
+
+  if (residual_where) {
+    SP_ASSIGN_OR_RETURN(ExprPtr pred, BindExpr(residual_where, scope));
+    plan = LogicalNode::Select(std::move(pred), std::move(plan));
+  }
+
+  // Aggregation: exactly one aggregate item + GROUP BY column.
+  const SelectItem* agg_item = nullptr;
+  for (const SelectItem& item : stmt.items) {
+    if (!item.agg_fn.empty()) {
+      if (agg_item) {
+        return Status::Unimplemented(
+            "multiple aggregates in one query are not supported");
+      }
+      agg_item = &item;
+    }
+  }
+  if (agg_item) {
+    if (!stmt.group_by) {
+      return Status::Unimplemented(
+          "aggregates require GROUP BY (single-group aggregation: group by "
+          "a constant column)");
+    }
+    SP_ASSIGN_OR_RETURN(int key_col, ResolveColumn(scope, "", *stmt.group_by));
+    SP_ASSIGN_OR_RETURN(AggFn fn, AggFnFromString(agg_item->agg_fn));
+    int agg_col = key_col;
+    if (agg_item->column != "*") {
+      SP_ASSIGN_OR_RETURN(
+          agg_col, ResolveColumn(scope, agg_item->qualifier, agg_item->column));
+    }
+    Timestamp w = stmt.from[0].range.value_or(kDefaultWindow);
+    return LogicalNode::GroupBy(key_col, fn, agg_col, w, std::move(plan));
+  }
+
+  // Plain projection from the select list.
+  if (!stmt.items.empty()) {
+    std::vector<int> cols;
+    for (const SelectItem& item : stmt.items) {
+      SP_ASSIGN_OR_RETURN(int idx,
+                          ResolveColumn(scope, item.qualifier, item.column));
+      cols.push_back(idx);
+    }
+    if (stmt.distinct) {
+      if (cols.size() != 1) {
+        return Status::Unimplemented(
+            "DISTINCT over multiple columns is not supported");
+      }
+      Timestamp w = stmt.from[0].range.value_or(kDefaultWindow);
+      plan = LogicalNode::Distinct(cols[0], w, std::move(plan));
+      // Distinct keeps full tuples; project down to the selected column.
+      plan = LogicalNode::Project({cols[0]}, std::move(plan));
+      return plan;
+    }
+    plan = LogicalNode::Project(std::move(cols), std::move(plan));
+  }
+  return plan;
+}
+
+Result<SecurityPunctuation> Planner::BuildSp(const InsertSpStatement& stmt,
+                                             Timestamp default_ts) const {
+  SP_ASSIGN_OR_RETURN(Pattern es, Pattern::Compile(stmt.ddp_stream));
+  SP_ASSIGN_OR_RETURN(Pattern et, Pattern::Compile(stmt.ddp_tuple));
+  SP_ASSIGN_OR_RETURN(Pattern ea, Pattern::Compile(stmt.ddp_attr));
+  SP_ASSIGN_OR_RETURN(Pattern er, Pattern::Compile(stmt.srp_roles));
+  SP_ASSIGN_OR_RETURN(AccessControlModel model,
+                      AccessControlModelFromString(stmt.srp_model));
+  SecurityPunctuation sp(std::move(es), std::move(et), std::move(ea),
+                         std::move(er),
+                         stmt.positive ? Sign::kPositive : Sign::kNegative,
+                         stmt.immutable, stmt.ts.value_or(default_ts),
+                         model);
+  sp.set_incremental(stmt.incremental);
+  sp.ResolveRoles(*roles_);
+  return sp;
+}
+
+}  // namespace spstream

@@ -1,0 +1,51 @@
+// Binds parsed statements against the catalogs: SELECT -> logical plan
+// (with the query's Security Shield inserted), INSERT SP -> a
+// SecurityPunctuation ready for stream injection.
+#pragma once
+
+#include "common/status.h"
+#include "query/ast.h"
+#include "query/logical_plan.h"
+#include "security/security_punctuation.h"
+#include "stream/schema.h"
+
+namespace spstream {
+
+/// \brief Statement binder/planner.
+class Planner {
+ public:
+  Planner(const StreamCatalog* streams, const RoleCatalog* roles)
+      : streams_(streams), roles_(roles) {}
+
+  /// \brief Build the initial (unoptimized) logical plan for a SELECT.
+  ///
+  /// `query_roles` is the security predicate inherited from the query
+  /// specifier (§II.B: each query inherits its subject's roles). When
+  /// non-empty, one SS operator is placed directly above each source — the
+  /// optimizer may move, split or merge it afterwards.
+  Result<LogicalNodePtr> PlanSelect(const SelectStatement& stmt,
+                                    const RoleSet& query_roles) const;
+
+  /// \brief Materialize an INSERT SP statement into a punctuation
+  /// (timestamp defaults to `default_ts` when the statement has none).
+  Result<SecurityPunctuation> BuildSp(const InsertSpStatement& stmt,
+                                      Timestamp default_ts) const;
+
+ private:
+  /// One resolvable column in the current scope.
+  struct BoundColumn {
+    std::string qualifier;  // stream name
+    std::string name;
+    int index;
+  };
+  using Scope = std::vector<BoundColumn>;
+
+  Result<int> ResolveColumn(const Scope& scope, const std::string& qualifier,
+                            const std::string& name) const;
+  Result<ExprPtr> BindExpr(const AstExprPtr& ast, const Scope& scope) const;
+
+  const StreamCatalog* streams_;
+  const RoleCatalog* roles_;
+};
+
+}  // namespace spstream

@@ -1,0 +1,21 @@
+#include "security/policy.h"
+
+namespace spstream {
+
+std::string Policy::ToString() const {
+  return "Policy(allowed=" + allowed_.ToString() +
+         ", ts=" + std::to_string(ts_) + ")";
+}
+
+std::string Policy::ToString(const RoleCatalog& catalog) const {
+  return "Policy(allowed=" + allowed_.ToString(catalog) +
+         ", ts=" + std::to_string(ts_) + ")";
+}
+
+PolicyPtr DenyAllPolicy() {
+  static const PolicyPtr kDenyAll =
+      std::make_shared<const Policy>(Policy::DenyAll());
+  return kDenyAll;
+}
+
+}  // namespace spstream

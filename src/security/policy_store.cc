@@ -1,0 +1,179 @@
+#include "security/policy_store.h"
+
+#include <algorithm>
+#include <charconv>
+
+#include "common/string_util.h"
+#include "security/sp_codec.h"
+
+namespace spstream {
+
+namespace {
+
+// If the pattern is a single integer literal, extract it.
+bool SingleIntLiteral(const Pattern& p, TupleId* out) {
+  if (!p.IsLiteralList()) return false;
+  auto lits = p.LiteralAlternatives();
+  if (lits.size() != 1 || !IsAllDigits(lits[0])) return false;
+  auto [ptr, ec] =
+      std::from_chars(lits[0].data(), lits[0].data() + lits[0].size(), *out);
+  return ec == std::errc() && ptr == lits[0].data() + lits[0].size();
+}
+
+// If the pattern is exactly "[lo-hi]", extract the bounds.
+bool SingleIntRange(const Pattern& p, TupleId* lo, TupleId* hi) {
+  const std::string& t = p.text();
+  if (t.size() < 5 || t.front() != '[' || t.back() != ']') return false;
+  if (t.find('|') != std::string::npos) return false;
+  const size_t dash = t.find('-', 2);
+  if (dash == std::string::npos) return false;
+  std::string_view lo_sv(t.data() + 1, dash - 1);
+  std::string_view hi_sv(t.data() + dash + 1, t.size() - dash - 2);
+  auto [p1, e1] = std::from_chars(lo_sv.data(), lo_sv.data() + lo_sv.size(),
+                                  *lo);
+  auto [p2, e2] = std::from_chars(hi_sv.data(), hi_sv.data() + hi_sv.size(),
+                                  *hi);
+  return e1 == std::errc() && e2 == std::errc() &&
+         p1 == lo_sv.data() + lo_sv.size() &&
+         p2 == hi_sv.data() + hi_sv.size();
+}
+
+}  // namespace
+
+std::string PolicyStore::DdpKey(const SecurityPunctuation& sp) {
+  // Sign participates in the key: a grant and a denial over the same
+  // objects are distinct table rows (EffectiveRoles combines them with
+  // denial dominance at probe time).
+  return sp.stream_pattern().text() + "\x1f" + sp.tuple_pattern().text() +
+         "\x1f" + sp.attr_pattern().text() + "\x1f" +
+         (sp.sign() == Sign::kNegative ? "-" : "+");
+}
+
+Status PolicyStore::Apply(SecurityPunctuation sp) {
+  sp.ResolveRoles(*catalog_);
+  ++updates_;
+  std::string key = DdpKey(sp);
+  auto it = by_ddp_.find(key);
+  if (it != by_ddp_.end()) {
+    SecurityPunctuation& cur = entries_[it->second].sp;
+    if (sp.ts() > cur.ts()) {
+      cur = std::move(sp);  // override(): newer policy replaces
+    } else if (sp.ts() == cur.ts()) {
+      // union(): same batch. Merge role bitmaps respecting signs; for
+      // simplicity same-key same-ts sps of opposite sign keep the latest.
+      if (sp.sign() == cur.sign()) {
+        RoleSet merged = cur.roles();
+        merged.UnionWith(sp.roles());
+        cur.SetResolvedRoles(std::move(merged));
+      } else {
+        cur = std::move(sp);
+      }
+    }
+    // Older sp: ignored (already overridden).
+    return Status::OK();
+  }
+
+  const size_t idx = entries_.size();
+  entries_.push_back(Entry{std::move(sp), key});
+  by_ddp_.emplace(std::move(key), idx);
+
+  const SecurityPunctuation& stored = entries_[idx].sp;
+  TupleId tid, lo, hi;
+  if (SingleIntLiteral(stored.tuple_pattern(), &tid)) {
+    by_exact_tid_[tid].push_back(idx);
+  } else if (SingleIntRange(stored.tuple_pattern(), &lo, &hi)) {
+    by_range_lo_.emplace(lo, idx);
+    max_range_len_ = std::max(max_range_len_, hi - lo);
+  } else {
+    general_entries_.push_back(idx);
+  }
+  return Status::OK();
+}
+
+RoleSet PolicyStore::EffectiveRoles(std::string_view stream_name, TupleId tid,
+                                    std::string_view attr_name,
+                                    bool whole_tuple) const {
+  // Denial-by-default: start empty; the most recent applicable batch wins.
+  Timestamp best_ts = kMinTimestamp;
+  RoleSet positive, negative;
+  bool any = false;
+
+  auto consider = [&](const SecurityPunctuation& sp) {
+    if (!sp.AppliesToStream(stream_name)) return;
+    if (!sp.AppliesToTupleId(tid)) return;
+    if (whole_tuple) {
+      if (!sp.CoversWholeTuple()) return;
+    } else if (!sp.AppliesToAttribute(attr_name)) {
+      return;
+    }
+    if (sp.ts() < best_ts) return;  // overridden by a newer policy
+    if (sp.ts() > best_ts) {
+      best_ts = sp.ts();
+      positive = RoleSet();
+      negative = RoleSet();
+    }
+    any = true;
+    if (sp.sign() == Sign::kPositive) {
+      positive.UnionWith(sp.roles());
+    } else {
+      negative.UnionWith(sp.roles());
+    }
+  };
+
+  auto tid_it = by_exact_tid_.find(tid);
+  if (tid_it != by_exact_tid_.end()) {
+    for (size_t idx : tid_it->second) consider(entries_[idx].sp);
+  }
+  // Interval stabbing over range entries: only ranges with
+  // lo in [tid - max_range_len, tid] can cover tid.
+  if (!by_range_lo_.empty()) {
+    auto it = by_range_lo_.upper_bound(tid);
+    while (it != by_range_lo_.begin()) {
+      --it;
+      if (tid - it->first > max_range_len_) break;
+      consider(entries_[it->second].sp);
+    }
+  }
+  for (size_t idx : general_entries_) consider(entries_[idx].sp);
+
+  if (!any) return RoleSet();
+  return RoleSet::Difference(positive, negative);
+}
+
+bool PolicyStore::Probe(std::string_view stream_name, TupleId tid,
+                        const RoleSet& query_roles) const {
+  ++probes_;
+  return EffectiveRoles(stream_name, tid, "", /*whole_tuple=*/true)
+      .Intersects(query_roles);
+}
+
+bool PolicyStore::ProbeAttribute(std::string_view stream_name, TupleId tid,
+                                 std::string_view attr_name,
+                                 const RoleSet& query_roles) const {
+  ++probes_;
+  return EffectiveRoles(stream_name, tid, attr_name, /*whole_tuple=*/false)
+      .Intersects(query_roles);
+}
+
+size_t PolicyStore::PolicyMetadataBytes() const {
+  size_t bytes = 0;
+  for (const Entry& e : entries_) {
+    bytes += EncodedSpSize(e.sp);
+  }
+  return bytes;
+}
+
+size_t PolicyStore::MemoryBytes() const {
+  size_t bytes = sizeof(PolicyStore);
+  for (const Entry& e : entries_) {
+    bytes += e.sp.MemoryBytes() + e.ddp_key.capacity() + sizeof(Entry);
+  }
+  // Index overheads (approximate node + bucket costs).
+  bytes += by_ddp_.size() * (sizeof(void*) * 4 + sizeof(size_t));
+  bytes += by_exact_tid_.size() *
+           (sizeof(void*) * 4 + sizeof(TupleId) + sizeof(size_t));
+  bytes += general_entries_.capacity() * sizeof(size_t);
+  return bytes;
+}
+
+}  // namespace spstream

@@ -1,0 +1,85 @@
+// The central persistent policy table of the *store-and-probe* alternative
+// (§I.C): policies live server-side in one table; every policy change is a
+// table update and every data access probes the table.
+//
+// One copy of each distinct policy is kept (keyed by its DDP), which is the
+// memory advantage store-and-probe shows at large |R| in Figure 7c — and the
+// probe/update churn is its processing disadvantage in Figure 7b.
+#pragma once
+
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "security/security_punctuation.h"
+
+namespace spstream {
+
+/// \brief Central access-control policy table, probed per tuple access.
+class PolicyStore {
+ public:
+  explicit PolicyStore(const RoleCatalog* catalog) : catalog_(catalog) {}
+
+  /// \brief Apply a policy change. An sp whose DDP matches an existing
+  /// entry's DDP exactly *overrides* that entry when newer (§III.E), joins
+  /// it when same-timestamp (union), and is ignored when older; otherwise a
+  /// new entry is inserted.
+  Status Apply(SecurityPunctuation sp);
+
+  /// \brief Probe: may a subject holding `query_roles` read tuple `tid` of
+  /// stream `stream_name`? Applies denial-by-default and most-recent-policy-
+  /// wins across all entries whose DDP matches the object.
+  bool Probe(std::string_view stream_name, TupleId tid,
+             const RoleSet& query_roles) const;
+
+  /// \brief Probe for a specific attribute (attribute-granularity policies).
+  bool ProbeAttribute(std::string_view stream_name, TupleId tid,
+                      std::string_view attr_name,
+                      const RoleSet& query_roles) const;
+
+  size_t entry_count() const { return entries_.size(); }
+  int64_t probes() const { return probes_; }
+  int64_t updates() const { return updates_; }
+
+  /// \brief Table footprint in bytes (memory-figure accounting).
+  size_t MemoryBytes() const;
+
+  /// \brief Policy-metadata footprint comparable to the streaming
+  /// mechanisms' accounting: per entry, the compact encoded size of its
+  /// policy punctuation (one copy per distinct policy — the store-and-probe
+  /// memory advantage of Figure 7c).
+  size_t PolicyMetadataBytes() const;
+
+ private:
+  struct Entry {
+    SecurityPunctuation sp;
+    std::string ddp_key;
+  };
+
+  static std::string DdpKey(const SecurityPunctuation& sp);
+
+  /// Effective allowed roles for the object, or nullptr-equivalent empty set
+  /// when no policy covers it.
+  RoleSet EffectiveRoles(std::string_view stream_name, TupleId tid,
+                         std::string_view attr_name, bool whole_tuple) const;
+
+  const RoleCatalog* catalog_;
+  std::vector<Entry> entries_;
+  std::unordered_map<std::string, size_t> by_ddp_;
+  // Fast path: entries whose tuple pattern is a single integer literal,
+  // bucketed by tid (the dominant shape in per-object location policies).
+  std::unordered_map<TupleId, std::vector<size_t>> by_exact_tid_;
+  // Entries whose tuple pattern is one integer range [lo-hi], keyed by lo.
+  // A probe scans backwards from upper_bound(tid) while `tid - lo` is
+  // within the longest range seen — O(log n + overlap) stabbing.
+  std::multimap<TupleId, size_t> by_range_lo_;
+  TupleId max_range_len_ = 0;
+  std::vector<size_t> general_entries_;  // everything else
+  mutable int64_t probes_ = 0;
+  int64_t updates_ = 0;
+};
+
+}  // namespace spstream

@@ -1,0 +1,103 @@
+#include "security/role_catalog.h"
+
+#include <deque>
+
+#include "security/role_set.h"
+
+namespace spstream {
+
+RoleId RoleCatalog::RegisterRole(const std::string& name) {
+  auto it = by_name_.find(name);
+  if (it != by_name_.end()) return it->second;
+  RoleId id = static_cast<RoleId>(names_.size());
+  names_.push_back(name);
+  by_name_.emplace(name, id);
+  return id;
+}
+
+Result<RoleId> RoleCatalog::Lookup(const std::string& name) const {
+  auto it = by_name_.find(name);
+  if (it == by_name_.end()) {
+    return Status::NotFound("unknown role: " + name);
+  }
+  return it->second;
+}
+
+std::vector<RoleId> RoleCatalog::RegisterSyntheticRoles(
+    size_t count, const std::string& prefix) {
+  std::vector<RoleId> ids;
+  ids.reserve(count);
+  for (size_t i = 1; i <= count; ++i) {
+    ids.push_back(RegisterRole(prefix + std::to_string(i)));
+  }
+  return ids;
+}
+
+Status RoleCatalog::AddInheritance(RoleId senior, RoleId junior) {
+  if (senior >= size() || junior >= size()) {
+    return Status::InvalidArgument("inheritance over unknown roles");
+  }
+  if (senior == junior) {
+    return Status::InvalidArgument("a role cannot inherit from itself");
+  }
+  // Reject cycles: junior must not (transitively) inherit from senior.
+  for (RoleId r : SeniorsOf(senior)) {
+    if (r == junior) {
+      return Status::InvalidArgument(
+          "inheritance cycle: '" + Name(junior) + "' already inherits '" +
+          Name(senior) + "'");
+    }
+  }
+  direct_seniors_[junior].push_back(senior);
+  has_hierarchy_ = true;
+  return Status::OK();
+}
+
+std::vector<RoleId> RoleCatalog::SeniorsOf(RoleId junior) const {
+  std::vector<RoleId> out;
+  std::vector<bool> seen(size(), false);
+  std::deque<RoleId> frontier = {junior};
+  seen[junior] = true;
+  while (!frontier.empty()) {
+    RoleId cur = frontier.front();
+    frontier.pop_front();
+    out.push_back(cur);
+    auto it = direct_seniors_.find(cur);
+    if (it == direct_seniors_.end()) continue;
+    for (RoleId s : it->second) {
+      if (!seen[s]) {
+        seen[s] = true;
+        frontier.push_back(s);
+      }
+    }
+  }
+  return out;
+}
+
+RoleSet ExpandWithSeniors(const RoleSet& granted,
+                          const RoleCatalog& catalog) {
+  if (!catalog.has_hierarchy()) return granted;
+  RoleSet expanded = granted;
+  granted.ForEach([&](RoleId junior) {
+    for (RoleId senior : catalog.SeniorsOf(junior)) {
+      expanded.Insert(senior);
+    }
+  });
+  return expanded;
+}
+
+Status Subject::ActivateRole(RoleId role) {
+  if (frozen()) {
+    return Status::InvalidArgument(
+        "subject '" + name_ +
+        "' has registered queries; role assignment is frozen (see paper "
+        "SII.A)");
+  }
+  for (RoleId r : roles_) {
+    if (r == role) return Status::OK();
+  }
+  roles_.push_back(role);
+  return Status::OK();
+}
+
+}  // namespace spstream

@@ -1,0 +1,120 @@
+#include "security/role_set.h"
+
+#include <algorithm>
+#include <bit>
+
+namespace spstream {
+
+size_t RoleSet::Count() const {
+  size_t n = 0;
+  for (uint64_t w : words_) n += static_cast<size_t>(std::popcount(w));
+  return n;
+}
+
+bool RoleSet::Intersects(const RoleSet& other) const {
+  const size_t n = std::min(words_.size(), other.words_.size());
+  for (size_t i = 0; i < n; ++i) {
+    if (words_[i] & other.words_[i]) return true;
+  }
+  return false;
+}
+
+bool RoleSet::IsSubsetOf(const RoleSet& other) const {
+  for (size_t i = 0; i < words_.size(); ++i) {
+    const uint64_t theirs = i < other.words_.size() ? other.words_[i] : 0;
+    if (words_[i] & ~theirs) return false;
+  }
+  return true;
+}
+
+void RoleSet::UnionWith(const RoleSet& other) {
+  if (other.words_.size() > words_.size()) {
+    words_.resize(other.words_.size(), 0);
+  }
+  for (size_t i = 0; i < other.words_.size(); ++i) {
+    words_[i] |= other.words_[i];
+  }
+}
+
+void RoleSet::IntersectWith(const RoleSet& other) {
+  const size_t n = std::min(words_.size(), other.words_.size());
+  for (size_t i = 0; i < n; ++i) words_[i] &= other.words_[i];
+  for (size_t i = n; i < words_.size(); ++i) words_[i] = 0;
+  Normalize();
+}
+
+void RoleSet::SubtractAll(const RoleSet& other) {
+  const size_t n = std::min(words_.size(), other.words_.size());
+  for (size_t i = 0; i < n; ++i) words_[i] &= ~other.words_[i];
+  Normalize();
+}
+
+bool RoleSet::operator==(const RoleSet& other) const {
+  const size_t n = std::max(words_.size(), other.words_.size());
+  for (size_t i = 0; i < n; ++i) {
+    const uint64_t a = i < words_.size() ? words_[i] : 0;
+    const uint64_t b = i < other.words_.size() ? other.words_[i] : 0;
+    if (a != b) return false;
+  }
+  return true;
+}
+
+bool RoleSet::FirstRole(RoleId* out) const {
+  for (size_t w = 0; w < words_.size(); ++w) {
+    if (words_[w]) {
+      *out = static_cast<RoleId>((w << 6) +
+                                 static_cast<size_t>(std::countr_zero(words_[w])));
+      return true;
+    }
+  }
+  return false;
+}
+
+std::vector<RoleId> RoleSet::ToIds() const {
+  std::vector<RoleId> ids;
+  ids.reserve(Count());
+  ForEach([&](RoleId id) { ids.push_back(id); });
+  return ids;
+}
+
+std::string RoleSet::ToString(const RoleCatalog& catalog) const {
+  std::string out = "{";
+  bool first = true;
+  ForEach([&](RoleId id) {
+    if (!first) out += ", ";
+    first = false;
+    out += id < catalog.size() ? catalog.Name(id)
+                               : "#" + std::to_string(id);
+  });
+  out += "}";
+  return out;
+}
+
+std::string RoleSet::ToString() const {
+  std::string out = "{";
+  bool first = true;
+  ForEach([&](RoleId id) {
+    if (!first) out += ", ";
+    first = false;
+    out += std::to_string(id);
+  });
+  out += "}";
+  return out;
+}
+
+size_t RoleSet::Hash() const {
+  size_t h = 0xcbf29ce484222325ull;
+  for (size_t i = words_.size(); i > 0; --i) {
+    // Skip trailing zero words so normalized-equal sets hash equal.
+    if (words_[i - 1] == 0 && h == 0xcbf29ce484222325ull) continue;
+    h ^= std::hash<uint64_t>{}(words_[i - 1]) + 0x9e3779b9 + (h << 6) +
+         (h >> 2);
+  }
+  return h;
+}
+
+void RoleSet::Normalize() {
+  while (!words_.empty() && words_.back() == 0) words_.pop_back();
+}
+
+}  // namespace spstream

@@ -1,0 +1,139 @@
+// Bitmap role set: the paper's "policies can be encoded in a bitmap format
+// for compactness" made concrete. All hot-path policy operations (union,
+// intersection, compatibility checks in SS / SAJoin) are word-parallel.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "security/role_catalog.h"
+
+namespace spstream {
+
+/// \brief A set of roles stored as a bitmap over dense RoleIds.
+class RoleSet {
+ public:
+  RoleSet() = default;
+
+  /// \brief Singleton set {id}.
+  static RoleSet Of(RoleId id) {
+    RoleSet s;
+    s.Insert(id);
+    return s;
+  }
+
+  /// \brief Set from a list of ids.
+  static RoleSet FromIds(const std::vector<RoleId>& ids) {
+    RoleSet s;
+    for (RoleId id : ids) s.Insert(id);
+    return s;
+  }
+
+  /// \brief The full set [0, catalog.size()).
+  static RoleSet AllOf(const RoleCatalog& catalog) {
+    RoleSet s;
+    for (RoleId id = 0; id < catalog.size(); ++id) s.Insert(id);
+    return s;
+  }
+
+  void Insert(RoleId id) {
+    const size_t w = id >> 6;
+    if (w >= words_.size()) words_.resize(w + 1, 0);
+    words_[w] |= (1ULL << (id & 63));
+  }
+
+  void Erase(RoleId id) {
+    const size_t w = id >> 6;
+    if (w < words_.size()) words_[w] &= ~(1ULL << (id & 63));
+  }
+
+  bool Contains(RoleId id) const {
+    const size_t w = id >> 6;
+    return w < words_.size() && (words_[w] >> (id & 63)) & 1;
+  }
+
+  bool Empty() const {
+    for (uint64_t w : words_) {
+      if (w) return false;
+    }
+    return true;
+  }
+
+  /// \brief Number of roles in the set.
+  size_t Count() const;
+
+  /// \brief True iff the two sets share any role — the policy-compatibility
+  /// test (Pt ∩ p != ∅) of the security-aware algebra, without materializing
+  /// the intersection.
+  bool Intersects(const RoleSet& other) const;
+
+  /// \brief True iff this ⊆ other.
+  bool IsSubsetOf(const RoleSet& other) const;
+
+  void UnionWith(const RoleSet& other);
+  void IntersectWith(const RoleSet& other);
+  /// \brief Remove every role present in `other` (set difference).
+  void SubtractAll(const RoleSet& other);
+
+  static RoleSet Union(const RoleSet& a, const RoleSet& b) {
+    RoleSet s = a;
+    s.UnionWith(b);
+    return s;
+  }
+  static RoleSet Intersect(const RoleSet& a, const RoleSet& b) {
+    RoleSet s = a;
+    s.IntersectWith(b);
+    return s;
+  }
+  static RoleSet Difference(const RoleSet& a, const RoleSet& b) {
+    RoleSet s = a;
+    s.SubtractAll(b);
+    return s;
+  }
+
+  bool operator==(const RoleSet& other) const;
+  bool operator!=(const RoleSet& other) const { return !(*this == other); }
+
+  /// \brief Smallest role id in the set; used by the SPIndex skipping rule
+  /// (Lemma 5.1: skip an sp entry whose *first* role precedes the current
+  /// r-node's role). Returns false when empty.
+  bool FirstRole(RoleId* out) const;
+
+  /// \brief Invoke fn(RoleId) for every member in ascending id order.
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    for (size_t w = 0; w < words_.size(); ++w) {
+      uint64_t bits = words_[w];
+      while (bits) {
+        const int b = __builtin_ctzll(bits);
+        fn(static_cast<RoleId>((w << 6) + static_cast<size_t>(b)));
+        bits &= bits - 1;
+      }
+    }
+  }
+
+  /// \brief Member ids in ascending order.
+  std::vector<RoleId> ToIds() const;
+
+  /// \brief Render with catalog names, e.g. "{C, ND}".
+  std::string ToString(const RoleCatalog& catalog) const;
+  /// \brief Render with raw ids, e.g. "{0, 5}".
+  std::string ToString() const;
+
+  /// \brief Heap + inline footprint in bytes (memory-figure accounting).
+  size_t MemoryBytes() const {
+    return sizeof(RoleSet) + words_.capacity() * sizeof(uint64_t);
+  }
+
+  /// \brief Hash of the bitmap contents (trailing zero words ignored).
+  size_t Hash() const;
+
+ private:
+  /// Drop trailing zero words so equal sets compare equal bytewise.
+  void Normalize();
+
+  std::vector<uint64_t> words_;
+};
+
+}  // namespace spstream

@@ -1,0 +1,155 @@
+#include "security/sp_codec.h"
+
+namespace spstream {
+
+namespace {
+
+// Header flag bits (varint-encoded; the common all-default case is 1 byte).
+constexpr uint32_t kSignNegative = 1u << 0;
+constexpr uint32_t kImmutable = 1u << 1;
+constexpr uint32_t kHasStreamPattern = 1u << 2;  // absent => "*"
+constexpr uint32_t kHasTuplePattern = 1u << 3;
+constexpr uint32_t kHasAttrPattern = 1u << 4;
+constexpr uint32_t kSrpBitmap = 1u << 5;  // roles as bitmap, not pattern text
+constexpr uint32_t kModelShift = 6;       // 2 bits of model tag
+constexpr uint32_t kIncremental = 1u << 8;  // §IX incremental policy change
+
+void PutString(std::string_view s, std::string* out) {
+  PutVarint(s.size(), out);
+  out->append(s);
+}
+
+Result<std::string> GetString(std::string_view data, size_t* offset) {
+  SP_ASSIGN_OR_RETURN(uint64_t len, GetVarint(data, offset));
+  if (*offset + len > data.size()) {
+    return Status::ParseError("sp codec: truncated string field");
+  }
+  std::string s(data.substr(*offset, len));
+  *offset += len;
+  return s;
+}
+
+}  // namespace
+
+uint64_t ZigZagEncode(int64_t v) {
+  return (static_cast<uint64_t>(v) << 1) ^ static_cast<uint64_t>(v >> 63);
+}
+
+int64_t ZigZagDecode(uint64_t v) {
+  return static_cast<int64_t>(v >> 1) ^ -static_cast<int64_t>(v & 1);
+}
+
+void PutVarint(uint64_t v, std::string* out) {
+  while (v >= 0x80) {
+    out->push_back(static_cast<char>((v & 0x7f) | 0x80));
+    v >>= 7;
+  }
+  out->push_back(static_cast<char>(v));
+}
+
+Result<uint64_t> GetVarint(std::string_view data, size_t* offset) {
+  uint64_t v = 0;
+  int shift = 0;
+  while (*offset < data.size()) {
+    const uint8_t b = static_cast<uint8_t>(data[(*offset)++]);
+    v |= static_cast<uint64_t>(b & 0x7f) << shift;
+    if (!(b & 0x80)) return v;
+    shift += 7;
+    if (shift >= 64) break;
+  }
+  return Status::ParseError("sp codec: truncated/overlong varint");
+}
+
+void EncodeSp(const SecurityPunctuation& sp, std::string* out,
+              bool prefer_bitmap) {
+  const bool bitmap = prefer_bitmap && sp.roles_resolved();
+  // Only the canonical "*" is elided: a semantically match-all pattern with
+  // different text (e.g. "x|*") must round-trip verbatim.
+  uint32_t flags = 0;
+  if (sp.sign() == Sign::kNegative) flags |= kSignNegative;
+  if (sp.immutable()) flags |= kImmutable;
+  if (sp.stream_pattern().text() != "*") flags |= kHasStreamPattern;
+  if (sp.tuple_pattern().text() != "*") flags |= kHasTuplePattern;
+  if (sp.attr_pattern().text() != "*") flags |= kHasAttrPattern;
+  if (bitmap) flags |= kSrpBitmap;
+  if (sp.incremental()) flags |= kIncremental;
+  flags |= static_cast<uint32_t>(sp.model()) << kModelShift;
+  PutVarint(flags, out);
+  PutVarint(ZigZagEncode(sp.ts()), out);
+  if (flags & kHasStreamPattern) PutString(sp.stream_pattern().text(), out);
+  if (flags & kHasTuplePattern) PutString(sp.tuple_pattern().text(), out);
+  if (flags & kHasAttrPattern) PutString(sp.attr_pattern().text(), out);
+  if (bitmap) {
+    const std::vector<RoleId> ids = sp.roles().ToIds();
+    // Delta-encoded ascending role ids compress dense role lists well.
+    PutVarint(ids.size(), out);
+    RoleId prev = 0;
+    for (RoleId id : ids) {
+      PutVarint(id - prev, out);
+      prev = id;
+    }
+  } else {
+    PutString(sp.role_pattern().text(), out);
+  }
+}
+
+size_t EncodedSpSize(const SecurityPunctuation& sp, bool prefer_bitmap) {
+  std::string buf;
+  EncodeSp(sp, &buf, prefer_bitmap);
+  return buf.size();
+}
+
+Result<SecurityPunctuation> DecodeSp(std::string_view data, size_t* offset) {
+  if (*offset >= data.size()) {
+    return Status::ParseError("sp codec: empty input");
+  }
+  SP_ASSIGN_OR_RETURN(uint64_t flags64, GetVarint(data, offset));
+  const uint32_t flags = static_cast<uint32_t>(flags64);
+  SP_ASSIGN_OR_RETURN(uint64_t zz, GetVarint(data, offset));
+  const Timestamp ts = ZigZagDecode(zz);
+
+  Pattern es = Pattern::Any(), et = Pattern::Any(), ea = Pattern::Any();
+  if (flags & kHasStreamPattern) {
+    SP_ASSIGN_OR_RETURN(std::string s, GetString(data, offset));
+    SP_ASSIGN_OR_RETURN(es, Pattern::Compile(s));
+  }
+  if (flags & kHasTuplePattern) {
+    SP_ASSIGN_OR_RETURN(std::string s, GetString(data, offset));
+    SP_ASSIGN_OR_RETURN(et, Pattern::Compile(s));
+  }
+  if (flags & kHasAttrPattern) {
+    SP_ASSIGN_OR_RETURN(std::string s, GetString(data, offset));
+    SP_ASSIGN_OR_RETURN(ea, Pattern::Compile(s));
+  }
+
+  const auto model = static_cast<AccessControlModel>(
+      (flags >> kModelShift) & 0x3);
+  const Sign sign =
+      (flags & kSignNegative) ? Sign::kNegative : Sign::kPositive;
+  const bool immutable = (flags & kImmutable) != 0;
+
+  if (flags & kSrpBitmap) {
+    SP_ASSIGN_OR_RETURN(uint64_t count, GetVarint(data, offset));
+    RoleSet roles;
+    RoleId prev = 0;
+    for (uint64_t i = 0; i < count; ++i) {
+      SP_ASSIGN_OR_RETURN(uint64_t delta, GetVarint(data, offset));
+      prev += static_cast<RoleId>(delta);
+      roles.Insert(prev);
+    }
+    SecurityPunctuation sp(std::move(es), std::move(et), std::move(ea),
+                           Pattern::Any(), sign, immutable, ts, model);
+    sp.SetResolvedRoles(std::move(roles));
+    sp.set_incremental((flags & kIncremental) != 0);
+    return sp;
+  }
+
+  SP_ASSIGN_OR_RETURN(std::string role_text, GetString(data, offset));
+  SP_ASSIGN_OR_RETURN(Pattern er, Pattern::Compile(role_text));
+  SecurityPunctuation sp(std::move(es), std::move(et), std::move(ea),
+                         std::move(er), sign, immutable, ts, model);
+  sp.set_incremental((flags & kIncremental) != 0);
+  return sp;
+}
+
+}  // namespace spstream

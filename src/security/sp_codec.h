@@ -1,0 +1,38 @@
+// Compact binary wire format for security punctuations.
+//
+// The paper argues sps "can be encoded into a compact format, and in most
+// cases can be included into the same network message with the data". This
+// codec realizes that: header flag byte, zigzag-varint timestamp, pattern
+// fields elided when match-all, and the SRP optionally shipped as the
+// resolved role *bitmap* rather than pattern text.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "security/security_punctuation.h"
+
+namespace spstream {
+
+/// \brief Serialize `sp` into `out` (appended). If the sp has resolved roles
+/// and `prefer_bitmap` is set, the SRP is encoded as a role bitmap.
+void EncodeSp(const SecurityPunctuation& sp, std::string* out,
+              bool prefer_bitmap = true);
+
+/// \brief Encoded size in bytes without materializing the buffer.
+size_t EncodedSpSize(const SecurityPunctuation& sp,
+                     bool prefer_bitmap = true);
+
+/// \brief Decode one sp from `data` starting at `*offset`; advances
+/// `*offset` past the consumed bytes.
+Result<SecurityPunctuation> DecodeSp(std::string_view data, size_t* offset);
+
+// Varint helpers, exposed for tests.
+void PutVarint(uint64_t v, std::string* out);
+Result<uint64_t> GetVarint(std::string_view data, size_t* offset);
+uint64_t ZigZagEncode(int64_t v);
+int64_t ZigZagDecode(uint64_t v);
+
+}  // namespace spstream

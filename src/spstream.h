@@ -1,0 +1,50 @@
+// Umbrella header: the whole spstream public API in one include.
+//
+//   #include "spstream.h"
+//
+// For finer-grained builds include the individual module headers instead;
+// this header exists for application convenience (examples, tools,
+// embedders).
+#pragma once
+
+// Core runtime types.
+#include "common/metrics.h"     // IWYU pragma: export
+#include "common/rng.h"         // IWYU pragma: export
+#include "common/status.h"      // IWYU pragma: export
+#include "common/types.h"       // IWYU pragma: export
+#include "common/value.h"       // IWYU pragma: export
+
+// The security-punctuation model.
+#include "security/pattern.h"               // IWYU pragma: export
+#include "security/policy.h"                // IWYU pragma: export
+#include "security/policy_store.h"          // IWYU pragma: export
+#include "security/role_catalog.h"          // IWYU pragma: export
+#include "security/role_set.h"              // IWYU pragma: export
+#include "security/security_punctuation.h"  // IWYU pragma: export
+#include "security/sp_codec.h"              // IWYU pragma: export
+
+// Streams and execution.
+#include "exec/expr.h"            // IWYU pragma: export
+#include "exec/misc_ops.h"        // IWYU pragma: export
+#include "exec/operator.h"        // IWYU pragma: export
+#include "exec/plan_builder.h"    // IWYU pragma: export
+#include "exec/reorder.h"         // IWYU pragma: export
+#include "exec/sa_distinct.h"     // IWYU pragma: export
+#include "exec/sa_groupby.h"      // IWYU pragma: export
+#include "exec/sa_project.h"      // IWYU pragma: export
+#include "exec/sa_select.h"       // IWYU pragma: export
+#include "exec/sa_setops.h"       // IWYU pragma: export
+#include "exec/sajoin.h"          // IWYU pragma: export
+#include "exec/ss_operator.h"     // IWYU pragma: export
+#include "stream/schema.h"        // IWYU pragma: export
+#include "stream/stream_element.h"// IWYU pragma: export
+#include "stream/tuple.h"         // IWYU pragma: export
+
+// Query language, optimization, admission, engine.
+#include "analyzer/sp_analyzer.h"   // IWYU pragma: export
+#include "engine/engine.h"          // IWYU pragma: export
+#include "optimizer/cost_model.h"   // IWYU pragma: export
+#include "optimizer/optimizer.h"    // IWYU pragma: export
+#include "optimizer/rules.h"        // IWYU pragma: export
+#include "query/parser.h"           // IWYU pragma: export
+#include "query/planner.h"          // IWYU pragma: export

@@ -1,0 +1,51 @@
+#include "stream/schema.h"
+
+#include <unordered_map>
+
+namespace spstream {
+
+Result<int> Schema::FieldIndex(const std::string& name) const {
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    if (fields_[i].name == name) return static_cast<int>(i);
+  }
+  return Status::NotFound("no field '" + name + "' in stream '" +
+                          stream_name_ + "'");
+}
+
+std::string Schema::ToString() const {
+  std::string out = stream_name_ + "(";
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    if (i) out += ", ";
+    out += fields_[i].name;
+    out += ":";
+    out += ValueTypeToString(fields_[i].type);
+  }
+  out += ")";
+  return out;
+}
+
+Result<StreamId> StreamCatalog::RegisterStream(SchemaPtr schema) {
+  if (by_name_.count(schema->stream_name())) {
+    return Status::AlreadyExists("stream '" + schema->stream_name() +
+                                 "' already registered");
+  }
+  StreamId id = static_cast<StreamId>(schemas_.size());
+  by_name_.emplace(schema->stream_name(), id);
+  schemas_.push_back(std::move(schema));
+  return id;
+}
+
+Result<StreamId> StreamCatalog::LookupId(const std::string& name) const {
+  auto it = by_name_.find(name);
+  if (it == by_name_.end()) {
+    return Status::NotFound("unknown stream: " + name);
+  }
+  return it->second;
+}
+
+Result<SchemaPtr> StreamCatalog::LookupSchema(const std::string& name) const {
+  SP_ASSIGN_OR_RETURN(StreamId id, LookupId(name));
+  return schemas_[id];
+}
+
+}  // namespace spstream

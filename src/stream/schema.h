@@ -1,0 +1,75 @@
+// Stream schemas: field names/types plus the stream's registered name.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "common/value.h"
+
+namespace spstream {
+
+/// \brief One attribute of a stream schema.
+struct Field {
+  std::string name;
+  ValueType type = ValueType::kNull;
+
+  bool operator==(const Field& other) const {
+    return name == other.name && type == other.type;
+  }
+};
+
+/// \brief Immutable description of a stream's tuples.
+class Schema {
+ public:
+  Schema(std::string stream_name, std::vector<Field> fields)
+      : stream_name_(std::move(stream_name)), fields_(std::move(fields)) {}
+
+  const std::string& stream_name() const { return stream_name_; }
+  const std::vector<Field>& fields() const { return fields_; }
+  size_t num_fields() const { return fields_.size(); }
+  const Field& field(size_t i) const { return fields_[i]; }
+
+  /// \brief Index of the named field, or NotFound.
+  Result<int> FieldIndex(const std::string& name) const;
+
+  /// \brief "name(f1:T1, f2:T2, ...)".
+  std::string ToString() const;
+
+  bool operator==(const Schema& other) const {
+    return stream_name_ == other.stream_name_ && fields_ == other.fields_;
+  }
+
+ private:
+  std::string stream_name_;
+  std::vector<Field> fields_;
+};
+
+using SchemaPtr = std::shared_ptr<const Schema>;
+
+inline SchemaPtr MakeSchema(std::string stream_name,
+                            std::vector<Field> fields) {
+  return std::make_shared<const Schema>(std::move(stream_name),
+                                        std::move(fields));
+}
+
+/// \brief Registry of streams known to the DSMS: name <-> id <-> schema.
+class StreamCatalog {
+ public:
+  /// \brief Register a stream; AlreadyExists if the name is taken.
+  Result<StreamId> RegisterStream(SchemaPtr schema);
+
+  Result<StreamId> LookupId(const std::string& name) const;
+  Result<SchemaPtr> LookupSchema(const std::string& name) const;
+  SchemaPtr schema(StreamId id) const { return schemas_.at(id); }
+  size_t size() const { return schemas_.size(); }
+
+ private:
+  std::vector<SchemaPtr> schemas_;
+  std::unordered_map<std::string, StreamId> by_name_;
+};
+
+}  // namespace spstream

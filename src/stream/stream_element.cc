@@ -1,0 +1,13 @@
+#include "stream/stream_element.h"
+
+namespace spstream {
+
+std::string StreamElement::ToString() const {
+  if (is_tuple()) return tuple().ToString();
+  if (is_sp()) return sp().ToString();
+  const Control& c = control();
+  return std::string(c.kind == ControlKind::kEndOfStream ? "EOS" : "FLUSH") +
+         "[ts=" + std::to_string(c.ts) + "]";
+}
+
+}  // namespace spstream

@@ -1,0 +1,40 @@
+#include "stream/tuple.h"
+
+namespace spstream {
+
+std::string Tuple::ToString() const {
+  std::string out = "[sid=" + std::to_string(sid) +
+                    " tid=" + std::to_string(tid) +
+                    " ts=" + std::to_string(ts) + " |";
+  for (size_t i = 0; i < values.size(); ++i) {
+    out += i ? ", " : " ";
+    out += values[i].ToString();
+  }
+  out += "]";
+  return out;
+}
+
+std::string Tuple::ToString(const Schema& schema) const {
+  std::string out = schema.stream_name() + "[tid=" + std::to_string(tid) +
+                    " ts=" + std::to_string(ts) + " |";
+  for (size_t i = 0; i < values.size(); ++i) {
+    out += i ? ", " : " ";
+    if (i < schema.num_fields()) {
+      out += schema.field(i).name;
+      out += "=";
+    }
+    out += values[i].ToString();
+  }
+  out += "]";
+  return out;
+}
+
+size_t Tuple::MemoryBytes() const {
+  size_t bytes = sizeof(Tuple) + values.capacity() * sizeof(Value);
+  for (const Value& v : values) {
+    bytes += v.MemoryBytes() - sizeof(Value);
+  }
+  return bytes;
+}
+
+}  // namespace spstream

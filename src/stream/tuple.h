@@ -1,0 +1,42 @@
+// The stream tuple of §II.B: t = [sid, tid, A, ts].
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "common/value.h"
+#include "stream/schema.h"
+
+namespace spstream {
+
+/// \brief One data tuple. Attribute values are positional against the
+/// stream's schema. Tuples are entirely unaware of the sps around them
+/// (§III.A) — policies never live inside Tuple.
+struct Tuple {
+  StreamId sid = 0;
+  TupleId tid = 0;
+  std::vector<Value> values;
+  Timestamp ts = 0;
+
+  Tuple() = default;
+  Tuple(StreamId sid_, TupleId tid_, std::vector<Value> values_,
+        Timestamp ts_)
+      : sid(sid_), tid(tid_), values(std::move(values_)), ts(ts_) {}
+
+  const Value& value(size_t i) const { return values[i]; }
+
+  /// \brief "[sid=0 tid=42 ts=100 | v1, v2, ...]".
+  std::string ToString() const;
+  /// \brief Rendered with field names from the schema.
+  std::string ToString(const Schema& schema) const;
+
+  bool operator==(const Tuple& other) const {
+    return sid == other.sid && tid == other.tid && ts == other.ts &&
+           values == other.values;
+  }
+
+  size_t MemoryBytes() const;
+};
+
+}  // namespace spstream

@@ -1,0 +1,137 @@
+#include "workload/health_streams.h"
+
+#include <algorithm>
+
+namespace spstream {
+
+HospitalRoles RegisterHospitalRoles(RoleCatalog* catalog) {
+  HospitalRoles r;
+  r.cardiologist = catalog->RegisterRole("C");
+  r.general_physician = catalog->RegisterRole("GP");
+  r.doctor = catalog->RegisterRole("D");
+  r.dermatologist = catalog->RegisterRole("DM");
+  r.nurse_on_duty = catalog->RegisterRole("ND");
+  r.employee = catalog->RegisterRole("E");
+  return r;
+}
+
+SchemaPtr HeartRateSchema() {
+  return MakeSchema("HeartRate", {Field{"patient_id", ValueType::kInt64},
+                                  Field{"beats_per_min", ValueType::kInt64}});
+}
+
+SchemaPtr BodyTemperatureSchema() {
+  return MakeSchema("BodyTemperature",
+                    {Field{"patient_id", ValueType::kInt64},
+                     Field{"temperature", ValueType::kDouble}});
+}
+
+SchemaPtr BreathingRateSchema() {
+  return MakeSchema("BreathingRate",
+                    {Field{"patient_id", ValueType::kInt64},
+                     Field{"frequency", ValueType::kInt64},
+                     Field{"depth", ValueType::kInt64}});
+}
+
+namespace {
+
+struct PatientState {
+  int emergency_remaining = 0;  // updates left in escalated state
+};
+
+SecurityPunctuation PatientSp(const std::string& stream, TupleId patient,
+                              const Pattern& role_pattern,
+                              const RoleSet& roles, Timestamp ts) {
+  SecurityPunctuation sp(Pattern::Literal(stream),
+                         Pattern::Literal(std::to_string(patient)),
+                         Pattern::Any(), role_pattern, Sign::kPositive,
+                         /*immutable=*/false, ts);
+  sp.SetResolvedRoles(roles);
+  return sp;
+}
+
+}  // namespace
+
+HealthWorkload GenerateHealthWorkload(RoleCatalog* catalog,
+                                      const HealthStreamOptions& options) {
+  const HospitalRoles roles = RegisterHospitalRoles(catalog);
+  Rng rng(options.seed);
+  HealthWorkload wl;
+
+  // Example stream-level policy: only cardiologists query HeartRate.
+  {
+    SecurityPunctuation stream_sp(
+        Pattern::Literal("HeartRate"), Pattern::Any(), Pattern::Any(),
+        Pattern::Literal("C"), Sign::kPositive, /*immutable=*/false,
+        options.start_ts - 1);
+    stream_sp.SetResolvedRoles(RoleSet::Of(roles.cardiologist));
+    wl.heart_rate.emplace_back(std::move(stream_sp));
+  }
+  // Example attribute-level policy on temperature: D or ND only.
+  {
+    SecurityPunctuation attr_sp(
+        Pattern::Literal("BodyTemperature"), Pattern::Any(),
+        Pattern::Literal("temperature"), Pattern::Compile("D|ND").value(),
+        Sign::kPositive, /*immutable=*/false, options.start_ts - 1);
+    attr_sp.SetResolvedRoles(RoleSet::FromIds(
+        {roles.doctor, roles.nurse_on_duty}));
+    wl.body_temperature.emplace_back(std::move(attr_sp));
+  }
+
+  const RoleSet gp_only = RoleSet::Of(roles.general_physician);
+  RoleSet escalated = gp_only;
+  escalated.Insert(roles.employee);  // ER staff gain access in emergencies
+
+  std::vector<PatientState> patients(options.num_patients);
+  Timestamp ts = options.start_ts;
+
+  for (size_t round = 0; round < options.updates_per_patient; ++round) {
+    for (size_t p = 0; p < options.num_patients; ++p) {
+      const TupleId pid =
+          options.first_patient_id + static_cast<TupleId>(p);
+      PatientState& st = patients[p];
+      const bool spike = rng.NextBool(options.emergency_prob);
+      if (spike) st.emergency_remaining = 8;
+      const bool emergency = st.emergency_remaining > 0;
+      if (st.emergency_remaining > 0) --st.emergency_remaining;
+
+      const RoleSet& policy = emergency ? escalated : gp_only;
+      const Pattern role_pattern =
+          emergency ? Pattern::Compile("GP|E").value()
+                    : Pattern::Literal("GP");
+
+      // Tuple-level policy for this patient precedes each of his updates
+      // (Example 2: the patient controls who sees his vitals; an emergency
+      // escalates the policy via a newer-ts sp).
+      wl.heart_rate.push_back(
+          PatientSp("HeartRate", pid, role_pattern, policy, ts));
+      const int64_t bpm =
+          emergency ? 150 + static_cast<int64_t>(rng.NextBounded(40))
+                    : 60 + static_cast<int64_t>(rng.NextBounded(40));
+      wl.heart_rate.push_back(
+          Tuple(0, pid, {Value(static_cast<int64_t>(pid)), Value(bpm)}, ts));
+
+      wl.body_temperature.push_back(
+          PatientSp("BodyTemperature", pid, role_pattern, policy, ts));
+      const double temp = emergency ? 103.0 + rng.NextDouble() * 3
+                                    : 97.5 + rng.NextDouble() * 2;
+      wl.body_temperature.push_back(Tuple(
+          1, pid, {Value(static_cast<int64_t>(pid)), Value(temp)}, ts));
+
+      wl.breathing_rate.push_back(
+          PatientSp("BreathingRate", pid, role_pattern, policy, ts));
+      const int64_t freq =
+          emergency ? 25 + static_cast<int64_t>(rng.NextBounded(15))
+                    : 8 + static_cast<int64_t>(rng.NextBounded(8));
+      wl.breathing_rate.push_back(
+          Tuple(2, pid,
+                {Value(static_cast<int64_t>(pid)), Value(freq),
+                 Value(static_cast<int64_t>(20 + rng.NextBounded(30)))},
+                ts));
+      ts += 1;
+    }
+  }
+  return wl;
+}
+
+}  // namespace spstream

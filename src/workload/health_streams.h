@@ -1,0 +1,64 @@
+// The hospital stream environment of Figure 4: HeartRate, BodyTemperature
+// and BreathingRate streams with the role set {C, D, DM, E, GP, ND}, plus
+// generators for the paper's three example policies (stream-, tuple- and
+// attribute-granularity) and an "emergency escalation" scenario matching
+// motivating Example 2.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "security/role_catalog.h"
+#include "stream/stream_element.h"
+
+namespace spstream {
+
+/// \brief Role ids of the Figure 4 role hierarchy (flat RBAC).
+struct HospitalRoles {
+  RoleId cardiologist;       // C
+  RoleId general_physician;  // GP
+  RoleId doctor;             // D
+  RoleId dermatologist;      // DM
+  RoleId nurse_on_duty;      // ND
+  RoleId employee;           // E
+};
+
+/// \brief Register the Figure 4 roles (idempotent).
+HospitalRoles RegisterHospitalRoles(RoleCatalog* catalog);
+
+/// \brief Schemas of the three vitals streams.
+SchemaPtr HeartRateSchema();        // s1(patient_id, beats_per_min)
+SchemaPtr BodyTemperatureSchema();  // s2(patient_id, temperature)
+SchemaPtr BreathingRateSchema();    // s3(patient_id, frequency, depth)
+
+struct HealthStreamOptions {
+  size_t num_patients = 16;
+  size_t updates_per_patient = 64;
+  uint64_t seed = 11;
+  Timestamp start_ts = 1;
+  /// Patient id offset (the paper's examples use ids 120..133).
+  TupleId first_patient_id = 120;
+  /// Probability per update that a patient's vitals spike into the
+  /// emergency range (triggering the Example 2 policy escalation).
+  double emergency_prob = 0.01;
+};
+
+struct HealthWorkload {
+  std::vector<StreamElement> heart_rate;
+  std::vector<StreamElement> body_temperature;
+  std::vector<StreamElement> breathing_rate;
+};
+
+/// \brief Generate the three punctuated vitals streams. Policies follow the
+/// paper's examples:
+///  * HeartRate is stream-level restricted to cardiologists (C);
+///  * patients 120..133 tuple-level restricted to general physicians (GP);
+///  * temperature / beats_per_min attribute-level restricted to D or ND;
+///  * on an emergency, the patient's policy escalates (ts-newer sp) to
+///    additionally admit the hospital employee role (E) — and de-escalates
+///    after `emergency_duration` updates.
+HealthWorkload GenerateHealthWorkload(RoleCatalog* catalog,
+                                      const HealthStreamOptions& options);
+
+}  // namespace spstream

@@ -1,0 +1,129 @@
+#include "workload/moving_objects.h"
+
+#include <algorithm>
+
+namespace spstream {
+
+MovingObjectsGenerator::MovingObjectsGenerator(const RoleCatalog* catalog,
+                                               RoadNetwork network,
+                                               MovingObjectsOptions options)
+    : catalog_(catalog),
+      network_(std::move(network)),
+      options_(std::move(options)),
+      rng_(options_.seed) {
+  travels_.reserve(options_.num_objects);
+  for (size_t i = 0; i < options_.num_objects; ++i) {
+    travels_.push_back(network_.StartTravel(&rng_));
+  }
+  if (options_.distinct_policies > 0) {
+    policy_pool_.reserve(options_.distinct_policies);
+    for (size_t i = 0; i < options_.distinct_policies; ++i) {
+      RoleSet roles;
+      while (roles.Count() < options_.roles_per_policy) {
+        roles.Insert(static_cast<RoleId>(
+            rng_.NextBounded(std::max<size_t>(1, options_.role_pool))));
+      }
+      policy_pool_.push_back(std::move(roles));
+    }
+  }
+}
+
+SchemaPtr MovingObjectsGenerator::LocationSchema(
+    const std::string& stream_name) {
+  return MakeSchema(stream_name, {Field{"object_id", ValueType::kInt64},
+                                  Field{"x", ValueType::kDouble},
+                                  Field{"y", ValueType::kDouble},
+                                  Field{"speed", ValueType::kDouble}});
+}
+
+std::vector<RoleId> MovingObjectsGenerator::SeedRoles(RoleCatalog* catalog,
+                                                      size_t role_pool) {
+  return catalog->RegisterSyntheticRoles(role_pool);
+}
+
+RoleSet MovingObjectsGenerator::DrawPolicyRoles() {
+  if (!policy_pool_.empty()) {
+    return policy_pool_[rng_.NextBounded(policy_pool_.size())];
+  }
+  RoleSet roles;
+  while (roles.Count() <
+         std::min<size_t>(options_.roles_per_policy, options_.role_pool)) {
+    roles.Insert(static_cast<RoleId>(
+        rng_.NextBounded(std::max<size_t>(1, options_.role_pool))));
+  }
+  return roles;
+}
+
+std::vector<StreamElement> MovingObjectsGenerator::Generate() {
+  std::vector<StreamElement> out;
+  const int k = std::max(1, options_.tuples_per_sp);
+  out.reserve(options_.num_updates + options_.num_updates / k + 1);
+
+  Timestamp ts = options_.start_ts;
+  size_t emitted = 0;
+  size_t next_object = 0;
+
+  // With a policy pool, the id space splits into equal partitions, one
+  // policy each; a block's sp then names its whole partition, and blocks
+  // never straddle a partition boundary.
+  const size_t partitions =
+      policy_pool_.empty() ? 0 : policy_pool_.size();
+  const size_t partition_size =
+      partitions == 0
+          ? options_.num_objects
+          : std::max<size_t>(1, (options_.num_objects + partitions - 1) /
+                                    partitions);
+
+  while (emitted < options_.num_updates) {
+    const size_t partition_end =
+        ((next_object / partition_size) + 1) * partition_size;
+    const size_t block = std::min<size_t>(
+        {static_cast<size_t>(k), options_.num_updates - emitted,
+         options_.num_objects - next_object,
+         partition_end - next_object});
+    // The block covers objects [next_object, next_object + block); the
+    // sp's DDP names either that range exactly, or (with a policy pool)
+    // the whole partition the block belongs to.
+    TupleId lo = static_cast<TupleId>(next_object);
+    TupleId hi = static_cast<TupleId>(next_object + block - 1);
+    RoleSet roles;
+    if (partitions > 0) {
+      const size_t p = next_object / partition_size;
+      lo = static_cast<TupleId>(p * partition_size);
+      hi = static_cast<TupleId>(
+          std::min(options_.num_objects, (p + 1) * partition_size) - 1);
+      roles = policy_pool_[p % policy_pool_.size()];
+    } else {
+      roles = DrawPolicyRoles();
+    }
+    Pattern tuple_pattern =
+        lo == hi ? Pattern::Literal(std::to_string(lo))
+                 : Pattern::Range(lo, hi);
+
+    SecurityPunctuation sp(Pattern::Literal(options_.stream_name),
+                           std::move(tuple_pattern), Pattern::Any(),
+                           Pattern::Any(), Sign::kPositive,
+                           /*immutable=*/false, ts);
+    sp.SetResolvedRoles(std::move(roles));
+    out.emplace_back(std::move(sp));
+
+    for (size_t i = 0; i < block; ++i) {
+      const size_t obj = next_object + i;
+      RoadNetwork::Travel& travel = travels_[obj % travels_.size()];
+      network_.Advance(&travel, &rng_);
+      double x, y;
+      network_.Position(travel, &x, &y);
+      Tuple t(options_.sid, static_cast<TupleId>(obj),
+              {Value(static_cast<int64_t>(obj)), Value(x), Value(y),
+               Value(travel.speed)},
+              ts);
+      out.emplace_back(std::move(t));
+      ts += options_.ts_step;
+      ++emitted;
+    }
+    next_object = (next_object + block) % options_.num_objects;
+  }
+  return out;
+}
+
+}  // namespace spstream

@@ -1,0 +1,70 @@
+// Punctuated location-update streams: moving objects that "continuously and
+// selectively restrict access to their current location" (§VII.A). This is
+// the workload behind Figures 7 and 8.
+//
+// Tuples arrive in blocks of `tuples_per_sp` (the sp:tuple ratio knob):
+// each block is preceded by one sp carrying the block's tuple-granularity
+// policy, whose DDP names the block's object-id range — so the same
+// workload is addressable both positionally (punctuation semantics) and by
+// object id (the store-and-probe baseline's policy table).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "security/role_catalog.h"
+#include "stream/stream_element.h"
+#include "workload/road_network.h"
+
+namespace spstream {
+
+struct MovingObjectsOptions {
+  size_t num_objects = 1000;    ///< distinct moving objects
+  size_t num_updates = 10000;   ///< total location tuples to emit
+  int tuples_per_sp = 10;       ///< sp:tuple ratio 1/k (1 = unique policies)
+  size_t roles_per_policy = 1;  ///< |R|: role authorizations per policy
+  size_t role_pool = 100;       ///< roles drawn from r1..r<role_pool>
+  /// Partition the object-id space into this many equal ranges, each with
+  /// one fixed policy (0 = every sp draws a fresh policy). Small values
+  /// model the real-world case where many objects share few policies: the
+  /// sp DDP then names the whole partition, so a central policy table
+  /// stores exactly `distinct_policies` rows.
+  size_t distinct_policies = 0;
+  uint64_t seed = 42;
+  Timestamp start_ts = 1;
+  Timestamp ts_step = 1;        ///< timestamp increment per tuple
+  std::string stream_name = "Location";
+  StreamId sid = 0;
+};
+
+/// \brief Generates the punctuated location stream.
+class MovingObjectsGenerator {
+ public:
+  MovingObjectsGenerator(const RoleCatalog* catalog, RoadNetwork network,
+                         MovingObjectsOptions options);
+
+  /// \brief Schema: (object_id:INT64, x:DOUBLE, y:DOUBLE, speed:DOUBLE).
+  static SchemaPtr LocationSchema(const std::string& stream_name);
+
+  /// \brief Produce the full element sequence (sps interleaved with
+  /// tuples). Deterministic for a given seed.
+  std::vector<StreamElement> Generate();
+
+  /// \brief Register r1..r<role_pool> into `catalog` (idempotent); returns
+  /// their ids. Call before constructing the generator.
+  static std::vector<RoleId> SeedRoles(RoleCatalog* catalog,
+                                       size_t role_pool);
+
+ private:
+  RoleSet DrawPolicyRoles();
+
+  const RoleCatalog* catalog_;
+  RoadNetwork network_;
+  MovingObjectsOptions options_;
+  Rng rng_;
+  std::vector<RoadNetwork::Travel> travels_;
+  std::vector<RoleSet> policy_pool_;
+};
+
+}  // namespace spstream

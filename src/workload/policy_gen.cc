@@ -1,0 +1,106 @@
+#include "workload/policy_gen.h"
+
+#include <algorithm>
+#include <functional>
+
+namespace spstream {
+
+namespace {
+
+SchemaPtr JoinSchema(const std::string& name) {
+  return MakeSchema(name, {Field{"key", ValueType::kInt64},
+                           Field{"payload", ValueType::kInt64}});
+}
+
+/// Emit one punctuated stream: segments of `k` tuples, each preceded by an
+/// sp with the provided per-segment policy roles.
+std::vector<StreamElement> EmitStream(
+    const std::string& stream_name, size_t num_tuples, int k,
+    const std::function<RoleSet(size_t segment)>& segment_policy,
+    size_t key_cardinality, Timestamp start_ts, Rng* rng) {
+  std::vector<StreamElement> out;
+  out.reserve(num_tuples + num_tuples / static_cast<size_t>(k) + 1);
+  Timestamp ts = start_ts;
+  size_t emitted = 0, segment = 0;
+  while (emitted < num_tuples) {
+    const size_t block = std::min<size_t>(static_cast<size_t>(k),
+                                          num_tuples - emitted);
+    SecurityPunctuation sp(Pattern::Literal(stream_name), Pattern::Any(),
+                           Pattern::Any(), Pattern::Any(), Sign::kPositive,
+                           /*immutable=*/false, ts);
+    sp.SetResolvedRoles(segment_policy(segment));
+    out.emplace_back(std::move(sp));
+    for (size_t i = 0; i < block; ++i) {
+      const int64_t key =
+          static_cast<int64_t>(rng->NextBounded(key_cardinality));
+      Tuple t(0, static_cast<TupleId>(emitted),
+              {Value(key), Value(static_cast<int64_t>(emitted))}, ts);
+      out.emplace_back(std::move(t));
+      ts += 1;
+      ++emitted;
+    }
+    ++segment;
+  }
+  return out;
+}
+
+}  // namespace
+
+JoinWorkload GenerateJoinWorkload(RoleCatalog* catalog,
+                                  const JoinWorkloadOptions& options) {
+  Rng rng(options.seed);
+  const RoleId shared = catalog->RegisterRole("g_shared");
+  // Private padding pools.
+  std::vector<RoleId> left_private, right_private;
+  for (size_t i = 0; i < std::max<size_t>(1, options.roles_per_policy);
+       ++i) {
+    left_private.push_back(
+        catalog->RegisterRole("lp" + std::to_string(i + 1)));
+    right_private.push_back(
+        catalog->RegisterRole("rp" + std::to_string(i + 1)));
+  }
+
+  auto pad = [&](RoleSet base, const std::vector<RoleId>& pool) {
+    while (base.Count() < options.roles_per_policy && !pool.empty()) {
+      base.Insert(pool[rng.NextBounded(pool.size())]);
+    }
+    return base;
+  };
+
+  JoinWorkload wl;
+  wl.left_schema = JoinSchema(options.left_stream);
+  wl.right_schema = JoinSchema(options.right_stream);
+  wl.left = EmitStream(
+      options.left_stream, options.tuples_per_stream, options.tuples_per_sp,
+      [&](size_t) { return pad(RoleSet::Of(shared), left_private); },
+      options.join_key_cardinality, options.start_ts, &rng);
+  wl.right = EmitStream(
+      options.right_stream, options.tuples_per_stream, options.tuples_per_sp,
+      [&](size_t) {
+        if (rng.NextBool(options.sp_selectivity)) {
+          return pad(RoleSet::Of(shared), right_private);
+        }
+        RoleSet only_private =
+            RoleSet::Of(right_private[rng.NextBounded(
+                right_private.size())]);
+        return pad(std::move(only_private), right_private);
+      },
+      options.join_key_cardinality, options.start_ts, &rng);
+  return wl;
+}
+
+std::vector<RoleSet> RandomQueryPredicates(size_t count, size_t roles_each,
+                                           size_t pool, Rng* rng) {
+  std::vector<RoleSet> out;
+  out.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    RoleSet roles;
+    while (roles.Count() < std::min(roles_each, pool)) {
+      roles.Insert(static_cast<RoleId>(rng->NextBounded(pool)));
+    }
+    out.push_back(std::move(roles));
+  }
+  return out;
+}
+
+}  // namespace spstream

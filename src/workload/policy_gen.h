@@ -1,0 +1,48 @@
+// Policy-controlled workload generators for the join experiments (Figure 9)
+// and other parameterized studies: two punctuated streams whose policy
+// compatibility fraction σ_sp is controlled exactly.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "security/role_catalog.h"
+#include "stream/stream_element.h"
+
+namespace spstream {
+
+struct JoinWorkloadOptions {
+  size_t tuples_per_stream = 5000;
+  int tuples_per_sp = 10;      ///< sp:tuple ratio 1/k on both streams
+  double sp_selectivity = 0.5; ///< σ_sp: fraction of right segments whose
+                               ///  policy is compatible with left policies
+  size_t join_key_cardinality = 100;  ///< distinct join-key values
+  size_t roles_per_policy = 1;        ///< extra private roles per policy
+  uint64_t seed = 42;
+  Timestamp start_ts = 1;
+  std::string left_stream = "s1";
+  std::string right_stream = "s2";
+};
+
+struct JoinWorkload {
+  std::vector<StreamElement> left;
+  std::vector<StreamElement> right;
+  SchemaPtr left_schema;
+  SchemaPtr right_schema;
+};
+
+/// \brief Build the two streams. Construction: one designated *shared* role
+/// g; every left policy contains g (plus private padding roles); each right
+/// segment's policy contains g with probability σ_sp, otherwise only
+/// right-private roles. Tuple-pair policy compatibility is then exactly
+/// σ_sp in expectation. Registers the needed roles into `catalog`.
+JoinWorkload GenerateJoinWorkload(RoleCatalog* catalog,
+                                  const JoinWorkloadOptions& options);
+
+/// \brief Roles used by a stream of query specifiers: `count` random role
+/// sets of `roles_each` roles drawn from the first `pool` catalog roles.
+std::vector<RoleSet> RandomQueryPredicates(size_t count, size_t roles_each,
+                                           size_t pool, Rng* rng);
+
+}  // namespace spstream

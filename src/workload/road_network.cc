@@ -1,0 +1,87 @@
+#include "workload/road_network.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace spstream {
+
+RoadNetwork RoadNetwork::Grid(const RoadNetworkOptions& options) {
+  RoadNetwork net;
+  Rng rng(options.seed);
+  const int w = std::max(2, options.grid_width);
+  const int h = std::max(2, options.grid_height);
+  net.nodes_.resize(static_cast<size_t>(w) * static_cast<size_t>(h));
+
+  auto idx = [w](int col, int row) { return row * w + col; };
+
+  for (int row = 0; row < h; ++row) {
+    for (int col = 0; col < w; ++col) {
+      Node& n = net.nodes_[static_cast<size_t>(idx(col, row))];
+      n.x = col * options.cell_size +
+            (rng.NextDouble() * 2 - 1) * options.jitter;
+      n.y = row * options.cell_size +
+            (rng.NextDouble() * 2 - 1) * options.jitter;
+    }
+  }
+  auto connect = [&](int a, int b) {
+    net.nodes_[static_cast<size_t>(a)].neighbors.push_back(b);
+    net.nodes_[static_cast<size_t>(b)].neighbors.push_back(a);
+  };
+  for (int row = 0; row < h; ++row) {
+    for (int col = 0; col < w; ++col) {
+      if (col + 1 < w) connect(idx(col, row), idx(col + 1, row));
+      if (row + 1 < h) connect(idx(col, row), idx(col, row + 1));
+      if (col + 1 < w && row + 1 < h &&
+          rng.NextBool(options.diagonal_prob)) {
+        connect(idx(col, row), idx(col + 1, row + 1));
+      }
+    }
+  }
+  net.extent_x_ = (w - 1) * options.cell_size;
+  net.extent_y_ = (h - 1) * options.cell_size;
+  return net;
+}
+
+RoadNetwork::Travel RoadNetwork::StartTravel(Rng* rng) const {
+  Travel t;
+  t.from = static_cast<int>(rng->NextBounded(nodes_.size()));
+  const Node& n = nodes_[static_cast<size_t>(t.from)];
+  t.to = n.neighbors[rng->NextBounded(n.neighbors.size())];
+  t.progress = rng->NextDouble();
+  t.speed = 5.0 + rng->NextDouble() * 25.0;  // 5..30 m/tick
+  return t;
+}
+
+void RoadNetwork::Advance(Travel* t, Rng* rng) const {
+  const Node& a = nodes_[static_cast<size_t>(t->from)];
+  const Node& b = nodes_[static_cast<size_t>(t->to)];
+  const double dx = b.x - a.x, dy = b.y - a.y;
+  const double len = std::max(1.0, std::sqrt(dx * dx + dy * dy));
+  t->progress += t->speed / len;
+  while (t->progress >= 1.0) {
+    t->progress -= 1.0;
+    const int prev = t->from;
+    t->from = t->to;
+    const Node& cur = nodes_[static_cast<size_t>(t->from)];
+    // Prefer not to immediately backtrack.
+    int next = cur.neighbors[rng->NextBounded(cur.neighbors.size())];
+    if (next == prev && cur.neighbors.size() > 1) {
+      next = cur.neighbors[rng->NextBounded(cur.neighbors.size())];
+    }
+    t->to = next;
+    t->progress *= t->speed /
+                   std::max(1.0, std::hypot(node(t->to).x - cur.x,
+                                            node(t->to).y - cur.y)) *
+                   (len / t->speed);
+    t->progress = std::min(t->progress, 0.99);
+  }
+}
+
+void RoadNetwork::Position(const Travel& t, double* x, double* y) const {
+  const Node& a = nodes_[static_cast<size_t>(t.from)];
+  const Node& b = nodes_[static_cast<size_t>(t.to)];
+  *x = a.x + (b.x - a.x) * t.progress;
+  *y = a.y + (b.y - a.y) * t.progress;
+}
+
+}  // namespace spstream

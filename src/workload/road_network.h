@@ -1,0 +1,66 @@
+// Synthetic road network + movement model: our substitute for the
+// Brinkhoff network-based moving-objects generator the paper used (the
+// original is a Java tool over proprietary map files). A jittered grid with
+// random diagonals gives an irregular connected graph; objects random-walk
+// along edges at per-object speeds, emitting interpolated positions.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace spstream {
+
+struct RoadNetworkOptions {
+  int grid_width = 20;       ///< intersections per row
+  int grid_height = 20;      ///< rows
+  double cell_size = 100.0;  ///< nominal intersection spacing (meters)
+  double jitter = 25.0;      ///< max random displacement of an intersection
+  double diagonal_prob = 0.15;  ///< chance of an extra diagonal edge
+  uint64_t seed = 7;
+};
+
+/// \brief Undirected road graph with embedded coordinates.
+class RoadNetwork {
+ public:
+  struct Node {
+    double x = 0, y = 0;
+    std::vector<int> neighbors;
+  };
+
+  /// \brief Build the jittered-grid network.
+  static RoadNetwork Grid(const RoadNetworkOptions& options);
+
+  const Node& node(int i) const { return nodes_[static_cast<size_t>(i)]; }
+  size_t size() const { return nodes_.size(); }
+
+  /// \brief Width/height of the embedded bounding box.
+  double extent_x() const { return extent_x_; }
+  double extent_y() const { return extent_y_; }
+
+  /// \brief Movement state of one object travelling the network.
+  struct Travel {
+    int from = 0;
+    int to = 0;
+    double progress = 0;  ///< 0..1 along (from -> to)
+    double speed = 10.0;  ///< meters per tick
+  };
+
+  /// \brief Start a random journey.
+  Travel StartTravel(Rng* rng) const;
+
+  /// \brief Advance one tick; on reaching `to`, turn onto a random next
+  /// edge (avoiding immediate backtracking when possible).
+  void Advance(Travel* t, Rng* rng) const;
+
+  /// \brief Current interpolated position.
+  void Position(const Travel& t, double* x, double* y) const;
+
+ private:
+  std::vector<Node> nodes_;
+  double extent_x_ = 0, extent_y_ = 0;
+};
+
+}  // namespace spstream

@@ -1,0 +1,177 @@
+#include "optimizer/cost_model.h"
+
+#include <gtest/gtest.h>
+
+namespace spstream {
+namespace {
+
+class CostModelTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    schema_ = MakeSchema("s", {Field{"a", ValueType::kInt64},
+                               Field{"b", ValueType::kInt64}});
+    sources_["s"] = SourceStats{100.0, 10.0};
+    sources_["t"] = SourceStats{100.0, 10.0};
+  }
+
+  CostModel Model(CostModelOptions opts = {}) {
+    return CostModel(sources_, opts);
+  }
+  LogicalNodePtr Src(const std::string& name = "s") {
+    return LogicalNode::Source(name, schema_);
+  }
+
+  SchemaPtr schema_;
+  std::unordered_map<std::string, SourceStats> sources_;
+};
+
+TEST_F(CostModelTest, SourceRatesFlowFromStats) {
+  CostModel model = Model();
+  NodeEstimate est = model.Estimate(Src());
+  EXPECT_DOUBLE_EQ(est.tuple_rate, 100.0);
+  EXPECT_DOUBLE_EQ(est.sp_rate, 10.0);
+  EXPECT_DOUBLE_EQ(est.cost, 0.0);
+}
+
+TEST_F(CostModelTest, SsCostFormula) {
+  // SS = λ + λsp(N_Rsp + N_R) per §VI.A.
+  CostModelOptions opts;
+  opts.roles_per_sp = 2.0;
+  CostModel model = Model(opts);
+  RoleSet state;
+  for (RoleId i = 0; i < 5; ++i) state.Insert(i);  // N_R = 5
+  auto plan = LogicalNode::Ss({state}, Src());
+  NodeEstimate est = model.Estimate(plan);
+  EXPECT_DOUBLE_EQ(est.cost, 100.0 + 10.0 * (2.0 + 5.0));
+}
+
+TEST_F(CostModelTest, SsCostGrowsWithStateSize) {
+  CostModel model = Model();
+  RoleSet small = RoleSet::Of(0);
+  RoleSet big;
+  for (RoleId i = 0; i < 500; ++i) big.Insert(i);
+  const double c_small =
+      model.Estimate(LogicalNode::Ss({small}, Src())).cost;
+  const double c_big = model.Estimate(LogicalNode::Ss({big}, Src())).cost;
+  EXPECT_GT(c_big, c_small);  // the Figure 8b trend
+}
+
+TEST_F(CostModelTest, SelectAndProjectLinearCost) {
+  CostModel model = Model();
+  auto pred = Expr::Compare(Expr::CmpOp::kGt, Expr::Column(0),
+                            Expr::Literal(Value(0)));
+  EXPECT_DOUBLE_EQ(model.Estimate(LogicalNode::Select(pred, Src())).cost,
+                   110.0);
+  EXPECT_DOUBLE_EQ(model.Estimate(LogicalNode::Project({0}, Src())).cost,
+                   110.0);
+}
+
+TEST_F(CostModelTest, SelectShrinksTupleRateAndSpRate) {
+  CostModelOptions opts;
+  opts.select_selectivity = 0.1;
+  CostModel model = Model(opts);
+  auto pred = Expr::Compare(Expr::CmpOp::kGt, Expr::Column(0),
+                            Expr::Literal(Value(0)));
+  NodeEstimate est = model.Estimate(LogicalNode::Select(pred, Src()));
+  EXPECT_DOUBLE_EQ(est.tuple_rate, 10.0);
+  EXPECT_LT(est.sp_rate, 10.0);  // some segments fully filtered
+  EXPECT_GT(est.sp_rate, 0.0);
+}
+
+TEST_F(CostModelTest, IndexJoinCheaperThanNlAtLowSpSelectivity) {
+  auto join = LogicalNode::Join(0, 0, /*window=*/10, Src("s"), Src("t"));
+  CostModelOptions nl;
+  nl.index_join = false;
+  CostModelOptions idx;
+  idx.index_join = true;
+  idx.sp_selectivity = 0.1;
+  EXPECT_LT(CostModel(sources_, idx).Estimate(join).cost,
+            CostModel(sources_, nl).Estimate(join).cost);
+}
+
+TEST_F(CostModelTest, IndexJoinApproachesNlAtFullSpSelectivity) {
+  // σsp = 1: every tuple policy-compatible; index join degenerates to NL
+  // plus index maintenance (§VI.A).
+  auto join = LogicalNode::Join(0, 0, 10, Src("s"), Src("t"));
+  CostModelOptions nl;
+  nl.index_join = false;
+  CostModelOptions idx;
+  idx.index_join = true;
+  idx.sp_selectivity = 1.0;
+  const double c_nl = CostModel(sources_, nl).Estimate(join).cost;
+  const double c_idx = CostModel(sources_, idx).Estimate(join).cost;
+  EXPECT_GE(c_idx, c_nl);
+  EXPECT_NEAR(c_idx, c_nl + idx.roles_per_sp * 20.0, 1e-9);
+}
+
+TEST_F(CostModelTest, GroupByTwiceRecomputeCost) {
+  CostModelOptions opts;
+  opts.groupby_recompute_cost = 3.0;
+  CostModel model = Model(opts);
+  auto plan = LogicalNode::GroupBy(0, AggFn::kSum, 1, 10, Src());
+  EXPECT_DOUBLE_EQ(model.Estimate(plan).cost, 2.0 * 3.0 * (100.0 + 10.0));
+}
+
+TEST_F(CostModelTest, DistinctCostScalesWithOutputState) {
+  CostModelOptions few;
+  few.distinct_values = 5;
+  CostModelOptions many;
+  many.distinct_values = 500;
+  auto plan = LogicalNode::Distinct(0, 10, Src());
+  EXPECT_LT(CostModel(sources_, few).Estimate(plan).cost,
+            CostModel(sources_, many).Estimate(plan).cost);
+}
+
+TEST_F(CostModelTest, SubtreeCostAccumulates) {
+  CostModel model = Model();
+  auto pred = Expr::Compare(Expr::CmpOp::kGt, Expr::Column(0),
+                            Expr::Literal(Value(0)));
+  auto plan = LogicalNode::Project(
+      {0}, LogicalNode::Select(pred, LogicalNode::Ss({RoleSet::Of(0)},
+                                                     Src())));
+  NodeEstimate est = model.Estimate(plan);
+  EXPECT_GT(est.subtree_cost, est.cost);
+  EXPECT_DOUBLE_EQ(model.PlanCost(plan), est.subtree_cost);
+}
+
+TEST_F(CostModelTest, SsBelowJoinCheaperWhenSsIsSelective) {
+  // The intermediate-placement intuition (§IV.A): pushing the shield below
+  // an expensive join pays off when the shield is selective.
+  CostModelOptions opts;
+  opts.ss_selectivity = 0.1;
+  CostModel model = Model(opts);
+  RoleSet p = RoleSet::Of(0);
+  auto above = LogicalNode::Ss(
+      {p}, LogicalNode::Join(0, 0, 10, Src("s"), Src("t")));
+  auto below = LogicalNode::Join(0, 0, 10, LogicalNode::Ss({p}, Src("s")),
+                                 LogicalNode::Ss({p}, Src("t")));
+  EXPECT_LT(model.PlanCost(below), model.PlanCost(above));
+}
+
+TEST_F(CostModelTest, SsAboveCheaperWhenSsNotSelective) {
+  CostModelOptions opts;
+  opts.ss_selectivity = 1.0;  // shield filters nothing
+  opts.roles_per_sp = 10.0;
+  CostModel model = Model(opts);
+  RoleSet p = RoleSet::Of(0);
+  auto pred = Expr::Compare(Expr::CmpOp::kGt, Expr::Column(0),
+                            Expr::Literal(Value(0)));
+  // With a selective σ first, running SS after the select sees fewer sps.
+  CostModelOptions sel_opts = opts;
+  sel_opts.select_selectivity = 0.01;
+  CostModel sel_model = Model(sel_opts);
+  auto ss_first =
+      LogicalNode::Select(pred, LogicalNode::Ss({p}, Src()));
+  auto ss_last =
+      LogicalNode::Ss({p}, LogicalNode::Select(pred, Src()));
+  EXPECT_LE(sel_model.PlanCost(ss_last), sel_model.PlanCost(ss_first));
+}
+
+TEST_F(CostModelTest, UnknownStreamUsesDefaults) {
+  CostModel model = Model();
+  NodeEstimate est = model.Estimate(Src("unknown"));
+  EXPECT_GT(est.tuple_rate, 0.0);
+}
+
+}  // namespace
+}  // namespace spstream

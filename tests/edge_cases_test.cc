@@ -1,0 +1,189 @@
+// Edge cases hardened after review: overlapping range policies in the
+// store's interval index, ASG merging under MIN/MAX aggregates, stale-sp
+// handling inside SS, zero-width windows, and pattern extremes.
+#include <gtest/gtest.h>
+
+#include "exec/sa_groupby.h"
+#include "exec/ss_operator.h"
+#include "security/policy_store.h"
+#include "test_util.h"
+
+namespace spstream {
+namespace {
+
+using sptest::MakeSp;
+using sptest::MakeTuple;
+
+// ------------------------------------------------ policy store intervals
+
+class PolicyStoreIntervalTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ids_ = catalog_.RegisterSyntheticRoles(8);
+    store_ = std::make_unique<PolicyStore>(&catalog_);
+  }
+  Status ApplyRange(TupleId lo, TupleId hi, RoleId role, Timestamp ts) {
+    SecurityPunctuation sp(Pattern::Literal("s"), Pattern::Range(lo, hi),
+                           Pattern::Any(), Pattern::Any(), Sign::kPositive,
+                           false, ts);
+    sp.SetResolvedRoles(RoleSet::Of(role));
+    return store_->Apply(std::move(sp));
+  }
+  RoleCatalog catalog_;
+  std::vector<RoleId> ids_;
+  std::unique_ptr<PolicyStore> store_;
+};
+
+TEST_F(PolicyStoreIntervalTest, OverlappingRangesAllConsidered) {
+  // Same-ts overlapping ranges: both authorize inside the overlap.
+  ASSERT_TRUE(ApplyRange(0, 100, ids_[0], 5).ok());
+  ASSERT_TRUE(ApplyRange(50, 150, ids_[1], 5).ok());
+  EXPECT_TRUE(store_->Probe("s", 75, RoleSet::Of(ids_[0])));
+  EXPECT_TRUE(store_->Probe("s", 75, RoleSet::Of(ids_[1])));
+  EXPECT_TRUE(store_->Probe("s", 25, RoleSet::Of(ids_[0])));
+  EXPECT_FALSE(store_->Probe("s", 25, RoleSet::Of(ids_[1])));
+  EXPECT_FALSE(store_->Probe("s", 125, RoleSet::Of(ids_[0])));
+  EXPECT_TRUE(store_->Probe("s", 125, RoleSet::Of(ids_[1])));
+}
+
+TEST_F(PolicyStoreIntervalTest, NestedRangesBackwardScanFindsOuter) {
+  // A long range starting far left must still be found for a tid whose
+  // nearest lo belongs to a short inner range.
+  ASSERT_TRUE(ApplyRange(0, 1000, ids_[0], 5).ok());
+  ASSERT_TRUE(ApplyRange(400, 410, ids_[1], 5).ok());
+  ASSERT_TRUE(ApplyRange(500, 510, ids_[2], 5).ok());
+  EXPECT_TRUE(store_->Probe("s", 505, RoleSet::Of(ids_[0])));  // outer
+  EXPECT_TRUE(store_->Probe("s", 505, RoleSet::Of(ids_[2])));  // inner
+  EXPECT_FALSE(store_->Probe("s", 505, RoleSet::Of(ids_[1])));
+}
+
+TEST_F(PolicyStoreIntervalTest, NewerRangeOverridesOlderOverlap) {
+  ASSERT_TRUE(ApplyRange(0, 100, ids_[0], 5).ok());
+  ASSERT_TRUE(ApplyRange(40, 60, ids_[1], 9).ok());  // newer, narrower
+  // Inside the newer range, the newer policy governs exclusively.
+  EXPECT_FALSE(store_->Probe("s", 50, RoleSet::Of(ids_[0])));
+  EXPECT_TRUE(store_->Probe("s", 50, RoleSet::Of(ids_[1])));
+  // Outside it, the older policy still applies.
+  EXPECT_TRUE(store_->Probe("s", 10, RoleSet::Of(ids_[0])));
+}
+
+// ------------------------------------------------ group-by min/max merges
+
+TEST(GroupByMergeTest, MinMaxSurviveAsgMerge) {
+  RoleCatalog roles;
+  auto ids = roles.RegisterSyntheticRoles(4);
+  StreamCatalog streams;
+  ExecContext ctx{&roles, &streams};
+  SaGroupByOptions o;
+  o.key_col = 0;
+  o.agg_col = 1;
+  o.agg_fn = AggFn::kMax;
+  o.window_size = 1000000;
+  o.stream_name = "s";
+
+  std::vector<StreamElement> input;
+  input.emplace_back(MakeSp("s", {ids[0]}, 1));
+  input.emplace_back(MakeTuple(1, {5, 100}, 1));  // ASG A: max 100
+  input.emplace_back(MakeSp("s", {ids[1]}, 5));
+  input.emplace_back(MakeTuple(2, {5, 200}, 5));  // ASG B: max 200
+  input.emplace_back(MakeSp("s", {ids[0], ids[1]}, 9));
+  input.emplace_back(MakeTuple(3, {5, 50}, 9));   // merges A+B: max 200
+
+  auto r = sptest::RunUnary(&ctx, std::move(input), [&](Pipeline* p) {
+    return p->Add<SaGroupBy>(o);
+  });
+  ASSERT_GE(r.tuples.size(), 3u);
+  EXPECT_DOUBLE_EQ(r.tuples[2].values[1].AsDouble(), 200.0);
+}
+
+TEST(GroupByMergeTest, MinRecomputesAfterMergedExpiry) {
+  RoleCatalog roles;
+  auto ids = roles.RegisterSyntheticRoles(4);
+  StreamCatalog streams;
+  ExecContext ctx{&roles, &streams};
+  SaGroupByOptions o;
+  o.key_col = 0;
+  o.agg_col = 1;
+  o.agg_fn = AggFn::kMin;
+  o.window_size = 100;
+  o.stream_name = "s";
+
+  std::vector<StreamElement> input;
+  input.emplace_back(MakeSp("s", {ids[0]}, 1));
+  input.emplace_back(MakeTuple(1, {5, 10}, 1));    // min 10, expires first
+  input.emplace_back(MakeSp("s", {ids[0], ids[1]}, 120));
+  input.emplace_back(MakeTuple(2, {5, 30}, 120));  // same ASG (intersects)
+  input.emplace_back(MakeTuple(3, {5, 40}, 180));  // cutoff 80: only ts1 out
+  auto r = sptest::RunUnary(&ctx, std::move(input), [&](Pipeline* p) {
+    return p->Add<SaGroupBy>(o);
+  });
+  // Last arrival-driven result: min over {30, 40} = 30, not the expired 10.
+  ASSERT_GE(r.tuples.size(), 3u);
+  EXPECT_DOUBLE_EQ(r.tuples[2].values[1].AsDouble(), 30.0);
+}
+
+// ------------------------------------------------ SS stale-sp handling
+
+TEST(SsEdgeTest, StaleSpAfterTuplesIsIgnored) {
+  RoleCatalog roles;
+  auto ids = roles.RegisterSyntheticRoles(4);
+  StreamCatalog streams;
+  ExecContext ctx{&roles, &streams};
+  SsOptions o;
+  o.predicates = {RoleSet::Of(ids[1])};
+  o.stream_name = "s";
+  o.schema = MakeSchema("s", {Field{"a", ValueType::kInt64}});
+
+  std::vector<StreamElement> input;
+  input.emplace_back(MakeSp("s", {ids[0]}, 10));
+  input.emplace_back(MakeTuple(1, {1}, 10));          // denied (r0 only)
+  input.emplace_back(MakeSp("s", {ids[1]}, 5));       // STALE grant to r1
+  input.emplace_back(MakeTuple(2, {2}, 11));          // still governed by ts10
+  auto r = sptest::RunUnary(&ctx, std::move(input), [&](Pipeline* p) {
+    return p->Add<SsOperator>(o);
+  });
+  EXPECT_TRUE(r.tuples.empty());  // the stale sp must not grant r1 access
+}
+
+TEST(SsEdgeTest, EmptyPredicateListDeniesEverything) {
+  RoleCatalog roles;
+  auto ids = roles.RegisterSyntheticRoles(2);
+  StreamCatalog streams;
+  ExecContext ctx{&roles, &streams};
+  SsOptions o;  // no predicates at all
+  o.stream_name = "s";
+  o.schema = MakeSchema("s", {Field{"a", ValueType::kInt64}});
+  std::vector<StreamElement> input;
+  input.emplace_back(MakeSp("s", {ids[0]}, 1));
+  input.emplace_back(MakeTuple(1, {1}, 1));
+  auto r = sptest::RunUnary(&ctx, std::move(input), [&](Pipeline* p) {
+    return p->Add<SsOperator>(o);
+  });
+  EXPECT_TRUE(r.tuples.empty());
+}
+
+// ------------------------------------------------ pattern extremes
+
+TEST(PatternEdgeTest, ExtremeRangeBounds) {
+  Pattern p = Pattern::Range(INT64_MIN, INT64_MAX);
+  EXPECT_TRUE(p.MatchesInt(0));
+  EXPECT_TRUE(p.MatchesInt(INT64_MIN));
+  EXPECT_TRUE(p.MatchesInt(INT64_MAX));
+  auto rt = Pattern::Compile(p.text());
+  ASSERT_TRUE(rt.ok());
+  EXPECT_TRUE(rt->MatchesInt(INT64_MAX));
+}
+
+TEST(PatternEdgeTest, OverflowingRangeLiteralRejected) {
+  EXPECT_FALSE(Pattern::Compile("[0-99999999999999999999999]").ok());
+}
+
+TEST(PatternEdgeTest, GlobOnlyStars) {
+  auto p = Pattern::Compile("***");
+  ASSERT_TRUE(p.ok());
+  EXPECT_TRUE(p->MatchesString(""));
+  EXPECT_TRUE(p->MatchesString("anything"));
+}
+
+}  // namespace
+}  // namespace spstream

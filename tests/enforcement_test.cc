@@ -1,0 +1,135 @@
+// The three §I.C enforcement mechanisms must agree on WHAT is enforced —
+// identical query outputs over identical workloads — differing only in how
+// much it costs. These tests pin the agreement; the Figure 7 bench measures
+// the costs.
+#include "baselines/enforcement.h"
+
+#include <gtest/gtest.h>
+
+#include "workload/moving_objects.h"
+#include "workload/road_network.h"
+
+namespace spstream {
+namespace {
+
+class EnforcementTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ids_ = MovingObjectsGenerator::SeedRoles(&roles_, 20);
+  }
+
+  EnforcementWorkload MakeWorkload(int tuples_per_sp, size_t roles_per_policy,
+                                   uint64_t seed = 17) {
+    MovingObjectsOptions opts;
+    opts.num_objects = 200;
+    opts.num_updates = 2000;
+    opts.tuples_per_sp = tuples_per_sp;
+    opts.roles_per_policy = roles_per_policy;
+    opts.role_pool = 20;
+    opts.seed = seed;
+    MovingObjectsGenerator gen(&roles_, RoadNetwork::Grid({}), opts);
+    EnforcementWorkload wl;
+    wl.elements = gen.Generate();
+    wl.schema = MovingObjectsGenerator::LocationSchema("Location");
+    wl.stream_name = "Location";
+    return wl;
+  }
+
+  EnforcementQuery MakeQuery(RoleSet roles) {
+    EnforcementQuery q;
+    // The §VII.A query: objects within a region around the store.
+    q.select_predicate = Expr::Compare(
+        Expr::CmpOp::kLe,
+        Expr::Distance(Expr::Column(1), Expr::Column(2),
+                       Expr::Literal(Value(900.0)),
+                       Expr::Literal(Value(900.0))),
+        Expr::Literal(Value(800.0)));
+    q.project_columns = {0, 1, 2};
+    q.query_roles = std::move(roles);
+    return q;
+  }
+
+  RoleCatalog roles_;
+  StreamCatalog streams_;
+  std::vector<RoleId> ids_;
+};
+
+TEST_F(EnforcementTest, AllThreeMechanismsAgreeOnOutputCount) {
+  for (int k : {1, 10, 50}) {
+    EnforcementWorkload wl = MakeWorkload(k, 2);
+    EnforcementQuery q = MakeQuery(RoleSet::FromIds({ids_[2], ids_[7]}));
+
+    StoreAndProbeDriver store(&roles_);
+    TupleEmbeddedDriver embedded(&roles_);
+    SpFrameworkDriver sp(&roles_, &streams_);
+
+    EnforcementResult r_store = store.Run(wl, q);
+    EnforcementResult r_emb = embedded.Run(wl, q);
+    EnforcementResult r_sp = sp.Run(wl, q);
+
+    EXPECT_EQ(r_store.tuples_in, r_emb.tuples_in);
+    EXPECT_EQ(r_store.tuples_in, r_sp.tuples_in);
+    EXPECT_EQ(r_store.tuples_out, r_emb.tuples_out)
+        << "k=" << k << " store vs embedded";
+    EXPECT_EQ(r_emb.tuples_out, r_sp.tuples_out)
+        << "k=" << k << " embedded vs sp";
+    EXPECT_GT(r_sp.tuples_out, 0) << "degenerate workload";
+    EXPECT_LT(r_sp.tuples_out, r_sp.tuples_in);
+  }
+}
+
+TEST_F(EnforcementTest, UnauthorizedQueryGetsNothingEverywhere) {
+  EnforcementWorkload wl = MakeWorkload(10, 1);
+  // Roles outside the generator's policy pool never match.
+  RoleId outsider = roles_.RegisterRole("outsider");
+  EnforcementQuery q = MakeQuery(RoleSet::Of(outsider));
+  StoreAndProbeDriver store(&roles_);
+  TupleEmbeddedDriver embedded(&roles_);
+  SpFrameworkDriver sp(&roles_, &streams_);
+  EXPECT_EQ(store.Run(wl, q).tuples_out, 0);
+  EXPECT_EQ(embedded.Run(wl, q).tuples_out, 0);
+  EXPECT_EQ(sp.Run(wl, q).tuples_out, 0);
+}
+
+TEST_F(EnforcementTest, PassThroughQueryWithoutPredicate) {
+  EnforcementWorkload wl = MakeWorkload(10, 1);
+  EnforcementQuery q;
+  q.project_columns = {0};
+  q.query_roles = RoleSet::AllOf(roles_);  // superset of every policy
+  StoreAndProbeDriver store(&roles_);
+  TupleEmbeddedDriver embedded(&roles_);
+  SpFrameworkDriver sp(&roles_, &streams_);
+  EXPECT_EQ(store.Run(wl, q).tuples_out, 2000);
+  EXPECT_EQ(embedded.Run(wl, q).tuples_out, 2000);
+  EXPECT_EQ(sp.Run(wl, q).tuples_out, 2000);
+}
+
+TEST_F(EnforcementTest, TransitMemoryModelShapes) {
+  // Embedded policies cost per tuple; punctuations cost per segment — so
+  // the sp model's transit footprint must be well below embedded at k=50.
+  EnforcementWorkload wl = MakeWorkload(50, 2);
+  const size_t sp_bytes = PeakTransitPolicyBytes(wl.elements, false);
+  const size_t emb_bytes = PeakTransitPolicyBytes(wl.elements, true);
+  EXPECT_LT(sp_bytes * 5, emb_bytes);
+  // At k=1 (unique policy per tuple) the two converge.
+  EnforcementWorkload wl1 = MakeWorkload(1, 2);
+  const size_t sp1 = PeakTransitPolicyBytes(wl1.elements, false);
+  const size_t emb1 = PeakTransitPolicyBytes(wl1.elements, true);
+  EXPECT_NEAR(static_cast<double>(sp1) / static_cast<double>(emb1), 1.0,
+              0.2);
+}
+
+TEST_F(EnforcementTest, ResultMetadataPopulated) {
+  EnforcementWorkload wl = MakeWorkload(10, 1);
+  EnforcementQuery q = MakeQuery(RoleSet::Of(ids_[0]));
+  SpFrameworkDriver sp(&roles_, &streams_);
+  EnforcementResult r = sp.Run(wl, q);
+  EXPECT_EQ(r.mechanism, "security-punctuations");
+  EXPECT_GT(r.elapsed_ms, 0.0);
+  EXPECT_GT(r.cost_per_tuple_us, 0.0);
+  EXPECT_GT(r.policy_memory_bytes, 0u);
+  EXPECT_NE(r.ToString().find("security-punctuations"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace spstream

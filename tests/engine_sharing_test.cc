@@ -1,0 +1,115 @@
+// Multi-query sharing inside the engine (§VI.C as a feature): shared-trunk
+// execution must be output-identical to per-query pipelines.
+#include <gtest/gtest.h>
+
+#include "engine/engine.h"
+#include "workload/moving_objects.h"
+#include "workload/road_network.h"
+
+namespace spstream {
+namespace {
+
+std::vector<StreamElement> LocationElements(RoleCatalog* roles) {
+  MovingObjectsOptions opts;
+  opts.num_objects = 100;
+  opts.num_updates = 1500;
+  opts.tuples_per_sp = 10;
+  opts.roles_per_policy = 2;
+  opts.role_pool = 12;
+  opts.seed = 5;
+  MovingObjectsGenerator gen(roles, RoadNetwork::Grid({}), opts);
+  return gen.Generate();
+}
+
+/// Run the same 3-subject setup with and without plan sharing; compare.
+class EngineSharingTest : public ::testing::Test {
+ protected:
+  struct Setup {
+    std::unique_ptr<SpStreamEngine> engine;
+    std::vector<QueryId> queries;
+  };
+
+  Setup Make(bool share) {
+    EngineOptions opts;
+    opts.share_plans = share;
+    opts.optimize_plans = false;  // keep plan shapes identical across modes
+    Setup s;
+    s.engine = std::make_unique<SpStreamEngine>(opts);
+    // The generator uses roles r1..r12; register them in catalog order so
+    // the resolved sps align with engine roles.
+    MovingObjectsGenerator::SeedRoles(s.engine->roles(), 12);
+    EXPECT_TRUE(
+        s.engine
+            ->RegisterStream(
+                MovingObjectsGenerator::LocationSchema("Location"))
+            .ok());
+    EXPECT_TRUE(s.engine->RegisterSubject("alice", {"r1"}).ok());
+    EXPECT_TRUE(s.engine->RegisterSubject("bob", {"r5"}).ok());
+    EXPECT_TRUE(s.engine->RegisterSubject("carol", {"r5", "r9"}).ok());
+    const std::string sql =
+        "SELECT object_id, x FROM Location WHERE speed > 12";
+    for (const char* who : {"alice", "bob", "carol"}) {
+      auto q = s.engine->RegisterQuery(who, sql);
+      EXPECT_TRUE(q.ok()) << q.status().ToString();
+      s.queries.push_back(*q);
+    }
+    // A fourth query with a DIFFERENT shape shares with nobody.
+    auto q4 = s.engine->RegisterQuery(
+        "alice", "SELECT object_id FROM Location WHERE speed > 25");
+    EXPECT_TRUE(q4.ok());
+    s.queries.push_back(*q4);
+    return s;
+  }
+};
+
+TEST_F(EngineSharingTest, SharedAndSoloModesAgree) {
+  Setup solo = Make(false);
+  Setup shared = Make(true);
+
+  auto elements_solo = LocationElements(solo.engine->roles());
+  auto elements_shared = LocationElements(shared.engine->roles());
+
+  ASSERT_TRUE(solo.engine->Push("Location", elements_solo).ok());
+  ASSERT_TRUE(shared.engine->Push("Location", elements_shared).ok());
+  ASSERT_TRUE(solo.engine->Run().ok());
+  ASSERT_TRUE(shared.engine->Run().ok());
+
+  bool any_nonempty = false;
+  for (size_t i = 0; i < solo.queries.size(); ++i) {
+    auto a = solo.engine->Results(solo.queries[i]);
+    auto b = shared.engine->Results(shared.queries[i]);
+    ASSERT_TRUE(a.ok() && b.ok());
+    EXPECT_EQ(*a, *b) << "query " << i;
+    if (!a->empty()) any_nonempty = true;
+  }
+  EXPECT_TRUE(any_nonempty) << "degenerate workload";
+}
+
+TEST_F(EngineSharingTest, SharingSurvivesRoleUpdate) {
+  Setup shared = Make(true);
+  auto elements = LocationElements(shared.engine->roles());
+  ASSERT_TRUE(shared.engine->UpdateSubjectRoles("bob", {"r2"}).ok());
+  ASSERT_TRUE(shared.engine->Push("Location", elements).ok());
+  ASSERT_TRUE(shared.engine->Run().ok());
+  // Bob's results must correspond to r2 now: every result tuple's object
+  // must have carried r2 in its governing policy. Cross-check against a
+  // fresh engine whose bob starts as r2.
+  EngineOptions opts;
+  opts.share_plans = false;
+  opts.optimize_plans = false;
+  SpStreamEngine ref(opts);
+  MovingObjectsGenerator::SeedRoles(ref.roles(), 12);
+  ASSERT_TRUE(
+      ref.RegisterStream(MovingObjectsGenerator::LocationSchema("Location"))
+          .ok());
+  ASSERT_TRUE(ref.RegisterSubject("bob", {"r2"}).ok());
+  auto rq = ref.RegisterQuery(
+      "bob", "SELECT object_id, x FROM Location WHERE speed > 12");
+  ASSERT_TRUE(rq.ok());
+  ASSERT_TRUE(ref.Push("Location", LocationElements(ref.roles())).ok());
+  ASSERT_TRUE(ref.Run().ok());
+  EXPECT_EQ(*shared.engine->Results(shared.queries[1]), *ref.Results(*rq));
+}
+
+}  // namespace
+}  // namespace spstream

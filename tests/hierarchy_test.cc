@@ -1,0 +1,143 @@
+// Hierarchical RBAC (RBAC1) extension: role inheritance through the
+// catalog, upward closure at sp admission, and a MAC-style total-order
+// hierarchy riding the same machinery (the paper's claim that "any other
+// access control model ... can be implemented using sps").
+#include <gtest/gtest.h>
+
+#include "analyzer/sp_analyzer.h"
+#include "engine/engine.h"
+#include "test_util.h"
+
+namespace spstream {
+namespace {
+
+using sptest::MakeTuple;
+
+TEST(RoleHierarchyTest, SeniorsOfComputesTransitiveClosure) {
+  RoleCatalog catalog;
+  RoleId nurse = catalog.RegisterRole("nurse");
+  RoleId head_nurse = catalog.RegisterRole("head_nurse");
+  RoleId director = catalog.RegisterRole("director");
+  RoleId clerk = catalog.RegisterRole("clerk");
+  ASSERT_TRUE(catalog.AddInheritance(head_nurse, nurse).ok());
+  ASSERT_TRUE(catalog.AddInheritance(director, head_nurse).ok());
+
+  auto seniors = catalog.SeniorsOf(nurse);
+  EXPECT_EQ(seniors.size(), 3u);  // nurse, head_nurse, director
+  EXPECT_EQ(catalog.SeniorsOf(clerk).size(), 1u);
+  EXPECT_TRUE(catalog.has_hierarchy());
+}
+
+TEST(RoleHierarchyTest, CyclesRejected) {
+  RoleCatalog catalog;
+  RoleId a = catalog.RegisterRole("a");
+  RoleId b = catalog.RegisterRole("b");
+  RoleId c = catalog.RegisterRole("c");
+  ASSERT_TRUE(catalog.AddInheritance(b, a).ok());
+  ASSERT_TRUE(catalog.AddInheritance(c, b).ok());
+  EXPECT_FALSE(catalog.AddInheritance(a, c).ok());  // would close a cycle
+  EXPECT_FALSE(catalog.AddInheritance(a, a).ok());
+  EXPECT_FALSE(catalog.AddInheritance(99, a).ok());
+}
+
+TEST(RoleHierarchyTest, ExpandWithSeniorsClosesUpward) {
+  RoleCatalog catalog;
+  RoleId nurse = catalog.RegisterRole("nurse");
+  RoleId head = catalog.RegisterRole("head_nurse");
+  RoleId other = catalog.RegisterRole("other");
+  ASSERT_TRUE(catalog.AddInheritance(head, nurse).ok());
+  RoleSet granted = RoleSet::Of(nurse);
+  RoleSet expanded = ExpandWithSeniors(granted, catalog);
+  EXPECT_TRUE(expanded.Contains(nurse));
+  EXPECT_TRUE(expanded.Contains(head));
+  EXPECT_FALSE(expanded.Contains(other));
+}
+
+TEST(RoleHierarchyTest, ExpansionIsIdentityWithoutHierarchy) {
+  RoleCatalog catalog;
+  RoleId a = catalog.RegisterRole("a");
+  RoleSet granted = RoleSet::Of(a);
+  EXPECT_EQ(ExpandWithSeniors(granted, catalog), granted);
+}
+
+TEST(RoleHierarchyTest, AnalyzerExpandsGrantsAtAdmission) {
+  RoleCatalog catalog;
+  RoleId nurse = catalog.RegisterRole("nurse");
+  RoleId head = catalog.RegisterRole("head_nurse");
+  ASSERT_TRUE(catalog.AddInheritance(head, nurse).ok());
+
+  SpAnalyzer analyzer(&catalog, "Vitals");
+  SecurityPunctuation grant = SecurityPunctuation::StreamLevel(
+      Pattern::Literal("Vitals"), Pattern::Literal("nurse"), 1);
+  std::vector<StreamElement> out;
+  for (auto& e : analyzer.Process(StreamElement(std::move(grant)))) {
+    out.push_back(std::move(e));
+  }
+  for (auto& e : analyzer.Flush()) out.push_back(std::move(e));
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_TRUE(out[0].sp().roles().Contains(nurse));
+  EXPECT_TRUE(out[0].sp().roles().Contains(head));
+}
+
+TEST(RoleHierarchyTest, EndToEndSeniorReadsJuniorGrant) {
+  SpStreamEngine engine;
+  RoleId nurse = engine.RegisterRole("nurse");
+  RoleId head = engine.RegisterRole("head_nurse");
+  ASSERT_TRUE(engine.roles()->AddInheritance(head, nurse).ok());
+  ASSERT_TRUE(engine
+                  .RegisterStream(MakeSchema(
+                      "Vitals", {Field{"patient_id", ValueType::kInt64}}))
+                  .ok());
+  ASSERT_TRUE(engine.RegisterSubject("senior", {"head_nurse"}).ok());
+  ASSERT_TRUE(engine.RegisterSubject("junior", {"nurse"}).ok());
+  auto q_senior =
+      engine.RegisterQuery("senior", "SELECT patient_id FROM Vitals");
+  auto q_junior =
+      engine.RegisterQuery("junior", "SELECT patient_id FROM Vitals");
+  ASSERT_TRUE(q_senior.ok() && q_junior.ok());
+
+  // The patient grants only "nurse"; the head nurse inherits it.
+  ASSERT_TRUE(engine
+                  .ExecuteInsertSp(
+                      "INSERT SP INTO STREAM Vitals "
+                      "LET DDP = (Vitals, *, *), SRP = (RBAC, nurse), TS = 1")
+                  .ok());
+  ASSERT_TRUE(engine
+                  .Push("Vitals", {StreamElement(Tuple(
+                                      0, 1, {Value(int64_t{1})}, 1))})
+                  .ok());
+  ASSERT_TRUE(engine.Run().ok());
+  EXPECT_EQ(engine.Results(*q_senior)->size(), 1u);
+  EXPECT_EQ(engine.Results(*q_junior)->size(), 1u);
+}
+
+TEST(RoleHierarchyTest, MacLevelsAsTotalOrder) {
+  // MAC sensitivity levels L0 < L1 < L2: a grant at level Lk authorizes
+  // every subject cleared at >= Lk (Bell-LaPadula read-down).
+  RoleCatalog catalog;
+  RoleId l0 = catalog.RegisterRole("L0");
+  RoleId l1 = catalog.RegisterRole("L1");
+  RoleId l2 = catalog.RegisterRole("L2");
+  ASSERT_TRUE(catalog.AddInheritance(l1, l0).ok());
+  ASSERT_TRUE(catalog.AddInheritance(l2, l1).ok());
+
+  SpAnalyzer analyzer(&catalog, "Intel");
+  SecurityPunctuation sp(Pattern::Literal("Intel"), Pattern::Any(),
+                         Pattern::Any(), Pattern::Literal("L1"),
+                         Sign::kPositive, false, 1,
+                         AccessControlModel::kMac);
+  std::vector<StreamElement> out;
+  for (auto& e : analyzer.Process(StreamElement(std::move(sp)))) {
+    out.push_back(std::move(e));
+  }
+  for (auto& e : analyzer.Flush()) out.push_back(std::move(e));
+  ASSERT_EQ(out.size(), 1u);
+  const RoleSet& roles = out[0].sp().roles();
+  EXPECT_FALSE(roles.Contains(l0));  // below the object's level: denied
+  EXPECT_TRUE(roles.Contains(l1));
+  EXPECT_TRUE(roles.Contains(l2));   // cleared higher: read-down allowed
+  EXPECT_EQ(out[0].sp().model(), AccessControlModel::kMac);
+}
+
+}  // namespace
+}  // namespace spstream

@@ -1,0 +1,196 @@
+// Negative authorizations (Sign = '-') and immutability end-to-end: the
+// Bertino-style denial-dominance the paper adopts ([10]), across the
+// Security Shield, the policy table baseline, and the engine.
+#include <gtest/gtest.h>
+
+#include "baselines/enforcement.h"
+#include "engine/engine.h"
+#include "exec/ss_operator.h"
+#include "test_util.h"
+
+namespace spstream {
+namespace {
+
+using sptest::MakeSp;
+using sptest::MakeTuple;
+
+class NegativePolicyTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ids_ = roles_.RegisterSyntheticRoles(6);
+    ctx_ = ExecContext{&roles_, &streams_};
+  }
+  SsOptions Options(RoleSet predicate) {
+    SsOptions o;
+    o.predicates = {std::move(predicate)};
+    o.stream_name = "s";
+    o.schema = MakeSchema("s", {Field{"a", ValueType::kInt64}});
+    return o;
+  }
+  RoleCatalog roles_;
+  StreamCatalog streams_;
+  std::vector<RoleId> ids_;
+  ExecContext ctx_;
+};
+
+TEST_F(NegativePolicyTest, DenyOverridesGrantInOneBatch) {
+  // Batch: +{r0, r1}, -{r1}. r1's query must see nothing, r0's everything.
+  std::vector<StreamElement> input;
+  input.emplace_back(MakeSp("s", {ids_[0], ids_[1]}, 1));
+  input.emplace_back(MakeSp("s", {ids_[1]}, 1, Sign::kNegative));
+  input.emplace_back(MakeTuple(1, {1}, 1));
+
+  auto r0 = sptest::RunUnary(&ctx_, input, [&](Pipeline* p) {
+    return p->Add<SsOperator>(Options(RoleSet::Of(ids_[0])));
+  });
+  auto r1 = sptest::RunUnary(&ctx_, input, [&](Pipeline* p) {
+    return p->Add<SsOperator>(Options(RoleSet::Of(ids_[1])));
+  });
+  EXPECT_EQ(r0.tuples.size(), 1u);
+  EXPECT_TRUE(r1.tuples.empty());
+}
+
+TEST_F(NegativePolicyTest, PureDenialBatchIsDenyAll) {
+  std::vector<StreamElement> input;
+  input.emplace_back(MakeSp("s", {ids_[0]}, 1, Sign::kNegative));
+  input.emplace_back(MakeTuple(1, {1}, 1));
+  auto r = sptest::RunUnary(&ctx_, input, [&](Pipeline* p) {
+    return p->Add<SsOperator>(Options(RoleSet::AllOf(roles_)));
+  });
+  EXPECT_TRUE(r.tuples.empty());
+}
+
+TEST_F(NegativePolicyTest, DenialLiftsWithNewerBatch) {
+  std::vector<StreamElement> input;
+  input.emplace_back(MakeSp("s", {ids_[0]}, 1));
+  input.emplace_back(MakeSp("s", {ids_[0]}, 1, Sign::kNegative));
+  input.emplace_back(MakeTuple(1, {1}, 1));  // denied
+  input.emplace_back(MakeSp("s", {ids_[0]}, 9));  // fresh grant overrides
+  input.emplace_back(MakeTuple(2, {2}, 9));  // allowed
+  auto r = sptest::RunUnary(&ctx_, input, [&](Pipeline* p) {
+    return p->Add<SsOperator>(Options(RoleSet::Of(ids_[0])));
+  });
+  ASSERT_EQ(r.tuples.size(), 1u);
+  EXPECT_EQ(r.tuples[0].tid, 2);
+}
+
+TEST_F(NegativePolicyTest, StoreAndProbeAgreesWithSpModelOnSigns) {
+  // The same signed workload must be enforced identically by the central
+  // policy table and the streaming shield.
+  RoleCatalog roles;
+  StreamCatalog streams;
+  auto ids = roles.RegisterSyntheticRoles(6);
+  EnforcementWorkload wl;
+  wl.stream_name = "s";
+  wl.schema = MakeSchema("s", {Field{"a", ValueType::kInt64}});
+  Rng rng(321);
+  Timestamp ts = 1;
+  for (int block = 0; block < 60; ++block) {
+    SecurityPunctuation grant(Pattern::Literal("s"), Pattern::Any(),
+                              Pattern::Any(), Pattern::Any(),
+                              Sign::kPositive, false, ts);
+    grant.SetResolvedRoles(RoleSet::FromIds(
+        {ids[rng.NextBounded(6)], ids[rng.NextBounded(6)]}));
+    wl.elements.emplace_back(std::move(grant));
+    if (rng.NextBool(0.5)) {
+      SecurityPunctuation deny(Pattern::Literal("s"), Pattern::Any(),
+                               Pattern::Any(), Pattern::Any(),
+                               Sign::kNegative, false, ts);
+      deny.SetResolvedRoles(RoleSet::Of(ids[rng.NextBounded(6)]));
+      wl.elements.emplace_back(std::move(deny));
+    }
+    for (int i = 0; i < 5; ++i) {
+      wl.elements.emplace_back(
+          MakeTuple(block * 5 + i, {block * 5 + i}, ts));
+      ++ts;
+    }
+  }
+  EnforcementQuery q;
+  q.project_columns = {0};
+  q.query_roles = RoleSet::FromIds({ids[0], ids[3]});
+
+  StoreAndProbeDriver store(&roles);
+  SpFrameworkDriver sp(&roles, &streams);
+  EnforcementResult r_store = store.Run(wl, q);
+  EnforcementResult r_sp = sp.Run(wl, q);
+  EXPECT_EQ(r_store.tuples_out, r_sp.tuples_out);
+  EXPECT_GT(r_sp.tuples_out, 0);
+  EXPECT_LT(r_sp.tuples_out, r_sp.tuples_in);
+}
+
+TEST_F(NegativePolicyTest, ImmutableSpSurvivesHostileServerPolicy) {
+  // A data provider pins her policy; the engine's server policy must not
+  // narrow it (§III.E: "preventing any modification ... on the server").
+  SpStreamEngine engine;
+  engine.RegisterRole("GP");
+  engine.RegisterRole("C");
+  ASSERT_TRUE(engine
+                  .RegisterStream(MakeSchema(
+                      "Vitals", {Field{"patient_id", ValueType::kInt64}}))
+                  .ok());
+  SecurityPunctuation server = SecurityPunctuation::StreamLevel(
+      Pattern::Literal("Vitals"), Pattern::Literal("C"), 0);
+  ASSERT_TRUE(engine.AddServerPolicy("Vitals", server).ok());
+  ASSERT_TRUE(engine.RegisterSubject("gp_doc", {"GP"}).ok());
+  auto q = engine.RegisterQuery("gp_doc", "SELECT patient_id FROM Vitals");
+  ASSERT_TRUE(q.ok());
+
+  // Mutable grant to GP: the C-only server policy intersects it away.
+  ASSERT_TRUE(engine
+                  .ExecuteInsertSp(
+                      "INSERT SP INTO STREAM Vitals "
+                      "LET DDP = (Vitals, *, *), SRP = (RBAC, GP), TS = 1")
+                  .ok());
+  ASSERT_TRUE(engine
+                  .Push("Vitals", {StreamElement(Tuple(
+                                      0, 1, {Value(int64_t{1})}, 1))})
+                  .ok());
+  ASSERT_TRUE(engine.Run().ok());
+  EXPECT_TRUE(engine.Results(*q)->empty());
+
+  // Immutable grant to GP: the server policy is ignored.
+  ASSERT_TRUE(engine
+                  .ExecuteInsertSp(
+                      "INSERT SP INTO STREAM Vitals "
+                      "LET DDP = (Vitals, *, *), SRP = (RBAC, GP), "
+                      "IMMUTABLE = true, TS = 5")
+                  .ok());
+  ASSERT_TRUE(engine
+                  .Push("Vitals", {StreamElement(Tuple(
+                                      0, 2, {Value(int64_t{2})}, 5))})
+                  .ok());
+  ASSERT_TRUE(engine.Run().ok());
+  ASSERT_EQ(engine.Results(*q)->size(), 1u);
+  EXPECT_EQ(engine.Results(*q)->front().tid, 2);
+}
+
+TEST_F(NegativePolicyTest, NegativeAttributeLevelMasking) {
+  // Grant the whole tuple, deny one column — only that column masks.
+  SsOptions opts = Options(RoleSet::Of(ids_[0]));
+  opts.schema = MakeSchema("s", {Field{"a", ValueType::kInt64},
+                                 Field{"b", ValueType::kInt64},
+                                 Field{"c", ValueType::kInt64}});
+  opts.mask_attributes = true;
+  SecurityPunctuation grant(Pattern::Literal("s"), Pattern::Any(),
+                            Pattern::Any(), Pattern::Any(), Sign::kPositive,
+                            false, 1);
+  grant.SetResolvedRoles(RoleSet::Of(ids_[0]));
+  SecurityPunctuation deny_bc(Pattern::Literal("s"), Pattern::Any(),
+                              Pattern::Compile("b|c").value(),
+                              Pattern::Any(), Sign::kNegative, false, 1);
+  deny_bc.SetResolvedRoles(RoleSet::Of(ids_[0]));
+  std::vector<StreamElement> input;
+  input.emplace_back(std::move(grant));
+  input.emplace_back(std::move(deny_bc));
+  input.emplace_back(MakeTuple(1, {10, 20, 30}, 1));
+  auto r = sptest::RunUnary(&ctx_, std::move(input), [&](Pipeline* p) {
+    return p->Add<SsOperator>(opts);
+  });
+  ASSERT_EQ(r.tuples.size(), 1u);
+  EXPECT_EQ(r.tuples[0].values[0], Value(10));
+  EXPECT_TRUE(r.tuples[0].values[1].is_null());
+  EXPECT_TRUE(r.tuples[0].values[2].is_null());
+}
+
+}  // namespace
+}  // namespace spstream

@@ -1,0 +1,197 @@
+#include "query/parser.h"
+
+#include <gtest/gtest.h>
+
+namespace spstream {
+namespace {
+
+TEST(LexerTest, TokenKinds) {
+  auto tokens = Tokenize("SELECT x, 42 3.5 'str' <= [ ]");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].kind, TokenKind::kIdent);
+  EXPECT_EQ((*tokens)[1].kind, TokenKind::kIdent);
+  EXPECT_EQ((*tokens)[2].kind, TokenKind::kSymbol);
+  EXPECT_EQ((*tokens)[3].kind, TokenKind::kNumber);
+  EXPECT_TRUE((*tokens)[3].number.is_int64());
+  EXPECT_EQ((*tokens)[4].number.AsDouble(), 3.5);
+  EXPECT_EQ((*tokens)[5].kind, TokenKind::kString);
+  EXPECT_EQ((*tokens)[5].text, "str");
+  EXPECT_EQ((*tokens)[6].text, "<=");
+  EXPECT_EQ(tokens->back().kind, TokenKind::kEnd);
+}
+
+TEST(LexerTest, Errors) {
+  EXPECT_FALSE(Tokenize("SELECT 'unterminated").ok());
+  EXPECT_FALSE(Tokenize("a @ b").ok());
+}
+
+TEST(ParserTest, SimpleSelect) {
+  auto stmt = ParseSelect("SELECT object_id, x FROM Location");
+  ASSERT_TRUE(stmt.ok()) << stmt.status().ToString();
+  EXPECT_FALSE(stmt->distinct);
+  ASSERT_EQ(stmt->items.size(), 2u);
+  EXPECT_EQ(stmt->items[0].column, "object_id");
+  ASSERT_EQ(stmt->from.size(), 1u);
+  EXPECT_EQ(stmt->from[0].stream, "Location");
+  EXPECT_FALSE(stmt->from[0].range.has_value());
+  EXPECT_EQ(stmt->where, nullptr);
+}
+
+TEST(ParserTest, SelectStar) {
+  auto stmt = ParseSelect("SELECT * FROM s1");
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_TRUE(stmt->items.empty());
+}
+
+TEST(ParserTest, WindowedFrom) {
+  auto stmt = ParseSelect("SELECT a FROM s1 [RANGE 500]");
+  ASSERT_TRUE(stmt.ok());
+  ASSERT_TRUE(stmt->from[0].range.has_value());
+  EXPECT_EQ(*stmt->from[0].range, 500);
+}
+
+TEST(ParserTest, WhereExpressionPrecedence) {
+  auto stmt = ParseSelect(
+      "SELECT a FROM s WHERE a > 1 AND b < 2 OR NOT c = 3");
+  ASSERT_TRUE(stmt.ok());
+  ASSERT_NE(stmt->where, nullptr);
+  // OR at the root: (a>1 AND b<2) OR (NOT c=3).
+  EXPECT_EQ(stmt->where->op_or_fn, "OR");
+  EXPECT_EQ(stmt->where->args[0]->op_or_fn, "AND");
+  EXPECT_EQ(stmt->where->args[1]->op_or_fn, "NOT");
+}
+
+TEST(ParserTest, ArithmeticAndFunctions) {
+  auto stmt = ParseSelect(
+      "SELECT a FROM s WHERE DISTANCE(x, y, 100, 200) <= 2 * 5280");
+  ASSERT_TRUE(stmt.ok());
+  const auto& cmp = stmt->where;
+  EXPECT_EQ(cmp->op_or_fn, "<=");
+  EXPECT_EQ(cmp->args[0]->kind, AstExpr::Kind::kCall);
+  EXPECT_EQ(cmp->args[0]->op_or_fn, "DISTANCE");
+  EXPECT_EQ(cmp->args[0]->args.size(), 4u);
+  EXPECT_EQ(cmp->args[1]->op_or_fn, "*");
+}
+
+TEST(ParserTest, QualifiedColumnsAndJoin) {
+  auto stmt = ParseSelect(
+      "SELECT s1.a, s2.b FROM s1 [RANGE 100], s2 [RANGE 100] "
+      "WHERE s1.k = s2.k AND s1.a > 5");
+  ASSERT_TRUE(stmt.ok());
+  ASSERT_EQ(stmt->from.size(), 2u);
+  EXPECT_EQ(stmt->items[0].qualifier, "s1");
+  EXPECT_EQ(stmt->items[1].qualifier, "s2");
+}
+
+TEST(ParserTest, GroupByAggregate) {
+  auto stmt = ParseSelect(
+      "SELECT object_id, AVG(speed) FROM Location [RANGE 60] "
+      "GROUP BY object_id");
+  ASSERT_TRUE(stmt.ok());
+  ASSERT_EQ(stmt->items.size(), 2u);
+  EXPECT_EQ(stmt->items[1].agg_fn, "AVG");
+  EXPECT_EQ(stmt->items[1].column, "speed");
+  ASSERT_TRUE(stmt->group_by.has_value());
+  EXPECT_EQ(*stmt->group_by, "object_id");
+}
+
+TEST(ParserTest, CountStar) {
+  auto stmt = ParseSelect("SELECT k, COUNT(*) FROM s GROUP BY k");
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_EQ(stmt->items[1].agg_fn, "COUNT");
+  EXPECT_EQ(stmt->items[1].column, "*");
+}
+
+TEST(ParserTest, SelectDistinct) {
+  auto stmt = ParseSelect("SELECT DISTINCT object_id FROM Location");
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_TRUE(stmt->distinct);
+}
+
+TEST(ParserTest, SelectErrors) {
+  EXPECT_FALSE(ParseSelect("SELECT FROM s").ok());
+  EXPECT_FALSE(ParseSelect("SELECT a").ok());
+  EXPECT_FALSE(ParseSelect("SELECT a FROM s WHERE").ok());
+  EXPECT_FALSE(
+      ParseSelect("SELECT a FROM s1, s2, s3, s4, s5 WHERE 1=1").ok());
+  EXPECT_FALSE(ParseSelect("SELECT a FROM s trailing garbage").ok());
+  EXPECT_FALSE(ParseSelect("INSERT SP INTO STREAM s LET DDP=(a,b,c), "
+                           "SRP=(RBAC, r)")
+                   .ok());  // not a SELECT
+}
+
+// ------------------------------------------------------------ INSERT SP
+
+TEST(ParserTest, InsertSpPaperSyntax) {
+  auto stmt = ParseInsertSp(
+      "INSERT SP AS my_sp INTO STREAM HeartRate "
+      "LET my_sp.DDP = (HeartRate, [120-133], *), "
+      "    my_sp.SRP = (RBAC, GP|ND), "
+      "    my_sp.SIGN = positive, "
+      "    my_sp.IMMUTABLE = false");
+  ASSERT_TRUE(stmt.ok()) << stmt.status().ToString();
+  EXPECT_EQ(stmt->sp_name, "my_sp");
+  EXPECT_EQ(stmt->stream, "HeartRate");
+  EXPECT_EQ(stmt->ddp_stream, "HeartRate");
+  EXPECT_EQ(stmt->ddp_tuple, "[120-133]");
+  EXPECT_EQ(stmt->ddp_attr, "*");
+  EXPECT_EQ(stmt->srp_model, "RBAC");
+  EXPECT_EQ(stmt->srp_roles, "GP|ND");
+  EXPECT_TRUE(stmt->positive);
+  EXPECT_FALSE(stmt->immutable);
+}
+
+TEST(ParserTest, InsertSpMinimalForm) {
+  auto stmt = ParseInsertSp(
+      "INSERT SP INTO STREAM s1 LET DDP = (*, *, *), SRP = C");
+  ASSERT_TRUE(stmt.ok()) << stmt.status().ToString();
+  EXPECT_TRUE(stmt->sp_name.empty());
+  EXPECT_EQ(stmt->srp_roles, "C");
+  EXPECT_EQ(stmt->srp_model, "RBAC");
+}
+
+TEST(ParserTest, InsertSpNegativeImmutableTs) {
+  auto stmt = ParseInsertSp(
+      "INSERT SP INTO STREAM s1 LET DDP = (s1, 42, *), SRP = (RBAC, E), "
+      "SIGN = negative, IMMUTABLE = true, TS = 999");
+  ASSERT_TRUE(stmt.ok()) << stmt.status().ToString();
+  EXPECT_FALSE(stmt->positive);
+  EXPECT_TRUE(stmt->immutable);
+  ASSERT_TRUE(stmt->ts.has_value());
+  EXPECT_EQ(*stmt->ts, 999);
+}
+
+TEST(ParserTest, InsertSpNameWithoutAs) {
+  auto stmt = ParseInsertSp(
+      "INSERT SP p7 INTO STREAM s LET DDP=(*,*,*), SRP=r1");
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_EQ(stmt->sp_name, "p7");
+}
+
+TEST(ParserTest, InsertSpErrors) {
+  EXPECT_FALSE(ParseInsertSp("INSERT SP INTO STREAM s LET SRP = C").ok());
+  EXPECT_FALSE(
+      ParseInsertSp("INSERT SP INTO STREAM s LET DDP = (*, *, *)").ok());
+  EXPECT_FALSE(ParseInsertSp(
+                   "INSERT SP INTO STREAM s LET DDP = (*, *), SRP = C")
+                   .ok());
+  EXPECT_FALSE(ParseInsertSp(
+                   "INSERT SP INTO STREAM s LET DDP = (*, *, *), SRP = C, "
+                   "SIGN = sideways")
+                   .ok());
+  EXPECT_FALSE(ParseInsertSp("SELECT a FROM s").ok());
+}
+
+TEST(ParserTest, StatementDispatch) {
+  auto sel = ParseStatement("SELECT a FROM s");
+  ASSERT_TRUE(sel.ok());
+  EXPECT_TRUE(std::holds_alternative<SelectStatement>(*sel));
+  auto ins = ParseStatement(
+      "INSERT SP INTO STREAM s LET DDP=(*,*,*), SRP=r1");
+  ASSERT_TRUE(ins.ok());
+  EXPECT_TRUE(std::holds_alternative<InsertSpStatement>(*ins));
+  EXPECT_FALSE(ParseStatement("DELETE FROM s").ok());
+}
+
+}  // namespace
+}  // namespace spstream

@@ -1,0 +1,173 @@
+#include "security/pattern.h"
+
+#include <gtest/gtest.h>
+
+#include "security/role_catalog.h"
+#include "security/role_set.h"
+
+namespace spstream {
+namespace {
+
+TEST(PatternTest, AnyMatchesEverything) {
+  Pattern p = Pattern::Any();
+  EXPECT_TRUE(p.IsAny());
+  EXPECT_TRUE(p.MatchesString("anything"));
+  EXPECT_TRUE(p.MatchesString(""));
+  EXPECT_TRUE(p.MatchesInt(-17));
+}
+
+TEST(PatternTest, LiteralExactMatch) {
+  Pattern p = Pattern::Literal("HeartRate");
+  EXPECT_TRUE(p.MatchesString("HeartRate"));
+  EXPECT_FALSE(p.MatchesString("heartrate"));
+  EXPECT_FALSE(p.MatchesString("HeartRate2"));
+  EXPECT_FALSE(p.IsAny());
+  EXPECT_TRUE(p.IsLiteralList());
+}
+
+TEST(PatternTest, CompileAlternation) {
+  auto p = Pattern::Compile("s1|s2|s3");
+  ASSERT_TRUE(p.ok());
+  EXPECT_TRUE(p->MatchesString("s1"));
+  EXPECT_TRUE(p->MatchesString("s3"));
+  EXPECT_FALSE(p->MatchesString("s4"));
+  EXPECT_TRUE(p->IsLiteralList());
+  EXPECT_EQ(p->LiteralAlternatives(),
+            (std::vector<std::string>{"s1", "s2", "s3"}));
+}
+
+TEST(PatternTest, NumericRangePaperExample) {
+  // "patients with ids between 120 and 133" (§III.C).
+  Pattern p = Pattern::Range(120, 133);
+  EXPECT_TRUE(p.MatchesInt(120));
+  EXPECT_TRUE(p.MatchesInt(133));
+  EXPECT_FALSE(p.MatchesInt(119));
+  EXPECT_FALSE(p.MatchesInt(134));
+  EXPECT_TRUE(p.MatchesString("125"));
+  EXPECT_FALSE(p.MatchesString("12x"));
+  EXPECT_EQ(p.text(), "[120-133]");
+}
+
+TEST(PatternTest, CompileRangeRoundTrip) {
+  auto p = Pattern::Compile("[120-133]");
+  ASSERT_TRUE(p.ok());
+  EXPECT_TRUE(p->MatchesInt(130));
+  auto p2 = Pattern::Compile(p->text());
+  ASSERT_TRUE(p2.ok());
+  EXPECT_EQ(*p, *p2);
+}
+
+TEST(PatternTest, NegativeRangeBounds) {
+  auto p = Pattern::Compile("[-10-10]");
+  ASSERT_TRUE(p.ok());
+  EXPECT_TRUE(p->MatchesInt(-10));
+  EXPECT_TRUE(p->MatchesInt(0));
+  EXPECT_TRUE(p->MatchesInt(10));
+  EXPECT_FALSE(p->MatchesInt(11));
+}
+
+TEST(PatternTest, GlobStarAndQuestion) {
+  auto p = Pattern::Compile("hr_*");
+  ASSERT_TRUE(p.ok());
+  EXPECT_TRUE(p->MatchesString("hr_ward3"));
+  EXPECT_TRUE(p->MatchesString("hr_"));
+  EXPECT_FALSE(p->MatchesString("bp_ward3"));
+
+  auto q = Pattern::Compile("patient_?2");
+  ASSERT_TRUE(q.ok());
+  EXPECT_TRUE(q->MatchesString("patient_12"));
+  EXPECT_TRUE(q->MatchesString("patient_a2"));
+  EXPECT_FALSE(q->MatchesString("patient_123"));
+}
+
+TEST(PatternTest, GlobBacktracking) {
+  auto p = Pattern::Compile("a*b*c");
+  ASSERT_TRUE(p.ok());
+  EXPECT_TRUE(p->MatchesString("abc"));
+  EXPECT_TRUE(p->MatchesString("aXbYbZc"));
+  EXPECT_FALSE(p->MatchesString("ab"));
+  EXPECT_FALSE(p->MatchesString("cba"));
+}
+
+TEST(PatternTest, MixedAlternativesRangeAndGlob) {
+  auto p = Pattern::Compile("[1-5]|adm*|99");
+  ASSERT_TRUE(p.ok());
+  EXPECT_TRUE(p->MatchesInt(3));
+  EXPECT_TRUE(p->MatchesInt(99));
+  EXPECT_FALSE(p->MatchesInt(6));
+  EXPECT_TRUE(p->MatchesString("admin"));
+  EXPECT_FALSE(p->IsLiteralList());
+}
+
+TEST(PatternTest, IntAgainstGlobUsesDecimalRendering) {
+  auto p = Pattern::Compile("12*");
+  ASSERT_TRUE(p.ok());
+  EXPECT_TRUE(p->MatchesInt(12));
+  EXPECT_TRUE(p->MatchesInt(1234));
+  EXPECT_FALSE(p->MatchesInt(21));
+}
+
+TEST(PatternTest, CompileErrors) {
+  EXPECT_FALSE(Pattern::Compile("").ok());
+  EXPECT_FALSE(Pattern::Compile("a||b").ok());
+  EXPECT_FALSE(Pattern::Compile("[5-]").ok());
+  EXPECT_FALSE(Pattern::Compile("[x-9]").ok());
+  EXPECT_FALSE(Pattern::Compile("[9-5]").ok());
+}
+
+TEST(PatternTest, WhitespaceTrimmedAroundAlternatives) {
+  auto p = Pattern::Compile("  s1 | s2 ");
+  ASSERT_TRUE(p.ok());
+  EXPECT_TRUE(p->MatchesString("s1"));
+  EXPECT_TRUE(p->MatchesString("s2"));
+}
+
+TEST(PatternTest, EvalRolesLiteralFastPath) {
+  RoleCatalog catalog;
+  RoleId c = catalog.RegisterRole("C");
+  catalog.RegisterRole("GP");
+  RoleId nd = catalog.RegisterRole("ND");
+  auto p = Pattern::Compile("C|ND|missing");
+  ASSERT_TRUE(p.ok());
+  RoleSet roles = p->EvalRoles(catalog);
+  EXPECT_EQ(roles, RoleSet::FromIds({c, nd}));
+}
+
+TEST(PatternTest, EvalRolesGlobScan) {
+  RoleCatalog catalog;
+  catalog.RegisterRole("nurse_day");
+  catalog.RegisterRole("nurse_night");
+  catalog.RegisterRole("doctor");
+  auto p = Pattern::Compile("nurse_*");
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p->EvalRoles(catalog).Count(), 2u);
+}
+
+TEST(PatternTest, EvalRolesAnyIsWholeCatalog) {
+  RoleCatalog catalog;
+  catalog.RegisterSyntheticRoles(9);
+  EXPECT_EQ(Pattern::Any().EvalRoles(catalog).Count(), 9u);
+}
+
+class PatternRangeSweep
+    : public ::testing::TestWithParam<std::pair<int64_t, int64_t>> {};
+
+TEST_P(PatternRangeSweep, BoundaryBehaviour) {
+  auto [lo, hi] = GetParam();
+  Pattern p = Pattern::Range(lo, hi);
+  EXPECT_TRUE(p.MatchesInt(lo));
+  EXPECT_TRUE(p.MatchesInt(hi));
+  EXPECT_TRUE(p.MatchesInt((lo + hi) / 2));
+  EXPECT_FALSE(p.MatchesInt(lo - 1));
+  EXPECT_FALSE(p.MatchesInt(hi + 1));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Ranges, PatternRangeSweep,
+    ::testing::Values(std::pair<int64_t, int64_t>{0, 0},
+                      std::pair<int64_t, int64_t>{120, 133},
+                      std::pair<int64_t, int64_t>{-5, 5},
+                      std::pair<int64_t, int64_t>{1, 1000000}));
+
+}  // namespace
+}  // namespace spstream

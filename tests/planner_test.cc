@@ -1,0 +1,183 @@
+#include "query/planner.h"
+
+#include <gtest/gtest.h>
+
+#include "query/parser.h"
+
+namespace spstream {
+namespace {
+
+class PlannerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    gp_ = roles_.RegisterRole("GP");
+    c_ = roles_.RegisterRole("C");
+    ASSERT_TRUE(streams_
+                    .RegisterStream(MakeSchema(
+                        "Location", {Field{"object_id", ValueType::kInt64},
+                                     Field{"x", ValueType::kDouble},
+                                     Field{"y", ValueType::kDouble},
+                                     Field{"speed", ValueType::kDouble}}))
+                    .ok());
+    ASSERT_TRUE(streams_
+                    .RegisterStream(MakeSchema(
+                        "Orders", {Field{"object_id", ValueType::kInt64},
+                                   Field{"amount", ValueType::kInt64}}))
+                    .ok());
+    planner_ = std::make_unique<Planner>(&streams_, &roles_);
+  }
+
+  LogicalNodePtr Plan(const std::string& sql,
+                      RoleSet query_roles = RoleSet()) {
+    auto stmt = ParseSelect(sql);
+    EXPECT_TRUE(stmt.ok()) << stmt.status().ToString();
+    auto plan = planner_->PlanSelect(*stmt, query_roles);
+    EXPECT_TRUE(plan.ok()) << plan.status().ToString();
+    return plan.ok() ? *plan : nullptr;
+  }
+
+  RoleCatalog roles_;
+  StreamCatalog streams_;
+  RoleId gp_, c_;
+  std::unique_ptr<Planner> planner_;
+};
+
+TEST_F(PlannerTest, SelectProjectShape) {
+  auto plan = Plan("SELECT object_id, x FROM Location WHERE speed > 10");
+  ASSERT_NE(plan, nullptr);
+  EXPECT_EQ(plan->kind, LogicalNode::Kind::kProject);
+  EXPECT_EQ(plan->columns, (std::vector<int>{0, 1}));
+  EXPECT_EQ(plan->children[0]->kind, LogicalNode::Kind::kSelect);
+  EXPECT_EQ(plan->children[0]->children[0]->kind,
+            LogicalNode::Kind::kSource);
+}
+
+TEST_F(PlannerTest, QueryRolesInsertSsAboveSource) {
+  auto plan = Plan("SELECT object_id FROM Location", RoleSet::Of(gp_));
+  ASSERT_NE(plan, nullptr);
+  EXPECT_EQ(CountNodes(plan, LogicalNode::Kind::kSs), 1u);
+  // SS sits directly above the source.
+  const LogicalNodePtr& ss = plan->children[0];
+  EXPECT_EQ(ss->kind, LogicalNode::Kind::kSs);
+  ASSERT_EQ(ss->ss_predicates.size(), 1u);
+  EXPECT_EQ(ss->ss_predicates[0], RoleSet::Of(gp_));
+}
+
+TEST_F(PlannerTest, TwoStreamEquijoin) {
+  auto plan = Plan(
+      "SELECT Location.x FROM Location [RANGE 100], Orders [RANGE 200] "
+      "WHERE Location.object_id = Orders.object_id AND amount > 5");
+  ASSERT_NE(plan, nullptr);
+  EXPECT_EQ(CountNodes(plan, LogicalNode::Kind::kJoin), 1u);
+  // Residual predicate survives as a Select above the join.
+  EXPECT_EQ(CountNodes(plan, LogicalNode::Kind::kSelect), 1u);
+  // Find the join: keys bound to object_id on both sides; each side keeps
+  // its own [RANGE n] window.
+  LogicalNodePtr node = plan;
+  while (node->kind != LogicalNode::Kind::kJoin) node = node->children[0];
+  EXPECT_EQ(node->left_key, 0);
+  EXPECT_EQ(node->right_key, 0);
+  EXPECT_EQ(node->window, 100);
+  EXPECT_EQ(node->right_window, 200);
+}
+
+TEST_F(PlannerTest, JoinRequiresEquijoinPredicate) {
+  auto stmt = ParseSelect(
+      "SELECT Location.x FROM Location, Orders WHERE amount > 5");
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_FALSE(planner_->PlanSelect(*stmt, RoleSet()).ok());
+}
+
+TEST_F(PlannerTest, GroupByAggregate) {
+  auto plan = Plan(
+      "SELECT object_id, AVG(speed) FROM Location [RANGE 60] "
+      "GROUP BY object_id");
+  ASSERT_NE(plan, nullptr);
+  EXPECT_EQ(plan->kind, LogicalNode::Kind::kGroupBy);
+  EXPECT_EQ(plan->key_col, 0);
+  EXPECT_EQ(plan->agg_fn, AggFn::kAvg);
+  EXPECT_EQ(plan->agg_col, 3);
+  EXPECT_EQ(plan->window, 60);
+}
+
+TEST_F(PlannerTest, AggregateWithoutGroupByRejected) {
+  auto stmt = ParseSelect("SELECT COUNT(*) FROM Location");
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_FALSE(planner_->PlanSelect(*stmt, RoleSet()).ok());
+}
+
+TEST_F(PlannerTest, DistinctPlan) {
+  auto plan = Plan("SELECT DISTINCT object_id FROM Location [RANGE 50]");
+  ASSERT_NE(plan, nullptr);
+  EXPECT_EQ(CountNodes(plan, LogicalNode::Kind::kDistinct), 1u);
+  EXPECT_EQ(plan->kind, LogicalNode::Kind::kProject);
+}
+
+TEST_F(PlannerTest, UnknownColumnRejected) {
+  auto stmt = ParseSelect("SELECT missing FROM Location");
+  ASSERT_TRUE(stmt.ok());
+  auto plan = planner_->PlanSelect(*stmt, RoleSet());
+  EXPECT_FALSE(plan.ok());
+  EXPECT_EQ(plan.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(PlannerTest, AmbiguousColumnRejected) {
+  auto stmt = ParseSelect(
+      "SELECT object_id FROM Location, Orders "
+      "WHERE Location.object_id = Orders.object_id");
+  ASSERT_TRUE(stmt.ok());
+  auto plan = planner_->PlanSelect(*stmt, RoleSet());
+  EXPECT_FALSE(plan.ok());
+}
+
+TEST_F(PlannerTest, UnknownStreamRejected) {
+  auto stmt = ParseSelect("SELECT a FROM Nowhere");
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_FALSE(planner_->PlanSelect(*stmt, RoleSet()).ok());
+}
+
+TEST_F(PlannerTest, BuildSpFromInsertStatement) {
+  auto stmt = ParseInsertSp(
+      "INSERT SP INTO STREAM Location "
+      "LET DDP = (Location, [120-133], *), SRP = (RBAC, GP), "
+      "SIGN = positive, IMMUTABLE = true");
+  ASSERT_TRUE(stmt.ok()) << stmt.status().ToString();
+  auto sp = planner_->BuildSp(*stmt, /*default_ts=*/77);
+  ASSERT_TRUE(sp.ok()) << sp.status().ToString();
+  EXPECT_TRUE(sp->AppliesToStream("Location"));
+  EXPECT_TRUE(sp->AppliesToTupleId(125));
+  EXPECT_FALSE(sp->AppliesToTupleId(99));
+  EXPECT_TRUE(sp->immutable());
+  EXPECT_EQ(sp->ts(), 77);
+  EXPECT_EQ(sp->roles(), RoleSet::Of(gp_));
+}
+
+TEST_F(PlannerTest, BuildSpExplicitTs) {
+  auto stmt = ParseInsertSp(
+      "INSERT SP INTO STREAM Location LET DDP=(*,*,*), SRP=C, TS=123");
+  ASSERT_TRUE(stmt.ok());
+  auto sp = planner_->BuildSp(*stmt, 1);
+  ASSERT_TRUE(sp.ok());
+  EXPECT_EQ(sp->ts(), 123);
+  EXPECT_EQ(sp->roles(), RoleSet::Of(c_));
+}
+
+TEST_F(PlannerTest, BuildSpBadPatternRejected) {
+  auto stmt = ParseInsertSp(
+      "INSERT SP INTO STREAM Location LET DDP=([9-1],*,*), SRP=C");
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_FALSE(planner_->BuildSp(*stmt, 1).ok());
+}
+
+TEST_F(PlannerTest, PlanToStringRendersTree) {
+  auto plan = Plan("SELECT object_id FROM Location WHERE speed > 1",
+                   RoleSet::Of(gp_));
+  const std::string s = plan->ToString();
+  EXPECT_NE(s.find("Project"), std::string::npos);
+  EXPECT_NE(s.find("Select"), std::string::npos);
+  EXPECT_NE(s.find("SS"), std::string::npos);
+  EXPECT_NE(s.find("Source(Location)"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace spstream

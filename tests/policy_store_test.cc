@@ -1,0 +1,129 @@
+#include "security/policy_store.h"
+
+#include <gtest/gtest.h>
+
+namespace spstream {
+namespace {
+
+class PolicyStoreTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    r1_ = catalog_.RegisterRole("r1");
+    r2_ = catalog_.RegisterRole("r2");
+    r3_ = catalog_.RegisterRole("r3");
+    store_ = std::make_unique<PolicyStore>(&catalog_);
+  }
+
+  SecurityPunctuation TupleSp(TupleId tid, const std::string& roles,
+                              Timestamp ts, Sign sign = Sign::kPositive) {
+    return SecurityPunctuation(
+        Pattern::Literal("Location"), Pattern::Literal(std::to_string(tid)),
+        Pattern::Any(), Pattern::Compile(roles).value(), sign,
+        /*immutable=*/false, ts);
+  }
+
+  RoleCatalog catalog_;
+  RoleId r1_, r2_, r3_;
+  std::unique_ptr<PolicyStore> store_;
+};
+
+TEST_F(PolicyStoreTest, DenialByDefault) {
+  EXPECT_FALSE(store_->Probe("Location", 5, RoleSet::Of(r1_)));
+}
+
+TEST_F(PolicyStoreTest, ApplyThenProbe) {
+  ASSERT_TRUE(store_->Apply(TupleSp(5, "r1", 10)).ok());
+  EXPECT_TRUE(store_->Probe("Location", 5, RoleSet::Of(r1_)));
+  EXPECT_FALSE(store_->Probe("Location", 5, RoleSet::Of(r2_)));
+  EXPECT_FALSE(store_->Probe("Location", 6, RoleSet::Of(r1_)));
+  EXPECT_FALSE(store_->Probe("Other", 5, RoleSet::Of(r1_)));
+}
+
+TEST_F(PolicyStoreTest, NewerPolicyOverridesSameObject) {
+  ASSERT_TRUE(store_->Apply(TupleSp(5, "r1", 10)).ok());
+  ASSERT_TRUE(store_->Apply(TupleSp(5, "r2", 20)).ok());
+  EXPECT_FALSE(store_->Probe("Location", 5, RoleSet::Of(r1_)));
+  EXPECT_TRUE(store_->Probe("Location", 5, RoleSet::Of(r2_)));
+  EXPECT_EQ(store_->entry_count(), 1u);  // same DDP => overridden in place
+}
+
+TEST_F(PolicyStoreTest, StalePolicyIgnored) {
+  ASSERT_TRUE(store_->Apply(TupleSp(5, "r2", 20)).ok());
+  ASSERT_TRUE(store_->Apply(TupleSp(5, "r1", 10)).ok());
+  EXPECT_TRUE(store_->Probe("Location", 5, RoleSet::Of(r2_)));
+  EXPECT_FALSE(store_->Probe("Location", 5, RoleSet::Of(r1_)));
+}
+
+TEST_F(PolicyStoreTest, SameTimestampUnions) {
+  ASSERT_TRUE(store_->Apply(TupleSp(5, "r1", 10)).ok());
+  ASSERT_TRUE(store_->Apply(TupleSp(5, "r2", 10)).ok());
+  EXPECT_TRUE(store_->Probe("Location", 5, RoleSet::Of(r1_)));
+  EXPECT_TRUE(store_->Probe("Location", 5, RoleSet::Of(r2_)));
+}
+
+TEST_F(PolicyStoreTest, NegativePolicySubtracts) {
+  ASSERT_TRUE(store_->Apply(TupleSp(5, "r1|r2", 10)).ok());
+  // A same-ts negative sp with a different DDP key (range form).
+  SecurityPunctuation deny(
+      Pattern::Literal("Location"), Pattern::Range(5, 5), Pattern::Any(),
+      Pattern::Literal("r2"), Sign::kNegative, false, 10);
+  ASSERT_TRUE(store_->Apply(std::move(deny)).ok());
+  EXPECT_TRUE(store_->Probe("Location", 5, RoleSet::Of(r1_)));
+  EXPECT_FALSE(store_->Probe("Location", 5, RoleSet::Of(r2_)));
+}
+
+TEST_F(PolicyStoreTest, RangePatternCoversManyObjects) {
+  SecurityPunctuation sp(
+      Pattern::Literal("Location"), Pattern::Range(100, 199), Pattern::Any(),
+      Pattern::Literal("r3"), Sign::kPositive, false, 10);
+  ASSERT_TRUE(store_->Apply(std::move(sp)).ok());
+  EXPECT_TRUE(store_->Probe("Location", 100, RoleSet::Of(r3_)));
+  EXPECT_TRUE(store_->Probe("Location", 150, RoleSet::Of(r3_)));
+  EXPECT_FALSE(store_->Probe("Location", 200, RoleSet::Of(r3_)));
+  EXPECT_EQ(store_->entry_count(), 1u);
+}
+
+TEST_F(PolicyStoreTest, AttributeGranularityProbe) {
+  SecurityPunctuation attr_sp(
+      Pattern::Literal("Vitals"), Pattern::Any(),
+      Pattern::Literal("temperature"), Pattern::Literal("r1"),
+      Sign::kPositive, false, 10);
+  ASSERT_TRUE(store_->Apply(std::move(attr_sp)).ok());
+  EXPECT_TRUE(
+      store_->ProbeAttribute("Vitals", 1, "temperature", RoleSet::Of(r1_)));
+  EXPECT_FALSE(
+      store_->ProbeAttribute("Vitals", 1, "heart_rate", RoleSet::Of(r1_)));
+  // Whole-tuple probe must not be satisfied by an attribute-only policy.
+  EXPECT_FALSE(store_->Probe("Vitals", 1, RoleSet::Of(r1_)));
+}
+
+TEST_F(PolicyStoreTest, CountsProbesAndUpdates) {
+  ASSERT_TRUE(store_->Apply(TupleSp(1, "r1", 1)).ok());
+  ASSERT_TRUE(store_->Apply(TupleSp(2, "r1", 1)).ok());
+  store_->Probe("Location", 1, RoleSet::Of(r1_));
+  store_->Probe("Location", 2, RoleSet::Of(r1_));
+  store_->Probe("Location", 3, RoleSet::Of(r1_));
+  EXPECT_EQ(store_->updates(), 2);
+  EXPECT_EQ(store_->probes(), 3);
+}
+
+TEST_F(PolicyStoreTest, MemoryGrowsWithEntries) {
+  const size_t before = store_->MemoryBytes();
+  for (TupleId t = 0; t < 100; ++t) {
+    ASSERT_TRUE(store_->Apply(TupleSp(t, "r1", 1)).ok());
+  }
+  EXPECT_GT(store_->MemoryBytes(), before);
+  EXPECT_EQ(store_->entry_count(), 100u);
+}
+
+TEST_F(PolicyStoreTest, SharedPolicySingleCopy) {
+  // 1000 updates to the SAME policy object keep one table entry — the
+  // store-and-probe memory advantage of Figure 7c.
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_TRUE(store_->Apply(TupleSp(7, "r1|r2|r3", 10)).ok());
+  }
+  EXPECT_EQ(store_->entry_count(), 1u);
+}
+
+}  // namespace
+}  // namespace spstream

@@ -1,0 +1,144 @@
+#include "security/policy.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace spstream {
+namespace {
+
+TEST(PolicyTest, DenyAllAuthorizesNobody) {
+  Policy p = Policy::DenyAll();
+  EXPECT_TRUE(p.DeniesEveryone());
+  EXPECT_FALSE(p.Authorizes(RoleSet::FromIds({0, 1, 2})));
+  EXPECT_FALSE(p.Authorizes(RoleSet()));
+}
+
+TEST(PolicyTest, AuthorizesOnIntersection) {
+  Policy p(RoleSet::FromIds({2, 9}), 10);
+  EXPECT_TRUE(p.Authorizes(RoleSet::FromIds({9})));
+  EXPECT_TRUE(p.Authorizes(RoleSet::FromIds({1, 2})));
+  EXPECT_FALSE(p.Authorizes(RoleSet::FromIds({1, 3})));
+}
+
+TEST(PolicyTest, UnionIncreasesAccess) {
+  Policy a(RoleSet::FromIds({1}), 5);
+  Policy b(RoleSet::FromIds({2}), 5);
+  Policy u = Policy::Union(a, b);
+  EXPECT_TRUE(u.Authorizes(RoleSet::FromIds({1})));
+  EXPECT_TRUE(u.Authorizes(RoleSet::FromIds({2})));
+  // Union never removes access either side granted.
+  EXPECT_TRUE(a.allowed().IsSubsetOf(u.allowed()));
+  EXPECT_TRUE(b.allowed().IsSubsetOf(u.allowed()));
+}
+
+TEST(PolicyTest, IntersectDecreasesAccess) {
+  Policy provider(RoleSet::FromIds({1, 2, 3}), 5);
+  Policy server(RoleSet::FromIds({2, 3, 4}), 6);
+  Policy refined = Policy::Intersect(provider, server);
+  EXPECT_EQ(refined.allowed(), RoleSet::FromIds({2, 3}));
+  // The server could not widen access beyond the provider's grant.
+  EXPECT_TRUE(refined.allowed().IsSubsetOf(provider.allowed()));
+  EXPECT_EQ(refined.ts(), 6);
+}
+
+TEST(PolicyTest, OverrideNewerWins) {
+  Policy old_p(RoleSet::FromIds({1}), 5);
+  Policy new_p(RoleSet::FromIds({2}), 9);
+  EXPECT_EQ(Policy::Override(old_p, new_p), new_p);
+  EXPECT_EQ(Policy::Override(new_p, old_p), new_p);  // stale loses
+}
+
+TEST(PolicyTest, OverrideTieKeepsIncumbent) {
+  Policy a(RoleSet::FromIds({1}), 5);
+  Policy b(RoleSet::FromIds({2}), 5);
+  EXPECT_EQ(Policy::Override(a, b), a);
+}
+
+TEST(PolicyBuilderTest, NegativeDominatesWithinBatch) {
+  PolicyBuilder builder(7);
+  builder.AddPositive(RoleSet::FromIds({1, 2, 3}));
+  builder.AddNegative(RoleSet::FromIds({2}));
+  Policy p = builder.Build();
+  EXPECT_EQ(p.allowed(), RoleSet::FromIds({1, 3}));
+  EXPECT_EQ(p.ts(), 7);
+}
+
+TEST(PolicyBuilderTest, OnlyNegativesMeansDenyAll) {
+  PolicyBuilder builder(3);
+  builder.AddNegative(RoleSet::FromIds({1}));
+  EXPECT_TRUE(builder.Build().DeniesEveryone());
+}
+
+TEST(PolicyTest, SharedDenyAllSingleton) {
+  EXPECT_EQ(DenyAllPolicy().get(), DenyAllPolicy().get());
+  EXPECT_TRUE(DenyAllPolicy()->DeniesEveryone());
+}
+
+TEST(PolicyTest, ToStringIncludesRolesAndTs) {
+  RoleCatalog catalog;
+  RoleId gp = catalog.RegisterRole("GP");
+  Policy p(RoleSet::Of(gp), 42);
+  EXPECT_NE(p.ToString(catalog).find("GP"), std::string::npos);
+  EXPECT_NE(p.ToString(catalog).find("42"), std::string::npos);
+}
+
+// ---- Property sweep: the §III.E operation laws ---------------------------
+
+class PolicyAlgebraProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(PolicyAlgebraProperty, OperationLaws) {
+  Rng rng(GetParam());
+  auto random_policy = [&](Timestamp ts) {
+    RoleSet roles;
+    const size_t n = rng.NextBounded(8);
+    for (size_t i = 0; i < n; ++i) {
+      roles.Insert(static_cast<RoleId>(rng.NextBounded(32)));
+    }
+    return Policy(std::move(roles), ts);
+  };
+  for (int iter = 0; iter < 60; ++iter) {
+    Policy a = random_policy(static_cast<Timestamp>(rng.NextBounded(100)));
+    Policy b = random_policy(static_cast<Timestamp>(rng.NextBounded(100)));
+    Policy c = random_policy(static_cast<Timestamp>(rng.NextBounded(100)));
+
+    // union()/intersect() commute and associate on the authorized sets.
+    EXPECT_EQ(Policy::Union(a, b).allowed(), Policy::Union(b, a).allowed());
+    EXPECT_EQ(Policy::Intersect(a, b).allowed(),
+              Policy::Intersect(b, a).allowed());
+    EXPECT_EQ(Policy::Union(Policy::Union(a, b), c).allowed(),
+              Policy::Union(a, Policy::Union(b, c)).allowed());
+    EXPECT_EQ(Policy::Intersect(Policy::Intersect(a, b), c).allowed(),
+              Policy::Intersect(a, Policy::Intersect(b, c)).allowed());
+
+    // Monotonicity: union grows, intersect shrinks.
+    EXPECT_TRUE(a.allowed().IsSubsetOf(Policy::Union(a, b).allowed()));
+    EXPECT_TRUE(Policy::Intersect(a, b).allowed().IsSubsetOf(a.allowed()));
+
+    // override() is idempotent and selects by timestamp.
+    Policy o = Policy::Override(a, b);
+    EXPECT_EQ(Policy::Override(o, b), o);
+    EXPECT_TRUE(o == a || o == b);
+    EXPECT_GE(o.ts(), std::max(a.ts(), b.ts()) == o.ts()
+                          ? o.ts()
+                          : std::min(a.ts(), b.ts()));
+
+    // A subject authorized by intersect is authorized by both inputs.
+    RoleSet probe;
+    probe.Insert(static_cast<RoleId>(rng.NextBounded(32)));
+    if (Policy::Intersect(a, b).Authorizes(probe)) {
+      EXPECT_TRUE(a.Authorizes(probe));
+      EXPECT_TRUE(b.Authorizes(probe));
+    }
+    // A subject authorized by either input is authorized by union.
+    if (a.Authorizes(probe) || b.Authorizes(probe)) {
+      EXPECT_TRUE(Policy::Union(a, b).Authorizes(probe));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PolicyAlgebraProperty,
+                         ::testing::Values(11, 22, 33, 44, 55, 66));
+
+}  // namespace
+}  // namespace spstream

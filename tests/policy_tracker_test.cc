@@ -1,0 +1,159 @@
+#include "exec/policy_tracker.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace spstream {
+namespace {
+
+using sptest::MakeSp;
+using sptest::MakeTuple;
+
+class PolicyTrackerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ids_ = catalog_.RegisterSyntheticRoles(8);
+    tracker_ = std::make_unique<PolicyTracker>(&catalog_, "s");
+  }
+  RoleCatalog catalog_;
+  std::vector<RoleId> ids_;
+  std::unique_ptr<PolicyTracker> tracker_;
+};
+
+TEST_F(PolicyTrackerTest, DenialByDefaultBeforeAnySp) {
+  PolicyPtr p = tracker_->PolicyFor(MakeTuple(1, {1}, 1));
+  EXPECT_TRUE(p->DeniesEveryone());
+}
+
+TEST_F(PolicyTrackerTest, SingleSpGovernsFollowingTuples) {
+  EXPECT_TRUE(tracker_->OnSp(MakeSp("s", {ids_[0]}, 10)));
+  PolicyPtr p = tracker_->PolicyFor(MakeTuple(1, {1}, 10));
+  EXPECT_TRUE(p->Authorizes(RoleSet::Of(ids_[0])));
+  EXPECT_FALSE(p->Authorizes(RoleSet::Of(ids_[1])));
+  // Next tuple under the same segment reuses the same policy object.
+  PolicyPtr p2 = tracker_->PolicyFor(MakeTuple(2, {1}, 11));
+  EXPECT_EQ(p.get(), p2.get());
+}
+
+TEST_F(PolicyTrackerTest, SameTsBatchUnions) {
+  tracker_->OnSp(MakeSp("s", {ids_[0]}, 10));
+  tracker_->OnSp(MakeSp("s", {ids_[1]}, 10));
+  PolicyPtr p = tracker_->PolicyFor(MakeTuple(1, {1}, 10));
+  EXPECT_TRUE(p->Authorizes(RoleSet::Of(ids_[0])));
+  EXPECT_TRUE(p->Authorizes(RoleSet::Of(ids_[1])));
+}
+
+TEST_F(PolicyTrackerTest, NewerBatchOverrides) {
+  tracker_->OnSp(MakeSp("s", {ids_[0]}, 10));
+  tracker_->PolicyFor(MakeTuple(1, {1}, 10));
+  tracker_->OnSp(MakeSp("s", {ids_[1]}, 20));
+  PolicyPtr p = tracker_->PolicyFor(MakeTuple(2, {1}, 20));
+  EXPECT_FALSE(p->Authorizes(RoleSet::Of(ids_[0])));
+  EXPECT_TRUE(p->Authorizes(RoleSet::Of(ids_[1])));
+}
+
+TEST_F(PolicyTrackerTest, StaleSpDropped) {
+  tracker_->OnSp(MakeSp("s", {ids_[0]}, 20));
+  tracker_->PolicyFor(MakeTuple(1, {1}, 20));
+  EXPECT_FALSE(tracker_->OnSp(MakeSp("s", {ids_[1]}, 10)));
+  EXPECT_EQ(tracker_->stale_sps_dropped(), 1);
+  PolicyPtr p = tracker_->PolicyFor(MakeTuple(2, {1}, 21));
+  EXPECT_TRUE(p->Authorizes(RoleSet::Of(ids_[0])));
+  EXPECT_FALSE(p->Authorizes(RoleSet::Of(ids_[1])));
+}
+
+TEST_F(PolicyTrackerTest, BatchReplacedBeforeAnyTupleStillOverrides) {
+  tracker_->OnSp(MakeSp("s", {ids_[0]}, 10));
+  tracker_->OnSp(MakeSp("s", {ids_[1]}, 20));  // no tuple in between
+  PolicyPtr p = tracker_->PolicyFor(MakeTuple(1, {1}, 20));
+  EXPECT_FALSE(p->Authorizes(RoleSet::Of(ids_[0])));
+  EXPECT_TRUE(p->Authorizes(RoleSet::Of(ids_[1])));
+}
+
+TEST_F(PolicyTrackerTest, NegativeSpInBatchSubtracts) {
+  tracker_->OnSp(MakeSp("s", {ids_[0], ids_[1]}, 10));
+  tracker_->OnSp(MakeSp("s", {ids_[1]}, 10, Sign::kNegative));
+  PolicyPtr p = tracker_->PolicyFor(MakeTuple(1, {1}, 10));
+  EXPECT_TRUE(p->Authorizes(RoleSet::Of(ids_[0])));
+  EXPECT_FALSE(p->Authorizes(RoleSet::Of(ids_[1])));
+}
+
+TEST_F(PolicyTrackerTest, DdpTupleNarrowing) {
+  // Policy covers only tuple ids 120..133 — others fall to deny-by-default.
+  SecurityPunctuation sp(Pattern::Literal("s"), Pattern::Range(120, 133),
+                         Pattern::Any(), Pattern::Any(), Sign::kPositive,
+                         false, 10);
+  sp.SetResolvedRoles(RoleSet::Of(ids_[2]));
+  tracker_->OnSp(sp);
+  EXPECT_TRUE(tracker_->PolicyFor(MakeTuple(125, {1}, 10))
+                  ->Authorizes(RoleSet::Of(ids_[2])));
+  EXPECT_TRUE(tracker_->PolicyFor(MakeTuple(200, {1}, 11))
+                  ->DeniesEveryone());
+}
+
+TEST_F(PolicyTrackerTest, DdpStreamMismatchDenies) {
+  SecurityPunctuation sp = MakeSp("other_stream", {ids_[0]}, 10);
+  tracker_->OnSp(sp);
+  EXPECT_TRUE(tracker_->PolicyFor(MakeTuple(1, {1}, 10))->DeniesEveryone());
+}
+
+TEST_F(PolicyTrackerTest, AttributeGranularityDoesNotGrantWholeTuple) {
+  SecurityPunctuation attr_sp(Pattern::Literal("s"), Pattern::Any(),
+                              Pattern::Literal("temperature"),
+                              Pattern::Any(), Sign::kPositive, false, 10);
+  attr_sp.SetResolvedRoles(RoleSet::Of(ids_[3]));
+  tracker_->OnSp(attr_sp);
+  Tuple t = MakeTuple(1, {1}, 10);
+  EXPECT_TRUE(tracker_->PolicyFor(t)->DeniesEveryone());
+  EXPECT_TRUE(tracker_->has_attribute_policies());
+  EXPECT_EQ(tracker_->EffectiveRolesForAttribute(t, "temperature"),
+            RoleSet::Of(ids_[3]));
+  EXPECT_TRUE(
+      tracker_->EffectiveRolesForAttribute(t, "heart_rate").Empty());
+}
+
+TEST_F(PolicyTrackerTest, AttributeRolesSubtractNegatives) {
+  SecurityPunctuation grant(Pattern::Literal("s"), Pattern::Any(),
+                            Pattern::Any(), Pattern::Any(), Sign::kPositive,
+                            false, 10);
+  grant.SetResolvedRoles(RoleSet::FromIds({ids_[0], ids_[1]}));
+  SecurityPunctuation deny_temp(Pattern::Literal("s"), Pattern::Any(),
+                                Pattern::Literal("temperature"),
+                                Pattern::Any(), Sign::kNegative, false, 10);
+  deny_temp.SetResolvedRoles(RoleSet::Of(ids_[1]));
+  tracker_->OnSp(grant);
+  tracker_->OnSp(deny_temp);
+  Tuple t = MakeTuple(1, {1}, 10);
+  EXPECT_EQ(tracker_->EffectiveRolesForAttribute(t, "temperature"),
+            RoleSet::Of(ids_[0]));
+  EXPECT_EQ(tracker_->EffectiveRolesForAttribute(t, "other"),
+            RoleSet::FromIds({ids_[0], ids_[1]}));
+}
+
+TEST_F(PolicyTrackerTest, MatchesReferenceModelOnRandomStreams) {
+  Rng rng(31337);
+  for (int trial = 0; trial < 10; ++trial) {
+    auto elements = sptest::RandomPunctuatedStream(
+        &rng, "s", /*n=*/200, /*cols=*/1, /*value_range=*/10,
+        /*role_pool=*/8, /*max_seg=*/5);
+    auto ref = sptest::ReferenceAnnotate(elements, "s");
+    PolicyTracker tracker(&catalog_, "s");
+    size_t ri = 0;
+    for (const StreamElement& e : elements) {
+      if (e.is_sp()) {
+        tracker.OnSp(e.sp());
+      } else if (e.is_tuple()) {
+        ASSERT_LT(ri, ref.size());
+        PolicyPtr p = tracker.PolicyFor(e.tuple());
+        EXPECT_EQ(p->allowed(), ref[ri].roles)
+            << "trial " << trial << " tuple " << ri;
+        ++ri;
+      }
+    }
+    EXPECT_EQ(ri, ref.size());
+  }
+}
+
+}  // namespace
+}  // namespace spstream

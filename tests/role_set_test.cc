@@ -1,0 +1,149 @@
+#include "security/role_set.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace spstream {
+namespace {
+
+TEST(RoleSetTest, EmptyByDefault) {
+  RoleSet s;
+  EXPECT_TRUE(s.Empty());
+  EXPECT_EQ(s.Count(), 0u);
+  RoleId first;
+  EXPECT_FALSE(s.FirstRole(&first));
+}
+
+TEST(RoleSetTest, InsertContainsErase) {
+  RoleSet s;
+  s.Insert(3);
+  s.Insert(200);  // crosses a word boundary
+  EXPECT_TRUE(s.Contains(3));
+  EXPECT_TRUE(s.Contains(200));
+  EXPECT_FALSE(s.Contains(4));
+  EXPECT_EQ(s.Count(), 2u);
+  s.Erase(3);
+  EXPECT_FALSE(s.Contains(3));
+  EXPECT_EQ(s.Count(), 1u);
+}
+
+TEST(RoleSetTest, FirstRoleIsMinimum) {
+  RoleSet s = RoleSet::FromIds({77, 5, 130});
+  RoleId first;
+  ASSERT_TRUE(s.FirstRole(&first));
+  EXPECT_EQ(first, 5u);
+}
+
+TEST(RoleSetTest, IntersectsFastPath) {
+  RoleSet a = RoleSet::FromIds({1, 65});
+  RoleSet b = RoleSet::FromIds({65});
+  RoleSet c = RoleSet::FromIds({2, 66});
+  EXPECT_TRUE(a.Intersects(b));
+  EXPECT_TRUE(b.Intersects(a));
+  EXPECT_FALSE(a.Intersects(c));
+  EXPECT_FALSE(RoleSet().Intersects(a));
+}
+
+TEST(RoleSetTest, SetAlgebra) {
+  RoleSet a = RoleSet::FromIds({1, 2, 3});
+  RoleSet b = RoleSet::FromIds({3, 4});
+  EXPECT_EQ(RoleSet::Union(a, b), RoleSet::FromIds({1, 2, 3, 4}));
+  EXPECT_EQ(RoleSet::Intersect(a, b), RoleSet::FromIds({3}));
+  EXPECT_EQ(RoleSet::Difference(a, b), RoleSet::FromIds({1, 2}));
+  EXPECT_EQ(RoleSet::Difference(b, a), RoleSet::FromIds({4}));
+}
+
+TEST(RoleSetTest, SubsetChecks) {
+  RoleSet a = RoleSet::FromIds({1, 2});
+  RoleSet b = RoleSet::FromIds({1, 2, 3});
+  EXPECT_TRUE(a.IsSubsetOf(b));
+  EXPECT_FALSE(b.IsSubsetOf(a));
+  EXPECT_TRUE(RoleSet().IsSubsetOf(a));
+  EXPECT_TRUE(a.IsSubsetOf(a));
+}
+
+TEST(RoleSetTest, EqualityIgnoresTrailingZeroWords) {
+  RoleSet a = RoleSet::FromIds({1});
+  RoleSet b = RoleSet::FromIds({1, 300});
+  b.Erase(300);  // leaves trailing zero words internally
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.Hash(), b.Hash());
+}
+
+TEST(RoleSetTest, ForEachAscendingOrder) {
+  RoleSet s = RoleSet::FromIds({190, 2, 64, 63});
+  std::vector<RoleId> seen;
+  s.ForEach([&](RoleId id) { seen.push_back(id); });
+  EXPECT_EQ(seen, (std::vector<RoleId>{2, 63, 64, 190}));
+  EXPECT_EQ(s.ToIds(), seen);
+}
+
+TEST(RoleSetTest, ToStringWithCatalog) {
+  RoleCatalog catalog;
+  RoleId c = catalog.RegisterRole("C");
+  RoleId nd = catalog.RegisterRole("ND");
+  RoleSet s = RoleSet::FromIds({c, nd});
+  EXPECT_EQ(s.ToString(catalog), "{C, ND}");
+  EXPECT_EQ(s.ToString(), "{0, 1}");
+}
+
+TEST(RoleSetTest, AllOfCoversCatalog) {
+  RoleCatalog catalog;
+  catalog.RegisterSyntheticRoles(70);
+  RoleSet all = RoleSet::AllOf(catalog);
+  EXPECT_EQ(all.Count(), 70u);
+  EXPECT_TRUE(all.Contains(0));
+  EXPECT_TRUE(all.Contains(69));
+  EXPECT_FALSE(all.Contains(70));
+}
+
+// ---- Property sweep: random sets obey boolean-algebra laws --------------
+
+class RoleSetAlgebraProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RoleSetAlgebraProperty, Laws) {
+  Rng rng(GetParam());
+  auto random_set = [&] {
+    RoleSet s;
+    const size_t n = rng.NextBounded(20);
+    for (size_t i = 0; i < n; ++i) {
+      s.Insert(static_cast<RoleId>(rng.NextBounded(256)));
+    }
+    return s;
+  };
+  for (int iter = 0; iter < 50; ++iter) {
+    RoleSet a = random_set(), b = random_set(), c = random_set();
+    // Commutativity.
+    EXPECT_EQ(RoleSet::Union(a, b), RoleSet::Union(b, a));
+    EXPECT_EQ(RoleSet::Intersect(a, b), RoleSet::Intersect(b, a));
+    // Associativity.
+    EXPECT_EQ(RoleSet::Union(RoleSet::Union(a, b), c),
+              RoleSet::Union(a, RoleSet::Union(b, c)));
+    EXPECT_EQ(RoleSet::Intersect(RoleSet::Intersect(a, b), c),
+              RoleSet::Intersect(a, RoleSet::Intersect(b, c)));
+    // Idempotence and absorption.
+    EXPECT_EQ(RoleSet::Union(a, a), a);
+    EXPECT_EQ(RoleSet::Intersect(a, a), a);
+    EXPECT_EQ(RoleSet::Union(a, RoleSet::Intersect(a, b)), a);
+    // Distributivity.
+    EXPECT_EQ(RoleSet::Intersect(a, RoleSet::Union(b, c)),
+              RoleSet::Union(RoleSet::Intersect(a, b),
+                             RoleSet::Intersect(a, c)));
+    // Difference definition.
+    EXPECT_EQ(RoleSet::Union(RoleSet::Difference(a, b),
+                             RoleSet::Intersect(a, b)),
+              a);
+    // Intersects agrees with materialized intersection.
+    EXPECT_EQ(a.Intersects(b), !RoleSet::Intersect(a, b).Empty());
+    // Count is cardinality-consistent under union (inclusion-exclusion).
+    EXPECT_EQ(RoleSet::Union(a, b).Count() + RoleSet::Intersect(a, b).Count(),
+              a.Count() + b.Count());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RoleSetAlgebraProperty,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+}  // namespace
+}  // namespace spstream

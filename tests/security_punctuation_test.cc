@@ -1,0 +1,170 @@
+#include "security/security_punctuation.h"
+
+#include <gtest/gtest.h>
+
+namespace spstream {
+namespace {
+
+SecurityPunctuation PaperTupleLevelSp() {
+  // "Only queries registered by a general physician (GP) can access data
+  // tuples (from any data stream) of patients with ids between 120 and
+  // 133" (§III.C).
+  return SecurityPunctuation::TupleLevel(
+      Pattern::Any(), Pattern::Range(120, 133), Pattern::Literal("GP"),
+      /*ts=*/100);
+}
+
+TEST(SpTest, GranularityClassification) {
+  SecurityPunctuation stream_sp = SecurityPunctuation::StreamLevel(
+      Pattern::Literal("HeartRate"), Pattern::Literal("C"), 1);
+  EXPECT_EQ(stream_sp.granularity(), PolicyGranularity::kStream);
+  EXPECT_TRUE(stream_sp.CoversWholeTuple());
+
+  SecurityPunctuation tuple_sp = PaperTupleLevelSp();
+  EXPECT_EQ(tuple_sp.granularity(), PolicyGranularity::kTuple);
+  EXPECT_TRUE(tuple_sp.CoversWholeTuple());
+
+  SecurityPunctuation attr_sp(
+      Pattern::Compile("s1|s2").value(), Pattern::Any(),
+      Pattern::Compile("temperature|beats_per_min").value(),
+      Pattern::Compile("D|ND").value(), Sign::kPositive, false, 5);
+  EXPECT_EQ(attr_sp.granularity(), PolicyGranularity::kAttribute);
+  EXPECT_FALSE(attr_sp.CoversWholeTuple());
+}
+
+TEST(SpTest, DdpMatching) {
+  SecurityPunctuation sp = PaperTupleLevelSp();
+  EXPECT_TRUE(sp.AppliesToStream("HeartRate"));
+  EXPECT_TRUE(sp.AppliesToStream("anything"));
+  EXPECT_TRUE(sp.AppliesToTupleId(120));
+  EXPECT_TRUE(sp.AppliesToTupleId(133));
+  EXPECT_FALSE(sp.AppliesToTupleId(134));
+  EXPECT_TRUE(sp.AppliesToAttribute("x"));
+}
+
+TEST(SpTest, ResolveRolesCaches) {
+  RoleCatalog catalog;
+  RoleId gp = catalog.RegisterRole("GP");
+  SecurityPunctuation sp = PaperTupleLevelSp();
+  EXPECT_FALSE(sp.roles_resolved());
+  EXPECT_TRUE(sp.roles().Empty());
+  sp.ResolveRoles(catalog);
+  EXPECT_TRUE(sp.roles_resolved());
+  EXPECT_EQ(sp.roles(), RoleSet::Of(gp));
+}
+
+TEST(SpTest, ToStringParseRoundTrip) {
+  SecurityPunctuation sp(
+      Pattern::Compile("s1|s2").value(), Pattern::Range(120, 133),
+      Pattern::Literal("temperature"), Pattern::Compile("D|ND").value(),
+      Sign::kNegative, /*immutable=*/true, 777);
+  auto parsed = SecurityPunctuation::Parse(sp.ToString());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(*parsed, sp);
+}
+
+TEST(SpTest, ParseExplicitText) {
+  auto sp = SecurityPunctuation::Parse(
+      "SP[ddp=(HeartRate, *, *), srp=(RBAC, C), sign=+, immutable=false, "
+      "ts=42]");
+  ASSERT_TRUE(sp.ok()) << sp.status().ToString();
+  EXPECT_TRUE(sp->AppliesToStream("HeartRate"));
+  EXPECT_FALSE(sp->AppliesToStream("BodyTemperature"));
+  EXPECT_EQ(sp->sign(), Sign::kPositive);
+  EXPECT_FALSE(sp->immutable());
+  EXPECT_EQ(sp->ts(), 42);
+  EXPECT_EQ(sp->model(), AccessControlModel::kRbac);
+}
+
+TEST(SpTest, ParseAcceptsWordSignsAndModels) {
+  auto sp = SecurityPunctuation::Parse(
+      "SP[ddp=(*, *, *), srp=(MAC, level3), sign=negative, immutable=T, "
+      "ts=-5]");
+  ASSERT_TRUE(sp.ok());
+  EXPECT_EQ(sp->sign(), Sign::kNegative);
+  EXPECT_TRUE(sp->immutable());
+  EXPECT_EQ(sp->model(), AccessControlModel::kMac);
+  EXPECT_EQ(sp->ts(), -5);
+}
+
+TEST(SpTest, ParseErrors) {
+  EXPECT_FALSE(SecurityPunctuation::Parse("garbage").ok());
+  EXPECT_FALSE(
+      SecurityPunctuation::Parse("SP[srp=(RBAC, C), sign=+, ts=1]").ok());
+  EXPECT_FALSE(SecurityPunctuation::Parse(
+                   "SP[ddp=(a, b), srp=(RBAC, C), sign=+, immutable=false, "
+                   "ts=1]")
+                   .ok());
+  EXPECT_FALSE(SecurityPunctuation::Parse(
+                   "SP[ddp=(*, *, *), srp=(RBAC, C), sign=?, "
+                   "immutable=false, ts=1]")
+                   .ok());
+  EXPECT_FALSE(SecurityPunctuation::Parse(
+                   "SP[ddp=(*, *, *), srp=(RBAC, C), sign=+, "
+                   "immutable=false, ts=xyz]")
+                   .ok());
+}
+
+TEST(SpTest, SameBatchByTimestamp) {
+  RoleCatalog catalog;
+  catalog.RegisterRole("A");
+  SecurityPunctuation a = SecurityPunctuation::StreamLevel(
+      Pattern::Any(), Pattern::Literal("A"), 10);
+  SecurityPunctuation b = SecurityPunctuation::StreamLevel(
+      Pattern::Any(), Pattern::Literal("A"), 10);
+  SecurityPunctuation c = SecurityPunctuation::StreamLevel(
+      Pattern::Any(), Pattern::Literal("A"), 11);
+  EXPECT_TRUE(a.SameBatchAs(b));
+  EXPECT_FALSE(a.SameBatchAs(c));
+}
+
+TEST(SpTest, BuildBatchPolicyUnionsPositives) {
+  RoleCatalog catalog;
+  RoleId r1 = catalog.RegisterRole("r1");
+  RoleId r2 = catalog.RegisterRole("r2");
+  SecurityPunctuation a = SecurityPunctuation::StreamLevel(
+      Pattern::Any(), Pattern::Literal("r1"), 10);
+  SecurityPunctuation b = SecurityPunctuation::StreamLevel(
+      Pattern::Any(), Pattern::Literal("r2"), 10);
+  a.ResolveRoles(catalog);
+  b.ResolveRoles(catalog);
+  Policy p = BuildBatchPolicy({a, b});
+  EXPECT_EQ(p.allowed(), RoleSet::FromIds({r1, r2}));
+  EXPECT_EQ(p.ts(), 10);
+}
+
+TEST(SpTest, BuildBatchPolicyNegativeSubtracts) {
+  RoleCatalog catalog;
+  RoleId r1 = catalog.RegisterRole("r1");
+  catalog.RegisterRole("r2");
+  SecurityPunctuation grant = SecurityPunctuation::StreamLevel(
+      Pattern::Any(), Pattern::Compile("r1|r2").value(), 10);
+  SecurityPunctuation deny = SecurityPunctuation::StreamLevel(
+      Pattern::Any(), Pattern::Literal("r2"), 10, Sign::kNegative);
+  grant.ResolveRoles(catalog);
+  deny.ResolveRoles(catalog);
+  Policy p = BuildBatchPolicy({grant, deny});
+  EXPECT_EQ(p.allowed(), RoleSet::Of(r1));
+}
+
+TEST(SpTest, MemoryGrowsWithResolvedRoles) {
+  SecurityPunctuation sp = PaperTupleLevelSp();
+  const size_t before = sp.MemoryBytes();
+  RoleSet big;
+  for (RoleId i = 0; i < 500; ++i) big.Insert(i);
+  sp.SetResolvedRoles(big);
+  EXPECT_GT(sp.MemoryBytes(), before);
+}
+
+TEST(SpTest, ModelNames) {
+  EXPECT_STREQ(AccessControlModelToString(AccessControlModel::kRbac),
+               "RBAC");
+  EXPECT_STREQ(AccessControlModelToString(AccessControlModel::kDac), "DAC");
+  auto parsed = AccessControlModelFromString("dac");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(*parsed, AccessControlModel::kDac);
+  EXPECT_FALSE(AccessControlModelFromString("XYZ").ok());
+}
+
+}  // namespace
+}  // namespace spstream

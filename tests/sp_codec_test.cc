@@ -1,0 +1,135 @@
+#include "security/sp_codec.h"
+
+#include <gtest/gtest.h>
+
+namespace spstream {
+namespace {
+
+TEST(VarintTest, RoundTripBoundaries) {
+  for (uint64_t v : {0ull, 1ull, 127ull, 128ull, 300ull, 16383ull, 16384ull,
+                     (1ull << 32), ~0ull}) {
+    std::string buf;
+    PutVarint(v, &buf);
+    size_t off = 0;
+    auto decoded = GetVarint(buf, &off);
+    ASSERT_TRUE(decoded.ok());
+    EXPECT_EQ(*decoded, v);
+    EXPECT_EQ(off, buf.size());
+  }
+}
+
+TEST(VarintTest, TruncatedFails) {
+  std::string buf;
+  PutVarint(1ull << 40, &buf);
+  buf.pop_back();
+  size_t off = 0;
+  EXPECT_FALSE(GetVarint(buf, &off).ok());
+}
+
+TEST(ZigZagTest, RoundTrip) {
+  for (int64_t v : {int64_t{0}, int64_t{-1}, int64_t{1}, int64_t{-1000},
+                    INT64_MAX, INT64_MIN}) {
+    EXPECT_EQ(ZigZagDecode(ZigZagEncode(v)), v);
+  }
+  // Small magnitudes stay small.
+  EXPECT_LE(ZigZagEncode(-3), 8u);
+}
+
+TEST(SpCodecTest, PatternTextRoundTrip) {
+  SecurityPunctuation sp(
+      Pattern::Compile("s1|s2").value(), Pattern::Range(120, 133),
+      Pattern::Literal("temperature"), Pattern::Compile("D|ND").value(),
+      Sign::kNegative, /*immutable=*/true, 999);
+  std::string buf;
+  EncodeSp(sp, &buf, /*prefer_bitmap=*/false);
+  size_t off = 0;
+  auto decoded = DecodeSp(buf, &off);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(*decoded, sp);
+  EXPECT_EQ(off, buf.size());
+}
+
+TEST(SpCodecTest, BitmapRoundTripPreservesRoles) {
+  SecurityPunctuation sp = SecurityPunctuation::StreamLevel(
+      Pattern::Literal("Location"), Pattern::Any(), 5);
+  sp.SetResolvedRoles(RoleSet::FromIds({3, 64, 65, 500}));
+  std::string buf;
+  EncodeSp(sp, &buf, /*prefer_bitmap=*/true);
+  size_t off = 0;
+  auto decoded = DecodeSp(buf, &off);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_TRUE(decoded->roles_resolved());
+  EXPECT_EQ(decoded->roles(), RoleSet::FromIds({3, 64, 65, 500}));
+  EXPECT_EQ(decoded->ts(), 5);
+  EXPECT_EQ(decoded->sign(), Sign::kPositive);
+}
+
+TEST(SpCodecTest, MatchAllPatternsElided) {
+  // The common tuple-level sp should be just a few bytes — the paper's
+  // "compact format ... included into the same network message".
+  SecurityPunctuation sp(Pattern::Any(), Pattern::Any(), Pattern::Any(),
+                         Pattern::Any(), Sign::kPositive, false, 1);
+  sp.SetResolvedRoles(RoleSet::Of(2));
+  EXPECT_LE(EncodedSpSize(sp), 8u);
+}
+
+TEST(SpCodecTest, DenseRoleBitmapDeltaCompresses) {
+  SecurityPunctuation dense = SecurityPunctuation::StreamLevel(
+      Pattern::Any(), Pattern::Any(), 1);
+  RoleSet roles;
+  for (RoleId i = 100; i < 200; ++i) roles.Insert(i);
+  dense.SetResolvedRoles(roles);
+  // 100 delta-encoded roles of delta 1 => ~1 byte each + header.
+  EXPECT_LE(EncodedSpSize(dense), 110u);
+}
+
+TEST(SpCodecTest, MultipleSpsInOneBuffer) {
+  std::string buf;
+  std::vector<SecurityPunctuation> sps;
+  for (int i = 0; i < 5; ++i) {
+    SecurityPunctuation sp = SecurityPunctuation::StreamLevel(
+        Pattern::Literal("s" + std::to_string(i)), Pattern::Any(), i * 10);
+    sp.SetResolvedRoles(RoleSet::Of(static_cast<RoleId>(i)));
+    EncodeSp(sp, &buf);
+    sps.push_back(std::move(sp));
+  }
+  size_t off = 0;
+  for (int i = 0; i < 5; ++i) {
+    auto decoded = DecodeSp(buf, &off);
+    ASSERT_TRUE(decoded.ok());
+    EXPECT_EQ(decoded->ts(), i * 10);
+    EXPECT_EQ(decoded->roles(), RoleSet::Of(static_cast<RoleId>(i)));
+  }
+  EXPECT_EQ(off, buf.size());
+}
+
+TEST(SpCodecTest, DecodeGarbageFails) {
+  size_t off = 0;
+  EXPECT_FALSE(DecodeSp("", &off).ok());
+  // A header that promises a pattern but truncates.
+  std::string buf;
+  buf.push_back(static_cast<char>(0x04));  // kHasStreamPattern
+  buf.push_back(static_cast<char>(0x00));  // ts = 0
+  buf.push_back(static_cast<char>(0x20));  // string length 32, but no bytes
+  off = 0;
+  EXPECT_FALSE(DecodeSp(buf, &off).ok());
+}
+
+TEST(SpCodecTest, BitmapSmallerThanTextForManyRoles) {
+  // Compare the two SRP encodings for a 50-role policy.
+  RoleCatalog catalog;
+  catalog.RegisterSyntheticRoles(64);
+  std::string role_text;
+  for (int i = 1; i <= 50; ++i) {
+    if (!role_text.empty()) role_text += "|";
+    role_text += "r" + std::to_string(i);
+  }
+  SecurityPunctuation sp = SecurityPunctuation::StreamLevel(
+      Pattern::Any(), Pattern::Compile(role_text).value(), 1);
+  sp.ResolveRoles(catalog);
+  EXPECT_LT(EncodedSpSize(sp, /*prefer_bitmap=*/true),
+            EncodedSpSize(sp, /*prefer_bitmap=*/false));
+}
+
+}  // namespace
+}  // namespace spstream

@@ -1,0 +1,122 @@
+#include "optimizer/statistics.h"
+
+#include <gtest/gtest.h>
+
+#include "optimizer/optimizer.h"
+#include "test_util.h"
+#include "workload/moving_objects.h"
+#include "workload/road_network.h"
+
+namespace spstream {
+namespace {
+
+using sptest::MakeSp;
+using sptest::MakeTuple;
+
+TEST(StatisticsTest, MeasuresRatesAndRatios) {
+  std::vector<StreamElement> elements;
+  Timestamp ts = 0;
+  // 10 segments of 5 tuples, policies {r0, r1} always.
+  for (int seg = 0; seg < 10; ++seg) {
+    elements.emplace_back(MakeSp("s", {0, 1}, ts));
+    for (int i = 0; i < 5; ++i) {
+      elements.emplace_back(MakeTuple(seg * 5 + i, {1}, ts));
+      ts += 2;  // one tuple per 2 ts units
+    }
+  }
+  StreamStatistics stats = CollectStreamStatistics(elements);
+  EXPECT_EQ(stats.tuples, 50u);
+  EXPECT_EQ(stats.sps, 10u);
+  EXPECT_DOUBLE_EQ(stats.tuples_per_sp, 5.0);
+  EXPECT_DOUBLE_EQ(stats.roles_per_sp, 2.0);
+  EXPECT_NEAR(stats.tuple_rate, 0.5, 0.05);
+  EXPECT_NEAR(stats.sp_rate, 0.1, 0.02);
+  EXPECT_DOUBLE_EQ(stats.role_match_fraction.at(0), 1.0);
+  EXPECT_DOUBLE_EQ(stats.role_match_fraction.at(1), 1.0);
+  EXPECT_EQ(stats.role_match_fraction.count(2), 0u);
+}
+
+TEST(StatisticsTest, RoleFractionsReflectSkew) {
+  std::vector<StreamElement> elements;
+  Timestamp ts = 1;
+  for (int i = 0; i < 100; ++i) {
+    // r0 in every policy; r1 in every 10th.
+    std::vector<RoleId> roles = {0};
+    if (i % 10 == 0) roles.push_back(1);
+    elements.emplace_back(MakeSp("s", roles, ts));
+    elements.emplace_back(MakeTuple(i, {i}, ts));
+    ++ts;
+  }
+  StreamStatistics stats = CollectStreamStatistics(elements);
+  EXPECT_DOUBLE_EQ(stats.role_match_fraction.at(0), 1.0);
+  EXPECT_NEAR(stats.role_match_fraction.at(1), 0.1, 0.01);
+}
+
+TEST(StatisticsTest, EmptyAndTupleOnlyStreamsAreSafe) {
+  EXPECT_EQ(CollectStreamStatistics({}).tuples, 0u);
+  std::vector<StreamElement> tuples_only;
+  tuples_only.emplace_back(MakeTuple(1, {1}, 5));
+  StreamStatistics stats = CollectStreamStatistics(tuples_only);
+  EXPECT_EQ(stats.tuples, 1u);
+  EXPECT_EQ(stats.sps, 0u);
+  EXPECT_DOUBLE_EQ(stats.tuples_per_sp, 0.0);
+}
+
+TEST(StatisticsTest, MeasuredStatsDriveTheOptimizer) {
+  // Generate a stream with one rare and one common role, measure it, feed
+  // the measurement into the cost model, and check the optimizer uses it.
+  RoleCatalog roles;
+  auto ids = roles.RegisterSyntheticRoles(2);
+  std::vector<StreamElement> elements;
+  Rng rng(3);
+  Timestamp ts = 1;
+  for (int seg = 0; seg < 200; ++seg) {
+    std::vector<RoleId> policy = {ids[1]};       // common everywhere
+    if (rng.NextBool(0.05)) policy.push_back(ids[0]);  // rare
+    elements.emplace_back(MakeSp("s", policy, ts));
+    for (int i = 0; i < 5; ++i) {
+      elements.emplace_back(MakeTuple(seg * 5 + i, {1, 2}, ts));
+      ++ts;
+    }
+  }
+  StreamStatistics stats = CollectStreamStatistics(elements);
+  EXPECT_LT(stats.role_match_fraction.at(ids[0]), 0.15);
+  EXPECT_DOUBLE_EQ(stats.role_match_fraction.at(ids[1]), 1.0);
+
+  CostModelOptions mopts;
+  stats.ApplyTo(&mopts);
+  SchemaPtr schema = MakeSchema("s", {Field{"a", ValueType::kInt64},
+                                      Field{"b", ValueType::kInt64}});
+  CostModel model({{"s", stats.ToSourceStats()},
+                   {"t", stats.ToSourceStats()}},
+                  mopts);
+
+  // Shield on the rare role: its measured selectivity makes pushing below
+  // the join clearly profitable.
+  auto plan = LogicalNode::Ss(
+      {RoleSet::Of(ids[0])},
+      LogicalNode::Join(0, 0, 50, LogicalNode::Source("s", schema),
+                        LogicalNode::Source("t", schema)));
+  Optimizer optimizer(&model);
+  auto best = optimizer.Optimize(plan);
+  EXPECT_LT(model.PlanCost(best), model.PlanCost(plan));
+  EXPECT_NE(best->kind, LogicalNode::Kind::kSs);  // shield moved off root
+}
+
+TEST(StatisticsTest, GeneratorRatioRecoverable) {
+  // Statistics recover the generator's configured knobs.
+  RoleCatalog roles;
+  MovingObjectsGenerator::SeedRoles(&roles, 50);
+  MovingObjectsOptions opts;
+  opts.num_updates = 5000;
+  opts.tuples_per_sp = 25;
+  opts.roles_per_policy = 3;
+  opts.role_pool = 50;
+  MovingObjectsGenerator gen(&roles, RoadNetwork::Grid({}), opts);
+  StreamStatistics stats = CollectStreamStatistics(gen.Generate());
+  EXPECT_NEAR(stats.tuples_per_sp, 25.0, 4.0);
+  EXPECT_NEAR(stats.roles_per_sp, 3.0, 0.01);
+}
+
+}  // namespace
+}  // namespace spstream

@@ -1,0 +1,153 @@
+// Schema, tuple, catalog, stream-element and string/rng utility tests.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "common/string_util.h"
+#include "stream/schema.h"
+#include "stream/stream_element.h"
+#include "test_util.h"
+
+namespace spstream {
+namespace {
+
+using sptest::MakeSp;
+using sptest::MakeTuple;
+
+TEST(SchemaTest, FieldIndexLookup) {
+  SchemaPtr s = MakeSchema("HeartRate", {Field{"patient_id", ValueType::kInt64},
+                                         Field{"beats_per_min",
+                                               ValueType::kInt64}});
+  auto idx = s->FieldIndex("beats_per_min");
+  ASSERT_TRUE(idx.ok());
+  EXPECT_EQ(*idx, 1);
+  EXPECT_FALSE(s->FieldIndex("missing").ok());
+  EXPECT_EQ(s->ToString(),
+            "HeartRate(patient_id:INT64, beats_per_min:INT64)");
+}
+
+TEST(StreamCatalogTest, RegisterAndLookup) {
+  StreamCatalog catalog;
+  auto id1 = catalog.RegisterStream(
+      MakeSchema("s1", {Field{"a", ValueType::kInt64}}));
+  ASSERT_TRUE(id1.ok());
+  auto id2 = catalog.RegisterStream(
+      MakeSchema("s2", {Field{"b", ValueType::kInt64}}));
+  ASSERT_TRUE(id2.ok());
+  EXPECT_NE(*id1, *id2);
+  EXPECT_EQ(*catalog.LookupId("s2"), *id2);
+  EXPECT_EQ((*catalog.LookupSchema("s1"))->stream_name(), "s1");
+  EXPECT_FALSE(catalog.LookupId("s3").ok());
+  // Duplicate registration refused.
+  EXPECT_FALSE(catalog
+                   .RegisterStream(
+                       MakeSchema("s1", {Field{"a", ValueType::kInt64}}))
+                   .ok());
+}
+
+TEST(TupleTest, ToStringFormats) {
+  Tuple t = MakeTuple(42, {7, 8}, 100);
+  EXPECT_NE(t.ToString().find("tid=42"), std::string::npos);
+  SchemaPtr s = MakeSchema("s", {Field{"a", ValueType::kInt64},
+                                 Field{"b", ValueType::kInt64}});
+  EXPECT_NE(t.ToString(*s).find("a=7"), std::string::npos);
+}
+
+TEST(TupleTest, EqualityAndMemory) {
+  Tuple a = MakeTuple(1, {2, 3}, 4);
+  Tuple b = MakeTuple(1, {2, 3}, 4);
+  EXPECT_EQ(a, b);
+  b.values[0] = Value(9);
+  EXPECT_FALSE(a == b);
+  EXPECT_GT(a.MemoryBytes(), 0u);
+}
+
+TEST(StreamElementTest, VariantsAndAccessors) {
+  StreamElement t(MakeTuple(1, {1}, 5));
+  EXPECT_TRUE(t.is_tuple());
+  EXPECT_EQ(t.ts(), 5);
+
+  StreamElement sp(MakeSp("s", {0}, 9));
+  EXPECT_TRUE(sp.is_sp());
+  EXPECT_EQ(sp.ts(), 9);
+
+  StreamElement eos = StreamElement::EndOfStream(100);
+  EXPECT_TRUE(eos.is_control());
+  EXPECT_TRUE(eos.is_end_of_stream());
+  StreamElement flush = StreamElement::Flush(3);
+  EXPECT_FALSE(flush.is_end_of_stream());
+  EXPECT_NE(flush.ToString().find("FLUSH"), std::string::npos);
+}
+
+TEST(SubjectTest, RoleFreezeWhileQueriesActive) {
+  Subject subj("alice", {1});
+  EXPECT_TRUE(subj.ActivateRole(2).ok());
+  subj.Freeze();
+  EXPECT_FALSE(subj.ActivateRole(3).ok());  // §II.A: frozen while registered
+  subj.Unfreeze();
+  EXPECT_TRUE(subj.ActivateRole(3).ok());
+  EXPECT_EQ(subj.roles().size(), 3u);
+  // Re-activating an existing role is a no-op, not an error.
+  EXPECT_TRUE(subj.ActivateRole(3).ok());
+  EXPECT_EQ(subj.roles().size(), 3u);
+}
+
+TEST(StringUtilTest, SplitTrimJoin) {
+  EXPECT_EQ(Split("a,b,,c", ','),
+            (std::vector<std::string>{"a", "b", "", "c"}));
+  EXPECT_EQ(Split("one", ','), (std::vector<std::string>{"one"}));
+  EXPECT_EQ(Trim("  x y  "), "x y");
+  EXPECT_EQ(Trim("   "), "");
+  EXPECT_EQ(Join({"a", "b"}, ", "), "a, b");
+  EXPECT_EQ(Join({}, ","), "");
+}
+
+TEST(StringUtilTest, CaseHelpers) {
+  EXPECT_TRUE(EqualsIgnoreCase("SELECT", "select"));
+  EXPECT_FALSE(EqualsIgnoreCase("SELECT", "selec"));
+  EXPECT_EQ(ToLower("AbC"), "abc");
+  EXPECT_EQ(ToUpper("AbC"), "ABC");
+  EXPECT_TRUE(IsAllDigits("0123"));
+  EXPECT_FALSE(IsAllDigits(""));
+  EXPECT_FALSE(IsAllDigits("12a"));
+  EXPECT_TRUE(StartsWith("SP[...]", "SP["));
+  EXPECT_FALSE(StartsWith("S", "SP["));
+}
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng a(123), b(123), c(124);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+  bool differs = false;
+  Rng a2(123);
+  for (int i = 0; i < 10; ++i) {
+    if (a2.Next() != c.Next()) differs = true;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(RngTest, BoundsRespected) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.NextBounded(17), 17u);
+    const int64_t v = rng.NextInRange(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+    const double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, BernoulliRoughlyCalibrated) {
+  Rng rng(77);
+  int hits = 0;
+  const int n = 10000;
+  for (int i = 0; i < n; ++i) {
+    if (rng.NextBool(0.25)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.25, 0.03);
+}
+
+}  // namespace
+}  // namespace spstream

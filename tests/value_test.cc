@@ -1,0 +1,103 @@
+#include "common/value.h"
+
+#include <gtest/gtest.h>
+
+namespace spstream {
+namespace {
+
+TEST(ValueTest, DefaultIsNull) {
+  Value v;
+  EXPECT_TRUE(v.is_null());
+  EXPECT_EQ(v.type(), ValueType::kNull);
+  EXPECT_EQ(v.ToString(), "NULL");
+}
+
+TEST(ValueTest, TypedConstruction) {
+  EXPECT_TRUE(Value(int64_t{5}).is_int64());
+  EXPECT_TRUE(Value(5).is_int64());
+  EXPECT_TRUE(Value(2.5).is_double());
+  EXPECT_TRUE(Value(true).is_bool());
+  EXPECT_TRUE(Value("abc").is_string());
+  EXPECT_TRUE(Value(std::string("abc")).is_string());
+}
+
+TEST(ValueTest, NumericCrossKindEquality) {
+  EXPECT_EQ(Value(3), Value(3.0));
+  EXPECT_NE(Value(3), Value(3.5));
+  EXPECT_LT(Value(2).Compare(Value(2.5)), 0);
+  EXPECT_GT(Value(3.5).Compare(Value(3)), 0);
+}
+
+TEST(ValueTest, Int64ExactComparison) {
+  const int64_t big = (int64_t{1} << 62) + 1;
+  EXPECT_EQ(Value(big), Value(big));
+  EXPECT_NE(Value(big), Value(big + 1));
+}
+
+TEST(ValueTest, StringOrdering) {
+  EXPECT_LT(Value("apple").Compare(Value("banana")), 0);
+  EXPECT_EQ(Value("x"), Value("x"));
+}
+
+TEST(ValueTest, CrossKindRankOrdering) {
+  // null < numeric < string < bool
+  EXPECT_LT(Value().Compare(Value(1)), 0);
+  EXPECT_LT(Value(1).Compare(Value("a")), 0);
+  EXPECT_LT(Value("a").Compare(Value(false)), 0);
+}
+
+TEST(ValueTest, HashConsistentWithEquality) {
+  EXPECT_EQ(Value(7).Hash(), Value(7.0).Hash());
+  EXPECT_EQ(Value("k").Hash(), Value(std::string("k")).Hash());
+  EXPECT_EQ(Value().Hash(), Value::Null().Hash());
+}
+
+TEST(ValueTest, AsDouble) {
+  EXPECT_DOUBLE_EQ(Value(4).AsDouble(), 4.0);
+  EXPECT_DOUBLE_EQ(Value(4.5).AsDouble(), 4.5);
+  EXPECT_DOUBLE_EQ(Value(true).AsDouble(), 1.0);
+  EXPECT_DOUBLE_EQ(Value("s").AsDouble(), 0.0);
+  EXPECT_DOUBLE_EQ(Value().AsDouble(), 0.0);
+}
+
+TEST(ValueTest, ToString) {
+  EXPECT_EQ(Value(12).ToString(), "12");
+  EXPECT_EQ(Value("hi").ToString(), "hi");
+  EXPECT_EQ(Value(true).ToString(), "true");
+  EXPECT_EQ(Value(false).ToString(), "false");
+}
+
+TEST(ValueTest, MemoryAccountsLongStrings) {
+  Value short_s("ab");
+  std::string long_str(256, 'x');
+  Value long_s(long_str);
+  EXPECT_GT(long_s.MemoryBytes(), short_s.MemoryBytes());
+}
+
+TEST(ValueTypeTest, Names) {
+  EXPECT_STREQ(ValueTypeToString(ValueType::kInt64), "INT64");
+  EXPECT_STREQ(ValueTypeToString(ValueType::kDouble), "DOUBLE");
+  EXPECT_STREQ(ValueTypeToString(ValueType::kString), "STRING");
+  EXPECT_STREQ(ValueTypeToString(ValueType::kBool), "BOOL");
+  EXPECT_STREQ(ValueTypeToString(ValueType::kNull), "NULL");
+}
+
+class ValueCompareTotalOrder
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(ValueCompareTotalOrder, AntisymmetricAndTransitiveSample) {
+  auto [a, b] = GetParam();
+  Value va(a), vb(b);
+  EXPECT_EQ(va.Compare(vb), -vb.Compare(va));
+  if (a == b) {
+    EXPECT_EQ(va, vb);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Pairs, ValueCompareTotalOrder,
+    ::testing::Combine(::testing::Values(-3, 0, 1, 7),
+                       ::testing::Values(-3, 0, 1, 7)));
+
+}  // namespace
+}  // namespace spstream

@@ -1,0 +1,248 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "workload/health_streams.h"
+#include "workload/moving_objects.h"
+#include "workload/policy_gen.h"
+#include "workload/road_network.h"
+
+namespace spstream {
+namespace {
+
+TEST(RoadNetworkTest, GridIsConnectedAndEmbedded) {
+  RoadNetworkOptions opts;
+  opts.grid_width = 8;
+  opts.grid_height = 6;
+  RoadNetwork net = RoadNetwork::Grid(opts);
+  ASSERT_EQ(net.size(), 48u);
+  for (size_t i = 0; i < net.size(); ++i) {
+    EXPECT_FALSE(net.node(static_cast<int>(i)).neighbors.empty());
+  }
+  // BFS reachability from node 0.
+  std::vector<bool> seen(net.size(), false);
+  std::vector<int> frontier = {0};
+  seen[0] = true;
+  size_t count = 1;
+  while (!frontier.empty()) {
+    int cur = frontier.back();
+    frontier.pop_back();
+    for (int nb : net.node(cur).neighbors) {
+      if (!seen[static_cast<size_t>(nb)]) {
+        seen[static_cast<size_t>(nb)] = true;
+        ++count;
+        frontier.push_back(nb);
+      }
+    }
+  }
+  EXPECT_EQ(count, net.size());
+}
+
+TEST(RoadNetworkTest, TravelStaysOnMap) {
+  RoadNetwork net = RoadNetwork::Grid({});
+  Rng rng(3);
+  RoadNetwork::Travel t = net.StartTravel(&rng);
+  for (int step = 0; step < 500; ++step) {
+    net.Advance(&t, &rng);
+    double x, y;
+    net.Position(t, &x, &y);
+    EXPECT_GE(x, -100.0);
+    EXPECT_LE(x, net.extent_x() + 100.0);
+    EXPECT_GE(y, -100.0);
+    EXPECT_LE(y, net.extent_y() + 100.0);
+    EXPECT_GE(t.progress, 0.0);
+    EXPECT_LE(t.progress, 1.0);
+  }
+}
+
+TEST(RoadNetworkTest, DeterministicForSeed) {
+  RoadNetworkOptions opts;
+  opts.seed = 99;
+  RoadNetwork a = RoadNetwork::Grid(opts);
+  RoadNetwork b = RoadNetwork::Grid(opts);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_DOUBLE_EQ(a.node(i).x, b.node(i).x);
+    EXPECT_EQ(a.node(i).neighbors, b.node(i).neighbors);
+  }
+}
+
+class MovingObjectsRatioSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(MovingObjectsRatioSweep, SpToTupleRatioHolds) {
+  const int k = GetParam();
+  RoleCatalog catalog;
+  MovingObjectsGenerator::SeedRoles(&catalog, 100);
+  MovingObjectsOptions opts;
+  opts.num_objects = 500;
+  opts.num_updates = 3000;
+  opts.tuples_per_sp = k;
+  MovingObjectsGenerator gen(&catalog, RoadNetwork::Grid({}), opts);
+  auto elements = gen.Generate();
+
+  size_t sps = 0, tuples = 0;
+  for (const auto& e : elements) {
+    if (e.is_sp()) ++sps;
+    if (e.is_tuple()) ++tuples;
+  }
+  EXPECT_EQ(tuples, 3000u);
+  const double ratio = static_cast<double>(tuples) / static_cast<double>(sps);
+  EXPECT_NEAR(ratio, k, k * 0.15 + 0.01);
+}
+
+INSTANTIATE_TEST_SUITE_P(Ratios, MovingObjectsRatioSweep,
+                         ::testing::Values(1, 10, 25, 50, 100));
+
+TEST(MovingObjectsTest, SpsPrecedeAndCoverTheirBlocks) {
+  RoleCatalog catalog;
+  MovingObjectsGenerator::SeedRoles(&catalog, 10);
+  MovingObjectsOptions opts;
+  opts.num_objects = 50;
+  opts.num_updates = 200;
+  opts.tuples_per_sp = 10;
+  opts.roles_per_policy = 2;
+  MovingObjectsGenerator gen(&catalog, RoadNetwork::Grid({}), opts);
+  auto elements = gen.Generate();
+  ASSERT_TRUE(elements[0].is_sp());
+  const SecurityPunctuation* current = nullptr;
+  for (const auto& e : elements) {
+    if (e.is_sp()) {
+      current = &e.sp();
+      EXPECT_EQ(current->roles().Count(), 2u);
+      EXPECT_TRUE(current->AppliesToStream("Location"));
+    } else if (e.is_tuple()) {
+      ASSERT_NE(current, nullptr);
+      // The sp's DDP names the block's object-id range.
+      EXPECT_TRUE(current->AppliesToTupleId(e.tuple().tid))
+          << "tuple " << e.tuple().tid << " not covered by "
+          << current->ToString();
+    }
+  }
+}
+
+TEST(MovingObjectsTest, TimestampsMonotonic) {
+  RoleCatalog catalog;
+  MovingObjectsGenerator::SeedRoles(&catalog, 10);
+  MovingObjectsOptions opts;
+  opts.num_updates = 500;
+  MovingObjectsGenerator gen(&catalog, RoadNetwork::Grid({}), opts);
+  auto elements = gen.Generate();
+  Timestamp last = kMinTimestamp;
+  for (const auto& e : elements) {
+    EXPECT_GE(e.ts(), last);
+    last = e.ts();
+  }
+}
+
+TEST(MovingObjectsTest, DistinctPolicyPoolBoundsVariety) {
+  RoleCatalog catalog;
+  MovingObjectsGenerator::SeedRoles(&catalog, 100);
+  MovingObjectsOptions opts;
+  opts.num_updates = 2000;
+  opts.tuples_per_sp = 10;
+  opts.roles_per_policy = 3;
+  opts.distinct_policies = 4;
+  MovingObjectsGenerator gen(&catalog, RoadNetwork::Grid({}), opts);
+  auto elements = gen.Generate();
+  std::set<std::string> policies;
+  for (const auto& e : elements) {
+    if (e.is_sp()) policies.insert(e.sp().roles().ToString());
+  }
+  EXPECT_LE(policies.size(), 4u);
+  EXPECT_GE(policies.size(), 2u);
+}
+
+class JoinWorkloadSelectivitySweep
+    : public ::testing::TestWithParam<double> {};
+
+TEST_P(JoinWorkloadSelectivitySweep, SpSelectivityCalibrated) {
+  const double sigma = GetParam();
+  RoleCatalog catalog;
+  JoinWorkloadOptions opts;
+  opts.tuples_per_stream = 4000;
+  opts.tuples_per_sp = 10;
+  opts.sp_selectivity = sigma;
+  opts.seed = 31;
+  JoinWorkload wl = GenerateJoinWorkload(&catalog, opts);
+
+  // Every left policy contains the shared role; measure the fraction of
+  // right segments containing it.
+  auto shared = catalog.Lookup("g_shared");
+  ASSERT_TRUE(shared.ok());
+  size_t total = 0, compatible = 0;
+  for (const auto& e : wl.right) {
+    if (!e.is_sp()) continue;
+    ++total;
+    if (e.sp().roles().Contains(*shared)) ++compatible;
+  }
+  ASSERT_GT(total, 0u);
+  const double measured =
+      static_cast<double>(compatible) / static_cast<double>(total);
+  EXPECT_NEAR(measured, sigma, 0.06);
+  for (const auto& e : wl.left) {
+    if (e.is_sp()) {
+      EXPECT_TRUE(e.sp().roles().Contains(*shared));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sigmas, JoinWorkloadSelectivitySweep,
+                         ::testing::Values(0.0, 0.1, 0.5, 1.0));
+
+TEST(HealthStreamsTest, SchemasMatchFigure4) {
+  EXPECT_EQ(HeartRateSchema()->ToString(),
+            "HeartRate(patient_id:INT64, beats_per_min:INT64)");
+  EXPECT_EQ(BodyTemperatureSchema()->num_fields(), 2u);
+  EXPECT_EQ(BreathingRateSchema()->num_fields(), 3u);
+}
+
+TEST(HealthStreamsTest, RolesRegisteredOnce) {
+  RoleCatalog catalog;
+  HospitalRoles a = RegisterHospitalRoles(&catalog);
+  HospitalRoles b = RegisterHospitalRoles(&catalog);
+  EXPECT_EQ(a.cardiologist, b.cardiologist);
+  EXPECT_EQ(catalog.size(), 6u);
+}
+
+TEST(HealthStreamsTest, WorkloadShapeAndEscalation) {
+  RoleCatalog catalog;
+  HealthStreamOptions opts;
+  opts.num_patients = 8;
+  opts.updates_per_patient = 50;
+  opts.emergency_prob = 0.1;  // force some escalations
+  opts.seed = 5;
+  HealthWorkload wl = GenerateHealthWorkload(&catalog, opts);
+  HospitalRoles roles = RegisterHospitalRoles(&catalog);
+
+  size_t tuples = 0, escalated_sps = 0;
+  for (const auto& e : wl.heart_rate) {
+    if (e.is_tuple()) {
+      ++tuples;
+      EXPECT_EQ(e.tuple().values.size(), 2u);
+      const TupleId pid = e.tuple().tid;
+      EXPECT_GE(pid, 120);
+      EXPECT_LT(pid, 128);
+    } else if (e.is_sp() && e.sp().roles().Contains(roles.employee)) {
+      ++escalated_sps;
+    }
+  }
+  EXPECT_EQ(tuples, 8u * 50u);
+  EXPECT_GT(escalated_sps, 0u);  // Example 2 escalation occurred
+  EXPECT_FALSE(wl.body_temperature.empty());
+  EXPECT_FALSE(wl.breathing_rate.empty());
+}
+
+TEST(RandomQueryPredicatesTest, ShapesRespected) {
+  Rng rng(1);
+  auto preds = RandomQueryPredicates(5, 3, 50, &rng);
+  ASSERT_EQ(preds.size(), 5u);
+  for (const auto& p : preds) {
+    EXPECT_EQ(p.Count(), 3u);
+    RoleId first;
+    ASSERT_TRUE(p.FirstRole(&first));
+    EXPECT_LT(first, 50u);
+  }
+}
+
+}  // namespace
+}  // namespace spstream

@@ -1,0 +1,48 @@
+# spstream_cli demo script: patient vitals with streamed access control.
+
+role GP
+role ND
+role E
+
+stream Vitals(patient_id:int, bpm:int)
+
+subject doctor GP
+subject admin E
+
+query q_doctor doctor SELECT patient_id, bpm FROM Vitals WHERE bpm > 60
+query q_admin admin SELECT patient_id FROM Vitals
+
+explain q_doctor
+
+# Patients 120-133 grant their general physician access.
+INSERT SP INTO STREAM Vitals LET DDP = (Vitals, [120-133], *), SRP = (RBAC, GP), TS = 1
+
+tuple Vitals 120 1 120 72
+tuple Vitals 121 2 121 95
+tuple Vitals 200 3 200 99
+
+run
+
+results q_doctor
+results q_admin
+
+# --- extensions tour -------------------------------------------------------
+
+# RBAC1: a head nurse inherits everything granted to nurses.
+role nurse
+role head_nurse
+inherit head_nurse nurse
+subject hn head_nurse
+query q_hn hn SELECT patient_id FROM Vitals
+
+INSERT SP INTO STREAM Vitals LET DDP = (Vitals, *, *), SRP = (RBAC, nurse), TS = 10
+tuple Vitals 121 10 121 88
+run
+results q_hn
+
+# Runtime role change (SIX future work): the admin becomes a GP.
+update-roles admin GP
+INSERT SP INTO STREAM Vitals LET DDP = (Vitals, *, *), SRP = (RBAC, GP), TS = 20
+tuple Vitals 122 20 122 77
+run
+results q_admin

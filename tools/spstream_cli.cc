@@ -1,0 +1,256 @@
+// spstream_cli — a scriptable shell over SpStreamEngine.
+//
+// Reads commands from a script file (or stdin), one per line:
+//
+//   role <name>
+//   inherit <senior> <junior>                 # RBAC1 role inheritance
+//   stream <name>(<col>:<int|double|string|bool>, ...)
+//   subject <name> <role> [<role> ...]
+//   update-roles <subject> <role> [...]       # runtime role change (§IX)
+//   server <stream> <role-pattern>            # server-side policy
+//   query <id> <subject> <SELECT ...>         # register a continuous query
+//   INSERT SP INTO STREAM ...                 # the paper's sp declaration
+//   tuple <stream> <tid> <ts> <v1> [<v2> ...]
+//   run                                       # execute pending input
+//   results <id>                              # print & drain a query's rows
+//   explain <id>                              # show the optimized plan
+//   # comment / blank lines ignored
+//
+// Example:   build/tools/spstream_cli examples/demo.sps
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "common/string_util.h"
+#include "engine/engine.h"
+
+namespace spstream {
+namespace {
+
+Result<Value> ParseValueToken(const std::string& tok, ValueType type) {
+  switch (type) {
+    case ValueType::kInt64: {
+      try {
+        return Value(static_cast<int64_t>(std::stoll(tok)));
+      } catch (...) {
+        return Status::ParseError("bad int value: " + tok);
+      }
+    }
+    case ValueType::kDouble: {
+      try {
+        return Value(std::stod(tok));
+      } catch (...) {
+        return Status::ParseError("bad double value: " + tok);
+      }
+    }
+    case ValueType::kBool:
+      return Value(EqualsIgnoreCase(tok, "true"));
+    case ValueType::kString:
+    case ValueType::kNull:
+      return Value(tok);
+  }
+  return Value(tok);
+}
+
+Result<ValueType> ParseTypeName(std::string_view name) {
+  if (EqualsIgnoreCase(name, "int") || EqualsIgnoreCase(name, "int64")) {
+    return ValueType::kInt64;
+  }
+  if (EqualsIgnoreCase(name, "double") || EqualsIgnoreCase(name, "float")) {
+    return ValueType::kDouble;
+  }
+  if (EqualsIgnoreCase(name, "string")) return ValueType::kString;
+  if (EqualsIgnoreCase(name, "bool")) return ValueType::kBool;
+  return Status::ParseError("unknown column type: " + std::string(name));
+}
+
+class Shell {
+ public:
+  int RunScript(std::istream& in) {
+    std::string line;
+    int lineno = 0;
+    int failures = 0;
+    while (std::getline(in, line)) {
+      ++lineno;
+      std::string_view trimmed = Trim(line);
+      if (trimmed.empty() || trimmed.front() == '#') continue;
+      Status st = Execute(std::string(trimmed));
+      if (!st.ok()) {
+        std::cerr << "line " << lineno << ": " << st.ToString() << "\n";
+        ++failures;
+      }
+    }
+    return failures == 0 ? 0 : 1;
+  }
+
+ private:
+  Status Execute(const std::string& line) {
+    std::istringstream words(line);
+    std::string cmd;
+    words >> cmd;
+    if (EqualsIgnoreCase(cmd, "role")) {
+      std::string name;
+      words >> name;
+      if (name.empty()) return Status::ParseError("role: missing name");
+      engine_.RegisterRole(name);
+      return Status::OK();
+    }
+    if (EqualsIgnoreCase(cmd, "inherit")) {
+      std::string senior, junior;
+      words >> senior >> junior;
+      SP_ASSIGN_OR_RETURN(RoleId s, engine_.roles()->Lookup(senior));
+      SP_ASSIGN_OR_RETURN(RoleId j, engine_.roles()->Lookup(junior));
+      return engine_.roles()->AddInheritance(s, j);
+    }
+    if (EqualsIgnoreCase(cmd, "update-roles")) {
+      std::string name, role;
+      words >> name;
+      std::vector<std::string> roles;
+      while (words >> role) roles.push_back(role);
+      return engine_.UpdateSubjectRoles(name, roles);
+    }
+    if (EqualsIgnoreCase(cmd, "stream")) {
+      return CmdStream(line.substr(cmd.size()));
+    }
+    if (EqualsIgnoreCase(cmd, "subject")) {
+      std::string name, role;
+      words >> name;
+      std::vector<std::string> roles;
+      while (words >> role) roles.push_back(role);
+      return engine_.RegisterSubject(name, roles);
+    }
+    if (EqualsIgnoreCase(cmd, "server")) {
+      std::string stream, pattern;
+      words >> stream >> pattern;
+      SP_ASSIGN_OR_RETURN(Pattern role_pattern, Pattern::Compile(pattern));
+      SecurityPunctuation sp = SecurityPunctuation::StreamLevel(
+          Pattern::Literal(stream), std::move(role_pattern), 0);
+      return engine_.AddServerPolicy(stream, std::move(sp));
+    }
+    if (EqualsIgnoreCase(cmd, "query")) {
+      std::string id, subject;
+      words >> id >> subject;
+      std::string sql;
+      std::getline(words, sql);
+      SP_ASSIGN_OR_RETURN(QueryId qid,
+                          engine_.RegisterQuery(subject,
+                                                std::string(Trim(sql))));
+      query_ids_[id] = qid;
+      std::cout << "registered query " << id << " for " << subject << "\n";
+      return Status::OK();
+    }
+    if (EqualsIgnoreCase(cmd, "insert")) {
+      return engine_.ExecuteInsertSp(line);
+    }
+    if (EqualsIgnoreCase(cmd, "tuple")) {
+      return CmdTuple(&words);
+    }
+    if (EqualsIgnoreCase(cmd, "run")) {
+      return engine_.Run();
+    }
+    if (EqualsIgnoreCase(cmd, "results")) {
+      std::string id;
+      words >> id;
+      auto it = query_ids_.find(id);
+      if (it == query_ids_.end()) {
+        return Status::NotFound("unknown query id: " + id);
+      }
+      SP_ASSIGN_OR_RETURN(std::vector<Tuple> rows,
+                          engine_.TakeResults(it->second));
+      std::cout << "results " << id << " (" << rows.size() << " rows):\n";
+      for (const Tuple& t : rows) {
+        std::cout << "  " << t.ToString() << "\n";
+      }
+      return Status::OK();
+    }
+    if (EqualsIgnoreCase(cmd, "explain")) {
+      std::string id;
+      words >> id;
+      auto it = query_ids_.find(id);
+      if (it == query_ids_.end()) {
+        return Status::NotFound("unknown query id: " + id);
+      }
+      SP_ASSIGN_OR_RETURN(std::string plan,
+                          engine_.ExplainQuery(it->second));
+      std::cout << plan;
+      return Status::OK();
+    }
+    return Status::ParseError("unknown command: " + cmd);
+  }
+
+  Status CmdStream(const std::string& rest) {
+    const std::string_view spec = Trim(rest);
+    const size_t open = spec.find('(');
+    if (open == std::string_view::npos || spec.back() != ')') {
+      return Status::ParseError("stream: expected name(col:type, ...)");
+    }
+    const std::string name(Trim(spec.substr(0, open)));
+    std::vector<Field> fields;
+    for (const std::string& piece :
+         Split(spec.substr(open + 1, spec.size() - open - 2), ',')) {
+      auto parts = Split(Trim(piece), ':');
+      if (parts.size() != 2) {
+        return Status::ParseError("stream: bad column spec '" + piece + "'");
+      }
+      SP_ASSIGN_OR_RETURN(ValueType type, ParseTypeName(Trim(parts[1])));
+      fields.push_back(Field{std::string(Trim(parts[0])), type});
+    }
+    SP_ASSIGN_OR_RETURN(StreamId id,
+                        engine_.RegisterStream(MakeSchema(name, fields)));
+    stream_sids_[name] = id;
+    schemas_[name] = *engine_.streams()->LookupSchema(name);
+    return Status::OK();
+  }
+
+  Status CmdTuple(std::istringstream* words) {
+    std::string stream;
+    TupleId tid;
+    Timestamp ts;
+    *words >> stream >> tid >> ts;
+    auto schema_it = schemas_.find(stream);
+    if (schema_it == schemas_.end()) {
+      return Status::NotFound("unknown stream: " + stream);
+    }
+    const Schema& schema = *schema_it->second;
+    std::vector<Value> values;
+    std::string tok;
+    size_t col = 0;
+    while (*words >> tok) {
+      if (col >= schema.num_fields()) {
+        return Status::ParseError("tuple: too many values for " + stream);
+      }
+      SP_ASSIGN_OR_RETURN(Value v,
+                          ParseValueToken(tok, schema.field(col).type));
+      values.push_back(std::move(v));
+      ++col;
+    }
+    if (col != schema.num_fields()) {
+      return Status::ParseError("tuple: expected " +
+                                std::to_string(schema.num_fields()) +
+                                " values for " + stream);
+    }
+    Tuple t(stream_sids_[stream], tid, std::move(values), ts);
+    return engine_.Push(stream, {StreamElement(std::move(t))});
+  }
+
+  SpStreamEngine engine_;
+  std::unordered_map<std::string, QueryId> query_ids_;
+  std::unordered_map<std::string, StreamId> stream_sids_;
+  std::unordered_map<std::string, SchemaPtr> schemas_;
+};
+
+}  // namespace
+}  // namespace spstream
+
+int main(int argc, char** argv) {
+  spstream::Shell shell;
+  if (argc > 1) {
+    std::ifstream file(argv[1]);
+    if (!file) {
+      std::cerr << "cannot open " << argv[1] << "\n";
+      return 1;
+    }
+    return shell.RunScript(file);
+  }
+  return shell.RunScript(std::cin);
+}
