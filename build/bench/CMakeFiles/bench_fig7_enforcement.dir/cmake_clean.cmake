@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_enforcement.dir/bench_fig7_enforcement.cc.o"
+  "CMakeFiles/bench_fig7_enforcement.dir/bench_fig7_enforcement.cc.o.d"
+  "CMakeFiles/bench_fig7_enforcement.dir/bench_util.cc.o"
+  "CMakeFiles/bench_fig7_enforcement.dir/bench_util.cc.o.d"
+  "bench_fig7_enforcement"
+  "bench_fig7_enforcement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_enforcement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

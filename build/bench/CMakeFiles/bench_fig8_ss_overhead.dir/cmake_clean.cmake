@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_ss_overhead.dir/bench_fig8_ss_overhead.cc.o"
+  "CMakeFiles/bench_fig8_ss_overhead.dir/bench_fig8_ss_overhead.cc.o.d"
+  "CMakeFiles/bench_fig8_ss_overhead.dir/bench_util.cc.o"
+  "CMakeFiles/bench_fig8_ss_overhead.dir/bench_util.cc.o.d"
+  "bench_fig8_ss_overhead"
+  "bench_fig8_ss_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_ss_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_sajoin.dir/bench_fig9_sajoin.cc.o"
+  "CMakeFiles/bench_fig9_sajoin.dir/bench_fig9_sajoin.cc.o.d"
+  "CMakeFiles/bench_fig9_sajoin.dir/bench_util.cc.o"
+  "CMakeFiles/bench_fig9_sajoin.dir/bench_util.cc.o.d"
+  "bench_fig9_sajoin"
+  "bench_fig9_sajoin.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_sajoin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

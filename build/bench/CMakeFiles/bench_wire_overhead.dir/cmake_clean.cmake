@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_wire_overhead.dir/bench_util.cc.o"
+  "CMakeFiles/bench_wire_overhead.dir/bench_util.cc.o.d"
+  "CMakeFiles/bench_wire_overhead.dir/bench_wire_overhead.cc.o"
+  "CMakeFiles/bench_wire_overhead.dir/bench_wire_overhead.cc.o.d"
+  "bench_wire_overhead"
+  "bench_wire_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_wire_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

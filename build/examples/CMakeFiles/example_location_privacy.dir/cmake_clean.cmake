@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_location_privacy.dir/location_privacy.cpp.o"
+  "CMakeFiles/example_location_privacy.dir/location_privacy.cpp.o.d"
+  "example_location_privacy"
+  "example_location_privacy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_location_privacy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_multi_tenant_engine.dir/multi_tenant_engine.cpp.o"
+  "CMakeFiles/example_multi_tenant_engine.dir/multi_tenant_engine.cpp.o.d"
+  "example_multi_tenant_engine"
+  "example_multi_tenant_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_multi_tenant_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

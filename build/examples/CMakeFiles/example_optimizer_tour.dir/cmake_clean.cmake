@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_optimizer_tour.dir/optimizer_tour.cpp.o"
+  "CMakeFiles/example_optimizer_tour.dir/optimizer_tour.cpp.o.d"
+  "example_optimizer_tour"
+  "example_optimizer_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_optimizer_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,62 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analyzer/sp_analyzer.cc" "src/CMakeFiles/spstream.dir/analyzer/sp_analyzer.cc.o" "gcc" "src/CMakeFiles/spstream.dir/analyzer/sp_analyzer.cc.o.d"
+  "/root/repo/src/baselines/enforcement.cc" "src/CMakeFiles/spstream.dir/baselines/enforcement.cc.o" "gcc" "src/CMakeFiles/spstream.dir/baselines/enforcement.cc.o.d"
+  "/root/repo/src/common/metrics.cc" "src/CMakeFiles/spstream.dir/common/metrics.cc.o" "gcc" "src/CMakeFiles/spstream.dir/common/metrics.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/spstream.dir/common/status.cc.o" "gcc" "src/CMakeFiles/spstream.dir/common/status.cc.o.d"
+  "/root/repo/src/common/string_util.cc" "src/CMakeFiles/spstream.dir/common/string_util.cc.o" "gcc" "src/CMakeFiles/spstream.dir/common/string_util.cc.o.d"
+  "/root/repo/src/common/value.cc" "src/CMakeFiles/spstream.dir/common/value.cc.o" "gcc" "src/CMakeFiles/spstream.dir/common/value.cc.o.d"
+  "/root/repo/src/engine/engine.cc" "src/CMakeFiles/spstream.dir/engine/engine.cc.o" "gcc" "src/CMakeFiles/spstream.dir/engine/engine.cc.o.d"
+  "/root/repo/src/exec/expr.cc" "src/CMakeFiles/spstream.dir/exec/expr.cc.o" "gcc" "src/CMakeFiles/spstream.dir/exec/expr.cc.o.d"
+  "/root/repo/src/exec/operator.cc" "src/CMakeFiles/spstream.dir/exec/operator.cc.o" "gcc" "src/CMakeFiles/spstream.dir/exec/operator.cc.o.d"
+  "/root/repo/src/exec/plan_builder.cc" "src/CMakeFiles/spstream.dir/exec/plan_builder.cc.o" "gcc" "src/CMakeFiles/spstream.dir/exec/plan_builder.cc.o.d"
+  "/root/repo/src/exec/policy_tracker.cc" "src/CMakeFiles/spstream.dir/exec/policy_tracker.cc.o" "gcc" "src/CMakeFiles/spstream.dir/exec/policy_tracker.cc.o.d"
+  "/root/repo/src/exec/reorder.cc" "src/CMakeFiles/spstream.dir/exec/reorder.cc.o" "gcc" "src/CMakeFiles/spstream.dir/exec/reorder.cc.o.d"
+  "/root/repo/src/exec/replay.cc" "src/CMakeFiles/spstream.dir/exec/replay.cc.o" "gcc" "src/CMakeFiles/spstream.dir/exec/replay.cc.o.d"
+  "/root/repo/src/exec/sa_distinct.cc" "src/CMakeFiles/spstream.dir/exec/sa_distinct.cc.o" "gcc" "src/CMakeFiles/spstream.dir/exec/sa_distinct.cc.o.d"
+  "/root/repo/src/exec/sa_groupby.cc" "src/CMakeFiles/spstream.dir/exec/sa_groupby.cc.o" "gcc" "src/CMakeFiles/spstream.dir/exec/sa_groupby.cc.o.d"
+  "/root/repo/src/exec/sa_project.cc" "src/CMakeFiles/spstream.dir/exec/sa_project.cc.o" "gcc" "src/CMakeFiles/spstream.dir/exec/sa_project.cc.o.d"
+  "/root/repo/src/exec/sa_select.cc" "src/CMakeFiles/spstream.dir/exec/sa_select.cc.o" "gcc" "src/CMakeFiles/spstream.dir/exec/sa_select.cc.o.d"
+  "/root/repo/src/exec/sa_setops.cc" "src/CMakeFiles/spstream.dir/exec/sa_setops.cc.o" "gcc" "src/CMakeFiles/spstream.dir/exec/sa_setops.cc.o.d"
+  "/root/repo/src/exec/sajoin.cc" "src/CMakeFiles/spstream.dir/exec/sajoin.cc.o" "gcc" "src/CMakeFiles/spstream.dir/exec/sajoin.cc.o.d"
+  "/root/repo/src/exec/sp_synth.cc" "src/CMakeFiles/spstream.dir/exec/sp_synth.cc.o" "gcc" "src/CMakeFiles/spstream.dir/exec/sp_synth.cc.o.d"
+  "/root/repo/src/exec/ss_operator.cc" "src/CMakeFiles/spstream.dir/exec/ss_operator.cc.o" "gcc" "src/CMakeFiles/spstream.dir/exec/ss_operator.cc.o.d"
+  "/root/repo/src/exec/window.cc" "src/CMakeFiles/spstream.dir/exec/window.cc.o" "gcc" "src/CMakeFiles/spstream.dir/exec/window.cc.o.d"
+  "/root/repo/src/optimizer/cost_model.cc" "src/CMakeFiles/spstream.dir/optimizer/cost_model.cc.o" "gcc" "src/CMakeFiles/spstream.dir/optimizer/cost_model.cc.o.d"
+  "/root/repo/src/optimizer/optimizer.cc" "src/CMakeFiles/spstream.dir/optimizer/optimizer.cc.o" "gcc" "src/CMakeFiles/spstream.dir/optimizer/optimizer.cc.o.d"
+  "/root/repo/src/optimizer/rules.cc" "src/CMakeFiles/spstream.dir/optimizer/rules.cc.o" "gcc" "src/CMakeFiles/spstream.dir/optimizer/rules.cc.o.d"
+  "/root/repo/src/optimizer/statistics.cc" "src/CMakeFiles/spstream.dir/optimizer/statistics.cc.o" "gcc" "src/CMakeFiles/spstream.dir/optimizer/statistics.cc.o.d"
+  "/root/repo/src/query/lexer.cc" "src/CMakeFiles/spstream.dir/query/lexer.cc.o" "gcc" "src/CMakeFiles/spstream.dir/query/lexer.cc.o.d"
+  "/root/repo/src/query/logical_plan.cc" "src/CMakeFiles/spstream.dir/query/logical_plan.cc.o" "gcc" "src/CMakeFiles/spstream.dir/query/logical_plan.cc.o.d"
+  "/root/repo/src/query/parser.cc" "src/CMakeFiles/spstream.dir/query/parser.cc.o" "gcc" "src/CMakeFiles/spstream.dir/query/parser.cc.o.d"
+  "/root/repo/src/query/planner.cc" "src/CMakeFiles/spstream.dir/query/planner.cc.o" "gcc" "src/CMakeFiles/spstream.dir/query/planner.cc.o.d"
+  "/root/repo/src/security/pattern.cc" "src/CMakeFiles/spstream.dir/security/pattern.cc.o" "gcc" "src/CMakeFiles/spstream.dir/security/pattern.cc.o.d"
+  "/root/repo/src/security/policy.cc" "src/CMakeFiles/spstream.dir/security/policy.cc.o" "gcc" "src/CMakeFiles/spstream.dir/security/policy.cc.o.d"
+  "/root/repo/src/security/policy_store.cc" "src/CMakeFiles/spstream.dir/security/policy_store.cc.o" "gcc" "src/CMakeFiles/spstream.dir/security/policy_store.cc.o.d"
+  "/root/repo/src/security/role_catalog.cc" "src/CMakeFiles/spstream.dir/security/role_catalog.cc.o" "gcc" "src/CMakeFiles/spstream.dir/security/role_catalog.cc.o.d"
+  "/root/repo/src/security/role_set.cc" "src/CMakeFiles/spstream.dir/security/role_set.cc.o" "gcc" "src/CMakeFiles/spstream.dir/security/role_set.cc.o.d"
+  "/root/repo/src/security/security_punctuation.cc" "src/CMakeFiles/spstream.dir/security/security_punctuation.cc.o" "gcc" "src/CMakeFiles/spstream.dir/security/security_punctuation.cc.o.d"
+  "/root/repo/src/security/sp_codec.cc" "src/CMakeFiles/spstream.dir/security/sp_codec.cc.o" "gcc" "src/CMakeFiles/spstream.dir/security/sp_codec.cc.o.d"
+  "/root/repo/src/stream/schema.cc" "src/CMakeFiles/spstream.dir/stream/schema.cc.o" "gcc" "src/CMakeFiles/spstream.dir/stream/schema.cc.o.d"
+  "/root/repo/src/stream/stream_element.cc" "src/CMakeFiles/spstream.dir/stream/stream_element.cc.o" "gcc" "src/CMakeFiles/spstream.dir/stream/stream_element.cc.o.d"
+  "/root/repo/src/stream/tuple.cc" "src/CMakeFiles/spstream.dir/stream/tuple.cc.o" "gcc" "src/CMakeFiles/spstream.dir/stream/tuple.cc.o.d"
+  "/root/repo/src/workload/health_streams.cc" "src/CMakeFiles/spstream.dir/workload/health_streams.cc.o" "gcc" "src/CMakeFiles/spstream.dir/workload/health_streams.cc.o.d"
+  "/root/repo/src/workload/moving_objects.cc" "src/CMakeFiles/spstream.dir/workload/moving_objects.cc.o" "gcc" "src/CMakeFiles/spstream.dir/workload/moving_objects.cc.o.d"
+  "/root/repo/src/workload/policy_gen.cc" "src/CMakeFiles/spstream.dir/workload/policy_gen.cc.o" "gcc" "src/CMakeFiles/spstream.dir/workload/policy_gen.cc.o.d"
+  "/root/repo/src/workload/road_network.cc" "src/CMakeFiles/spstream.dir/workload/road_network.cc.o" "gcc" "src/CMakeFiles/spstream.dir/workload/road_network.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,58 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/adaptive_engine_test.cc" "tests/CMakeFiles/spstream_tests.dir/adaptive_engine_test.cc.o" "gcc" "tests/CMakeFiles/spstream_tests.dir/adaptive_engine_test.cc.o.d"
+  "/root/repo/tests/analyzer_test.cc" "tests/CMakeFiles/spstream_tests.dir/analyzer_test.cc.o" "gcc" "tests/CMakeFiles/spstream_tests.dir/analyzer_test.cc.o.d"
+  "/root/repo/tests/cost_model_test.cc" "tests/CMakeFiles/spstream_tests.dir/cost_model_test.cc.o" "gcc" "tests/CMakeFiles/spstream_tests.dir/cost_model_test.cc.o.d"
+  "/root/repo/tests/edge_cases_test.cc" "tests/CMakeFiles/spstream_tests.dir/edge_cases_test.cc.o" "gcc" "tests/CMakeFiles/spstream_tests.dir/edge_cases_test.cc.o.d"
+  "/root/repo/tests/enforcement_test.cc" "tests/CMakeFiles/spstream_tests.dir/enforcement_test.cc.o" "gcc" "tests/CMakeFiles/spstream_tests.dir/enforcement_test.cc.o.d"
+  "/root/repo/tests/engine_sharing_test.cc" "tests/CMakeFiles/spstream_tests.dir/engine_sharing_test.cc.o" "gcc" "tests/CMakeFiles/spstream_tests.dir/engine_sharing_test.cc.o.d"
+  "/root/repo/tests/engine_test.cc" "tests/CMakeFiles/spstream_tests.dir/engine_test.cc.o" "gcc" "tests/CMakeFiles/spstream_tests.dir/engine_test.cc.o.d"
+  "/root/repo/tests/exec_support_test.cc" "tests/CMakeFiles/spstream_tests.dir/exec_support_test.cc.o" "gcc" "tests/CMakeFiles/spstream_tests.dir/exec_support_test.cc.o.d"
+  "/root/repo/tests/extensions_test.cc" "tests/CMakeFiles/spstream_tests.dir/extensions_test.cc.o" "gcc" "tests/CMakeFiles/spstream_tests.dir/extensions_test.cc.o.d"
+  "/root/repo/tests/fuzz_test.cc" "tests/CMakeFiles/spstream_tests.dir/fuzz_test.cc.o" "gcc" "tests/CMakeFiles/spstream_tests.dir/fuzz_test.cc.o.d"
+  "/root/repo/tests/hierarchy_test.cc" "tests/CMakeFiles/spstream_tests.dir/hierarchy_test.cc.o" "gcc" "tests/CMakeFiles/spstream_tests.dir/hierarchy_test.cc.o.d"
+  "/root/repo/tests/integration_test.cc" "tests/CMakeFiles/spstream_tests.dir/integration_test.cc.o" "gcc" "tests/CMakeFiles/spstream_tests.dir/integration_test.cc.o.d"
+  "/root/repo/tests/multiway_join_test.cc" "tests/CMakeFiles/spstream_tests.dir/multiway_join_test.cc.o" "gcc" "tests/CMakeFiles/spstream_tests.dir/multiway_join_test.cc.o.d"
+  "/root/repo/tests/negative_policy_test.cc" "tests/CMakeFiles/spstream_tests.dir/negative_policy_test.cc.o" "gcc" "tests/CMakeFiles/spstream_tests.dir/negative_policy_test.cc.o.d"
+  "/root/repo/tests/optimizer_test.cc" "tests/CMakeFiles/spstream_tests.dir/optimizer_test.cc.o" "gcc" "tests/CMakeFiles/spstream_tests.dir/optimizer_test.cc.o.d"
+  "/root/repo/tests/parser_test.cc" "tests/CMakeFiles/spstream_tests.dir/parser_test.cc.o" "gcc" "tests/CMakeFiles/spstream_tests.dir/parser_test.cc.o.d"
+  "/root/repo/tests/pattern_test.cc" "tests/CMakeFiles/spstream_tests.dir/pattern_test.cc.o" "gcc" "tests/CMakeFiles/spstream_tests.dir/pattern_test.cc.o.d"
+  "/root/repo/tests/planner_test.cc" "tests/CMakeFiles/spstream_tests.dir/planner_test.cc.o" "gcc" "tests/CMakeFiles/spstream_tests.dir/planner_test.cc.o.d"
+  "/root/repo/tests/policy_store_test.cc" "tests/CMakeFiles/spstream_tests.dir/policy_store_test.cc.o" "gcc" "tests/CMakeFiles/spstream_tests.dir/policy_store_test.cc.o.d"
+  "/root/repo/tests/policy_test.cc" "tests/CMakeFiles/spstream_tests.dir/policy_test.cc.o" "gcc" "tests/CMakeFiles/spstream_tests.dir/policy_test.cc.o.d"
+  "/root/repo/tests/policy_tracker_test.cc" "tests/CMakeFiles/spstream_tests.dir/policy_tracker_test.cc.o" "gcc" "tests/CMakeFiles/spstream_tests.dir/policy_tracker_test.cc.o.d"
+  "/root/repo/tests/replay_test.cc" "tests/CMakeFiles/spstream_tests.dir/replay_test.cc.o" "gcc" "tests/CMakeFiles/spstream_tests.dir/replay_test.cc.o.d"
+  "/root/repo/tests/role_set_test.cc" "tests/CMakeFiles/spstream_tests.dir/role_set_test.cc.o" "gcc" "tests/CMakeFiles/spstream_tests.dir/role_set_test.cc.o.d"
+  "/root/repo/tests/rules_test.cc" "tests/CMakeFiles/spstream_tests.dir/rules_test.cc.o" "gcc" "tests/CMakeFiles/spstream_tests.dir/rules_test.cc.o.d"
+  "/root/repo/tests/sa_distinct_test.cc" "tests/CMakeFiles/spstream_tests.dir/sa_distinct_test.cc.o" "gcc" "tests/CMakeFiles/spstream_tests.dir/sa_distinct_test.cc.o.d"
+  "/root/repo/tests/sa_groupby_test.cc" "tests/CMakeFiles/spstream_tests.dir/sa_groupby_test.cc.o" "gcc" "tests/CMakeFiles/spstream_tests.dir/sa_groupby_test.cc.o.d"
+  "/root/repo/tests/sa_select_project_test.cc" "tests/CMakeFiles/spstream_tests.dir/sa_select_project_test.cc.o" "gcc" "tests/CMakeFiles/spstream_tests.dir/sa_select_project_test.cc.o.d"
+  "/root/repo/tests/sajoin_test.cc" "tests/CMakeFiles/spstream_tests.dir/sajoin_test.cc.o" "gcc" "tests/CMakeFiles/spstream_tests.dir/sajoin_test.cc.o.d"
+  "/root/repo/tests/scale_test.cc" "tests/CMakeFiles/spstream_tests.dir/scale_test.cc.o" "gcc" "tests/CMakeFiles/spstream_tests.dir/scale_test.cc.o.d"
+  "/root/repo/tests/security_punctuation_test.cc" "tests/CMakeFiles/spstream_tests.dir/security_punctuation_test.cc.o" "gcc" "tests/CMakeFiles/spstream_tests.dir/security_punctuation_test.cc.o.d"
+  "/root/repo/tests/shared_dag_test.cc" "tests/CMakeFiles/spstream_tests.dir/shared_dag_test.cc.o" "gcc" "tests/CMakeFiles/spstream_tests.dir/shared_dag_test.cc.o.d"
+  "/root/repo/tests/sp_codec_test.cc" "tests/CMakeFiles/spstream_tests.dir/sp_codec_test.cc.o" "gcc" "tests/CMakeFiles/spstream_tests.dir/sp_codec_test.cc.o.d"
+  "/root/repo/tests/ss_operator_test.cc" "tests/CMakeFiles/spstream_tests.dir/ss_operator_test.cc.o" "gcc" "tests/CMakeFiles/spstream_tests.dir/ss_operator_test.cc.o.d"
+  "/root/repo/tests/statistics_test.cc" "tests/CMakeFiles/spstream_tests.dir/statistics_test.cc.o" "gcc" "tests/CMakeFiles/spstream_tests.dir/statistics_test.cc.o.d"
+  "/root/repo/tests/status_test.cc" "tests/CMakeFiles/spstream_tests.dir/status_test.cc.o" "gcc" "tests/CMakeFiles/spstream_tests.dir/status_test.cc.o.d"
+  "/root/repo/tests/stream_model_test.cc" "tests/CMakeFiles/spstream_tests.dir/stream_model_test.cc.o" "gcc" "tests/CMakeFiles/spstream_tests.dir/stream_model_test.cc.o.d"
+  "/root/repo/tests/value_test.cc" "tests/CMakeFiles/spstream_tests.dir/value_test.cc.o" "gcc" "tests/CMakeFiles/spstream_tests.dir/value_test.cc.o.d"
+  "/root/repo/tests/wellformed_fuzz_test.cc" "tests/CMakeFiles/spstream_tests.dir/wellformed_fuzz_test.cc.o" "gcc" "tests/CMakeFiles/spstream_tests.dir/wellformed_fuzz_test.cc.o.d"
+  "/root/repo/tests/workload_test.cc" "tests/CMakeFiles/spstream_tests.dir/workload_test.cc.o" "gcc" "tests/CMakeFiles/spstream_tests.dir/workload_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/spstream.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spstream_cli.dir/spstream_cli.cc.o"
+  "CMakeFiles/spstream_cli.dir/spstream_cli.cc.o.d"
+  "spstream_cli"
+  "spstream_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spstream_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

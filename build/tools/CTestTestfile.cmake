@@ -1,0 +1,8 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(cli_demo "/root/repo/build/tools/spstream_cli" "/root/repo/tools/demo.sps")
+set_tests_properties(cli_demo PROPERTIES  PASS_REGULAR_EXPRESSION "results q_doctor \\(2 rows\\)" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;5;add_test;/root/repo/tools/CMakeLists.txt;0;")
