@@ -49,14 +49,13 @@ OpCosts RunPlan(RoleCatalog* roles, StreamCatalog* streams,
   proj->AddOutput(sink);
   pipeline.Run(256);
 
-  auto per100 = [](const OperatorMetrics& m, int64_t tuples) {
-    return tuples == 0 ? 0.0
-                       : (static_cast<double>(m.total_nanos) / 1e6) /
-                             (static_cast<double>(tuples) / 100.0);
-  };
+  // Per-operator costs come out of the harvested registry slice, the same
+  // surface \metrics reads, not the raw operator pointers.
+  QueryMetricsSnapshot snap = HarvestPipeline(pipeline, "fig8");
   const int64_t n = static_cast<int64_t>(kUpdates);
-  return OpCosts{per100(proj->metrics(), n), per100(sel->metrics(), n),
-                 per100(ss->metrics(), n)};
+  return OpCosts{MsPer100Tuples(OpMetrics(snap, "project").total_nanos, n),
+                 MsPer100Tuples(OpMetrics(snap, "select").total_nanos, n),
+                 MsPer100Tuples(OpMetrics(snap, "SS").total_nanos, n)};
 }
 
 void RatioSweep() {

@@ -54,13 +54,17 @@ JoinRun RunJoin(const JoinWorkload& wl, RoleCatalog* roles, bool index,
   join->AddOutput(sink);
   pipeline.Run(256);
 
-  const OperatorMetrics& m = join->metrics();
-  const double per100 = static_cast<double>(m.tuples_in) / 100.0;
+  // Cost breakdown via the harvested registry slice (the engine-facing
+  // metrics surface); segments_processed stays operator-local — it is a
+  // join-implementation detail, not an OperatorMetrics field.
+  QueryMetricsSnapshot snap = HarvestPipeline(pipeline, "fig9");
+  const OperatorMetrics& m =
+      OpMetrics(snap, index ? "sajoin_index" : "sajoin_nl");
   JoinRun run;
-  run.total_ms = m.total_nanos / 1e6 / per100;
-  run.join_ms = m.join_nanos / 1e6 / per100;
-  run.sp_maint_ms = m.sp_maintenance_nanos / 1e6 / per100;
-  run.tuple_maint_ms = m.tuple_maintenance_nanos / 1e6 / per100;
+  run.total_ms = MsPer100Tuples(m.total_nanos, m.tuples_in);
+  run.join_ms = MsPer100Tuples(m.join_nanos, m.tuples_in);
+  run.sp_maint_ms = MsPer100Tuples(m.sp_maintenance_nanos, m.tuples_in);
+  run.tuple_maint_ms = MsPer100Tuples(m.tuple_maintenance_nanos, m.tuples_in);
   run.results = m.tuples_out;
   if (idx_join) run.segments_processed = idx_join->segments_processed();
   return run;

@@ -1,5 +1,7 @@
 #include "bench_util.h"
 
+#include <cstdlib>
+
 namespace spstream::bench {
 
 void PrintHeader(const std::string& figure, const std::string& title) {
@@ -50,6 +52,33 @@ EnforcementWorkload MakeLocationWorkload(RoleCatalog* roles,
   wl.schema = MovingObjectsGenerator::LocationSchema("Location");
   wl.stream_name = "Location";
   return wl;
+}
+
+QueryMetricsSnapshot HarvestPipeline(const Pipeline& pipeline,
+                                     const std::string& query) {
+  MetricsRegistry registry;
+  pipeline.HarvestInto(&registry, query, Pipeline::HarvestMode::kMerge);
+  MetricsSnapshot snap = registry.Snapshot();
+  const QueryMetricsSnapshot* q = snap.FindQuery(query);
+  if (q == nullptr) return QueryMetricsSnapshot{};  // empty pipeline
+  return *q;
+}
+
+const OperatorMetrics& OpMetrics(const QueryMetricsSnapshot& snap,
+                                 const std::string& label) {
+  const OperatorMetrics* m = snap.FindOperator(label);
+  if (m == nullptr) {
+    std::cerr << "bench error: no operator labeled '" << label
+              << "' in harvested metrics of '" << snap.query << "'\n";
+    std::abort();
+  }
+  return *m;
+}
+
+double MsPer100Tuples(int64_t nanos, int64_t tuples) {
+  if (tuples == 0) return 0.0;
+  return (static_cast<double>(nanos) / 1e6) /
+         (static_cast<double>(tuples) / 100.0);
 }
 
 EnforcementQuery MakeRegionQuery(RoleSet query_roles, double center_x,

@@ -9,7 +9,9 @@
 #include <vector>
 
 #include "baselines/enforcement.h"
+#include "common/metrics_registry.h"
 #include "exec/expr.h"
+#include "exec/operator.h"
 #include "security/role_catalog.h"
 #include "workload/moving_objects.h"
 #include "workload/road_network.h"
@@ -41,5 +43,23 @@ EnforcementWorkload MakeLocationWorkload(RoleCatalog* roles,
 /// the location stream.
 EnforcementQuery MakeRegionQuery(RoleSet query_roles, double center_x,
                                  double center_y, double radius);
+
+// ---- registry consumption ------------------------------------------------
+// The figures read operator costs through the same MetricsRegistry surface
+// the engine exposes, instead of poking individual Operator pointers.
+
+/// \brief Harvest a finished pipeline into a one-off registry and return the
+/// per-query slice (bench pipelines run once, so metrics merge cleanly).
+QueryMetricsSnapshot HarvestPipeline(const Pipeline& pipeline,
+                                     const std::string& query = "bench");
+
+/// \brief Metrics of the operator labeled `label` in a harvested slice.
+/// Aborts with a diagnostic when the label is absent — a bench mislabeling
+/// is a bug, not a runtime condition.
+const OperatorMetrics& OpMetrics(const QueryMetricsSnapshot& snap,
+                                 const std::string& label);
+
+/// \brief The figures' normalization: milliseconds per 100 input tuples.
+double MsPer100Tuples(int64_t nanos, int64_t tuples);
 
 }  // namespace spstream::bench

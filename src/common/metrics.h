@@ -71,7 +71,12 @@ struct OperatorMetrics {
     sp_maintenance_nanos += o.sp_maintenance_nanos;
     tuple_maintenance_nanos += o.tuple_maintenance_nanos;
     state_bytes += o.state_bytes;
-    peak_state_bytes += o.peak_state_bytes;
+    // Peaks are high-water marks, not flows: merging epochs of one operator
+    // (or generations of one pipeline) must keep the max, not the sum —
+    // summing inflates the Figure-8 memory numbers across Run() epochs.
+    if (o.peak_state_bytes > peak_state_bytes) {
+      peak_state_bytes = o.peak_state_bytes;
+    }
   }
 
   std::string ToString() const;

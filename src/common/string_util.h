@@ -33,4 +33,12 @@ std::string Join(const std::vector<std::string>& pieces,
 /// \brief True if `s` starts with `prefix`.
 bool StartsWith(std::string_view s, std::string_view prefix);
 
+/// \brief Escape `s` for embedding inside a JSON string literal (quotes not
+/// added). Control characters become \uXXXX sequences.
+std::string JsonEscape(std::string_view s);
+
+/// \brief Sanitize a metric name into Prometheus form: [a-zA-Z0-9_:] kept,
+/// everything else replaced with '_'.
+std::string PrometheusName(std::string_view s);
+
 }  // namespace spstream

@@ -1,7 +1,9 @@
 #include "engine/engine.h"
 
 #include <algorithm>
+#include <sstream>
 
+#include "common/metrics.h"
 #include "exec/ss_operator.h"
 
 namespace spstream {
@@ -23,7 +25,47 @@ void CollectSourceStreams(const LogicalNodePtr& node,
 }  // namespace
 
 SpStreamEngine::SpStreamEngine(EngineOptions options)
-    : options_(std::move(options)) {}
+    : options_(std::move(options)),
+      audit_(options_.audit_log_capacity),
+      exec_ctx_{&roles_, &streams_, &metrics_,
+                options_.enable_audit ? &audit_ : nullptr} {}
+
+std::string SpStreamEngine::QueryTag(const QueryState* qs) const {
+  return "q" + std::to_string(qs - queries_.data());
+}
+
+void SpStreamEngine::RetirePipelineMetrics(QueryState* qs) {
+  if (!qs->pipeline) return;
+  const std::string tag = QueryTag(qs);
+  qs->pipeline->HarvestInto(&metrics_, tag);
+  metrics_.RetireQuery(tag);
+}
+
+void SpStreamEngine::SyncAnalyzerStats() {
+  for (const auto& [name, state] : stream_states_) {
+    const SpAnalyzerStats& s = state.analyzer->stats();
+    const std::string prefix = "analyzer." + name + ".";
+    metrics_.SetGauge(prefix + "sps_in", s.sps_in);
+    metrics_.SetGauge(prefix + "sps_out", s.sps_out);
+    metrics_.SetGauge(prefix + "sps_combined", s.sps_combined);
+    metrics_.SetGauge(prefix + "sps_suppressed", s.sps_suppressed);
+    metrics_.SetGauge(prefix + "sps_refined_by_server",
+                      s.sps_refined_by_server);
+    metrics_.SetGauge(prefix + "immutable_preserved", s.immutable_preserved);
+  }
+}
+
+spstream::MetricsSnapshot SpStreamEngine::MetricsSnapshot() {
+  SyncAnalyzerStats();
+  metrics_.SetGauge("engine.queries", static_cast<int64_t>(queries_.size()));
+  metrics_.SetGauge("engine.adaptations", adaptations_);
+  metrics_.SetGauge("engine.audit_events", audit_.total());
+  return metrics_.Snapshot();
+}
+
+std::string SpStreamEngine::DumpMetrics(MetricsFormat format) {
+  return MetricsSnapshot().Render(format);
+}
 
 Result<StreamId> SpStreamEngine::RegisterStream(SchemaPtr schema) {
   const std::string name = schema->stream_name();
@@ -92,8 +134,17 @@ Status SpStreamEngine::UpdateSubjectRoles(
     qs.roles = new_roles;
     // The new shield requires a fresh pipeline; continuous state resets
     // (windows refill; the next sps re-install policies).
+    RetirePipelineMetrics(&qs);
     qs.pipeline.reset();
     qs.physical = StreamingPhysicalPlan{};
+    if (options_.enable_audit) {
+      AuditEvent e;
+      e.kind = AuditEventKind::kPlanAdapt;
+      e.scope = QueryTag(&qs);
+      e.roles = new_roles.ToString(roles_);
+      e.detail = "re-planned after role change of subject '" + name + "'";
+      audit_.Append(std::move(e));
+    }
   }
   return Status::OK();
 }
@@ -169,6 +220,7 @@ Status SpStreamEngine::DeregisterQuery(QueryId id) {
     return Status::InvalidArgument("query already deregistered");
   }
   qs->active = false;
+  RetirePipelineMetrics(qs);
   qs->pipeline.reset();
   qs->physical = StreamingPhysicalPlan{};
   auto sub_it = subjects_.find(qs->subject);
@@ -176,9 +228,58 @@ Status SpStreamEngine::DeregisterQuery(QueryId id) {
   return Status::OK();
 }
 
-Result<std::string> SpStreamEngine::ExplainQuery(QueryId id) const {
+namespace {
+
+/// EXPLAIN ANALYZE rendering: the logical tree with each node annotated by
+/// the live metrics of the physical operator executing it.
+void RenderAnalyzedPlan(
+    const LogicalNodePtr& node,
+    const std::unordered_map<const LogicalNode*, Operator*>& node_ops,
+    int indent, std::string* out) {
+  out->append(static_cast<size_t>(indent) * 2, ' ');
+  out->append(node->Describe());
+  auto it = node_ops.find(node.get());
+  if (it != node_ops.end() && it->second != nullptr) {
+    const OperatorMetrics& m = it->second->metrics();
+    std::ostringstream os;
+    os << "  [actual: tuples=" << m.tuples_in << "->" << m.tuples_out
+       << " sps=" << m.sps_in << "->" << m.sps_out;
+    if (m.tuples_dropped_security > 0) {
+      os << " sec_drop=" << m.tuples_dropped_security;
+    }
+    if (m.tuples_dropped_predicate > 0) {
+      os << " pred_drop=" << m.tuples_dropped_predicate;
+    }
+    os << " total=" << m.total_nanos / 1e6 << "ms";
+    if (m.join_nanos > 0) os << " join=" << m.join_nanos / 1e6 << "ms";
+    if (m.sp_maintenance_nanos > 0) {
+      os << " sp_maint=" << m.sp_maintenance_nanos / 1e6 << "ms";
+    }
+    if (m.tuple_maintenance_nanos > 0) {
+      os << " tup_maint=" << m.tuple_maintenance_nanos / 1e6 << "ms";
+    }
+    if (m.peak_state_bytes > 0) os << " peak_state=" << m.peak_state_bytes;
+    os << "]";
+    out->append(os.str());
+  }
+  out->push_back('\n');
+  for (const LogicalNodePtr& child : node->children) {
+    RenderAnalyzedPlan(child, node_ops, indent + 1, out);
+  }
+}
+
+}  // namespace
+
+Result<std::string> SpStreamEngine::ExplainQuery(QueryId id,
+                                                 bool analyze) const {
   SP_ASSIGN_OR_RETURN(const QueryState* qs, FindQuery(id));
-  return qs->plan->ToString();
+  if (!analyze) return qs->plan->ToString();
+  if (!qs->pipeline) {
+    return qs->plan->ToString() + "(analyze: query has not executed yet)\n";
+  }
+  std::string out;
+  RenderAnalyzedPlan(qs->plan, qs->physical.node_ops, 0, &out);
+  return out;
 }
 
 Status SpStreamEngine::Push(const std::string& stream_name,
@@ -197,6 +298,7 @@ Status SpStreamEngine::Push(const std::string& stream_name,
 }
 
 Status SpStreamEngine::Run() {
+  const int64_t run_start = NowNanos();
   // Flush analyzer tails so trailing sps are visible to the queries.
   for (auto& [name, state] : stream_states_) {
     (void)name;
@@ -205,7 +307,9 @@ Status SpStreamEngine::Run() {
     }
   }
 
-  ExecContext ctx{&roles_, &streams_};
+  // Pipelines outlive this call (continuous queries), so they execute
+  // against the engine's long-lived context, not a stack-local one.
+  ExecContext& ctx = exec_ctx_;
   if (!options_.share_plans) {
     for (QueryState& qs : queries_) {
       if (!qs.active) continue;
@@ -242,6 +346,9 @@ Status SpStreamEngine::Run() {
   if (options_.adaptive) {
     SP_RETURN_NOT_OK(AdaptPlans());
   }
+  SyncAnalyzerStats();
+  metrics_.AddCounter("engine.run_epochs");
+  metrics_.RecordLatency("engine.run", NowNanos() - run_start);
   return Status::OK();
 }
 
@@ -271,9 +378,19 @@ Status SpStreamEngine::AdaptPlans() {
     LogicalNodePtr adapted = optimizer.Optimize(fresh);
     if (!PlansEqual(adapted, qs.plan)) {
       qs.plan = std::move(adapted);
+      RetirePipelineMetrics(&qs);
       qs.pipeline.reset();  // rebuilt (with the new shape) on next Run
       qs.physical = StreamingPhysicalPlan{};
       ++adaptations_;
+      metrics_.AddCounter("engine.plan_adaptations");
+      if (options_.enable_audit) {
+        AuditEvent e;
+        e.kind = AuditEventKind::kPlanAdapt;
+        e.scope = QueryTag(&qs);
+        e.roles = qs.roles.ToString(roles_);
+        e.detail = "plan re-optimized against measured stream statistics";
+        audit_.Append(std::move(e));
+      }
     }
   }
   return Status::OK();
@@ -286,6 +403,8 @@ const StreamStatistics* SpStreamEngine::measured_stats(
 }
 
 Status SpStreamEngine::RunSolo(ExecContext* ctx, QueryState* qs) {
+  const std::string tag = QueryTag(qs);
+  const int64_t epoch_start = NowNanos();
   if (!qs->pipeline) {
     // First run (or after a re-plan): build the long-lived pipeline.
     qs->pipeline = std::make_unique<Pipeline>(ctx);
@@ -293,18 +412,29 @@ Status SpStreamEngine::RunSolo(ExecContext* ctx, QueryState* qs) {
                         BuildStreamingPhysicalPlan(qs->pipeline.get(),
                                                    qs->plan,
                                                    options_.physical));
+    qs->pipeline->SetQueryTag(tag);
   }
   // Feed this epoch's admitted elements; operator state persists, so a
   // policy installed in an earlier epoch still governs later tuples.
+  // Feeding is synchronous pipelined execution, so the wall time of one
+  // Feed() IS that element's source→sink latency; tuple samples accumulate
+  // locally and merge into the registry in one lock hold.
+  Histogram tuple_latency;
   for (auto& [stream, src] : qs->physical.sources) {
     for (const StreamElement& e : stream_states_.at(stream).pending) {
+      const bool is_tuple = e.is_tuple();
+      const int64_t t0 = NowNanos();
       src->Feed(e);  // copy: several queries read the same pending input
+      if (is_tuple) tuple_latency.Record(NowNanos() - t0);
     }
   }
   for (Tuple& t : qs->physical.sink->TakeTuples()) {
     if (qs->callback) qs->callback(t);
     qs->results.push_back(std::move(t));
   }
+  metrics_.MergeTupleLatency(tag, tuple_latency);
+  metrics_.RecordEpochLatency(tag, NowNanos() - epoch_start);
+  qs->pipeline->HarvestInto(&metrics_, tag);
   return Status::OK();
 }
 
@@ -324,6 +454,7 @@ Status SpStreamEngine::RunSharedGroup(
   }
   QueryState& first = queries_[query_indexes[0]];
   SharedPlan shared = BuildSharedPlan(first.bare_plan, group_roles);
+  const std::string trunk_tag = "shared:" + QueryTag(&first);
 
   std::unordered_map<std::string, std::vector<StreamElement>> inputs;
   for (const std::string& s : first.source_streams) {
@@ -331,17 +462,25 @@ Status SpStreamEngine::RunSharedGroup(
   }
 
   // One execution of the merged-SS trunk...
+  const int64_t epoch_start = NowNanos();
   Pipeline trunk_pipeline(ctx);
   SP_ASSIGN_OR_RETURN(PhysicalPlan trunk,
                       BuildPhysicalPlan(&trunk_pipeline, shared.trunk,
                                         inputs, options_.physical));
+  trunk_pipeline.SetQueryTag(trunk_tag);
   trunk_pipeline.Run(/*batch_per_poll=*/64);
   const std::vector<StreamElement>& trunk_out = trunk.sink->elements();
+  // Shared trunks are rebuilt every epoch, so their counters accumulate
+  // into the registry by merging (unlike long-lived solo pipelines, whose
+  // cumulative counters overwrite).
+  trunk_pipeline.HarvestInto(&metrics_, trunk_tag,
+                             Pipeline::HarvestMode::kMerge);
 
   // ...then one cheap split shield per query over the (small) shared
   // output.
   for (size_t i : query_indexes) {
     QueryState& qs = queries_[i];
+    const std::string tag = QueryTag(&qs);
     Pipeline split(ctx);
     auto* src = split.Add<SourceOperator>("trunk", trunk_out);
     SsOptions o;
@@ -352,11 +491,14 @@ Status SpStreamEngine::RunSharedGroup(
     auto* sink = split.Add<CollectorSink>();
     src->AddOutput(ss);
     ss->AddOutput(sink);
+    split.SetQueryTag(tag);
     split.Run(/*batch_per_poll=*/64);
     for (Tuple& t : sink->Tuples()) {
       if (qs.callback) qs.callback(t);
       qs.results.push_back(std::move(t));
     }
+    split.HarvestInto(&metrics_, tag, Pipeline::HarvestMode::kMerge);
+    metrics_.RecordEpochLatency(tag, NowNanos() - epoch_start);
   }
   return Status::OK();
 }

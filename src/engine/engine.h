@@ -14,7 +14,10 @@
 #include <vector>
 
 #include "analyzer/sp_analyzer.h"
+#include "common/audit_log.h"
+#include "common/metrics_registry.h"
 #include "common/status.h"
+#include "exec/exec_context.h"
 #include "exec/plan_builder.h"
 #include "optimizer/optimizer.h"
 #include "optimizer/statistics.h"
@@ -52,6 +55,12 @@ struct EngineOptions {
   /// shape changes gets a rebuilt pipeline (continuous state resets —
   /// windows refill, the next sps re-install policies).
   bool adaptive = false;
+  /// Security audit log (policy installs/expirations, denials, plan swaps).
+  /// Disabling skips all audit-event rendering on the hot path.
+  bool enable_audit = true;
+  /// Ring-buffer capacity of the audit log (all-time per-kind counters
+  /// survive eviction).
+  size_t audit_log_capacity = 1024;
 };
 
 /// \brief The integrated stream engine.
@@ -102,7 +111,11 @@ class SpStreamEngine {
   Status DeregisterQuery(QueryId id);
 
   /// \brief The optimized logical plan of a registered query (debugging).
-  Result<std::string> ExplainQuery(QueryId id) const;
+  /// With `analyze` set (EXPLAIN ANALYZE), each plan node is annotated with
+  /// the live counters and timings of the physical operator executing it —
+  /// tuples/sps in/out, security drops, total/join/sp-maintenance time and
+  /// state footprint accumulated so far by the continuous pipeline.
+  Result<std::string> ExplainQuery(QueryId id, bool analyze = false) const;
 
   // ---- data ------------------------------------------------------------
   /// \brief Append raw elements (tuples/sps) to a stream's pending input.
@@ -124,6 +137,23 @@ class SpStreamEngine {
   /// use TakeResults to keep memory bounded, or rely on the callback only
   /// and Drain).
   Status SubscribeResults(QueryId id, std::function<void(const Tuple&)> cb);
+
+  // ---- observability ----------------------------------------------------
+  /// \brief Engine-wide metrics: per-query/per-operator counters and
+  /// latency histograms, refreshed with the SP Analyzer admission stats.
+  /// Keys are "q<id>"; see docs/OBSERVABILITY.md for the taxonomy.
+  spstream::MetricsSnapshot MetricsSnapshot();
+
+  /// \brief MetricsSnapshot() rendered as text / JSON / Prometheus.
+  std::string DumpMetrics(MetricsFormat format = MetricsFormat::kText);
+
+  /// \brief The live metrics registry (counters update as queries run).
+  MetricsRegistry* metrics() { return &metrics_; }
+
+  /// \brief The security audit log (nullptr-safe: always present; empty
+  /// when EngineOptions::enable_audit is false).
+  AuditLog* audit() { return &audit_; }
+  const AuditLog* audit() const { return &audit_; }
 
   // ---- introspection ----------------------------------------------------
   RoleCatalog* roles() { return &roles_; }
@@ -167,12 +197,25 @@ class SpStreamEngine {
   /// Adaptive mode: re-optimize plans against measured statistics.
   Status AdaptPlans();
 
+  /// Registry key of a query ("q<id>").
+  std::string QueryTag(const QueryState* qs) const;
+  /// Fold a query's live pipeline metrics into the registry's retired
+  /// accumulator (called right before a pipeline is rebuilt or torn down).
+  void RetirePipelineMetrics(QueryState* qs);
+  /// Publish per-stream SP Analyzer admission stats as registry gauges.
+  void SyncAnalyzerStats();
+
   Result<QueryState*> FindQuery(QueryId id);
   Result<const QueryState*> FindQuery(QueryId id) const;
 
   EngineOptions options_;
   RoleCatalog roles_;
   StreamCatalog streams_;
+  MetricsRegistry metrics_;
+  AuditLog audit_;
+  /// Long-lived context handed to every pipeline; pipelines persist across
+  /// Run() epochs, so the context they point at must outlive them.
+  ExecContext exec_ctx_;
   std::unordered_map<std::string, StreamState> stream_states_;
   std::unordered_map<std::string, Subject> subjects_;
   std::vector<QueryState> queries_;

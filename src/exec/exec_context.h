@@ -6,11 +6,18 @@
 
 namespace spstream {
 
+class AuditLog;
+class MetricsRegistry;
+
 /// \brief Catalogs every operator may consult. Owned by the engine/driver;
 /// outlives all operators.
 struct ExecContext {
   RoleCatalog* roles = nullptr;
   StreamCatalog* streams = nullptr;
+  /// Observability hooks; both optional (raw pipelines leave them null and
+  /// operators then skip all event/metric emission beyond OperatorMetrics).
+  MetricsRegistry* metrics = nullptr;
+  AuditLog* audit = nullptr;
 };
 
 }  // namespace spstream

@@ -1,5 +1,9 @@
 #include "exec/operator.h"
 
+#include <unordered_map>
+
+#include "common/metrics_registry.h"
+
 namespace spstream {
 
 void Operator::Push(StreamElement elem, int port) {
@@ -26,7 +30,15 @@ void Operator::Emit(StreamElement elem) {
 size_t SourceOperator::Poll(size_t max_elements) {
   size_t pushed = 0;
   while (pushed < max_elements && next_ < elements_.size()) {
-    Emit(std::move(elements_[next_++]));
+    StreamElement& e = elements_[next_++];
+    if (e.is_tuple()) {
+      ++metrics_.tuples_in;
+      ++metrics_.tuples_out;
+    } else if (e.is_sp()) {
+      ++metrics_.sps_in;
+      ++metrics_.sps_out;
+    }
+    Emit(std::move(e));
     ++pushed;
   }
   if (next_ >= elements_.size() && !eos_sent_) {
@@ -53,6 +65,27 @@ std::vector<SecurityPunctuation> CollectorSink::Sps() const {
     if (e.is_sp()) out.push_back(e.sp());
   }
   return out;
+}
+
+void Pipeline::SetQueryTag(const std::string& tag) {
+  for (const std::unique_ptr<Operator>& op : operators_) {
+    op->set_query_tag(tag);
+  }
+}
+
+void Pipeline::HarvestInto(MetricsRegistry* registry, const std::string& query,
+                           HarvestMode mode) const {
+  std::unordered_map<std::string, int> seen;
+  for (const std::unique_ptr<Operator>& op : operators_) {
+    std::string key = op->label();
+    const int n = seen[key]++;
+    if (n > 0) key += "#" + std::to_string(n);
+    if (mode == HarvestMode::kOverwrite) {
+      registry->UpdateLiveOperator(query, key, op->metrics());
+    } else {
+      registry->MergeOperator(query, key, op->metrics());
+    }
+  }
 }
 
 void Pipeline::Run(size_t batch_per_poll) {

@@ -43,6 +43,15 @@ class Operator {
   OperatorMetrics& mutable_metrics() { return metrics_; }
   ExecContext* ctx() const { return ctx_; }
 
+  /// \brief Query this operator executes for ("q0", ...), used to scope
+  /// audit events and registry keys. Set by the engine after plan build;
+  /// empty for raw pipelines.
+  const std::string& query_tag() const { return query_tag_; }
+  void set_query_tag(std::string tag) { query_tag_ = std::move(tag); }
+
+  /// \brief The engine's audit log, or nullptr when not wired up.
+  AuditLog* audit() const { return ctx_->audit; }
+
  protected:
   /// \brief Operator-specific processing of a non-EOS element.
   virtual void Process(StreamElement elem, int port) = 0;
@@ -75,6 +84,7 @@ class Operator {
   };
 
   std::string label_;
+  std::string query_tag_;
   int num_inputs_;
   int finished_ports_ = 0;
   std::vector<Edge> outputs_;
@@ -119,8 +129,10 @@ class PushSource : public Operator {
   void Feed(StreamElement elem) {
     if (elem.is_tuple()) {
       ++metrics_.tuples_in;
+      ++metrics_.tuples_out;
     } else if (elem.is_sp()) {
       ++metrics_.sps_in;
+      ++metrics_.sps_out;
     }
     Emit(std::move(elem));
   }
@@ -201,6 +213,21 @@ class Pipeline {
   /// execution: every element flows through the whole DAG before the next
   /// source poll).
   void Run(size_t batch_per_poll = 1);
+
+  /// \brief Tag every operator with the query it executes for (audit-event
+  /// and registry scoping).
+  void SetQueryTag(const std::string& tag);
+
+  /// \brief How HarvestInto records operator metrics in a registry.
+  enum class HarvestMode {
+    kOverwrite,  ///< long-lived pipeline: operators accumulate, overwrite
+    kMerge,      ///< per-epoch pipeline: fresh metrics each run, fold in
+  };
+
+  /// \brief Publish every operator's metrics into `registry` under `query`.
+  /// Duplicate labels are disambiguated with a "#n" suffix in DAG order.
+  void HarvestInto(MetricsRegistry* registry, const std::string& query,
+                   HarvestMode mode = HarvestMode::kOverwrite) const;
 
   const std::vector<std::unique_ptr<Operator>>& operators() const {
     return operators_;

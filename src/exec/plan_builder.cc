@@ -28,12 +28,21 @@ class PlanCompiler {
       std::function<Result<Operator*>(const std::string& stream_name)>;
 
   PlanCompiler(Pipeline* pipeline, SourceFactory make_source,
-               const PhysicalPlanOptions& options)
+               const PhysicalPlanOptions& options,
+               std::unordered_map<const LogicalNode*, Operator*>* node_ops)
       : pipeline_(pipeline),
         make_source_(std::move(make_source)),
-        options_(options) {}
+        options_(options),
+        node_ops_(node_ops) {}
 
   Result<SubtreeInfo> Compile(const LogicalNodePtr& node) {
+    SP_ASSIGN_OR_RETURN(SubtreeInfo info, CompileNode(node));
+    if (node_ops_) (*node_ops_)[node.get()] = info.top;
+    return info;
+  }
+
+ private:
+  Result<SubtreeInfo> CompileNode(const LogicalNodePtr& node) {
     switch (node->kind) {
       case LogicalNode::Kind::kSource:
         return CompileSource(node);
@@ -55,7 +64,6 @@ class PlanCompiler {
     return Status::Internal("unknown logical node kind");
   }
 
- private:
   Result<SubtreeInfo> CompileSource(const LogicalNodePtr& node) {
     SP_ASSIGN_OR_RETURN(Operator * src, make_source_(node->stream_name));
     SubtreeInfo info;
@@ -190,6 +198,7 @@ class PlanCompiler {
   Pipeline* pipeline_;
   SourceFactory make_source_;
   const PhysicalPlanOptions& options_;
+  std::unordered_map<const LogicalNode*, Operator*>* node_ops_;
 };
 
 }  // namespace
@@ -212,7 +221,7 @@ Result<PhysicalPlan> BuildPhysicalPlan(
         out.sources.push_back(src);
         return src;
       },
-      options);
+      options, &out.node_ops);
   SP_ASSIGN_OR_RETURN(SubtreeInfo info, compiler.Compile(plan));
   out.root = info.top;
   out.output_schema = info.schema;
@@ -233,7 +242,7 @@ Result<StreamingPhysicalPlan> BuildStreamingPhysicalPlan(
         out.sources.emplace_back(stream, src);
         return src;
       },
-      options);
+      options, &out.node_ops);
   SP_ASSIGN_OR_RETURN(SubtreeInfo info, compiler.Compile(plan));
   out.root = info.top;
   out.output_schema = info.schema;

@@ -3,6 +3,8 @@
 // intermediate filtering) for comparison.
 #pragma once
 
+#include <unordered_map>
+
 #include "common/status.h"
 #include "exec/operator.h"
 #include "exec/sajoin.h"
@@ -29,6 +31,10 @@ struct PhysicalPlan {
   Operator* root = nullptr;              // operator feeding the sink
   SchemaPtr output_schema;               // schema of the sink's tuples
   std::string output_stream_name;        // logical name of the output
+  /// Logical node -> top physical operator of its compiled subtree
+  /// (EXPLAIN ANALYZE annotation source). Keys point into the plan tree
+  /// passed to the builder.
+  std::unordered_map<const LogicalNode*, Operator*> node_ops;
 };
 
 /// \brief Compile `plan` into `pipeline`. `inputs[stream]` supplies the
@@ -47,6 +53,8 @@ struct StreamingPhysicalPlan {
   Operator* root = nullptr;
   SchemaPtr output_schema;
   std::string output_stream_name;
+  /// Logical node -> top physical operator of its compiled subtree.
+  std::unordered_map<const LogicalNode*, Operator*> node_ops;
 };
 
 /// \brief Compile `plan` with PushSource leaves for long-lived execution:

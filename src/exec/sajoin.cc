@@ -3,7 +3,30 @@
 #include <algorithm>
 #include <cassert>
 
+#include "common/audit_log.h"
+
 namespace spstream {
+
+namespace {
+
+/// Audit record for a join result suppressed by incompatible base policies.
+void AuditJoinDenial(AuditLog* log, const Operator& op,
+                     const std::string& stream, const Tuple& left,
+                     const Tuple& right, const Policy& left_policy,
+                     const Policy& right_policy, const RoleCatalog& roles) {
+  AuditEvent e;
+  e.kind = AuditEventKind::kDenial;
+  e.scope = op.query_tag();
+  e.stream = stream;
+  e.tuple_id = std::max(left.tid, right.tid);
+  e.sp_ts = std::max(left_policy.ts(), right_policy.ts());
+  e.roles = left_policy.allowed().ToString(roles) + "∩" +
+            right_policy.allowed().ToString(roles);
+  e.detail = "join policies incompatible (empty intersection)";
+  log->Append(std::move(e));
+}
+
+}  // namespace
 
 SaJoinBase::SaJoinBase(ExecContext* ctx, SaJoinOptions options,
                        std::string label)
@@ -33,6 +56,10 @@ void SaJoinBase::EmitJoinResult(const Tuple& left, const Tuple& right,
       RoleSet::Intersect(left_policy.allowed(), right_policy.allowed());
   if (out_roles.Empty()) {
     ++metrics_.tuples_dropped_security;
+    if (AuditLog* log = audit()) {
+      AuditJoinDenial(log, *this, options_.output_stream_name, left, right,
+                      left_policy, right_policy, *ctx_->roles);
+    }
     return;
   }
   const Timestamp out_ts = std::max(left.ts, right.ts);
@@ -123,6 +150,10 @@ void SaJoinNl::Probe(const Tuple& t, const PolicyPtr& t_policy,
           SaJoinOptions::ProbeMethod::kProbeAndFilter) {
         if (!t_policy->allowed().Intersects(seg.policy->allowed())) {
           ++metrics_.tuples_dropped_security;
+          if (AuditLog* log = audit()) {
+            AuditJoinDenial(log, *this, options_.output_stream_name, t, u,
+                            *t_policy, *seg.policy, *ctx_->roles);
+          }
           continue;
         }
       }

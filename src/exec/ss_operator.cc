@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/audit_log.h"
+
 namespace spstream {
 
 SsState::SsState(const SsOptions& options)
@@ -103,13 +105,47 @@ void SsOperator::Process(StreamElement elem, int) {
   if (elem.is_sp()) {
     ++metrics_.sps_in;
     const Timestamp sp_ts = elem.sp().ts();
-    if (!tracker_.OnSp(elem.sp())) return;  // stale, dropped
+    AuditLog* log = audit();
+    if (!tracker_.OnSp(elem.sp())) {
+      if (log) {
+        AuditEvent e;
+        e.kind = AuditEventKind::kPolicyExpire;
+        e.scope = query_tag();
+        e.stream = options_.stream_name;
+        e.sp_ts = sp_ts;
+        e.detail = "stale sp dropped (policy in force is newer)";
+        log->Append(std::move(e));
+      }
+      return;  // stale, dropped
+    }
     if (!pending_ts_ || *pending_ts_ != sp_ts) {
       // A new sp-batch begins; the previous unsent batch covered a segment
       // with no authorized tuples and is discarded with them.
+      if (log && pending_ts_) {
+        AuditEvent e;
+        e.kind = AuditEventKind::kPolicyExpire;
+        e.scope = query_tag();
+        e.stream = options_.stream_name;
+        e.sp_ts = *pending_ts_;
+        e.detail = "policy overridden by newer sp-batch ts=" +
+                   std::to_string(sp_ts);
+        log->Append(std::move(e));
+      }
       pending_sps_.clear();
       pending_ts_ = sp_ts;
       pending_emitted_ = false;
+    }
+    if (log) {
+      const SecurityPunctuation& sp = elem.sp();
+      AuditEvent e;
+      e.kind = AuditEventKind::kPolicyInstall;
+      e.scope = query_tag();
+      e.stream = options_.stream_name;
+      e.sp_ts = sp_ts;
+      e.roles = sp.roles().ToString(*ctx_->roles);
+      e.detail = std::string(sp.sign() == Sign::kPositive ? "+" : "-") +
+                 (sp.immutable() ? " immutable" : "");
+      log->Append(std::move(e));
     }
     pending_sps_.push_back(std::move(elem.sp()));
     UpdateStateBytes();
@@ -135,6 +171,21 @@ void SsOperator::Process(StreamElement elem, int) {
 
   if (!authorized) {
     ++metrics_.tuples_dropped_security;
+    if (AuditLog* log = audit()) {
+      // The record answers "who was denied what, under which policy": the
+      // query (scope + its role predicate), the tuple, and the responsible
+      // sp-batch (its ts is the sp id) with the roles it authorizes.
+      AuditEvent e;
+      e.kind = AuditEventKind::kDenial;
+      e.scope = query_tag();
+      e.stream = options_.stream_name;
+      e.tuple_id = t.tid;
+      e.sp_ts = policy->ts();
+      e.roles = state_.predicate_union().ToString(*ctx_->roles);
+      e.detail =
+          "policy allows " + policy->allowed().ToString(*ctx_->roles);
+      log->Append(std::move(e));
+    }
     return;
   }
   if (!pending_emitted_) {

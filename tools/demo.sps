@@ -46,3 +46,15 @@ INSERT SP INTO STREAM Vitals LET DDP = (Vitals, *, *), SRP = (RBAC, GP), TS = 20
 tuple Vitals 122 20 122 77
 run
 results q_admin
+
+# --- observability tour ----------------------------------------------------
+
+# The plan again, now annotated with live per-operator counters/timings.
+\explain analyze q_doctor
+
+# One query's metrics slice, then the engine-wide roll-up.
+\metrics q_doctor
+\metrics
+
+# The security audit trail: policy installs, denials, plan adaptations.
+\audit 10

@@ -14,7 +14,14 @@
 //   run                                       # execute pending input
 //   results <id>                              # print & drain a query's rows
 //   explain <id>                              # show the optimized plan
+//   explain analyze <id>                      # plan + live operator counters
+//   metrics [<id>|json|prom]                  # engine metrics (optionally
+//                                             #   one query, or an exporter)
+//   audit [n]                                 # last n security audit events
 //   # comment / blank lines ignored
+//
+// Commands may be prefixed with a backslash (\metrics, \audit, ...) in the
+// style of interactive database shells.
 //
 // Example:   build/tools/spstream_cli examples/demo.sps
 #include <fstream>
@@ -88,6 +95,7 @@ class Shell {
     std::istringstream words(line);
     std::string cmd;
     words >> cmd;
+    if (!cmd.empty() && cmd.front() == '\\') cmd.erase(0, 1);
     if (EqualsIgnoreCase(cmd, "role")) {
       std::string name;
       words >> name;
@@ -166,16 +174,83 @@ class Shell {
     if (EqualsIgnoreCase(cmd, "explain")) {
       std::string id;
       words >> id;
+      bool analyze = false;
+      if (EqualsIgnoreCase(id, "analyze")) {
+        analyze = true;
+        words >> id;
+      }
       auto it = query_ids_.find(id);
       if (it == query_ids_.end()) {
         return Status::NotFound("unknown query id: " + id);
       }
       SP_ASSIGN_OR_RETURN(std::string plan,
-                          engine_.ExplainQuery(it->second));
+                          engine_.ExplainQuery(it->second, analyze));
       std::cout << plan;
       return Status::OK();
     }
+    if (EqualsIgnoreCase(cmd, "metrics")) {
+      return CmdMetrics(&words);
+    }
+    if (EqualsIgnoreCase(cmd, "audit")) {
+      return CmdAudit(&words);
+    }
     return Status::ParseError("unknown command: " + cmd);
+  }
+
+  Status CmdMetrics(std::istringstream* words) {
+    std::string arg;
+    *words >> arg;
+    if (arg.empty()) {
+      std::cout << engine_.DumpMetrics();
+      return Status::OK();
+    }
+    if (EqualsIgnoreCase(arg, "json")) {
+      std::cout << engine_.DumpMetrics(MetricsFormat::kJson) << "\n";
+      return Status::OK();
+    }
+    if (EqualsIgnoreCase(arg, "prom") || EqualsIgnoreCase(arg, "prometheus")) {
+      std::cout << engine_.DumpMetrics(MetricsFormat::kPrometheus);
+      return Status::OK();
+    }
+    auto it = query_ids_.find(arg);
+    if (it == query_ids_.end()) {
+      return Status::NotFound("metrics: unknown query id: " + arg);
+    }
+    spstream::MetricsSnapshot snap = engine_.MetricsSnapshot();
+    const QueryMetricsSnapshot* q =
+        snap.FindQuery("q" + std::to_string(it->second));
+    if (q == nullptr) {
+      std::cout << "no metrics yet for query " << arg << " (run first)\n";
+      return Status::OK();
+    }
+    spstream::MetricsSnapshot one;  // render just this query's slice
+    one.queries.push_back(*q);
+    one.engine_totals = q->totals;
+    std::cout << one.ToText();
+    return Status::OK();
+  }
+
+  Status CmdAudit(std::istringstream* words) {
+    size_t n = 20;
+    std::string arg;
+    *words >> arg;
+    if (!arg.empty()) {
+      try {
+        n = static_cast<size_t>(std::stoul(arg));
+      } catch (...) {
+        return Status::ParseError("audit: bad event count: " + arg);
+      }
+    }
+    const AuditLog* log = engine_.audit();
+    std::cout << "audit: " << log->total() << " events ("
+              << log->CountOf(AuditEventKind::kPolicyInstall) << " installs, "
+              << log->CountOf(AuditEventKind::kPolicyExpire) << " expires, "
+              << log->CountOf(AuditEventKind::kDenial) << " denials, "
+              << log->CountOf(AuditEventKind::kPlanAdapt) << " adaptations)\n";
+    for (const AuditEvent& e : log->Tail(n)) {
+      std::cout << "  " << e.ToString() << "\n";
+    }
+    return Status::OK();
   }
 
   Status CmdStream(const std::string& rest) {
