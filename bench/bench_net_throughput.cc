@@ -1,0 +1,194 @@
+// Network subsystem throughput/latency — what the wire costs: end-to-end
+// tuples/sec and per-batch p50/p99 source->client latency through the
+// loopback stream server (net/server.h) versus the same workload driven
+// in-process through EngineService. Also emits a machine-readable JSON
+// summary (stdout, and BENCH_net_throughput.json when
+// SPSTREAM_BENCH_JSON_DIR is set) so the bench trajectory can be tracked
+// across commits.
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "bench_util.h"
+#include "engine/engine_service.h"
+#include "net/client.h"
+#include "net/server.h"
+
+namespace spstream::bench {
+namespace {
+
+constexpr int kTuples = 20000;
+constexpr int kBatch = 64;
+
+SchemaPtr BenchSchema() {
+  return MakeSchema("Feed", {Field{"object_id", ValueType::kInt64},
+                             Field{"x", ValueType::kDouble},
+                             Field{"y", ValueType::kDouble}});
+}
+
+std::vector<StreamElement> MakeBatch(int base, int n) {
+  std::vector<StreamElement> out;
+  out.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    const int64_t id = base + i;
+    out.emplace_back(Tuple(0, id,
+                           {Value(id), Value(1000.0 + id % 97),
+                            Value(2000.0 - id % 89)},
+                           id + 1));
+  }
+  return out;
+}
+
+struct NetBenchResult {
+  std::string mode;
+  double seconds = 0;
+  double tuples_per_sec = 0;
+  double p50_us = 0;
+  double p99_us = 0;
+};
+
+double Percentile(std::vector<double>& us, double p) {
+  if (us.empty()) return 0;
+  std::sort(us.begin(), us.end());
+  const size_t idx = static_cast<size_t>(p * static_cast<double>(us.size()));
+  return us[std::min(idx, us.size() - 1)];
+}
+
+int64_t NowUs() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void SetupCatalog(EngineService* service) {
+  SpStreamEngine* engine = service->UnsafeEngine();
+  engine->RegisterRole("analyst");
+  (void)engine->RegisterStream(BenchSchema());
+  (void)engine->RegisterSubject("bench", {"analyst"});
+}
+
+// The same logical workload both modes run: one authorizing sp, then
+// kTuples tuples in kBatch-sized batches, results drained per batch.
+NetBenchResult RunInProcess() {
+  EngineService service;
+  SetupCatalog(&service);
+  SpStreamEngine* engine = service.UnsafeEngine();
+  const QueryId qid =
+      engine->RegisterQuery("bench", "SELECT object_id, x FROM Feed")
+          .value();
+  (void)engine->ExecuteInsertSp(
+      "INSERT SP INTO STREAM Feed LET DDP = (Feed, *, *), SRP = "
+      "(RBAC, analyst), TS = 0");
+  (void)engine->Run();
+
+  std::vector<double> batch_us;
+  size_t received = 0;
+  const int64_t start = NowUs();
+  for (int base = 0; base < kTuples; base += kBatch) {
+    const int64_t t0 = NowUs();
+    (void)engine->Push("Feed", MakeBatch(base, kBatch));
+    (void)engine->Run();
+    received += engine->TakeResults(qid).value().size();
+    batch_us.push_back(static_cast<double>(NowUs() - t0));
+  }
+  const double seconds = static_cast<double>(NowUs() - start) / 1e6;
+  NetBenchResult r;
+  r.mode = "in_process";
+  r.seconds = seconds;
+  r.tuples_per_sec = static_cast<double>(received) / seconds;
+  r.p50_us = Percentile(batch_us, 0.50);
+  r.p99_us = Percentile(batch_us, 0.99);
+  return r;
+}
+
+NetBenchResult RunLoopback() {
+  EngineService service;
+  SetupCatalog(&service);
+  StreamServer server(&service);
+  if (!server.Start(0).ok()) return {};
+
+  StreamClient client;
+  if (!client.Connect("127.0.0.1", server.port(), "bench").ok()) return {};
+  const uint64_t qid =
+      client.RegisterQuery("bench", "SELECT object_id, x FROM Feed").value();
+  (void)client.Subscribe(qid);
+  (void)client.InsertSp(
+      "INSERT SP INTO STREAM Feed LET DDP = (Feed, *, *), SRP = "
+      "(RBAC, analyst), TS = 0");
+
+  std::vector<double> batch_us;
+  size_t received = 0;
+  const int64_t start = NowUs();
+  for (int base = 0; base < kTuples; base += kBatch) {
+    const int64_t t0 = NowUs();
+    (void)client.Push("Feed", MakeBatch(base, kBatch));
+    // Source->client latency: the batch is pushed, an epoch runs, and the
+    // authorized results come back over the socket.
+    (void)client.Run();
+    received += client.TakeResults(qid).size();
+    batch_us.push_back(static_cast<double>(NowUs() - t0));
+  }
+  const double seconds = static_cast<double>(NowUs() - start) / 1e6;
+  client.Close();
+  server.Stop();
+  NetBenchResult r;
+  r.mode = "loopback";
+  r.seconds = seconds;
+  r.tuples_per_sec = static_cast<double>(received) / seconds;
+  r.p50_us = Percentile(batch_us, 0.50);
+  r.p99_us = Percentile(batch_us, 0.99);
+  return r;
+}
+
+std::string ToJson(const std::vector<NetBenchResult>& results) {
+  std::ostringstream os;
+  os << "{\"bench\":\"net_throughput\",\"config\":{\"tuples\":" << kTuples
+     << ",\"batch\":" << kBatch << "},\"results\":[";
+  for (size_t i = 0; i < results.size(); ++i) {
+    const NetBenchResult& r = results[i];
+    if (i) os << ",";
+    os << "{\"mode\":\"" << r.mode << "\",\"seconds\":" << r.seconds
+       << ",\"tuples_per_sec\":" << r.tuples_per_sec
+       << ",\"batch_p50_us\":" << r.p50_us << ",\"batch_p99_us\":" << r.p99_us
+       << "}";
+  }
+  os << "]}";
+  return os.str();
+}
+
+}  // namespace
+}  // namespace spstream::bench
+
+int main() {
+  using namespace spstream::bench;
+  std::cout << "Network subsystem: loopback stream server vs in-process "
+               "engine (" << kTuples << " tuples, batches of " << kBatch
+            << ")\n";
+
+  std::vector<NetBenchResult> results;
+  results.push_back(RunInProcess());
+  results.push_back(RunLoopback());
+
+  PrintHeader("Net", "tuples/sec and per-batch latency (us)");
+  PrintLegend("mode", {"tuples/s", "p50", "p99"});
+  for (const NetBenchResult& r : results) {
+    PrintRow(r.mode, {r.tuples_per_sec, r.p50_us, r.p99_us}, 1);
+  }
+
+  const std::string json = ToJson(results);
+  std::cout << "\nJSON: " << json << "\n";
+  if (const char* dir = std::getenv("SPSTREAM_BENCH_JSON_DIR")) {
+    const std::string path =
+        std::string(dir) + "/BENCH_net_throughput.json";
+    std::ofstream out(path);
+    out << json << "\n";
+    std::cout << "wrote " << path << "\n";
+  }
+  std::cout << "\nThe wire adds framing + a socket round trip per epoch; "
+               "credit flow keeps the\nserver's buffering bounded while the "
+               "loopback pipeline stays within the same\norder of magnitude "
+               "as direct in-process pushes.\n";
+  return 0;
+}

@@ -12,6 +12,7 @@ const char* AuditEventKindName(AuditEventKind kind) {
     case AuditEventKind::kPolicyExpire: return "policy_expire";
     case AuditEventKind::kDenial: return "denial";
     case AuditEventKind::kPlanAdapt: return "plan_adapt";
+    case AuditEventKind::kNetEviction: return "net_eviction";
   }
   return "unknown";
 }

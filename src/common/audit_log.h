@@ -23,8 +23,9 @@ enum class AuditEventKind : uint8_t {
   kPolicyExpire,       ///< a policy was overridden by a newer batch (or stale)
   kDenial,             ///< a tuple (or join result) was denied
   kPlanAdapt,          ///< the adaptive optimizer swapped a query's plan
+  kNetEviction,        ///< the stream server evicted a connection
 };
-constexpr int kNumAuditEventKinds = 4;
+constexpr int kNumAuditEventKinds = 5;
 
 const char* AuditEventKindName(AuditEventKind kind);
 
@@ -79,7 +80,7 @@ class AuditLog {
   mutable std::mutex mu_;
   std::vector<AuditEvent> ring_;  // ring_[seq % capacity_]
   int64_t next_seq_ = 0;
-  int64_t kind_counts_[kNumAuditEventKinds] = {0, 0, 0, 0};
+  int64_t kind_counts_[kNumAuditEventKinds] = {};
 };
 
 }  // namespace spstream

@@ -55,7 +55,7 @@ void SpStreamEngine::SyncAnalyzerStats() {
   }
 }
 
-spstream::MetricsSnapshot SpStreamEngine::MetricsSnapshot() {
+spstream::MetricsSnapshot SpStreamEngine::SnapshotMetrics() {
   SyncAnalyzerStats();
   metrics_.SetGauge("engine.queries", static_cast<int64_t>(queries_.size()));
   metrics_.SetGauge("engine.adaptations", adaptations_);
@@ -64,7 +64,7 @@ spstream::MetricsSnapshot SpStreamEngine::MetricsSnapshot() {
 }
 
 std::string SpStreamEngine::DumpMetrics(MetricsFormat format) {
-  return MetricsSnapshot().Render(format);
+  return SnapshotMetrics().Render(format);
 }
 
 Result<StreamId> SpStreamEngine::RegisterStream(SchemaPtr schema) {

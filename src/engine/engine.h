@@ -142,9 +142,17 @@ class SpStreamEngine {
   /// \brief Engine-wide metrics: per-query/per-operator counters and
   /// latency histograms, refreshed with the SP Analyzer admission stats.
   /// Keys are "q<id>"; see docs/OBSERVABILITY.md for the taxonomy.
-  spstream::MetricsSnapshot MetricsSnapshot();
+  spstream::MetricsSnapshot SnapshotMetrics();
 
-  /// \brief MetricsSnapshot() rendered as text / JSON / Prometheus.
+  /// \brief Deprecated spelling of SnapshotMetrics(). The old name shadowed
+  /// the spstream::MetricsSnapshot type inside the class, forcing callers
+  /// (and the implementation) to qualify the return type.
+  [[deprecated("use SnapshotMetrics()")]] spstream::MetricsSnapshot
+  MetricsSnapshot() {
+    return SnapshotMetrics();
+  }
+
+  /// \brief SnapshotMetrics() rendered as text / JSON / Prometheus.
   std::string DumpMetrics(MetricsFormat format = MetricsFormat::kText);
 
   /// \brief The live metrics registry (counters update as queries run).

@@ -1,0 +1,148 @@
+#include "engine/engine_service.h"
+
+namespace spstream {
+
+EngineService::EngineService(EngineOptions options)
+    : engine_(std::move(options)) {}
+
+RoleId EngineService::RegisterRole(const std::string& name) {
+  std::lock_guard<std::mutex> lock(engine_mu_);
+  return engine_.RegisterRole(name);
+}
+
+Result<StreamId> EngineService::RegisterStream(SchemaPtr schema) {
+  std::lock_guard<std::mutex> lock(engine_mu_);
+  return engine_.RegisterStream(std::move(schema));
+}
+
+Status EngineService::RegisterSubject(
+    const std::string& name, const std::vector<std::string>& role_names) {
+  std::lock_guard<std::mutex> lock(engine_mu_);
+  return engine_.RegisterSubject(name, role_names);
+}
+
+Result<QueryId> EngineService::RegisterQuery(const std::string& subject,
+                                             const std::string& sql) {
+  std::lock_guard<std::mutex> lock(engine_mu_);
+  return engine_.RegisterQuery(subject, sql);
+}
+
+Status EngineService::ExecuteInsertSp(const std::string& sql) {
+  Status st;
+  {
+    std::lock_guard<std::mutex> lock(engine_mu_);
+    st = engine_.ExecuteInsertSp(sql);
+  }
+  if (st.ok()) {
+    std::lock_guard<std::mutex> lock(pace_mu_);
+    work_pending_ = true;
+    work_cv_.notify_one();
+  }
+  return st;
+}
+
+Status EngineService::Push(const std::string& stream_name,
+                           std::vector<StreamElement> elements) {
+  Status st;
+  {
+    std::lock_guard<std::mutex> lock(engine_mu_);
+    st = engine_.Push(stream_name, std::move(elements));
+  }
+  if (st.ok()) {
+    std::lock_guard<std::mutex> lock(pace_mu_);
+    work_pending_ = true;
+    work_cv_.notify_one();
+  }
+  return st;
+}
+
+Result<std::vector<Tuple>> EngineService::TakeResults(QueryId id) {
+  std::lock_guard<std::mutex> lock(engine_mu_);
+  return engine_.TakeResults(id);
+}
+
+std::vector<std::pair<StreamId, SchemaPtr>> EngineService::ListStreams() {
+  std::lock_guard<std::mutex> lock(engine_mu_);
+  std::vector<std::pair<StreamId, SchemaPtr>> out;
+  StreamCatalog* catalog = engine_.streams();
+  out.reserve(catalog->size());
+  for (StreamId id = 0; id < catalog->size(); ++id) {
+    out.emplace_back(id, catalog->schema(id));
+  }
+  return out;
+}
+
+Result<StreamId> EngineService::LookupStreamId(const std::string& name) {
+  std::lock_guard<std::mutex> lock(engine_mu_);
+  return engine_.streams()->LookupId(name);
+}
+
+Result<std::string> EngineService::StreamName(StreamId id) {
+  std::lock_guard<std::mutex> lock(engine_mu_);
+  if (id >= engine_.streams()->size()) {
+    return Status::NotFound("no stream with id " + std::to_string(id));
+  }
+  return engine_.streams()->schema(id)->stream_name();
+}
+
+uint64_t EngineService::RequestEpoch() {
+  std::lock_guard<std::mutex> lock(pace_mu_);
+  work_pending_ = true;
+  work_cv_.notify_one();
+  // An epoch currently in flight (started > completed) may have begun
+  // before the caller's pushes; the first epoch that starts from now on is
+  // epochs_started_ + 1, and it drains everything already admitted.
+  return epochs_started_ + 1;
+}
+
+void EngineService::WaitEpoch(uint64_t target) {
+  std::unique_lock<std::mutex> lock(pace_mu_);
+  epoch_cv_.wait(lock,
+                 [&] { return stopped_ || epochs_completed_ >= target; });
+}
+
+bool EngineService::WaitWork() {
+  std::unique_lock<std::mutex> lock(pace_mu_);
+  work_cv_.wait(lock, [&] { return stopped_ || work_pending_; });
+  if (stopped_) return false;
+  work_pending_ = false;
+  return true;
+}
+
+uint64_t EngineService::RunEpoch(
+    const std::function<void(SpStreamEngine*)>& after_run) {
+  uint64_t epoch;
+  {
+    std::lock_guard<std::mutex> lock(pace_mu_);
+    epoch = ++epochs_started_;
+  }
+  {
+    std::lock_guard<std::mutex> lock(engine_mu_);
+    const Status st = engine_.Run();
+    if (!st.ok()) {
+      engine_.metrics()->AddCounter("net.epoch_errors");
+    }
+    if (after_run) after_run(&engine_);
+  }
+  return epoch;
+}
+
+void EngineService::MarkEpochComplete(uint64_t epoch) {
+  std::lock_guard<std::mutex> lock(pace_mu_);
+  if (epoch > epochs_completed_) epochs_completed_ = epoch;
+  epoch_cv_.notify_all();
+}
+
+void EngineService::Stop() {
+  std::lock_guard<std::mutex> lock(pace_mu_);
+  stopped_ = true;
+  work_cv_.notify_all();
+  epoch_cv_.notify_all();
+}
+
+uint64_t EngineService::epochs_completed() const {
+  std::lock_guard<std::mutex> lock(pace_mu_);
+  return epochs_completed_;
+}
+
+}  // namespace spstream

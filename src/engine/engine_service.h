@@ -1,0 +1,115 @@
+// EngineService — the thread-safe ingestion/execution entry point over
+// SpStreamEngine, built for the networked deployment (src/net).
+//
+// SpStreamEngine itself is single-threaded by design (every operator
+// mutates shared pipeline state). The service serializes all engine access
+// behind one mutex — the concurrency model the StreamServer documents: many
+// reader threads feed a mutex-guarded engine, one serve thread runs epochs.
+// Lock holds are short (one Push batch, one catalog op, one Run epoch), and
+// the epoch counters let any thread await "an epoch that started after my
+// writes" without holding the engine lock.
+//
+// Epoch pacing protocol:
+//   - producers call Push()/ExecuteInsertSp(): the element lands in the
+//     engine's pending input and the service marks work pending;
+//   - the serve thread blocks in WaitWork() and calls RunEpoch() when woken;
+//   - a client that needs a flush calls RequestEpoch() and then
+//     WaitEpoch(target): the target is the next epoch that has not yet
+//     started, so it is guaranteed to see everything the caller pushed.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <vector>
+
+#include "engine/engine.h"
+
+namespace spstream {
+
+class EngineService {
+ public:
+  explicit EngineService(EngineOptions options = {});
+
+  // ---- thread-safe engine operations ------------------------------------
+  RoleId RegisterRole(const std::string& name);
+  Result<StreamId> RegisterStream(SchemaPtr schema);
+  Status RegisterSubject(const std::string& name,
+                         const std::vector<std::string>& role_names);
+  Result<QueryId> RegisterQuery(const std::string& subject,
+                                const std::string& sql);
+  Status ExecuteInsertSp(const std::string& sql);
+  Status Push(const std::string& stream_name,
+              std::vector<StreamElement> elements);
+  Result<std::vector<Tuple>> TakeResults(QueryId id);
+
+  /// \brief Snapshot of the stream catalog: (id, schema) per stream, in id
+  /// order — the HELLO_ACK schema negotiation payload.
+  std::vector<std::pair<StreamId, SchemaPtr>> ListStreams();
+  Result<StreamId> LookupStreamId(const std::string& name);
+  Result<std::string> StreamName(StreamId id);
+
+  // ---- epoch pacing -------------------------------------------------------
+  /// \brief Ask the serve loop for an epoch; returns the epoch number that
+  /// will include everything this thread pushed before the call.
+  uint64_t RequestEpoch();
+
+  /// \brief Block until `target` epochs have completed (or Stop()).
+  void WaitEpoch(uint64_t target);
+
+  /// \brief Serve thread: block until work is pending or Stop(); returns
+  /// false on Stop. Consumes the work-pending mark.
+  bool WaitWork();
+
+  /// \brief Serve thread: run one engine epoch. `after_run` (optional) is
+  /// invoked with the engine still locked, right after Run() — the server
+  /// drains subscriber results and snapshots credit consumption there,
+  /// atomically with the epoch. Returns the epoch number; the epoch does
+  /// NOT count as completed until MarkEpochComplete(epoch) — the server
+  /// flushes the epoch's result frames in between, so a client whose
+  /// WaitEpoch returned has its results already on the wire, ahead of the
+  /// RUN ack.
+  uint64_t RunEpoch(
+      const std::function<void(SpStreamEngine*)>& after_run = nullptr);
+
+  /// \brief Serve thread: publish epoch completion and wake WaitEpoch
+  /// waiters.
+  void MarkEpochComplete(uint64_t epoch);
+
+  /// \brief Wake every waiter; WaitWork() returns false from now on.
+  void Stop();
+
+  uint64_t epochs_completed() const;
+
+  /// \brief Direct engine access for single-threaded phases (setup before
+  /// the server starts, inspection after it stops); while server threads
+  /// are live, use WithEngine() instead.
+  SpStreamEngine* UnsafeEngine() { return &engine_; }
+
+  /// \brief Run `fn` with the engine lock held — arbitrary engine access
+  /// that stays race-free while the server is live.
+  template <typename Fn>
+  auto WithEngine(Fn&& fn) {
+    std::lock_guard<std::mutex> lock(engine_mu_);
+    return fn(&engine_);
+  }
+
+  /// Registry/audit log are internally thread-safe; direct access is fine.
+  MetricsRegistry* metrics() { return engine_.metrics(); }
+  AuditLog* audit() { return engine_.audit(); }
+
+ private:
+  SpStreamEngine engine_;
+  mutable std::mutex engine_mu_;  // guards every engine_ access
+
+  mutable std::mutex pace_mu_;  // guards the epoch/work state below
+  std::condition_variable work_cv_;   // serve thread waits here
+  std::condition_variable epoch_cv_;  // clients wait for completions here
+  bool work_pending_ = false;
+  bool stopped_ = false;
+  uint64_t epochs_started_ = 0;
+  uint64_t epochs_completed_ = 0;
+};
+
+}  // namespace spstream

@@ -1,0 +1,268 @@
+#include "net/client.h"
+
+#include <chrono>
+
+#include "net/socket.h"
+#include "security/sp_codec.h"
+
+namespace spstream {
+
+namespace {
+
+int64_t NowMillis() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+StreamClient::~StreamClient() { Close(); }
+
+StreamClient::StreamClient(StreamClient&& other) noexcept
+    : fd_(other.fd_),
+      credits_(other.credits_),
+      credit_window_(other.credit_window_),
+      credit_stalls_(other.credit_stalls_),
+      streams_(std::move(other.streams_)),
+      results_(std::move(other.results_)) {
+  other.fd_ = -1;
+}
+
+StreamClient& StreamClient::operator=(StreamClient&& other) noexcept {
+  if (this == &other) return *this;
+  Close();
+  fd_ = other.fd_;
+  credits_ = other.credits_;
+  credit_window_ = other.credit_window_;
+  credit_stalls_ = other.credit_stalls_;
+  streams_ = std::move(other.streams_);
+  results_ = std::move(other.results_);
+  other.fd_ = -1;
+  return *this;
+}
+
+Status StreamClient::Connect(const std::string& host, uint16_t port,
+                             const std::string& client_name) {
+  if (connected()) return Status::InvalidArgument("client already connected");
+  SP_ASSIGN_OR_RETURN(fd_, TcpConnect(host, port));
+  HelloPayload hello;
+  hello.client_name = client_name;
+  std::string payload;
+  EncodeHello(hello, &payload);
+  Status st = Send(FrameType::kHello, payload);
+  Result<Frame> ack = st.ok() ? ReadFrame(fd_) : st;
+  if (!ack.ok() || ack->type != FrameType::kHelloAck) {
+    Status fail = !ack.ok() ? ack.status()
+                            : Status::Internal("handshake rejected: got " +
+                                               std::string(FrameTypeName(
+                                                   ack->type)));
+    CloseSocket(fd_);
+    fd_ = -1;
+    return fail;
+  }
+  Result<HelloAckPayload> decoded = DecodeHelloAck(ack->payload);
+  if (!decoded.ok()) {
+    CloseSocket(fd_);
+    fd_ = -1;
+    return decoded.status();
+  }
+  credits_ = credit_window_ = decoded->initial_credits;
+  for (auto& [sid, schema] : decoded->streams) {
+    streams_[schema->stream_name()] = {sid, schema};
+  }
+  return Status::OK();
+}
+
+void StreamClient::Close() {
+  if (!connected()) return;
+  (void)WriteFrame(fd_, FrameType::kBye, "");
+  CloseSocket(fd_);
+  fd_ = -1;
+  streams_.clear();
+  results_.clear();
+  credits_ = 0;
+}
+
+Status StreamClient::Send(FrameType type, std::string_view payload) {
+  if (!connected()) return Status::InvalidArgument("client not connected");
+  return WriteFrame(fd_, type, payload);
+}
+
+void StreamClient::BankFrame(const Frame& frame) {
+  if (frame.type == FrameType::kCredit) {
+    size_t off = 0;
+    Result<uint64_t> n = GetVarint(frame.payload, &off);
+    if (n.ok()) credits_ += *n;
+    return;
+  }
+  if (frame.type == FrameType::kResult) {
+    Result<ResultPayload> rp = DecodeResult(frame.payload);
+    if (!rp.ok()) return;  // corrupt result frame: drop, not our request
+    std::vector<Tuple>& bank = results_[rp->query];
+    for (Tuple& t : rp->tuples) bank.push_back(std::move(t));
+  }
+}
+
+Result<Frame> StreamClient::PumpOne() {
+  for (;;) {
+    SP_ASSIGN_OR_RETURN(Frame frame, ReadFrame(fd_));
+    if (frame.type == FrameType::kCredit ||
+        frame.type == FrameType::kResult) {
+      BankFrame(frame);
+      continue;
+    }
+    return frame;
+  }
+}
+
+Result<uint64_t> StreamClient::AwaitReply() {
+  SP_ASSIGN_OR_RETURN(Frame frame, PumpOne());
+  if (frame.type == FrameType::kOk) {
+    size_t off = 0;
+    return GetVarint(frame.payload, &off);
+  }
+  if (frame.type == FrameType::kError) {
+    SP_ASSIGN_OR_RETURN(ErrorPayload e, DecodeError(frame.payload));
+    return ErrorToStatus(e);
+  }
+  return Status::Internal(std::string("unexpected reply frame ") +
+                          FrameTypeName(frame.type));
+}
+
+Result<RoleId> StreamClient::RegisterRole(const std::string& name) {
+  std::string payload;
+  PutLengthPrefixed(name, &payload);
+  SP_RETURN_NOT_OK(Send(FrameType::kRegisterRole, payload));
+  SP_ASSIGN_OR_RETURN(uint64_t id, AwaitReply());
+  return static_cast<RoleId>(id);
+}
+
+Result<StreamId> StreamClient::RegisterStream(SchemaPtr schema) {
+  std::string payload;
+  EncodeSchema(*schema, &payload);
+  SP_RETURN_NOT_OK(Send(FrameType::kRegisterStream, payload));
+  SP_ASSIGN_OR_RETURN(uint64_t sid, AwaitReply());
+  const std::string name = schema->stream_name();
+  streams_[name] = {static_cast<StreamId>(sid), std::move(schema)};
+  return static_cast<StreamId>(sid);
+}
+
+Status StreamClient::RegisterSubject(const std::string& name,
+                                     const std::vector<std::string>& roles) {
+  RegisterSubjectPayload p{name, roles};
+  std::string payload;
+  EncodeRegisterSubject(p, &payload);
+  SP_RETURN_NOT_OK(Send(FrameType::kRegisterSubject, payload));
+  return AwaitReply().status();
+}
+
+Result<uint64_t> StreamClient::RegisterQuery(const std::string& subject,
+                                             const std::string& sql) {
+  RegisterQueryPayload p{subject, sql};
+  std::string payload;
+  EncodeRegisterQuery(p, &payload);
+  SP_RETURN_NOT_OK(Send(FrameType::kRegisterQuery, payload));
+  return AwaitReply();
+}
+
+Status StreamClient::Subscribe(uint64_t query_id) {
+  std::string payload;
+  PutVarint(query_id, &payload);
+  SP_RETURN_NOT_OK(Send(FrameType::kSubscribe, payload));
+  return AwaitReply().status();
+}
+
+Status StreamClient::InsertSp(const std::string& sql) {
+  std::string payload;
+  PutLengthPrefixed(sql, &payload);
+  SP_RETURN_NOT_OK(Send(FrameType::kInsertSp, payload));
+  return AwaitReply().status();
+}
+
+Status StreamClient::Push(const std::string& stream,
+                          std::vector<StreamElement> elements) {
+  auto it = streams_.find(stream);
+  if (it == streams_.end()) {
+    return Status::NotFound("unknown stream (not in negotiated catalog): " +
+                            stream);
+  }
+  const uint64_t cost = elements.size();
+  if (cost > credit_window_) {
+    return Status::InvalidArgument(
+        "push of " + std::to_string(cost) +
+        " elements exceeds the credit window (" +
+        std::to_string(credit_window_) + "); split the batch");
+  }
+  // Credit-based backpressure: block on the socket until the server's
+  // epochs have replenished enough window for this batch.
+  if (credits_ < cost) {
+    ++credit_stalls_;
+    while (credits_ < cost) {
+      SP_ASSIGN_OR_RETURN(Frame frame, ReadFrame(fd_));
+      BankFrame(frame);
+      if (frame.type == FrameType::kError) {
+        SP_ASSIGN_OR_RETURN(ErrorPayload e, DecodeError(frame.payload));
+        return ErrorToStatus(e);
+      }
+    }
+  }
+  PushPayload p;
+  p.stream = it->second.first;
+  p.elements = std::move(elements);
+  std::string payload;
+  EncodePush(p, &payload);
+  SP_RETURN_NOT_OK(Send(FrameType::kPush, payload));
+  credits_ -= cost;
+  return Status::OK();
+}
+
+Status StreamClient::Run() {
+  SP_RETURN_NOT_OK(Send(FrameType::kRun, ""));
+  return AwaitReply().status();
+}
+
+Status StreamClient::PollResults(uint64_t query_id, size_t min_tuples,
+                                 int timeout_ms) {
+  const int64_t deadline = NowMillis() + timeout_ms;
+  while (results_[query_id].size() < min_tuples) {
+    const int64_t remaining = deadline - NowMillis();
+    if (remaining <= 0) {
+      return Status::OutOfRange(
+          "timed out waiting for results of query " +
+          std::to_string(query_id) + " (" +
+          std::to_string(results_[query_id].size()) + "/" +
+          std::to_string(min_tuples) + " received)");
+    }
+    SP_ASSIGN_OR_RETURN(bool readable,
+                        WaitReadable(fd_, static_cast<int>(remaining)));
+    if (!readable) continue;  // loop re-checks the deadline
+    SP_ASSIGN_OR_RETURN(Frame frame, ReadFrame(fd_));
+    BankFrame(frame);
+    if (frame.type == FrameType::kError) {
+      SP_ASSIGN_OR_RETURN(ErrorPayload e, DecodeError(frame.payload));
+      return ErrorToStatus(e);
+    }
+  }
+  return Status::OK();
+}
+
+std::vector<Tuple> StreamClient::TakeResults(uint64_t query_id) {
+  std::vector<Tuple> out = std::move(results_[query_id]);
+  results_[query_id].clear();
+  return out;
+}
+
+Result<StreamId> StreamClient::StreamIdOf(const std::string& name) const {
+  auto it = streams_.find(name);
+  if (it == streams_.end()) return Status::NotFound("unknown stream: " + name);
+  return it->second.first;
+}
+
+Result<SchemaPtr> StreamClient::SchemaOf(const std::string& name) const {
+  auto it = streams_.find(name);
+  if (it == streams_.end()) return Status::NotFound("unknown stream: " + name);
+  return it->second.second;
+}
+
+}  // namespace spstream

@@ -1,0 +1,110 @@
+// StreamClient — the library a data provider or query specifier links to
+// talk to a StreamServer: push tuples and sps, register roles/streams/
+// subjects/queries, subscribe to a query and receive its authorized
+// results. Used by the loopback tests, the net throughput bench, and the
+// CLI's \connect mode.
+//
+// Single-threaded and blocking by design: one socket, one thread, no
+// internal locks. RESULT and CREDIT frames arrive asynchronously from the
+// server's serve loop, so every read path (command replies, Run acks,
+// PollResults) routes through one frame pump that banks results per query
+// and credits into the flow-control window as they appear.
+//
+// Backpressure from the client side: Push() blocks — reading CREDIT frames
+// off the socket — whenever the window is too small for the batch, so a
+// producer naturally slows to the speed the server's epochs sustain.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "net/wire.h"
+
+namespace spstream {
+
+class StreamClient {
+ public:
+  StreamClient() = default;
+  ~StreamClient();
+
+  StreamClient(const StreamClient&) = delete;
+  StreamClient& operator=(const StreamClient&) = delete;
+  StreamClient(StreamClient&& other) noexcept;
+  StreamClient& operator=(StreamClient&& other) noexcept;
+
+  /// \brief Connect + HELLO handshake; learns the server's stream catalog
+  /// and this connection's credit window.
+  Status Connect(const std::string& host, uint16_t port,
+                 const std::string& client_name = "spstream-client");
+
+  /// \brief Graceful close (BYE). Safe to call twice.
+  void Close();
+
+  bool connected() const { return fd_ >= 0; }
+
+  // ---- control plane -----------------------------------------------------
+  Result<RoleId> RegisterRole(const std::string& name);
+  Result<StreamId> RegisterStream(SchemaPtr schema);
+  Status RegisterSubject(const std::string& name,
+                         const std::vector<std::string>& roles);
+  Result<uint64_t> RegisterQuery(const std::string& subject,
+                                 const std::string& sql);
+  /// \brief Route this query's results to this connection (one subscriber
+  /// per query).
+  Status Subscribe(uint64_t query_id);
+  /// \brief Ship an INSERT SP statement; the server admits the resulting
+  /// punctuation through the stream's SP Analyzer, exactly like local
+  /// pushes.
+  Status InsertSp(const std::string& sql);
+
+  // ---- data plane --------------------------------------------------------
+  /// \brief Push elements into a stream. Blocks for CREDIT frames when the
+  /// window is smaller than the batch. Batches larger than the whole credit
+  /// window are rejected (split them).
+  Status Push(const std::string& stream, std::vector<StreamElement> elements);
+
+  /// \brief Ask the server for an epoch over everything pushed so far and
+  /// wait until it completes (results banked on the way).
+  Status Run();
+
+  // ---- results -----------------------------------------------------------
+  /// \brief Pump frames until at least `min_tuples` results are banked for
+  /// the query or `timeout_ms` elapses (kOutOfRange on timeout).
+  Status PollResults(uint64_t query_id, size_t min_tuples, int timeout_ms);
+
+  /// \brief Drain the banked results of a query.
+  std::vector<Tuple> TakeResults(uint64_t query_id);
+
+  // ---- negotiated state --------------------------------------------------
+  Result<StreamId> StreamIdOf(const std::string& name) const;
+  Result<SchemaPtr> SchemaOf(const std::string& name) const;
+  uint64_t credits() const { return credits_; }
+  /// \brief Times Push() had to block waiting for the window to refill.
+  int64_t credit_stalls() const { return credit_stalls_; }
+
+ private:
+  /// Send one frame, tallying counters.
+  Status Send(FrameType type, std::string_view payload);
+
+  /// Read one frame, banking RESULT/CREDIT frames as they pass; returns the
+  /// first frame that is neither.
+  Result<Frame> PumpOne();
+
+  /// Pump until a kOk / kError reply arrives; kOk's varint value out.
+  Result<uint64_t> AwaitReply();
+
+  void BankFrame(const Frame& frame);
+
+  int fd_ = -1;
+  uint64_t credits_ = 0;
+  uint64_t credit_window_ = 0;  // initial grant == hard batch ceiling
+  int64_t credit_stalls_ = 0;
+  std::map<std::string, std::pair<StreamId, SchemaPtr>> streams_;
+  std::unordered_map<uint64_t, std::vector<Tuple>> results_;
+};
+
+}  // namespace spstream

@@ -1,0 +1,378 @@
+#include "net/server.h"
+
+#include "net/socket.h"
+#include "security/sp_codec.h"
+
+namespace spstream {
+
+StreamServer::StreamServer(EngineService* service, StreamServerOptions options)
+    : service_(service), options_(options) {}
+
+StreamServer::~StreamServer() { Stop(); }
+
+Status StreamServer::Start(uint16_t port) {
+  if (started_) return Status::InvalidArgument("server already started");
+  SP_ASSIGN_OR_RETURN(listen_fd_, TcpListen(port));
+  SP_ASSIGN_OR_RETURN(port_, TcpLocalPort(listen_fd_));
+  started_ = true;
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  serve_thread_ = std::thread([this] { ServeLoop(); });
+  return Status::OK();
+}
+
+void StreamServer::Stop() {
+  if (!started_) return;
+  started_ = false;
+  // Wake the accept loop, the serve loop, and every blocked reader.
+  ShutdownSocket(listen_fd_);
+  service_->Stop();
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    for (auto& conn : conns_) {
+      if (conn->alive) ShutdownSocket(conn->fd);
+    }
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+  if (serve_thread_.joinable()) serve_thread_.join();
+  for (auto& conn : conns_) {
+    if (conn->reader.joinable()) conn->reader.join();
+  }
+  CloseSocket(listen_fd_);
+  listen_fd_ = -1;
+}
+
+int64_t StreamServer::connections_accepted() const {
+  std::lock_guard<std::mutex> lock(conns_mu_);
+  return connections_accepted_;
+}
+
+int64_t StreamServer::evictions() const {
+  std::lock_guard<std::mutex> lock(conns_mu_);
+  return evictions_;
+}
+
+void StreamServer::AcceptLoop() {
+  for (;;) {
+    Result<int> fd = TcpAccept(listen_fd_);
+    if (!fd.ok()) return;  // listener closed: shutting down
+    Status st = SetSendTimeoutMs(*fd, options_.send_timeout_ms);
+    if (!st.ok()) {
+      CloseSocket(*fd);
+      continue;
+    }
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    auto conn = std::make_unique<Connection>();
+    conn->id = next_conn_id_++;
+    conn->fd = *fd;
+    conn->credits = options_.initial_credits;
+    ++connections_accepted_;
+    service_->metrics()->AddCounter("net.connections_total");
+    Connection* raw = conn.get();
+    conns_.push_back(std::move(conn));
+    raw->reader = std::thread([this, raw] { ReaderLoop(raw); });
+  }
+}
+
+void StreamServer::ReaderLoop(Connection* conn) {
+  // Handshake: the first frame must be HELLO; the ack carries the stream
+  // catalog (schema negotiation) and this connection's credit window.
+  Result<Frame> hello = ReadFrame(conn->fd);
+  bool ok = hello.ok() && hello->type == FrameType::kHello;
+  if (ok) {
+    Result<HelloPayload> h = DecodeHello(hello->payload);
+    if (h.ok() && h->version == kWireProtocolVersion) {
+      conn->name = h->client_name;
+      HelloAckPayload ack;
+      ack.initial_credits = options_.initial_credits;
+      ack.streams = service_->ListStreams();
+      std::string payload;
+      EncodeHelloAck(ack, &payload);
+      ok = SendFrame(conn, FrameType::kHelloAck, payload).ok();
+    } else {
+      (void)SendError(conn, Status::InvalidArgument(
+                                "unsupported protocol version"));
+      ok = false;
+    }
+  }
+
+  while (ok) {
+    Result<Frame> frame = ReadFrame(conn->fd);
+    if (!frame.ok()) break;  // disconnect (clean close or torn frame)
+    {
+      std::lock_guard<std::mutex> lock(conns_mu_);
+      if (!conn->alive) break;
+      ++conn->frames_in;
+      conn->bytes_in += static_cast<int64_t>(frame->payload.size()) + 2;
+    }
+    if (frame->type == FrameType::kBye) break;
+    Status st = HandleFrame(conn, *frame);
+    if (!st.ok()) {
+      Evict(conn, st.message());
+      break;
+    }
+  }
+
+  // Single closer: the reader owns the fd's lifetime.
+  bool was_alive;
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    was_alive = conn->alive;
+    conn->alive = false;
+    for (QueryId q : conn->subscriptions) subscribers_.erase(q);
+    conn->subscriptions.clear();
+  }
+  if (was_alive) PublishConnGauges(conn);
+  CloseSocket(conn->fd);
+}
+
+Status StreamServer::HandleFrame(Connection* conn, const Frame& frame) {
+  switch (frame.type) {
+    case FrameType::kRegisterRole: {
+      size_t off = 0;
+      Result<std::string> name = GetLengthPrefixed(frame.payload, &off);
+      if (!name.ok()) return name.status();
+      const RoleId id = service_->RegisterRole(*name);
+      return SendOk(conn, id);
+    }
+    case FrameType::kRegisterStream: {
+      size_t off = 0;
+      Result<SchemaPtr> schema = DecodeSchema(frame.payload, &off);
+      if (!schema.ok()) return schema.status();
+      Result<StreamId> sid = service_->RegisterStream(std::move(*schema));
+      if (!sid.ok()) return SendError(conn, sid.status());
+      return SendOk(conn, *sid);
+    }
+    case FrameType::kRegisterSubject: {
+      Result<RegisterSubjectPayload> p =
+          DecodeRegisterSubject(frame.payload);
+      if (!p.ok()) return p.status();
+      Status st = service_->RegisterSubject(p->name, p->roles);
+      if (!st.ok()) return SendError(conn, st);
+      return SendOk(conn, 0);
+    }
+    case FrameType::kRegisterQuery: {
+      Result<RegisterQueryPayload> p = DecodeRegisterQuery(frame.payload);
+      if (!p.ok()) return p.status();
+      Result<QueryId> qid = service_->RegisterQuery(p->subject, p->sql);
+      if (!qid.ok()) return SendError(conn, qid.status());
+      return SendOk(conn, *qid);
+    }
+    case FrameType::kSubscribe: {
+      size_t off = 0;
+      Result<uint64_t> qid = GetVarint(frame.payload, &off);
+      if (!qid.ok()) return qid.status();
+      const QueryId id = static_cast<QueryId>(*qid);
+      const size_t nqueries = service_->WithEngine(
+          [](SpStreamEngine* e) { return e->query_count(); });
+      if (id >= nqueries) {
+        return SendError(conn,
+                         Status::NotFound("subscribe: no query with id " +
+                                          std::to_string(id)));
+      }
+      bool taken = false;
+      {
+        std::lock_guard<std::mutex> lock(conns_mu_);
+        auto [it, inserted] = subscribers_.emplace(id, conn);
+        taken = !inserted && it->second != conn;
+        if (inserted) conn->subscriptions.push_back(id);
+      }
+      if (taken) {
+        return SendError(
+            conn, Status::AlreadyExists(
+                      "query " + std::to_string(id) +
+                      " already has a subscriber (results are drained; "
+                      "one subscriber per query)"));
+      }
+      return SendOk(conn, id);
+    }
+    case FrameType::kInsertSp: {
+      size_t off = 0;
+      Result<std::string> sql = GetLengthPrefixed(frame.payload, &off);
+      if (!sql.ok()) return sql.status();
+      Status st = service_->ExecuteInsertSp(*sql);
+      if (!st.ok()) return SendError(conn, st);
+      return SendOk(conn, 0);
+    }
+    case FrameType::kPush:
+      return HandlePush(conn, frame.payload);
+    case FrameType::kRun:
+      return HandleRun(conn);
+    default:
+      // Anything else from a client is a protocol violation.
+      (void)SendError(conn, Status::InvalidArgument(
+                                std::string("unexpected frame ") +
+                                FrameTypeName(frame.type)));
+      return Status::InvalidArgument("protocol violation: unexpected frame");
+  }
+}
+
+Status StreamServer::HandlePush(Connection* conn, std::string_view payload) {
+  Result<PushPayload> push = DecodePush(payload);
+  if (!push.ok()) return push.status();  // malformed data plane: disconnect
+  const uint64_t cost = push->elements.size();
+  uint64_t available = 0;
+  bool overdraft = false;
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    available = conn->credits;
+    overdraft = cost > conn->credits;
+    if (!overdraft) {
+      conn->credits -= cost;
+      conn->unacked += cost;
+      if (conn->credits == 0) ++conn->credit_stalls;
+    }
+  }
+  if (overdraft) {
+    (void)SendError(
+        conn, Status::InvalidArgument(
+                  "credit overdraft: pushed " + std::to_string(cost) +
+                  " elements with " + std::to_string(available) +
+                  " credits"));
+    return Status::InvalidArgument("credit overdraft");
+  }
+  Result<std::string> stream = service_->StreamName(push->stream);
+  if (!stream.ok()) return SendError(conn, stream.status());
+  Status st = service_->Push(*stream, std::move(push->elements));
+  if (!st.ok()) return SendError(conn, st);
+  service_->metrics()->AddCounter("net.elements_pushed",
+                                  static_cast<int64_t>(cost));
+  return Status::OK();  // pipelined: no per-push ack, credits are the flow
+}
+
+Status StreamServer::HandleRun(Connection* conn) {
+  const uint64_t target = service_->RequestEpoch();
+  service_->WaitEpoch(target);
+  return SendOk(conn, target);
+}
+
+void StreamServer::ServeLoop() {
+  struct Outbound {
+    Connection* conn;
+    FrameType type;
+    std::string payload;
+  };
+  while (service_->WaitWork()) {
+    std::vector<Outbound> out;
+    const uint64_t epoch = service_->RunEpoch([&](SpStreamEngine* engine) {
+      // Still under the engine lock: drain each subscriber's results and
+      // snapshot credit consumption, atomically with the epoch.
+      std::lock_guard<std::mutex> lock(conns_mu_);
+      for (auto& [qid, conn] : subscribers_) {
+        if (!conn->alive) continue;
+        Result<std::vector<Tuple>> rows = engine->TakeResults(qid);
+        if (!rows.ok() || rows->empty()) continue;
+        ResultPayload rp;
+        rp.query = qid;
+        rp.tuples = std::move(*rows);
+        std::string payload;
+        EncodeResult(rp, &payload);
+        out.push_back({conn, FrameType::kResult, std::move(payload)});
+      }
+      for (auto& conn : conns_) {
+        if (!conn->alive || conn->unacked == 0) continue;
+        std::string payload;
+        PutVarint(conn->unacked, &payload);
+        conn->credits += conn->unacked;
+        conn->unacked = 0;
+        out.push_back({conn.get(), FrameType::kCredit, std::move(payload)});
+      }
+    });
+    // Sends happen outside the engine lock: a slow subscriber stalls only
+    // itself (until the send timeout evicts it), never the epoch loop. The
+    // epoch is marked complete only after these sends, so the per-socket
+    // write order guarantees a RUN ack never overtakes its epoch's results.
+    for (Outbound& ob : out) {
+      Status st = SendFrame(ob.conn, ob.type, ob.payload);
+      if (!st.ok()) {
+        Evict(ob.conn, (ob.type == FrameType::kResult
+                            ? "slow subscriber: "
+                            : "credit delivery failed: ") +
+                           st.message());
+      } else if (ob.type == FrameType::kResult) {
+        service_->metrics()->AddCounter("net.result_frames");
+      } else {
+        service_->metrics()->AddCounter("net.credit_frames");
+      }
+    }
+    service_->MarkEpochComplete(epoch);
+    // Refresh per-connection observability gauges once per epoch.
+    std::vector<Connection*> live;
+    {
+      std::lock_guard<std::mutex> lock(conns_mu_);
+      for (auto& conn : conns_) {
+        if (conn->alive) live.push_back(conn.get());
+      }
+      service_->metrics()->SetGauge("net.connections_active",
+                                    static_cast<int64_t>(live.size()));
+    }
+    for (Connection* conn : live) PublishConnGauges(conn);
+  }
+}
+
+Status StreamServer::SendFrame(Connection* conn, FrameType type,
+                               std::string_view payload) {
+  std::lock_guard<std::mutex> lock(conn->write_mu);
+  Status st = WriteFrame(conn->fd, type, payload);
+  if (st.ok()) {
+    std::lock_guard<std::mutex> clock(conns_mu_);
+    ++conn->frames_out;
+    conn->bytes_out += static_cast<int64_t>(payload.size()) + 2;
+  }
+  return st;
+}
+
+Status StreamServer::SendOk(Connection* conn, uint64_t value) {
+  std::string payload;
+  PutVarint(value, &payload);
+  return SendFrame(conn, FrameType::kOk, payload);
+}
+
+Status StreamServer::SendError(Connection* conn, const Status& error) {
+  std::string payload;
+  EncodeError(error, &payload);
+  SP_RETURN_NOT_OK(SendFrame(conn, FrameType::kError, payload));
+  return Status::OK();
+}
+
+void StreamServer::Evict(Connection* conn, const std::string& reason) {
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    if (!conn->alive) return;
+    conn->alive = false;
+    for (QueryId q : conn->subscriptions) subscribers_.erase(q);
+    conn->subscriptions.clear();
+    ++evictions_;
+  }
+  service_->metrics()->AddCounter("net.evictions");
+  AuditEvent e;
+  e.kind = AuditEventKind::kNetEviction;
+  e.scope = "net.conn" + std::to_string(conn->id);
+  e.detail = "evicted '" + conn->name + "': " + reason;
+  service_->audit()->Append(std::move(e));
+  PublishConnGauges(conn);
+  // Wake the reader; it closes the fd on its way out.
+  ShutdownSocket(conn->fd);
+}
+
+void StreamServer::PublishConnGauges(Connection* conn) {
+  int64_t frames_in, frames_out, bytes_in, bytes_out, credit_stalls;
+  int id;
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    id = conn->id;
+    frames_in = conn->frames_in;
+    frames_out = conn->frames_out;
+    bytes_in = conn->bytes_in;
+    bytes_out = conn->bytes_out;
+    credit_stalls = conn->credit_stalls;
+  }
+  MetricsRegistry* m = service_->metrics();
+  const std::string prefix = "net.conn" + std::to_string(id) + ".";
+  m->SetGauge(prefix + "frames_in", frames_in);
+  m->SetGauge(prefix + "frames_out", frames_out);
+  m->SetGauge(prefix + "bytes_in", bytes_in);
+  m->SetGauge(prefix + "bytes_out", bytes_out);
+  m->SetGauge(prefix + "credit_stalls", credit_stalls);
+}
+
+}  // namespace spstream

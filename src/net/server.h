@@ -1,0 +1,133 @@
+// StreamServer — the networked face of the DSMS (Figure 1's server proper):
+// data providers push tuples + sps and query specifiers register subjects,
+// queries and result subscriptions, all over the binary wire protocol
+// (net/wire.h, docs/NETWORK.md).
+//
+// Concurrency model (documented choice): ONE READER THREAD PER CONNECTION
+// feeding a MUTEX-GUARDED ENGINE, plus one serve-loop thread that runs
+// epochs. Rationale: the engine is shared mutable state that admission
+// (SP Analyzer), catalog ops and epoch execution all touch, so a single
+// engine mutex with short holds is the whole synchronization story — easy
+// to reason about, easy for TSan to verify, and the lock is not the
+// bottleneck at the connection counts a security-punctuation middleware
+// front-end sees (the epoch CPU is). An epoll reactor would shave threads,
+// not locks; it can replace the reader layer later without touching the
+// protocol or the service.
+//
+// Backpressure is credit-based: every connection is granted
+// `options.initial_credits` element credits at HELLO_ACK; each element in a
+// PUSH frame consumes one. The serve loop replenishes exactly the credits
+// an epoch consumed (CREDIT frames after the epoch), so a connection can
+// never have more than `initial_credits` elements buffered inside the
+// engine — the engine's pending input stays bounded no matter how fast
+// clients push. A client that overdraws its window is a protocol violator
+// and is disconnected. Subscribers that cannot drain their results within
+// `send_timeout_ms` are evicted (connection closed, audit event, counter)
+// so one stalled consumer cannot wedge the epoch loop.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "engine/engine_service.h"
+#include "net/wire.h"
+
+namespace spstream {
+
+struct StreamServerOptions {
+  /// Element credits granted to each connection at HELLO_ACK.
+  uint64_t initial_credits = 256;
+  /// A blocked send to a subscriber longer than this evicts it.
+  int send_timeout_ms = 5000;
+};
+
+class StreamServer {
+ public:
+  /// \brief Serve `service` (not owned; must outlive the server).
+  StreamServer(EngineService* service, StreamServerOptions options = {});
+  ~StreamServer();
+
+  StreamServer(const StreamServer&) = delete;
+  StreamServer& operator=(const StreamServer&) = delete;
+
+  /// \brief Bind the loopback listener (port 0 = kernel-chosen) and start
+  /// the accept + serve threads.
+  Status Start(uint16_t port);
+
+  /// \brief Stop serving: close the listener and every connection, join all
+  /// threads. Idempotent.
+  void Stop();
+
+  /// \brief The bound port (after Start; resolves port-0 binds).
+  uint16_t port() const { return port_; }
+
+  /// \brief Connections accepted over the server's lifetime.
+  int64_t connections_accepted() const;
+  /// \brief Slow-subscriber / protocol-violation evictions.
+  int64_t evictions() const;
+
+ private:
+  struct Connection {
+    int id = 0;
+    int fd = -1;
+    std::string name;          // client-announced, for audit events
+    std::mutex write_mu;       // frames interleave: reader replies + serve
+    uint64_t credits = 0;      // remaining element window
+    uint64_t unacked = 0;      // elements consumed by the next epoch
+    std::vector<QueryId> subscriptions;
+    bool alive = true;
+    // per-connection counters (published as gauges at epoch boundaries)
+    int64_t frames_in = 0;
+    int64_t frames_out = 0;
+    int64_t bytes_in = 0;
+    int64_t bytes_out = 0;
+    int64_t credit_stalls = 0;  // pushes that drained the window to zero
+    std::thread reader;
+  };
+
+  void AcceptLoop();
+  void ServeLoop();
+  void ReaderLoop(Connection* conn);
+
+  /// Handle one frame from `conn`; non-OK return disconnects the client.
+  Status HandleFrame(Connection* conn, const Frame& frame);
+  Status HandlePush(Connection* conn, std::string_view payload);
+  Status HandleRun(Connection* conn);
+
+  /// Locked framed write + counter upkeep; marks the connection dead on
+  /// failure (send timeout = slow peer).
+  Status SendFrame(Connection* conn, FrameType type, std::string_view payload);
+  Status SendOk(Connection* conn, uint64_t value);
+  Status SendError(Connection* conn, const Status& error);
+
+  /// Close the connection and record why (audit event + counter).
+  void Evict(Connection* conn, const std::string& reason);
+
+  void PublishConnGauges(Connection* conn);
+
+  EngineService* service_;
+  StreamServerOptions options_;
+
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+  std::thread accept_thread_;
+  std::thread serve_thread_;
+  bool started_ = false;
+
+  mutable std::mutex conns_mu_;  // guards conns_ and per-conn credit state
+  std::vector<std::unique_ptr<Connection>> conns_;
+  /// query id -> subscribed connection (one subscriber per query: results
+  /// are drained, so a second subscriber would silently split the stream).
+  std::unordered_map<QueryId, Connection*> subscribers_;
+  int next_conn_id_ = 0;
+  int64_t connections_accepted_ = 0;
+  int64_t evictions_ = 0;
+};
+
+}  // namespace spstream

@@ -1,0 +1,60 @@
+// Thin POSIX TCP wrappers used by StreamServer/StreamClient: fallible
+// Status/Result versions of listen/accept/connect plus framed I/O that moves
+// whole wire frames (net/wire.h) across a blocking socket.
+//
+// Error taxonomy (callers branch on these):
+//   - clean peer close at a frame boundary  -> StatusCode::kOutOfRange
+//   - anything else (torn frame, ECONNRESET, send timeout) -> kInternal
+// Read timeouts never surface as errors: timed reads go through
+// WaitReadable(), which returns Result<bool> (false == timed out) before
+// the blocking ReadFrame() is entered.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+#include "net/wire.h"
+
+namespace spstream {
+
+/// \brief Listening TCP socket on `port` (0 = kernel-chosen); returns fd.
+Result<int> TcpListen(uint16_t port, int backlog = 16);
+
+/// \brief The local port an fd is bound to (resolves port-0 listens).
+Result<uint16_t> TcpLocalPort(int fd);
+
+/// \brief Blocking accept; returns the connection fd.
+Result<int> TcpAccept(int listen_fd);
+
+/// \brief Blocking connect to host:port (numeric or resolvable name).
+Result<int> TcpConnect(const std::string& host, uint16_t port);
+
+/// \brief SO_SNDTIMEO — a blocked send returns after `millis` instead of
+/// stalling forever behind a slow peer (the server's eviction detector).
+Status SetSendTimeoutMs(int fd, int millis);
+
+/// \brief Block until fd is readable; false on timeout (-1 = no timeout).
+Result<bool> WaitReadable(int fd, int timeout_ms);
+
+/// \brief Write all of `data` (retrying short writes). A send-timeout
+/// expiry surfaces as an error — by then the peer is stalled.
+Status WriteAll(int fd, std::string_view data);
+
+/// \brief Half-close + close, ignoring errors (idempotent teardown).
+void CloseSocket(int fd);
+
+/// \brief Wake any thread blocked reading/writing fd (shutdown(2)).
+void ShutdownSocket(int fd);
+
+// ---- framed I/O ------------------------------------------------------------
+
+/// \brief Read one whole frame (blocking). Clean EOF at a frame boundary
+/// returns kOutOfRange("net: connection closed"); torn frames and oversized
+/// lengths are kInternal/kParseError.
+Result<Frame> ReadFrame(int fd);
+
+/// \brief Encode and write one frame.
+Status WriteFrame(int fd, FrameType type, std::string_view payload);
+
+}  // namespace spstream

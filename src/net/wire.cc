@@ -1,0 +1,385 @@
+#include "net/wire.h"
+
+#include <cstring>
+
+#include "security/sp_codec.h"
+
+namespace spstream {
+
+namespace {
+
+// Element kind tags inside kPush payloads.
+constexpr uint8_t kElemTuple = 0;
+constexpr uint8_t kElemSp = 1;
+constexpr uint8_t kElemControl = 2;
+
+Status Truncated(const char* what) {
+  return Status::ParseError(std::string("wire: truncated ") + what);
+}
+
+Result<uint8_t> GetByte(std::string_view data, size_t* offset,
+                        const char* what) {
+  if (*offset >= data.size()) return Truncated(what);
+  return static_cast<uint8_t>(data[(*offset)++]);
+}
+
+/// A varint count of items each at least `min_item_bytes` long cannot
+/// exceed the remaining buffer; reject before any reserve().
+Result<uint64_t> GetCount(std::string_view data, size_t* offset,
+                          size_t min_item_bytes, const char* what) {
+  SP_ASSIGN_OR_RETURN(uint64_t count, GetVarint(data, offset));
+  const size_t remaining = data.size() - *offset;
+  if (count > remaining / (min_item_bytes == 0 ? 1 : min_item_bytes)) {
+    return Status::ParseError(std::string("wire: implausible ") + what +
+                              " count " + std::to_string(count));
+  }
+  return count;
+}
+
+}  // namespace
+
+const char* FrameTypeName(FrameType type) {
+  switch (type) {
+    case FrameType::kHello: return "HELLO";
+    case FrameType::kHelloAck: return "HELLO_ACK";
+    case FrameType::kBye: return "BYE";
+    case FrameType::kRegisterRole: return "REGISTER_ROLE";
+    case FrameType::kRegisterStream: return "REGISTER_STREAM";
+    case FrameType::kRegisterSubject: return "REGISTER_SUBJECT";
+    case FrameType::kRegisterQuery: return "REGISTER_QUERY";
+    case FrameType::kSubscribe: return "SUBSCRIBE";
+    case FrameType::kInsertSp: return "INSERT_SP";
+    case FrameType::kPush: return "PUSH";
+    case FrameType::kRun: return "RUN";
+    case FrameType::kResult: return "RESULT";
+    case FrameType::kCredit: return "CREDIT";
+    case FrameType::kOk: return "OK";
+    case FrameType::kError: return "ERROR";
+  }
+  return "UNKNOWN";
+}
+
+// ---- primitive codecs ------------------------------------------------------
+
+void EncodeValue(const Value& v, std::string* out) {
+  out->push_back(static_cast<char>(v.type()));
+  switch (v.type()) {
+    case ValueType::kNull:
+      break;
+    case ValueType::kInt64:
+      PutVarint(ZigZagEncode(v.int64()), out);
+      break;
+    case ValueType::kDouble: {
+      uint64_t bits;
+      double d = v.dbl();
+      std::memcpy(&bits, &d, sizeof(bits));
+      for (int i = 0; i < 8; ++i) {
+        out->push_back(static_cast<char>((bits >> (8 * i)) & 0xff));
+      }
+      break;
+    }
+    case ValueType::kString:
+      PutLengthPrefixed(v.str(), out);
+      break;
+    case ValueType::kBool:
+      out->push_back(v.boolean() ? 1 : 0);
+      break;
+  }
+}
+
+Result<Value> DecodeValue(std::string_view data, size_t* offset) {
+  SP_ASSIGN_OR_RETURN(uint8_t tag, GetByte(data, offset, "value tag"));
+  switch (static_cast<ValueType>(tag)) {
+    case ValueType::kNull:
+      return Value::Null();
+    case ValueType::kInt64: {
+      SP_ASSIGN_OR_RETURN(uint64_t zz, GetVarint(data, offset));
+      return Value(ZigZagDecode(zz));
+    }
+    case ValueType::kDouble: {
+      if (*offset + 8 > data.size()) return Truncated("double value");
+      uint64_t bits = 0;
+      for (int i = 0; i < 8; ++i) {
+        bits |= static_cast<uint64_t>(
+                    static_cast<uint8_t>(data[*offset + i]))
+                << (8 * i);
+      }
+      *offset += 8;
+      double d;
+      std::memcpy(&d, &bits, sizeof(d));
+      return Value(d);
+    }
+    case ValueType::kString: {
+      SP_ASSIGN_OR_RETURN(std::string s, GetLengthPrefixed(data, offset));
+      return Value(std::move(s));
+    }
+    case ValueType::kBool: {
+      SP_ASSIGN_OR_RETURN(uint8_t b, GetByte(data, offset, "bool value"));
+      return Value(b != 0);
+    }
+  }
+  return Status::ParseError("wire: unknown value tag " + std::to_string(tag));
+}
+
+void EncodeTuple(const Tuple& t, std::string* out) {
+  PutVarint(t.sid, out);
+  PutVarint(t.tid, out);
+  PutVarint(ZigZagEncode(t.ts), out);
+  PutVarint(t.values.size(), out);
+  for (const Value& v : t.values) EncodeValue(v, out);
+}
+
+Result<Tuple> DecodeTuple(std::string_view data, size_t* offset) {
+  Tuple t;
+  SP_ASSIGN_OR_RETURN(uint64_t sid, GetVarint(data, offset));
+  SP_ASSIGN_OR_RETURN(uint64_t tid, GetVarint(data, offset));
+  SP_ASSIGN_OR_RETURN(uint64_t zz, GetVarint(data, offset));
+  t.sid = static_cast<StreamId>(sid);
+  t.tid = static_cast<TupleId>(tid);
+  t.ts = ZigZagDecode(zz);
+  SP_ASSIGN_OR_RETURN(uint64_t arity,
+                      GetCount(data, offset, /*min_item_bytes=*/1, "value"));
+  t.values.reserve(arity);
+  for (uint64_t i = 0; i < arity; ++i) {
+    SP_ASSIGN_OR_RETURN(Value v, DecodeValue(data, offset));
+    t.values.push_back(std::move(v));
+  }
+  return t;
+}
+
+void EncodeElement(const StreamElement& e, std::string* out) {
+  if (e.is_tuple()) {
+    out->push_back(static_cast<char>(kElemTuple));
+    EncodeTuple(e.tuple(), out);
+  } else if (e.is_sp()) {
+    out->push_back(static_cast<char>(kElemSp));
+    EncodeSp(e.sp(), out);
+  } else {
+    out->push_back(static_cast<char>(kElemControl));
+    out->push_back(static_cast<char>(e.control().kind));
+    PutVarint(ZigZagEncode(e.control().ts), out);
+  }
+}
+
+Result<StreamElement> DecodeElement(std::string_view data, size_t* offset) {
+  SP_ASSIGN_OR_RETURN(uint8_t kind, GetByte(data, offset, "element kind"));
+  switch (kind) {
+    case kElemTuple: {
+      SP_ASSIGN_OR_RETURN(Tuple t, DecodeTuple(data, offset));
+      return StreamElement(std::move(t));
+    }
+    case kElemSp: {
+      SP_ASSIGN_OR_RETURN(SecurityPunctuation sp, DecodeSp(data, offset));
+      return StreamElement(std::move(sp));
+    }
+    case kElemControl: {
+      SP_ASSIGN_OR_RETURN(uint8_t ck, GetByte(data, offset, "control kind"));
+      if (ck > static_cast<uint8_t>(ControlKind::kEndOfStream)) {
+        return Status::ParseError("wire: unknown control kind " +
+                                  std::to_string(ck));
+      }
+      SP_ASSIGN_OR_RETURN(uint64_t zz, GetVarint(data, offset));
+      return StreamElement(
+          Control{static_cast<ControlKind>(ck), ZigZagDecode(zz)});
+    }
+    default:
+      return Status::ParseError("wire: unknown element kind " +
+                                std::to_string(kind));
+  }
+}
+
+void EncodeSchema(const Schema& schema, std::string* out) {
+  PutLengthPrefixed(schema.stream_name(), out);
+  PutVarint(schema.num_fields(), out);
+  for (const Field& f : schema.fields()) {
+    PutLengthPrefixed(f.name, out);
+    out->push_back(static_cast<char>(f.type));
+  }
+}
+
+Result<SchemaPtr> DecodeSchema(std::string_view data, size_t* offset) {
+  SP_ASSIGN_OR_RETURN(std::string name, GetLengthPrefixed(data, offset));
+  SP_ASSIGN_OR_RETURN(uint64_t nfields,
+                      GetCount(data, offset, /*min_item_bytes=*/2, "field"));
+  std::vector<Field> fields;
+  fields.reserve(nfields);
+  for (uint64_t i = 0; i < nfields; ++i) {
+    SP_ASSIGN_OR_RETURN(std::string fname, GetLengthPrefixed(data, offset));
+    SP_ASSIGN_OR_RETURN(uint8_t type, GetByte(data, offset, "field type"));
+    if (type > static_cast<uint8_t>(ValueType::kBool)) {
+      return Status::ParseError("wire: unknown field type " +
+                                std::to_string(type));
+    }
+    fields.push_back(Field{std::move(fname), static_cast<ValueType>(type)});
+  }
+  return MakeSchema(std::move(name), std::move(fields));
+}
+
+// ---- frame assembly --------------------------------------------------------
+
+void AppendFrame(FrameType type, std::string_view payload, std::string* out) {
+  PutVarint(payload.size() + 1, out);
+  out->push_back(static_cast<char>(type));
+  out->append(payload);
+}
+
+Result<Frame> DecodeFrame(std::string_view data, size_t* offset) {
+  SP_ASSIGN_OR_RETURN(uint64_t len, GetVarint(data, offset));
+  if (len == 0) return Status::ParseError("wire: empty frame");
+  if (len > kMaxFrameBytes) {
+    return Status::ParseError("wire: frame of " + std::to_string(len) +
+                              " bytes exceeds limit");
+  }
+  if (*offset + len > data.size()) return Truncated("frame body");
+  Frame f;
+  f.type = static_cast<FrameType>(data[*offset]);
+  f.payload.assign(data.substr(*offset + 1, len - 1));
+  *offset += len;
+  return f;
+}
+
+// ---- typed payloads --------------------------------------------------------
+
+void EncodeHello(const HelloPayload& hello, std::string* out) {
+  PutVarint(hello.version, out);
+  PutLengthPrefixed(hello.client_name, out);
+}
+
+Result<HelloPayload> DecodeHello(std::string_view payload) {
+  size_t off = 0;
+  HelloPayload h;
+  SP_ASSIGN_OR_RETURN(uint64_t version, GetVarint(payload, &off));
+  h.version = static_cast<uint32_t>(version);
+  SP_ASSIGN_OR_RETURN(h.client_name, GetLengthPrefixed(payload, &off));
+  return h;
+}
+
+void EncodeHelloAck(const HelloAckPayload& ack, std::string* out) {
+  PutVarint(ack.version, out);
+  PutVarint(ack.initial_credits, out);
+  PutVarint(ack.streams.size(), out);
+  for (const auto& [sid, schema] : ack.streams) {
+    PutVarint(sid, out);
+    EncodeSchema(*schema, out);
+  }
+}
+
+Result<HelloAckPayload> DecodeHelloAck(std::string_view payload) {
+  size_t off = 0;
+  HelloAckPayload ack;
+  SP_ASSIGN_OR_RETURN(uint64_t version, GetVarint(payload, &off));
+  ack.version = static_cast<uint32_t>(version);
+  SP_ASSIGN_OR_RETURN(ack.initial_credits, GetVarint(payload, &off));
+  SP_ASSIGN_OR_RETURN(uint64_t nstreams,
+                      GetCount(payload, &off, /*min_item_bytes=*/3,
+                               "stream"));
+  ack.streams.reserve(nstreams);
+  for (uint64_t i = 0; i < nstreams; ++i) {
+    SP_ASSIGN_OR_RETURN(uint64_t sid, GetVarint(payload, &off));
+    SP_ASSIGN_OR_RETURN(SchemaPtr schema, DecodeSchema(payload, &off));
+    ack.streams.emplace_back(static_cast<StreamId>(sid), std::move(schema));
+  }
+  return ack;
+}
+
+void EncodeRegisterSubject(const RegisterSubjectPayload& p, std::string* out) {
+  PutLengthPrefixed(p.name, out);
+  PutVarint(p.roles.size(), out);
+  for (const std::string& r : p.roles) PutLengthPrefixed(r, out);
+}
+
+Result<RegisterSubjectPayload> DecodeRegisterSubject(
+    std::string_view payload) {
+  size_t off = 0;
+  RegisterSubjectPayload p;
+  SP_ASSIGN_OR_RETURN(p.name, GetLengthPrefixed(payload, &off));
+  SP_ASSIGN_OR_RETURN(uint64_t nroles,
+                      GetCount(payload, &off, /*min_item_bytes=*/1, "role"));
+  p.roles.reserve(nroles);
+  for (uint64_t i = 0; i < nroles; ++i) {
+    SP_ASSIGN_OR_RETURN(std::string r, GetLengthPrefixed(payload, &off));
+    p.roles.push_back(std::move(r));
+  }
+  return p;
+}
+
+void EncodeRegisterQuery(const RegisterQueryPayload& p, std::string* out) {
+  PutLengthPrefixed(p.subject, out);
+  PutLengthPrefixed(p.sql, out);
+}
+
+Result<RegisterQueryPayload> DecodeRegisterQuery(std::string_view payload) {
+  size_t off = 0;
+  RegisterQueryPayload p;
+  SP_ASSIGN_OR_RETURN(p.subject, GetLengthPrefixed(payload, &off));
+  SP_ASSIGN_OR_RETURN(p.sql, GetLengthPrefixed(payload, &off));
+  return p;
+}
+
+void EncodePush(const PushPayload& p, std::string* out) {
+  PutVarint(p.stream, out);
+  PutVarint(p.elements.size(), out);
+  for (const StreamElement& e : p.elements) EncodeElement(e, out);
+}
+
+Result<PushPayload> DecodePush(std::string_view payload) {
+  size_t off = 0;
+  PushPayload p;
+  SP_ASSIGN_OR_RETURN(uint64_t sid, GetVarint(payload, &off));
+  p.stream = static_cast<StreamId>(sid);
+  SP_ASSIGN_OR_RETURN(uint64_t count,
+                      GetCount(payload, &off, /*min_item_bytes=*/1,
+                               "element"));
+  p.elements.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    SP_ASSIGN_OR_RETURN(StreamElement e, DecodeElement(payload, &off));
+    p.elements.push_back(std::move(e));
+  }
+  return p;
+}
+
+void EncodeResult(const ResultPayload& p, std::string* out) {
+  PutVarint(p.query, out);
+  PutVarint(p.tuples.size(), out);
+  for (const Tuple& t : p.tuples) EncodeTuple(t, out);
+}
+
+Result<ResultPayload> DecodeResult(std::string_view payload) {
+  size_t off = 0;
+  ResultPayload p;
+  SP_ASSIGN_OR_RETURN(p.query, GetVarint(payload, &off));
+  SP_ASSIGN_OR_RETURN(uint64_t count,
+                      GetCount(payload, &off, /*min_item_bytes=*/4, "tuple"));
+  p.tuples.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    SP_ASSIGN_OR_RETURN(Tuple t, DecodeTuple(payload, &off));
+    p.tuples.push_back(std::move(t));
+  }
+  return p;
+}
+
+void EncodeError(const Status& status, std::string* out) {
+  PutVarint(static_cast<uint64_t>(status.code()), out);
+  PutLengthPrefixed(status.message(), out);
+}
+
+Result<ErrorPayload> DecodeError(std::string_view payload) {
+  size_t off = 0;
+  ErrorPayload e;
+  SP_ASSIGN_OR_RETURN(uint64_t code, GetVarint(payload, &off));
+  if (code > static_cast<uint64_t>(StatusCode::kInternal)) {
+    code = static_cast<uint64_t>(StatusCode::kInternal);
+  }
+  e.code = static_cast<StatusCode>(code);
+  SP_ASSIGN_OR_RETURN(e.message, GetLengthPrefixed(payload, &off));
+  return e;
+}
+
+Status ErrorToStatus(const ErrorPayload& e) {
+  if (e.code == StatusCode::kOk) {
+    return Status(StatusCode::kInternal, "remote error with OK code");
+  }
+  return Status(e.code, e.message);
+}
+
+}  // namespace spstream

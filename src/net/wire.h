@@ -1,0 +1,154 @@
+// Binary wire protocol of the stream server (docs/NETWORK.md).
+//
+// Generalizes the sp codec (security/sp_codec.h) from punctuations to whole
+// StreamElements and to the control plane of a networked DSMS: every message
+// is one length-prefixed *frame* — varint byte length, one frame-type byte,
+// then a type-specific payload built from the same varint/zigzag/
+// length-prefixed-string primitives the sp codec exports. Tuples are encoded
+// against a negotiated schema (HELLO/HELLO_ACK carry the catalog), sps reuse
+// EncodeSp/DecodeSp verbatim, so an sp costs the same bytes on the wire as
+// in bench_wire_overhead.
+//
+// Everything here is pure buffer <-> struct transcoding with no I/O; the
+// socket layer (net/socket.h) moves frames, the server/client interpret
+// them. Decoders never trust the peer: every length is bounds-checked
+// against the remaining buffer and malformed input yields a Status, never a
+// crash or an oversized allocation.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "stream/schema.h"
+#include "stream/stream_element.h"
+
+namespace spstream {
+
+/// \brief Protocol revision negotiated in HELLO; bumped on breaking change.
+constexpr uint32_t kWireProtocolVersion = 1;
+
+/// \brief Hard ceiling on one frame's payload; larger lengths are treated
+/// as a protocol violation before any allocation happens.
+constexpr size_t kMaxFrameBytes = 32u << 20;
+
+/// \brief Frame type tag — the first payload byte of every frame.
+enum class FrameType : uint8_t {
+  // session
+  kHello = 0,        ///< c->s: version, client name
+  kHelloAck = 1,     ///< s->c: version, initial credits, stream catalog
+  kBye = 2,          ///< c->s: graceful close
+  // catalog / control plane (request -> kOk or kError)
+  kRegisterRole = 3,     ///< c->s: role name
+  kRegisterStream = 4,   ///< c->s: schema
+  kRegisterSubject = 5,  ///< c->s: subject name + role names
+  kRegisterQuery = 6,    ///< c->s: subject + CQL text
+  kSubscribe = 7,        ///< c->s: query id
+  kInsertSp = 8,         ///< c->s: INSERT SP statement text
+  // data plane
+  kPush = 9,    ///< c->s: stream id + elements; no reply, costs credits
+  kRun = 10,    ///< c->s: force an epoch; kOk after it completes
+  kResult = 11, ///< s->c: query id + result tuples
+  kCredit = 12, ///< s->c: replenished element credits
+  // replies
+  kOk = 13,     ///< s->c: generic success, varint value (id / epoch)
+  kError = 14,  ///< s->c: status code + message
+};
+
+const char* FrameTypeName(FrameType type);
+
+/// \brief One decoded frame.
+struct Frame {
+  FrameType type = FrameType::kError;
+  std::string payload;
+};
+
+// ---- primitive codecs ------------------------------------------------------
+
+/// \brief Append one Value: 1 type-tag byte + type-specific body (zigzag
+/// varint int64, fixed little-endian double, length-prefixed string).
+void EncodeValue(const Value& v, std::string* out);
+Result<Value> DecodeValue(std::string_view data, size_t* offset);
+
+/// \brief Tuple: varint sid/tid, zigzag ts, varint arity, values.
+void EncodeTuple(const Tuple& t, std::string* out);
+Result<Tuple> DecodeTuple(std::string_view data, size_t* offset);
+
+/// \brief StreamElement: 1 kind byte (0 tuple, 1 sp, 2 control) + body;
+/// sps are framed with the sp codec (EncodeSp/DecodeSp).
+void EncodeElement(const StreamElement& e, std::string* out);
+Result<StreamElement> DecodeElement(std::string_view data, size_t* offset);
+
+/// \brief Schema: stream name, varint field count, per field name + type.
+void EncodeSchema(const Schema& schema, std::string* out);
+Result<SchemaPtr> DecodeSchema(std::string_view data, size_t* offset);
+
+// ---- frame assembly --------------------------------------------------------
+
+/// \brief Append a whole frame: varint(1 + payload size), type byte, payload.
+void AppendFrame(FrameType type, std::string_view payload, std::string* out);
+
+/// \brief Decode one frame from a buffer (tests / in-memory use; sockets
+/// read incrementally via net/socket.h). Advances `*offset` past the frame.
+Result<Frame> DecodeFrame(std::string_view data, size_t* offset);
+
+// ---- typed payload builders / parsers --------------------------------------
+// Only the payloads with structure beyond "one string" or "one varint" get
+// dedicated helpers; trivial ones are inlined at the call sites.
+
+struct HelloPayload {
+  uint32_t version = kWireProtocolVersion;
+  std::string client_name;
+};
+void EncodeHello(const HelloPayload& hello, std::string* out);
+Result<HelloPayload> DecodeHello(std::string_view payload);
+
+struct HelloAckPayload {
+  uint32_t version = kWireProtocolVersion;
+  uint64_t initial_credits = 0;
+  /// The server's stream catalog: id + schema per registered stream.
+  std::vector<std::pair<StreamId, SchemaPtr>> streams;
+};
+void EncodeHelloAck(const HelloAckPayload& ack, std::string* out);
+Result<HelloAckPayload> DecodeHelloAck(std::string_view payload);
+
+struct RegisterSubjectPayload {
+  std::string name;
+  std::vector<std::string> roles;
+};
+void EncodeRegisterSubject(const RegisterSubjectPayload& p, std::string* out);
+Result<RegisterSubjectPayload> DecodeRegisterSubject(std::string_view payload);
+
+struct RegisterQueryPayload {
+  std::string subject;
+  std::string sql;
+};
+void EncodeRegisterQuery(const RegisterQueryPayload& p, std::string* out);
+Result<RegisterQueryPayload> DecodeRegisterQuery(std::string_view payload);
+
+struct PushPayload {
+  StreamId stream = 0;
+  std::vector<StreamElement> elements;
+};
+void EncodePush(const PushPayload& p, std::string* out);
+Result<PushPayload> DecodePush(std::string_view payload);
+
+struct ResultPayload {
+  uint64_t query = 0;
+  std::vector<Tuple> tuples;
+};
+void EncodeResult(const ResultPayload& p, std::string* out);
+Result<ResultPayload> DecodeResult(std::string_view payload);
+
+struct ErrorPayload {
+  StatusCode code = StatusCode::kInternal;
+  std::string message;
+};
+void EncodeError(const Status& status, std::string* out);
+Result<ErrorPayload> DecodeError(std::string_view payload);
+/// \brief Rebuild the Status an ErrorPayload carries.
+Status ErrorToStatus(const ErrorPayload& e);
+
+}  // namespace spstream

@@ -14,22 +14,22 @@ constexpr uint32_t kSrpBitmap = 1u << 5;  // roles as bitmap, not pattern text
 constexpr uint32_t kModelShift = 6;       // 2 bits of model tag
 constexpr uint32_t kIncremental = 1u << 8;  // §IX incremental policy change
 
-void PutString(std::string_view s, std::string* out) {
+}  // namespace
+
+void PutLengthPrefixed(std::string_view s, std::string* out) {
   PutVarint(s.size(), out);
   out->append(s);
 }
 
-Result<std::string> GetString(std::string_view data, size_t* offset) {
+Result<std::string> GetLengthPrefixed(std::string_view data, size_t* offset) {
   SP_ASSIGN_OR_RETURN(uint64_t len, GetVarint(data, offset));
-  if (*offset + len > data.size()) {
+  if (len > data.size() || *offset + len > data.size()) {
     return Status::ParseError("sp codec: truncated string field");
   }
   std::string s(data.substr(*offset, len));
   *offset += len;
   return s;
 }
-
-}  // namespace
 
 uint64_t ZigZagEncode(int64_t v) {
   return (static_cast<uint64_t>(v) << 1) ^ static_cast<uint64_t>(v >> 63);
@@ -76,9 +76,9 @@ void EncodeSp(const SecurityPunctuation& sp, std::string* out,
   flags |= static_cast<uint32_t>(sp.model()) << kModelShift;
   PutVarint(flags, out);
   PutVarint(ZigZagEncode(sp.ts()), out);
-  if (flags & kHasStreamPattern) PutString(sp.stream_pattern().text(), out);
-  if (flags & kHasTuplePattern) PutString(sp.tuple_pattern().text(), out);
-  if (flags & kHasAttrPattern) PutString(sp.attr_pattern().text(), out);
+  if (flags & kHasStreamPattern) PutLengthPrefixed(sp.stream_pattern().text(), out);
+  if (flags & kHasTuplePattern) PutLengthPrefixed(sp.tuple_pattern().text(), out);
+  if (flags & kHasAttrPattern) PutLengthPrefixed(sp.attr_pattern().text(), out);
   if (bitmap) {
     const std::vector<RoleId> ids = sp.roles().ToIds();
     // Delta-encoded ascending role ids compress dense role lists well.
@@ -89,7 +89,7 @@ void EncodeSp(const SecurityPunctuation& sp, std::string* out,
       prev = id;
     }
   } else {
-    PutString(sp.role_pattern().text(), out);
+    PutLengthPrefixed(sp.role_pattern().text(), out);
   }
 }
 
@@ -110,15 +110,15 @@ Result<SecurityPunctuation> DecodeSp(std::string_view data, size_t* offset) {
 
   Pattern es = Pattern::Any(), et = Pattern::Any(), ea = Pattern::Any();
   if (flags & kHasStreamPattern) {
-    SP_ASSIGN_OR_RETURN(std::string s, GetString(data, offset));
+    SP_ASSIGN_OR_RETURN(std::string s, GetLengthPrefixed(data, offset));
     SP_ASSIGN_OR_RETURN(es, Pattern::Compile(s));
   }
   if (flags & kHasTuplePattern) {
-    SP_ASSIGN_OR_RETURN(std::string s, GetString(data, offset));
+    SP_ASSIGN_OR_RETURN(std::string s, GetLengthPrefixed(data, offset));
     SP_ASSIGN_OR_RETURN(et, Pattern::Compile(s));
   }
   if (flags & kHasAttrPattern) {
-    SP_ASSIGN_OR_RETURN(std::string s, GetString(data, offset));
+    SP_ASSIGN_OR_RETURN(std::string s, GetLengthPrefixed(data, offset));
     SP_ASSIGN_OR_RETURN(ea, Pattern::Compile(s));
   }
 
@@ -131,11 +131,18 @@ Result<SecurityPunctuation> DecodeSp(std::string_view data, size_t* offset) {
   if (flags & kSrpBitmap) {
     SP_ASSIGN_OR_RETURN(uint64_t count, GetVarint(data, offset));
     RoleSet roles;
-    RoleId prev = 0;
+    uint64_t prev = 0;
     for (uint64_t i = 0; i < count; ++i) {
       SP_ASSIGN_OR_RETURN(uint64_t delta, GetVarint(data, offset));
-      prev += static_cast<RoleId>(delta);
-      roles.Insert(prev);
+      prev += delta;
+      // The bitmap allocates O(max id) words; an adversarial delta must
+      // fail cleanly rather than drive a huge allocation.
+      if (prev > kMaxWireRoleId) {
+        return Status::ParseError("sp codec: role id " +
+                                  std::to_string(prev) +
+                                  " exceeds the wire limit");
+      }
+      roles.Insert(static_cast<RoleId>(prev));
     }
     SecurityPunctuation sp(std::move(es), std::move(et), std::move(ea),
                            Pattern::Any(), sign, immutable, ts, model);
@@ -144,7 +151,7 @@ Result<SecurityPunctuation> DecodeSp(std::string_view data, size_t* offset) {
     return sp;
   }
 
-  SP_ASSIGN_OR_RETURN(std::string role_text, GetString(data, offset));
+  SP_ASSIGN_OR_RETURN(std::string role_text, GetLengthPrefixed(data, offset));
   SP_ASSIGN_OR_RETURN(Pattern er, Pattern::Compile(role_text));
   SecurityPunctuation sp(std::move(es), std::move(et), std::move(ea),
                          std::move(er), sign, immutable, ts, model);

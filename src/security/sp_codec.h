@@ -16,6 +16,11 @@
 
 namespace spstream {
 
+/// \brief Largest role id DecodeSp accepts from an SRP bitmap. Role ids are
+/// dense catalog indexes, so anything near this bound is corruption; the
+/// cap keeps a hostile frame from forcing an enormous bitmap allocation.
+constexpr uint64_t kMaxWireRoleId = 1u << 20;
+
 /// \brief Serialize `sp` into `out` (appended). If the sp has resolved roles
 /// and `prefer_bitmap` is set, the SRP is encoded as a role bitmap.
 void EncodeSp(const SecurityPunctuation& sp, std::string* out,
@@ -29,10 +34,16 @@ size_t EncodedSpSize(const SecurityPunctuation& sp,
 /// `*offset` past the consumed bytes.
 Result<SecurityPunctuation> DecodeSp(std::string_view data, size_t* offset);
 
-// Varint helpers, exposed for tests.
+// Varint helpers, exposed for tests and the net wire protocol (net/wire.h),
+// which builds its tuple/element/frame encodings from these primitives.
 void PutVarint(uint64_t v, std::string* out);
 Result<uint64_t> GetVarint(std::string_view data, size_t* offset);
 uint64_t ZigZagEncode(int64_t v);
 int64_t ZigZagDecode(uint64_t v);
+
+/// \brief Length-prefixed string: varint byte count + raw bytes. Decoding
+/// bounds-checks the count against the remaining buffer.
+void PutLengthPrefixed(std::string_view s, std::string* out);
+Result<std::string> GetLengthPrefixed(std::string_view data, size_t* offset);
 
 }  // namespace spstream

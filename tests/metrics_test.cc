@@ -350,7 +350,7 @@ TEST_F(EngineObservabilityTest, SecurityDropsMatchDenialAuditEvents) {
   EXPECT_EQ(engine_->Results(*gp_q)->size(), 3u);
   EXPECT_TRUE(engine_->Results(*nd_q)->empty());
 
-  auto snap = engine_->MetricsSnapshot();
+  auto snap = engine_->SnapshotMetrics();
   EXPECT_EQ(snap.engine_totals.tuples_dropped_security,
             engine_->audit()->CountOf(AuditEventKind::kDenial));
   EXPECT_EQ(engine_->audit()->CountOf(AuditEventKind::kDenial), 3);
@@ -401,7 +401,7 @@ TEST_F(EngineObservabilityTest, LatenciesAndEpochsAreRecorded) {
       engine_->Push("HeartRate", {StreamElement(Beat(121, 90, 2))}).ok());
   ASSERT_TRUE(engine_->Run().ok());
 
-  auto snap = engine_->MetricsSnapshot();
+  auto snap = engine_->SnapshotMetrics();
   EXPECT_EQ(snap.counters.at("engine.run_epochs"), 2);
   ASSERT_EQ(snap.histograms.count("engine.run"), 1u);
   EXPECT_EQ(snap.histograms.at("engine.run").count, 2);
@@ -426,7 +426,7 @@ TEST_F(EngineObservabilityTest, MetricsSurviveDeregistration) {
   ASSERT_TRUE(engine_->DeregisterQuery(*q).ok());
   // The pipeline is gone, but its lifetime totals were retired into the
   // registry, not lost.
-  auto snap = engine_->MetricsSnapshot();
+  auto snap = engine_->SnapshotMetrics();
   const QueryMetricsSnapshot* qs = snap.FindQuery("q" + std::to_string(*q));
   ASSERT_NE(qs, nullptr);
   EXPECT_GT(qs->totals.tuples_in, 0);
@@ -476,7 +476,7 @@ TEST_F(EngineObservabilityTest, AuditCanBeDisabled) {
       engine.Push("HeartRate", {StreamElement(Beat(120, 72, 1))}).ok());
   ASSERT_TRUE(engine.Run().ok());
   // The drop still counts; no audit events are rendered.
-  EXPECT_EQ(engine.MetricsSnapshot().engine_totals.tuples_dropped_security,
+  EXPECT_EQ(engine.SnapshotMetrics().engine_totals.tuples_dropped_security,
             1);
   EXPECT_EQ(engine.audit()->total(), 0);
 }

@@ -1,0 +1,321 @@
+// Loopback integration tests for the stream server (net/server.h) and
+// client (net/client.h): concurrent clients with different role sets each
+// receive exactly their authorized results and never an unauthorized tuple,
+// credits bound a producer's in-flight elements, and a protocol violator is
+// evicted with an audit trail.
+#include "net/server.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "net/client.h"
+#include "net/socket.h"
+
+namespace spstream {
+namespace {
+
+SchemaPtr VitalsSchema() {
+  return MakeSchema("Vitals", {Field{"patient_id", ValueType::kInt64},
+                               Field{"bpm", ValueType::kInt64}});
+}
+
+Tuple Vital(TupleId tid, Timestamp ts, int64_t patient, int64_t bpm) {
+  return Tuple(0, tid, {Value(patient), Value(bpm)}, ts);
+}
+
+class NetServerTest : public ::testing::Test {
+ protected:
+  void StartServer(StreamServerOptions options = {}) {
+    server_ = std::make_unique<StreamServer>(&service_, options);
+    ASSERT_TRUE(server_->Start(0).ok());
+  }
+
+  void TearDown() override {
+    if (server_) server_->Stop();
+  }
+
+  StreamClient Connect(const std::string& name) {
+    StreamClient client;
+    Status st = client.Connect("127.0.0.1", server_->port(), name);
+    EXPECT_TRUE(st.ok()) << st.ToString();
+    return client;
+  }
+
+  EngineService service_;
+  std::unique_ptr<StreamServer> server_;
+};
+
+TEST_F(NetServerTest, HandshakeNegotiatesCatalogAndCredits) {
+  service_.UnsafeEngine()->RegisterRole("GP");
+  ASSERT_TRUE(service_.UnsafeEngine()->RegisterStream(VitalsSchema()).ok());
+  StartServer();
+
+  StreamClient client = Connect("hs");
+  ASSERT_TRUE(client.connected());
+  EXPECT_EQ(client.credits(), 256u);
+  Result<SchemaPtr> schema = client.SchemaOf("Vitals");
+  ASSERT_TRUE(schema.ok());
+  EXPECT_EQ((*schema)->num_fields(), 2u);
+  EXPECT_EQ(*client.StreamIdOf("Vitals"), 0u);
+}
+
+// The acceptance-criteria flow: one remote session registers a subject,
+// installs an INSERT SP, pushes tuples, and streams back exactly the
+// authorized rows.
+TEST_F(NetServerTest, RemoteEndToEndAuthorizedResultsOnly) {
+  StartServer();
+  StreamClient client = Connect("e2e");
+
+  ASSERT_TRUE(client.RegisterRole("GP").ok());
+  ASSERT_TRUE(client.RegisterStream(VitalsSchema()).ok());
+  ASSERT_TRUE(client.RegisterSubject("doctor", {"GP"}).ok());
+  Result<uint64_t> qid =
+      client.RegisterQuery("doctor", "SELECT patient_id, bpm FROM Vitals");
+  ASSERT_TRUE(qid.ok()) << qid.status().ToString();
+  ASSERT_TRUE(client.Subscribe(*qid).ok());
+  ASSERT_TRUE(client
+                  .InsertSp("INSERT SP INTO STREAM Vitals LET DDP = "
+                            "(Vitals, [120-133], *), SRP = (RBAC, GP), "
+                            "TS = 1")
+                  .ok());
+  std::vector<StreamElement> batch;
+  batch.emplace_back(Vital(120, 1, 120, 72));
+  batch.emplace_back(Vital(121, 2, 121, 95));
+  batch.emplace_back(Vital(200, 3, 200, 99));  // not covered by the sp
+  ASSERT_TRUE(client.Push("Vitals", std::move(batch)).ok());
+  ASSERT_TRUE(client.Run().ok());
+
+  std::vector<Tuple> rows = client.TakeResults(*qid);
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0].tid, 120);
+  EXPECT_EQ(rows[1].tid, 121);
+}
+
+// N concurrent clients with different role sets: each subscriber receives
+// exactly the rows its roles authorize, zero unauthorized.
+TEST_F(NetServerTest, ConcurrentClientsSeeOnlyAuthorizedRows) {
+  StartServer();
+
+  StreamClient admin = Connect("admin");
+  ASSERT_TRUE(admin.RegisterRole("GP").ok());
+  ASSERT_TRUE(admin.RegisterRole("Nurse").ok());
+  ASSERT_TRUE(admin.RegisterRole("Aide").ok());
+  ASSERT_TRUE(admin.RegisterStream(VitalsSchema()).ok());
+  ASSERT_TRUE(admin.RegisterSubject("dr", {"GP"}).ok());
+  ASSERT_TRUE(admin.RegisterSubject("rn", {"Nurse"}).ok());
+  ASSERT_TRUE(admin.RegisterSubject("aide", {"Aide"}).ok());
+
+  struct Subscriber {
+    const char* subject;
+    StreamClient client;
+    uint64_t qid = 0;
+    size_t expected = 0;
+  };
+  Subscriber subs[3] = {{"dr", {}, 0, 0}, {"rn", {}, 0, 0},
+                        {"aide", {}, 0, 0}};
+  for (Subscriber& s : subs) {
+    s.client = Connect(s.subject);
+    Result<uint64_t> qid =
+        s.client.RegisterQuery(s.subject, "SELECT patient_id FROM Vitals");
+    ASSERT_TRUE(qid.ok()) << qid.status().ToString();
+    s.qid = *qid;
+    ASSERT_TRUE(s.client.Subscribe(s.qid).ok());
+  }
+
+  // Policies stream in like data: install the sps once the queries exist
+  // (an sp admitted earlier would have flowed through an epoch with no
+  // shields to deliver to). DDPs name tuple-id ranges: patients 100-179
+  // authorize their GP, 100-139 additionally authorize nurses.
+  ASSERT_TRUE(admin
+                  .InsertSp("INSERT SP INTO STREAM Vitals LET DDP = "
+                            "(Vitals, [100-179], *), SRP = (RBAC, GP), "
+                            "TS = 1")
+                  .ok());
+  ASSERT_TRUE(admin
+                  .InsertSp("INSERT SP INTO STREAM Vitals LET DDP = "
+                            "(Vitals, [100-139], *), SRP = (RBAC, Nurse), "
+                            "TS = 1")
+                  .ok());
+
+  // A separate producer connection pushes tuples (tid == patient id,
+  // 100..219) concurrently with the subscribers' registrations having
+  // completed.
+  StreamClient producer = Connect("producer");
+  constexpr int kTuples = 120;
+  std::thread push_thread([&] {
+    for (int i = 0; i < kTuples; ++i) {
+      const int64_t patient = 100 + i;
+      std::vector<StreamElement> one;
+      one.emplace_back(Vital(patient, 10 + i, patient, 60 + i % 40));
+      ASSERT_TRUE(producer.Push("Vitals", std::move(one)).ok());
+    }
+    ASSERT_TRUE(producer.Run().ok());
+  });
+  push_thread.join();
+
+  subs[0].expected = 80;  // patients 100-179
+  subs[1].expected = 40;  // patients 100-139
+  subs[2].expected = 0;   // no sp ever names the Aide role
+
+  for (Subscriber& s : subs) {
+    if (s.expected > 0) {
+      Status st = s.client.PollResults(s.qid, s.expected, 5000);
+      EXPECT_TRUE(st.ok()) << s.subject << ": " << st.ToString();
+    }
+    std::vector<Tuple> rows = s.client.TakeResults(s.qid);
+    EXPECT_EQ(rows.size(), s.expected) << s.subject;
+    for (const Tuple& t : rows) {
+      if (std::string(s.subject) == "rn") {
+        EXPECT_LE(t.tid, 139) << "unauthorized row leaked to the nurse";
+      } else {
+        EXPECT_LE(t.tid, 179) << "unauthorized row leaked to the doctor";
+      }
+    }
+  }
+}
+
+// The credit window bounds a producer's un-acked elements: pushing far more
+// than the window forces Push() to block for CREDIT frames, and everything
+// still arrives.
+TEST_F(NetServerTest, CreditBackpressureBoundsAndReplenishes) {
+  StreamServerOptions options;
+  options.initial_credits = 8;
+  StartServer(options);
+
+  StreamClient client = Connect("pressure");
+  ASSERT_TRUE(client.RegisterRole("GP").ok());
+  ASSERT_TRUE(client.RegisterStream(VitalsSchema()).ok());
+  ASSERT_TRUE(client.RegisterSubject("dr", {"GP"}).ok());
+  Result<uint64_t> qid =
+      client.RegisterQuery("dr", "SELECT patient_id FROM Vitals");
+  ASSERT_TRUE(qid.ok());
+  ASSERT_TRUE(client.Subscribe(*qid).ok());
+  ASSERT_TRUE(client
+                  .InsertSp("INSERT SP INTO STREAM Vitals LET DDP = "
+                            "(Vitals, *, *), SRP = (RBAC, GP), TS = 1")
+                  .ok());
+
+  EXPECT_EQ(client.credits(), 8u);
+  // A batch larger than the whole window is a usage error, not a deadlock.
+  std::vector<StreamElement> big;
+  for (int i = 0; i < 9; ++i) big.emplace_back(Vital(i, 2, 100, 70));
+  EXPECT_FALSE(client.Push("Vitals", std::move(big)).ok());
+
+  constexpr int kTuples = 64;
+  for (int i = 0; i < kTuples; ++i) {
+    std::vector<StreamElement> one;
+    one.emplace_back(Vital(i, 2 + i, 100 + i, 70));
+    ASSERT_TRUE(client.Push("Vitals", std::move(one)).ok());
+    EXPECT_LE(8u - client.credits(), 8u);  // never overdrawn
+  }
+  ASSERT_TRUE(client.Run().ok());
+  ASSERT_TRUE(client.PollResults(*qid, kTuples, 5000).ok());
+  EXPECT_EQ(client.TakeResults(*qid).size(),
+            static_cast<size_t>(kTuples));
+  // 64 single-element pushes through an 8-credit window must have stalled.
+  EXPECT_GT(client.credit_stalls(), 0);
+}
+
+// A client that pushes beyond its granted credits is a protocol violator:
+// the server evicts it and records an audit event.
+TEST_F(NetServerTest, CreditOverdraftEvictsWithAudit) {
+  StreamServerOptions options;
+  options.initial_credits = 4;
+  StartServer(options);
+
+  StreamClient client = Connect("violator");
+  ASSERT_TRUE(client.RegisterStream(VitalsSchema()).ok());
+
+  // Hand-roll an overdraft PUSH (the library client refuses to overdraw).
+  PushPayload p;
+  p.stream = *client.StreamIdOf("Vitals");
+  for (int i = 0; i < 6; ++i) p.elements.emplace_back(Vital(i, 1, 100, 70));
+  std::string payload, frame;
+  EncodePush(p, &payload);
+  AppendFrame(FrameType::kPush, payload, &frame);
+
+  Result<int> fd = TcpConnect("127.0.0.1", server_->port());
+  ASSERT_TRUE(fd.ok());
+  HelloPayload hello;
+  hello.client_name = "raw-violator";
+  std::string hp;
+  EncodeHello(hello, &hp);
+  ASSERT_TRUE(WriteFrame(*fd, FrameType::kHello, hp).ok());
+  Result<Frame> ack = ReadFrame(*fd);
+  ASSERT_TRUE(ack.ok());
+  ASSERT_EQ(ack->type, FrameType::kHelloAck);
+  ASSERT_TRUE(WriteFrame(*fd, FrameType::kPush, payload).ok());
+
+  // The server replies with the violation and closes the connection.
+  bool saw_error = false, closed = false;
+  for (int i = 0; i < 4 && !closed; ++i) {
+    Result<Frame> f = ReadFrame(*fd);
+    if (!f.ok()) {
+      closed = true;
+    } else if (f->type == FrameType::kError) {
+      saw_error = true;
+    }
+  }
+  EXPECT_TRUE(saw_error);
+  EXPECT_TRUE(closed);
+  CloseSocket(*fd);
+
+  // Eviction is observable: counter, metric, and an audit event.
+  for (int i = 0; i < 100 && server_->evictions() == 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_EQ(server_->evictions(), 1);
+  EXPECT_GE(service_.audit()->CountOf(AuditEventKind::kNetEviction), 1);
+}
+
+TEST_F(NetServerTest, EngineErrorsComeBackAsStatuses) {
+  StartServer();
+  StreamClient client = Connect("errs");
+  // Unknown subject: the engine's error crosses the wire as a Status.
+  Result<uint64_t> qid =
+      client.RegisterQuery("ghost", "SELECT patient_id FROM Vitals");
+  EXPECT_FALSE(qid.ok());
+  // The connection survives an application-level error.
+  EXPECT_TRUE(client.RegisterRole("GP").ok());
+  // Unknown stream is rejected client-side (not in the catalog).
+  std::vector<StreamElement> one;
+  one.emplace_back(Vital(0, 1, 100, 70));
+  EXPECT_FALSE(client.Push("NoSuchStream", std::move(one)).ok());
+}
+
+TEST_F(NetServerTest, SecondSubscriberIsRejected) {
+  StartServer();
+  StreamClient a = Connect("a");
+  ASSERT_TRUE(a.RegisterRole("GP").ok());
+  ASSERT_TRUE(a.RegisterStream(VitalsSchema()).ok());
+  ASSERT_TRUE(a.RegisterSubject("dr", {"GP"}).ok());
+  Result<uint64_t> qid =
+      a.RegisterQuery("dr", "SELECT patient_id FROM Vitals");
+  ASSERT_TRUE(qid.ok());
+  ASSERT_TRUE(a.Subscribe(*qid).ok());
+
+  StreamClient b = Connect("b");
+  Status st = b.Subscribe(*qid);
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kAlreadyExists);
+}
+
+TEST_F(NetServerTest, ServerStopUnblocksClients) {
+  StartServer();
+  StreamClient client = Connect("stopper");
+  std::atomic<bool> done{false};
+  std::thread t([&] {
+    // Blocks until the server goes away, then fails cleanly.
+    (void)client.PollResults(0, 1, 2000);
+    done = true;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  server_->Stop();
+  t.join();
+  EXPECT_TRUE(done);
+}
+
+}  // namespace
+}  // namespace spstream

@@ -1,0 +1,28 @@
+# Client side of the networked demo (port patched in by net_demo_test.sh):
+# the same paper workflow as demo.sps, but executed remotely — subjects and
+# queries registered over the wire, the sp admitted through the stream's SP
+# Analyzer on the server, and only authorized results streamed back.
+
+connect 127.0.0.1:__PORT__
+
+stream Vitals(patient_id:int, bpm:int)
+
+subject doctor GP
+subject admin E
+
+query q_doctor doctor SELECT patient_id, bpm FROM Vitals WHERE bpm > 60
+query q_admin admin SELECT patient_id FROM Vitals
+
+# Patients 120-133 grant their general physician access.
+INSERT SP INTO STREAM Vitals LET DDP = (Vitals, [120-133], *), SRP = (RBAC, GP), TS = 1
+
+tuple Vitals 120 1 120 72
+tuple Vitals 121 2 121 95
+tuple Vitals 200 3 200 99
+
+run
+
+results q_doctor
+results q_admin
+
+disconnect

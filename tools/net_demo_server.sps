@@ -1,0 +1,10 @@
+# Server side of the networked demo: pre-register the role catalog and the
+# stream, then expose the engine on a kernel-chosen loopback port. The
+# harness (net_demo_test.sh) parses "serving on port N" from stdout.
+
+role GP
+role E
+
+stream Vitals(patient_id:int, bpm:int)
+
+serve 0 8

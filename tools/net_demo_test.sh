@@ -1,0 +1,66 @@
+#!/usr/bin/env bash
+# Loopback smoke test for the networked CLI: starts `spstream_cli serve` as a
+# background process, waits for it to announce its port, then drives a second
+# spstream_cli through `connect` with the paper demo workload and asserts only
+# the authorized rows come back.
+#
+# Usage: net_demo_test.sh <path-to-spstream_cli> <script-dir>
+set -u
+
+CLI="$1"
+SCRIPT_DIR="$2"
+WORK_DIR="$(mktemp -d)"
+trap 'rm -rf "$WORK_DIR"' EXIT
+
+SERVER_OUT="$WORK_DIR/server.out"
+"$CLI" "$SCRIPT_DIR/net_demo_server.sps" >"$SERVER_OUT" 2>&1 &
+SERVER_PID=$!
+
+# The server prints "serving on port N" once the listener is up.
+PORT=""
+for _ in $(seq 1 100); do
+  PORT="$(sed -n 's/^serving on port \([0-9][0-9]*\)$/\1/p' "$SERVER_OUT")"
+  [ -n "$PORT" ] && break
+  if ! kill -0 "$SERVER_PID" 2>/dev/null; then
+    echo "FAIL: server exited before announcing a port" >&2
+    cat "$SERVER_OUT" >&2
+    exit 1
+  fi
+  sleep 0.1
+done
+if [ -z "$PORT" ]; then
+  echo "FAIL: server never announced a port" >&2
+  cat "$SERVER_OUT" >&2
+  kill "$SERVER_PID" 2>/dev/null
+  exit 1
+fi
+
+CLIENT_SPS="$WORK_DIR/client.sps"
+sed "s/__PORT__/$PORT/" "$SCRIPT_DIR/net_demo_client.sps" >"$CLIENT_SPS"
+
+CLIENT_OUT="$WORK_DIR/client.out"
+"$CLI" "$CLIENT_SPS" >"$CLIENT_OUT" 2>&1
+CLIENT_RC=$?
+
+wait "$SERVER_PID"
+
+echo "--- server ---"
+cat "$SERVER_OUT"
+echo "--- client ---"
+cat "$CLIENT_OUT"
+
+if [ "$CLIENT_RC" -ne 0 ]; then
+  echo "FAIL: client exited with status $CLIENT_RC" >&2
+  exit 1
+fi
+# The doctor (role GP, patients 120-133 granted) sees exactly the two
+# authorized tuples; the admin (role E, no grant) sees nothing.
+if ! grep -q "results q_doctor (2 rows)" "$CLIENT_OUT"; then
+  echo "FAIL: expected 2 authorized rows for q_doctor" >&2
+  exit 1
+fi
+if ! grep -q "results q_admin (0 rows)" "$CLIENT_OUT"; then
+  echo "FAIL: expected 0 rows for q_admin (denial by default)" >&2
+  exit 1
+fi
+echo "PASS"

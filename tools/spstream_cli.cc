@@ -18,18 +18,29 @@
 //   metrics [<id>|json|prom]                  # engine metrics (optionally
 //                                             #   one query, or an exporter)
 //   audit [n]                                 # last n security audit events
+//   serve <port> [seconds]                    # expose this engine over TCP
+//                                             #   (port 0 = kernel-chosen;
+//                                             #   prints "serving on port N")
+//   connect <host>:<port>                     # become a remote client: all
+//                                             #   following commands run
+//                                             #   against the server
 //   # comment / blank lines ignored
 //
 // Commands may be prefixed with a backslash (\metrics, \audit, ...) in the
 // style of interactive database shells.
 //
 // Example:   build/tools/spstream_cli examples/demo.sps
+#include <chrono>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <sstream>
+#include <thread>
 
 #include "common/string_util.h"
-#include "engine/engine.h"
+#include "engine/engine_service.h"
+#include "net/client.h"
+#include "net/server.h"
 
 namespace spstream {
 namespace {
@@ -96,6 +107,13 @@ class Shell {
     std::string cmd;
     words >> cmd;
     if (!cmd.empty() && cmd.front() == '\\') cmd.erase(0, 1);
+    if (EqualsIgnoreCase(cmd, "serve")) {
+      return CmdServe(&words);
+    }
+    if (EqualsIgnoreCase(cmd, "connect")) {
+      return CmdConnect(&words);
+    }
+    if (client_) return ExecuteRemote(cmd, &words, line);
     if (EqualsIgnoreCase(cmd, "role")) {
       std::string name;
       words >> name;
@@ -216,7 +234,7 @@ class Shell {
     if (it == query_ids_.end()) {
       return Status::NotFound("metrics: unknown query id: " + arg);
     }
-    spstream::MetricsSnapshot snap = engine_.MetricsSnapshot();
+    spstream::MetricsSnapshot snap = engine_.SnapshotMetrics();
     const QueryMetricsSnapshot* q =
         snap.FindQuery("q" + std::to_string(it->second));
     if (q == nullptr) {
@@ -253,6 +271,117 @@ class Shell {
     return Status::OK();
   }
 
+  Status CmdServe(std::istringstream* words) {
+    if (client_) {
+      return Status::InvalidArgument("serve: already in remote (connect) mode");
+    }
+    int port = -1;
+    int seconds = 0;  // 0 = serve until the process is killed
+    *words >> port >> seconds;
+    if (port < 0 || port > 65535) {
+      return Status::ParseError("serve: expected a port (0..65535)");
+    }
+    StreamServer server(&service_);
+    SP_RETURN_NOT_OK(server.Start(static_cast<uint16_t>(port)));
+    std::cout << "serving on port " << server.port() << "\n" << std::flush;
+    if (seconds > 0) {
+      std::this_thread::sleep_for(std::chrono::seconds(seconds));
+    } else {
+      for (;;) std::this_thread::sleep_for(std::chrono::hours(1));
+    }
+    server.Stop();
+    std::cout << "serve: stopped (" << server.connections_accepted()
+              << " connections, " << server.evictions() << " evictions)\n";
+    return Status::OK();
+  }
+
+  Status CmdConnect(std::istringstream* words) {
+    std::string target;
+    *words >> target;
+    const size_t colon = target.rfind(':');
+    if (colon == std::string::npos) {
+      return Status::ParseError("connect: expected <host>:<port>");
+    }
+    int port = 0;
+    try {
+      port = std::stoi(target.substr(colon + 1));
+    } catch (...) {
+      return Status::ParseError("connect: bad port in " + target);
+    }
+    auto client = std::make_unique<StreamClient>();
+    SP_RETURN_NOT_OK(client->Connect(target.substr(0, colon),
+                                     static_cast<uint16_t>(port),
+                                     "spstream-cli"));
+    client_ = std::move(client);
+    std::cout << "connected to " << target << "\n";
+    return Status::OK();
+  }
+
+  /// Remote mode: the same command language, executed against the server.
+  Status ExecuteRemote(const std::string& cmd, std::istringstream* words,
+                       const std::string& line) {
+    if (EqualsIgnoreCase(cmd, "role")) {
+      std::string name;
+      *words >> name;
+      return client_->RegisterRole(name).status();
+    }
+    if (EqualsIgnoreCase(cmd, "stream")) {
+      return CmdStream(line.substr(cmd.size()));
+    }
+    if (EqualsIgnoreCase(cmd, "subject")) {
+      std::string name, role;
+      *words >> name;
+      std::vector<std::string> roles;
+      while (*words >> role) roles.push_back(role);
+      return client_->RegisterSubject(name, roles);
+    }
+    if (EqualsIgnoreCase(cmd, "query")) {
+      std::string id, subject;
+      *words >> id >> subject;
+      std::string sql;
+      std::getline(*words, sql);
+      SP_ASSIGN_OR_RETURN(uint64_t qid,
+                          client_->RegisterQuery(subject,
+                                                 std::string(Trim(sql))));
+      SP_RETURN_NOT_OK(client_->Subscribe(qid));
+      query_ids_[id] = static_cast<QueryId>(qid);
+      std::cout << "registered query " << id << " for " << subject << "\n";
+      return Status::OK();
+    }
+    if (EqualsIgnoreCase(cmd, "insert")) {
+      return client_->InsertSp(line);
+    }
+    if (EqualsIgnoreCase(cmd, "tuple")) {
+      return CmdTuple(words);
+    }
+    if (EqualsIgnoreCase(cmd, "run")) {
+      return client_->Run();
+    }
+    if (EqualsIgnoreCase(cmd, "results")) {
+      std::string id;
+      *words >> id;
+      auto it = query_ids_.find(id);
+      if (it == query_ids_.end()) {
+        return Status::NotFound("unknown query id: " + id);
+      }
+      // Run() banks every result its epoch produced before acking, so a
+      // drain here is deterministic.
+      std::vector<Tuple> rows = client_->TakeResults(it->second);
+      std::cout << "results " << id << " (" << rows.size() << " rows):\n";
+      for (const Tuple& t : rows) {
+        std::cout << "  " << t.ToString() << "\n";
+      }
+      return Status::OK();
+    }
+    if (EqualsIgnoreCase(cmd, "disconnect")) {
+      client_->Close();
+      client_.reset();
+      std::cout << "disconnected\n";
+      return Status::OK();
+    }
+    return Status::ParseError("command not available in remote mode: " + cmd);
+  }
+
   Status CmdStream(const std::string& rest) {
     const std::string_view spec = Trim(rest);
     const size_t open = spec.find('(');
@@ -269,6 +398,21 @@ class Shell {
       }
       SP_ASSIGN_OR_RETURN(ValueType type, ParseTypeName(Trim(parts[1])));
       fields.push_back(Field{std::string(Trim(parts[0])), type});
+    }
+    if (client_) {
+      // Adopt a stream the server already announced in the HELLO handshake;
+      // register it remotely otherwise.
+      Result<SchemaPtr> known = client_->SchemaOf(name);
+      if (known.ok()) {
+        stream_sids_[name] = *client_->StreamIdOf(name);
+        schemas_[name] = *known;
+        return Status::OK();
+      }
+      SP_ASSIGN_OR_RETURN(
+          StreamId sid, client_->RegisterStream(MakeSchema(name, fields)));
+      stream_sids_[name] = sid;
+      schemas_[name] = *client_->SchemaOf(name);
+      return Status::OK();
     }
     SP_ASSIGN_OR_RETURN(StreamId id,
                         engine_.RegisterStream(MakeSchema(name, fields)));
@@ -305,10 +449,18 @@ class Shell {
                                 " values for " + stream);
     }
     Tuple t(stream_sids_[stream], tid, std::move(values), ts);
-    return engine_.Push(stream, {StreamElement(std::move(t))});
+    std::vector<StreamElement> batch;
+    batch.emplace_back(std::move(t));
+    if (client_) return client_->Push(stream, std::move(batch));
+    return engine_.Push(stream, std::move(batch));
   }
 
-  SpStreamEngine engine_;
+  // Local mode works on the service's engine directly (the shell is
+  // single-threaded until `serve` spins up server threads, which then go
+  // through the same service).
+  EngineService service_;
+  SpStreamEngine& engine_ = *service_.UnsafeEngine();
+  std::unique_ptr<StreamClient> client_;  // non-null => remote (connect) mode
   std::unordered_map<std::string, QueryId> query_ids_;
   std::unordered_map<std::string, StreamId> stream_sids_;
   std::unordered_map<std::string, SchemaPtr> schemas_;
