@@ -238,6 +238,15 @@ void MetricsRegistry::SetGauge(const std::string& name, int64_t value) {
   gauges_[name] = value;
 }
 
+void MetricsRegistry::RemoveGaugesWithPrefix(const std::string& prefix) {
+  if (prefix.empty()) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.lower_bound(prefix);
+  while (it != gauges_.end() && it->first.compare(0, prefix.size(), prefix) == 0) {
+    it = gauges_.erase(it);
+  }
+}
+
 void MetricsRegistry::RecordLatency(const std::string& name, int64_t nanos) {
   std::lock_guard<std::mutex> lock(mu_);
   histograms_[name].Record(nanos);

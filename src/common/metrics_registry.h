@@ -71,6 +71,9 @@ class MetricsRegistry {
   // ---- named counters / gauges / histograms ----------------------------
   void AddCounter(const std::string& name, int64_t delta = 1);
   void SetGauge(const std::string& name, int64_t value);
+  /// \brief Drop every gauge whose name starts with `prefix` (e.g. the
+  /// `net.conn<id>.` namespace of a reaped connection).
+  void RemoveGaugesWithPrefix(const std::string& prefix);
   /// \brief Record a latency sample into the named engine-level histogram.
   void RecordLatency(const std::string& name, int64_t nanos);
 

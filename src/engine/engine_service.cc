@@ -42,11 +42,13 @@ Status EngineService::ExecuteInsertSp(const std::string& sql) {
 }
 
 Status EngineService::Push(const std::string& stream_name,
-                           std::vector<StreamElement> elements) {
+                           std::vector<StreamElement> elements,
+                           const std::function<void()>& on_admitted) {
   Status st;
   {
     std::lock_guard<std::mutex> lock(engine_mu_);
     st = engine_.Push(stream_name, std::move(elements));
+    if (st.ok() && on_admitted) on_admitted();
   }
   if (st.ok()) {
     std::lock_guard<std::mutex> lock(pace_mu_);

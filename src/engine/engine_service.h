@@ -40,8 +40,14 @@ class EngineService {
   Result<QueryId> RegisterQuery(const std::string& subject,
                                 const std::string& sql);
   Status ExecuteInsertSp(const std::string& sql);
+  /// \brief Admit a batch into a stream. `on_admitted` (optional) runs with
+  /// the engine still locked, right after a successful admission — the
+  /// server bumps its credit-replenish bookkeeping there, atomically with
+  /// the admission, so an epoch (whose replenish pass holds the same lock)
+  /// can never grant credits for elements it has not drained.
   Status Push(const std::string& stream_name,
-              std::vector<StreamElement> elements);
+              std::vector<StreamElement> elements,
+              const std::function<void()>& on_admitted = nullptr);
   Result<std::vector<Tuple>> TakeResults(QueryId id);
 
   /// \brief Snapshot of the stream catalog: (id, schema) per stream, in id

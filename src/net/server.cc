@@ -29,7 +29,10 @@ void StreamServer::Stop() {
   {
     std::lock_guard<std::mutex> lock(conns_mu_);
     for (auto& conn : conns_) {
-      if (conn->alive) ShutdownSocket(conn->fd);
+      // write_mu guards the fd's validity: never shut down a number the
+      // reader has already closed (the kernel may have recycled it).
+      std::lock_guard<std::mutex> wlock(conn->write_mu);
+      if (conn->fd >= 0) ShutdownSocket(conn->fd);
     }
   }
   if (accept_thread_.joinable()) accept_thread_.join();
@@ -80,7 +83,18 @@ void StreamServer::ReaderLoop(Connection* conn) {
   bool ok = hello.ok() && hello->type == FrameType::kHello;
   if (ok) {
     Result<HelloPayload> h = DecodeHello(hello->payload);
-    if (h.ok() && h->version == kWireProtocolVersion) {
+    if (!h.ok()) {
+      (void)SendError(conn, Status::ParseError("malformed HELLO: " +
+                                               h.status().message()));
+      ok = false;
+    } else if (h->version != kWireProtocolVersion) {
+      (void)SendError(
+          conn, Status::InvalidArgument(
+                    "unsupported protocol version " +
+                    std::to_string(h->version) + " (server speaks " +
+                    std::to_string(kWireProtocolVersion) + ")"));
+      ok = false;
+    } else {
       conn->name = h->client_name;
       HelloAckPayload ack;
       ack.initial_credits = options_.initial_credits;
@@ -88,10 +102,6 @@ void StreamServer::ReaderLoop(Connection* conn) {
       std::string payload;
       EncodeHelloAck(ack, &payload);
       ok = SendFrame(conn, FrameType::kHelloAck, payload).ok();
-    } else {
-      (void)SendError(conn, Status::InvalidArgument(
-                                "unsupported protocol version"));
-      ok = false;
     }
   }
 
@@ -112,7 +122,6 @@ void StreamServer::ReaderLoop(Connection* conn) {
     }
   }
 
-  // Single closer: the reader owns the fd's lifetime.
   bool was_alive;
   {
     std::lock_guard<std::mutex> lock(conns_mu_);
@@ -122,7 +131,16 @@ void StreamServer::ReaderLoop(Connection* conn) {
     conn->subscriptions.clear();
   }
   if (was_alive) PublishConnGauges(conn);
-  CloseSocket(conn->fd);
+  // Single closer: the reader owns the fd's lifetime. Close under write_mu
+  // and poison the fd so an in-flight SendFrame can never write to the fd
+  // number after the kernel recycles it for a new connection — that would
+  // deliver this subscriber's authorized results to a stranger.
+  {
+    std::lock_guard<std::mutex> wlock(conn->write_mu);
+    CloseSocket(conn->fd);
+    conn->fd = -1;
+  }
+  conn->reader_done.store(true, std::memory_order_release);
 }
 
 Status StreamServer::HandleFrame(Connection* conn, const Frame& frame) {
@@ -218,7 +236,6 @@ Status StreamServer::HandlePush(Connection* conn, std::string_view payload) {
     overdraft = cost > conn->credits;
     if (!overdraft) {
       conn->credits -= cost;
-      conn->unacked += cost;
       if (conn->credits == 0) ++conn->credit_stalls;
     }
   }
@@ -230,10 +247,29 @@ Status StreamServer::HandlePush(Connection* conn, std::string_view payload) {
                   " credits"));
     return Status::InvalidArgument("credit overdraft");
   }
+  // Credits were reserved above; a rejected batch refunds them (the
+  // elements never reached the engine, so no epoch will replenish them).
+  auto refund = [&] {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    conn->credits += cost;
+  };
   Result<std::string> stream = service_->StreamName(push->stream);
-  if (!stream.ok()) return SendError(conn, stream.status());
-  Status st = service_->Push(*stream, std::move(push->elements));
-  if (!st.ok()) return SendError(conn, st);
+  if (!stream.ok()) {
+    refund();
+    return SendError(conn, stream.status());
+  }
+  // unacked is bumped inside the engine lock, atomically with admission:
+  // the serve loop's replenish pass runs under the same lock, so a CREDIT
+  // frame can only ever cover elements an epoch has actually drained —
+  // never elements still queued behind a running epoch.
+  Status st = service_->Push(*stream, std::move(push->elements), [&] {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    conn->unacked += cost;
+  });
+  if (!st.ok()) {
+    refund();
+    return SendError(conn, st);
+  }
   service_->metrics()->AddCounter("net.elements_pushed",
                                   static_cast<int64_t>(cost));
   return Status::OK();  // pipelined: no per-push ack, credits are the flow
@@ -261,12 +297,11 @@ void StreamServer::ServeLoop() {
         if (!conn->alive) continue;
         Result<std::vector<Tuple>> rows = engine->TakeResults(qid);
         if (!rows.ok() || rows->empty()) continue;
-        ResultPayload rp;
-        rp.query = qid;
-        rp.tuples = std::move(*rows);
-        std::string payload;
-        EncodeResult(rp, &payload);
-        out.push_back({conn, FrameType::kResult, std::move(payload)});
+        // Chunked: an epoch whose output amplifies past the frame limit
+        // ships as several RESULT frames the subscriber banks by query id.
+        for (std::string& payload : EncodeResultChunks(qid, *rows)) {
+          out.push_back({conn, FrameType::kResult, std::move(payload)});
+        }
       }
       for (auto& conn : conns_) {
         if (!conn->alive || conn->unacked == 0) continue;
@@ -295,26 +330,51 @@ void StreamServer::ServeLoop() {
       }
     }
     service_->MarkEpochComplete(epoch);
-    // Refresh per-connection observability gauges once per epoch.
+    // Refresh per-connection observability gauges once per epoch, and reap
+    // connections whose reader has exited: join the thread, retire the
+    // net.conn<id>.* gauge namespace, free the Connection. Without this a
+    // server with connection churn grows memory (and this scan) forever.
     std::vector<Connection*> live;
+    std::vector<std::unique_ptr<Connection>> dead;
     {
       std::lock_guard<std::mutex> lock(conns_mu_);
-      for (auto& conn : conns_) {
-        if (conn->alive) live.push_back(conn.get());
+      for (auto it = conns_.begin(); it != conns_.end();) {
+        if ((*it)->reader_done.load(std::memory_order_acquire)) {
+          dead.push_back(std::move(*it));
+          it = conns_.erase(it);
+        } else {
+          if ((*it)->alive) live.push_back(it->get());
+          ++it;
+        }
       }
       service_->metrics()->SetGauge("net.connections_active",
                                     static_cast<int64_t>(live.size()));
     }
     for (Connection* conn : live) PublishConnGauges(conn);
+    for (auto& conn : dead) {
+      if (conn->reader.joinable()) conn->reader.join();
+      service_->metrics()->RemoveGaugesWithPrefix(
+          "net.conn" + std::to_string(conn->id) + ".");
+    }
   }
 }
 
 Status StreamServer::SendFrame(Connection* conn, FrameType type,
                                std::string_view payload) {
-  std::lock_guard<std::mutex> lock(conn->write_mu);
-  Status st = WriteFrame(conn->fd, type, payload);
+  Status st;
+  {
+    std::lock_guard<std::mutex> lock(conn->write_mu);
+    // The reader closes the fd (and poisons it to -1) under write_mu, so
+    // this re-check is what keeps a queued frame off a recycled fd.
+    if (conn->fd < 0) {
+      return Status::Internal("net: connection already closed");
+    }
+    st = WriteFrame(conn->fd, type, payload);
+  }
+  // Counter upkeep outside write_mu: conns_mu_ must never nest inside
+  // write_mu (Stop/Evict take them in the opposite order).
   if (st.ok()) {
-    std::lock_guard<std::mutex> clock(conns_mu_);
+    std::lock_guard<std::mutex> lock(conns_mu_);
     ++conn->frames_out;
     conn->bytes_out += static_cast<int64_t>(payload.size()) + 2;
   }
@@ -350,8 +410,13 @@ void StreamServer::Evict(Connection* conn, const std::string& reason) {
   e.detail = "evicted '" + conn->name + "': " + reason;
   service_->audit()->Append(std::move(e));
   PublishConnGauges(conn);
-  // Wake the reader; it closes the fd on its way out.
-  ShutdownSocket(conn->fd);
+  // Wake the reader; it closes the fd on its way out. Guarded by write_mu
+  // so we never shut down an fd number the reader has already closed (and
+  // the kernel may have recycled).
+  {
+    std::lock_guard<std::mutex> wlock(conn->write_mu);
+    if (conn->fd >= 0) ShutdownSocket(conn->fd);
+  }
 }
 
 void StreamServer::PublishConnGauges(Connection* conn) {

@@ -26,6 +26,7 @@
 // so one stalled consumer cannot wedge the epoch loop.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -75,13 +76,20 @@ class StreamServer {
  private:
   struct Connection {
     int id = 0;
-    int fd = -1;
+    // The reader thread owns the fd's lifetime: it alone closes it (under
+    // write_mu, poisoning it to -1), so no send or shutdown can ever touch
+    // an fd number the kernel has recycled for a newer connection.
+    int fd = -1;               // guarded by write_mu once the reader runs
     std::string name;          // client-announced, for audit events
     std::mutex write_mu;       // frames interleave: reader replies + serve
     uint64_t credits = 0;      // remaining element window
-    uint64_t unacked = 0;      // elements consumed by the next epoch
+    uint64_t unacked = 0;      // elements drained by the next epoch
     std::vector<QueryId> subscriptions;
     bool alive = true;
+    // Set as ReaderLoop's final act; the serve loop only reaps (joins +
+    // frees) a connection once this is true, so the join can never block
+    // on a reader that is itself waiting for the serve loop's next epoch.
+    std::atomic<bool> reader_done{false};
     // per-connection counters (published as gauges at epoch boundaries)
     int64_t frames_in = 0;
     int64_t frames_out = 0;

@@ -197,7 +197,7 @@ Result<Frame> ReadFrame(int fd) {
 Status WriteFrame(int fd, FrameType type, std::string_view payload) {
   std::string buf;
   buf.reserve(payload.size() + 6);
-  AppendFrame(type, payload, &buf);
+  SP_RETURN_NOT_OK(AppendFrame(type, payload, &buf));
   return WriteAll(fd, buf);
 }
 

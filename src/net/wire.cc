@@ -217,10 +217,17 @@ Result<SchemaPtr> DecodeSchema(std::string_view data, size_t* offset) {
 
 // ---- frame assembly --------------------------------------------------------
 
-void AppendFrame(FrameType type, std::string_view payload, std::string* out) {
+Status AppendFrame(FrameType type, std::string_view payload, std::string* out) {
+  if (payload.size() + 1 > kMaxFrameBytes) {
+    return Status::InvalidArgument(
+        "wire: " + std::string(FrameTypeName(type)) + " payload of " +
+        std::to_string(payload.size()) + " bytes exceeds the " +
+        std::to_string(kMaxFrameBytes) + "-byte frame limit");
+  }
   PutVarint(payload.size() + 1, out);
   out->push_back(static_cast<char>(type));
   out->append(payload);
+  return Status::OK();
 }
 
 Result<Frame> DecodeFrame(std::string_view data, size_t* offset) {
@@ -342,6 +349,38 @@ void EncodeResult(const ResultPayload& p, std::string* out) {
   PutVarint(p.query, out);
   PutVarint(p.tuples.size(), out);
   for (const Tuple& t : p.tuples) EncodeTuple(t, out);
+}
+
+std::vector<std::string> EncodeResultChunks(uint64_t query,
+                                            const std::vector<Tuple>& tuples,
+                                            size_t max_payload_bytes) {
+  // The chunk header is two varints (query id + tuple count), ≤ 20 bytes.
+  constexpr size_t kHeaderSlack = 20;
+  const size_t budget =
+      max_payload_bytes > kHeaderSlack ? max_payload_bytes - kHeaderSlack : 1;
+  std::vector<std::string> payloads;
+  std::string body;  // encoded tuples of the chunk being built
+  uint64_t count = 0;
+  auto flush = [&] {
+    if (count == 0) return;
+    std::string payload;
+    PutVarint(query, &payload);
+    PutVarint(count, &payload);
+    payload += body;
+    payloads.push_back(std::move(payload));
+    body.clear();
+    count = 0;
+  };
+  std::string scratch;
+  for (const Tuple& t : tuples) {
+    scratch.clear();
+    EncodeTuple(t, &scratch);
+    if (count > 0 && body.size() + scratch.size() > budget) flush();
+    body += scratch;
+    ++count;
+  }
+  flush();
+  return payloads;
 }
 
 Result<ResultPayload> DecodeResult(std::string_view payload) {

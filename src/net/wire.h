@@ -88,7 +88,9 @@ Result<SchemaPtr> DecodeSchema(std::string_view data, size_t* offset);
 // ---- frame assembly --------------------------------------------------------
 
 /// \brief Append a whole frame: varint(1 + payload size), type byte, payload.
-void AppendFrame(FrameType type, std::string_view payload, std::string* out);
+/// Fails (appending nothing) when the payload would exceed kMaxFrameBytes —
+/// the same limit the receiving ReadFrame enforces.
+Status AppendFrame(FrameType type, std::string_view payload, std::string* out);
 
 /// \brief Decode one frame from a buffer (tests / in-memory use; sockets
 /// read incrementally via net/socket.h). Advances `*offset` past the frame.
@@ -141,6 +143,16 @@ struct ResultPayload {
 };
 void EncodeResult(const ResultPayload& p, std::string* out);
 Result<ResultPayload> DecodeResult(std::string_view payload);
+
+/// \brief Encode a query's result tuples as one or more RESULT payloads,
+/// each at most `max_payload_bytes` (so an epoch whose output amplifies past
+/// the frame limit ships as several frames instead of one oversized frame
+/// the peer would reject). Every chunk carries at least one tuple; an empty
+/// tuple set yields no payloads. Subscribers see chunking transparently:
+/// they bank RESULT frames per query id.
+std::vector<std::string> EncodeResultChunks(
+    uint64_t query, const std::vector<Tuple>& tuples,
+    size_t max_payload_bytes = kMaxFrameBytes - 1);
 
 struct ErrorPayload {
   StatusCode code = StatusCode::kInternal;

@@ -234,7 +234,7 @@ TEST_F(NetServerTest, CreditOverdraftEvictsWithAudit) {
   for (int i = 0; i < 6; ++i) p.elements.emplace_back(Vital(i, 1, 100, 70));
   std::string payload, frame;
   EncodePush(p, &payload);
-  AppendFrame(FrameType::kPush, payload, &frame);
+  ASSERT_TRUE(AppendFrame(FrameType::kPush, payload, &frame).ok());
 
   Result<int> fd = TcpConnect("127.0.0.1", server_->port());
   ASSERT_TRUE(fd.ok());
@@ -268,6 +268,88 @@ TEST_F(NetServerTest, CreditOverdraftEvictsWithAudit) {
   }
   EXPECT_EQ(server_->evictions(), 1);
   EXPECT_GE(service_.audit()->CountOf(AuditEventKind::kNetEviction), 1);
+}
+
+// A rejected PUSH (unknown stream id) refunds its reserved credits: the
+// elements never reached the engine, so no epoch will ever replenish them —
+// without the refund the client's window shrinks permanently.
+TEST_F(NetServerTest, RejectedPushRefundsCredits) {
+  ASSERT_TRUE(service_.UnsafeEngine()->RegisterStream(VitalsSchema()).ok());
+  StreamServerOptions options;
+  options.initial_credits = 4;
+  StartServer(options);
+
+  Result<int> fd = TcpConnect("127.0.0.1", server_->port());
+  ASSERT_TRUE(fd.ok());
+  HelloPayload hello;
+  hello.client_name = "refund";
+  std::string hp;
+  EncodeHello(hello, &hp);
+  ASSERT_TRUE(WriteFrame(*fd, FrameType::kHello, hp).ok());
+  Result<Frame> ack = ReadFrame(*fd);
+  ASSERT_TRUE(ack.ok());
+  ASSERT_EQ(ack->type, FrameType::kHelloAck);
+
+  auto push_frame = [&](StreamId sid) {
+    PushPayload p;
+    p.stream = sid;
+    for (int i = 0; i < 4; ++i) p.elements.emplace_back(Vital(i, 1, 100, 70));
+    std::string payload;
+    EncodePush(p, &payload);
+    return WriteFrame(*fd, FrameType::kPush, payload);
+  };
+
+  // Unknown stream: a whole window's worth of elements, rejected via ERROR.
+  ASSERT_TRUE(push_frame(7).ok());
+  Result<Frame> err = ReadFrame(*fd);
+  ASSERT_TRUE(err.ok()) << err.status().ToString();
+  EXPECT_EQ(err->type, FrameType::kError);
+
+  // The refunded window must admit a second full-window PUSH; without the
+  // refund this is a credit overdraft and an eviction.
+  ASSERT_TRUE(push_frame(0).ok());
+  ASSERT_TRUE(WriteFrame(*fd, FrameType::kRun, "").ok());
+  bool saw_ok = false;
+  for (int i = 0; i < 4 && !saw_ok; ++i) {
+    Result<Frame> f = ReadFrame(*fd);
+    ASSERT_TRUE(f.ok()) << f.status().ToString();
+    ASSERT_NE(f->type, FrameType::kError) << "push after refund rejected";
+    saw_ok = f->type == FrameType::kOk;
+  }
+  EXPECT_TRUE(saw_ok);
+  EXPECT_EQ(server_->evictions(), 0);
+  CloseSocket(*fd);
+}
+
+// Connection churn: once a client disconnects, a later epoch reaps the
+// connection — its net.conn<id>.* gauges leave the registry and the server
+// stops tracking it, so long-running servers do not grow without bound.
+TEST_F(NetServerTest, DisconnectedConnectionsAreReaped) {
+  StartServer();
+  {
+    StreamClient ephemeral = Connect("ephemeral");
+    ASSERT_TRUE(ephemeral.RegisterStream(VitalsSchema()).ok());
+    std::vector<StreamElement> batch;
+    batch.emplace_back(Vital(1, 1, 1, 60));
+    ASSERT_TRUE(ephemeral.Push("Vitals", std::move(batch)).ok());
+    ASSERT_TRUE(ephemeral.Run().ok());
+    EXPECT_EQ(service_.metrics()->Snapshot().gauges.count(
+                  "net.conn0.frames_in"),
+              1u);
+  }  // BYE + close: the reader exits, the next epoch may reap
+
+  StreamClient driver = Connect("driver");
+  bool reaped = false;
+  for (int i = 0; i < 200 && !reaped; ++i) {
+    std::vector<StreamElement> batch;
+    batch.emplace_back(Vital(2, 2, 2, 61));
+    ASSERT_TRUE(driver.Push("Vitals", std::move(batch)).ok());
+    ASSERT_TRUE(driver.Run().ok());
+    reaped = service_.metrics()->Snapshot().gauges.count(
+                 "net.conn0.frames_in") == 0;
+    if (!reaped) std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_TRUE(reaped);
 }
 
 TEST_F(NetServerTest, EngineErrorsComeBackAsStatuses) {

@@ -193,7 +193,7 @@ TEST_F(WireFuzz, FrameRoundTrip) {
     std::string payload;
     EncodePush(p, &payload);
     std::string buf;
-    AppendFrame(FrameType::kPush, payload, &buf);
+    ASSERT_TRUE(AppendFrame(FrameType::kPush, payload, &buf).ok());
     size_t off = 0;
     Result<Frame> frame = DecodeFrame(buf, &off);
     ASSERT_TRUE(frame.ok()) << frame.status().ToString();
@@ -282,11 +282,50 @@ TEST_F(WireFuzz, TruncationAlwaysCleanError) {
 TEST_F(WireFuzz, TruncatedFrameCleanError) {
   std::string payload(100, 'z');
   std::string buf;
-  AppendFrame(FrameType::kPush, payload, &buf);
+  ASSERT_TRUE(AppendFrame(FrameType::kPush, payload, &buf).ok());
   for (size_t cut = 0; cut < buf.size(); ++cut) {
     size_t off = 0;
     EXPECT_FALSE(DecodeFrame(std::string_view(buf.data(), cut), &off).ok());
   }
+}
+
+// Outbound guard: a payload over the frame limit is refused at encode time
+// (clean Status, nothing appended) instead of being shipped and killed by
+// the peer's ReadFrame as a protocol violation.
+TEST_F(WireFuzz, OversizedFrameRefusedAtEncodeTime) {
+  std::string payload(kMaxFrameBytes, 'z');  // + type byte > kMaxFrameBytes
+  std::string buf;
+  const Status st = AppendFrame(FrameType::kResult, payload, &buf);
+  EXPECT_FALSE(st.ok());
+  EXPECT_TRUE(buf.empty());
+}
+
+// Chunked RESULT encoding: every chunk respects the byte limit, decodes as
+// a standalone RESULT payload for the same query, and concatenating the
+// chunks restores the original tuples in order.
+TEST_F(WireFuzz, ResultChunksRoundTripUnderTightLimit) {
+  std::vector<Tuple> tuples;
+  for (int i = 0; i < 200; ++i) tuples.push_back(RandomTuple());
+  const size_t kLimit = 256;
+  const std::vector<std::string> chunks =
+      EncodeResultChunks(42, tuples, kLimit);
+  ASSERT_GT(chunks.size(), 1u);
+  std::vector<Tuple> back;
+  for (const std::string& payload : chunks) {
+    EXPECT_LE(payload.size(), kLimit);
+    Result<ResultPayload> rp = DecodeResult(payload);
+    ASSERT_TRUE(rp.ok()) << rp.status().ToString();
+    EXPECT_EQ(rp->query, 42u);
+    EXPECT_FALSE(rp->tuples.empty());
+    for (Tuple& t : rp->tuples) back.push_back(std::move(t));
+  }
+  ASSERT_EQ(back.size(), tuples.size());
+  for (size_t i = 0; i < tuples.size(); ++i) {
+    EXPECT_EQ(back[i].tid, tuples[i].tid);
+    EXPECT_EQ(back[i].ts, tuples[i].ts);
+    ASSERT_EQ(back[i].values.size(), tuples[i].values.size());
+  }
+  EXPECT_TRUE(EncodeResultChunks(42, {}, kLimit).empty());
 }
 
 // Random byte corruption must never crash; decode either fails or yields
