@@ -43,6 +43,9 @@ struct OperatorMetrics {
   int64_t sps_out = 0;
   int64_t tuples_dropped_security = 0;  ///< denied by access control
   int64_t tuples_dropped_predicate = 0; ///< failed the query predicate
+  /// Sps accepted into this operator's policy state (not stale-dropped) —
+  /// per-shard EXPLAIN ANALYZE uses it to show policy convergence.
+  int64_t policy_installs = 0;
 
   int64_t total_nanos = 0;              ///< all processing time
   int64_t join_nanos = 0;               ///< probe/match work (joins)
@@ -66,6 +69,7 @@ struct OperatorMetrics {
     sps_out += o.sps_out;
     tuples_dropped_security += o.tuples_dropped_security;
     tuples_dropped_predicate += o.tuples_dropped_predicate;
+    policy_installs += o.policy_installs;
     total_nanos += o.total_nanos;
     join_nanos += o.join_nanos;
     sp_maintenance_nanos += o.sp_maintenance_nanos;

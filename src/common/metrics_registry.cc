@@ -15,6 +15,7 @@ void AppendOperatorMetricsJson(std::ostringstream& os,
      << ",\"sps_in\":" << m.sps_in << ",\"sps_out\":" << m.sps_out
      << ",\"tuples_dropped_security\":" << m.tuples_dropped_security
      << ",\"tuples_dropped_predicate\":" << m.tuples_dropped_predicate
+     << ",\"policy_installs\":" << m.policy_installs
      << ",\"total_nanos\":" << m.total_nanos
      << ",\"join_nanos\":" << m.join_nanos
      << ",\"sp_maintenance_nanos\":" << m.sp_maintenance_nanos
@@ -181,6 +182,7 @@ std::string MetricsSnapshot::ToPrometheus() const {
       {"sps_out", &OperatorMetrics::sps_out},
       {"tuples_dropped_security", &OperatorMetrics::tuples_dropped_security},
       {"tuples_dropped_predicate", &OperatorMetrics::tuples_dropped_predicate},
+      {"policy_installs", &OperatorMetrics::policy_installs},
       {"total_nanos", &OperatorMetrics::total_nanos},
       {"join_nanos", &OperatorMetrics::join_nanos},
       {"sp_maintenance_nanos", &OperatorMetrics::sp_maintenance_nanos},

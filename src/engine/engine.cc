@@ -28,17 +28,44 @@ SpStreamEngine::SpStreamEngine(EngineOptions options)
     : options_(std::move(options)),
       audit_(options_.audit_log_capacity),
       exec_ctx_{&roles_, &streams_, &metrics_,
-                options_.enable_audit ? &audit_ : nullptr} {}
+                options_.enable_audit ? &audit_ : nullptr} {
+  if (options_.num_shards > 1) {
+    shard_manager_ = std::make_unique<ShardManager>(
+        options_.num_shards, options_.shard_queue_capacity);
+  }
+}
 
 std::string SpStreamEngine::QueryTag(const QueryState* qs) const {
   return "q" + std::to_string(qs - queries_.data());
 }
 
+std::string SpStreamEngine::ShardTag(const std::string& query_tag,
+                                     size_t shard) {
+  return query_tag + ".shard" + std::to_string(shard);
+}
+
 void SpStreamEngine::RetirePipelineMetrics(QueryState* qs) {
-  if (!qs->pipeline) return;
   const std::string tag = QueryTag(qs);
-  qs->pipeline->HarvestInto(&metrics_, tag);
-  metrics_.RetireQuery(tag);
+  if (qs->pipeline) {
+    qs->pipeline->HarvestInto(&metrics_, tag);
+    metrics_.RetireQuery(tag);
+  }
+  if (qs->shards) {
+    for (size_t i = 0; i < qs->shards->pipelines.size(); ++i) {
+      const std::string shard_tag = ShardTag(tag, i);
+      qs->shards->pipelines[i]->HarvestInto(&metrics_, shard_tag);
+      metrics_.RetireQuery(shard_tag);
+    }
+  }
+}
+
+void SpStreamEngine::ResetPipelines(QueryState* qs) {
+  RetirePipelineMetrics(qs);
+  qs->pipeline.reset();
+  qs->physical = StreamingPhysicalPlan{};
+  qs->shards.reset();
+  qs->shard_decision_made = false;
+  qs->shard_fallback.clear();
 }
 
 void SpStreamEngine::SyncAnalyzerStats() {
@@ -60,6 +87,21 @@ spstream::MetricsSnapshot SpStreamEngine::SnapshotMetrics() {
   metrics_.SetGauge("engine.queries", static_cast<int64_t>(queries_.size()));
   metrics_.SetGauge("engine.adaptations", adaptations_);
   metrics_.SetGauge("engine.audit_events", audit_.total());
+  if (shard_manager_) {
+    metrics_.SetGauge("engine.shards",
+                      static_cast<int64_t>(shard_manager_->num_shards()));
+    for (size_t i = 0; i < shard_manager_->num_shards(); ++i) {
+      const ShardManager::ShardStats s = shard_manager_->Stats(i);
+      const std::string prefix = "engine.shard" + std::to_string(i) + ".";
+      metrics_.SetGauge(prefix + "tuples_processed", s.tuples_processed);
+      metrics_.SetGauge(prefix + "sps_processed", s.sps_processed);
+      metrics_.SetGauge(prefix + "epochs", s.epochs);
+      metrics_.SetGauge(prefix + "queue_depth",
+                        static_cast<int64_t>(s.queue_depth));
+      metrics_.SetGauge(prefix + "queue_peak",
+                        static_cast<int64_t>(s.queue_peak));
+    }
+  }
   return metrics_.Snapshot();
 }
 
@@ -134,9 +176,7 @@ Status SpStreamEngine::UpdateSubjectRoles(
     qs.roles = new_roles;
     // The new shield requires a fresh pipeline; continuous state resets
     // (windows refill; the next sps re-install policies).
-    RetirePipelineMetrics(&qs);
-    qs.pipeline.reset();
-    qs.physical = StreamingPhysicalPlan{};
+    ResetPipelines(&qs);
     if (options_.enable_audit) {
       AuditEvent e;
       e.kind = AuditEventKind::kPlanAdapt;
@@ -220,9 +260,7 @@ Status SpStreamEngine::DeregisterQuery(QueryId id) {
     return Status::InvalidArgument("query already deregistered");
   }
   qs->active = false;
-  RetirePipelineMetrics(qs);
-  qs->pipeline.reset();
-  qs->physical = StreamingPhysicalPlan{};
+  ResetPipelines(qs);
   auto sub_it = subjects_.find(qs->subject);
   if (sub_it != subjects_.end()) sub_it->second.Unfreeze();
   return Status::OK();
@@ -230,17 +268,30 @@ Status SpStreamEngine::DeregisterQuery(QueryId id) {
 
 namespace {
 
+/// Per-node metrics for EXPLAIN ANALYZE. In sharded execution this is the
+/// sum across all pipeline clones of the node's physical operator.
+using NodeMetricsMap =
+    std::unordered_map<const LogicalNode*, OperatorMetrics>;
+
+NodeMetricsMap CollectNodeMetrics(
+    const std::unordered_map<const LogicalNode*, Operator*>& node_ops) {
+  NodeMetricsMap out;
+  for (const auto& [node, op] : node_ops) {
+    if (op != nullptr) out[node] = op->metrics();
+  }
+  return out;
+}
+
 /// EXPLAIN ANALYZE rendering: the logical tree with each node annotated by
-/// the live metrics of the physical operator executing it.
-void RenderAnalyzedPlan(
-    const LogicalNodePtr& node,
-    const std::unordered_map<const LogicalNode*, Operator*>& node_ops,
-    int indent, std::string* out) {
+/// the live metrics of the physical operator(s) executing it.
+void RenderAnalyzedPlan(const LogicalNodePtr& node,
+                        const NodeMetricsMap& node_metrics, int indent,
+                        std::string* out) {
   out->append(static_cast<size_t>(indent) * 2, ' ');
   out->append(node->Describe());
-  auto it = node_ops.find(node.get());
-  if (it != node_ops.end() && it->second != nullptr) {
-    const OperatorMetrics& m = it->second->metrics();
+  auto it = node_metrics.find(node.get());
+  if (it != node_metrics.end()) {
+    const OperatorMetrics& m = it->second;
     std::ostringstream os;
     os << "  [actual: tuples=" << m.tuples_in << "->" << m.tuples_out
        << " sps=" << m.sps_in << "->" << m.sps_out;
@@ -250,6 +301,7 @@ void RenderAnalyzedPlan(
     if (m.tuples_dropped_predicate > 0) {
       os << " pred_drop=" << m.tuples_dropped_predicate;
     }
+    if (m.policy_installs > 0) os << " policy_installs=" << m.policy_installs;
     os << " total=" << m.total_nanos / 1e6 << "ms";
     if (m.join_nanos > 0) os << " join=" << m.join_nanos / 1e6 << "ms";
     if (m.sp_maintenance_nanos > 0) {
@@ -264,7 +316,7 @@ void RenderAnalyzedPlan(
   }
   out->push_back('\n');
   for (const LogicalNodePtr& child : node->children) {
-    RenderAnalyzedPlan(child, node_ops, indent + 1, out);
+    RenderAnalyzedPlan(child, node_metrics, indent + 1, out);
   }
 }
 
@@ -274,11 +326,70 @@ Result<std::string> SpStreamEngine::ExplainQuery(QueryId id,
                                                  bool analyze) const {
   SP_ASSIGN_OR_RETURN(const QueryState* qs, FindQuery(id));
   if (!analyze) return qs->plan->ToString();
-  if (!qs->pipeline) {
-    return qs->plan->ToString() + "(analyze: query has not executed yet)\n";
+  if (!qs->pipeline && !qs->shards) {
+    std::string out =
+        qs->plan->ToString() + "(analyze: query has not executed yet)\n";
+    if (qs->shard_decision_made && !qs->shard_fallback.empty()) {
+      out += "sharding: fallback to single-threaded (" + qs->shard_fallback +
+             ")\n";
+    }
+    return out;
   }
   std::string out;
-  RenderAnalyzedPlan(qs->plan, qs->physical.node_ops, 0, &out);
+  if (!qs->shards) {
+    // Single-threaded path (possibly a sharding fallback).
+    RenderAnalyzedPlan(qs->plan, CollectNodeMetrics(qs->physical.node_ops), 0,
+                      &out);
+    if (qs->shard_decision_made && !qs->shard_fallback.empty()) {
+      out += "sharding: fallback to single-threaded (" + qs->shard_fallback +
+             ")\n";
+    }
+    return out;
+  }
+
+  // Sharded execution: node annotations are summed across the clones, then
+  // one row per shard breaks the totals down (docs/OBSERVABILITY.md).
+  const QueryState::ShardSet& shards = *qs->shards;
+  NodeMetricsMap merged;
+  for (const StreamingPhysicalPlan& physical : shards.physicals) {
+    for (const auto& [node, op] : physical.node_ops) {
+      if (op != nullptr) merged[node].Merge(op->metrics());
+    }
+  }
+  RenderAnalyzedPlan(qs->plan, merged, 0, &out);
+  std::ostringstream os;
+  os << "shards: " << shards.pipelines.size() << " (keys:";
+  for (const LeafShardKey& key : shards.routing.leaf_keys) {
+    if (key.key_col == LeafShardKey::kByTupleId) {
+      os << " tid";
+    } else {
+      os << " col" << key.key_col;
+    }
+  }
+  os << ")\n";
+  for (size_t s = 0; s < shards.pipelines.size(); ++s) {
+    int64_t tuples_in = 0, sps_in = 0, installs = 0, results = 0;
+    for (const auto& [stream, src] : shards.physicals[s].sources) {
+      (void)stream;
+      tuples_in += src->metrics().tuples_in;
+      sps_in += src->metrics().sps_in;
+    }
+    for (const auto& op : shards.pipelines[s]->operators()) {
+      installs += op->metrics().policy_installs;
+    }
+    if (shards.physicals[s].sink != nullptr) {
+      results = shards.physicals[s].sink->metrics().tuples_in;
+    }
+    os << "  shard " << s << ": tuples=" << tuples_in << " sps=" << sps_in
+       << " results=" << results << " policy_installs=" << installs;
+    if (shard_manager_) {
+      const ShardManager::ShardStats st = shard_manager_->Stats(s);
+      os << " queue_depth=" << st.queue_depth
+         << " queue_peak=" << st.queue_peak;
+    }
+    os << "\n";
+  }
+  out += os.str();
   return out;
 }
 
@@ -378,9 +489,7 @@ Status SpStreamEngine::AdaptPlans() {
     LogicalNodePtr adapted = optimizer.Optimize(fresh);
     if (!PlansEqual(adapted, qs.plan)) {
       qs.plan = std::move(adapted);
-      RetirePipelineMetrics(&qs);
-      qs.pipeline.reset();  // rebuilt (with the new shape) on next Run
-      qs.physical = StreamingPhysicalPlan{};
+      ResetPipelines(&qs);  // rebuilt (with the new shape) on next Run
       ++adaptations_;
       metrics_.AddCounter("engine.plan_adaptations");
       if (options_.enable_audit) {
@@ -403,6 +512,11 @@ const StreamStatistics* SpStreamEngine::measured_stats(
 }
 
 Status SpStreamEngine::RunSolo(ExecContext* ctx, QueryState* qs) {
+  if (shard_manager_) {
+    SP_RETURN_NOT_OK(EnsureShardDecision(ctx, qs));
+    if (qs->shards) return RunSharded(qs);
+    // else: plan is not hash-partitionable — single-threaded fallback.
+  }
   const std::string tag = QueryTag(qs);
   const int64_t epoch_start = NowNanos();
   if (!qs->pipeline) {
@@ -435,6 +549,92 @@ Status SpStreamEngine::RunSolo(ExecContext* ctx, QueryState* qs) {
   metrics_.MergeTupleLatency(tag, tuple_latency);
   metrics_.RecordEpochLatency(tag, NowNanos() - epoch_start);
   qs->pipeline->HarvestInto(&metrics_, tag);
+  return Status::OK();
+}
+
+Status SpStreamEngine::EnsureShardDecision(ExecContext* ctx, QueryState* qs) {
+  if (qs->shard_decision_made) return Status::OK();
+  qs->shard_decision_made = true;
+  ShardRouting routing = AnalyzeShardRouting(qs->plan);
+  if (!routing.shardable) {
+    qs->shard_fallback = routing.reason;
+    if (options_.enable_audit) {
+      AuditEvent e;
+      e.kind = AuditEventKind::kPlanAdapt;
+      e.scope = QueryTag(qs);
+      e.roles = qs->roles.ToString(roles_);
+      e.detail = "sharding fallback to single-threaded: " + routing.reason;
+      audit_.Append(std::move(e));
+    }
+    return Status::OK();
+  }
+
+  auto shards = std::make_unique<QueryState::ShardSet>();
+  shards->routing = std::move(routing);
+  const std::string tag = QueryTag(qs);
+  for (size_t i = 0; i < shard_manager_->num_shards(); ++i) {
+    auto pipeline = std::make_unique<Pipeline>(ctx);
+    SP_ASSIGN_OR_RETURN(
+        StreamingPhysicalPlan physical,
+        BuildStreamingPhysicalPlan(pipeline.get(), qs->plan,
+                                   options_.physical));
+    // All clones share the query's audit scope; per-shard registry keys
+    // ("q0.shard1") are applied at harvest time instead.
+    pipeline->SetQueryTag(tag);
+    shards->pipelines.push_back(std::move(pipeline));
+    shards->physicals.push_back(std::move(physical));
+  }
+  if (shards->physicals[0].sources.size() !=
+      shards->routing.leaf_keys.size()) {
+    // Router and plan compiler disagree on the leaf list; don't risk a
+    // wrong partition — fall back.
+    qs->shard_fallback = "router/compiler leaf-count mismatch";
+    return Status::OK();
+  }
+  qs->shards = std::move(shards);
+  return Status::OK();
+}
+
+Status SpStreamEngine::RunSharded(QueryState* qs) {
+  const std::string tag = QueryTag(qs);
+  const int64_t epoch_start = NowNanos();
+  QueryState::ShardSet& shards = *qs->shards;
+  const size_t num_shards = shards.pipelines.size();
+
+  // Route this epoch's admitted elements leaf by leaf: tuples are
+  // hash-partitioned on the leaf's shard key; sps and controls broadcast to
+  // every shard so each clone's policy state converges identically.
+  const size_t num_leaves = shards.physicals[0].sources.size();
+  for (size_t leaf = 0; leaf < num_leaves; ++leaf) {
+    const std::string& stream = shards.physicals[0].sources[leaf].first;
+    const LeafShardKey key = shards.routing.leaf_keys[leaf];
+    for (const StreamElement& e : stream_states_.at(stream).pending) {
+      if (e.is_tuple()) {
+        const size_t target = ShardOf(e.tuple(), key, num_shards);
+        shard_manager_->Route(
+            target, shards.physicals[target].sources[leaf].second, e);
+      } else {
+        for (size_t s = 0; s < num_shards; ++s) {
+          shard_manager_->Route(s, shards.physicals[s].sources[leaf].second,
+                                e);
+        }
+      }
+    }
+  }
+  // Barrier: every shard drains its share before we read any sink.
+  shard_manager_->CompleteEpoch();
+
+  // Deterministic merge: shard id first, arrival order within the shard.
+  for (size_t s = 0; s < num_shards; ++s) {
+    for (Tuple& t : shards.physicals[s].sink->TakeTuples()) {
+      if (qs->callback) qs->callback(t);
+      qs->results.push_back(std::move(t));
+    }
+  }
+  metrics_.RecordEpochLatency(tag, NowNanos() - epoch_start);
+  for (size_t s = 0; s < num_shards; ++s) {
+    shards.pipelines[s]->HarvestInto(&metrics_, ShardTag(tag, s));
+  }
   return Status::OK();
 }
 

@@ -17,8 +17,10 @@
 #include "common/audit_log.h"
 #include "common/metrics_registry.h"
 #include "common/status.h"
+#include "engine/shard_manager.h"
 #include "exec/exec_context.h"
 #include "exec/plan_builder.h"
+#include "exec/shard_router.h"
 #include "optimizer/optimizer.h"
 #include "optimizer/statistics.h"
 #include "query/parser.h"
@@ -61,6 +63,20 @@ struct EngineOptions {
   /// Ring-buffer capacity of the audit log (all-time per-kind counters
   /// survive eviction).
   size_t audit_log_capacity = 1024;
+  /// Intra-query parallelism: > 1 hash-partitions each query's tuples by a
+  /// plan-derived shard key across this many worker shards, each running
+  /// its own clone of the physical pipeline on its own thread. Security
+  /// punctuations are broadcast to every shard, so each clone's policy
+  /// state converges to the single-threaded engine's; the merge sink
+  /// collects per-shard outputs in (shard id, arrival order) — the result
+  /// multiset is identical to a 1-shard run (tests/shard_equivalence_test).
+  /// Plans with no safe hash partition (e.g. conflicting key requirements)
+  /// fall back to the single-threaded path per query. 1 = today's fully
+  /// single-threaded behavior.
+  size_t num_shards = 1;
+  /// Per-shard hand-off queue capacity (elements). Routing blocks when a
+  /// shard's queue is full, backpressuring the epoch to the slowest shard.
+  size_t shard_queue_capacity = 4096;
 };
 
 /// \brief The integrated stream engine.
@@ -144,14 +160,6 @@ class SpStreamEngine {
   /// Keys are "q<id>"; see docs/OBSERVABILITY.md for the taxonomy.
   spstream::MetricsSnapshot SnapshotMetrics();
 
-  /// \brief Deprecated spelling of SnapshotMetrics(). The old name shadowed
-  /// the spstream::MetricsSnapshot type inside the class, forcing callers
-  /// (and the implementation) to qualify the return type.
-  [[deprecated("use SnapshotMetrics()")]] spstream::MetricsSnapshot
-  MetricsSnapshot() {
-    return SnapshotMetrics();
-  }
-
   /// \brief SnapshotMetrics() rendered as text / JSON / Prometheus.
   std::string DumpMetrics(MetricsFormat format = MetricsFormat::kText);
 
@@ -195,6 +203,21 @@ class SpStreamEngine {
     // after a re-plan.
     std::unique_ptr<Pipeline> pipeline;
     StreamingPhysicalPlan physical;
+    // Sharded solo mode (num_shards > 1): N long-lived pipeline clones,
+    // one per worker shard, plus the plan-derived per-leaf routing keys.
+    // Like `pipeline`, clones persist across epochs and are torn down on
+    // re-plan. Null until the first Run(), or when the plan proved
+    // unshardable (shard_fallback records why).
+    struct ShardSet {
+      ShardRouting routing;
+      std::vector<std::unique_ptr<Pipeline>> pipelines;
+      std::vector<StreamingPhysicalPlan> physicals;
+    };
+    std::unique_ptr<ShardSet> shards;
+    // Set once sharding was considered for the current plan; with an empty
+    // `shards` it means fallback to the single-threaded path.
+    bool shard_decision_made = false;
+    std::string shard_fallback;  // reason when the plan is unshardable
   };
 
   /// Execute one group of share-compatible queries through a shared trunk.
@@ -202,6 +225,14 @@ class SpStreamEngine {
                         const std::vector<size_t>& query_indexes);
   /// Execute one query through its own full pipeline.
   Status RunSolo(ExecContext* ctx, QueryState* qs);
+  /// Execute one query across the worker shards: route this epoch's
+  /// admitted tuples by shard key, broadcast sps, barrier, merge sinks.
+  Status RunSharded(QueryState* qs);
+  /// Decide (once per plan) whether `qs` runs sharded; builds the pipeline
+  /// clones when it does.
+  Status EnsureShardDecision(ExecContext* ctx, QueryState* qs);
+  /// Registry key of one shard's pipeline clone ("q0.shard1").
+  static std::string ShardTag(const std::string& query_tag, size_t shard);
   /// Adaptive mode: re-optimize plans against measured statistics.
   Status AdaptPlans();
 
@@ -210,6 +241,9 @@ class SpStreamEngine {
   /// Fold a query's live pipeline metrics into the registry's retired
   /// accumulator (called right before a pipeline is rebuilt or torn down).
   void RetirePipelineMetrics(QueryState* qs);
+  /// Retire metrics and tear down the query's pipeline(s) — solo and
+  /// sharded — so the next Run() rebuilds them against the current plan.
+  void ResetPipelines(QueryState* qs);
   /// Publish per-stream SP Analyzer admission stats as registry gauges.
   void SyncAnalyzerStats();
 
@@ -230,6 +264,10 @@ class SpStreamEngine {
   std::unordered_map<std::string, StreamStatistics> measured_stats_;
   int64_t adaptations_ = 0;
   Timestamp next_default_ts_ = 1;
+  /// Worker-shard pool (null when num_shards <= 1). Declared after
+  /// queries_ so destruction joins the workers BEFORE the pipelines they
+  /// feed are torn down.
+  std::unique_ptr<ShardManager> shard_manager_;
 };
 
 }  // namespace spstream

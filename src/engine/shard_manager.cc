@@ -1,0 +1,105 @@
+#include "engine/shard_manager.h"
+
+namespace spstream {
+
+ShardManager::ShardManager(size_t num_shards, size_t queue_capacity,
+                           size_t route_batch)
+    : route_batch_(route_batch == 0 ? 1 : route_batch) {
+  if (num_shards == 0) num_shards = 1;
+  shards_.reserve(num_shards);
+  for (size_t i = 0; i < num_shards; ++i) {
+    auto shard = std::make_unique<Shard>();
+    shard->queue = std::make_unique<BoundedQueue<Task>>(queue_capacity);
+    shard->route_buffer.reserve(route_batch_);
+    shards_.push_back(std::move(shard));
+  }
+  for (auto& shard : shards_) {
+    Shard* s = shard.get();
+    s->worker = std::thread([this, s] { WorkerLoop(s); });
+  }
+}
+
+ShardManager::~ShardManager() { Stop(); }
+
+void ShardManager::WorkerLoop(Shard* shard) {
+  std::vector<Task> batch;
+  int64_t tuples = 0, sps = 0;
+  while (shard->queue->DrainInto(&batch)) {
+    for (Task& task : batch) {
+      if (task.src == nullptr) {
+        // Epoch barrier: everything routed before the marker has been fed.
+        // Publish the counters once per epoch (cheaper than per element,
+        // and the engine only reads them at epoch boundaries anyway).
+        shard->tuples_processed.store(tuples, std::memory_order_relaxed);
+        shard->sps_processed.store(sps, std::memory_order_relaxed);
+        shard->epochs.fetch_add(1, std::memory_order_relaxed);
+        {
+          std::lock_guard<std::mutex> lock(barrier_mu_);
+          --barrier_remaining_;
+        }
+        barrier_cv_.notify_one();
+        continue;
+      }
+      if (task.elem.is_tuple()) {
+        ++tuples;
+      } else if (task.elem.is_sp()) {
+        ++sps;
+      }
+      task.src->Feed(std::move(task.elem));
+    }
+  }
+  shard->tuples_processed.store(tuples, std::memory_order_relaxed);
+  shard->sps_processed.store(sps, std::memory_order_relaxed);
+}
+
+void ShardManager::FlushBuffer(Shard* shard) {
+  if (shard->route_buffer.empty()) return;
+  shard->queue->PushBatch(&shard->route_buffer);
+  shard->route_buffer.clear();
+}
+
+void ShardManager::Route(size_t shard_idx, PushSource* src,
+                         StreamElement elem) {
+  Shard* shard = shards_[shard_idx].get();
+  shard->route_buffer.push_back(Task{src, std::move(elem)});
+  if (shard->route_buffer.size() >= route_batch_) FlushBuffer(shard);
+}
+
+void ShardManager::CompleteEpoch() {
+  if (stopped_) return;
+  {
+    std::lock_guard<std::mutex> lock(barrier_mu_);
+    barrier_remaining_ = shards_.size();
+  }
+  for (auto& shard : shards_) {
+    shard->route_buffer.push_back(Task{});  // barrier marker
+    FlushBuffer(shard.get());
+  }
+  std::unique_lock<std::mutex> lock(barrier_mu_);
+  barrier_cv_.wait(lock, [&] { return barrier_remaining_ == 0; });
+}
+
+void ShardManager::Stop() {
+  if (stopped_) return;
+  stopped_ = true;
+  for (auto& shard : shards_) {
+    shard->queue->Close();
+  }
+  for (auto& shard : shards_) {
+    if (shard->worker.joinable()) shard->worker.join();
+  }
+}
+
+ShardManager::ShardStats ShardManager::Stats(size_t shard_idx) const {
+  const Shard* shard = shards_[shard_idx].get();
+  ShardStats stats;
+  stats.tuples_processed =
+      shard->tuples_processed.load(std::memory_order_relaxed);
+  stats.sps_processed = shard->sps_processed.load(std::memory_order_relaxed);
+  stats.epochs = shard->epochs.load(std::memory_order_relaxed);
+  stats.queue_depth = shard->queue->size();
+  stats.queue_peak = shard->queue->peak_size();
+  return stats;
+}
+
+}  // namespace spstream

@@ -59,6 +59,7 @@ void PolicyTracker::FinalizeOpenBatch() {
   }
   current_batch_ = std::move(open_batch_);
   open_batch_.clear();
+  ++batches_installed_;
 
   batch_covers_all_ = true;
   has_attr_policies_ = false;

@@ -7,6 +7,13 @@
 //  * stale (older-ts) sps are dropped, mirroring the in-order assumption;
 //  * tuples preceding any sp fall under denial-by-default;
 //  * a tuple not matched by the batch's DDP also falls to denial-by-default.
+//
+// Sharded execution (EngineOptions::num_shards > 1) relies on these
+// semantics being a pure function of the sp subsequence: the engine
+// BROADCASTS every sp to every shard while hash-partitioning the tuples, so
+// each pipeline clone's tracker replays the identical sp sequence and
+// converges to the same policy state. The install counters below make that
+// convergence observable per shard (EXPLAIN ANALYZE shard rows).
 #pragma once
 
 #include <vector>
@@ -56,6 +63,10 @@ class PolicyTracker {
 
   int64_t stale_sps_dropped() const { return stale_sps_dropped_; }
 
+  /// \brief Sp-batches that took effect (finalized into the policy in
+  /// force) over this tracker's lifetime.
+  int64_t batches_installed() const { return batches_installed_; }
+
   size_t MemoryBytes() const;
 
  private:
@@ -76,6 +87,7 @@ class PolicyTracker {
   bool batch_covers_all_ = false;
   bool has_attr_policies_ = false;
   int64_t stale_sps_dropped_ = 0;
+  int64_t batches_installed_ = 0;
 };
 
 }  // namespace spstream

@@ -37,7 +37,7 @@ void SaDistinct::Process(StreamElement elem, int) {
   if (elem.is_sp()) {
     ++metrics_.sps_in;
     ScopedTimer t(&metrics_.sp_maintenance_nanos);
-    tracker_.OnSp(elem.sp());
+    if (tracker_.OnSp(elem.sp())) ++metrics_.policy_installs;
     return;
   }
   if (!elem.is_tuple()) {

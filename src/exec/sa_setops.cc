@@ -18,7 +18,7 @@ void SaSetOp::Process(StreamElement elem, int port) {
   if (elem.is_sp()) {
     ++metrics_.sps_in;
     ScopedTimer t(&metrics_.sp_maintenance_nanos);
-    trackers_[port].OnSp(elem.sp());
+    if (trackers_[port].OnSp(elem.sp())) ++metrics_.policy_installs;
     return;
   }
   if (!elem.is_tuple()) {

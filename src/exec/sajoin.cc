@@ -88,7 +88,7 @@ void SaJoinBase::Process(StreamElement elem, int port) {
     ++metrics_.sps_in;
     ScopedTimer t(&metrics_.sp_maintenance_nanos);
     // 1. Policy Collection: the sp installs the policy for upcoming tuples.
-    trackers_[port].OnSp(elem.sp());
+    if (trackers_[port].OnSp(elem.sp())) ++metrics_.policy_installs;
     return;
   }
   if (!elem.is_tuple()) {

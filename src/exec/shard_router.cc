@@ -1,0 +1,144 @@
+#include "exec/shard_router.h"
+
+namespace spstream {
+
+namespace {
+
+constexpr int kNoRequirement = -1;
+
+/// Output width (number of columns) of a subtree — needed to map a
+/// partition requirement through a join's concatenated output schema.
+size_t OutputWidth(const LogicalNodePtr& node) {
+  switch (node->kind) {
+    case LogicalNode::Kind::kSource:
+      return node->schema ? node->schema->num_fields() : 0;
+    case LogicalNode::Kind::kProject:
+      return node->columns.size();
+    case LogicalNode::Kind::kJoin:
+      return OutputWidth(node->children[0]) + OutputWidth(node->children[1]);
+    case LogicalNode::Kind::kGroupBy:
+      return 2;  // (group_key, aggregate)
+    default:
+      return node->children.empty() ? 0 : OutputWidth(node->children[0]);
+  }
+}
+
+/// Walk the plan carrying the partition requirement from above.
+/// `required_col` is a column index of this subtree's OUTPUT that must
+/// partition the data, or kNoRequirement. Appends one LeafShardKey per
+/// source leaf in DFS order; returns false (with `reason`) when the
+/// requirements cannot be satisfied by hash partitioning.
+bool Walk(const LogicalNodePtr& node, int required_col,
+          std::vector<LeafShardKey>* leaf_keys, std::string* reason) {
+  switch (node->kind) {
+    case LogicalNode::Kind::kSource:
+      leaf_keys->push_back(LeafShardKey{required_col});
+      return true;
+
+    case LogicalNode::Kind::kSelect:
+    case LogicalNode::Kind::kSs:
+      // Columns pass through unchanged.
+      return Walk(node->children[0], required_col, leaf_keys, reason);
+
+    case LogicalNode::Kind::kProject: {
+      int below = kNoRequirement;
+      if (required_col != kNoRequirement) {
+        if (required_col < 0 ||
+            static_cast<size_t>(required_col) >= node->columns.size()) {
+          *reason = "partition column out of projection range";
+          return false;
+        }
+        below = node->columns[static_cast<size_t>(required_col)];
+      }
+      return Walk(node->children[0], below, leaf_keys, reason);
+    }
+
+    case LogicalNode::Kind::kJoin: {
+      // The join itself demands both inputs partitioned on the join key.
+      // A requirement from above must coincide with a join key — equal
+      // values of the required column then imply equal join keys, which the
+      // key partitioning already co-locates.
+      if (required_col != kNoRequirement) {
+        const size_t left_width = OutputWidth(node->children[0]);
+        if (static_cast<size_t>(required_col) < left_width) {
+          if (required_col != node->left_key) {
+            *reason = "partition requirement above join is not the join key";
+            return false;
+          }
+        } else {
+          const int right_col =
+              required_col - static_cast<int>(left_width);
+          if (right_col != node->right_key) {
+            *reason = "partition requirement above join is not the join key";
+            return false;
+          }
+        }
+      }
+      return Walk(node->children[0], node->left_key, leaf_keys, reason) &&
+             Walk(node->children[1], node->right_key, leaf_keys, reason);
+    }
+
+    case LogicalNode::Kind::kDistinct: {
+      // Distinct forwards tuples unchanged but dedups on key_col: the
+      // input must partition on that key. A requirement from above is
+      // only satisfiable when it IS the distinct key.
+      if (required_col != kNoRequirement && required_col != node->key_col) {
+        *reason = "partition requirement above distinct is not its key";
+        return false;
+      }
+      return Walk(node->children[0], node->key_col, leaf_keys, reason);
+    }
+
+    case LogicalNode::Kind::kGroupBy: {
+      // Output is (group_key, aggregate); only column 0 maps below.
+      if (required_col != kNoRequirement && required_col != 0) {
+        *reason = "partition requirement above group-by is the aggregate";
+        return false;
+      }
+      return Walk(node->children[0], node->key_col, leaf_keys, reason);
+    }
+
+    case LogicalNode::Kind::kUnion: {
+      for (const LogicalNodePtr& child : node->children) {
+        if (!Walk(child, required_col, leaf_keys, reason)) return false;
+      }
+      return true;
+    }
+  }
+  *reason = "unknown logical node kind";
+  return false;
+}
+
+/// splitmix64 finalizer — cheap, well-mixed, deterministic across runs.
+inline uint64_t MixHash(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+ShardRouting AnalyzeShardRouting(const LogicalNodePtr& plan) {
+  ShardRouting routing;
+  routing.shardable =
+      Walk(plan, kNoRequirement, &routing.leaf_keys, &routing.reason);
+  if (!routing.shardable) routing.leaf_keys.clear();
+  return routing;
+}
+
+size_t ShardOf(const Tuple& t, const LeafShardKey& key, size_t num_shards) {
+  if (num_shards <= 1) return 0;
+  uint64_t h;
+  if (key.key_col == LeafShardKey::kByTupleId) {
+    h = MixHash(static_cast<uint64_t>(t.tid));
+  } else if (static_cast<size_t>(key.key_col) < t.values.size()) {
+    h = MixHash(static_cast<uint64_t>(
+        t.values[static_cast<size_t>(key.key_col)].Hash()));
+  } else {
+    h = MixHash(static_cast<uint64_t>(t.tid));
+  }
+  return static_cast<size_t>(h % num_shards);
+}
+
+}  // namespace spstream

@@ -118,6 +118,7 @@ void SsOperator::Process(StreamElement elem, int) {
       }
       return;  // stale, dropped
     }
+    ++metrics_.policy_installs;
     if (!pending_ts_ || *pending_ts_ != sp_ts) {
       // A new sp-batch begins; the previous unsent batch covered a segment
       // with no authorized tuples and is discarded with them.

@@ -1,0 +1,112 @@
+// Bounded MPSC hand-off queue for the sharded execution engine.
+//
+// Producers (the engine's routing thread; in principle several) push
+// elements or whole batches; one consumer (a shard worker) drains
+// everything available in a single lock hold. Capacity is a soft bound on
+// queued items: producers block while the queue is full, which backpressures
+// routing to the speed of the slowest shard instead of buffering an entire
+// epoch per shard.
+//
+// The hot path is batched on both sides — PushBatch moves a whole vector
+// under one lock hold and DrainInto swaps the queue out under another — so
+// per-element cost amortizes to a fraction of a mutex operation.
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+namespace spstream {
+
+template <typename T>
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(size_t capacity = 4096) : capacity_(capacity) {}
+
+  BoundedQueue(const BoundedQueue&) = delete;
+  BoundedQueue& operator=(const BoundedQueue&) = delete;
+
+  /// \brief Enqueue one item; blocks while the queue is full (unless
+  /// closed, in which case the item is dropped and false returned).
+  bool Push(T item) {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_full_.wait(lock,
+                   [&] { return closed_ || items_.size() < capacity_; });
+    if (closed_) return false;
+    items_.push_back(std::move(item));
+    NotePeakLocked();
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// \brief Enqueue a whole batch under one lock hold; blocks while the
+  /// queue holds `capacity` or more items (a batch may transiently overshoot
+  /// the bound — the capacity is a backpressure threshold, not a hard
+  /// allocation limit). Returns false when closed.
+  bool PushBatch(std::vector<T>* batch) {
+    if (batch->empty()) return true;
+    std::unique_lock<std::mutex> lock(mu_);
+    not_full_.wait(lock,
+                   [&] { return closed_ || items_.size() < capacity_; });
+    if (closed_) return false;
+    if (items_.empty()) {
+      items_.swap(*batch);
+    } else {
+      items_.insert(items_.end(), std::make_move_iterator(batch->begin()),
+                    std::make_move_iterator(batch->end()));
+      batch->clear();
+    }
+    NotePeakLocked();
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// \brief Block until items are available (or the queue is closed), then
+  /// move everything queued into `out` (cleared first). Returns false when
+  /// the queue is closed AND empty — the consumer's exit condition.
+  bool DrainInto(std::vector<T>* out) {
+    out->clear();
+    std::unique_lock<std::mutex> lock(mu_);
+    not_empty_.wait(lock, [&] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return false;  // closed
+    out->swap(items_);
+    not_full_.notify_all();
+    return true;
+  }
+
+  /// \brief Wake all waiters; Push returns false from now on, DrainInto
+  /// returns false once the remaining items are consumed.
+  void Close() {
+    std::lock_guard<std::mutex> lock(mu_);
+    closed_ = true;
+    not_empty_.notify_all();
+    not_full_.notify_all();
+  }
+
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return items_.size();
+  }
+
+  /// \brief High-water mark of the queue depth (shard-skew visibility).
+  size_t peak_size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return peak_;
+  }
+
+ private:
+  void NotePeakLocked() {
+    if (items_.size() > peak_) peak_ = items_.size();
+  }
+
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::vector<T> items_;
+  size_t peak_ = 0;
+  bool closed_ = false;
+};
+
+}  // namespace spstream

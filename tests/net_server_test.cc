@@ -8,6 +8,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <thread>
 
 #include "net/client.h"
@@ -15,6 +16,21 @@
 
 namespace spstream {
 namespace {
+
+/// Bounded poll on a predicate: re-check every millisecond until it holds
+/// or `timeout_ms` elapses; returns the predicate's final value. Replaces
+/// fixed sleeps so tests pass as soon as the condition holds and fail with
+/// a generous deadline instead of a tuned magic duration.
+template <typename Pred>
+bool WaitFor(Pred&& pred, int timeout_ms) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms);
+  while (!pred()) {
+    if (std::chrono::steady_clock::now() >= deadline) return pred();
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  return true;
+}
 
 SchemaPtr VitalsSchema() {
   return MakeSchema("Vitals", {Field{"patient_id", ValueType::kInt64},
@@ -263,9 +279,7 @@ TEST_F(NetServerTest, CreditOverdraftEvictsWithAudit) {
   CloseSocket(*fd);
 
   // Eviction is observable: counter, metric, and an audit event.
-  for (int i = 0; i < 100 && server_->evictions() == 0; ++i) {
-    std::this_thread::sleep_for(std::chrono::milliseconds(10));
-  }
+  EXPECT_TRUE(WaitFor([&] { return server_->evictions() > 0; }, 5000));
   EXPECT_EQ(server_->evictions(), 1);
   EXPECT_GE(service_.audit()->CountOf(AuditEventKind::kNetEviction), 1);
 }
@@ -338,17 +352,19 @@ TEST_F(NetServerTest, DisconnectedConnectionsAreReaped) {
               1u);
   }  // BYE + close: the reader exits, the next epoch may reap
 
+  // Each probe drives one epoch (reaping happens on epoch boundaries), then
+  // checks whether the dead connection's gauges left the registry.
   StreamClient driver = Connect("driver");
-  bool reaped = false;
-  for (int i = 0; i < 200 && !reaped; ++i) {
-    std::vector<StreamElement> batch;
-    batch.emplace_back(Vital(2, 2, 2, 61));
-    ASSERT_TRUE(driver.Push("Vitals", std::move(batch)).ok());
-    ASSERT_TRUE(driver.Run().ok());
-    reaped = service_.metrics()->Snapshot().gauges.count(
-                 "net.conn0.frames_in") == 0;
-    if (!reaped) std::this_thread::sleep_for(std::chrono::milliseconds(5));
-  }
+  const bool reaped = WaitFor(
+      [&] {
+        std::vector<StreamElement> batch;
+        batch.emplace_back(Vital(2, 2, 2, 61));
+        EXPECT_TRUE(driver.Push("Vitals", std::move(batch)).ok());
+        EXPECT_TRUE(driver.Run().ok());
+        return service_.metrics()->Snapshot().gauges.count(
+                   "net.conn0.frames_in") == 0;
+      },
+      5000);
   EXPECT_TRUE(reaped);
 }
 
@@ -387,13 +403,22 @@ TEST_F(NetServerTest, SecondSubscriberIsRejected) {
 TEST_F(NetServerTest, ServerStopUnblocksClients) {
   StartServer();
   StreamClient client = Connect("stopper");
+  std::atomic<bool> started{false};
   std::atomic<bool> done{false};
   std::thread t([&] {
-    // Blocks until the server goes away, then fails cleanly.
-    (void)client.PollResults(0, 1, 2000);
+    started = true;
+    // Blocks until the server goes away, then fails cleanly. The timeout
+    // is deliberately far beyond the test's budget: if Stop() ever fails
+    // to unblock the poll, this hangs visibly instead of passing by
+    // timing out.
+    Status st = client.PollResults(0, 1, 60000);
+    EXPECT_FALSE(st.ok());
     done = true;
   });
-  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  // Wait for the poller to be inside PollResults; whether Stop() lands
+  // while it is blocked in the socket wait or just before, the closed
+  // connection must fail the poll promptly — no tuned sleep needed.
+  ASSERT_TRUE(WaitFor([&] { return started.load(); }, 5000));
   server_->Stop();
   t.join();
   EXPECT_TRUE(done);
