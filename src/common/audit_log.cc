@@ -13,6 +13,7 @@ const char* AuditEventKindName(AuditEventKind kind) {
     case AuditEventKind::kDenial: return "denial";
     case AuditEventKind::kPlanAdapt: return "plan_adapt";
     case AuditEventKind::kNetEviction: return "net_eviction";
+    case AuditEventKind::kQueryQuarantine: return "query_quarantined";
   }
   return "unknown";
 }

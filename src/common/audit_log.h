@@ -24,8 +24,9 @@ enum class AuditEventKind : uint8_t {
   kDenial,             ///< a tuple (or join result) was denied
   kPlanAdapt,          ///< the adaptive optimizer swapped a query's plan
   kNetEviction,        ///< the stream server evicted a connection
+  kQueryQuarantine,    ///< a faulted shard/operator failed the query closed
 };
-constexpr int kNumAuditEventKinds = 5;
+constexpr int kNumAuditEventKinds = 6;
 
 const char* AuditEventKindName(AuditEventKind kind);
 

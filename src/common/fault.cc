@@ -1,0 +1,83 @@
+#include "common/fault.h"
+
+#include <cstdlib>
+
+namespace spstream {
+
+uint64_t EnvFaultSeed(uint64_t fallback) {
+  const char* env = std::getenv("SPSTREAM_FAULT_SEED");
+  if (env == nullptr || *env == '\0') return fallback;
+  char* end = nullptr;
+  const unsigned long long parsed = std::strtoull(env, &end, 10);
+  if (end == env) return fallback;
+  return static_cast<uint64_t>(parsed);
+}
+
+FaultInjector::FaultInjector() : rng_(EnvFaultSeed(0x5eed5eed5eed5eedULL)) {}
+
+FaultInjector& FaultInjector::Global() {
+  static FaultInjector* injector = new FaultInjector();
+  return *injector;
+}
+
+void FaultInjector::Arm(const std::string& site, FaultSpec spec) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Site& s = sites_[site];
+  if (!s.armed) armed_count_.fetch_add(1, std::memory_order_relaxed);
+  s.armed = true;
+  s.spec = spec;
+  s.stats = FaultSiteStats{};
+}
+
+void FaultInjector::Disarm(const std::string& site) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sites_.find(site);
+  if (it == sites_.end() || !it->second.armed) return;
+  it->second.armed = false;
+  armed_count_.fetch_sub(1, std::memory_order_relaxed);
+}
+
+void FaultInjector::DisarmAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  sites_.clear();
+  armed_count_.store(0, std::memory_order_relaxed);
+}
+
+void FaultInjector::Reseed(uint64_t seed) {
+  std::lock_guard<std::mutex> lock(mu_);
+  rng_.Seed(seed);
+}
+
+bool FaultInjector::ShouldFail(const char* site) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sites_.find(site);
+  if (it == sites_.end() || !it->second.armed) return false;
+  Site& s = it->second;
+  ++s.stats.hits;
+  if (s.spec.max_failures >= 0 && s.stats.failures >= s.spec.max_failures) {
+    return false;
+  }
+  bool fail = s.spec.trigger_on_hit > 0 && s.stats.hits == s.spec.trigger_on_hit;
+  if (!fail && s.spec.probability > 0.0) {
+    fail = rng_.NextBool(s.spec.probability);
+  }
+  if (fail) ++s.stats.failures;
+  return fail;
+}
+
+FaultSiteStats FaultInjector::StatsFor(const std::string& site) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sites_.find(site);
+  return it == sites_.end() ? FaultSiteStats{} : it->second.stats;
+}
+
+std::vector<std::pair<std::string, FaultSiteStats>> FaultInjector::Snapshot()
+    const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<std::string, FaultSiteStats>> out;
+  out.reserve(sites_.size());
+  for (const auto& [name, site] : sites_) out.emplace_back(name, site.stats);
+  return out;
+}
+
+}  // namespace spstream

@@ -46,6 +46,9 @@ struct OperatorMetrics {
   /// Sps accepted into this operator's policy state (not stale-dropped) —
   /// per-shard EXPLAIN ANALYZE uses it to show policy convergence.
   int64_t policy_installs = 0;
+  /// Sp-batches whose installation faulted; each flipped the stream to the
+  /// fail-closed deny-all policy until a fresh batch installed cleanly.
+  int64_t policy_install_failures = 0;
 
   int64_t total_nanos = 0;              ///< all processing time
   int64_t join_nanos = 0;               ///< probe/match work (joins)
@@ -70,6 +73,7 @@ struct OperatorMetrics {
     tuples_dropped_security += o.tuples_dropped_security;
     tuples_dropped_predicate += o.tuples_dropped_predicate;
     policy_installs += o.policy_installs;
+    policy_install_failures += o.policy_install_failures;
     total_nanos += o.total_nanos;
     join_nanos += o.join_nanos;
     sp_maintenance_nanos += o.sp_maintenance_nanos;

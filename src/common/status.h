@@ -21,6 +21,7 @@ enum class StatusCode : int {
   kOutOfRange,
   kUnimplemented,
   kInternal,
+  kCancelled,  ///< operation refused because the target is shutting down
 };
 
 /// \brief Human-readable name of a StatusCode (e.g. "InvalidArgument").
@@ -61,6 +62,9 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
   }
 
   bool ok() const { return rep_ == nullptr; }

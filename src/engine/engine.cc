@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <sstream>
 
+#include "common/fault.h"
 #include "common/metrics.h"
 #include "exec/ss_operator.h"
 
@@ -86,6 +87,7 @@ spstream::MetricsSnapshot SpStreamEngine::SnapshotMetrics() {
   SyncAnalyzerStats();
   metrics_.SetGauge("engine.queries", static_cast<int64_t>(queries_.size()));
   metrics_.SetGauge("engine.adaptations", adaptations_);
+  metrics_.SetGauge("engine.queries_quarantined", quarantined_count_);
   metrics_.SetGauge("engine.audit_events", audit_.total());
   if (shard_manager_) {
     metrics_.SetGauge("engine.shards",
@@ -302,6 +304,9 @@ void RenderAnalyzedPlan(const LogicalNodePtr& node,
       os << " pred_drop=" << m.tuples_dropped_predicate;
     }
     if (m.policy_installs > 0) os << " policy_installs=" << m.policy_installs;
+    if (m.policy_install_failures > 0) {
+      os << " policy_install_faults=" << m.policy_install_failures;
+    }
     os << " total=" << m.total_nanos / 1e6 << "ms";
     if (m.join_nanos > 0) os << " join=" << m.join_nanos / 1e6 << "ms";
     if (m.sp_maintenance_nanos > 0) {
@@ -325,10 +330,19 @@ void RenderAnalyzedPlan(const LogicalNodePtr& node,
 Result<std::string> SpStreamEngine::ExplainQuery(QueryId id,
                                                  bool analyze) const {
   SP_ASSIGN_OR_RETURN(const QueryState* qs, FindQuery(id));
-  if (!analyze) return qs->plan->ToString();
+  if (!analyze) {
+    std::string out = qs->plan->ToString();
+    if (qs->quarantined) {
+      out += "QUARANTINED (fail-closed): " + qs->quarantine_reason + "\n";
+    }
+    return out;
+  }
   if (!qs->pipeline && !qs->shards) {
-    std::string out =
-        qs->plan->ToString() + "(analyze: query has not executed yet)\n";
+    // A quarantined query always lands here: its pipelines are torn down.
+    std::string out = qs->plan->ToString();
+    out += qs->quarantined
+               ? "QUARANTINED (fail-closed): " + qs->quarantine_reason + "\n"
+               : "(analyze: query has not executed yet)\n";
     if (qs->shard_decision_made && !qs->shard_fallback.empty()) {
       out += "sharding: fallback to single-threaded (" + qs->shard_fallback +
              ")\n";
@@ -423,7 +437,10 @@ Status SpStreamEngine::Run() {
   ExecContext& ctx = exec_ctx_;
   if (!options_.share_plans) {
     for (QueryState& qs : queries_) {
-      if (!qs.active) continue;
+      // Quarantined queries stay dark until deregistered: their pipelines
+      // are gone and re-running them would resume under unknown policy
+      // state. The engine keeps serving every other query.
+      if (!qs.active || qs.quarantined) continue;
       SP_RETURN_NOT_OK(RunSolo(&ctx, &qs));
     }
   } else {
@@ -431,7 +448,7 @@ Status SpStreamEngine::Run() {
     // each group through one shared trunk (§VI.C merge/split).
     std::unordered_map<std::string, std::vector<size_t>> groups;
     for (size_t i = 0; i < queries_.size(); ++i) {
-      if (!queries_[i].active) continue;
+      if (!queries_[i].active || queries_[i].quarantined) continue;
       groups[queries_[i].bare_plan->ToString()].push_back(i);
     }
     for (auto& [key, indexes] : groups) {
@@ -534,13 +551,35 @@ Status SpStreamEngine::RunSolo(ExecContext* ctx, QueryState* qs) {
   // Feed() IS that element's source→sink latency; tuple samples accumulate
   // locally and merge into the registry in one lock hold.
   Histogram tuple_latency;
+  std::string fault_reason;
   for (auto& [stream, src] : qs->physical.sources) {
     for (const StreamElement& e : stream_states_.at(stream).pending) {
+      if (SP_FAULT_FIRED(fault::kOperatorProcess)) {
+        fault_reason =
+            "injected fault at exec.operator_process (single-threaded path)";
+        break;
+      }
       const bool is_tuple = e.is_tuple();
       const int64_t t0 = NowNanos();
-      src->Feed(e);  // copy: several queries read the same pending input
+      try {
+        src->Feed(e);  // copy: several queries read the same pending input
+      } catch (const std::exception& ex) {
+        fault_reason = std::string("operator threw: ") + ex.what();
+        break;
+      } catch (...) {
+        fault_reason = "operator threw a non-std exception";
+        break;
+      }
       if (is_tuple) tuple_latency.Record(NowNanos() - t0);
     }
+    if (!fault_reason.empty()) break;
+  }
+  if (!fault_reason.empty()) {
+    // Fail the query closed: this epoch's partial output is discarded by
+    // QuarantineQuery, the pipeline is torn down, the engine survives.
+    metrics_.MergeTupleLatency(tag, tuple_latency);
+    QuarantineQuery(qs, fault_reason);
+    return Status::OK();
   }
   for (Tuple& t : qs->physical.sink->TakeTuples()) {
     if (qs->callback) qs->callback(t);
@@ -624,6 +663,23 @@ Status SpStreamEngine::RunSharded(QueryState* qs) {
   // Barrier: every shard drains its share before we read any sink.
   shard_manager_->CompleteEpoch();
 
+  // Supervision: the barrier has drained, so any fault recorded since the
+  // previous drain belongs to exactly this query's epoch (Run routes and
+  // barriers one query at a time). A faulted epoch never delivers — partial
+  // sink output is discarded and the query fails closed.
+  std::vector<ShardManager::FaultRecord> faults =
+      shard_manager_->TakeEpochFaults();
+  if (!faults.empty()) {
+    std::string reason;
+    for (const ShardManager::FaultRecord& f : faults) {
+      if (!reason.empty()) reason += "; ";
+      reason += "shard " + std::to_string(f.shard) + " " + f.site + ": " +
+                f.detail;
+    }
+    QuarantineQuery(qs, reason);
+    return Status::OK();
+  }
+
   // Deterministic merge: shard id first, arrival order within the shard.
   for (size_t s = 0; s < num_shards; ++s) {
     for (Tuple& t : shards.physicals[s].sink->TakeTuples()) {
@@ -636,6 +692,42 @@ Status SpStreamEngine::RunSharded(QueryState* qs) {
     shards.pipelines[s]->HarvestInto(&metrics_, ShardTag(tag, s));
   }
   return Status::OK();
+}
+
+void SpStreamEngine::QuarantineQuery(QueryState* qs,
+                                     const std::string& reason) {
+  // Discard the faulted epoch's partial output before teardown: a shard
+  // that went dark mid-epoch may have diverged policy state, so nothing
+  // produced in this epoch is deliverable (fail closed — drop, never leak).
+  if (qs->shards) {
+    for (StreamingPhysicalPlan& physical : qs->shards->physicals) {
+      if (physical.sink != nullptr) (void)physical.sink->TakeTuples();
+    }
+  }
+  if (qs->pipeline && qs->physical.sink != nullptr) {
+    (void)qs->physical.sink->TakeTuples();
+  }
+  qs->quarantined = true;
+  qs->quarantine_reason = reason;
+  ++quarantined_count_;
+  // Epoch-consistent teardown: callers reach here only after the shard
+  // barrier drained, so the clones are quiescent and safe to destroy.
+  ResetPipelines(qs);
+  metrics_.AddCounter("engine.query_quarantines");
+  metrics_.SetGauge("engine.queries_quarantined", quarantined_count_);
+  if (options_.enable_audit) {
+    AuditEvent e;
+    e.kind = AuditEventKind::kQueryQuarantine;
+    e.scope = QueryTag(qs);
+    e.roles = qs->roles.ToString(roles_);
+    e.detail = reason;
+    audit_.Append(std::move(e));
+  }
+}
+
+Result<bool> SpStreamEngine::IsQuarantined(QueryId id) const {
+  SP_ASSIGN_OR_RETURN(const QueryState* qs, FindQuery(id));
+  return qs->quarantined;
 }
 
 Status SpStreamEngine::SubscribeResults(

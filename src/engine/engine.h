@@ -176,6 +176,10 @@ class SpStreamEngine {
   StreamCatalog* streams() { return &streams_; }
   const SpAnalyzerStats* analyzer_stats(const std::string& stream) const;
   size_t query_count() const { return queries_.size(); }
+  /// \brief Whether a query was quarantined by the fault supervisor.
+  Result<bool> IsQuarantined(QueryId id) const;
+  /// \brief Queries quarantined so far (gauge engine.queries_quarantined).
+  int64_t quarantined_count() const { return quarantined_count_; }
   /// \brief Number of plan swaps the adaptive mode has performed.
   int64_t adaptations() const { return adaptations_; }
   /// \brief Latest measured statistics of a stream (adaptive mode), or
@@ -218,6 +222,15 @@ class SpStreamEngine {
     // `shards` it means fallback to the single-threaded path.
     bool shard_decision_made = false;
     std::string shard_fallback;  // reason when the plan is unshardable
+    // Supervision: a faulted shard or operator fails the *query*, not the
+    // engine. A quarantined query stops executing (Run skips it), its
+    // faulted epoch's partial output is discarded (fail closed — a clone
+    // with diverged policy state must not deliver), and its pipelines are
+    // torn down. Already-delivered results from earlier epochs stand: they
+    // were produced under fully-applied policies. Results already
+    // accumulated stay readable.
+    bool quarantined = false;
+    std::string quarantine_reason;
   };
 
   /// Execute one group of share-compatible queries through a shared trunk.
@@ -231,6 +244,11 @@ class SpStreamEngine {
   /// Decide (once per plan) whether `qs` runs sharded; builds the pipeline
   /// clones when it does.
   Status EnsureShardDecision(ExecContext* ctx, QueryState* qs);
+  /// Fail the query closed after a fault: discard this epoch's partial
+  /// sink output, tear down its pipelines (epoch-consistent: callers
+  /// already drained the shard barrier), audit + count it, and stop
+  /// executing it. The engine itself keeps running.
+  void QuarantineQuery(QueryState* qs, const std::string& reason);
   /// Registry key of one shard's pipeline clone ("q0.shard1").
   static std::string ShardTag(const std::string& query_tag, size_t shard);
   /// Adaptive mode: re-optimize plans against measured statistics.
@@ -263,6 +281,7 @@ class SpStreamEngine {
   std::vector<QueryState> queries_;
   std::unordered_map<std::string, StreamStatistics> measured_stats_;
   int64_t adaptations_ = 0;
+  int64_t quarantined_count_ = 0;
   Timestamp next_default_ts_ = 1;
   /// Worker-shard pool (null when num_shards <= 1). Declared after
   /// queries_ so destruction joins the workers BEFORE the pipelines they

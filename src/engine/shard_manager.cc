@@ -1,5 +1,9 @@
 #include "engine/shard_manager.h"
 
+#include <exception>
+
+#include "common/fault.h"
+
 namespace spstream {
 
 ShardManager::ShardManager(size_t num_shards, size_t queue_capacity,
@@ -9,6 +13,7 @@ ShardManager::ShardManager(size_t num_shards, size_t queue_capacity,
   shards_.reserve(num_shards);
   for (size_t i = 0; i < num_shards; ++i) {
     auto shard = std::make_unique<Shard>();
+    shard->index = i;
     shard->queue = std::make_unique<BoundedQueue<Task>>(queue_capacity);
     shard->route_buffer.reserve(route_batch_);
     shards_.push_back(std::move(shard));
@@ -24,12 +29,19 @@ ShardManager::~ShardManager() { Stop(); }
 void ShardManager::WorkerLoop(Shard* shard) {
   std::vector<Task> batch;
   int64_t tuples = 0, sps = 0;
+  // Set when this worker faults mid-epoch; everything further is dropped
+  // (never fed) until the barrier marker. A clone that missed elements may
+  // hold diverged policy/window state — letting it keep emitting could leak
+  // a tuple past the policy the fault interrupted, so the shard goes dark
+  // for the rest of the epoch and the engine quarantines the query.
+  bool poisoned = false;
   while (shard->queue->DrainInto(&batch)) {
     for (Task& task : batch) {
       if (task.src == nullptr) {
         // Epoch barrier: everything routed before the marker has been fed.
         // Publish the counters once per epoch (cheaper than per element,
         // and the engine only reads them at epoch boundaries anyway).
+        poisoned = false;
         shard->tuples_processed.store(tuples, std::memory_order_relaxed);
         shard->sps_processed.store(sps, std::memory_order_relaxed);
         shard->epochs.fetch_add(1, std::memory_order_relaxed);
@@ -40,12 +52,30 @@ void ShardManager::WorkerLoop(Shard* shard) {
         barrier_cv_.notify_one();
         continue;
       }
+      if (poisoned) continue;
+      if (SP_FAULT_FIRED(fault::kOperatorProcess)) {
+        poisoned = true;
+        RecordFault(shard->index, fault::kOperatorProcess,
+                    "injected worker fault; shard dropped the rest of the "
+                    "epoch");
+        continue;
+      }
       if (task.elem.is_tuple()) {
         ++tuples;
       } else if (task.elem.is_sp()) {
         ++sps;
       }
-      task.src->Feed(std::move(task.elem));
+      try {
+        task.src->Feed(std::move(task.elem));
+      } catch (const std::exception& ex) {
+        poisoned = true;
+        RecordFault(shard->index, "exec.exception",
+                    std::string("operator threw: ") + ex.what());
+      } catch (...) {
+        poisoned = true;
+        RecordFault(shard->index, "exec.exception",
+                    "operator threw a non-std exception");
+      }
     }
   }
   shard->tuples_processed.store(tuples, std::memory_order_relaxed);
@@ -54,7 +84,29 @@ void ShardManager::WorkerLoop(Shard* shard) {
 
 void ShardManager::FlushBuffer(Shard* shard) {
   if (shard->route_buffer.empty()) return;
-  shard->queue->PushBatch(&shard->route_buffer);
+  if (SP_FAULT_FIRED(fault::kShardQueuePush)) {
+    // The batch never reaches the shard: fail closed by dropping it (the
+    // engine discards the epoch and quarantines the query). Barrier markers
+    // must still get through or CompleteEpoch would hang, so re-push them.
+    std::vector<Task> markers;
+    for (Task& task : shard->route_buffer) {
+      if (task.src == nullptr) markers.push_back(std::move(task));
+    }
+    RecordFault(shard->index, fault::kShardQueuePush,
+                "injected routing fault; dropped " +
+                    std::to_string(shard->route_buffer.size() -
+                                   markers.size()) +
+                    " element(s)");
+    shard->route_buffer = std::move(markers);
+    if (shard->route_buffer.empty()) return;
+  }
+  Status st = shard->queue->PushBatch(&shard->route_buffer);
+  if (!st.ok()) {
+    // Cancelled: the queue closed under us (engine stopping). Nothing was
+    // enqueued; drop the batch — shutdown teardown, not data loss.
+    shard->route_buffer.clear();
+    return;
+  }
   shard->route_buffer.clear();
 }
 
@@ -77,6 +129,20 @@ void ShardManager::CompleteEpoch() {
   }
   std::unique_lock<std::mutex> lock(barrier_mu_);
   barrier_cv_.wait(lock, [&] { return barrier_remaining_ == 0; });
+}
+
+void ShardManager::RecordFault(size_t shard, std::string site,
+                               std::string detail) {
+  std::lock_guard<std::mutex> lock(faults_mu_);
+  epoch_faults_.push_back(
+      FaultRecord{shard, std::move(site), std::move(detail)});
+}
+
+std::vector<ShardManager::FaultRecord> ShardManager::TakeEpochFaults() {
+  std::lock_guard<std::mutex> lock(faults_mu_);
+  std::vector<FaultRecord> out;
+  out.swap(epoch_faults_);
+  return out;
 }
 
 void ShardManager::Stop() {

@@ -31,6 +31,7 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -57,6 +58,16 @@ class ShardManager {
     size_t queue_peak = 0;
   };
 
+  /// \brief One fault observed between two epoch barriers — an injected
+  /// failure (SP_FAULT_FIRED site), an operator exception, or a routing
+  /// push that failed. The engine drains these after CompleteEpoch() and
+  /// quarantines the query the epoch belonged to.
+  struct FaultRecord {
+    size_t shard = 0;
+    std::string site;    ///< fault-site name or "exec.exception"
+    std::string detail;  ///< free-form context (what was dropped, why)
+  };
+
   explicit ShardManager(size_t num_shards, size_t queue_capacity = 4096,
                         size_t route_batch = 256);
   ~ShardManager();
@@ -78,6 +89,15 @@ class ShardManager {
   /// read from the calling thread.
   void CompleteEpoch();
 
+  /// \brief Drain the faults recorded since the previous drain. Call right
+  /// after CompleteEpoch(): the engine routes + barriers one query at a
+  /// time, so everything drained here is attributable to that query. A
+  /// worker that faults stops feeding its pipeline until the next barrier
+  /// marker (fail closed: a clone whose policy state may have diverged must
+  /// not keep emitting), so the faulted epoch's partial output is discarded
+  /// by the caller, never delivered.
+  std::vector<FaultRecord> TakeEpochFaults();
+
   /// \brief Close all queues and join the workers. Idempotent; also run by
   /// the destructor. After Stop() the manager routes nothing.
   void Stop();
@@ -86,6 +106,7 @@ class ShardManager {
 
  private:
   struct Shard {
+    size_t index = 0;
     std::unique_ptr<BoundedQueue<Task>> queue;
     std::thread worker;
     std::vector<Task> route_buffer;  // engine-thread staging for hand-off
@@ -96,6 +117,7 @@ class ShardManager {
 
   void WorkerLoop(Shard* shard);
   void FlushBuffer(Shard* shard);
+  void RecordFault(size_t shard, std::string site, std::string detail);
 
   const size_t route_batch_;
   std::vector<std::unique_ptr<Shard>> shards_;
@@ -103,6 +125,9 @@ class ShardManager {
   std::mutex barrier_mu_;
   std::condition_variable barrier_cv_;
   size_t barrier_remaining_ = 0;
+
+  std::mutex faults_mu_;
+  std::vector<FaultRecord> epoch_faults_;
 
   bool stopped_ = false;
 };

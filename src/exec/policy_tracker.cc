@@ -1,5 +1,7 @@
 #include "exec/policy_tracker.h"
 
+#include "common/fault.h"
+
 namespace spstream {
 
 bool PolicyTracker::OnSp(const SecurityPunctuation& sp) {
@@ -29,6 +31,25 @@ bool PolicyTracker::OnSp(const SecurityPunctuation& sp) {
 
 void PolicyTracker::FinalizeOpenBatch() {
   if (open_batch_.empty()) return;
+  if (SP_FAULT_FIRED(fault::kPolicyInstall)) {
+    // Fail closed: a fault while installing the batch must never leave the
+    // previous (possibly wider) policy silently in force. The stream flips
+    // to deny-all at the batch's timestamp; OnSp keeps accepting newer
+    // batches, so the next batch that installs cleanly re-converges the
+    // stream to its intended policy. Denying is always safe — the engine
+    // may drop authorized tuples here, never leak unauthorized ones.
+    const Timestamp ts = open_batch_.front().ts();
+    previous_policy_ = current_policy_ = MakePolicy(RoleSet(), ts);
+    open_batch_.clear();
+    current_batch_.clear();
+    batch_incremental_ = false;
+    batch_covers_all_ = true;  // the deny-all applies to every tuple
+    has_attr_policies_ = false;
+    fail_closed_ = true;
+    ++fail_closed_installs_;
+    return;
+  }
+  fail_closed_ = false;
   previous_policy_ = current_policy_;
   batch_incremental_ = true;
   for (const SecurityPunctuation& sp : open_batch_) {

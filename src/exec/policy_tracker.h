@@ -67,6 +67,15 @@ class PolicyTracker {
   /// force) over this tracker's lifetime.
   int64_t batches_installed() const { return batches_installed_; }
 
+  /// \brief Batches whose installation faulted (fault site policy.install):
+  /// each flipped this stream to the fail-closed deny-all policy.
+  int64_t fail_closed_installs() const { return fail_closed_installs_; }
+
+  /// \brief True while the stream sits under the fail-closed deny-all
+  /// policy; cleared when a newer sp-batch installs successfully (the
+  /// stream "re-converges"). See docs/ROBUSTNESS.md.
+  bool fail_closed() const { return fail_closed_; }
+
   size_t MemoryBytes() const;
 
  private:
@@ -86,8 +95,10 @@ class PolicyTracker {
   // tuple ids and all attributes — the common fast path.
   bool batch_covers_all_ = false;
   bool has_attr_policies_ = false;
+  bool fail_closed_ = false;
   int64_t stale_sps_dropped_ = 0;
   int64_t batches_installed_ = 0;
+  int64_t fail_closed_installs_ = 0;
 };
 
 }  // namespace spstream

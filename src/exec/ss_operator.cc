@@ -163,6 +163,27 @@ void SsOperator::Process(StreamElement elem, int) {
   // PolicyFor finalizes any open sp-batch (and thereby decides whether the
   // batch carries attribute-granularity policies).
   const PolicyPtr policy = tracker_.PolicyFor(t);
+  if (tracker_.fail_closed_installs() != seen_fail_closed_installs_) {
+    // The batch never took effect: the stream is denied-all until a fresh
+    // batch installs cleanly. The held sps must not propagate downstream —
+    // they would advertise a policy that is not in force.
+    metrics_.policy_install_failures +=
+        tracker_.fail_closed_installs() - seen_fail_closed_installs_;
+    seen_fail_closed_installs_ = tracker_.fail_closed_installs();
+    pending_sps_.clear();
+    pending_emitted_ = true;
+    if (AuditLog* log = audit()) {
+      AuditEvent e;
+      e.kind = AuditEventKind::kPolicyExpire;
+      e.scope = query_tag();
+      e.stream = options_.stream_name;
+      e.sp_ts = policy->ts();
+      e.detail =
+          "fail-closed: sp-batch install faulted; stream denies all until "
+          "a fresh sp-batch installs";
+      log->Append(std::move(e));
+    }
+  }
   bool authorized;
   if (options_.mask_attributes && tracker_.has_attribute_policies()) {
     authorized = ApplyAttributeMask(&t);

@@ -89,6 +89,9 @@ class SsOperator : public Operator {
   std::vector<SecurityPunctuation> pending_sps_;
   bool pending_emitted_ = true;
   std::optional<Timestamp> pending_ts_;
+  // Last observed tracker_.fail_closed_installs(); a change means an
+  // sp-batch install faulted since the previous tuple (audit + metrics).
+  int64_t seen_fail_closed_installs_ = 0;
 };
 
 }  // namespace spstream

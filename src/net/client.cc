@@ -1,6 +1,8 @@
 #include "net/client.h"
 
+#include <algorithm>
 #include <chrono>
+#include <thread>
 
 #include "net/socket.h"
 #include "security/sp_codec.h"
@@ -25,8 +27,20 @@ StreamClient::StreamClient(StreamClient&& other) noexcept
       credit_window_(other.credit_window_),
       credit_stalls_(other.credit_stalls_),
       streams_(std::move(other.streams_)),
-      results_(std::move(other.results_)) {
+      results_(std::move(other.results_)),
+      host_(std::move(other.host_)),
+      port_(other.port_),
+      client_name_(std::move(other.client_name_)),
+      session_id_(other.session_id_),
+      session_token_(other.session_token_),
+      last_resumed_(other.last_resumed_),
+      reconnect_(other.reconnect_),
+      backoff_rng_(other.backoff_rng_),
+      subscriptions_(std::move(other.subscriptions_)),
+      backoff_history_(std::move(other.backoff_history_)),
+      reconnects_(other.reconnects_) {
   other.fd_ = -1;
+  other.session_id_ = 0;
 }
 
 StreamClient& StreamClient::operator=(StreamClient&& other) noexcept {
@@ -38,16 +52,42 @@ StreamClient& StreamClient::operator=(StreamClient&& other) noexcept {
   credit_stalls_ = other.credit_stalls_;
   streams_ = std::move(other.streams_);
   results_ = std::move(other.results_);
+  host_ = std::move(other.host_);
+  port_ = other.port_;
+  client_name_ = std::move(other.client_name_);
+  session_id_ = other.session_id_;
+  session_token_ = other.session_token_;
+  last_resumed_ = other.last_resumed_;
+  reconnect_ = other.reconnect_;
+  backoff_rng_ = other.backoff_rng_;
+  subscriptions_ = std::move(other.subscriptions_);
+  backoff_history_ = std::move(other.backoff_history_);
+  reconnects_ = other.reconnects_;
   other.fd_ = -1;
+  other.session_id_ = 0;
   return *this;
 }
 
 Status StreamClient::Connect(const std::string& host, uint16_t port,
                              const std::string& client_name) {
   if (connected()) return Status::InvalidArgument("client already connected");
-  SP_ASSIGN_OR_RETURN(fd_, TcpConnect(host, port));
+  host_ = host;
+  port_ = port;
+  client_name_ = client_name;
+  session_id_ = 0;
+  session_token_ = 0;
+  subscriptions_.clear();
+  return ConnectInternal(/*resume=*/false);
+}
+
+Status StreamClient::ConnectInternal(bool resume) {
+  SP_ASSIGN_OR_RETURN(fd_, TcpConnect(host_, port_));
   HelloPayload hello;
-  hello.client_name = client_name;
+  hello.client_name = client_name_;
+  if (resume) {
+    hello.session_id = session_id_;
+    hello.session_token = session_token_;
+  }
   std::string payload;
   EncodeHello(hello, &payload);
   Status st = Send(FrameType::kHello, payload);
@@ -68,9 +108,13 @@ Status StreamClient::Connect(const std::string& host, uint16_t port,
     return decoded.status();
   }
   credits_ = credit_window_ = decoded->initial_credits;
+  streams_.clear();
   for (auto& [sid, schema] : decoded->streams) {
     streams_[schema->stream_name()] = {sid, schema};
   }
+  session_id_ = decoded->session_id;
+  session_token_ = decoded->session_token;
+  last_resumed_ = decoded->resumed != 0;
   return Status::OK();
 }
 
@@ -82,6 +126,84 @@ void StreamClient::Close() {
   streams_.clear();
   results_.clear();
   credits_ = 0;
+  session_id_ = 0;
+  session_token_ = 0;
+  subscriptions_.clear();
+}
+
+void StreamClient::ConfigureReconnect(ReconnectOptions options) {
+  reconnect_ = options;
+  backoff_rng_.Seed(options.seed);
+}
+
+void StreamClient::DebugKillConnection() {
+  if (!connected()) return;
+  // No BYE: the server sees an abrupt disconnect and detaches (rather than
+  // erases) the session — exactly what a crashed client looks like.
+  CloseSocket(fd_);
+  fd_ = -1;
+  credits_ = 0;
+}
+
+Status StreamClient::Reconnect() {
+  if (host_.empty()) {
+    return Status::InvalidArgument("reconnect: never connected");
+  }
+  if (connected()) DebugKillConnection();
+  Status last = Status::Internal("reconnect: no attempts configured");
+  const int attempts = std::max(1, reconnect_.max_attempts);
+  for (int attempt = 0; attempt < attempts; ++attempt) {
+    // Capped exponential backoff with seeded jitter (u in [-1, 1)).
+    int64_t delay = static_cast<int64_t>(reconnect_.base_backoff_ms);
+    if (attempt < 62) delay <<= attempt;
+    delay = std::min<int64_t>(delay, reconnect_.max_backoff_ms);
+    const double u = 2.0 * backoff_rng_.NextDouble() - 1.0;
+    delay = std::max<int64_t>(
+        0, static_cast<int64_t>(
+               static_cast<double>(delay) * (1.0 + reconnect_.jitter * u)));
+    backoff_history_.push_back(delay);
+    std::this_thread::sleep_for(std::chrono::milliseconds(delay));
+    Status st = ConnectInternal(/*resume=*/session_id_ != 0);
+    if (st.ok()) {
+      ++reconnects_;
+      if (!last_resumed_) {
+        // The server no longer holds the session (expired linger / BYE):
+        // rebuild the result routing from the client's own record. A query
+        // whose subscription another connection claimed meanwhile comes
+        // back kAlreadyExists — tolerated; its results flow elsewhere.
+        for (uint64_t q : subscriptions_) {
+          Status sub = DoSubscribe(q);
+          if (!sub.ok() && sub.code() != StatusCode::kAlreadyExists) {
+            return sub;
+          }
+        }
+      }
+      return Status::OK();
+    }
+    last = st;
+    if (connected()) DebugKillConnection();
+  }
+  return Status(last.code(),
+                "reconnect: gave up after " + std::to_string(attempts) +
+                    " attempts: " + last.message());
+}
+
+Status StreamClient::Recover(const Status& cause) {
+  if (!reconnect_.enabled) return cause;
+  if (connected()) DebugKillConnection();
+  return Reconnect();
+}
+
+Status StreamClient::Ping() {
+  SP_RETURN_NOT_OK(Send(FrameType::kPing, ""));
+  SP_ASSIGN_OR_RETURN(Frame frame, PumpOne());
+  if (frame.type == FrameType::kPong) return Status::OK();
+  if (frame.type == FrameType::kError) {
+    SP_ASSIGN_OR_RETURN(ErrorPayload e, DecodeError(frame.payload));
+    return ErrorToStatus(e);
+  }
+  return Status::Internal(std::string("ping: unexpected reply frame ") +
+                          FrameTypeName(frame.type));
 }
 
 Status StreamClient::Send(FrameType type, std::string_view payload) {
@@ -166,11 +288,21 @@ Result<uint64_t> StreamClient::RegisterQuery(const std::string& subject,
   return AwaitReply();
 }
 
-Status StreamClient::Subscribe(uint64_t query_id) {
+Status StreamClient::DoSubscribe(uint64_t query_id) {
   std::string payload;
   PutVarint(query_id, &payload);
   SP_RETURN_NOT_OK(Send(FrameType::kSubscribe, payload));
   return AwaitReply().status();
+}
+
+Status StreamClient::Subscribe(uint64_t query_id) {
+  SP_RETURN_NOT_OK(DoSubscribe(query_id));
+  // Remembered so a reconnect onto a fresh session can replay it.
+  if (std::find(subscriptions_.begin(), subscriptions_.end(), query_id) ==
+      subscriptions_.end()) {
+    subscriptions_.push_back(query_id);
+  }
+  return Status::OK();
 }
 
 Status StreamClient::InsertSp(const std::string& sql) {
@@ -234,13 +366,29 @@ Status StreamClient::PollResults(uint64_t query_id, size_t min_tuples,
           std::to_string(results_[query_id].size()) + "/" +
           std::to_string(min_tuples) + " received)");
     }
-    SP_ASSIGN_OR_RETURN(bool readable,
-                        WaitReadable(fd_, static_cast<int>(remaining)));
-    if (!readable) continue;  // loop re-checks the deadline
-    SP_ASSIGN_OR_RETURN(Frame frame, ReadFrame(fd_));
-    BankFrame(frame);
-    if (frame.type == FrameType::kError) {
-      SP_ASSIGN_OR_RETURN(ErrorPayload e, DecodeError(frame.payload));
+    if (!connected()) {
+      // Dead socket (earlier kill or failed read): self-heal when
+      // reconnect is configured. Results banked before the drop are kept;
+      // frames lost with the connection are gone (at-most-once) — the loop
+      // keeps waiting for post-resume epochs until the deadline.
+      SP_RETURN_NOT_OK(
+          Recover(Status::Internal("poll: connection is down")));
+      continue;
+    }
+    Result<bool> readable = WaitReadable(fd_, static_cast<int>(remaining));
+    if (!readable.ok()) {
+      SP_RETURN_NOT_OK(Recover(readable.status()));
+      continue;
+    }
+    if (!*readable) continue;  // loop re-checks the deadline
+    Result<Frame> frame = ReadFrame(fd_);
+    if (!frame.ok()) {
+      SP_RETURN_NOT_OK(Recover(frame.status()));
+      continue;
+    }
+    BankFrame(*frame);
+    if (frame->type == FrameType::kError) {
+      SP_ASSIGN_OR_RETURN(ErrorPayload e, DecodeError(frame->payload));
       return ErrorToStatus(e);
     }
   }

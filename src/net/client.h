@@ -21,10 +21,25 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/rng.h"
 #include "common/status.h"
 #include "net/wire.h"
 
 namespace spstream {
+
+/// \brief Client-side reconnect policy: capped exponential backoff with
+/// deterministic (seeded) jitter. Attempt k sleeps
+///   min(base_backoff_ms << k, max_backoff_ms) * (1 + jitter * u),
+/// with u drawn uniformly from [-1, 1). Disabled by default — tests and
+/// tools opt in via StreamClient::ConfigureReconnect.
+struct ReconnectOptions {
+  bool enabled = false;
+  int max_attempts = 8;
+  int base_backoff_ms = 10;
+  int max_backoff_ms = 2000;
+  double jitter = 0.1;
+  uint64_t seed = 0x5eed5eed5eed5eedULL;
+};
 
 class StreamClient {
  public:
@@ -41,10 +56,44 @@ class StreamClient {
   Status Connect(const std::string& host, uint16_t port,
                  const std::string& client_name = "spstream-client");
 
-  /// \brief Graceful close (BYE). Safe to call twice.
+  /// \brief Graceful close (BYE; the server erases the session). Safe to
+  /// call twice.
   void Close();
 
   bool connected() const { return fd_ >= 0; }
+
+  // ---- resilience --------------------------------------------------------
+  /// \brief Opt in to (or tune) reconnect-with-backoff. Takes effect for
+  /// the next Reconnect(), manual or automatic.
+  void ConfigureReconnect(ReconnectOptions options);
+
+  /// \brief Re-dial the last Connect() target and resume the session
+  /// (capped exponential backoff + jitter between attempts). When the
+  /// server still holds the session it reinstates the subscriptions
+  /// (resumed ack); otherwise the client replays its own subscription list
+  /// over the fresh session. Banked results survive; RESULT frames that
+  /// were in flight when the connection died are lost, never duplicated.
+  Status Reconnect();
+
+  /// \brief Heartbeat round-trip (kPing -> kPong); also keeps an otherwise
+  /// idle connection inside the server's idle timeout.
+  Status Ping();
+
+  /// \brief Test hook: drop the TCP connection abruptly (no BYE), exactly
+  /// like a crash or cable pull. Session state is kept so Reconnect() can
+  /// resume.
+  void DebugKillConnection();
+
+  /// \brief Sleeps (ms) Reconnect() has scheduled so far, in order — lets
+  /// tests assert the backoff schedule.
+  const std::vector<int64_t>& backoff_history() const {
+    return backoff_history_;
+  }
+  /// \brief Successful reconnects over this client's lifetime.
+  int64_t reconnects() const { return reconnects_; }
+  /// \brief Did the last (re)connect resume a server-side session?
+  bool last_connect_resumed() const { return last_resumed_; }
+  uint64_t session_id() const { return session_id_; }
 
   // ---- control plane -----------------------------------------------------
   Result<RoleId> RegisterRole(const std::string& name);
@@ -87,6 +136,17 @@ class StreamClient {
   int64_t credit_stalls() const { return credit_stalls_; }
 
  private:
+  /// Dial + HELLO handshake; with `resume` set, presents the stored
+  /// session id + token.
+  Status ConnectInternal(bool resume);
+
+  /// Subscribe without recording into subscriptions_ (used by both the
+  /// public Subscribe and the post-reconnect replay).
+  Status DoSubscribe(uint64_t query_id);
+
+  /// On a dead socket: reconnect when configured, else surface `cause`.
+  Status Recover(const Status& cause);
+
   /// Send one frame, tallying counters.
   Status Send(FrameType type, std::string_view payload);
 
@@ -105,6 +165,20 @@ class StreamClient {
   int64_t credit_stalls_ = 0;
   std::map<std::string, std::pair<StreamId, SchemaPtr>> streams_;
   std::unordered_map<uint64_t, std::vector<Tuple>> results_;
+  // Reconnect state: the dial target, the resumable session identity, and
+  // the client's own subscription record (replayed when the server-side
+  // session expired before the reconnect landed).
+  std::string host_;
+  uint16_t port_ = 0;
+  std::string client_name_;
+  uint64_t session_id_ = 0;
+  uint64_t session_token_ = 0;
+  bool last_resumed_ = false;
+  ReconnectOptions reconnect_;
+  Rng backoff_rng_;
+  std::vector<uint64_t> subscriptions_;
+  std::vector<int64_t> backoff_history_;
+  int64_t reconnects_ = 0;
 };
 
 }  // namespace spstream

@@ -1,12 +1,30 @@
 #include "net/server.h"
 
+#include <chrono>
+
+#include "common/fault.h"
 #include "net/socket.h"
 #include "security/sp_codec.h"
 
 namespace spstream {
 
+namespace {
+
+int64_t NowMillis() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
 StreamServer::StreamServer(EngineService* service, StreamServerOptions options)
-    : service_(service), options_(options) {}
+    : service_(service),
+      options_(options),
+      // Tokens need to differ across server instances, not be secure
+      // randomness: mix wall-progress into the deterministic Rng.
+      session_rng_(static_cast<uint64_t>(
+          std::chrono::steady_clock::now().time_since_epoch().count())) {}
 
 StreamServer::~StreamServer() { Stop(); }
 
@@ -23,6 +41,10 @@ Status StreamServer::Start(uint16_t port) {
 void StreamServer::Stop() {
   if (!started_) return;
   started_ = false;
+  // Order matters: raise the stop flag BEFORE waking anything, so an
+  // accept racing this call either registers its connection in time for
+  // the shutdown pass below or sees the flag and closes the fd itself.
+  stopping_.store(true, std::memory_order_release);
   // Wake the accept loop, the serve loop, and every blocked reader.
   ShutdownSocket(listen_fd_);
   service_->Stop();
@@ -54,8 +76,45 @@ int64_t StreamServer::evictions() const {
   return evictions_;
 }
 
+int64_t StreamServer::sessions_resumed() const {
+  std::lock_guard<std::mutex> lock(conns_mu_);
+  return sessions_resumed_;
+}
+
+int64_t StreamServer::sessions_expired() const {
+  std::lock_guard<std::mutex> lock(conns_mu_);
+  return sessions_expired_;
+}
+
+size_t StreamServer::session_count() const {
+  std::lock_guard<std::mutex> lock(conns_mu_);
+  return sessions_.size();
+}
+
+void StreamServer::ReleaseSessionLocked(Connection* conn, bool preserve) {
+  if (conn->session_id == 0) return;
+  auto it = sessions_.find(conn->session_id);
+  if (it == sessions_.end()) return;
+  if (preserve) {
+    it->second.subscriptions = conn->subscriptions;
+    it->second.detached_at_ms = NowMillis();
+  } else {
+    sessions_.erase(it);
+  }
+  conn->session_id = 0;
+}
+
 void StreamServer::AcceptLoop() {
   for (;;) {
+    // Poll-bounded accept: a blocked TcpAccept can miss the listener
+    // shutdown on some kernels/paths, and — worse — a connection accepted
+    // an instant before Stop()'s shutdown pass would sit unregistered with
+    // its reader blocked in the HELLO read forever. Bounding the wait and
+    // re-checking stopping_ (again under conns_mu_ below) closes both.
+    Result<bool> readable = WaitReadable(listen_fd_, options_.accept_poll_ms);
+    if (stopping_.load(std::memory_order_acquire)) return;
+    if (!readable.ok()) return;  // listener closed: shutting down
+    if (!*readable) continue;    // poll tick; re-check the stop flag
     Result<int> fd = TcpAccept(listen_fd_);
     if (!fd.ok()) return;  // listener closed: shutting down
     Status st = SetSendTimeoutMs(*fd, options_.send_timeout_ms);
@@ -64,6 +123,13 @@ void StreamServer::AcceptLoop() {
       continue;
     }
     std::lock_guard<std::mutex> lock(conns_mu_);
+    if (stopping_.load(std::memory_order_acquire)) {
+      // Stop()'s shutdown pass has run (or is about to, which is fine: it
+      // only touches registered connections). Registering now would leave
+      // a reader nobody wakes; close the socket instead.
+      CloseSocket(*fd);
+      return;
+    }
     auto conn = std::make_unique<Connection>();
     conn->id = next_conn_id_++;
     conn->fd = *fd;
@@ -78,7 +144,8 @@ void StreamServer::AcceptLoop() {
 
 void StreamServer::ReaderLoop(Connection* conn) {
   // Handshake: the first frame must be HELLO; the ack carries the stream
-  // catalog (schema negotiation) and this connection's credit window.
+  // catalog (schema negotiation), this connection's credit window, and the
+  // session it is attached to (fresh, or a resumed detached one).
   Result<Frame> hello = ReadFrame(conn->fd);
   bool ok = hello.ok() && hello->type == FrameType::kHello;
   if (ok) {
@@ -87,7 +154,8 @@ void StreamServer::ReaderLoop(Connection* conn) {
       (void)SendError(conn, Status::ParseError("malformed HELLO: " +
                                                h.status().message()));
       ok = false;
-    } else if (h->version != kWireProtocolVersion) {
+    } else if (h->version < kMinWireProtocolVersion ||
+               h->version > kWireProtocolVersion) {
       (void)SendError(
           conn, Status::InvalidArgument(
                     "unsupported protocol version " +
@@ -99,13 +167,71 @@ void StreamServer::ReaderLoop(Connection* conn) {
       HelloAckPayload ack;
       ack.initial_credits = options_.initial_credits;
       ack.streams = service_->ListStreams();
+      {
+        std::lock_guard<std::mutex> lock(conns_mu_);
+        Session* resumed = nullptr;
+        if (h->session_id != 0) {
+          auto it = sessions_.find(h->session_id);
+          // The token gates resume; a detached_at_ms < 0 session still has
+          // a live connection attached and cannot be hijacked.
+          if (it != sessions_.end() && it->second.token == h->session_token &&
+              it->second.detached_at_ms >= 0) {
+            resumed = &it->second;
+          }
+          // An unknown/expired/mismatched id falls through to a fresh
+          // session (resumed=0): the client learns its old identity is
+          // gone and re-subscribes itself.
+        }
+        if (resumed != nullptr) {
+          resumed->detached_at_ms = -1;
+          conn->session_id = resumed->id;
+          if (!resumed->client_name.empty()) conn->name = resumed->client_name;
+          // Reinstate the session's result routing, skipping any query a
+          // newer subscriber claimed during the gap.
+          for (QueryId q : resumed->subscriptions) {
+            auto [it2, inserted] = subscribers_.emplace(q, conn);
+            (void)it2;
+            if (inserted) conn->subscriptions.push_back(q);
+          }
+          resumed->subscriptions.clear();
+          ++sessions_resumed_;
+          ack.resumed = 1;
+          ack.session_id = resumed->id;
+          ack.session_token = resumed->token;
+        } else {
+          Session fresh;
+          fresh.id = next_session_id_++;
+          fresh.token = session_rng_.Next();
+          fresh.client_name = conn->name;
+          conn->session_id = fresh.id;
+          ack.session_id = fresh.id;
+          ack.session_token = fresh.token;
+          sessions_.emplace(fresh.id, std::move(fresh));
+        }
+      }
       std::string payload;
       EncodeHelloAck(ack, &payload);
       ok = SendFrame(conn, FrameType::kHelloAck, payload).ok();
+      if (ack.resumed != 0) {
+        service_->metrics()->AddCounter("net.sessions_resumed");
+      }
     }
   }
 
+  bool bye = false;
   while (ok) {
+    if (options_.idle_timeout_ms > 0) {
+      // Heartbeat supervision: any frame (PING included) resets the clock.
+      Result<bool> readable = WaitReadable(conn->fd, options_.idle_timeout_ms);
+      if (!readable.ok()) break;
+      if (!*readable) {
+        Evict(conn,
+              "idle timeout (" + std::to_string(options_.idle_timeout_ms) +
+                  "ms without a frame)",
+              /*preserve_session=*/true);
+        break;
+      }
+    }
     Result<Frame> frame = ReadFrame(conn->fd);
     if (!frame.ok()) break;  // disconnect (clean close or torn frame)
     {
@@ -114,7 +240,10 @@ void StreamServer::ReaderLoop(Connection* conn) {
       ++conn->frames_in;
       conn->bytes_in += static_cast<int64_t>(frame->payload.size()) + 2;
     }
-    if (frame->type == FrameType::kBye) break;
+    if (frame->type == FrameType::kBye) {
+      bye = true;
+      break;
+    }
     Status st = HandleFrame(conn, *frame);
     if (!st.ok()) {
       Evict(conn, st.message());
@@ -126,9 +255,14 @@ void StreamServer::ReaderLoop(Connection* conn) {
   {
     std::lock_guard<std::mutex> lock(conns_mu_);
     was_alive = conn->alive;
-    conn->alive = false;
-    for (QueryId q : conn->subscriptions) subscribers_.erase(q);
-    conn->subscriptions.clear();
+    if (conn->alive) {
+      conn->alive = false;
+      for (QueryId q : conn->subscriptions) subscribers_.erase(q);
+      // BYE forfeits the session (graceful goodbye); an abrupt disconnect
+      // detaches it so the client can resume within the linger window.
+      ReleaseSessionLocked(conn, /*preserve=*/!bye);
+      conn->subscriptions.clear();
+    }
   }
   if (was_alive) PublishConnGauges(conn);
   // Single closer: the reader owns the fd's lifetime. Close under write_mu
@@ -215,6 +349,9 @@ Status StreamServer::HandleFrame(Connection* conn, const Frame& frame) {
       return HandlePush(conn, frame.payload);
     case FrameType::kRun:
       return HandleRun(conn);
+    case FrameType::kPing:
+      // Heartbeat: echo the payload so the client can correlate probes.
+      return SendFrame(conn, FrameType::kPong, frame.payload);
     default:
       // Anything else from a client is a protocol violation.
       (void)SendError(conn, Status::InvalidArgument(
@@ -319,10 +456,14 @@ void StreamServer::ServeLoop() {
     for (Outbound& ob : out) {
       Status st = SendFrame(ob.conn, ob.type, ob.payload);
       if (!st.ok()) {
-        Evict(ob.conn, (ob.type == FrameType::kResult
-                            ? "slow subscriber: "
-                            : "credit delivery failed: ") +
-                           st.message());
+        // A failed delivery is the peer's (or the network's) fault, not a
+        // protocol violation — keep the session resumable. The frame that
+        // failed is dropped, never re-sent: at-most-once delivery.
+        Evict(ob.conn,
+              (ob.type == FrameType::kResult ? "slow subscriber: "
+                                             : "credit delivery failed: ") +
+                  st.message(),
+              /*preserve_session=*/true);
       } else if (ob.type == FrameType::kResult) {
         service_->metrics()->AddCounter("net.result_frames");
       } else {
@@ -347,8 +488,22 @@ void StreamServer::ServeLoop() {
           ++it;
         }
       }
+      // Expire detached sessions past the linger window; their resume
+      // token is gone and a later HELLO presenting it starts fresh.
+      const int64_t now = NowMillis();
+      for (auto it = sessions_.begin(); it != sessions_.end();) {
+        if (it->second.detached_at_ms >= 0 &&
+            now - it->second.detached_at_ms > options_.session_linger_ms) {
+          it = sessions_.erase(it);
+          ++sessions_expired_;
+        } else {
+          ++it;
+        }
+      }
       service_->metrics()->SetGauge("net.connections_active",
                                     static_cast<int64_t>(live.size()));
+      service_->metrics()->SetGauge("net.sessions",
+                                    static_cast<int64_t>(sessions_.size()));
     }
     for (Connection* conn : live) PublishConnGauges(conn);
     for (auto& conn : dead) {
@@ -369,7 +524,11 @@ Status StreamServer::SendFrame(Connection* conn, FrameType type,
     if (conn->fd < 0) {
       return Status::Internal("net: connection already closed");
     }
-    st = WriteFrame(conn->fd, type, payload);
+    if (SP_FAULT_FIRED(fault::kNetWrite)) {
+      st = Status::Internal("injected fault: net.write");
+    } else {
+      st = WriteFrame(conn->fd, type, payload);
+    }
   }
   // Counter upkeep outside write_mu: conns_mu_ must never nest inside
   // write_mu (Stop/Evict take them in the opposite order).
@@ -394,12 +553,14 @@ Status StreamServer::SendError(Connection* conn, const Status& error) {
   return Status::OK();
 }
 
-void StreamServer::Evict(Connection* conn, const std::string& reason) {
+void StreamServer::Evict(Connection* conn, const std::string& reason,
+                         bool preserve_session) {
   {
     std::lock_guard<std::mutex> lock(conns_mu_);
     if (!conn->alive) return;
     conn->alive = false;
     for (QueryId q : conn->subscriptions) subscribers_.erase(q);
+    ReleaseSessionLocked(conn, preserve_session);
     conn->subscriptions.clear();
     ++evictions_;
   }

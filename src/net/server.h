@@ -35,6 +35,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/rng.h"
 #include "common/status.h"
 #include "engine/engine_service.h"
 #include "net/wire.h"
@@ -46,6 +47,16 @@ struct StreamServerOptions {
   uint64_t initial_credits = 256;
   /// A blocked send to a subscriber longer than this evicts it.
   int send_timeout_ms = 5000;
+  /// A connection that sends no frame (not even a PING heartbeat) for this
+  /// long is evicted with its session preserved for resume. 0 disables.
+  int idle_timeout_ms = 0;
+  /// The accept loop polls the listener at this period so Stop() can never
+  /// race a freshly accepted, not-yet-registered connection (see
+  /// docs/ROBUSTNESS.md).
+  int accept_poll_ms = 100;
+  /// How long a detached session (abrupt disconnect / preserved eviction)
+  /// stays resumable before the serve loop expires it.
+  int session_linger_ms = 10000;
 };
 
 class StreamServer {
@@ -72,6 +83,12 @@ class StreamServer {
   int64_t connections_accepted() const;
   /// \brief Slow-subscriber / protocol-violation evictions.
   int64_t evictions() const;
+  /// \brief Reconnects that successfully resumed a detached session.
+  int64_t sessions_resumed() const;
+  /// \brief Detached sessions dropped after `session_linger_ms`.
+  int64_t sessions_expired() const;
+  /// \brief Sessions currently tracked (attached + detached).
+  size_t session_count() const;
 
  private:
   struct Connection {
@@ -96,7 +113,24 @@ class StreamServer {
     int64_t bytes_in = 0;
     int64_t bytes_out = 0;
     int64_t credit_stalls = 0;  // pushes that drained the window to zero
+    /// Session this connection is attached to (0 until HELLO completes).
+    uint64_t session_id = 0;
     std::thread reader;
+  };
+
+  /// A client identity that survives its TCP connection. Created at HELLO,
+  /// detached (subscriptions snapshotted) on abrupt disconnect or preserved
+  /// eviction, resumed when a later HELLO presents the matching id + token,
+  /// erased on BYE / protocol violation / linger expiry. At-most-once
+  /// delivery across the gap: RESULT frames in flight when the connection
+  /// died are lost, never re-sent — a resumed subscriber can miss epochs
+  /// but can never receive a duplicate or another session's results.
+  struct Session {
+    uint64_t id = 0;
+    uint64_t token = 0;  // secret; resuming requires presenting it
+    std::string client_name;
+    std::vector<QueryId> subscriptions;
+    int64_t detached_at_ms = -1;  // -1 while a connection is attached
   };
 
   void AcceptLoop();
@@ -114,8 +148,16 @@ class StreamServer {
   Status SendOk(Connection* conn, uint64_t value);
   Status SendError(Connection* conn, const Status& error);
 
-  /// Close the connection and record why (audit event + counter).
-  void Evict(Connection* conn, const std::string& reason);
+  /// Close the connection and record why (audit event + counter). With
+  /// `preserve_session` the session detaches (resumable within the linger
+  /// window: slow subscriber, idle timeout, net faults); without, it is
+  /// erased (protocol violations forfeit the session).
+  void Evict(Connection* conn, const std::string& reason,
+             bool preserve_session = false);
+
+  /// Detach (preserve=true) or erase the connection's session. Caller holds
+  /// conns_mu_; the connection's subscriptions must not yet be cleared.
+  void ReleaseSessionLocked(Connection* conn, bool preserve);
 
   void PublishConnGauges(Connection* conn);
 
@@ -127,6 +169,11 @@ class StreamServer {
   std::thread accept_thread_;
   std::thread serve_thread_;
   bool started_ = false;
+  /// Set first thing in Stop(); the accept loop re-checks it under
+  /// conns_mu_ after every accept, so a connection racing Stop() is either
+  /// registered (and shut down by Stop's pass) or closed unregistered —
+  /// never left with a reader blocked in the HELLO read forever.
+  std::atomic<bool> stopping_{false};
 
   mutable std::mutex conns_mu_;  // guards conns_ and per-conn credit state
   std::vector<std::unique_ptr<Connection>> conns_;
@@ -136,6 +183,13 @@ class StreamServer {
   int next_conn_id_ = 0;
   int64_t connections_accepted_ = 0;
   int64_t evictions_ = 0;
+  /// Session table (guarded by conns_mu_). Tokens come from an Rng seeded
+  /// at construction; they gate resume, not cryptographic identity.
+  std::unordered_map<uint64_t, Session> sessions_;
+  uint64_t next_session_id_ = 1;
+  Rng session_rng_;
+  int64_t sessions_resumed_ = 0;
+  int64_t sessions_expired_ = 0;
 };
 
 }  // namespace spstream

@@ -55,6 +55,8 @@ const char* FrameTypeName(FrameType type) {
     case FrameType::kCredit: return "CREDIT";
     case FrameType::kOk: return "OK";
     case FrameType::kError: return "ERROR";
+    case FrameType::kPing: return "PING";
+    case FrameType::kPong: return "PONG";
   }
   return "UNKNOWN";
 }
@@ -250,6 +252,10 @@ Result<Frame> DecodeFrame(std::string_view data, size_t* offset) {
 void EncodeHello(const HelloPayload& hello, std::string* out) {
   PutVarint(hello.version, out);
   PutLengthPrefixed(hello.client_name, out);
+  // v2 session fields. Appended last so a v1 decoder simply ignores the
+  // trailing bytes and a v2 decoder treats their absence as 0.
+  PutVarint(hello.session_id, out);
+  PutVarint(hello.session_token, out);
 }
 
 Result<HelloPayload> DecodeHello(std::string_view payload) {
@@ -258,6 +264,13 @@ Result<HelloPayload> DecodeHello(std::string_view payload) {
   SP_ASSIGN_OR_RETURN(uint64_t version, GetVarint(payload, &off));
   h.version = static_cast<uint32_t>(version);
   SP_ASSIGN_OR_RETURN(h.client_name, GetLengthPrefixed(payload, &off));
+  // Tolerant v2 tail: a v1 payload ends here, leaving the session zeroed.
+  if (off < payload.size()) {
+    SP_ASSIGN_OR_RETURN(h.session_id, GetVarint(payload, &off));
+  }
+  if (off < payload.size()) {
+    SP_ASSIGN_OR_RETURN(h.session_token, GetVarint(payload, &off));
+  }
   return h;
 }
 
@@ -269,6 +282,10 @@ void EncodeHelloAck(const HelloAckPayload& ack, std::string* out) {
     PutVarint(sid, out);
     EncodeSchema(*schema, out);
   }
+  // v2 session tail (tolerantly decoded, see EncodeHello).
+  PutVarint(ack.session_id, out);
+  PutVarint(ack.session_token, out);
+  out->push_back(static_cast<char>(ack.resumed));
 }
 
 Result<HelloAckPayload> DecodeHelloAck(std::string_view payload) {
@@ -285,6 +302,15 @@ Result<HelloAckPayload> DecodeHelloAck(std::string_view payload) {
     SP_ASSIGN_OR_RETURN(uint64_t sid, GetVarint(payload, &off));
     SP_ASSIGN_OR_RETURN(SchemaPtr schema, DecodeSchema(payload, &off));
     ack.streams.emplace_back(static_cast<StreamId>(sid), std::move(schema));
+  }
+  if (off < payload.size()) {
+    SP_ASSIGN_OR_RETURN(ack.session_id, GetVarint(payload, &off));
+  }
+  if (off < payload.size()) {
+    SP_ASSIGN_OR_RETURN(ack.session_token, GetVarint(payload, &off));
+  }
+  if (off < payload.size()) {
+    SP_ASSIGN_OR_RETURN(ack.resumed, GetByte(payload, &off, "resumed flag"));
   }
   return ack;
 }
@@ -406,7 +432,7 @@ Result<ErrorPayload> DecodeError(std::string_view payload) {
   size_t off = 0;
   ErrorPayload e;
   SP_ASSIGN_OR_RETURN(uint64_t code, GetVarint(payload, &off));
-  if (code > static_cast<uint64_t>(StatusCode::kInternal)) {
+  if (code > static_cast<uint64_t>(StatusCode::kCancelled)) {
     code = static_cast<uint64_t>(StatusCode::kInternal);
   }
   e.code = static_cast<StatusCode>(code);

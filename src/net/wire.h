@@ -28,7 +28,12 @@
 namespace spstream {
 
 /// \brief Protocol revision negotiated in HELLO; bumped on breaking change.
-constexpr uint32_t kWireProtocolVersion = 1;
+/// v2 added session resume (HELLO/HELLO_ACK session fields, appended with
+/// tolerant decode so v1 payloads still parse) and PING/PONG heartbeats.
+constexpr uint32_t kWireProtocolVersion = 2;
+
+/// \brief Oldest client protocol revision the server still accepts.
+constexpr uint32_t kMinWireProtocolVersion = 1;
 
 /// \brief Hard ceiling on one frame's payload; larger lengths are treated
 /// as a protocol violation before any allocation happens.
@@ -55,6 +60,9 @@ enum class FrameType : uint8_t {
   // replies
   kOk = 13,     ///< s->c: generic success, varint value (id / epoch)
   kError = 14,  ///< s->c: status code + message
+  // liveness (v2)
+  kPing = 15,   ///< c->s: heartbeat probe (also resets the idle timer)
+  kPong = 16,   ///< s->c: heartbeat reply, payload echoed
 };
 
 const char* FrameTypeName(FrameType type);
@@ -103,6 +111,11 @@ Result<Frame> DecodeFrame(std::string_view data, size_t* offset);
 struct HelloPayload {
   uint32_t version = kWireProtocolVersion;
   std::string client_name;
+  /// v2 session resume: a reconnecting client presents the id + secret
+  /// token of its previous session; 0 = fresh session. Decoded tolerantly
+  /// (absent in v1 payloads -> 0).
+  uint64_t session_id = 0;
+  uint64_t session_token = 0;
 };
 void EncodeHello(const HelloPayload& hello, std::string* out);
 Result<HelloPayload> DecodeHello(std::string_view payload);
@@ -112,6 +125,12 @@ struct HelloAckPayload {
   uint64_t initial_credits = 0;
   /// The server's stream catalog: id + schema per registered stream.
   std::vector<std::pair<StreamId, SchemaPtr>> streams;
+  /// v2: the session this connection is attached to (present a matching
+  /// id + token in a later HELLO to resume); `resumed` is 1 when the server
+  /// restored a detached session (subscriptions reinstated server-side).
+  uint64_t session_id = 0;
+  uint64_t session_token = 0;
+  uint8_t resumed = 0;
 };
 void EncodeHelloAck(const HelloAckPayload& ack, std::string* out);
 Result<HelloAckPayload> DecodeHelloAck(std::string_view payload);

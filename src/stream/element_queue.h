@@ -17,6 +17,8 @@
 #include <utility>
 #include <vector>
 
+#include "common/status.h"
+
 namespace spstream {
 
 template <typename T>
@@ -27,29 +29,31 @@ class BoundedQueue {
   BoundedQueue(const BoundedQueue&) = delete;
   BoundedQueue& operator=(const BoundedQueue&) = delete;
 
-  /// \brief Enqueue one item; blocks while the queue is full (unless
-  /// closed, in which case the item is dropped and false returned).
-  bool Push(T item) {
+  /// \brief Enqueue one item; blocks while the queue is full. After
+  /// Close() the item is dropped and a distinct Status::Cancelled comes
+  /// back, so callers can tell engine shutdown apart from backpressure and
+  /// from real errors (quarantine teardown relies on the distinction).
+  Status Push(T item) {
     std::unique_lock<std::mutex> lock(mu_);
     not_full_.wait(lock,
                    [&] { return closed_ || items_.size() < capacity_; });
-    if (closed_) return false;
+    if (closed_) return Status::Cancelled("queue closed");
     items_.push_back(std::move(item));
     NotePeakLocked();
     not_empty_.notify_one();
-    return true;
+    return Status::OK();
   }
 
   /// \brief Enqueue a whole batch under one lock hold; blocks while the
   /// queue holds `capacity` or more items (a batch may transiently overshoot
   /// the bound — the capacity is a backpressure threshold, not a hard
-  /// allocation limit). Returns false when closed.
-  bool PushBatch(std::vector<T>* batch) {
-    if (batch->empty()) return true;
+  /// allocation limit). Status::Cancelled after Close(), like Push.
+  Status PushBatch(std::vector<T>* batch) {
+    if (batch->empty()) return Status::OK();
     std::unique_lock<std::mutex> lock(mu_);
     not_full_.wait(lock,
                    [&] { return closed_ || items_.size() < capacity_; });
-    if (closed_) return false;
+    if (closed_) return Status::Cancelled("queue closed");
     if (items_.empty()) {
       items_.swap(*batch);
     } else {
@@ -59,7 +63,7 @@ class BoundedQueue {
     }
     NotePeakLocked();
     not_empty_.notify_one();
-    return true;
+    return Status::OK();
   }
 
   /// \brief Block until items are available (or the queue is closed), then
@@ -75,7 +79,7 @@ class BoundedQueue {
     return true;
   }
 
-  /// \brief Wake all waiters; Push returns false from now on, DrainInto
+  /// \brief Wake all waiters; Push returns Cancelled from now on, DrainInto
   /// returns false once the remaining items are consumed.
   void Close() {
     std::lock_guard<std::mutex> lock(mu_);

@@ -400,6 +400,30 @@ TEST_F(NetServerTest, SecondSubscriberIsRejected) {
   EXPECT_EQ(st.code(), StatusCode::kAlreadyExists);
 }
 
+// Regression: Stop() racing a freshly accepted connection whose client
+// never sends HELLO. The accepted fd's reader would block in the handshake
+// read; Stop() must still return promptly (the accept loop re-checks
+// stopping_ under conns_mu_ and closes the unregistered fd).
+TEST_F(NetServerTest, StopReturnsDuringInFlightHandshake) {
+  StartServer();
+  // A raw connection that goes silent mid-handshake: no HELLO, ever.
+  Result<int> fd = TcpConnect("127.0.0.1", server_->port());
+  ASSERT_TRUE(fd.ok());
+
+  std::atomic<bool> stopped{false};
+  std::thread stopper([&] {
+    server_->Stop();
+    stopped = true;
+  });
+  // If the accept/Stop race leaves a reader blocked on the half-open
+  // handshake, this deadline fails the test visibly instead of wedging
+  // the suite.
+  EXPECT_TRUE(WaitFor([&] { return stopped.load(); }, 10000))
+      << "Stop() wedged behind a connection that never sent HELLO";
+  stopper.join();
+  CloseSocket(*fd);
+}
+
 TEST_F(NetServerTest, ServerStopUnblocksClients) {
   StartServer();
   StreamClient client = Connect("stopper");

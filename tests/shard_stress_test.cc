@@ -41,13 +41,13 @@ TEST(BoundedQueueStress, MultiProducerIntegrity) {
       for (int64_t i = 0; i < kPerProducer; ++i) {
         const int64_t v = p * kPerProducer + i;
         if (i % 3 == 0) {
-          ASSERT_TRUE(queue.Push(v));
+          ASSERT_TRUE(queue.Push(v).ok());
         } else {
           batch.push_back(v);
-          if (batch.size() >= 16) ASSERT_TRUE(queue.PushBatch(&batch));
+          if (batch.size() >= 16) ASSERT_TRUE(queue.PushBatch(&batch).ok());
         }
       }
-      if (!batch.empty()) ASSERT_TRUE(queue.PushBatch(&batch));
+      if (!batch.empty()) ASSERT_TRUE(queue.PushBatch(&batch).ok());
     });
   }
 
@@ -75,7 +75,7 @@ TEST(BoundedQueueStress, BackpressureBlocksUntilDrained) {
   std::atomic<int> pushed{0};
   std::thread producer([&] {
     for (int i = 0; i < 100; ++i) {
-      ASSERT_TRUE(queue.Push(i));
+      ASSERT_TRUE(queue.Push(i).ok());
       pushed.fetch_add(1);
     }
   });
@@ -95,9 +95,12 @@ TEST(BoundedQueueStress, BackpressureBlocksUntilDrained) {
 
 TEST(BoundedQueueStress, CloseWakesBlockedProducerAndConsumer) {
   BoundedQueue<int> full(/*capacity=*/1);
-  ASSERT_TRUE(full.Push(1));
+  ASSERT_TRUE(full.Push(1).ok());
   std::thread blocked_producer([&] {
-    EXPECT_FALSE(full.Push(2));  // blocks on full, then fails on close
+    // Blocks on full, then fails on close — with the distinct Cancelled
+    // code so callers can tell shutdown from data loss.
+    Status st = full.Push(2);
+    EXPECT_EQ(st.code(), StatusCode::kCancelled) << st.ToString();
   });
   BoundedQueue<int> empty(/*capacity=*/1);
   std::thread blocked_consumer([&] {
@@ -113,6 +116,24 @@ TEST(BoundedQueueStress, CloseWakesBlockedProducerAndConsumer) {
   EXPECT_TRUE(full.DrainInto(&out));
   EXPECT_EQ(out.size(), 1u);
   EXPECT_FALSE(full.DrainInto(&out));
+}
+
+TEST(BoundedQueueStress, PushAfterCloseReturnsCancelled) {
+  BoundedQueue<int> queue(/*capacity=*/4);
+  ASSERT_TRUE(queue.Push(1).ok());
+  queue.Close();
+  // Non-blocking rejection: the queue has capacity, it is just closed.
+  Status push = queue.Push(2);
+  EXPECT_EQ(push.code(), StatusCode::kCancelled) << push.ToString();
+  std::vector<int> batch = {3, 4};
+  Status push_batch = queue.PushBatch(&batch);
+  EXPECT_EQ(push_batch.code(), StatusCode::kCancelled) << push_batch.ToString();
+  // The rejected batch is untouched (caller may reroute it)...
+  EXPECT_EQ(batch.size(), 2u);
+  // ...and only the pre-close element ever comes out.
+  std::vector<int> out;
+  EXPECT_TRUE(queue.DrainInto(&out));
+  EXPECT_EQ(out, std::vector<int>({1}));
 }
 
 // ---- ShardManager ------------------------------------------------------

@@ -18,6 +18,10 @@
 //   metrics [<id>|json|prom]                  # engine metrics (optionally
 //                                             #   one query, or an exporter)
 //   audit [n]                                 # last n security audit events
+//   faults                                    # fault-site hit/failure stats
+//   faults arm <site> <prob> [hit] [max]      # arm a fault site (chaos)
+//   faults seed <n>                           # reseed the fault injector
+//   faults off                                # disarm every site
 //   serve <port> [seconds]                    # expose this engine over TCP
 //                                             #   (port 0 = kernel-chosen;
 //                                             #   prints "serving on port N")
@@ -37,6 +41,7 @@
 #include <sstream>
 #include <thread>
 
+#include "common/fault.h"
 #include "common/string_util.h"
 #include "engine/engine_service.h"
 #include "net/client.h"
@@ -112,6 +117,11 @@ class Shell {
     }
     if (EqualsIgnoreCase(cmd, "connect")) {
       return CmdConnect(&words);
+    }
+    if (EqualsIgnoreCase(cmd, "faults")) {
+      // Always process-local: chaos-drives the in-process engine/server
+      // even when the shell is otherwise in connect mode.
+      return CmdFaults(&words);
     }
     if (client_) return ExecuteRemote(cmd, &words, line);
     if (EqualsIgnoreCase(cmd, "role")) {
@@ -213,6 +223,51 @@ class Shell {
       return CmdAudit(&words);
     }
     return Status::ParseError("unknown command: " + cmd);
+  }
+
+  Status CmdFaults(std::istringstream* words) {
+    std::string sub;
+    *words >> sub;
+    FaultInjector& injector = FaultInjector::Global();
+    if (sub.empty()) {
+      std::cout << "fault injection "
+                << (injector.enabled() ? "ARMED" : "idle") << "\n";
+      for (const auto& [site, stats] : injector.Snapshot()) {
+        std::cout << "  " << site << ": hits=" << stats.hits
+                  << " failures=" << stats.failures << "\n";
+      }
+      return Status::OK();
+    }
+    if (EqualsIgnoreCase(sub, "off")) {
+      injector.DisarmAll();
+      std::cout << "all fault sites disarmed\n";
+      return Status::OK();
+    }
+    if (EqualsIgnoreCase(sub, "seed")) {
+      uint64_t seed = 0;
+      if (!(*words >> seed)) {
+        return Status::ParseError("faults seed: missing seed value");
+      }
+      injector.Reseed(seed);
+      std::cout << "fault injector reseeded with " << seed << "\n";
+      return Status::OK();
+    }
+    if (EqualsIgnoreCase(sub, "arm")) {
+      std::string site;
+      FaultSpec spec;
+      if (!(*words >> site >> spec.probability)) {
+        return Status::ParseError(
+            "usage: faults arm <site> <probability> [trigger_on_hit] "
+            "[max_failures]");
+      }
+      *words >> spec.trigger_on_hit >> spec.max_failures;
+      injector.Arm(site, spec);
+      std::cout << "armed " << site << " p=" << spec.probability
+                << " trigger_on_hit=" << spec.trigger_on_hit
+                << " max_failures=" << spec.max_failures << "\n";
+      return Status::OK();
+    }
+    return Status::ParseError("faults: unknown subcommand: " + sub);
   }
 
   Status CmdMetrics(std::istringstream* words) {
