@@ -1,0 +1,189 @@
+// Micro-batch size sweep — what batched execution buys on one thread:
+// end-to-end tuples/sec of the single-shard engine at batch sizes
+// 1/8/64/256/1024 over the same punctuated windowed join as
+// bench_shard_scaling (SELECT A.v FROM A [RANGE w], B [RANGE w] WHERE
+// A.k = B.k). batch_size=1 is the legacy per-element hand-off; larger
+// batches amortize virtual dispatch, timer reads and state-gauge refreshes
+// across a whole run of tuples, and let the SS operator reuse one
+// policy-match decision per sp-delimited run. Output is sequence-identical
+// at every size (tests/batch_equivalence_test.cc). Emits a machine-readable
+// summary to stdout, BENCH_batch_size.json in the working directory, and
+// SPSTREAM_BENCH_JSON_DIR when set.
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/rng.h"
+#include "engine/engine.h"
+#include "security/security_punctuation.h"
+
+namespace spstream::bench {
+namespace {
+
+constexpr size_t kEpochs = 3;
+constexpr size_t kTuplesPerEpoch = 20000;  // per stream, per epoch
+constexpr int kTuplesPerSp = 400;
+constexpr int64_t kWindow = 4000;  // RANGE in ts units; ts advances 1/tuple
+constexpr size_t kKeySpace = 1 << 12;
+constexpr size_t kRolePool = 16;
+constexpr size_t kRolesPerSp = 8;
+
+SchemaPtr ASchema() {
+  return MakeSchema("A", {Field{"k", ValueType::kInt64},
+                          Field{"v", ValueType::kInt64}});
+}
+
+SchemaPtr BSchema() {
+  return MakeSchema("B", {Field{"k", ValueType::kInt64},
+                          Field{"u", ValueType::kInt64}});
+}
+
+SecurityPunctuation GrantSp(const std::string& stream, Rng* rng,
+                            Timestamp ts) {
+  SecurityPunctuation sp(Pattern::Literal(stream), Pattern::Any(),
+                         Pattern::Any(), Pattern::Any(), Sign::kPositive,
+                         /*immutable=*/false, ts);
+  std::vector<RoleId> roles;
+  for (size_t i = 0; i < kRolesPerSp; ++i) {
+    roles.push_back(static_cast<RoleId>(rng->NextBounded(kRolePool)));
+  }
+  roles.push_back(0);  // always include the query's role: SS-pass workload
+  sp.SetResolvedRoles(RoleSet::FromIds(roles));
+  return sp;
+}
+
+/// One epoch of one input stream: a policy refresh every kTuplesPerSp
+/// tuples, join keys drawn from kKeySpace so most probes miss
+/// (compute-heavy, output-light).
+std::vector<StreamElement> MakeEpoch(const std::string& stream, Rng* rng,
+                                     Timestamp* ts, TupleId* tid) {
+  std::vector<StreamElement> out;
+  out.reserve(kTuplesPerEpoch + kTuplesPerEpoch / kTuplesPerSp + 1);
+  for (size_t i = 0; i < kTuplesPerEpoch; ++i) {
+    if (i % kTuplesPerSp == 0) out.emplace_back(GrantSp(stream, rng, *ts));
+    const int64_t key = static_cast<int64_t>(rng->NextBounded(kKeySpace));
+    out.emplace_back(
+        Tuple(0, (*tid)++,
+              {Value(key),
+               Value(static_cast<int64_t>(rng->NextBounded(2000)))},
+              *ts));
+    *ts += 2;  // both streams advance; interleaved ts keeps windows aligned
+  }
+  return out;
+}
+
+struct SweepResult {
+  size_t batch_size = 0;
+  double seconds = 0;
+  double tuples_per_sec = 0;
+  double speedup = 1.0;  // vs batch_size=1
+  size_t results = 0;
+};
+
+SweepResult RunWithBatchSize(size_t batch_size) {
+  EngineOptions opts;
+  opts.batch_size = batch_size;
+  opts.num_shards = 1;
+  SpStreamEngine engine(std::move(opts));
+  for (size_t r = 0; r < kRolePool; ++r) {
+    engine.RegisterRole("role" + std::to_string(r));
+  }
+  (void)engine.RegisterStream(ASchema());
+  (void)engine.RegisterStream(BSchema());
+  (void)engine.RegisterSubject("tracker", {"role0"});
+  const QueryId qid =
+      engine
+          .RegisterQuery("tracker",
+                         "SELECT A.v FROM A [RANGE " +
+                             std::to_string(kWindow) + "], B [RANGE " +
+                             std::to_string(kWindow) +
+                             "] WHERE A.k = B.k")
+          .value();
+
+  Rng rng_a(2008);
+  Rng rng_b(2009);
+  Timestamp ts_a = 1;
+  Timestamp ts_b = 2;
+  TupleId tid = 0;
+  SweepResult res;
+  res.batch_size = batch_size;
+  const int64_t start = NowNanos();
+  for (size_t e = 0; e < kEpochs; ++e) {
+    (void)engine.Push("A", MakeEpoch("A", &rng_a, &ts_a, &tid));
+    (void)engine.Push("B", MakeEpoch("B", &rng_b, &ts_b, &tid));
+    (void)engine.Run();
+    res.results += engine.TakeResults(qid).value().size();
+  }
+  res.seconds = static_cast<double>(NowNanos() - start) / 1e9;
+  res.tuples_per_sec =
+      static_cast<double>(kEpochs * kTuplesPerEpoch * 2) / res.seconds;
+  return res;
+}
+
+std::string ToJson(const std::vector<SweepResult>& results) {
+  std::ostringstream os;
+  os << "{\"bench\":\"batch_size\",\"config\":{\"epochs\":" << kEpochs
+     << ",\"tuples_per_epoch_per_stream\":" << kTuplesPerEpoch
+     << ",\"tuples_per_sp\":" << kTuplesPerSp << ",\"window\":" << kWindow
+     << ",\"key_space\":" << kKeySpace << ",\"shards\":1},\"results\":[";
+  for (size_t i = 0; i < results.size(); ++i) {
+    const SweepResult& r = results[i];
+    if (i) os << ",";
+    os << "{\"batch_size\":" << r.batch_size << ",\"seconds\":" << r.seconds
+       << ",\"tuples_per_sec\":" << r.tuples_per_sec
+       << ",\"speedup\":" << r.speedup << ",\"results\":" << r.results
+       << "}";
+  }
+  os << "]}";
+  return os.str();
+}
+
+}  // namespace
+}  // namespace spstream::bench
+
+int main() {
+  using namespace spstream::bench;
+  std::cout << "Batch-size sweep: single-shard engine throughput by "
+               "micro-batch size\n"
+            << "(windowed join, " << kEpochs << " epochs x "
+            << kTuplesPerEpoch << " tuples/stream, RANGE " << kWindow
+            << ", sp every " << kTuplesPerSp << " tuples)\n";
+
+  std::vector<SweepResult> results;
+  for (size_t batch : {1u, 8u, 64u, 256u, 1024u}) {
+    results.push_back(RunWithBatchSize(batch));
+  }
+  for (SweepResult& r : results) {
+    r.speedup = r.tuples_per_sec / results[0].tuples_per_sec;
+  }
+
+  PrintHeader("Batch-size sweep", "tuples/sec by EngineOptions::batch_size");
+  PrintLegend("batch", {"tuples/s", "speedup", "results"});
+  for (const SweepResult& r : results) {
+    PrintRow(std::to_string(r.batch_size),
+             {r.tuples_per_sec, r.speedup, static_cast<double>(r.results)},
+             2);
+  }
+
+  const std::string json = ToJson(results);
+  std::cout << "\nJSON: " << json << "\n";
+  {
+    std::ofstream out("BENCH_batch_size.json");
+    out << json << "\n";
+    std::cout << "wrote BENCH_batch_size.json\n";
+  }
+  if (const char* dir = std::getenv("SPSTREAM_BENCH_JSON_DIR")) {
+    const std::string path = std::string(dir) + "/BENCH_batch_size.json";
+    std::ofstream out(path);
+    out << json << "\n";
+    std::cout << "wrote " << path << "\n";
+  }
+  std::cout << "\nEvery size produces the same result sequence; only the "
+               "hand-off granularity\nchanges. The knee is where per-batch "
+               "overhead stops dominating per-tuple work\n(the windowed "
+               "probe); past it, larger batches only add latency.\n";
+  return 0;
+}

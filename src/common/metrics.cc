@@ -13,6 +13,9 @@ std::string OperatorMetrics::ToString() const {
      << " sp_maint_ms=" << sp_maintenance_nanos / 1e6
      << " tup_maint_ms=" << tuple_maintenance_nanos / 1e6
      << " peak_state_bytes=" << peak_state_bytes;
+  if (batches_in > 0) {
+    os << " batches=" << batches_in << " avg_batch=" << AvgBatchSize();
+  }
   return os.str();
 }
 

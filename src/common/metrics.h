@@ -50,6 +50,12 @@ struct OperatorMetrics {
   /// fail-closed deny-all policy until a fresh batch installed cleanly.
   int64_t policy_install_failures = 0;
 
+  /// Micro-batches received (PushBatch calls); together with
+  /// batch_elements_in this yields the average batch size EXPLAIN ANALYZE
+  /// reports — the observability hook for batching effectiveness.
+  int64_t batches_in = 0;
+  int64_t batch_elements_in = 0;  ///< elements delivered inside batches
+
   int64_t total_nanos = 0;              ///< all processing time
   int64_t join_nanos = 0;               ///< probe/match work (joins)
   int64_t sp_maintenance_nanos = 0;     ///< sp insert/purge/index upkeep
@@ -65,6 +71,14 @@ struct OperatorMetrics {
     if (bytes > peak_state_bytes) peak_state_bytes = bytes;
   }
 
+  /// \brief Mean elements per received batch (0 before any batch arrived).
+  double AvgBatchSize() const {
+    return batches_in > 0
+               ? static_cast<double>(batch_elements_in) /
+                     static_cast<double>(batches_in)
+               : 0.0;
+  }
+
   void Merge(const OperatorMetrics& o) {
     tuples_in += o.tuples_in;
     tuples_out += o.tuples_out;
@@ -74,6 +88,8 @@ struct OperatorMetrics {
     tuples_dropped_predicate += o.tuples_dropped_predicate;
     policy_installs += o.policy_installs;
     policy_install_failures += o.policy_install_failures;
+    batches_in += o.batches_in;
+    batch_elements_in += o.batch_elements_in;
     total_nanos += o.total_nanos;
     join_nanos += o.join_nanos;
     sp_maintenance_nanos += o.sp_maintenance_nanos;

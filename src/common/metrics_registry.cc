@@ -16,6 +16,8 @@ void AppendOperatorMetricsJson(std::ostringstream& os,
      << ",\"tuples_dropped_security\":" << m.tuples_dropped_security
      << ",\"tuples_dropped_predicate\":" << m.tuples_dropped_predicate
      << ",\"policy_installs\":" << m.policy_installs
+     << ",\"batches_in\":" << m.batches_in
+     << ",\"batch_elements_in\":" << m.batch_elements_in
      << ",\"total_nanos\":" << m.total_nanos
      << ",\"join_nanos\":" << m.join_nanos
      << ",\"sp_maintenance_nanos\":" << m.sp_maintenance_nanos

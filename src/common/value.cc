@@ -126,12 +126,6 @@ size_t Value::Hash() const {
   return 0;
 }
 
-size_t Value::MemoryBytes() const {
-  size_t bytes = sizeof(Value);
-  if (is_string() && str().capacity() > sizeof(std::string)) {
-    bytes += str().capacity();
-  }
-  return bytes;
-}
+size_t Value::MemoryBytes() const { return sizeof(Value) + HeapBytes(); }
 
 }  // namespace spstream

@@ -68,6 +68,17 @@ class Value {
   /// accounting in the benchmark harness.
   size_t MemoryBytes() const;
 
+  /// \brief Heap bytes owned beyond the inline representation (string
+  /// payloads past the SSO buffer). MemoryBytes() == sizeof(Value) +
+  /// HeapBytes(); summing HeapBytes over a container lets callers account
+  /// the inline part once via capacity instead of per element.
+  size_t HeapBytes() const {
+    if (is_string() && str().capacity() > sizeof(std::string)) {
+      return str().capacity();
+    }
+    return 0;
+  }
+
  private:
   std::variant<std::monostate, int64_t, double, std::string, bool> var_;
 };

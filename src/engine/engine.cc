@@ -1,11 +1,13 @@
 #include "engine/engine.h"
 
 #include <algorithm>
+#include <iomanip>
 #include <sstream>
 
 #include "common/fault.h"
 #include "common/metrics.h"
 #include "exec/ss_operator.h"
+#include "stream/element_batch.h"
 
 namespace spstream {
 
@@ -316,6 +318,10 @@ void RenderAnalyzedPlan(const LogicalNodePtr& node,
       os << " tup_maint=" << m.tuple_maintenance_nanos / 1e6 << "ms";
     }
     if (m.peak_state_bytes > 0) os << " peak_state=" << m.peak_state_bytes;
+    if (m.batches_in > 0) {
+      os << " batches=" << m.batches_in << " avg_batch=" << std::fixed
+         << std::setprecision(1) << m.AvgBatchSize();
+    }
     os << "]";
     out->append(os.str());
   }
@@ -552,17 +558,34 @@ Status SpStreamEngine::RunSolo(ExecContext* ctx, QueryState* qs) {
   // locally and merge into the registry in one lock hold.
   Histogram tuple_latency;
   std::string fault_reason;
+  const size_t batch_size = std::max<size_t>(1, options_.batch_size);
   for (auto& [stream, src] : qs->physical.sources) {
-    for (const StreamElement& e : stream_states_.at(stream).pending) {
-      if (SP_FAULT_FIRED(fault::kOperatorProcess)) {
-        fault_reason =
-            "injected fault at exec.operator_process (single-threaded path)";
-        break;
+    const std::vector<StreamElement>& pending =
+        stream_states_.at(stream).pending;
+    size_t i = 0;
+    while (i < pending.size() && fault_reason.empty()) {
+      // Assemble up to batch_size elements. The injection check stays
+      // per-element so a given fault seed fires on the same RNG draw as the
+      // per-element path did; a fault mid-assembly discards the partial
+      // batch (nothing from it is fed — the epoch quarantines anyway).
+      ElementBatch batch;
+      const size_t end = std::min(pending.size(), i + batch_size);
+      batch.reserve(end - i);
+      int64_t tuples_in_batch = 0;
+      for (; i < end; ++i) {
+        if (SP_FAULT_FIRED(fault::kOperatorProcess)) {
+          fault_reason =
+              "injected fault at exec.operator_process (single-threaded path)";
+          break;
+        }
+        if (pending[i].is_tuple()) ++tuples_in_batch;
+        // copy: several queries read the same pending input
+        batch.push_back(pending[i]);
       }
-      const bool is_tuple = e.is_tuple();
+      if (!fault_reason.empty() || batch.empty()) break;
       const int64_t t0 = NowNanos();
       try {
-        src->Feed(e);  // copy: several queries read the same pending input
+        src->FeedBatch(std::move(batch));
       } catch (const std::exception& ex) {
         fault_reason = std::string("operator threw: ") + ex.what();
         break;
@@ -570,7 +593,15 @@ Status SpStreamEngine::RunSolo(ExecContext* ctx, QueryState* qs) {
         fault_reason = "operator threw a non-std exception";
         break;
       }
-      if (is_tuple) tuple_latency.Record(NowNanos() - t0);
+      // Synchronous pipelined execution: the batch's wall time is every
+      // member tuple's source→sink latency (batch_size=1 degenerates to the
+      // old per-element sample).
+      if (tuples_in_batch > 0) {
+        const int64_t wall = NowNanos() - t0;
+        for (int64_t k = 0; k < tuples_in_batch; ++k) {
+          tuple_latency.Record(wall);
+        }
+      }
     }
     if (!fault_reason.empty()) break;
   }
@@ -644,21 +675,34 @@ Status SpStreamEngine::RunSharded(QueryState* qs) {
   // hash-partitioned on the leaf's shard key; sps and controls broadcast to
   // every shard so each clone's policy state converges identically.
   const size_t num_leaves = shards.physicals[0].sources.size();
+  const size_t batch_size = std::max<size_t>(1, options_.batch_size);
   for (size_t leaf = 0; leaf < num_leaves; ++leaf) {
     const std::string& stream = shards.physicals[0].sources[leaf].first;
     const LeafShardKey key = shards.routing.leaf_keys[leaf];
+    // Per-shard micro-batches: equivalence only needs per-shard element
+    // order, so sps/controls ride inline in every shard's batch (broadcast)
+    // and tuples only in their hash target's. A shard's batch is handed off
+    // whole when it fills or when the leaf's input is exhausted.
+    std::vector<ElementBatch> bufs(num_shards);
+    auto flush = [&](size_t s) {
+      if (bufs[s].empty()) return;
+      shard_manager_->RouteBatch(
+          s, shards.physicals[s].sources[leaf].second, std::move(bufs[s]));
+      bufs[s] = ElementBatch();
+    };
     for (const StreamElement& e : stream_states_.at(stream).pending) {
       if (e.is_tuple()) {
         const size_t target = ShardOf(e.tuple(), key, num_shards);
-        shard_manager_->Route(
-            target, shards.physicals[target].sources[leaf].second, e);
+        bufs[target].push_back(e);
+        if (bufs[target].size() >= batch_size) flush(target);
       } else {
         for (size_t s = 0; s < num_shards; ++s) {
-          shard_manager_->Route(s, shards.physicals[s].sources[leaf].second,
-                                e);
+          bufs[s].push_back(e);
+          if (bufs[s].size() >= batch_size) flush(s);
         }
       }
     }
+    for (size_t s = 0; s < num_shards; ++s) flush(s);
   }
   // Barrier: every shard drains its share before we read any sink.
   shard_manager_->CompleteEpoch();

@@ -77,6 +77,13 @@ struct EngineOptions {
   /// Per-shard hand-off queue capacity (elements). Routing blocks when a
   /// shard's queue is full, backpressuring the epoch to the slowest shard.
   size_t shard_queue_capacity = 4096;
+  /// Micro-batch size for pushing elements through the operator DAG. Sources
+  /// and the shard hand-off accumulate up to this many elements (tuples and
+  /// sps interleaved in arrival order) per PushBatch call, amortizing
+  /// virtual-dispatch and timer overhead. Output is byte-identical in
+  /// sequence to per-element execution at any size
+  /// (tests/batch_equivalence_test). 1 == legacy per-element behavior.
+  size_t batch_size = 64;
 };
 
 /// \brief The integrated stream engine.

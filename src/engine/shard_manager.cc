@@ -53,20 +53,32 @@ void ShardManager::WorkerLoop(Shard* shard) {
         continue;
       }
       if (poisoned) continue;
-      if (SP_FAULT_FIRED(fault::kOperatorProcess)) {
-        poisoned = true;
-        RecordFault(shard->index, fault::kOperatorProcess,
-                    "injected worker fault; shard dropped the rest of the "
-                    "epoch");
-        continue;
+      // The injection check stays per *element* (one RNG draw each) so a
+      // fault seed fires after the same number of draws as per-element
+      // hand-off. A fault anywhere in the batch drops the WHOLE batch —
+      // feeding a prefix would leave this clone's policy/window state
+      // diverged mid-run, so nothing from a faulted batch reaches the
+      // pipeline (fail closed; the engine quarantines the epoch).
+      int64_t batch_tuples = 0, batch_sps = 0;
+      for (const StreamElement& e : task.batch.elements()) {
+        if (SP_FAULT_FIRED(fault::kOperatorProcess)) {
+          poisoned = true;
+          RecordFault(shard->index, fault::kOperatorProcess,
+                      "injected worker fault; shard dropped the rest of the "
+                      "epoch");
+          break;
+        }
+        if (e.is_tuple()) {
+          ++batch_tuples;
+        } else if (e.is_sp()) {
+          ++batch_sps;
+        }
       }
-      if (task.elem.is_tuple()) {
-        ++tuples;
-      } else if (task.elem.is_sp()) {
-        ++sps;
-      }
+      if (poisoned) continue;  // nothing from a faulted batch is fed
+      tuples += batch_tuples;
+      sps += batch_sps;
       try {
-        task.src->Feed(std::move(task.elem));
+        task.src->FeedBatch(std::move(task.batch));
       } catch (const std::exception& ex) {
         poisoned = true;
         RecordFault(shard->index, "exec.exception",
@@ -89,14 +101,17 @@ void ShardManager::FlushBuffer(Shard* shard) {
     // engine discards the epoch and quarantines the query). Barrier markers
     // must still get through or CompleteEpoch would hang, so re-push them.
     std::vector<Task> markers;
+    size_t dropped_elements = 0;
     for (Task& task : shard->route_buffer) {
-      if (task.src == nullptr) markers.push_back(std::move(task));
+      if (task.src == nullptr) {
+        markers.push_back(std::move(task));
+      } else {
+        dropped_elements += task.batch.size();
+      }
     }
     RecordFault(shard->index, fault::kShardQueuePush,
                 "injected routing fault; dropped " +
-                    std::to_string(shard->route_buffer.size() -
-                                   markers.size()) +
-                    " element(s)");
+                    std::to_string(dropped_elements) + " element(s)");
     shard->route_buffer = std::move(markers);
     if (shard->route_buffer.empty()) return;
   }
@@ -112,8 +127,16 @@ void ShardManager::FlushBuffer(Shard* shard) {
 
 void ShardManager::Route(size_t shard_idx, PushSource* src,
                          StreamElement elem) {
+  ElementBatch batch;
+  batch.push_back(std::move(elem));
+  RouteBatch(shard_idx, src, std::move(batch));
+}
+
+void ShardManager::RouteBatch(size_t shard_idx, PushSource* src,
+                              ElementBatch batch) {
+  if (batch.empty()) return;
   Shard* shard = shards_[shard_idx].get();
-  shard->route_buffer.push_back(Task{src, std::move(elem)});
+  shard->route_buffer.push_back(Task{src, std::move(batch)});
   if (shard->route_buffer.size() >= route_batch_) FlushBuffer(shard);
 }
 

@@ -5,10 +5,11 @@
 // element_queue.h). The engine's Run() thread routes an epoch's admitted
 // elements: tuples hash-partitioned by their leaf's shard key, security
 // punctuations broadcast to every shard so each clone's PolicyTracker
-// converges to the same policy state. A worker drains its queue in batches
-// and feeds each element into the PushSource of the target pipeline clone —
-// synchronous pipelined execution inside the shard, exactly like the
-// single-threaded path.
+// converges to the same policy state. Hand-off units are micro-batches
+// (ElementBatch, sized by EngineOptions::batch_size): a worker drains its
+// queue and feeds each batch whole into the PushSource of the target
+// pipeline clone — synchronous pipelined execution inside the shard, exactly
+// like the single-threaded path.
 //
 // Epoch barrier: CompleteEpoch() flushes the routing buffers, enqueues one
 // barrier marker per shard, and blocks until every worker has acknowledged
@@ -42,11 +43,12 @@ namespace spstream {
 
 class ShardManager {
  public:
-  /// \brief One routed unit of work. A null `src` is the epoch barrier
-  /// marker; `elem` is ignored for markers.
+  /// \brief One routed unit of work: a micro-batch of elements for one
+  /// pipeline source, fed by the shard's worker in one FeedBatch call. A
+  /// null `src` is the epoch barrier marker; `batch` is ignored for markers.
   struct Task {
     PushSource* src = nullptr;
-    StreamElement elem{Control{}};
+    ElementBatch batch;
   };
 
   /// \brief Live counters of one shard.
@@ -80,8 +82,13 @@ class ShardManager {
   /// \brief Enqueue one element for `shard`, to be fed into `src` by that
   /// shard's worker. Elements are buffered and handed off in batches;
   /// ordering per shard is the routing order. Call only from the engine's
-  /// Run() thread.
+  /// Run() thread. Convenience wrapper over RouteBatch for a batch of one.
   void Route(size_t shard, PushSource* src, StreamElement elem);
+
+  /// \brief Enqueue a micro-batch for `shard`, fed whole into `src` by that
+  /// shard's worker (one FeedBatch call). Per-shard ordering is the routing
+  /// order of the batches. Call only from the engine's Run() thread.
+  void RouteBatch(size_t shard, PushSource* src, ElementBatch batch);
 
   /// \brief Epoch barrier: flush all routing buffers, then block until
   /// every shard has processed everything routed so far. After this

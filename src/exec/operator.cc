@@ -19,6 +19,12 @@ void Operator::Push(StreamElement elem, int port) {
 }
 
 void Operator::Emit(StreamElement elem) {
+  if (collect_ != nullptr) {
+    // Batch mode: buffer the element; PushBatch forwards everything
+    // collected as one output batch when the input batch completes.
+    collect_->push_back(std::move(elem));
+    return;
+  }
   if (outputs_.empty()) return;
   // Copy for all but the last edge; move into the last.
   for (size_t i = 0; i + 1 < outputs_.size(); ++i) {
@@ -27,7 +33,69 @@ void Operator::Emit(StreamElement elem) {
   outputs_.back().op->Push(std::move(elem), outputs_.back().port);
 }
 
+void Operator::ProcessBatch(ElementBatch& batch, int port) {
+  for (StreamElement& e : batch.elements()) {
+    Process(std::move(e), port);
+  }
+}
+
+namespace {
+/// Restores an operator's collect pointer even if Process throws (the
+/// engine quarantines the query on exceptions, but the operator must not be
+/// left pointing at a dead stack buffer in the meantime).
+struct CollectScope {
+  ElementBatch** slot;
+  ElementBatch* prev;
+  CollectScope(ElementBatch** s, ElementBatch* next) : slot(s), prev(*s) {
+    *slot = next;
+  }
+  ~CollectScope() { *slot = prev; }
+};
+}  // namespace
+
+void Operator::PushBatch(ElementBatch batch, int port) {
+  if (batch.empty()) return;
+  ++metrics_.batches_in;
+  metrics_.batch_elements_in += static_cast<int64_t>(batch.size());
+  ElementBatch out;
+  {
+    CollectScope scope(&collect_, &out);
+    if (batch.has_eos()) {
+      // Rare, terminal: route through Push so the finished-port accounting
+      // stays in one place. Emissions still collect, so downstream keeps
+      // receiving batches.
+      for (StreamElement& e : batch.elements()) {
+        Push(std::move(e), port);
+      }
+    } else {
+      ProcessBatch(batch, port);
+    }
+  }
+  ForwardBatch(std::move(out));
+}
+
+void Operator::ForwardBatch(ElementBatch batch) {
+  if (batch.empty()) return;
+  if (collect_ != nullptr) {
+    for (StreamElement& e : batch.elements()) {
+      collect_->push_back(std::move(e));
+    }
+    return;
+  }
+  if (outputs_.empty()) return;
+  // Copy for all but the last fan-out edge; move into the last.
+  for (size_t i = 0; i + 1 < outputs_.size(); ++i) {
+    outputs_[i].op->PushBatch(batch, outputs_[i].port);
+  }
+  outputs_.back().op->PushBatch(std::move(batch), outputs_.back().port);
+}
+
 size_t SourceOperator::Poll(size_t max_elements) {
+  // One poll = one batch: downstream operators get their batch kernels even
+  // for pre-materialized runs (Pipeline::Run's batch_per_poll is the batch
+  // size). Order is exactly the per-element order.
+  ElementBatch batch;
+  batch.reserve(std::min(max_elements, elements_.size() - next_) + 1);
   size_t pushed = 0;
   while (pushed < max_elements && next_ < elements_.size()) {
     StreamElement& e = elements_[next_++];
@@ -38,16 +106,18 @@ size_t SourceOperator::Poll(size_t max_elements) {
       ++metrics_.sps_in;
       ++metrics_.sps_out;
     }
-    Emit(std::move(e));
+    batch.push_back(std::move(e));
     ++pushed;
   }
   if (next_ >= elements_.size() && !eos_sent_) {
     eos_sent_ = true;
     const Timestamp ts =
         elements_.empty() ? 0 : kMaxTimestamp;
-    // Route EOS through Push so finished-port accounting fires downstream.
-    Emit(StreamElement::EndOfStream(ts));
+    // EOS rides at the batch tail; PushBatch routes it through Push so the
+    // finished-port accounting fires downstream.
+    batch.push_back(StreamElement::EndOfStream(ts));
   }
+  if (!batch.empty()) ForwardBatch(std::move(batch));
   return pushed;
 }
 

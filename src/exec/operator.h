@@ -10,6 +10,7 @@
 
 #include "common/metrics.h"
 #include "exec/exec_context.h"
+#include "stream/element_batch.h"
 #include "stream/stream_element.h"
 
 namespace spstream {
@@ -37,6 +38,13 @@ class Operator {
   /// finished.
   void Push(StreamElement elem, int port = 0);
 
+  /// \brief Push a micro-batch into input `port`. Everything the operator
+  /// emits while processing the batch is collected and forwarded downstream
+  /// as one batch, so batching survives the whole DAG without any operator
+  /// opting in. Per-edge output order is identical to pushing the elements
+  /// one by one (the batch-equivalence contract).
+  void PushBatch(ElementBatch batch, int port = 0);
+
   const std::string& label() const { return label_; }
   int num_inputs() const { return num_inputs_; }
   const OperatorMetrics& metrics() const { return metrics_; }
@@ -56,6 +64,13 @@ class Operator {
   /// \brief Operator-specific processing of a non-EOS element.
   virtual void Process(StreamElement elem, int port) = 0;
 
+  /// \brief Operator-specific processing of a batch with no EOS element.
+  /// The default loops Process, so every operator is batch-transparent;
+  /// hot operators override it with a kernel that dispatches once per
+  /// batch (one timer, no per-element virtual call) — and must produce the
+  /// exact output sequence the per-element loop would.
+  virtual void ProcessBatch(ElementBatch& batch, int port);
+
   /// \brief Called when a port sees end-of-stream. Default: nothing.
   virtual void OnPortFinished(int port) { (void)port; }
 
@@ -63,8 +78,14 @@ class Operator {
   /// propagates. Stateful operators flush pending results here.
   virtual void OnAllFinished() {}
 
-  /// \brief Send an element to all downstream operators.
+  /// \brief Send an element to all downstream operators. While a batch is
+  /// being processed this appends to the collect buffer instead (forwarded
+  /// as one batch when the input batch completes).
   void Emit(StreamElement elem);
+
+  /// \brief Send a batch to all downstream operators (copy for the first
+  /// N-1 fan-out edges, move into the last — the batch analogue of Emit).
+  void ForwardBatch(ElementBatch batch);
   void EmitTuple(Tuple t) {
     ++metrics_.tuples_out;
     Emit(StreamElement(std::move(t)));
@@ -88,6 +109,9 @@ class Operator {
   int num_inputs_;
   int finished_ports_ = 0;
   std::vector<Edge> outputs_;
+  // Non-null while PushBatch runs: Emit appends here instead of pushing
+  // downstream, so one input batch becomes one output batch per edge.
+  ElementBatch* collect_ = nullptr;
 };
 
 /// \brief Feeds a pre-materialized element sequence into the DAG. The
@@ -135,6 +159,24 @@ class PushSource : public Operator {
       ++metrics_.sps_out;
     }
     Emit(std::move(elem));
+  }
+
+  /// \brief Inject a micro-batch; it flows through the whole DAG as a batch
+  /// before this returns. Order-equivalent to Feed()ing each element.
+  void FeedBatch(ElementBatch batch) {
+    if (batch.empty()) return;
+    ++metrics_.batches_in;
+    metrics_.batch_elements_in += static_cast<int64_t>(batch.size());
+    for (const StreamElement& e : batch.elements()) {
+      if (e.is_tuple()) {
+        ++metrics_.tuples_in;
+        ++metrics_.tuples_out;
+      } else if (e.is_sp()) {
+        ++metrics_.sps_in;
+        ++metrics_.sps_out;
+      }
+    }
+    ForwardBatch(std::move(batch));
   }
 
   /// \brief Terminate the stream (propagates EOS; stateful downstream
@@ -186,6 +228,19 @@ class CollectorSink : public Operator {
       ++metrics_.sps_in;
     }
     elements_.push_back(std::move(elem));
+  }
+
+  void ProcessBatch(ElementBatch& batch, int) override {
+    // No reserve: an exact-fit reserve per batch would defeat push_back's
+    // geometric growth (quadratic re-copying at small batch sizes).
+    for (StreamElement& e : batch.elements()) {
+      if (e.is_tuple()) {
+        ++metrics_.tuples_in;
+      } else if (e.is_sp()) {
+        ++metrics_.sps_in;
+      }
+      elements_.push_back(std::move(e));
+    }
   }
 
  private:

@@ -61,6 +61,18 @@ class PolicyTracker {
   /// \brief True when the current batch contains attribute-granularity sps.
   bool has_attribute_policies() const { return has_attr_policies_; }
 
+  /// \brief True when the policy in force applies uniformly to EVERY tuple
+  /// of this stream: no open batch awaiting finalization, and no per-tuple
+  /// DDP narrowing (the finalized batch covers all tuples, or no batch has
+  /// arrived and denial-by-default rules). While this holds, PolicyFor is a
+  /// constant function — batch kernels memoize one access decision per run
+  /// and re-check only when an sp arrives (which opens a batch and clears
+  /// the condition until the next finalize).
+  bool PolicyUniformAcrossTuples() const {
+    return open_batch_.empty() &&
+           (batch_covers_all_ || current_batch_.empty());
+  }
+
   int64_t stale_sps_dropped() const { return stale_sps_dropped_; }
 
   /// \brief Sp-batches that took effect (finalized into the policy in

@@ -35,6 +35,17 @@ bool SaProject::SpIrrelevantAfterProjection(
 
 void SaProject::Process(StreamElement elem, int) {
   ScopedTimer timer(&metrics_.total_nanos);
+  ProcessElement(elem);
+}
+
+void SaProject::ProcessBatch(ElementBatch& batch, int) {
+  ScopedTimer timer(&metrics_.total_nanos);
+  for (StreamElement& e : batch.elements()) {
+    ProcessElement(e);
+  }
+}
+
+void SaProject::ProcessElement(StreamElement& elem) {
   if (elem.is_sp()) {
     ++metrics_.sps_in;
     if (SpIrrelevantAfterProjection(elem.sp())) return;

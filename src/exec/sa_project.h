@@ -23,8 +23,12 @@ class SaProject : public Operator {
 
  protected:
   void Process(StreamElement elem, int) override;
+  /// Batch kernel: one timer and dispatch per batch, tight column loop.
+  void ProcessBatch(ElementBatch& batch, int) override;
 
  private:
+  void ProcessElement(StreamElement& elem);
+
   /// True when the sp's attribute pattern matches none of the retained
   /// attributes (the sp governed only projected-away columns).
   bool SpIrrelevantAfterProjection(const SecurityPunctuation& sp) const;

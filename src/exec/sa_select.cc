@@ -4,6 +4,17 @@ namespace spstream {
 
 void SaSelect::Process(StreamElement elem, int) {
   ScopedTimer timer(&metrics_.total_nanos);
+  ProcessElement(elem);
+}
+
+void SaSelect::ProcessBatch(ElementBatch& batch, int) {
+  ScopedTimer timer(&metrics_.total_nanos);
+  for (StreamElement& e : batch.elements()) {
+    ProcessElement(e);
+  }
+}
+
+void SaSelect::ProcessElement(StreamElement& elem) {
   if (elem.is_sp()) {
     ++metrics_.sps_in;
     const Timestamp sp_ts = elem.sp().ts();

@@ -19,8 +19,12 @@ class SaSelect : public Operator {
 
  protected:
   void Process(StreamElement elem, int) override;
+  /// Batch kernel: one timer and dispatch per batch, tight eval loop.
+  void ProcessBatch(ElementBatch& batch, int) override;
 
  private:
+  void ProcessElement(StreamElement& elem);
+
   ExprPtr predicate_;
   // Sps of the current batch, buffered until a covered tuple passes.
   std::vector<SecurityPunctuation> pending_sps_;

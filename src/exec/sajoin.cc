@@ -26,6 +26,24 @@ void AuditJoinDenial(AuditLog* log, const Operator& op,
   log->Append(std::move(e));
 }
 
+/// Probe-loop key equality. The inner loop runs once per resident opposite
+/// tuple, so the common case — both keys int64 — compares inline instead of
+/// calling Value::Compare; everything else (strings, nulls, int64/double
+/// cross-kind numeric equality) falls back to the full comparison.
+struct KeyMatcher {
+  const Value& key;
+  const bool is_i64;
+  const int64_t i64;
+
+  explicit KeyMatcher(const Value& k)
+      : key(k), is_i64(k.is_int64()), i64(is_i64 ? k.int64() : 0) {}
+
+  bool operator()(const Value& other) const {
+    if (is_i64 && other.is_int64()) return other.int64() == i64;
+    return other == key;
+  }
+};
+
 }  // namespace
 
 SaJoinBase::SaJoinBase(ExecContext* ctx, SaJoinOptions options,
@@ -81,23 +99,15 @@ void SaJoinBase::EmitJoinResult(const Tuple& left, const Tuple& right,
   EmitTuple(std::move(out));
 }
 
-void SaJoinBase::Process(StreamElement elem, int port) {
-  ScopedTimer total(&metrics_.total_nanos);
-  assert(port == 0 || port == 1);
-  if (elem.is_sp()) {
-    ++metrics_.sps_in;
-    ScopedTimer t(&metrics_.sp_maintenance_nanos);
-    // 1. Policy Collection: the sp installs the policy for upcoming tuples.
-    if (trackers_[port].OnSp(elem.sp())) ++metrics_.policy_installs;
-    return;
-  }
-  if (!elem.is_tuple()) {
-    Emit(std::move(elem));
-    return;
-  }
+void SaJoinBase::ProcessSp(const SecurityPunctuation& sp, int port) {
+  ++metrics_.sps_in;
+  ScopedTimer t(&metrics_.sp_maintenance_nanos);
+  // 1. Policy Collection: the sp installs the policy for upcoming tuples.
+  if (trackers_[port].OnSp(sp)) ++metrics_.policy_installs;
+}
 
+void SaJoinBase::ProcessTuple(Tuple t, int port) {
   ++metrics_.tuples_in;
-  Tuple t = std::move(elem.tuple());
   const int opp = 1 - port;
 
   // 2. Invalidation: expire the opposite window's head by this tuple's ts;
@@ -131,13 +141,48 @@ void SaJoinBase::Process(StreamElement elem, int port) {
     ScopedTimer tj(&metrics_.join_nanos);
     Probe(t, t_policy, port);
   }
+}
+
+void SaJoinBase::Process(StreamElement elem, int port) {
+  ScopedTimer total(&metrics_.total_nanos);
+  assert(port == 0 || port == 1);
+  if (elem.is_sp()) {
+    ProcessSp(elem.sp(), port);
+    return;
+  }
+  if (!elem.is_tuple()) {
+    Emit(std::move(elem));
+    return;
+  }
+  ProcessTuple(std::move(elem.tuple()), port);
   UpdateStateBytes();
+}
+
+void SaJoinBase::ProcessBatch(ElementBatch& batch, int port) {
+  ScopedTimer total(&metrics_.total_nanos);
+  assert(port == 0 || port == 1);
+  bool state_changed = false;
+  for (StreamElement& e : batch.elements()) {
+    if (e.is_sp()) {
+      ProcessSp(e.sp(), port);
+      state_changed = true;
+    } else if (e.is_tuple()) {
+      ProcessTuple(std::move(e.tuple()), port);
+      state_changed = true;
+    } else {
+      Emit(std::move(e));
+    }
+  }
+  // One gauge refresh per batch. Peaks are sampled at batch granularity;
+  // window state grows monotonically between invalidations, so the
+  // end-of-batch sample tracks the true peak closely (exactly at size 1).
+  if (state_changed) UpdateStateBytes();
 }
 
 void SaJoinNl::Probe(const Tuple& t, const PolicyPtr& t_policy,
                      int from_port) {
   const int opp = 1 - from_port;
-  const Value& key = KeyOf(t, from_port);
+  const KeyMatcher key(KeyOf(t, from_port));
   for (Segment& seg : windows_[opp].segments()) {
     if (options_.probe_method == SaJoinOptions::ProbeMethod::kFilterAndProbe) {
       // Filter-and-probe: skip the whole segment when policies are
@@ -145,7 +190,7 @@ void SaJoinNl::Probe(const Tuple& t, const PolicyPtr& t_policy,
       if (!t_policy->allowed().Intersects(seg.policy->allowed())) continue;
     }
     for (const Tuple& u : seg.tuples) {
-      if (KeyOf(u, opp) != key) continue;
+      if (!key(KeyOf(u, opp))) continue;
       if (options_.probe_method ==
           SaJoinOptions::ProbeMethod::kProbeAndFilter) {
         if (!t_policy->allowed().Intersects(seg.policy->allowed())) {
@@ -323,7 +368,7 @@ void SaJoinIndex::OnSegmentPurged(Segment* segment, int port) {
 void SaJoinIndex::Probe(const Tuple& t, const PolicyPtr& t_policy,
                         int from_port) {
   const int opp = 1 - from_port;
-  const Value& key = KeyOf(t, from_port);
+  const KeyMatcher key(KeyOf(t, from_port));
   entries_scanned_ += static_cast<int64_t>(indexes_[opp].Probe(
       t_policy->allowed(), options_.use_skipping_rule,
       [&](Segment* seg, bool first_visit) {
@@ -332,7 +377,7 @@ void SaJoinIndex::Probe(const Tuple& t, const PolicyPtr& t_policy,
         // On a duplicate visit (naive no-skipping mode) the probing work is
         // still paid, but matches must not be emitted twice.
         for (const Tuple& u : seg->tuples) {
-          if (KeyOf(u, opp) != key) continue;
+          if (!key(KeyOf(u, opp))) continue;
           if (!first_visit) continue;
           if (from_port == 0) {
             EmitJoinResult(t, u, *t_policy, *seg->policy);

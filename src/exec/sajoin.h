@@ -56,6 +56,19 @@ class SaJoinBase : public Operator {
 
  protected:
   void Process(StreamElement elem, int port) override;
+  /// Batch kernel: per-tuple invalidation/insert/probe semantics are
+  /// identical to Process (window expiry depends on each tuple's ts), but
+  /// the state-bytes gauge refresh — O(1) since SegmentedWindow accounts
+  /// memory incrementally, yet not free — and the dispatch happen once per
+  /// batch.
+  void ProcessBatch(ElementBatch& batch, int port) override;
+
+  /// \brief Shared tuple path of Process/ProcessBatch: invalidate the
+  /// opposite window, resolve the policy, insert, probe. Does NOT refresh
+  /// the state-bytes gauge — callers do, per element or per batch.
+  void ProcessTuple(Tuple t, int port);
+  /// \brief Shared sp path: install into the port's tracker.
+  void ProcessSp(const SecurityPunctuation& sp, int port);
 
   /// \brief Variant-specific: probe the window opposite to `from_port` with
   /// tuple `t` (policy `t_policy`) and emit join results.

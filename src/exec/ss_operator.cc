@@ -102,63 +102,124 @@ bool SsOperator::ApplyAttributeMask(Tuple* t) {
 
 void SsOperator::Process(StreamElement elem, int) {
   ScopedTimer timer(&metrics_.total_nanos);
+  ProcessElement(elem);
+}
+
+void SsOperator::ProcessBatch(ElementBatch& batch, int) {
+  // One timer and one dispatch per batch; per-tuple work between sps is the
+  // memoized boolean in HandleTuple.
+  ScopedTimer timer(&metrics_.total_nanos);
+  for (StreamElement& e : batch.elements()) {
+    ProcessElement(e);
+  }
+}
+
+void SsOperator::ProcessElement(StreamElement& elem) {
   if (elem.is_sp()) {
-    ++metrics_.sps_in;
-    const Timestamp sp_ts = elem.sp().ts();
-    AuditLog* log = audit();
-    if (!tracker_.OnSp(elem.sp())) {
-      if (log) {
-        AuditEvent e;
-        e.kind = AuditEventKind::kPolicyExpire;
-        e.scope = query_tag();
-        e.stream = options_.stream_name;
-        e.sp_ts = sp_ts;
-        e.detail = "stale sp dropped (policy in force is newer)";
-        log->Append(std::move(e));
-      }
-      return;  // stale, dropped
-    }
-    ++metrics_.policy_installs;
-    if (!pending_ts_ || *pending_ts_ != sp_ts) {
-      // A new sp-batch begins; the previous unsent batch covered a segment
-      // with no authorized tuples and is discarded with them.
-      if (log && pending_ts_) {
-        AuditEvent e;
-        e.kind = AuditEventKind::kPolicyExpire;
-        e.scope = query_tag();
-        e.stream = options_.stream_name;
-        e.sp_ts = *pending_ts_;
-        e.detail = "policy overridden by newer sp-batch ts=" +
-                   std::to_string(sp_ts);
-        log->Append(std::move(e));
-      }
-      pending_sps_.clear();
-      pending_ts_ = sp_ts;
-      pending_emitted_ = false;
-    }
+    HandleSp(elem);
+  } else if (elem.is_tuple()) {
+    HandleTuple(elem);
+  } else {
+    Emit(std::move(elem));  // flush/control passes through
+  }
+}
+
+void SsOperator::HandleSp(StreamElement& elem) {
+  ++metrics_.sps_in;
+  // The arriving sp opens (or extends) a tracker batch: the policy for the
+  // next tuple run must be re-derived, whatever this sp turns out to mean.
+  memo_valid_ = false;
+  const Timestamp sp_ts = elem.sp().ts();
+  AuditLog* log = audit();
+  if (!tracker_.OnSp(elem.sp())) {
     if (log) {
-      const SecurityPunctuation& sp = elem.sp();
       AuditEvent e;
-      e.kind = AuditEventKind::kPolicyInstall;
+      e.kind = AuditEventKind::kPolicyExpire;
       e.scope = query_tag();
       e.stream = options_.stream_name;
       e.sp_ts = sp_ts;
-      e.roles = sp.roles().ToString(*ctx_->roles);
-      e.detail = std::string(sp.sign() == Sign::kPositive ? "+" : "-") +
-                 (sp.immutable() ? " immutable" : "");
+      e.detail = "stale sp dropped (policy in force is newer)";
       log->Append(std::move(e));
     }
-    pending_sps_.push_back(std::move(elem.sp()));
-    UpdateStateBytes();
-    return;
+    return;  // stale, dropped
   }
-  if (!elem.is_tuple()) {
-    Emit(std::move(elem));  // flush/control passes through
-    return;
+  ++metrics_.policy_installs;
+  if (!pending_ts_ || *pending_ts_ != sp_ts) {
+    // A new sp-batch begins; the previous unsent batch covered a segment
+    // with no authorized tuples and is discarded with them.
+    if (log && pending_ts_) {
+      AuditEvent e;
+      e.kind = AuditEventKind::kPolicyExpire;
+      e.scope = query_tag();
+      e.stream = options_.stream_name;
+      e.sp_ts = *pending_ts_;
+      e.detail = "policy overridden by newer sp-batch ts=" +
+                 std::to_string(sp_ts);
+      log->Append(std::move(e));
+    }
+    pending_sps_.clear();
+    pending_ts_ = sp_ts;
+    pending_emitted_ = false;
   }
+  if (log) {
+    const SecurityPunctuation& sp = elem.sp();
+    AuditEvent e;
+    e.kind = AuditEventKind::kPolicyInstall;
+    e.scope = query_tag();
+    e.stream = options_.stream_name;
+    e.sp_ts = sp_ts;
+    e.roles = sp.roles().ToString(*ctx_->roles);
+    e.detail = std::string(sp.sign() == Sign::kPositive ? "+" : "-") +
+               (sp.immutable() ? " immutable" : "");
+    log->Append(std::move(e));
+  }
+  pending_sps_.push_back(std::move(elem.sp()));
+  UpdateStateBytes();
+}
 
+void SsOperator::AuditDenial(const Tuple& t, const Policy& policy) {
+  if (AuditLog* log = audit()) {
+    // The record answers "who was denied what, under which policy": the
+    // query (scope + its role predicate), the tuple, and the responsible
+    // sp-batch (its ts is the sp id) with the roles it authorizes.
+    AuditEvent e;
+    e.kind = AuditEventKind::kDenial;
+    e.scope = query_tag();
+    e.stream = options_.stream_name;
+    e.tuple_id = t.tid;
+    e.sp_ts = policy.ts();
+    e.roles = state_.predicate_union().ToString(*ctx_->roles);
+    e.detail = "policy allows " + policy.allowed().ToString(*ctx_->roles);
+    log->Append(std::move(e));
+  }
+}
+
+void SsOperator::HandleTuple(StreamElement& elem) {
   ++metrics_.tuples_in;
   Tuple& t = elem.tuple();
+
+  if (memo_valid_) {
+    // Memo hit: the policy has been constant since the last sp, so this
+    // tuple's decision equals the previous one's. Denials still count and
+    // audit identically to the slow path; the fail-closed re-check is
+    // unnecessary here because the install counter can only move inside a
+    // batch finalization, which the slow path (or HandleSp) always sees
+    // first.
+    if (!memo_authorized_) {
+      ++metrics_.tuples_dropped_security;
+      AuditDenial(t, *memo_policy_);
+      return;
+    }
+    if (!pending_emitted_) {
+      pending_emitted_ = true;
+      for (SecurityPunctuation& sp : pending_sps_) {
+        EmitSp(std::move(sp));
+      }
+      pending_sps_.clear();
+    }
+    EmitTuple(std::move(t));
+    return;
+  }
 
   // PolicyFor finalizes any open sp-batch (and thereby decides whether the
   // batch carries attribute-granularity policies).
@@ -184,30 +245,24 @@ void SsOperator::Process(StreamElement elem, int) {
       log->Append(std::move(e));
     }
   }
+  const bool masking =
+      options_.mask_attributes && tracker_.has_attribute_policies();
   bool authorized;
-  if (options_.mask_attributes && tracker_.has_attribute_policies()) {
+  if (masking) {
     authorized = ApplyAttributeMask(&t);
   } else {
     authorized = state_.Matches(*policy);
   }
+  // Memoize the decision for the rest of the run: sound only while the
+  // tracker's policy is tuple-independent and masking has nothing to
+  // rewrite per tuple. Any sp arrival invalidates (HandleSp).
+  memo_valid_ = !masking && tracker_.PolicyUniformAcrossTuples();
+  memo_authorized_ = authorized;
+  memo_policy_ = policy;
 
   if (!authorized) {
     ++metrics_.tuples_dropped_security;
-    if (AuditLog* log = audit()) {
-      // The record answers "who was denied what, under which policy": the
-      // query (scope + its role predicate), the tuple, and the responsible
-      // sp-batch (its ts is the sp id) with the roles it authorizes.
-      AuditEvent e;
-      e.kind = AuditEventKind::kDenial;
-      e.scope = query_tag();
-      e.stream = options_.stream_name;
-      e.tuple_id = t.tid;
-      e.sp_ts = policy->ts();
-      e.roles = state_.predicate_union().ToString(*ctx_->roles);
-      e.detail =
-          "policy allows " + policy->allowed().ToString(*ctx_->roles);
-      log->Append(std::move(e));
-    }
+    AuditDenial(t, *policy);
     return;
   }
   if (!pending_emitted_) {

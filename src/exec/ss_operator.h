@@ -74,12 +74,19 @@ class SsOperator : public Operator {
 
  protected:
   void Process(StreamElement elem, int port) override;
+  /// Batch kernel: one timer per batch, one policy-match memo per tuple run
+  /// between sps — per-tuple work between sps is a cached boolean.
+  void ProcessBatch(ElementBatch& batch, int port) override;
 
  private:
+  void ProcessElement(StreamElement& elem);
+  void HandleSp(StreamElement& elem);
+  void HandleTuple(StreamElement& elem);
   void UpdateStateBytes();
   /// Null out attributes of `t` the predicate roles may not read; returns
   /// false when nothing remains visible (tuple must drop).
   bool ApplyAttributeMask(Tuple* t);
+  void AuditDenial(const Tuple& t, const Policy& policy);
 
   SsOptions options_;
   SsState state_;
@@ -92,6 +99,14 @@ class SsOperator : public Operator {
   // Last observed tracker_.fail_closed_installs(); a change means an
   // sp-batch install faulted since the previous tuple (audit + metrics).
   int64_t seen_fail_closed_installs_ = 0;
+  // Memoized access decision for the current tuple run (§III.B: the policy
+  // is constant between sp-batches). Valid only while the tracker's policy
+  // is uniform across tuples AND attribute masking has nothing to rewrite;
+  // any arriving sp invalidates it. The cached policy backs the audit
+  // record of memoized denials.
+  bool memo_valid_ = false;
+  bool memo_authorized_ = false;
+  PolicyPtr memo_policy_;
 };
 
 }  // namespace spstream

@@ -10,6 +10,13 @@ size_t Segment::MemoryBytes() const {
   return bytes;
 }
 
+size_t SegmentedWindow::SegmentOverheadBytes(const Segment& s) {
+  size_t bytes = sizeof(Segment);
+  bytes += s.policy ? s.policy->MemoryBytes() : 0;
+  for (const SecurityPunctuation& sp : s.sps) bytes += sp.MemoryBytes();
+  return bytes;
+}
+
 std::pair<Segment*, bool> SegmentedWindow::InsertTuple(
     Tuple t, const PolicyPtr& policy,
     const std::vector<SecurityPunctuation>& batch_sps) {
@@ -21,12 +28,15 @@ std::pair<Segment*, bool> SegmentedWindow::InsertTuple(
     if (tail.policy == policy ||
         (tail.policy && policy && *tail.policy == *policy)) {
       tail.tuples.push_back(std::move(t));
+      bytes_ += tail.tuples.back().MemoryBytes();
       return {&tail, false};
     }
   }
   segments_.push_back(Segment{policy, batch_sps, {}});
-  segments_.back().tuples.push_back(std::move(t));
-  return {&segments_.back(), true};
+  Segment& created = segments_.back();
+  created.tuples.push_back(std::move(t));
+  bytes_ += SegmentOverheadBytes(created) + created.tuples.back().MemoryBytes();
+  return {&created, true};
 }
 
 SegmentedWindow::InvalidationStats SegmentedWindow::Invalidate(
@@ -36,6 +46,7 @@ SegmentedWindow::InvalidationStats SegmentedWindow::Invalidate(
   while (!segments_.empty()) {
     Segment& head = segments_.front();
     while (!head.tuples.empty() && head.tuples.front().ts <= cutoff) {
+      bytes_ -= head.tuples.front().MemoryBytes();
       head.tuples.pop_front();
       --tuple_count_;
       ++stats.tuples_removed;
@@ -45,16 +56,11 @@ SegmentedWindow::InvalidationStats SegmentedWindow::Invalidate(
     // (§V.B.1 step 2).
     ++stats.segments_purged;
     stats.sps_purged += head.sps.size();
+    bytes_ -= SegmentOverheadBytes(head);
     if (on_purge) on_purge(&head);
     segments_.pop_front();
   }
   return stats;
-}
-
-size_t SegmentedWindow::MemoryBytes() const {
-  size_t bytes = sizeof(SegmentedWindow);
-  for (const Segment& s : segments_) bytes += s.MemoryBytes();
-  return bytes;
 }
 
 }  // namespace spstream

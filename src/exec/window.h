@@ -63,12 +63,24 @@ class SegmentedWindow {
   size_t segment_count() const { return segments_.size(); }
   Timestamp window_size() const { return window_size_; }
 
-  size_t MemoryBytes() const;
+  /// O(1): maintained incrementally by InsertTuple/Invalidate — the window
+  /// used to be walked in full (every segment, tuple and value) on every
+  /// call, which made per-tuple state accounting O(window) and dominated
+  /// single-shard join cost. Resident tuples/sps/policies are immutable
+  /// while windowed, so add-at-insert / subtract-at-expiry stays exact.
+  /// Callers mutating segments() directly would desync the counter; none
+  /// do (the SPIndex only links to segments).
+  size_t MemoryBytes() const { return sizeof(SegmentedWindow) + bytes_; }
 
  private:
+  /// Bytes of a segment minus its tuples (header, policy, sps) — the part
+  /// accounted at segment creation and purge.
+  static size_t SegmentOverheadBytes(const Segment& s);
+
   Timestamp window_size_;
   std::deque<Segment> segments_;
   size_t tuple_count_ = 0;
+  size_t bytes_ = 0;  // contents: segment overheads + resident tuples
 };
 
 }  // namespace spstream

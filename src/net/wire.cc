@@ -397,12 +397,19 @@ std::vector<std::string> EncodeResultChunks(uint64_t query,
     body.clear();
     count = 0;
   };
-  std::string scratch;
   for (const Tuple& t : tuples) {
-    scratch.clear();
-    EncodeTuple(t, &scratch);
-    if (count > 0 && body.size() + scratch.size() > budget) flush();
-    body += scratch;
+    // Encode straight into the chunk body — no per-tuple scratch buffer and
+    // re-copy. If this tuple pushed the chunk past its budget, split the
+    // encoded tail off, flush what came before it, and start the next chunk
+    // with the tail (same boundaries as encode-then-measure).
+    const size_t tuple_start = body.size();
+    EncodeTuple(t, &body);
+    if (count > 0 && body.size() > budget) {
+      std::string tail = body.substr(tuple_start);
+      body.resize(tuple_start);
+      flush();
+      body = std::move(tail);
+    }
     ++count;
   }
   flush();

@@ -1,0 +1,61 @@
+// A micro-batch of stream elements: one run of tuples together with the
+// sp/control boundaries that split it. Batching is an execution-layer
+// transport only — element order inside a batch is exactly stream order, so
+// an operator that processes a batch element-by-element is indistinguishable
+// from one fed the elements individually (tests/batch_equivalence_test.cc
+// holds the engine to that, byte-for-byte).
+//
+// The paper's observation that makes batch kernels worthwhile (§III.B): a
+// stream's effective policy is constant *between* sp-batches, so every tuple
+// of a run delimited by sps shares one access decision. Operators therefore
+// never need batches pre-split at sp boundaries — they detect boundaries
+// inline (an sp element invalidates whatever per-run state they memoized).
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "stream/stream_element.h"
+
+namespace spstream {
+
+/// \brief A run of stream elements handed through the DAG as one unit.
+class ElementBatch {
+ public:
+  ElementBatch() = default;
+  explicit ElementBatch(std::vector<StreamElement> elems)
+      : elems_(std::move(elems)) {
+    for (const StreamElement& e : elems_) {
+      if (e.is_end_of_stream()) has_eos_ = true;
+    }
+  }
+
+  void reserve(size_t n) { elems_.reserve(n); }
+
+  void push_back(StreamElement e) {
+    if (e.is_end_of_stream()) has_eos_ = true;
+    elems_.push_back(std::move(e));
+  }
+
+  bool empty() const { return elems_.empty(); }
+  size_t size() const { return elems_.size(); }
+
+  /// \brief True when the batch carries an end-of-stream control anywhere.
+  /// Operators fall back to the per-element path for such (rare, terminal)
+  /// batches so the finished-port accounting stays in one place.
+  bool has_eos() const { return has_eos_; }
+
+  std::vector<StreamElement>& elements() { return elems_; }
+  const std::vector<StreamElement>& elements() const { return elems_; }
+
+  void clear() {
+    elems_.clear();
+    has_eos_ = false;
+  }
+
+ private:
+  std::vector<StreamElement> elems_;
+  bool has_eos_ = false;
+};
+
+}  // namespace spstream

@@ -30,9 +30,13 @@ std::string Tuple::ToString(const Schema& schema) const {
 }
 
 size_t Tuple::MemoryBytes() const {
+  // Fast path: the inline part is capacity * sizeof(Value) in one multiply;
+  // the walk only collects heap spill (out-of-SSO strings), instead of the
+  // old add-MemoryBytes-then-subtract-sizeof pass over every value. This
+  // runs once per window insert/expiry, so it is join-hot.
   size_t bytes = sizeof(Tuple) + values.capacity() * sizeof(Value);
   for (const Value& v : values) {
-    bytes += v.MemoryBytes() - sizeof(Value);
+    bytes += v.HeapBytes();
   }
   return bytes;
 }

@@ -1,0 +1,319 @@
+// Differential-oracle suite for the micro-batched execution path.
+//
+// The invariant under test is stricter than the shard oracle's: for ANY
+// batch size, the engine produces exactly the same result SEQUENCE — not
+// just multiset — as a batch-size-1 (per-element) engine over the same
+// input. Batching is transport-only: collect-mode Emit preserves per-edge
+// element order, sp boundaries ride inline in batches, and the SS
+// policy-match memo is invalidated by every arriving sp, so no batch size
+// or sp interleaving may reorder, drop, or duplicate a single tuple.
+// Workloads are seeded-random (replayable) and sweep select / project /
+// join / group-by / distinct plans with interleaved positive and negative
+// sps and runtime role churn, in both single-threaded and 4-shard
+// configurations (the sharded merge is deterministic, so sequences must
+// match there too).
+//
+// CI runs this suite under ASan at SPSTREAM_BATCH_SIZE ∈ {1, 64, 1024};
+// the env var restricts the sweep to that one size.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <iterator>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "engine/engine.h"
+#include "test_util.h"
+
+namespace spstream {
+namespace {
+
+constexpr size_t kRolePool = 6;
+
+std::vector<size_t> BatchSizesUnderTest() {
+  if (const char* env = std::getenv("SPSTREAM_BATCH_SIZE")) {
+    const size_t size = static_cast<size_t>(std::strtoull(env, nullptr, 10));
+    if (size > 0) return {size};
+  }
+  return {2, 7, 64, 1024};
+}
+
+// One randomly generated engine workload, fully determined by its seed:
+// identical calls are replayed against the per-element oracle and the
+// batched subject engine.
+class BatchWorkloadDriver {
+ public:
+  BatchWorkloadDriver(uint64_t seed, size_t batch_size, size_t num_shards)
+      : rng_(seed) {
+    oracle_ = MakeEngine(/*batch_size=*/1, num_shards);
+    batched_ = MakeEngine(batch_size, num_shards);
+  }
+
+  void RegisterQueries() {
+    static const char* kQueryPool[] = {
+        "SELECT k, v FROM A",
+        "SELECT k FROM A WHERE v > 40",
+        "SELECT DISTINCT k FROM A [RANGE 64]",
+        "SELECT k, COUNT(*) FROM A [RANGE 64] GROUP BY k",
+        "SELECT k, SUM(v) FROM A [RANGE 48] GROUP BY k",
+        "SELECT A.v FROM A [RANGE 80], B [RANGE 80] WHERE A.k = B.k",
+        "SELECT A.k, B.u FROM A [RANGE 64], B [RANGE 64] WHERE A.k = B.k",
+        "SELECT u FROM B WHERE u > 10",
+    };
+    const size_t n = 1 + rng_.NextBounded(3);
+    for (size_t i = 0; i < n; ++i) {
+      const char* sql = kQueryPool[rng_.NextBounded(std::size(kQueryPool))];
+      const std::string subject =
+          subjects_[rng_.NextBounded(subjects_.size())];
+      auto q1 = oracle_->RegisterQuery(subject, sql);
+      auto q2 = batched_->RegisterQuery(subject, sql);
+      ASSERT_TRUE(q1.ok()) << sql << ": " << q1.status().ToString();
+      ASSERT_TRUE(q2.ok()) << sql << ": " << q2.status().ToString();
+      ASSERT_EQ(*q1, *q2);
+      query_ids_.push_back(*q1);
+      query_sql_.push_back(sql);
+    }
+  }
+
+  void RunEpochs() {
+    const size_t epochs = 3 + rng_.NextBounded(3);
+    for (size_t e = 0; e < epochs; ++e) {
+      MaybeChurnRoles();
+      PushStream("A", /*cols=*/3, 40 + rng_.NextBounded(120));
+      PushStream("B", /*cols=*/2, 30 + rng_.NextBounded(80));
+      ASSERT_TRUE(oracle_->Run().ok());
+      ASSERT_TRUE(batched_->Run().ok());
+      CompareResults(e);
+      if (::testing::Test::HasFatalFailure()) return;
+    }
+  }
+
+ private:
+  std::unique_ptr<SpStreamEngine> MakeEngine(size_t batch_size,
+                                             size_t num_shards) {
+    EngineOptions opts;
+    opts.batch_size = batch_size;
+    opts.num_shards = num_shards;
+    auto engine = std::make_unique<SpStreamEngine>(std::move(opts));
+    for (size_t r = 0; r < kRolePool; ++r) {
+      engine->RegisterRole("R" + std::to_string(r));
+    }
+    EXPECT_TRUE(engine
+                    ->RegisterStream(MakeSchema(
+                        "A", {Field{"k", ValueType::kInt64},
+                              Field{"v", ValueType::kInt64},
+                              Field{"w", ValueType::kInt64}}))
+                    .ok());
+    EXPECT_TRUE(engine
+                    ->RegisterStream(MakeSchema(
+                        "B", {Field{"k", ValueType::kInt64},
+                              Field{"u", ValueType::kInt64}}))
+                    .ok());
+    if (subjects_.empty()) {
+      subjects_ = {"alice", "bob"};
+      subject_roles_.resize(subjects_.size());
+    }
+    // Same role draw for both engines: draw once, cache, replay.
+    for (size_t s = 0; s < subjects_.size(); ++s) {
+      if (subject_roles_[s].empty()) subject_roles_[s] = RandomRoleNames();
+      EXPECT_TRUE(
+          engine->RegisterSubject(subjects_[s], subject_roles_[s]).ok());
+    }
+    return engine;
+  }
+
+  std::vector<std::string> RandomRoleNames() {
+    std::vector<std::string> out;
+    const size_t n = 1 + rng_.NextBounded(3);
+    for (size_t i = 0; i < n; ++i) {
+      out.push_back("R" + std::to_string(rng_.NextBounded(kRolePool)));
+    }
+    return out;
+  }
+
+  void MaybeChurnRoles() {
+    if (!rng_.NextBool(0.3)) return;
+    const size_t s = rng_.NextBounded(subjects_.size());
+    const std::vector<std::string> roles = RandomRoleNames();
+    const Status s1 = oracle_->UpdateSubjectRoles(subjects_[s], roles);
+    const Status s2 = batched_->UpdateSubjectRoles(subjects_[s], roles);
+    ASSERT_EQ(s1.ok(), s2.ok());
+  }
+
+  // A punctuated random segment of `stream`: policy changes every few
+  // tuples, so batches of any size straddle sp boundaries in every
+  // workload; keys are drawn from a small range so joins/groups collide.
+  void PushStream(const std::string& stream, int cols, size_t n) {
+    std::vector<StreamElement> elems;
+    Timestamp& ts = stream_ts_[stream];
+    TupleId& tid = stream_tid_[stream];
+    size_t emitted = 0;
+    while (emitted < n) {
+      std::vector<RoleId> roles;
+      const size_t nr = 1 + rng_.NextBounded(2);
+      for (size_t i = 0; i < nr; ++i) {
+        roles.push_back(static_cast<RoleId>(rng_.NextBounded(kRolePool)));
+      }
+      elems.emplace_back(sptest::MakeSp(stream, roles, ts,
+                                        rng_.NextBool(0.15)
+                                            ? Sign::kNegative
+                                            : Sign::kPositive));
+      const size_t seg = 1 + rng_.NextBounded(8);
+      for (size_t i = 0; i < seg && emitted < n; ++i, ++emitted) {
+        std::vector<int64_t> vals;
+        vals.push_back(static_cast<int64_t>(rng_.NextBounded(8)));  // key
+        for (int c = 1; c < cols; ++c) {
+          vals.push_back(static_cast<int64_t>(rng_.NextBounded(100)));
+        }
+        elems.emplace_back(sptest::MakeTuple(tid++, vals, ts));
+        ts += 1 + rng_.NextBounded(3);
+      }
+    }
+    std::vector<StreamElement> copy = elems;
+    ASSERT_TRUE(oracle_->Push(stream, std::move(elems)).ok());
+    ASSERT_TRUE(batched_->Push(stream, std::move(copy)).ok());
+  }
+
+  static std::vector<std::string> Sequence(const std::vector<Tuple>& ts) {
+    std::vector<std::string> out;
+    out.reserve(ts.size());
+    for (const Tuple& t : ts) out.push_back(t.ToString());
+    return out;
+  }
+
+  // Exact-sequence comparison: batching must not reorder a single tuple.
+  void CompareResults(size_t epoch) {
+    for (size_t i = 0; i < query_ids_.size(); ++i) {
+      auto expect = oracle_->Results(query_ids_[i]);
+      auto actual = batched_->Results(query_ids_[i]);
+      ASSERT_TRUE(expect.ok() && actual.ok());
+      ASSERT_EQ(Sequence(*expect), Sequence(*actual))
+          << "epoch " << epoch << " query " << query_sql_[i] << " ("
+          << expect->size() << " vs " << actual->size() << " tuples)";
+    }
+  }
+
+  Rng rng_;
+  std::vector<std::string> subjects_;
+  std::vector<std::vector<std::string>> subject_roles_;
+  std::unique_ptr<SpStreamEngine> oracle_;
+  std::unique_ptr<SpStreamEngine> batched_;
+  std::vector<QueryId> query_ids_;
+  std::vector<std::string> query_sql_;
+  std::map<std::string, Timestamp> stream_ts_;
+  std::map<std::string, TupleId> stream_tid_;
+};
+
+class BatchEquivalenceTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(BatchEquivalenceTest, SingleThreadedMatchesPerElementOracle) {
+  const uint64_t seed = GetParam();
+  for (size_t batch_size : BatchSizesUnderTest()) {
+    SCOPED_TRACE("batch_size=" + std::to_string(batch_size));
+    BatchWorkloadDriver driver(seed, batch_size, /*num_shards=*/1);
+    driver.RegisterQueries();
+    if (::testing::Test::HasFatalFailure()) return;
+    driver.RunEpochs();
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+}
+
+TEST_P(BatchEquivalenceTest, ShardedMatchesPerElementShardedOracle) {
+  const uint64_t seed = GetParam();
+  for (size_t batch_size : BatchSizesUnderTest()) {
+    SCOPED_TRACE("batch_size=" + std::to_string(batch_size));
+    // 4-shard vs 4-shard: both merges are deterministic (shard id, then
+    // per-shard arrival order), so sequences must still match exactly.
+    BatchWorkloadDriver driver(seed, batch_size, /*num_shards=*/4);
+    driver.RegisterQueries();
+    if (::testing::Test::HasFatalFailure()) return;
+    driver.RunEpochs();
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BatchEquivalenceTest,
+                         ::testing::Range<uint64_t>(1, 13));
+
+// -- Targeted (non-random) coverage -----------------------------------------
+
+// An sp that revokes access mid-batch must take effect exactly at its
+// position: tuples before it in the same micro-batch pass, tuples after it
+// are dropped — the SS memo may never outlive an sp boundary.
+TEST(BatchBoundaryTest, RevocationInsideOneBatchSplitsTheRun) {
+  EngineOptions opts;
+  opts.batch_size = 1024;  // whole input lands in a single batch
+  SpStreamEngine engine(std::move(opts));
+  engine.RegisterRole("R0");
+  engine.RegisterRole("R1");
+  ASSERT_TRUE(engine
+                  .RegisterStream(
+                      MakeSchema("A", {Field{"k", ValueType::kInt64}}))
+                  .ok());
+  ASSERT_TRUE(engine.RegisterSubject("alice", {"R0"}).ok());
+  auto q = engine.RegisterQuery("alice", "SELECT k FROM A");
+  ASSERT_TRUE(q.ok());
+
+  std::vector<StreamElement> elems;
+  elems.emplace_back(sptest::MakeSp("A", {0}, 1));  // grant R0
+  for (TupleId i = 0; i < 5; ++i) {
+    elems.emplace_back(
+        sptest::MakeTuple(i, {static_cast<int64_t>(i)},
+                          static_cast<Timestamp>(2 + i)));
+  }
+  // Re-punctuate for a role alice does not hold: everything after is denied.
+  elems.emplace_back(sptest::MakeSp("A", {1}, 10));
+  for (TupleId i = 5; i < 10; ++i) {
+    elems.emplace_back(
+        sptest::MakeTuple(i, {static_cast<int64_t>(i)},
+                          static_cast<Timestamp>(11 + i)));
+  }
+  ASSERT_TRUE(engine.Push("A", std::move(elems)).ok());
+  ASSERT_TRUE(engine.Run().ok());
+
+  auto results = engine.Results(*q);
+  ASSERT_TRUE(results.ok());
+  ASSERT_EQ(results->size(), 5u);
+  for (size_t i = 0; i < results->size(); ++i) {
+    EXPECT_EQ((*results)[i].values[0].int64(), static_cast<int64_t>(i));
+  }
+}
+
+TEST(BatchMetricsTest, ExplainAnalyzeReportsBatchCounters) {
+  EngineOptions opts;
+  opts.batch_size = 16;
+  SpStreamEngine engine(std::move(opts));
+  engine.RegisterRole("R0");
+  ASSERT_TRUE(engine
+                  .RegisterStream(
+                      MakeSchema("A", {Field{"k", ValueType::kInt64}}))
+                  .ok());
+  ASSERT_TRUE(engine.RegisterSubject("alice", {"R0"}).ok());
+  auto q = engine.RegisterQuery("alice", "SELECT k FROM A");
+  ASSERT_TRUE(q.ok());
+
+  std::vector<StreamElement> elems;
+  elems.emplace_back(sptest::MakeSp("A", {0}, 1));
+  for (TupleId i = 0; i < 40; ++i) {
+    elems.emplace_back(sptest::MakeTuple(i, {static_cast<int64_t>(i)},
+                                         static_cast<Timestamp>(2 + i)));
+  }
+  ASSERT_TRUE(engine.Push("A", std::move(elems)).ok());
+  ASSERT_TRUE(engine.Run().ok());
+  ASSERT_EQ(engine.Results(*q)->size(), 40u);
+
+  auto explain = engine.ExplainQuery(*q, /*analyze=*/true);
+  ASSERT_TRUE(explain.ok());
+  EXPECT_NE(explain->find("batches="), std::string::npos) << *explain;
+  EXPECT_NE(explain->find("avg_batch="), std::string::npos) << *explain;
+
+  const std::string metrics = engine.DumpMetrics(MetricsFormat::kJson);
+  EXPECT_NE(metrics.find("\"batches_in\""), std::string::npos);
+  EXPECT_NE(metrics.find("\"batch_elements_in\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace spstream

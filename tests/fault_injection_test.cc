@@ -419,6 +419,27 @@ TEST_F(FaultInjectorTest, WorkerFaultQuarantinesQueryWithAuditTrail) {
   EXPECT_EQ(engine->Results(qid)->size(), 0u);
 }
 
+// Under micro-batched hand-off (default batch_size=64), a worker fault in
+// the middle of a batch discards the WHOLE batch — elements earlier in the
+// same batch are never fed, so not even a prefix of a faulted batch can
+// reach the pipeline, and the quarantine then discards the epoch's output
+// from the other, healthy shard too.
+TEST_F(FaultInjectorTest, MidBatchWorkerFaultDropsWholeBatchAndQuarantines) {
+  QueryId qid;
+  auto engine = SmallEngine(/*num_shards=*/2, &qid);
+  {
+    FaultSpec spec;
+    spec.trigger_on_hit = 5;  // fires mid-batch, not on the first element
+    ScopedFault armed(fault::kOperatorProcess, spec);
+    ASSERT_TRUE(engine->Push("A", Segment(1, 0, 40)).ok());
+    ASSERT_TRUE(engine->Run().ok());  // fault degrades, never errors
+  }
+  ASSERT_TRUE(*engine->IsQuarantined(qid));
+  EXPECT_EQ(engine->Results(qid)->size(), 0u);
+  EXPECT_EQ(engine->quarantined_count(), 1);
+  EXPECT_EQ(engine->audit()->CountOf(AuditEventKind::kQueryQuarantine), 1);
+}
+
 TEST_F(FaultInjectorTest, QueuePushFaultsNeverHangTheEpochBarrier) {
   QueryId qid;
   auto engine = SmallEngine(/*num_shards=*/3, &qid);
