@@ -22,6 +22,7 @@ namespace spstream::bench {
 namespace {
 
 constexpr size_t kEpochs = 3;
+constexpr int kReps = 3;  // timed repetitions after one warmup epoch
 constexpr size_t kTuplesPerEpoch = 20000;  // per stream, per epoch
 constexpr int kTuplesPerSp = 400;
 constexpr int64_t kWindow = 4000;  // RANGE in ts units; ts advances 1/tuple
@@ -79,6 +80,7 @@ struct ScalingResult {
   double tuples_per_sec = 0;
   double speedup = 1.0;
   size_t results = 0;
+  RepStats stats;
 };
 
 ScalingResult RunWithShards(size_t num_shards) {
@@ -107,14 +109,23 @@ ScalingResult RunWithShards(size_t num_shards) {
   TupleId tid = 0;
   ScalingResult res;
   res.shards = num_shards;
-  const int64_t start = NowNanos();
-  for (size_t e = 0; e < kEpochs; ++e) {
+  auto epoch = [&] {
     (void)engine.Push("A", MakeEpoch("A", &rng_a, &ts_a, &tid));
     (void)engine.Push("B", MakeEpoch("B", &rng_b, &ts_b, &tid));
     (void)engine.Run();
     res.results += engine.TakeResults(qid).value().size();
-  }
-  res.seconds = static_cast<double>(NowNanos() - start) / 1e9;
+  };
+  // One untimed warmup epoch (allocator + cache warm, threads spun up),
+  // then kReps timed repetitions of kEpochs epochs each. Windows are
+  // RANGE-bounded, so state stays steady across repetitions.
+  res.stats = MeasureReps(
+      kReps, /*warmup=*/epoch,
+      /*timed_rep=*/[&] {
+        const int64_t start = NowNanos();
+        for (size_t e = 0; e < kEpochs; ++e) epoch();
+        return static_cast<double>(NowNanos() - start) / 1e9;
+      });
+  res.seconds = res.stats.Min();
   res.tuples_per_sec =
       static_cast<double>(kEpochs * kTuplesPerEpoch * 2) / res.seconds;
   return res;
@@ -125,12 +136,14 @@ std::string ToJson(const std::vector<ScalingResult>& results) {
   os << "{\"bench\":\"shard_scaling\",\"config\":{\"epochs\":" << kEpochs
      << ",\"tuples_per_epoch_per_stream\":" << kTuplesPerEpoch
      << ",\"tuples_per_sp\":" << kTuplesPerSp << ",\"window\":" << kWindow
-     << ",\"key_space\":" << kKeySpace << "},\"results\":[";
+     << ",\"key_space\":" << kKeySpace << ",\"reps\":" << kReps
+     << ",\"warmup_epochs\":1},\"results\":[";
   for (size_t i = 0; i < results.size(); ++i) {
     const ScalingResult& r = results[i];
     if (i) os << ",";
-    os << "{\"shards\":" << r.shards << ",\"seconds\":" << r.seconds
-       << ",\"tuples_per_sec\":" << r.tuples_per_sec
+    os << "{\"shards\":" << r.shards << ",";
+    AppendRepStatsJson(os, r.stats);
+    os << ",\"tuples_per_sec\":" << r.tuples_per_sec
        << ",\"speedup\":" << r.speedup << ",\"results\":" << r.results
        << "}";
   }
@@ -157,10 +170,11 @@ int main() {
   }
 
   PrintHeader("Shard scaling", "tuples/sec by worker shard count");
-  PrintLegend("shards", {"tuples/s", "speedup", "results"});
+  PrintLegend("shards", {"tuples/s", "speedup", "stddev(ms)", "results"});
   for (const ScalingResult& r : results) {
     PrintRow(std::to_string(r.shards),
-             {r.tuples_per_sec, r.speedup, static_cast<double>(r.results)},
+             {r.tuples_per_sec, r.speedup, r.stats.Stddev() * 1e3,
+              static_cast<double>(r.results)},
              2);
   }
 

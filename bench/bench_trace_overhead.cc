@@ -1,14 +1,12 @@
-// Micro-batch size sweep — what batched execution buys on one thread:
-// end-to-end tuples/sec of the single-shard engine at batch sizes
-// 1/8/64/256/1024 over the same punctuated windowed join as
-// bench_shard_scaling (SELECT A.v FROM A [RANGE w], B [RANGE w] WHERE
-// A.k = B.k). batch_size=1 is the legacy per-element hand-off; larger
-// batches amortize virtual dispatch, timer reads and state-gauge refreshes
-// across a whole run of tuples, and let the SS operator reuse one
-// policy-match decision per sp-delimited run. Output is sequence-identical
-// at every size (tests/batch_equivalence_test.cc). Emits a machine-readable
-// summary to stdout, BENCH_batch_size.json in the working directory, and
-// SPSTREAM_BENCH_JSON_DIR when set.
+// Tracing overhead — what the always-available tracer costs the hot path:
+// end-to-end tuples/sec of the single-shard engine over the same punctuated
+// windowed join as bench_batch_size, measured (a) with tracing compiled in
+// but disabled (the shipping default: every span site is two predictable
+// branches), and (b) with tracing enabled at sample rates 1/1, 1/8 and
+// 1/64. The contract is <3% throughput cost with tracing enabled at the
+// default CLI rate (1/1) and noise-level cost when disabled. Emits a
+// machine-readable summary to stdout, BENCH_trace_overhead.json in the
+// working directory, and SPSTREAM_BENCH_JSON_DIR when set.
 #include <cstdlib>
 #include <fstream>
 #include <sstream>
@@ -17,6 +15,7 @@
 
 #include "bench_util.h"
 #include "common/rng.h"
+#include "common/trace.h"
 #include "engine/engine.h"
 #include "security/security_punctuation.h"
 
@@ -27,7 +26,7 @@ constexpr size_t kEpochs = 3;
 constexpr int kReps = 3;  // timed repetitions after one warmup epoch
 constexpr size_t kTuplesPerEpoch = 20000;  // per stream, per epoch
 constexpr int kTuplesPerSp = 400;
-constexpr int64_t kWindow = 4000;  // RANGE in ts units; ts advances 1/tuple
+constexpr int64_t kWindow = 4000;
 constexpr size_t kKeySpace = 1 << 12;
 constexpr size_t kRolePool = 16;
 constexpr size_t kRolesPerSp = 8;
@@ -56,9 +55,6 @@ SecurityPunctuation GrantSp(const std::string& stream, Rng* rng,
   return sp;
 }
 
-/// One epoch of one input stream: a policy refresh every kTuplesPerSp
-/// tuples, join keys drawn from kKeySpace so most probes miss
-/// (compute-heavy, output-light).
 std::vector<StreamElement> MakeEpoch(const std::string& stream, Rng* rng,
                                      Timestamp* ts, TupleId* tid) {
   std::vector<StreamElement> out;
@@ -71,24 +67,40 @@ std::vector<StreamElement> MakeEpoch(const std::string& stream, Rng* rng,
               {Value(key),
                Value(static_cast<int64_t>(rng->NextBounded(2000)))},
               *ts));
-    *ts += 2;  // both streams advance; interleaved ts keeps windows aligned
+    *ts += 2;
   }
   return out;
 }
 
-struct SweepResult {
-  size_t batch_size = 0;
+struct Mode {
+  std::string name;      // "off", "sample_1", ...
+  uint64_t sample_n = 0;  // 0 = tracing disabled
+};
+
+struct OverheadResult {
+  std::string mode;
+  uint64_t sample_n = 0;
   double seconds = 0;
   double tuples_per_sec = 0;
-  double speedup = 1.0;  // vs batch_size=1
+  double overhead_pct = 0;  // vs tracing off
   size_t results = 0;
   RepStats stats;
 };
 
-SweepResult RunWithBatchSize(size_t batch_size) {
+OverheadResult RunMode(const Mode& mode) {
+  // The tracer is process-global: arm it (or not) for this mode, and clear
+  // retained events so one mode's rings don't skew the next one's Snapshot.
+  Tracer& tracer = Tracer::Global();
+  if (mode.sample_n > 0) {
+    tracer.Enable(mode.sample_n);
+  } else {
+    tracer.Disable();
+  }
+  tracer.Clear();
+
   EngineOptions opts;
-  opts.batch_size = batch_size;
   opts.num_shards = 1;
+  opts.batch_size = 64;
   SpStreamEngine engine(std::move(opts));
   for (size_t r = 0; r < kRolePool; ++r) {
     engine.RegisterRole("role" + std::to_string(r));
@@ -110,17 +122,15 @@ SweepResult RunWithBatchSize(size_t batch_size) {
   Timestamp ts_a = 1;
   Timestamp ts_b = 2;
   TupleId tid = 0;
-  SweepResult res;
-  res.batch_size = batch_size;
+  OverheadResult res;
+  res.mode = mode.name;
+  res.sample_n = mode.sample_n;
   auto epoch = [&] {
     (void)engine.Push("A", MakeEpoch("A", &rng_a, &ts_a, &tid));
     (void)engine.Push("B", MakeEpoch("B", &rng_b, &ts_b, &tid));
     (void)engine.Run();
     res.results += engine.TakeResults(qid).value().size();
   };
-  // One untimed warmup epoch (allocator + cache warm, threads spun up),
-  // then kReps timed repetitions of kEpochs epochs each. Windows are
-  // RANGE-bounded, so state stays steady across repetitions.
   res.stats = MeasureReps(
       kReps, /*warmup=*/epoch,
       /*timed_rep=*/[&] {
@@ -131,24 +141,27 @@ SweepResult RunWithBatchSize(size_t batch_size) {
   res.seconds = res.stats.Min();
   res.tuples_per_sec =
       static_cast<double>(kEpochs * kTuplesPerEpoch * 2) / res.seconds;
+  tracer.Disable();
   return res;
 }
 
-std::string ToJson(const std::vector<SweepResult>& results) {
+std::string ToJson(const std::vector<OverheadResult>& results) {
   std::ostringstream os;
-  os << "{\"bench\":\"batch_size\",\"config\":{\"epochs\":" << kEpochs
+  os << "{\"bench\":\"trace_overhead\",\"config\":{\"epochs\":" << kEpochs
      << ",\"tuples_per_epoch_per_stream\":" << kTuplesPerEpoch
      << ",\"tuples_per_sp\":" << kTuplesPerSp << ",\"window\":" << kWindow
-     << ",\"key_space\":" << kKeySpace << ",\"shards\":1,\"reps\":" << kReps
-     << ",\"warmup_epochs\":1},\"results\":[";
+     << ",\"key_space\":" << kKeySpace
+     << ",\"shards\":1,\"batch_size\":64,\"reps\":" << kReps
+     << ",\"warmup_epochs\":1,\"target_overhead_pct\":3},\"results\":[";
   for (size_t i = 0; i < results.size(); ++i) {
-    const SweepResult& r = results[i];
+    const OverheadResult& r = results[i];
     if (i) os << ",";
-    os << "{\"batch_size\":" << r.batch_size << ",";
+    os << "{\"mode\":\"" << r.mode << "\",\"sample_n\":" << r.sample_n
+       << ",";
     AppendRepStatsJson(os, r.stats);
     os << ",\"tuples_per_sec\":" << r.tuples_per_sec
-       << ",\"speedup\":" << r.speedup << ",\"results\":" << r.results
-       << "}";
+       << ",\"overhead_pct\":" << r.overhead_pct
+       << ",\"results\":" << r.results << "}";
   }
   os << "]}";
   return os.str();
@@ -159,25 +172,27 @@ std::string ToJson(const std::vector<SweepResult>& results) {
 
 int main() {
   using namespace spstream::bench;
-  std::cout << "Batch-size sweep: single-shard engine throughput by "
-               "micro-batch size\n"
+  std::cout << "Trace overhead: single-shard engine throughput by tracer "
+               "state\n"
             << "(windowed join, " << kEpochs << " epochs x "
-            << kTuplesPerEpoch << " tuples/stream, RANGE " << kWindow
-            << ", sp every " << kTuplesPerSp << " tuples)\n";
+            << kTuplesPerEpoch << " tuples/stream, sp every " << kTuplesPerSp
+            << " tuples, batch 64)\n";
 
-  std::vector<SweepResult> results;
-  for (size_t batch : {1u, 8u, 64u, 256u, 1024u}) {
-    results.push_back(RunWithBatchSize(batch));
-  }
-  for (SweepResult& r : results) {
-    r.speedup = r.tuples_per_sec / results[0].tuples_per_sec;
+  const std::vector<Mode> modes = {
+      {"off", 0}, {"sample_1", 1}, {"sample_8", 8}, {"sample_64", 64}};
+  std::vector<OverheadResult> results;
+  for (const Mode& m : modes) results.push_back(RunMode(m));
+  for (OverheadResult& r : results) {
+    r.overhead_pct =
+        100.0 * (results[0].tuples_per_sec - r.tuples_per_sec) /
+        results[0].tuples_per_sec;
   }
 
-  PrintHeader("Batch-size sweep", "tuples/sec by EngineOptions::batch_size");
-  PrintLegend("batch", {"tuples/s", "speedup", "stddev(ms)", "results"});
-  for (const SweepResult& r : results) {
-    PrintRow(std::to_string(r.batch_size),
-             {r.tuples_per_sec, r.speedup, r.stats.Stddev() * 1e3,
+  PrintHeader("Trace overhead", "tuples/sec by tracer state");
+  PrintLegend("mode", {"tuples/s", "overhead %", "stddev(ms)", "results"});
+  for (const OverheadResult& r : results) {
+    PrintRow(r.mode,
+             {r.tuples_per_sec, r.overhead_pct, r.stats.Stddev() * 1e3,
               static_cast<double>(r.results)},
              2);
   }
@@ -185,19 +200,19 @@ int main() {
   const std::string json = ToJson(results);
   std::cout << "\nJSON: " << json << "\n";
   {
-    std::ofstream out("BENCH_batch_size.json");
+    std::ofstream out("BENCH_trace_overhead.json");
     out << json << "\n";
-    std::cout << "wrote BENCH_batch_size.json\n";
+    std::cout << "wrote BENCH_trace_overhead.json\n";
   }
   if (const char* dir = std::getenv("SPSTREAM_BENCH_JSON_DIR")) {
-    const std::string path = std::string(dir) + "/BENCH_batch_size.json";
+    const std::string path = std::string(dir) + "/BENCH_trace_overhead.json";
     std::ofstream out(path);
     out << json << "\n";
     std::cout << "wrote " << path << "\n";
   }
-  std::cout << "\nEvery size produces the same result sequence; only the "
-               "hand-off granularity\nchanges. The knee is where per-batch "
-               "overhead stops dominating per-tuple work\n(the windowed "
-               "probe); past it, larger batches only add latency.\n";
+  std::cout << "\nSpans are recorded into per-thread lock-free rings (one "
+               "relaxed-atomic slot\nwrite per span); disabled tracing is "
+               "two branches per site and allocates\nnothing. The contract "
+               "is <3% overhead at the default 1/1 sampling.\n";
   return 0;
 }

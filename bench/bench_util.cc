@@ -1,5 +1,7 @@
 #include "bench_util.h"
 
+#include <algorithm>
+#include <cmath>
 #include <cstdlib>
 
 namespace spstream::bench {
@@ -73,6 +75,42 @@ const OperatorMetrics& OpMetrics(const QueryMetricsSnapshot& snap,
     std::abort();
   }
   return *m;
+}
+
+double RepStats::Min() const {
+  double m = seconds.empty() ? 0.0 : seconds[0];
+  for (double s : seconds) m = std::min(m, s);
+  return m;
+}
+
+double RepStats::Mean() const {
+  if (seconds.empty()) return 0.0;
+  double sum = 0;
+  for (double s : seconds) sum += s;
+  return sum / static_cast<double>(seconds.size());
+}
+
+double RepStats::Stddev() const {
+  if (seconds.size() < 2) return 0.0;
+  const double mean = Mean();
+  double sq = 0;
+  for (double s : seconds) sq += (s - mean) * (s - mean);
+  return std::sqrt(sq / static_cast<double>(seconds.size()));
+}
+
+RepStats MeasureReps(int reps, const std::function<void()>& warmup,
+                     const std::function<double()>& timed_rep) {
+  warmup();
+  RepStats stats;
+  stats.seconds.reserve(static_cast<size_t>(reps));
+  for (int i = 0; i < reps; ++i) stats.seconds.push_back(timed_rep());
+  return stats;
+}
+
+void AppendRepStatsJson(std::ostream& os, const RepStats& stats) {
+  os << "\"seconds\":" << stats.Min() << ",\"seconds_mean\":" << stats.Mean()
+     << ",\"seconds_stddev\":" << stats.Stddev()
+     << ",\"reps\":" << stats.seconds.size();
 }
 
 double MsPer100Tuples(int64_t nanos, int64_t tuples) {

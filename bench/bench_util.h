@@ -3,6 +3,7 @@
 // builders.
 #pragma once
 
+#include <functional>
 #include <iomanip>
 #include <iostream>
 #include <string>
@@ -61,5 +62,28 @@ const OperatorMetrics& OpMetrics(const QueryMetricsSnapshot& snap,
 
 /// \brief The figures' normalization: milliseconds per 100 input tuples.
 double MsPer100Tuples(int64_t nanos, int64_t tuples);
+
+// ---- repetition statistics -------------------------------------------------
+// Throughput benches report min/mean/stddev over N repetitions after a
+// discarded warmup, instead of a single hot-or-cold run. The min is the
+// headline (least scheduler noise); the stddev is the error bar.
+
+/// \brief Per-configuration timing across repetitions (seconds each).
+struct RepStats {
+  std::vector<double> seconds;
+  double Min() const;
+  double Mean() const;
+  double Stddev() const;  ///< population stddev; 0 with fewer than 2 reps
+};
+
+/// \brief Run `warmup` once (untimed, discarded), then `reps` calls of
+/// `timed_rep` — which runs one full repetition and returns its elapsed
+/// seconds — and collect the timings.
+RepStats MeasureReps(int reps, const std::function<void()>& warmup,
+                     const std::function<double()>& timed_rep);
+
+/// \brief Append the shared JSON fields of one repeated measurement:
+/// "seconds":<min>,"seconds_mean":...,"seconds_stddev":...,"reps":N.
+void AppendRepStatsJson(std::ostream& os, const RepStats& stats);
 
 }  // namespace spstream::bench

@@ -26,6 +26,9 @@ std::string AuditEvent::ToString() const {
   if (kind == AuditEventKind::kDenial) os << " tuple=" << tuple_id;
   os << " sp_ts=" << sp_ts;
   if (!roles.empty()) os << " roles=" << roles;
+  if (trace_id != 0) {
+    os << " trace=0x" << std::hex << trace_id << std::dec;
+  }
   if (!detail.empty()) os << " (" << detail << ")";
   return os.str();
 }
@@ -36,7 +39,8 @@ std::string AuditEvent::ToJson() const {
      << "\",\"scope\":\"" << JsonEscape(scope) << "\",\"stream\":\""
      << JsonEscape(stream) << "\",\"sp_ts\":" << sp_ts
      << ",\"tuple_id\":" << tuple_id << ",\"roles\":\"" << JsonEscape(roles)
-     << "\",\"detail\":\"" << JsonEscape(detail) << "\"}";
+     << "\",\"trace_id\":" << trace_id << ",\"detail\":\""
+     << JsonEscape(detail) << "\"}";
   return os.str();
 }
 

@@ -41,6 +41,11 @@ struct AuditEvent {
   TupleId tuple_id = 0;   ///< denials: the denied tuple's id
   std::string roles;      ///< role predicate of the denied query / the sp
   std::string detail;     ///< free-form context (policy roles, sign, ...)
+  /// Trace id of the span chain that produced the event (SpBatchTraceId of
+  /// the responsible sp-batch for installs/denials, the epoch trace for
+  /// quarantines), so `\audit` cross-references `\trace`. 0 when tracing is
+  /// off.
+  uint64_t trace_id = 0;
 
   std::string ToString() const;
   /// \brief One JSON object, e.g. {"seq":3,"kind":"denial",...}.

@@ -2,6 +2,8 @@
 
 #include <cstdlib>
 
+#include "common/trace.h"
+
 namespace spstream {
 
 uint64_t EnvFaultSeed(uint64_t fallback) {
@@ -49,19 +51,28 @@ void FaultInjector::Reseed(uint64_t seed) {
 }
 
 bool FaultInjector::ShouldFail(const char* site) {
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = sites_.find(site);
-  if (it == sites_.end() || !it->second.armed) return false;
-  Site& s = it->second;
-  ++s.stats.hits;
-  if (s.spec.max_failures >= 0 && s.stats.failures >= s.spec.max_failures) {
-    return false;
+  bool fail = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = sites_.find(site);
+    if (it == sites_.end() || !it->second.armed) return false;
+    Site& s = it->second;
+    ++s.stats.hits;
+    if (s.spec.max_failures >= 0 && s.stats.failures >= s.spec.max_failures) {
+      return false;
+    }
+    fail = s.spec.trigger_on_hit > 0 && s.stats.hits == s.spec.trigger_on_hit;
+    if (!fail && s.spec.probability > 0.0) {
+      fail = rng_.NextBool(s.spec.probability);
+    }
+    if (fail) ++s.stats.failures;
   }
-  bool fail = s.spec.trigger_on_hit > 0 && s.stats.hits == s.spec.trigger_on_hit;
-  if (!fail && s.spec.probability > 0.0) {
-    fail = rng_.NextBool(s.spec.probability);
+  if (fail) {
+    // A fired fault site is an incident: snapshot the flight recorder so
+    // the spans leading up to the failure survive (outside mu_ — the
+    // tracer takes its own locks).
+    Tracer::Global().NoteIncident(site, Tracer::CurrentTrace());
   }
-  if (fail) ++s.stats.failures;
   return fail;
 }
 

@@ -1,11 +1,13 @@
 #include "engine/engine.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <iomanip>
 #include <sstream>
 
 #include "common/fault.h"
 #include "common/metrics.h"
+#include "common/trace.h"
 #include "exec/ss_operator.h"
 #include "stream/element_batch.h"
 
@@ -32,6 +34,11 @@ SpStreamEngine::SpStreamEngine(EngineOptions options)
       audit_(options_.audit_log_capacity),
       exec_ctx_{&roles_, &streams_, &metrics_,
                 options_.enable_audit ? &audit_ : nullptr} {
+  // Tracing is process-global and sticky (the CLI's \trace and other
+  // engines share the Tracer); an engine only ever switches it ON.
+  if (options_.trace_sample_n > 0) {
+    Tracer::Global().Enable(options_.trace_sample_n);
+  }
   if (options_.num_shards > 1) {
     shard_manager_ = std::make_unique<ShardManager>(
         options_.num_shards, options_.shard_queue_capacity);
@@ -288,8 +295,20 @@ NodeMetricsMap CollectNodeMetrics(
 
 /// EXPLAIN ANALYZE rendering: the logical tree with each node annotated by
 /// the live metrics of the physical operator(s) executing it.
+/// Sum of total_nanos across all annotated nodes (denominator of the
+/// per-operator time share EXPLAIN ANALYZE prints).
+int64_t PlanTotalNanos(const NodeMetricsMap& node_metrics) {
+  int64_t total = 0;
+  for (const auto& [node, m] : node_metrics) {
+    (void)node;
+    total += m.total_nanos;
+  }
+  return total;
+}
+
 void RenderAnalyzedPlan(const LogicalNodePtr& node,
-                        const NodeMetricsMap& node_metrics, int indent,
+                        const NodeMetricsMap& node_metrics,
+                        int64_t plan_total_nanos, int indent,
                         std::string* out) {
   out->append(static_cast<size_t>(indent) * 2, ' ');
   out->append(node->Describe());
@@ -310,6 +329,15 @@ void RenderAnalyzedPlan(const LogicalNodePtr& node,
       os << " policy_install_faults=" << m.policy_install_failures;
     }
     os << " total=" << m.total_nanos / 1e6 << "ms";
+    if (plan_total_nanos > 0) {
+      // The same per-operator attribution the trace spans carry, folded to
+      // a share of the whole plan's processing time.
+      char share[32];
+      std::snprintf(share, sizeof(share), " share=%.1f%%",
+                    100.0 * static_cast<double>(m.total_nanos) /
+                        static_cast<double>(plan_total_nanos));
+      os << share;
+    }
     if (m.join_nanos > 0) os << " join=" << m.join_nanos / 1e6 << "ms";
     if (m.sp_maintenance_nanos > 0) {
       os << " sp_maint=" << m.sp_maintenance_nanos / 1e6 << "ms";
@@ -327,7 +355,7 @@ void RenderAnalyzedPlan(const LogicalNodePtr& node,
   }
   out->push_back('\n');
   for (const LogicalNodePtr& child : node->children) {
-    RenderAnalyzedPlan(child, node_metrics, indent + 1, out);
+    RenderAnalyzedPlan(child, node_metrics, plan_total_nanos, indent + 1, out);
   }
 }
 
@@ -358,8 +386,8 @@ Result<std::string> SpStreamEngine::ExplainQuery(QueryId id,
   std::string out;
   if (!qs->shards) {
     // Single-threaded path (possibly a sharding fallback).
-    RenderAnalyzedPlan(qs->plan, CollectNodeMetrics(qs->physical.node_ops), 0,
-                      &out);
+    const NodeMetricsMap solo = CollectNodeMetrics(qs->physical.node_ops);
+    RenderAnalyzedPlan(qs->plan, solo, PlanTotalNanos(solo), 0, &out);
     if (qs->shard_decision_made && !qs->shard_fallback.empty()) {
       out += "sharding: fallback to single-threaded (" + qs->shard_fallback +
              ")\n";
@@ -376,7 +404,7 @@ Result<std::string> SpStreamEngine::ExplainQuery(QueryId id,
       if (op != nullptr) merged[node].Merge(op->metrics());
     }
   }
-  RenderAnalyzedPlan(qs->plan, merged, 0, &out);
+  RenderAnalyzedPlan(qs->plan, merged, PlanTotalNanos(merged), 0, &out);
   std::ostringstream os;
   os << "shards: " << shards.pipelines.size() << " (keys:";
   for (const LeafShardKey& key : shards.routing.leaf_keys) {
@@ -421,8 +449,21 @@ Status SpStreamEngine::Push(const std::string& stream_name,
   }
   StreamState& state = it->second;
   for (StreamElement& e : elements) {
+    // Sp-batch lifecycle: the admission decision is the first engine-side
+    // span of the batch's trace (the wire decode span, when the push came
+    // over the network, is its parent via the same deterministic trace id).
+    const bool traced_sp =
+        e.is_sp() && Tracer::Global().SampleSpBatch(e.ts());
+    const Timestamp sp_ts = traced_sp ? e.ts() : 0;
+    TraceSpan span(TraceCat::kAnalyzer, "analyzer.admit",
+                   traced_sp ? SpBatchTraceId(sp_ts) : 0, sp_ts);
+    const size_t before = state.pending.size();
     for (StreamElement& admitted : state.analyzer->Process(std::move(e))) {
       state.pending.push_back(std::move(admitted));
+    }
+    if (traced_sp) {
+      span.set_args(sp_ts,
+                    static_cast<int64_t>(state.pending.size() - before));
     }
   }
   return Status::OK();
@@ -430,6 +471,16 @@ Status SpStreamEngine::Push(const std::string& stream_name,
 
 Status SpStreamEngine::Run() {
   const int64_t run_start = NowNanos();
+  // One trace per Run() epoch: batches that carry no sampled sp attach
+  // their operator/shard spans here. Published engine-wide so shard worker
+  // threads (and the net serve loop) can pick it up as their ambient trace.
+  const TraceId epoch_trace =
+      SP_TRACE_ENABLED() ? EpochTraceId(static_cast<uint64_t>(++run_epoch_seq_))
+                         : 0;
+  Tracer::Global().SetEpochTrace(epoch_trace);
+  ScopedTraceContext trace_ctx(epoch_trace);
+  TraceSpan run_span(TraceCat::kEngine, "engine.run", epoch_trace,
+                     run_epoch_seq_, static_cast<int64_t>(queries_.size()));
   // Flush analyzer tails so trailing sps are visible to the queries.
   for (auto& [name, state] : stream_states_) {
     (void)name;
@@ -483,6 +534,9 @@ Status SpStreamEngine::Run() {
   SyncAnalyzerStats();
   metrics_.AddCounter("engine.run_epochs");
   metrics_.RecordLatency("engine.run", NowNanos() - run_start);
+  // The epoch trace stays published after the run: the serve loop delivers
+  // this epoch's RESULT frames after the engine lock drops, and those sends
+  // belong to this epoch's trace. The next Run() overwrites it.
   return Status::OK();
 }
 
@@ -572,17 +626,29 @@ Status SpStreamEngine::RunSolo(ExecContext* ctx, QueryState* qs) {
       const size_t end = std::min(pending.size(), i + batch_size);
       batch.reserve(end - i);
       int64_t tuples_in_batch = 0;
+      Timestamp traced_sp_ts = -1;
       for (; i < end; ++i) {
         if (SP_FAULT_FIRED(fault::kOperatorProcess)) {
           fault_reason =
               "injected fault at exec.operator_process (single-threaded path)";
           break;
         }
-        if (pending[i].is_tuple()) ++tuples_in_batch;
+        if (pending[i].is_tuple()) {
+          ++tuples_in_batch;
+        } else if (pending[i].is_sp() && traced_sp_ts < 0 &&
+                   Tracer::Global().SampleSpBatch(pending[i].ts())) {
+          traced_sp_ts = pending[i].ts();
+        }
         // copy: several queries read the same pending input
         batch.push_back(pending[i]);
       }
       if (!fault_reason.empty() || batch.empty()) break;
+      // Batches carrying a sampled sp run under that sp-batch's trace (the
+      // downstream PushBatch / SS spans join the batch's lifecycle);
+      // everything else stays on the epoch trace set by Run().
+      ScopedTraceContext batch_trace(traced_sp_ts >= 0
+                                         ? SpBatchTraceId(traced_sp_ts)
+                                         : Tracer::CurrentTrace());
       const int64_t t0 = NowNanos();
       try {
         src->FeedBatch(std::move(batch));
@@ -754,6 +820,10 @@ void SpStreamEngine::QuarantineQuery(QueryState* qs,
   qs->quarantined = true;
   qs->quarantine_reason = reason;
   ++quarantined_count_;
+  // Incident: snapshot the flight recorder with the epoch's trace id so the
+  // spans leading into the quarantine survive for post-mortem.
+  const TraceId quarantine_trace = Tracer::Global().epoch_trace();
+  Tracer::Global().NoteIncident("query_quarantine", quarantine_trace);
   // Epoch-consistent teardown: callers reach here only after the shard
   // barrier drained, so the clones are quiescent and safe to destroy.
   ResetPipelines(qs);
@@ -765,6 +835,7 @@ void SpStreamEngine::QuarantineQuery(QueryState* qs,
     e.scope = QueryTag(qs);
     e.roles = qs->roles.ToString(roles_);
     e.detail = reason;
+    e.trace_id = quarantine_trace;
     audit_.Append(std::move(e));
   }
 }

@@ -84,6 +84,12 @@ struct EngineOptions {
   /// sequence to per-element execution at any size
   /// (tests/batch_equivalence_test). 1 == legacy per-element behavior.
   size_t batch_size = 64;
+  /// End-to-end tracing (docs/OBSERVABILITY.md): 0 = off (the default; no
+  /// span ring is ever allocated), N = switch the process-wide Tracer on and
+  /// trace every sp-batch whose timestamp is divisible by N (1 = all).
+  /// Tracing is process-global and sticky — constructing an engine with 0
+  /// leaves a previously-enabled tracer running (the CLI's \trace owns it).
+  size_t trace_sample_n = 0;
 };
 
 /// \brief The integrated stream engine.
@@ -289,6 +295,8 @@ class SpStreamEngine {
   std::unordered_map<std::string, StreamStatistics> measured_stats_;
   int64_t adaptations_ = 0;
   int64_t quarantined_count_ = 0;
+  /// Run() epochs completed — seeds the per-epoch trace id (EpochTraceId).
+  int64_t run_epoch_seq_ = 0;
   Timestamp next_default_ts_ = 1;
   /// Worker-shard pool (null when num_shards <= 1). Declared after
   /// queries_ so destruction joins the workers BEFORE the pipelines they

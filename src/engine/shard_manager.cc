@@ -3,6 +3,7 @@
 #include <exception>
 
 #include "common/fault.h"
+#include "common/trace.h"
 
 namespace spstream {
 
@@ -60,6 +61,7 @@ void ShardManager::WorkerLoop(Shard* shard) {
       // diverged mid-run, so nothing from a faulted batch reaches the
       // pipeline (fail closed; the engine quarantines the epoch).
       int64_t batch_tuples = 0, batch_sps = 0;
+      Timestamp traced_sp_ts = -1;
       for (const StreamElement& e : task.batch.elements()) {
         if (SP_FAULT_FIRED(fault::kOperatorProcess)) {
           poisoned = true;
@@ -72,11 +74,25 @@ void ShardManager::WorkerLoop(Shard* shard) {
           ++batch_tuples;
         } else if (e.is_sp()) {
           ++batch_sps;
+          if (traced_sp_ts < 0 && Tracer::Global().SampleSpBatch(e.ts())) {
+            traced_sp_ts = e.ts();
+          }
         }
       }
       if (poisoned) continue;  // nothing from a faulted batch is fed
       tuples += batch_tuples;
       sps += batch_sps;
+      // Worker-side trace context: a batch carrying a sampled sp is part of
+      // that sp-batch's lifecycle (its PushBatch/SS spans join the batch
+      // trace, which is how "which shard converged last" becomes visible);
+      // plain batches attach to the engine's current epoch trace.
+      ScopedTraceContext batch_trace(traced_sp_ts >= 0
+                                         ? SpBatchTraceId(traced_sp_ts)
+                                         : Tracer::Global().epoch_trace());
+      TraceSpan feed_span(TraceCat::kShard, "shard.feed",
+                          Tracer::CurrentTrace(),
+                          static_cast<int64_t>(task.batch.size()),
+                          static_cast<int64_t>(shard->index));
       try {
         task.src->FeedBatch(std::move(task.batch));
       } catch (const std::exception& ex) {
@@ -115,6 +131,13 @@ void ShardManager::FlushBuffer(Shard* shard) {
     shard->route_buffer = std::move(markers);
     if (shard->route_buffer.empty()) return;
   }
+  // Queue-wait span: PushBatch blocks while the shard's queue is full, so
+  // this span's duration IS the backpressure the slowest shard exerts on
+  // the routing (engine) thread.
+  TraceSpan wait_span(TraceCat::kShard, "shard.queue_wait",
+                      Tracer::Global().epoch_trace(),
+                      static_cast<int64_t>(shard->route_buffer.size()),
+                      static_cast<int64_t>(shard->index));
   Status st = shard->queue->PushBatch(&shard->route_buffer);
   if (!st.ok()) {
     // Cancelled: the queue closed under us (engine stopping). Nothing was
@@ -142,6 +165,11 @@ void ShardManager::RouteBatch(size_t shard_idx, PushSource* src,
 
 void ShardManager::CompleteEpoch() {
   if (stopped_) return;
+  // Barrier span: flush + wait until every worker acknowledged its marker —
+  // the tail of this span is the time spent waiting for the slowest shard.
+  TraceSpan barrier_span(TraceCat::kShard, "shard.barrier",
+                         Tracer::Global().epoch_trace(),
+                         static_cast<int64_t>(shards_.size()));
   {
     std::lock_guard<std::mutex> lock(barrier_mu_);
     barrier_remaining_ = shards_.size();

@@ -3,6 +3,7 @@
 #include <unordered_map>
 
 #include "common/metrics_registry.h"
+#include "common/trace.h"
 
 namespace spstream {
 
@@ -57,6 +58,17 @@ void Operator::PushBatch(ElementBatch batch, int port) {
   if (batch.empty()) return;
   ++metrics_.batches_in;
   metrics_.batch_elements_in += static_cast<int64_t>(batch.size());
+  // Per-operator span (when the current batch's trace is sampled): arg1 =
+  // batch size, arg2 = tuples passed downstream, arg3 = tuples dropped
+  // (security + predicate) while this batch was processed.
+  const bool traced = SP_TRACE_ENABLED() && Tracer::CurrentTrace() != 0;
+  const int64_t out_before = traced ? metrics_.tuples_out : 0;
+  const int64_t drop_before =
+      traced ? metrics_.tuples_dropped_security + metrics_.tuples_dropped_predicate
+             : 0;
+  TraceSpan span(TraceCat::kOperator, label_.c_str(),
+                 traced ? Tracer::CurrentTrace() : 0,
+                 static_cast<int64_t>(batch.size()));
   ElementBatch out;
   {
     CollectScope scope(&collect_, &out);
@@ -70,6 +82,12 @@ void Operator::PushBatch(ElementBatch batch, int port) {
     } else {
       ProcessBatch(batch, port);
     }
+  }
+  if (traced) {
+    span.set_args(static_cast<int64_t>(batch.size()),
+                  metrics_.tuples_out - out_before,
+                  metrics_.tuples_dropped_security +
+                      metrics_.tuples_dropped_predicate - drop_before);
   }
   ForwardBatch(std::move(out));
 }

@@ -3,6 +3,15 @@
 #include <algorithm>
 
 #include "common/audit_log.h"
+#include "common/trace.h"
+
+namespace {
+/// Deterministic trace id of the sp-batch, or 0 while tracing is off (audit
+/// events carry 0 then, per the AuditEvent contract).
+spstream::TraceId SpTraceIdIfOn(spstream::Timestamp ts) {
+  return SP_TRACE_ENABLED() ? spstream::SpBatchTraceId(ts) : 0;
+}
+}  // namespace
 
 namespace spstream {
 
@@ -139,6 +148,7 @@ void SsOperator::HandleSp(StreamElement& elem) {
       e.stream = options_.stream_name;
       e.sp_ts = sp_ts;
       e.detail = "stale sp dropped (policy in force is newer)";
+      e.trace_id = SpTraceIdIfOn(sp_ts);
       log->Append(std::move(e));
     }
     return;  // stale, dropped
@@ -171,8 +181,17 @@ void SsOperator::HandleSp(StreamElement& elem) {
     e.roles = sp.roles().ToString(*ctx_->roles);
     e.detail = std::string(sp.sign() == Sign::kPositive ? "+" : "-") +
                (sp.immutable() ? " immutable" : "");
+    e.trace_id = SpTraceIdIfOn(sp_ts);
     log->Append(std::move(e));
   }
+  // Sp-batch lifecycle: the install at this shield (one mark per shard
+  // clone — the recording thread tells the shards apart) is always visible
+  // to the flight recorder, even with tracing off. arg2 counts installs at
+  // this shield so convergence across shards is comparable.
+  Tracer::Global().FlightMark(TraceCat::kPolicy, "policy.install",
+                              SpBatchTraceId(sp_ts), sp_ts,
+                              metrics_.policy_installs);
+  if (Tracer::Global().SampleSpBatch(sp_ts)) first_enforce_ts_ = sp_ts;
   pending_sps_.push_back(std::move(elem.sp()));
   UpdateStateBytes();
 }
@@ -190,6 +209,7 @@ void SsOperator::AuditDenial(const Tuple& t, const Policy& policy) {
     e.sp_ts = policy.ts();
     e.roles = state_.predicate_union().ToString(*ctx_->roles);
     e.detail = "policy allows " + policy.allowed().ToString(*ctx_->roles);
+    e.trace_id = SpTraceIdIfOn(policy.ts());
     log->Append(std::move(e));
   }
 }
@@ -259,6 +279,15 @@ void SsOperator::HandleTuple(StreamElement& elem) {
   memo_valid_ = !masking && tracker_.PolicyUniformAcrossTuples();
   memo_authorized_ = authorized;
   memo_policy_ = policy;
+
+  if (first_enforce_ts_ >= 0) {
+    // Final milestone of the sp-batch lifecycle trace: the first tuple
+    // decided under the batch (arg2: 1 = passed, 0 = denied).
+    Tracer::Global().Instant(TraceCat::kPolicy, "ss.first_enforce",
+                             SpBatchTraceId(first_enforce_ts_),
+                             first_enforce_ts_, authorized ? 1 : 0);
+    first_enforce_ts_ = -1;
+  }
 
   if (!authorized) {
     ++metrics_.tuples_dropped_security;

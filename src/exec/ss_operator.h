@@ -107,6 +107,11 @@ class SsOperator : public Operator {
   bool memo_valid_ = false;
   bool memo_authorized_ = false;
   PolicyPtr memo_policy_;
+  // Sp-batch timestamp whose first enforcement decision has not been traced
+  // yet (-1 when none): set on install, cleared when the next tuple's
+  // decision emits the "ss.first_enforce" trace mark — the last milestone
+  // of the sp-batch lifecycle trace.
+  Timestamp first_enforce_ts_ = -1;
 };
 
 }  // namespace spstream

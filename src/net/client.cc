@@ -4,6 +4,7 @@
 #include <chrono>
 #include <thread>
 
+#include "common/trace.h"
 #include "net/socket.h"
 #include "security/sp_codec.h"
 
@@ -33,6 +34,7 @@ StreamClient::StreamClient(StreamClient&& other) noexcept
       client_name_(std::move(other.client_name_)),
       session_id_(other.session_id_),
       session_token_(other.session_token_),
+      peer_version_(other.peer_version_),
       last_resumed_(other.last_resumed_),
       reconnect_(other.reconnect_),
       backoff_rng_(other.backoff_rng_),
@@ -57,6 +59,7 @@ StreamClient& StreamClient::operator=(StreamClient&& other) noexcept {
   client_name_ = std::move(other.client_name_);
   session_id_ = other.session_id_;
   session_token_ = other.session_token_;
+  peer_version_ = other.peer_version_;
   last_resumed_ = other.last_resumed_;
   reconnect_ = other.reconnect_;
   backoff_rng_ = other.backoff_rng_;
@@ -114,6 +117,7 @@ Status StreamClient::ConnectInternal(bool resume) {
   }
   session_id_ = decoded->session_id;
   session_token_ = decoded->session_token;
+  peer_version_ = decoded->version;
   last_resumed_ = decoded->resumed != 0;
   return Status::OK();
 }
@@ -342,6 +346,28 @@ Status StreamClient::Push(const std::string& stream,
   PushPayload p;
   p.stream = it->second.first;
   p.elements = std::move(elements);
+  // Client-side push span. A push carrying a sampled sp joins that
+  // sp-batch's deterministic trace (so client encode, server decode, and
+  // the engine's analyzer/install/enforce spans all connect); plain pushes
+  // get a fresh trace. The context rides the PUSH frame only when the
+  // server negotiated v3+.
+  TraceId push_trace = 0;
+  if (SP_TRACE_ENABLED()) {
+    for (const StreamElement& e : p.elements) {
+      if (e.is_sp() && Tracer::Global().SampleSpBatch(e.ts())) {
+        push_trace = SpBatchTraceId(e.ts());
+        break;
+      }
+    }
+    if (push_trace == 0) push_trace = Tracer::Global().NewTraceId();
+  }
+  TraceSpan push_span(TraceCat::kNet, "client.push", push_trace,
+                      static_cast<int64_t>(p.elements.size()),
+                      static_cast<int64_t>(p.stream));
+  if (push_trace != 0 && peer_version_ >= 3) {
+    p.trace_id = push_trace;
+    p.span_id = push_span.id();
+  }
   std::string payload;
   EncodePush(p, &payload);
   SP_RETURN_NOT_OK(Send(FrameType::kPush, payload));

@@ -134,6 +134,9 @@ class StreamClient {
   uint64_t credits() const { return credits_; }
   /// \brief Times Push() had to block waiting for the window to refill.
   int64_t credit_stalls() const { return credit_stalls_; }
+  /// \brief Protocol version the server announced in HELLO_ACK (0 before
+  /// the handshake). Trace context rides on PUSH only when this is >= 3.
+  uint32_t peer_version() const { return peer_version_; }
 
  private:
   /// Dial + HELLO handshake; with `resume` set, presents the stored
@@ -173,6 +176,7 @@ class StreamClient {
   std::string client_name_;
   uint64_t session_id_ = 0;
   uint64_t session_token_ = 0;
+  uint32_t peer_version_ = 0;
   bool last_resumed_ = false;
   ReconnectOptions reconnect_;
   Rng backoff_rng_;

@@ -3,6 +3,7 @@
 #include <chrono>
 
 #include "common/fault.h"
+#include "common/trace.h"
 #include "net/socket.h"
 #include "security/sp_codec.h"
 
@@ -365,6 +366,24 @@ Status StreamServer::HandlePush(Connection* conn, std::string_view payload) {
   Result<PushPayload> push = DecodePush(payload);
   if (!push.ok()) return push.status();  // malformed data plane: disconnect
   const uint64_t cost = push->elements.size();
+  // Join the client's trace when the frame carries v3 context; otherwise
+  // (older client, or client-side tracing off) derive the sp-batch trace
+  // server-side so the push still connects to the engine's install spans.
+  TraceId push_trace = push->trace_id;
+  if (push_trace == 0 && SP_TRACE_ENABLED()) {
+    for (const StreamElement& e : push->elements) {
+      if (e.is_sp() && Tracer::Global().SampleSpBatch(e.ts())) {
+        push_trace = SpBatchTraceId(e.ts());
+        break;
+      }
+    }
+  }
+  TraceSpan push_span(TraceCat::kNet, "server.push", push_trace,
+                      static_cast<int64_t>(cost),
+                      static_cast<int64_t>(push->stream),
+                      /*parent=*/push->span_id != 0 ? push->span_id
+                                                    : kInheritParent);
+  ScopedTraceContext push_ctx(push_trace);
   uint64_t available = 0;
   bool overdraft = false;
   {
@@ -454,6 +473,14 @@ void StreamServer::ServeLoop() {
     // epoch is marked complete only after these sends, so the per-socket
     // write order guarantees a RUN ack never overtakes its epoch's results.
     for (Outbound& ob : out) {
+      // Delivery spans attach to the trace of the epoch that produced the
+      // frames (still published by the engine after Run() returns).
+      TraceSpan send_span(TraceCat::kNet,
+                          ob.type == FrameType::kResult ? "server.send_result"
+                                                        : "server.send_credit",
+                          Tracer::Global().epoch_trace(),
+                          static_cast<int64_t>(ob.payload.size()),
+                          static_cast<int64_t>(ob.conn->id));
       Status st = SendFrame(ob.conn, ob.type, ob.payload);
       if (!st.ok()) {
         // A failed delivery is the peer's (or the network's) fault, not a
@@ -565,10 +592,15 @@ void StreamServer::Evict(Connection* conn, const std::string& reason,
     ++evictions_;
   }
   service_->metrics()->AddCounter("net.evictions");
+  // Flight-recorder dump: an eviction (slow subscriber, idle timeout,
+  // protocol violation) is an incident worth the recent span history.
+  const TraceId evict_trace = Tracer::Global().epoch_trace();
+  Tracer::Global().NoteIncident("net_eviction", evict_trace);
   AuditEvent e;
   e.kind = AuditEventKind::kNetEviction;
   e.scope = "net.conn" + std::to_string(conn->id);
   e.detail = "evicted '" + conn->name + "': " + reason;
+  e.trace_id = evict_trace;
   service_->audit()->Append(std::move(e));
   PublishConnGauges(conn);
   // Wake the reader; it closes the fd on its way out. Guarded by write_mu

@@ -353,6 +353,12 @@ void EncodePush(const PushPayload& p, std::string* out) {
   PutVarint(p.stream, out);
   PutVarint(p.elements.size(), out);
   for (const StreamElement& e : p.elements) EncodeElement(e, out);
+  // v3 trace-context tail, tolerantly decoded like the HELLO session tail.
+  // Omitted when untraced: an untraced v3 PUSH is byte-identical to v2.
+  if (p.trace_id != 0 || p.span_id != 0) {
+    PutVarint(p.trace_id, out);
+    PutVarint(p.span_id, out);
+  }
 }
 
 Result<PushPayload> DecodePush(std::string_view payload) {
@@ -367,6 +373,13 @@ Result<PushPayload> DecodePush(std::string_view payload) {
   for (uint64_t i = 0; i < count; ++i) {
     SP_ASSIGN_OR_RETURN(StreamElement e, DecodeElement(payload, &off));
     p.elements.push_back(std::move(e));
+  }
+  // Tolerant v3 tail: absent in v1/v2 (and untraced v3) payloads -> 0.
+  if (off < payload.size()) {
+    SP_ASSIGN_OR_RETURN(p.trace_id, GetVarint(payload, &off));
+  }
+  if (off < payload.size()) {
+    SP_ASSIGN_OR_RETURN(p.span_id, GetVarint(payload, &off));
   }
   return p;
 }

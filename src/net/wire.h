@@ -30,7 +30,9 @@ namespace spstream {
 /// \brief Protocol revision negotiated in HELLO; bumped on breaking change.
 /// v2 added session resume (HELLO/HELLO_ACK session fields, appended with
 /// tolerant decode so v1 payloads still parse) and PING/PONG heartbeats.
-constexpr uint32_t kWireProtocolVersion = 2;
+/// v3 added optional trace context on PUSH (trace + span id tail, same
+/// tolerant-append idiom) so a client push joins the server-side trace.
+constexpr uint32_t kWireProtocolVersion = 3;
 
 /// \brief Oldest client protocol revision the server still accepts.
 constexpr uint32_t kMinWireProtocolVersion = 1;
@@ -152,6 +154,13 @@ Result<RegisterQueryPayload> DecodeRegisterQuery(std::string_view payload);
 struct PushPayload {
   StreamId stream = 0;
   std::vector<StreamElement> elements;
+  /// v3 trace context: the client's trace id and the span id of its
+  /// "client.push" span, letting the server's decode/exec spans join the
+  /// client's trace as children. 0 = untraced. Encoded as a tolerant tail
+  /// (omitted entirely when both are 0, so v3->v2 frames stay byte-
+  /// identical to v2 encodes and a v1/v2 decoder never sees them).
+  uint64_t trace_id = 0;
+  uint64_t span_id = 0;
 };
 void EncodePush(const PushPayload& p, std::string* out);
 Result<PushPayload> DecodePush(std::string_view payload);

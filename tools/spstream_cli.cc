@@ -22,6 +22,12 @@
 //   faults arm <site> <prob> [hit] [max]      # arm a fault site (chaos)
 //   faults seed <n>                           # reseed the fault injector
 //   faults off                                # disarm every site
+//   trace                                     # tracer status + incidents
+//   trace on [n]                              # enable tracing (sample 1/n)
+//   trace off                                 # disable tracing
+//   trace dump <file>                         # write Chrome trace JSON
+//                                             #   (open in Perfetto)
+//   trace timeline [n]                        # human-readable span timeline
 //   serve <port> [seconds]                    # expose this engine over TCP
 //                                             #   (port 0 = kernel-chosen;
 //                                             #   prints "serving on port N")
@@ -43,6 +49,7 @@
 
 #include "common/fault.h"
 #include "common/string_util.h"
+#include "common/trace.h"
 #include "engine/engine_service.h"
 #include "net/client.h"
 #include "net/server.h"
@@ -122,6 +129,11 @@ class Shell {
       // Always process-local: chaos-drives the in-process engine/server
       // even when the shell is otherwise in connect mode.
       return CmdFaults(&words);
+    }
+    if (EqualsIgnoreCase(cmd, "trace")) {
+      // Process-local like \faults: the tracer is process-global, so in
+      // connect mode this traces the client side of the connection.
+      return CmdTrace(&words);
     }
     if (client_) return ExecuteRemote(cmd, &words, line);
     if (EqualsIgnoreCase(cmd, "role")) {
@@ -324,6 +336,76 @@ class Shell {
       std::cout << "  " << e.ToString() << "\n";
     }
     return Status::OK();
+  }
+
+  Status CmdTrace(std::istringstream* words) {
+    std::string sub;
+    *words >> sub;
+    Tracer& tracer = Tracer::Global();
+    if (sub.empty()) {
+      std::cout << "tracing "
+                << (tracer.enabled()
+                        ? "ON (1/" + std::to_string(tracer.sample_n()) +
+                              " sp-batches)"
+                        : "off")
+                << ", " << tracer.Snapshot().size() << " buffered event(s), "
+                << tracer.incident_count() << " incident dump(s)\n";
+      for (const Tracer::IncidentDump& d : tracer.IncidentDumps()) {
+        std::cout << "  incident '" << d.reason << "' trace=0x" << std::hex
+                  << d.trace_id << std::dec << " (" << d.events.size()
+                  << " flight events)\n";
+      }
+      return Status::OK();
+    }
+    if (EqualsIgnoreCase(sub, "on")) {
+      size_t n = 1;
+      std::string arg;
+      *words >> arg;
+      if (!arg.empty()) {
+        try {
+          n = static_cast<size_t>(std::stoul(arg));
+        } catch (...) {
+          return Status::ParseError("trace on: bad sample rate: " + arg);
+        }
+        if (n == 0) n = 1;
+      }
+      tracer.Enable(n);
+      std::cout << "tracing enabled (sampling 1/" << n << " sp-batches)\n";
+      return Status::OK();
+    }
+    if (EqualsIgnoreCase(sub, "off")) {
+      tracer.Disable();
+      std::cout << "tracing disabled (buffered spans kept; 'trace dump' "
+                   "still exports them)\n";
+      return Status::OK();
+    }
+    if (EqualsIgnoreCase(sub, "dump")) {
+      std::string path;
+      *words >> path;
+      if (path.empty()) return Status::ParseError("trace dump: missing file");
+      const std::vector<TraceEvent> events = tracer.Snapshot();
+      std::ofstream out(path);
+      if (!out) return Status::Internal("trace dump: cannot open " + path);
+      out << ChromeTraceJson(events);
+      std::cout << "wrote " << events.size() << " trace event(s) to " << path
+                << " (load in Perfetto / chrome://tracing)\n";
+      return Status::OK();
+    }
+    if (EqualsIgnoreCase(sub, "timeline")) {
+      size_t n = 40;
+      std::string arg;
+      *words >> arg;
+      if (!arg.empty()) {
+        try {
+          n = static_cast<size_t>(std::stoul(arg));
+        } catch (...) {
+          return Status::ParseError("trace timeline: bad row count: " + arg);
+        }
+      }
+      std::cout << RenderTimeline(tracer.Snapshot(), n);
+      return Status::OK();
+    }
+    return Status::ParseError("trace: unknown subcommand: " + sub);
   }
 
   Status CmdServe(std::istringstream* words) {
