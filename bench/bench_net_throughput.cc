@@ -1,8 +1,9 @@
 // Network subsystem throughput/latency — what the wire costs: end-to-end
 // tuples/sec and per-batch p50/p99 source->client latency through the
 // loopback stream server (net/server.h) versus the same workload driven
-// in-process through EngineService. Also emits a machine-readable JSON
-// summary (stdout, and BENCH_net_throughput.json when
+// in-process through EngineService. Reported as min/mean/stddev over
+// repetitions after a discarded warmup (MeasureReps). Also emits a
+// machine-readable JSON summary (stdout, and BENCH_net_throughput.json when
 // SPSTREAM_BENCH_JSON_DIR is set) so the bench trajectory can be tracked
 // across commits.
 #include <algorithm>
@@ -21,6 +22,7 @@ namespace {
 
 constexpr int kTuples = 20000;
 constexpr int kBatch = 64;
+constexpr int kReps = 3;
 
 SchemaPtr BenchSchema() {
   return MakeSchema("Feed", {Field{"object_id", ValueType::kInt64},
@@ -43,9 +45,9 @@ std::vector<StreamElement> MakeBatch(int base, int n) {
 
 struct NetBenchResult {
   std::string mode;
-  double seconds = 0;
-  double tuples_per_sec = 0;
-  double p50_us = 0;
+  RepStats stats;
+  double tuples_per_sec = 0;  // from the min (headline) repetition
+  double p50_us = 0;          // per-batch latency of the last repetition
   double p99_us = 0;
 };
 
@@ -70,8 +72,9 @@ void SetupCatalog(EngineService* service) {
 }
 
 // The same logical workload both modes run: one authorizing sp, then
-// kTuples tuples in kBatch-sized batches, results drained per batch.
-NetBenchResult RunInProcess() {
+// kTuples tuples in kBatch-sized batches, results drained per batch. Each
+// repetition is a fresh service/engine (and connection, for loopback).
+double OneInProcessRep(std::vector<double>* batch_us, size_t* received) {
   EngineService service;
   SetupCatalog(&service);
   SpStreamEngine* engine = service.UnsafeEngine();
@@ -83,34 +86,27 @@ NetBenchResult RunInProcess() {
       "(RBAC, analyst), TS = 0");
   (void)engine->Run();
 
-  std::vector<double> batch_us;
-  size_t received = 0;
+  batch_us->clear();
+  *received = 0;
   const int64_t start = NowUs();
   for (int base = 0; base < kTuples; base += kBatch) {
     const int64_t t0 = NowUs();
     (void)engine->Push("Feed", MakeBatch(base, kBatch));
     (void)engine->Run();
-    received += engine->TakeResults(qid).value().size();
-    batch_us.push_back(static_cast<double>(NowUs() - t0));
+    *received += engine->TakeResults(qid).value().size();
+    batch_us->push_back(static_cast<double>(NowUs() - t0));
   }
-  const double seconds = static_cast<double>(NowUs() - start) / 1e6;
-  NetBenchResult r;
-  r.mode = "in_process";
-  r.seconds = seconds;
-  r.tuples_per_sec = static_cast<double>(received) / seconds;
-  r.p50_us = Percentile(batch_us, 0.50);
-  r.p99_us = Percentile(batch_us, 0.99);
-  return r;
+  return static_cast<double>(NowUs() - start) / 1e6;
 }
 
-NetBenchResult RunLoopback() {
+double OneLoopbackRep(std::vector<double>* batch_us, size_t* received) {
   EngineService service;
   SetupCatalog(&service);
   StreamServer server(&service);
-  if (!server.Start(0).ok()) return {};
+  if (!server.Start(0).ok()) return 0;
 
   StreamClient client;
-  if (!client.Connect("127.0.0.1", server.port(), "bench").ok()) return {};
+  if (!client.Connect("127.0.0.1", server.port(), "bench").ok()) return 0;
   const uint64_t qid =
       client.RegisterQuery("bench", "SELECT object_id, x FROM Feed").value();
   (void)client.Subscribe(qid);
@@ -118,8 +114,8 @@ NetBenchResult RunLoopback() {
       "INSERT SP INTO STREAM Feed LET DDP = (Feed, *, *), SRP = "
       "(RBAC, analyst), TS = 0");
 
-  std::vector<double> batch_us;
-  size_t received = 0;
+  batch_us->clear();
+  *received = 0;
   const int64_t start = NowUs();
   for (int base = 0; base < kTuples; base += kBatch) {
     const int64_t t0 = NowUs();
@@ -127,16 +123,26 @@ NetBenchResult RunLoopback() {
     // Source->client latency: the batch is pushed, an epoch runs, and the
     // authorized results come back over the socket.
     (void)client.Run();
-    received += client.TakeResults(qid).size();
-    batch_us.push_back(static_cast<double>(NowUs() - t0));
+    *received += client.TakeResults(qid).size();
+    batch_us->push_back(static_cast<double>(NowUs() - t0));
   }
   const double seconds = static_cast<double>(NowUs() - start) / 1e6;
   client.Close();
   server.Stop();
+  return seconds;
+}
+
+NetBenchResult MeasureMode(
+    const std::string& mode,
+    const std::function<double(std::vector<double>*, size_t*)>& one_rep) {
+  std::vector<double> batch_us;
+  size_t received = 0;
   NetBenchResult r;
-  r.mode = "loopback";
-  r.seconds = seconds;
-  r.tuples_per_sec = static_cast<double>(received) / seconds;
+  r.mode = mode;
+  r.stats = MeasureReps(
+      kReps, [&] { (void)one_rep(&batch_us, &received); },
+      [&] { return one_rep(&batch_us, &received); });
+  r.tuples_per_sec = static_cast<double>(received) / r.stats.Min();
   r.p50_us = Percentile(batch_us, 0.50);
   r.p99_us = Percentile(batch_us, 0.99);
   return r;
@@ -145,12 +151,13 @@ NetBenchResult RunLoopback() {
 std::string ToJson(const std::vector<NetBenchResult>& results) {
   std::ostringstream os;
   os << "{\"bench\":\"net_throughput\",\"config\":{\"tuples\":" << kTuples
-     << ",\"batch\":" << kBatch << "},\"results\":[";
+     << ",\"batch\":" << kBatch << ",\"reps\":" << kReps << "},\"results\":[";
   for (size_t i = 0; i < results.size(); ++i) {
     const NetBenchResult& r = results[i];
     if (i) os << ",";
-    os << "{\"mode\":\"" << r.mode << "\",\"seconds\":" << r.seconds
-       << ",\"tuples_per_sec\":" << r.tuples_per_sec
+    os << "{\"mode\":\"" << r.mode << "\",";
+    AppendRepStatsJson(os, r.stats);
+    os << ",\"tuples_per_sec\":" << r.tuples_per_sec
        << ",\"batch_p50_us\":" << r.p50_us << ",\"batch_p99_us\":" << r.p99_us
        << "}";
   }
@@ -165,16 +172,17 @@ int main() {
   using namespace spstream::bench;
   std::cout << "Network subsystem: loopback stream server vs in-process "
                "engine (" << kTuples << " tuples, batches of " << kBatch
-            << ")\n";
+            << ", " << kReps << " reps + warmup)\n";
 
   std::vector<NetBenchResult> results;
-  results.push_back(RunInProcess());
-  results.push_back(RunLoopback());
+  results.push_back(MeasureMode("in_process", OneInProcessRep));
+  results.push_back(MeasureMode("loopback", OneLoopbackRep));
 
   PrintHeader("Net", "tuples/sec and per-batch latency (us)");
-  PrintLegend("mode", {"tuples/s", "p50", "p99"});
+  PrintLegend("mode", {"tuples/s", "p50", "p99", "stddev_s"});
   for (const NetBenchResult& r : results) {
-    PrintRow(r.mode, {r.tuples_per_sec, r.p50_us, r.p99_us}, 1);
+    PrintRow(r.mode,
+             {r.tuples_per_sec, r.p50_us, r.p99_us, r.stats.Stddev()}, 1);
   }
 
   const std::string json = ToJson(results);

@@ -1,0 +1,222 @@
+// Durable state subsystem cost (docs/DURABILITY.md) — what crash safety
+// costs on the hot path and how long coming back takes:
+//
+//  * checkpoint-write overhead: the identical epoch workload (stateful
+//    window + group-by queries, fresh sp-batch per epoch) run with
+//    durability OFF vs ON (WAL group commit + incremental checkpoint per
+//    epoch), as min/mean/stddev over repetitions (MeasureReps);
+//  * recovery-replay time: opening a fresh engine over the populated data
+//    dir — WAL catalog replay + latest-checkpoint restore — timed per rep.
+//
+// Emits BENCH_recovery.json (stdout, and into SPSTREAM_BENCH_JSON_DIR when
+// set) so the bench trajectory can be tracked across commits.
+#include <chrono>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "bench_util.h"
+#include "engine/engine.h"
+
+namespace spstream::bench {
+namespace {
+
+constexpr int kEpochs = 12;
+constexpr int kTuplesPerEpoch = 4000;
+constexpr int kTuplesPerSp = 200;
+constexpr int kKeySpace = 1024;
+constexpr int kReps = 3;
+
+int64_t NowUs() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+SchemaPtr BenchSchema() {
+  return MakeSchema("Feed", {Field{"k", ValueType::kInt64},
+                             Field{"v", ValueType::kInt64}});
+}
+
+std::unique_ptr<SpStreamEngine> BuildEngine(const std::string& data_dir,
+                                            std::vector<QueryId>* qids) {
+  EngineOptions opts;
+  opts.data_dir = data_dir;
+  auto engine = std::make_unique<SpStreamEngine>(std::move(opts));
+  engine->RegisterRole("analyst");
+  (void)engine->RegisterStream(BenchSchema());
+  (void)engine->RegisterSubject("bench", {"analyst"});
+  // Stateful plans so checkpoints carry real window/group-by deltas, plus a
+  // stateless pass-through for contrast.
+  for (const char* sql :
+       {"SELECT k, SUM(v) FROM Feed [RANGE 4096] GROUP BY k",
+        "SELECT DISTINCT k FROM Feed [RANGE 4096]",
+        "SELECT k, v FROM Feed"}) {
+    qids->push_back(engine->RegisterQuery("bench", sql).value());
+  }
+  return engine;
+}
+
+/// One full workload run: kEpochs epochs, each opening with a fresh
+/// sp-batch and carrying kTuplesPerEpoch tuples (an sp every kTuplesPerSp).
+/// Returns elapsed seconds; results are drained per epoch like a server.
+double OneWorkloadRep(SpStreamEngine* engine,
+                      const std::vector<QueryId>& qids, size_t* received) {
+  *received = 0;
+  int64_t ts = 1;
+  TupleId tid = 0;
+  const int64_t start = NowUs();
+  for (int e = 0; e < kEpochs; ++e) {
+    std::vector<StreamElement> batch;
+    batch.reserve(static_cast<size_t>(kTuplesPerEpoch) +
+                  kTuplesPerEpoch / kTuplesPerSp + 1);
+    for (int i = 0; i < kTuplesPerEpoch; ++i) {
+      if (i % kTuplesPerSp == 0) {
+        SecurityPunctuation sp(Pattern::Literal("Feed"), Pattern::Any(),
+                               Pattern::Any(), Pattern::Any(),
+                               Sign::kPositive, /*immutable=*/false, ts);
+        sp.SetResolvedRoles(RoleSet::FromIds({0}));
+        batch.emplace_back(std::move(sp));
+      }
+      batch.emplace_back(Tuple(0, tid, {Value(tid % kKeySpace), Value(tid)},
+                               ts));
+      ++tid;
+      ++ts;
+    }
+    (void)engine->Push("Feed", std::move(batch));
+    (void)engine->Run();
+    for (QueryId q : qids) *received += engine->TakeResults(q)->size();
+  }
+  return static_cast<double>(NowUs() - start) / 1e6;
+}
+
+struct ModeResult {
+  std::string mode;
+  RepStats stats;
+  double tuples_per_sec = 0;
+  size_t received = 0;
+  int64_t recovered_epochs = -1;  // recovery_replay rows only
+};
+
+std::string ToJson(const std::vector<ModeResult>& results,
+                   double overhead_pct) {
+  std::ostringstream os;
+  os << "{\"bench\":\"recovery\",\"config\":{\"epochs\":" << kEpochs
+     << ",\"tuples_per_epoch\":" << kTuplesPerEpoch
+     << ",\"tuples_per_sp\":" << kTuplesPerSp
+     << ",\"key_space\":" << kKeySpace << ",\"reps\":" << kReps
+     << "},\"checkpoint_overhead_pct\":" << overhead_pct << ",\"results\":[";
+  for (size_t i = 0; i < results.size(); ++i) {
+    const ModeResult& r = results[i];
+    if (i) os << ",";
+    os << "{\"mode\":\"" << r.mode << "\",";
+    AppendRepStatsJson(os, r.stats);
+    if (r.recovered_epochs >= 0) {
+      os << ",\"recovered_epochs\":" << r.recovered_epochs;
+    } else {
+      os << ",\"tuples_per_sec\":" << r.tuples_per_sec
+         << ",\"results\":" << r.received;
+    }
+    os << "}";
+  }
+  os << "]}";
+  return os.str();
+}
+
+}  // namespace
+}  // namespace spstream::bench
+
+int main() {
+  using namespace spstream;
+  using namespace spstream::bench;
+  namespace fs = std::filesystem;
+  const std::string dir =
+      (fs::temp_directory_path() / "spstream_bench_recovery").string();
+
+  std::cout << "Durable state subsystem: checkpoint-write overhead and "
+               "recovery-replay time\n(" << kEpochs << " epochs x "
+            << kTuplesPerEpoch << " tuples, sp every " << kTuplesPerSp
+            << ", " << kReps << " reps + warmup)\n";
+
+  std::vector<ModeResult> results;
+
+  // Durability OFF baseline: fresh engine per rep, no data dir.
+  {
+    ModeResult r;
+    r.mode = "durability_off";
+    auto one_rep = [&] {
+      std::vector<QueryId> qids;
+      auto engine = BuildEngine("", &qids);
+      return OneWorkloadRep(engine.get(), qids, &r.received);
+    };
+    r.stats = MeasureReps(kReps, [&] { (void)one_rep(); }, one_rep);
+    r.tuples_per_sec =
+        static_cast<double>(kEpochs) * kTuplesPerEpoch / r.stats.Min();
+    results.push_back(std::move(r));
+  }
+
+  // Durability ON: fresh data dir per rep — every epoch pays the WAL group
+  // commit + incremental checkpoint. The last rep's dir is kept for the
+  // recovery measurement below.
+  {
+    ModeResult r;
+    r.mode = "durability_on";
+    auto one_rep = [&] {
+      std::error_code ec;
+      fs::remove_all(dir, ec);
+      std::vector<QueryId> qids;
+      auto engine = BuildEngine(dir, &qids);
+      return OneWorkloadRep(engine.get(), qids, &r.received);
+    };
+    r.stats = MeasureReps(kReps, [&] { (void)one_rep(); }, one_rep);
+    r.tuples_per_sec =
+        static_cast<double>(kEpochs) * kTuplesPerEpoch / r.stats.Min();
+    results.push_back(std::move(r));
+  }
+  const double overhead_pct =
+      100.0 * (results[1].stats.Min() / results[0].stats.Min() - 1.0);
+
+  // Recovery replay: open a fresh engine over the populated dir per rep
+  // (WAL catalog replay + checkpoint restore; read-only, so reps repeat).
+  {
+    ModeResult r;
+    r.mode = "recovery_replay";
+    auto one_rep = [&] {
+      const int64_t t0 = NowUs();
+      EngineOptions opts;
+      opts.data_dir = dir;
+      SpStreamEngine engine(std::move(opts));
+      const double seconds = static_cast<double>(NowUs() - t0) / 1e6;
+      r.recovered_epochs = engine.durable_epochs();
+      if (!engine.recovery_error().ok()) {
+        std::cerr << "recovery failed: "
+                  << engine.recovery_error().ToString() << "\n";
+      }
+      return seconds;
+    };
+    r.stats = MeasureReps(kReps, [&] { (void)one_rep(); }, one_rep);
+    results.push_back(std::move(r));
+  }
+
+  PrintHeader("Durability", "workload seconds and recovery time");
+  PrintLegend("mode", {"sec(min)", "sec(mean)", "stddev"});
+  for (const ModeResult& r : results) {
+    PrintRow(r.mode, {r.stats.Min(), r.stats.Mean(), r.stats.Stddev()}, 4);
+  }
+  std::cout << "checkpoint overhead: " << overhead_pct << "% over "
+            << kEpochs << " epochs; recovery replays "
+            << results[2].recovered_epochs << " durable epochs\n";
+
+  const std::string json = ToJson(results, overhead_pct);
+  std::cout << "\nJSON: " << json << "\n";
+  if (const char* jdir = std::getenv("SPSTREAM_BENCH_JSON_DIR")) {
+    const std::string path = std::string(jdir) + "/BENCH_recovery.json";
+    std::ofstream out(path);
+    out << json << "\n";
+    std::cout << "wrote " << path << "\n";
+  }
+  std::error_code ec;
+  fs::remove_all(dir, ec);
+  return 0;
+}

@@ -14,6 +14,7 @@ const char* AuditEventKindName(AuditEventKind kind) {
     case AuditEventKind::kPlanAdapt: return "plan_adapt";
     case AuditEventKind::kNetEviction: return "net_eviction";
     case AuditEventKind::kQueryQuarantine: return "query_quarantined";
+    case AuditEventKind::kStorage: return "storage";
   }
   return "unknown";
 }

@@ -25,8 +25,9 @@ enum class AuditEventKind : uint8_t {
   kPlanAdapt,          ///< the adaptive optimizer swapped a query's plan
   kNetEviction,        ///< the stream server evicted a connection
   kQueryQuarantine,    ///< a faulted shard/operator failed the query closed
+  kStorage,            ///< durability lifecycle: commit, recovery, rebase
 };
-constexpr int kNumAuditEventKinds = 6;
+constexpr int kNumAuditEventKinds = 7;
 
 const char* AuditEventKindName(AuditEventKind kind);
 

@@ -38,6 +38,9 @@ inline constexpr char kShardQueuePush[] = "shard.queue_push";
 inline constexpr char kOperatorProcess[] = "exec.operator_process";
 inline constexpr char kPolicyInstall[] = "policy.install";
 inline constexpr char kNetWrite[] = "net.write";
+inline constexpr char kStorageWalAppend[] = "storage.wal_append";
+inline constexpr char kStorageCheckpointWrite[] = "storage.checkpoint_write";
+inline constexpr char kStorageRecoveryReplay[] = "storage.recovery_replay";
 }  // namespace fault
 
 /// \brief How an armed site decides to fail a hit.

@@ -42,6 +42,8 @@ const char* TraceCatName(TraceCat cat) {
       return "policy";
     case TraceCat::kIncident:
       return "incident";
+    case TraceCat::kStorage:
+      return "storage";
   }
   return "?";
 }

@@ -62,8 +62,9 @@ enum class TraceCat : uint8_t {
   kAnalyzer,     ///< SP Analyzer admission
   kPolicy,       ///< PolicyTracker installs, first SS enforcement
   kIncident,     ///< quarantine / fault fire / eviction markers
+  kStorage,      ///< WAL group commits, checkpoint writes, recovery replay
 };
-constexpr int kNumTraceCats = 7;
+constexpr int kNumTraceCats = 8;
 const char* TraceCatName(TraceCat cat);
 
 /// \brief Deterministic trace id of the sp-batch with timestamp `ts`.

@@ -9,6 +9,8 @@
 #include "common/metrics.h"
 #include "common/trace.h"
 #include "exec/ss_operator.h"
+#include "security/sp_codec.h"
+#include "storage/state_codec.h"
 #include "stream/element_batch.h"
 
 namespace spstream {
@@ -43,6 +45,64 @@ SpStreamEngine::SpStreamEngine(EngineOptions options)
     shard_manager_ = std::make_unique<ShardManager>(
         options_.num_shards, options_.shard_queue_capacity);
   }
+  if (!options_.data_dir.empty()) {
+    storage::DurabilityManager::Options dopts;
+    dopts.data_dir = options_.data_dir;
+    dopts.rebase_every =
+        std::max<int>(1, static_cast<int>(options_.checkpoint_rebase_every));
+    auto opened = storage::DurabilityManager::Open(
+        std::move(dopts), &metrics_,
+        options_.enable_audit ? &audit_ : nullptr);
+    if (!opened.ok()) {
+      // Fail safe: never run with a data dir we could not read — durability
+      // stays OFF so the unreadable state is never overwritten.
+      recovery_error_ = opened.status();
+    } else {
+      durability_ = std::move(opened).value();
+      Status st = ApplyRecoveredState();
+      if (!st.ok()) {
+        recovery_error_ = st;
+        for (QueryState& qs : queries_) ResetPipelines(&qs);
+        durability_.reset();
+      }
+    }
+    if (!recovery_error_.ok() && options_.enable_audit) {
+      AuditEvent e;
+      e.kind = AuditEventKind::kStorage;
+      e.scope = "engine";
+      e.detail = "recovery failed, durability disabled: " +
+                 recovery_error_.ToString();
+      audit_.Append(std::move(e));
+    }
+  }
+}
+
+SpStreamEngine::~SpStreamEngine() { Shutdown(); }
+
+void SpStreamEngine::Shutdown() {
+  if (!durability_) return;
+  // Clean shutdown flushes the audit ring's tail into the WAL so the trail
+  // survives the process (docs/DURABILITY.md).
+  (void)durability_->FlushAuditTail(audit_);
+}
+
+RoleId SpStreamEngine::RegisterRole(const std::string& name) {
+  // Log first: RegisterRole has no error channel, and replaying the WAL in
+  // order is what reproduces the same dense role ids after a crash.
+  if (durability_ && !replaying_) {
+    std::string payload;
+    PutLengthPrefixed(name, &payload);
+    Status st = durability_->LogCatalogRecord(
+        storage::WalRecordType::kRoleRegister, std::move(payload));
+    if (!st.ok() && options_.enable_audit) {
+      AuditEvent e;
+      e.kind = AuditEventKind::kStorage;
+      e.scope = "engine";
+      e.detail = "role '" + name + "' not durable: " + st.ToString();
+      audit_.Append(std::move(e));
+    }
+  }
+  return roles_.RegisterRole(name);
 }
 
 std::string SpStreamEngine::QueryTag(const QueryState* qs) const {
@@ -122,10 +182,16 @@ std::string SpStreamEngine::DumpMetrics(MetricsFormat format) {
 
 Result<StreamId> SpStreamEngine::RegisterStream(SchemaPtr schema) {
   const std::string name = schema->stream_name();
+  std::string payload;
+  if (durability_ && !replaying_) storage::PutSchema(*schema, &payload);
   SP_ASSIGN_OR_RETURN(StreamId id, streams_.RegisterStream(std::move(schema)));
   StreamState state;
   state.analyzer = std::make_unique<SpAnalyzer>(&roles_, name);
   stream_states_.emplace(name, std::move(state));
+  if (durability_ && !replaying_) {
+    SP_RETURN_NOT_OK(durability_->LogCatalogRecord(
+        storage::WalRecordType::kStreamRegister, std::move(payload)));
+  }
   return id;
 }
 
@@ -144,6 +210,16 @@ Status SpStreamEngine::RegisterSubject(
   if (ids.empty()) {
     return Status::InvalidArgument(
         "every query specifier must hold at least one role (SII.A)");
+  }
+  // Write-ahead: the mutation is validated, so applying after a successful
+  // log cannot fail — replay reproduces exactly what was applied.
+  if (durability_ && !replaying_) {
+    std::string payload;
+    PutLengthPrefixed(name, &payload);
+    PutVarint(role_names.size(), &payload);
+    for (const std::string& r : role_names) PutLengthPrefixed(r, &payload);
+    SP_RETURN_NOT_OK(durability_->LogCatalogRecord(
+        storage::WalRecordType::kSubjectRegister, std::move(payload)));
   }
   subjects_.emplace(name, Subject(name, std::move(ids)));
   return Status::OK();
@@ -164,6 +240,14 @@ Status SpStreamEngine::UpdateSubjectRoles(
   if (ids.empty()) {
     return Status::InvalidArgument(
         "a subject must keep at least one role");
+  }
+  if (durability_ && !replaying_) {
+    std::string payload;
+    PutLengthPrefixed(name, &payload);
+    PutVarint(role_names.size(), &payload);
+    for (const std::string& r : role_names) PutLengthPrefixed(r, &payload);
+    SP_RETURN_NOT_OK(durability_->LogCatalogRecord(
+        storage::WalRecordType::kSubjectRoles, std::move(payload)));
   }
   sub_it->second.ReplaceRolesUnchecked(std::move(ids));
 
@@ -259,6 +343,13 @@ Result<QueryId> SpStreamEngine::RegisterQuery(const std::string& subject,
       return Status::NotFound("query references unknown stream: " + s);
     }
   }
+  if (durability_ && !replaying_) {
+    std::string payload;
+    PutLengthPrefixed(subject, &payload);
+    PutLengthPrefixed(sql, &payload);
+    SP_RETURN_NOT_OK(durability_->LogCatalogRecord(
+        storage::WalRecordType::kQueryRegister, std::move(payload)));
+  }
   // The subject's role assignment freezes while it has registered queries.
   sub_it->second.Freeze();
   queries_.push_back(std::move(qs));
@@ -269,6 +360,12 @@ Status SpStreamEngine::DeregisterQuery(QueryId id) {
   SP_ASSIGN_OR_RETURN(QueryState * qs, FindQuery(id));
   if (!qs->active) {
     return Status::InvalidArgument("query already deregistered");
+  }
+  if (durability_ && !replaying_) {
+    std::string payload;
+    PutVarint(static_cast<uint64_t>(id), &payload);
+    SP_RETURN_NOT_OK(durability_->LogCatalogRecord(
+        storage::WalRecordType::kQueryDeregister, std::move(payload)));
   }
   qs->active = false;
   ResetPipelines(qs);
@@ -459,6 +556,15 @@ Status SpStreamEngine::Push(const std::string& stream_name,
                    traced_sp ? SpBatchTraceId(sp_ts) : 0, sp_ts);
     const size_t before = state.pending.size();
     for (StreamElement& admitted : state.analyzer->Process(std::move(e))) {
+      if (durability_ && admitted.is_sp()) {
+        // Forensic trail: which sp-batches were admitted rides in the next
+        // epoch's group commit (not durable until the epoch is).
+        std::string payload;
+        PutLengthPrefixed(stream_name, &payload);
+        PutVarint(ZigZagEncode(admitted.ts()), &payload);
+        durability_->BufferForensic(storage::WalRecordType::kSpAdmitted,
+                                    std::move(payload));
+      }
       state.pending.push_back(std::move(admitted));
     }
     if (traced_sp) {
@@ -481,6 +587,7 @@ Status SpStreamEngine::Run() {
   ScopedTraceContext trace_ctx(epoch_trace);
   TraceSpan run_span(TraceCat::kEngine, "engine.run", epoch_trace,
                      run_epoch_seq_, static_cast<int64_t>(queries_.size()));
+  epoch_had_quarantine_ = false;
   // Flush analyzer tails so trailing sps are visible to the queries.
   for (auto& [name, state] : stream_states_) {
     (void)name;
@@ -514,6 +621,37 @@ Status SpStreamEngine::Run() {
         SP_RETURN_NOT_OK(RunSolo(&ctx, &queries_[indexes[0]]));
       } else {
         SP_RETURN_NOT_OK(RunSharedGroup(&ctx, indexes));
+      }
+    }
+  }
+  // Durable commit point: checkpoint this epoch's operator-state deltas and
+  // group-commit. Staged output is released only on success — a failed (or
+  // quarantine-poisoned) epoch discards ALL of it, engine-wide, so a client
+  // never sees a result the next recovery won't reproduce (at-most-once).
+  if (durability_) {
+    Status commit = epoch_had_quarantine_
+                        ? Status::Internal(
+                              "epoch contained a query quarantine; durable "
+                              "commit aborted")
+                        : CommitEpochDurable();
+    if (commit.ok()) {
+      for (QueryState& qs : queries_) {
+        for (Tuple& t : qs.staged) {
+          if (qs.callback) qs.callback(t);
+          qs.results.push_back(std::move(t));
+        }
+        qs.staged.clear();
+      }
+    } else {
+      for (QueryState& qs : queries_) qs.staged.clear();
+      metrics_.AddCounter("storage.epochs_discarded");
+      if (options_.enable_audit) {
+        AuditEvent e;
+        e.kind = AuditEventKind::kStorage;
+        e.scope = "engine";
+        e.detail = "epoch output discarded (commit failed): " +
+                   commit.ToString();
+        audit_.Append(std::move(e));
       }
     }
   }
@@ -596,15 +734,7 @@ Status SpStreamEngine::RunSolo(ExecContext* ctx, QueryState* qs) {
   }
   const std::string tag = QueryTag(qs);
   const int64_t epoch_start = NowNanos();
-  if (!qs->pipeline) {
-    // First run (or after a re-plan): build the long-lived pipeline.
-    qs->pipeline = std::make_unique<Pipeline>(ctx);
-    SP_ASSIGN_OR_RETURN(qs->physical,
-                        BuildStreamingPhysicalPlan(qs->pipeline.get(),
-                                                   qs->plan,
-                                                   options_.physical));
-    qs->pipeline->SetQueryTag(tag);
-  }
+  SP_RETURN_NOT_OK(EnsurePipeline(ctx, qs));
   // Feed this epoch's admitted elements; operator state persists, so a
   // policy installed in an earlier epoch still governs later tuples.
   // Feeding is synchronous pipelined execution, so the wall time of one
@@ -679,13 +809,33 @@ Status SpStreamEngine::RunSolo(ExecContext* ctx, QueryState* qs) {
     return Status::OK();
   }
   for (Tuple& t : qs->physical.sink->TakeTuples()) {
-    if (qs->callback) qs->callback(t);
-    qs->results.push_back(std::move(t));
+    DeliverResult(qs, std::move(t));
   }
   metrics_.MergeTupleLatency(tag, tuple_latency);
   metrics_.RecordEpochLatency(tag, NowNanos() - epoch_start);
   qs->pipeline->HarvestInto(&metrics_, tag);
   return Status::OK();
+}
+
+Status SpStreamEngine::EnsurePipeline(ExecContext* ctx, QueryState* qs) {
+  if (qs->pipeline) return Status::OK();
+  // First run (or after a re-plan): build the long-lived pipeline.
+  qs->pipeline = std::make_unique<Pipeline>(ctx);
+  SP_ASSIGN_OR_RETURN(qs->physical,
+                      BuildStreamingPhysicalPlan(qs->pipeline.get(), qs->plan,
+                                                 options_.physical));
+  qs->pipeline->SetQueryTag(QueryTag(qs));
+  return Status::OK();
+}
+
+void SpStreamEngine::DeliverResult(QueryState* qs, Tuple t) {
+  if (durability_) {
+    // Held back until this epoch's durable commit (delivered ≡ durable).
+    qs->staged.push_back(std::move(t));
+    return;
+  }
+  if (qs->callback) qs->callback(t);
+  qs->results.push_back(std::move(t));
 }
 
 Status SpStreamEngine::EnsureShardDecision(ExecContext* ctx, QueryState* qs) {
@@ -793,8 +943,7 @@ Status SpStreamEngine::RunSharded(QueryState* qs) {
   // Deterministic merge: shard id first, arrival order within the shard.
   for (size_t s = 0; s < num_shards; ++s) {
     for (Tuple& t : shards.physicals[s].sink->TakeTuples()) {
-      if (qs->callback) qs->callback(t);
-      qs->results.push_back(std::move(t));
+      DeliverResult(qs, std::move(t));
     }
   }
   metrics_.RecordEpochLatency(tag, NowNanos() - epoch_start);
@@ -817,9 +966,14 @@ void SpStreamEngine::QuarantineQuery(QueryState* qs,
   if (qs->pipeline && qs->physical.sink != nullptr) {
     (void)qs->physical.sink->TakeTuples();
   }
+  qs->staged.clear();
   qs->quarantined = true;
   qs->quarantine_reason = reason;
   ++quarantined_count_;
+  // A quarantine poisons the whole epoch's durable commit: the quarantined
+  // query's in-memory state diverged from what its last checkpoint says, so
+  // committing any query's delta this epoch could orphan shared progress.
+  epoch_had_quarantine_ = true;
   // Incident: snapshot the flight recorder with the epoch's trace id so the
   // spans leading into the quarantine survive for post-mortem.
   const TraceId quarantine_trace = Tracer::Global().epoch_trace();
@@ -837,6 +991,12 @@ void SpStreamEngine::QuarantineQuery(QueryState* qs,
     e.detail = reason;
     e.trace_id = quarantine_trace;
     audit_.Append(std::move(e));
+  }
+  if (durability_) {
+    // Incident dump: persist the audit tail (including the quarantine event
+    // above) now, not at the next clean shutdown — the process may not get
+    // one.
+    (void)durability_->FlushAuditTail(audit_);
   }
 }
 
@@ -901,11 +1061,219 @@ Status SpStreamEngine::RunSharedGroup(
     split.SetQueryTag(tag);
     split.Run(/*batch_per_poll=*/64);
     for (Tuple& t : sink->Tuples()) {
-      if (qs.callback) qs.callback(t);
-      qs.results.push_back(std::move(t));
+      DeliverResult(&qs, std::move(t));
     }
     split.HarvestInto(&metrics_, tag, Pipeline::HarvestMode::kMerge);
     metrics_.RecordEpochLatency(tag, NowNanos() - epoch_start);
+  }
+  return Status::OK();
+}
+
+// ---- durable state (docs/DURABILITY.md) ------------------------------------
+
+Status SpStreamEngine::CommitEpochDurable() {
+  TraceSpan span(TraceCat::kStorage, "storage.commit",
+                 Tracer::CurrentTrace(), committed_epochs_ + 1);
+  const bool full = durability_->WantsFullCheckpoint();
+  std::vector<storage::StateEntry> entries;
+  std::vector<Operator*> durable_ops;
+  for (size_t qi = 0; qi < queries_.size(); ++qi) {
+    QueryState& qs = queries_[qi];
+    if (!qs.active || qs.quarantined) continue;
+    auto collect = [&](Pipeline* pipeline, uint32_t shard) {
+      const auto& ops = pipeline->operators();
+      for (size_t oi = 0; oi < ops.size(); ++oi) {
+        Operator* op = ops[oi].get();
+        if (!op->HasDurableState()) continue;
+        storage::StateEntry entry;
+        entry.key.query = static_cast<uint32_t>(qi);
+        entry.key.shard = shard;
+        entry.key.op_index = static_cast<uint32_t>(oi);
+        entry.label = op->label();
+        op->CheckpointState(&entry.blob, full);
+        durable_ops.push_back(op);
+        // An empty blob means "unchanged since the cursor" — elided.
+        if (!entry.blob.empty()) entries.push_back(std::move(entry));
+      }
+    };
+    if (qs.shards) {
+      for (size_t s = 0; s < qs.shards->pipelines.size(); ++s) {
+        collect(qs.shards->pipelines[s].get(), static_cast<uint32_t>(s));
+      }
+    } else if (qs.pipeline) {
+      collect(qs.pipeline.get(), 0);
+    }
+  }
+  storage::EpochMeta meta;
+  meta.epoch = static_cast<uint64_t>(committed_epochs_) + 1;
+  meta.next_default_ts = next_default_ts_;
+  meta.num_shards = static_cast<int>(options_.num_shards);
+  meta.batch_size = options_.batch_size;
+  SP_RETURN_NOT_OK(durability_->CommitEpoch(meta, full, entries));
+  // The commit point passed: only now may checkpoint cursors advance.
+  for (Operator* op : durable_ops) op->OnCheckpointDurable();
+  ++committed_epochs_;
+  metrics_.SetGauge("storage.durable_epochs", committed_epochs_);
+  return Status::OK();
+}
+
+Status SpStreamEngine::ReplayCatalog(
+    const std::vector<storage::WalRecord>& records) {
+  using storage::WalRecordType;
+  for (const storage::WalRecord& r : records) {
+    const std::string_view data = r.payload;
+    size_t off = 0;
+    switch (static_cast<WalRecordType>(r.type)) {
+      case WalRecordType::kRoleRegister: {
+        SP_ASSIGN_OR_RETURN(std::string name, GetLengthPrefixed(data, &off));
+        (void)RegisterRole(name);
+        break;
+      }
+      case WalRecordType::kStreamRegister: {
+        SP_ASSIGN_OR_RETURN(SchemaPtr schema, storage::GetSchema(data, &off));
+        auto res = RegisterStream(std::move(schema));
+        if (!res.ok()) return res.status();
+        break;
+      }
+      case WalRecordType::kSubjectRegister:
+      case WalRecordType::kSubjectRoles: {
+        SP_ASSIGN_OR_RETURN(std::string name, GetLengthPrefixed(data, &off));
+        SP_ASSIGN_OR_RETURN(uint64_t n, GetVarint(data, &off));
+        std::vector<std::string> role_names;
+        role_names.reserve(n);
+        for (uint64_t i = 0; i < n; ++i) {
+          SP_ASSIGN_OR_RETURN(std::string rn, GetLengthPrefixed(data, &off));
+          role_names.push_back(std::move(rn));
+        }
+        if (static_cast<WalRecordType>(r.type) ==
+            WalRecordType::kSubjectRegister) {
+          SP_RETURN_NOT_OK(RegisterSubject(name, role_names));
+        } else {
+          SP_RETURN_NOT_OK(UpdateSubjectRoles(name, role_names));
+        }
+        break;
+      }
+      case WalRecordType::kQueryRegister: {
+        SP_ASSIGN_OR_RETURN(std::string subject,
+                            GetLengthPrefixed(data, &off));
+        SP_ASSIGN_OR_RETURN(std::string sql, GetLengthPrefixed(data, &off));
+        auto res = RegisterQuery(subject, sql);
+        if (!res.ok()) return res.status();
+        break;
+      }
+      case WalRecordType::kQueryDeregister: {
+        SP_ASSIGN_OR_RETURN(uint64_t id, GetVarint(data, &off));
+        SP_RETURN_NOT_OK(DeregisterQuery(static_cast<QueryId>(id)));
+        break;
+      }
+      default:
+        // Forensic record types never land in the recovered catalog list.
+        return Status::Internal("unexpected catalog record type " +
+                                std::to_string(static_cast<int>(r.type)));
+    }
+  }
+  return Status::OK();
+}
+
+Status SpStreamEngine::ApplyRecoveredState() {
+  storage::RecoveredState& rec = durability_->recovered();
+  if (!rec.found) return Status::OK();
+  TraceSpan span(TraceCat::kStorage, "storage.recover", Tracer::CurrentTrace(),
+                 static_cast<int64_t>(rec.epoch));
+
+  // 1. Replay the catalog in WAL order. The engine's own Register* methods
+  // run the real validation/planning, and dense ids (roles, queries) come
+  // out identical because the order is identical.
+  replaying_ = true;
+  Status catalog_st = ReplayCatalog(rec.catalog);
+  replaying_ = false;
+  SP_RETURN_NOT_OK(catalog_st);
+
+  committed_epochs_ = static_cast<int64_t>(rec.epoch);
+  next_default_ts_ = rec.next_default_ts;
+  recovered_sessions_ = std::move(rec.sessions);
+  recovered_next_session_id_ = rec.next_session_id;
+  metrics_.SetGauge("storage.durable_epochs", committed_epochs_);
+
+  // 2. Operator state. A shard-layout change makes the per-clone blobs
+  // meaningless — skip the restore (windows refill; policy trackers
+  // re-install from the next sp-batches, denying by default meanwhile).
+  const bool layout_matches =
+      rec.num_shards == static_cast<int>(options_.num_shards);
+  if (!rec.blobs.empty() && layout_matches) {
+    for (QueryState& qs : queries_) {
+      if (!qs.active || qs.quarantined) continue;
+      if (shard_manager_) {
+        SP_RETURN_NOT_OK(EnsureShardDecision(&exec_ctx_, &qs));
+      }
+      if (!qs.shards) SP_RETURN_NOT_OK(EnsurePipeline(&exec_ctx_, &qs));
+    }
+    // Apply the delta chain oldest-first; each blob must land on the exact
+    // operator it was cut from (label validated — a plan mismatch is loud).
+    for (const storage::StateEntry& e : rec.blobs) {
+      if (e.key.query >= queries_.size()) {
+        return Status::Internal("checkpoint names unknown query " +
+                                std::to_string(e.key.query));
+      }
+      QueryState& qs = queries_[e.key.query];
+      if (!qs.active) continue;  // deregistered later in the WAL
+      Pipeline* pipeline = nullptr;
+      if (qs.shards) {
+        if (e.key.shard >= qs.shards->pipelines.size()) {
+          return Status::Internal("checkpoint names unknown shard " +
+                                  std::to_string(e.key.shard));
+        }
+        pipeline = qs.shards->pipelines[e.key.shard].get();
+      } else {
+        if (e.key.shard != 0 || !qs.pipeline) {
+          return Status::Internal("checkpoint/shard-decision mismatch for q" +
+                                  std::to_string(e.key.query));
+        }
+        pipeline = qs.pipeline.get();
+      }
+      const auto& ops = pipeline->operators();
+      if (e.key.op_index >= ops.size()) {
+        return Status::Internal("checkpoint names unknown operator index " +
+                                std::to_string(e.key.op_index));
+      }
+      Operator* op = ops[e.key.op_index].get();
+      if (!op->HasDurableState() || op->label() != e.label) {
+        return Status::Internal(
+            "checkpoint/plan mismatch: expected operator '" + e.label +
+            "', found '" + op->label() + "'");
+      }
+      SP_RETURN_NOT_OK(op->RestoreState(e.blob));
+    }
+    // Chain applied: let operators rebuild derived structures (SPIndex etc).
+    for (QueryState& qs : queries_) {
+      if (!qs.active) continue;
+      auto finish = [](Pipeline* pipeline) {
+        for (const auto& op : pipeline->operators()) {
+          if (op->HasDurableState()) op->OnRestoreComplete();
+        }
+      };
+      if (qs.shards) {
+        for (const auto& pipeline : qs.shards->pipelines) {
+          finish(pipeline.get());
+        }
+      } else if (qs.pipeline) {
+        finish(qs.pipeline.get());
+      }
+    }
+  }
+
+  metrics_.AddCounter("storage.recoveries");
+  if (options_.enable_audit) {
+    AuditEvent e;
+    e.kind = AuditEventKind::kStorage;
+    e.scope = "engine";
+    e.detail = "recovered epoch " + std::to_string(rec.epoch) + " (" +
+               std::to_string(rec.catalog.size()) + " catalog records, " +
+               std::to_string(rec.blobs.size()) + " state blobs" +
+               (layout_matches ? "" : ", state skipped: shard layout changed") +
+               (rec.tail_torn ? ", torn WAL tail truncated" : "") +
+               "); policy trackers fail closed until the next sp-batch";
+    audit_.Append(std::move(e));
   }
   return Status::OK();
 }

@@ -25,6 +25,7 @@
 #include "optimizer/statistics.h"
 #include "query/parser.h"
 #include "query/planner.h"
+#include "storage/durability.h"
 
 namespace spstream {
 
@@ -90,18 +91,28 @@ struct EngineOptions {
   /// Tracing is process-global and sticky — constructing an engine with 0
   /// leaves a previously-enabled tracer running (the CLI's \trace owns it).
   size_t trace_sample_n = 0;
+  /// Durable state (docs/DURABILITY.md): non-empty names the data directory
+  /// for the write-ahead policy log + incremental window checkpoints. The
+  /// constructor replays whatever the directory holds (catalog, sessions,
+  /// operator state) and Run() group-commits one checkpoint per epoch;
+  /// results are released only after the commit (delivered ≡ durable, so
+  /// delivery is at-most-once across a crash). Empty = no persistence.
+  std::string data_dir;
+  /// Durable commits between WAL compactions (full-snapshot rebases).
+  size_t checkpoint_rebase_every = 16;
 };
 
 /// \brief The integrated stream engine.
 class SpStreamEngine {
  public:
   explicit SpStreamEngine(EngineOptions options = {});
+  ~SpStreamEngine();
 
   // ---- catalog management -----------------------------------------------
-  /// \brief Register (or look up) a role.
-  RoleId RegisterRole(const std::string& name) {
-    return roles_.RegisterRole(name);
-  }
+  /// \brief Register (or look up) a role. With durability on, the
+  /// registration is write-ahead logged so recovery reproduces the same
+  /// dense role ids.
+  RoleId RegisterRole(const std::string& name);
 
   /// \brief Register a stream; creates its SP Analyzer admission path.
   Result<StreamId> RegisterStream(SchemaPtr schema);
@@ -199,6 +210,28 @@ class SpStreamEngine {
   /// nullptr before its first epoch.
   const StreamStatistics* measured_stats(const std::string& stream) const;
 
+  // ---- durability (docs/DURABILITY.md) ----------------------------------
+  /// \brief Epochs committed durably (recovered + this process). 0 when
+  /// durability is off.
+  int64_t durable_epochs() const { return committed_epochs_; }
+  /// \brief Non-OK when crash recovery failed: the engine started EMPTY
+  /// with durability DISABLED so it can never overwrite state it could not
+  /// read. OK otherwise (including when durability is off).
+  const Status& recovery_error() const { return recovery_error_; }
+  /// \brief The durability manager, or nullptr. The net server logs session
+  /// updates through this directly (leaf mutex — safe off-engine-lock).
+  storage::DurabilityManager* durability() { return durability_.get(); }
+  /// \brief Net sessions recovered from the WAL (consumed by the server).
+  const std::vector<storage::DurableSession>& recovered_sessions() const {
+    return recovered_sessions_;
+  }
+  uint64_t recovered_next_session_id() const {
+    return recovered_next_session_id_;
+  }
+  /// \brief Clean shutdown: flush the audit-log tail into the WAL. Also
+  /// runs from the destructor; idempotent.
+  void Shutdown();
+
  private:
   struct StreamState {
     std::unique_ptr<SpAnalyzer> analyzer;
@@ -212,6 +245,10 @@ class SpStreamEngine {
     RoleSet roles;             // the query's security predicate
     std::vector<std::string> source_streams;
     std::vector<Tuple> results;
+    // With durability on, an epoch's output stages here and is released
+    // into `results` (and the callback) only after the epoch's durable
+    // commit — a failed commit discards it (at-most-once delivery).
+    std::vector<Tuple> staged;
     std::function<void(const Tuple&)> callback;  // optional push delivery
     bool active = true;
     // Long-lived continuous pipeline (solo mode): operator state — the
@@ -257,6 +294,18 @@ class SpStreamEngine {
   /// Decide (once per plan) whether `qs` runs sharded; builds the pipeline
   /// clones when it does.
   Status EnsureShardDecision(ExecContext* ctx, QueryState* qs);
+  /// Build the query's long-lived solo pipeline if absent.
+  Status EnsurePipeline(ExecContext* ctx, QueryState* qs);
+  /// Deliver one result tuple: straight to results/callback, or staged
+  /// until the epoch's durable commit when durability is on.
+  void DeliverResult(QueryState* qs, Tuple t);
+  /// Collect this epoch's operator-state deltas and run the commit
+  /// protocol; advances checkpoint cursors only on success.
+  Status CommitEpochDurable();
+  /// Replay the recovered catalog, rebuild pipelines, apply the delta
+  /// chain, and re-arm policy trackers fail-closed.
+  Status ApplyRecoveredState();
+  Status ReplayCatalog(const std::vector<storage::WalRecord>& records);
   /// Fail the query closed after a fault: discard this epoch's partial
   /// sink output, tear down its pipelines (epoch-consistent: callers
   /// already drained the shard barrier), audit + count it, and stop
@@ -298,6 +347,20 @@ class SpStreamEngine {
   /// Run() epochs completed — seeds the per-epoch trace id (EpochTraceId).
   int64_t run_epoch_seq_ = 0;
   Timestamp next_default_ts_ = 1;
+  /// Durable state subsystem (null when EngineOptions::data_dir is empty or
+  /// recovery failed — see recovery_error()).
+  std::unique_ptr<storage::DurabilityManager> durability_;
+  int64_t committed_epochs_ = 0;
+  Status recovery_error_ = Status::OK();
+  /// True while the constructor replays WAL catalog records — suppresses
+  /// re-logging the mutations being replayed.
+  bool replaying_ = false;
+  /// Any query quarantined during the current Run() epoch: the whole
+  /// epoch's durable commit is aborted (partial state must not commit) and
+  /// staged output is discarded; the restart heals the quarantine.
+  bool epoch_had_quarantine_ = false;
+  std::vector<storage::DurableSession> recovered_sessions_;
+  uint64_t recovered_next_session_id_ = 1;
   /// Worker-shard pool (null when num_shards <= 1). Declared after
   /// queries_ so destruction joins the workers BEFORE the pipelines they
   /// feed are torn down.

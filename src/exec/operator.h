@@ -6,9 +6,11 @@
 
 #include <memory>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/metrics.h"
+#include "common/status.h"
 #include "exec/exec_context.h"
 #include "stream/element_batch.h"
 #include "stream/stream_element.h"
@@ -59,6 +61,43 @@ class Operator {
 
   /// \brief The engine's audit log, or nullptr when not wired up.
   AuditLog* audit() const { return ctx_->audit; }
+
+  // ---- durable state (docs/DURABILITY.md) --------------------------------
+  // Stateful operators (windows, group-by, distinct, the Security Shield's
+  // tracker) participate in incremental checkpointing. The engine calls
+  // CheckpointState at epoch barriers, OnCheckpointDurable once the epoch's
+  // commit protocol finished (the delta reached the manifest), and
+  // RestoreState during recovery with each delta blob of the chain, oldest
+  // first. CheckpointState must NOT advance the operator's dirty cursor —
+  // only OnCheckpointDurable does, so a failed commit re-covers the same
+  // interval in the next delta (exactly-once over the blob chain).
+
+  /// \brief True for operators that carry state across epochs.
+  virtual bool HasDurableState() const { return false; }
+
+  /// \brief Serialize state changed since the last durable checkpoint into
+  /// `out` (appended). `full` forces a complete snapshot (rebase). Leaving
+  /// `out` empty means "nothing changed" and elides the delta entry.
+  virtual void CheckpointState(std::string* out, bool full) {
+    (void)out;
+    (void)full;
+  }
+
+  /// \brief The delta produced by the last CheckpointState is durable:
+  /// advance the dirty cursor.
+  virtual void OnCheckpointDurable() {}
+
+  /// \brief Apply one delta blob (in chain order). Policy trackers restore
+  /// FAIL-CLOSED: deny-all at the recovered batch ts until a newer sp-batch
+  /// re-converges.
+  virtual Status RestoreState(std::string_view blob) {
+    (void)blob;
+    return Status::OK();
+  }
+
+  /// \brief The whole chain has been applied; rebuild derived structures
+  /// (indexes, memo state) and refresh metrics.
+  virtual void OnRestoreComplete() {}
 
  protected:
   /// \brief Operator-specific processing of a non-EOS element.

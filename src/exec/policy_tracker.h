@@ -90,6 +90,21 @@ class PolicyTracker {
 
   size_t MemoryBytes() const;
 
+  /// \brief Crash-recovery restore (docs/DURABILITY.md): re-arm FAIL-CLOSED
+  /// at the checkpointed batch timestamp. The recovered stream denies
+  /// everyone — exactly the policy.install fault posture — until a newer
+  /// sp-batch arrives and re-converges; sps at or before `ts` are stale and
+  /// dropped, so a replayed prefix cannot resurrect a pre-crash policy.
+  void RestoreFailClosed(Timestamp ts) {
+    previous_policy_ = current_policy_ = MakePolicy(RoleSet(), ts);
+    open_batch_.clear();
+    current_batch_.clear();
+    batch_incremental_ = false;
+    batch_covers_all_ = true;
+    has_attr_policies_ = false;
+    fail_closed_ = true;
+  }
+
  private:
   void FinalizeOpenBatch();
 

@@ -15,6 +15,7 @@
 
 #include <deque>
 #include <unordered_map>
+#include <unordered_set>
 
 #include "exec/operator.h"
 #include "exec/policy_tracker.h"
@@ -37,6 +38,14 @@ class SaDistinct : public Operator {
 
   /// \brief Number of distinct values currently tracked.
   size_t output_state_size() const { return output_state_.size(); }
+
+  // Durable state: dirty per-value dedup entries (upsert or tombstone),
+  // window records since the cursor, and the tracker/emitter timestamps.
+  bool HasDurableState() const override { return true; }
+  void CheckpointState(std::string* out, bool full) override;
+  void OnCheckpointDurable() override;
+  Status RestoreState(std::string_view blob) override;
+  void OnRestoreComplete() override { UpdateStateBytes(); }
 
  protected:
   void Process(StreamElement elem, int) override;
@@ -63,6 +72,17 @@ class SaDistinct : public Operator {
   std::deque<InputRec> input_window_;
   std::unordered_map<Value, OutState, ValueHash> output_state_;
   OutputPolicyEmitter output_emitter_;
+
+  // ---- checkpoint bookkeeping (docs/DURABILITY.md) ----
+  uint64_t total_appended_ = 0;  // window records ever pushed
+  Timestamp watermark_ = kMinTimestamp;
+  std::unordered_set<Value, ValueHash> dirty_keys_;
+  uint64_t ckpt_appended_ = 0;
+  uint64_t pending_appended_ = 0;
+  Timestamp ckpt_tracker_ts_ = kMinTimestamp;
+  Timestamp ckpt_emitter_ts_ = kMinTimestamp;
+  Timestamp pending_tracker_ts_ = kMinTimestamp;
+  Timestamp pending_emitter_ts_ = kMinTimestamp;
 };
 
 }  // namespace spstream

@@ -1,8 +1,40 @@
 #include "exec/sa_groupby.h"
 
 #include <algorithm>
+#include <cstring>
+
+#include "security/sp_codec.h"
+#include "storage/state_codec.h"
 
 namespace spstream {
+
+namespace {
+
+void PutF64(double d, std::string* out) {
+  uint64_t bits;
+  std::memcpy(&bits, &d, sizeof(bits));
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<char>((bits >> (8 * i)) & 0xff));
+  }
+}
+
+Result<double> GetF64(std::string_view data, size_t* offset) {
+  if (*offset + 8 > data.size()) {
+    return Status::Internal("groupby delta: truncated double");
+  }
+  uint64_t bits = 0;
+  for (int i = 0; i < 8; ++i) {
+    bits |= static_cast<uint64_t>(
+                static_cast<uint8_t>(data[*offset + static_cast<size_t>(i)]))
+            << (8 * i);
+  }
+  *offset += 8;
+  double d;
+  std::memcpy(&d, &bits, sizeof(d));
+  return d;
+}
+
+}  // namespace
 
 const char* AggFnToString(AggFn fn) {
   switch (fn) {
@@ -86,11 +118,13 @@ void SaGroupBy::EmitAsgResult(const Asg& asg, Timestamp ts) {
 }
 
 void SaGroupBy::Invalidate(Timestamp now) {
+  if (now > watermark_) watermark_ = now;
   const Timestamp cutoff = now - options_.window_size;
   while (!input_window_.empty() && input_window_.front().ts <= cutoff) {
     InputRec rec = std::move(input_window_.front());
     input_window_.pop_front();
     AsgPtr root = Find(rec.asg);
+    dirty_keys_.insert(root->key);
     RemoveFromAsg(root, rec.agg_value);  // expiry update (2nd change)
     if (options_.emit_on_expiry && root->count > 0) {
       EmitAsgResult(*root, now);
@@ -164,16 +198,20 @@ void SaGroupBy::Process(StreamElement elem, int) {
       target->policy.UnionWith(root->policy);
       root->parent = target;
       root->ordered.clear();
+      merges_.emplace_back(root->id, target->id);
     }
   }
   if (!target) {
     target = std::make_shared<Asg>();
     target->key = key;
+    target->id = next_asg_id_++;
     asgs.push_back(target);
   }
+  dirty_keys_.insert(key);
   target->policy.UnionWith(policy->allowed());
   AddToAsg(target, agg_value);  // arrival update (1st change)
   input_window_.push_back(InputRec{t.ts, agg_value, target});
+  ++total_appended_;
 
   // Drop forwarding stubs so lookups stay short.
   asgs.erase(std::remove_if(asgs.begin(), asgs.end(),
@@ -208,6 +246,211 @@ size_t SaGroupBy::asg_count() const {
     }
   }
   return n;
+}
+
+// ---- durable state (docs/DURABILITY.md) ------------------------------------
+
+void SaGroupBy::CheckpointState(std::string* out, bool full) {
+  pending_tracker_ts_ = tracker_.current_ts();
+  pending_emitter_ts_ = output_emitter_.last_ts();
+  pending_appended_ = total_appended_;
+  const uint64_t new_records = total_appended_ - ckpt_appended_;
+  if (!full && dirty_keys_.empty() && merges_.empty() && new_records == 0 &&
+      pending_tracker_ts_ == ckpt_tracker_ts_ &&
+      pending_emitter_ts_ == ckpt_emitter_ts_) {
+    return;
+  }
+
+  out->push_back(full ? 1 : 0);
+  PutVarint(ZigZagEncode(pending_tracker_ts_), out);
+  PutVarint(ZigZagEncode(pending_emitter_ts_), out);
+  PutVarint(ZigZagEncode(watermark_), out);
+  PutVarint(next_asg_id_, out);
+
+  PutVarint(full ? 0 : merges_.size(), out);
+  if (!full) {
+    for (const auto& [from, to] : merges_) {
+      PutVarint(from, out);
+      PutVarint(to, out);
+    }
+  }
+
+  // Dirty attribute groups (all groups on a full snapshot): the live roots
+  // of each, snapshotted whole. A dirty key with no live root is a
+  // tombstone (zero roots) — the restore erases the group.
+  std::vector<const Value*> keys;
+  if (full) {
+    for (const auto& [key, asgs] : groups_) {
+      (void)asgs;
+      keys.push_back(&key);
+    }
+  } else {
+    for (const Value& key : dirty_keys_) keys.push_back(&key);
+  }
+  PutVarint(keys.size(), out);
+  for (const Value* key : keys) {
+    storage::PutValue(*key, out);
+    std::vector<const Asg*> roots;
+    auto git = groups_.find(*key);
+    if (git != groups_.end()) {
+      for (const AsgPtr& asg : git->second) {
+        if (!asg->parent && asg->count > 0) roots.push_back(asg.get());
+      }
+    }
+    PutVarint(roots.size(), out);
+    for (const Asg* asg : roots) {
+      PutVarint(asg->id, out);
+      storage::PutRoleSet(asg->policy, out);
+      PutVarint(static_cast<uint64_t>(asg->count), out);
+      PutF64(asg->sum, out);
+      PutVarint(asg->ordered.size(), out);
+      for (double v : asg->ordered) PutF64(v, out);
+    }
+  }
+
+  // Window records appended since the cursor (everything on full). Records
+  // that already expired again need no replay — the snapshots above are
+  // authoritative for the aggregates.
+  const uint64_t n = full ? input_window_.size()
+                          : std::min<uint64_t>(new_records,
+                                               input_window_.size());
+  PutVarint(total_appended_, out);
+  PutVarint(n, out);
+  for (size_t i = input_window_.size() - static_cast<size_t>(n);
+       i < input_window_.size(); ++i) {
+    const InputRec& rec = input_window_[i];
+    PutVarint(ZigZagEncode(rec.ts), out);
+    PutF64(rec.agg_value, out);
+    PutVarint(Find(rec.asg)->id, out);
+  }
+}
+
+void SaGroupBy::OnCheckpointDurable() {
+  dirty_keys_.clear();
+  merges_.clear();
+  ckpt_appended_ = pending_appended_;
+  ckpt_tracker_ts_ = pending_tracker_ts_;
+  ckpt_emitter_ts_ = pending_emitter_ts_;
+}
+
+Status SaGroupBy::RestoreState(std::string_view blob) {
+  size_t offset = 0;
+  if (offset >= blob.size()) {
+    return Status::Internal("groupby delta: empty blob");
+  }
+  const bool full = blob[offset] != 0;
+  ++offset;
+  SP_ASSIGN_OR_RETURN(uint64_t tr_raw, GetVarint(blob, &offset));
+  SP_ASSIGN_OR_RETURN(uint64_t em_raw, GetVarint(blob, &offset));
+  SP_ASSIGN_OR_RETURN(uint64_t wm_raw, GetVarint(blob, &offset));
+  SP_ASSIGN_OR_RETURN(uint64_t next_id, GetVarint(blob, &offset));
+
+  if (full) {
+    groups_.clear();
+    input_window_.clear();
+    restore_map_.clear();
+  }
+
+  tracker_.RestoreFailClosed(ZigZagDecode(tr_raw));
+  output_emitter_.Restore(ZigZagDecode(em_raw));
+  const Timestamp watermark = ZigZagDecode(wm_raw);
+  if (watermark > watermark_) watermark_ = watermark;
+  next_asg_id_ = std::max(next_asg_id_, next_id);
+
+  // Merge log first: records restored from older deltas keep forwarding.
+  SP_ASSIGN_OR_RETURN(uint64_t n_merges, GetVarint(blob, &offset));
+  for (uint64_t i = 0; i < n_merges; ++i) {
+    SP_ASSIGN_OR_RETURN(uint64_t from, GetVarint(blob, &offset));
+    SP_ASSIGN_OR_RETURN(uint64_t to, GetVarint(blob, &offset));
+    AsgPtr& to_asg = restore_map_[to];
+    if (!to_asg) {
+      to_asg = std::make_shared<Asg>();
+      to_asg->id = to;
+    }
+    AsgPtr& from_asg = restore_map_[from];
+    if (!from_asg) {
+      from_asg = std::make_shared<Asg>();
+      from_asg->id = from;
+    }
+    from_asg->parent = to_asg;
+    from_asg->ordered.clear();
+  }
+
+  SP_ASSIGN_OR_RETURN(uint64_t n_groups, GetVarint(blob, &offset));
+  for (uint64_t g = 0; g < n_groups; ++g) {
+    SP_ASSIGN_OR_RETURN(Value key, storage::GetValue(blob, &offset));
+    SP_ASSIGN_OR_RETURN(uint64_t n_asgs, GetVarint(blob, &offset));
+    std::vector<AsgPtr> asgs;
+    asgs.reserve(n_asgs);
+    for (uint64_t a = 0; a < n_asgs; ++a) {
+      SP_ASSIGN_OR_RETURN(uint64_t id, GetVarint(blob, &offset));
+      SP_ASSIGN_OR_RETURN(RoleSet policy, storage::GetRoleSet(blob, &offset));
+      SP_ASSIGN_OR_RETURN(uint64_t count, GetVarint(blob, &offset));
+      SP_ASSIGN_OR_RETURN(double sum, GetF64(blob, &offset));
+      SP_ASSIGN_OR_RETURN(uint64_t n_ordered, GetVarint(blob, &offset));
+      AsgPtr& asg = restore_map_[id];
+      if (!asg) {
+        asg = std::make_shared<Asg>();
+        asg->id = id;
+      }
+      asg->parent = nullptr;
+      asg->policy = std::move(policy);
+      asg->count = static_cast<int64_t>(count);
+      asg->sum = sum;
+      asg->ordered.clear();
+      for (uint64_t i = 0; i < n_ordered; ++i) {
+        SP_ASSIGN_OR_RETURN(double v, GetF64(blob, &offset));
+        asg->ordered.insert(v);
+      }
+      asg->key = key;
+      asgs.push_back(asg);
+    }
+    if (asgs.empty()) {
+      groups_.erase(key);  // tombstone: the whole group expired
+    } else {
+      groups_[key] = std::move(asgs);
+    }
+  }
+
+  SP_ASSIGN_OR_RETURN(uint64_t appended_total, GetVarint(blob, &offset));
+  SP_ASSIGN_OR_RETURN(uint64_t n_records, GetVarint(blob, &offset));
+  for (uint64_t i = 0; i < n_records; ++i) {
+    SP_ASSIGN_OR_RETURN(uint64_t ts_raw, GetVarint(blob, &offset));
+    SP_ASSIGN_OR_RETURN(double agg_value, GetF64(blob, &offset));
+    SP_ASSIGN_OR_RETURN(uint64_t id, GetVarint(blob, &offset));
+    auto it = restore_map_.find(id);
+    if (it == restore_map_.end()) {
+      return Status::Internal("groupby delta: window record references "
+                              "unknown asg " + std::to_string(id));
+    }
+    input_window_.push_back(
+        InputRec{ZigZagDecode(ts_raw), agg_value, it->second});
+  }
+  if (offset != blob.size()) {
+    return Status::Internal("groupby delta: trailing bytes");
+  }
+
+  // Re-derive expiry WITHOUT touching aggregates: the snapshots already
+  // reflect every pre-crash expiry; only the record bookkeeping must go.
+  if (watermark_ > kMinTimestamp) {
+    const Timestamp cutoff = watermark_ - options_.window_size;
+    while (!input_window_.empty() && input_window_.front().ts <= cutoff) {
+      input_window_.pop_front();
+    }
+  }
+
+  total_appended_ = std::max(total_appended_, appended_total);
+  ckpt_appended_ = pending_appended_ = total_appended_;
+  ckpt_tracker_ts_ = pending_tracker_ts_ = tracker_.current_ts();
+  ckpt_emitter_ts_ = pending_emitter_ts_ = output_emitter_.last_ts();
+  dirty_keys_.clear();
+  merges_.clear();
+  return Status::OK();
+}
+
+void SaGroupBy::OnRestoreComplete() {
+  restore_map_.clear();
+  UpdateStateBytes();
 }
 
 void SaGroupBy::UpdateStateBytes() {

@@ -15,6 +15,8 @@
 #include <memory>
 #include <set>
 #include <unordered_map>
+#include <unordered_set>
+#include <utility>
 
 #include "exec/operator.h"
 #include "exec/policy_tracker.h"
@@ -48,6 +50,16 @@ class SaGroupBy : public Operator {
   /// \brief Number of (group, subgroup) aggregates currently alive.
   size_t asg_count() const;
 
+  // Durable state: dirty attribute groups are snapshotted (ASG snapshots
+  // are authoritative for aggregates — restore never replays arithmetic),
+  // window records since the cursor carry future-expiry bookkeeping, and a
+  // merge log keeps records from older deltas pointing at the right root.
+  bool HasDurableState() const override { return true; }
+  void CheckpointState(std::string* out, bool full) override;
+  void OnCheckpointDurable() override;
+  Status RestoreState(std::string_view blob) override;
+  void OnRestoreComplete() override;
+
  protected:
   void Process(StreamElement elem, int) override;
   void OnAllFinished() override;
@@ -66,6 +78,7 @@ class SaGroupBy : public Operator {
     double sum = 0;
     std::multiset<double> ordered;  // for MIN/MAX under expiry
     Value key;
+    uint64_t id = 0;  // stable checkpoint identity (never reused)
   };
   using AsgPtr = std::shared_ptr<Asg>;
 
@@ -89,6 +102,23 @@ class SaGroupBy : public Operator {
   std::unordered_map<Value, std::vector<AsgPtr>, ValueHash> groups_;
   OutputPolicyEmitter output_emitter_;
   SchemaPtr output_schema_;
+
+  // ---- checkpoint bookkeeping (docs/DURABILITY.md) ----
+  uint64_t next_asg_id_ = 1;
+  uint64_t total_appended_ = 0;   // window records ever pushed
+  Timestamp watermark_ = kMinTimestamp;  // highest Invalidate(now) seen
+  std::unordered_set<Value, ValueHash> dirty_keys_;
+  std::vector<std::pair<uint64_t, uint64_t>> merges_;  // (from, to) asg ids
+  uint64_t ckpt_appended_ = 0;
+  uint64_t pending_appended_ = 0;
+  Timestamp ckpt_tracker_ts_ = kMinTimestamp;
+  Timestamp ckpt_emitter_ts_ = kMinTimestamp;
+  Timestamp pending_tracker_ts_ = kMinTimestamp;
+  Timestamp pending_emitter_ts_ = kMinTimestamp;
+  // Live only while a restore chain is applied: asg id -> restored object,
+  // updated in place when a later delta re-snapshots the id so that window
+  // records restored earlier keep pointing at the right aggregate.
+  std::unordered_map<uint64_t, AsgPtr> restore_map_;
 };
 
 }  // namespace spstream

@@ -4,6 +4,7 @@
 #include <cassert>
 
 #include "common/audit_log.h"
+#include "security/sp_codec.h"
 
 namespace spstream {
 
@@ -350,6 +351,59 @@ size_t SpIndex::MemoryBytes() const {
   return bytes;
 }
 
+// ---- durable state (docs/DURABILITY.md) ------------------------------------
+
+void SaJoinBase::CheckpointState(std::string* out, bool full) {
+  for (int port = 0; port < 2; ++port) {
+    pending_tracker_ts_[port] = trackers_[port].current_ts();
+  }
+  pending_emitter_ts_ = output_emitter_.last_ts();
+  if (!full && windows_[0].CheckpointClean() && windows_[1].CheckpointClean() &&
+      pending_tracker_ts_[0] == ckpt_tracker_ts_[0] &&
+      pending_tracker_ts_[1] == ckpt_tracker_ts_[1] &&
+      pending_emitter_ts_ == ckpt_emitter_ts_) {
+    return;  // nothing changed since the last durable checkpoint
+  }
+  for (int port = 0; port < 2; ++port) {
+    PutVarint(ZigZagEncode(pending_tracker_ts_[port]), out);
+    windows_[port].CheckpointDelta(out, full);
+  }
+  PutVarint(ZigZagEncode(pending_emitter_ts_), out);
+}
+
+void SaJoinBase::OnCheckpointDurable() {
+  for (int port = 0; port < 2; ++port) {
+    windows_[port].CommitCheckpointCursor();
+    ckpt_tracker_ts_[port] = pending_tracker_ts_[port];
+  }
+  ckpt_emitter_ts_ = pending_emitter_ts_;
+}
+
+Status SaJoinBase::RestoreState(std::string_view blob) {
+  size_t offset = 0;
+  for (int port = 0; port < 2; ++port) {
+    SP_ASSIGN_OR_RETURN(uint64_t ts_raw, GetVarint(blob, &offset));
+    trackers_[port].RestoreFailClosed(ZigZagDecode(ts_raw));
+    SP_RETURN_NOT_OK(windows_[port].ApplyCheckpoint(blob, &offset));
+  }
+  SP_ASSIGN_OR_RETURN(uint64_t em_raw, GetVarint(blob, &offset));
+  output_emitter_.Restore(ZigZagDecode(em_raw));
+  if (offset != blob.size()) {
+    return Status::Internal("sajoin delta: trailing bytes");
+  }
+  for (int port = 0; port < 2; ++port) {
+    ckpt_tracker_ts_[port] = pending_tracker_ts_[port] =
+        trackers_[port].current_ts();
+  }
+  ckpt_emitter_ts_ = pending_emitter_ts_ = output_emitter_.last_ts();
+  return Status::OK();
+}
+
+void SaJoinBase::OnRestoreComplete() {
+  OnWindowsRestored();
+  UpdateStateBytes();
+}
+
 // ------------------------------------------------------------ SaJoinIndex
 
 SaJoinIndex::SaJoinIndex(ExecContext* ctx, SaJoinOptions options,
@@ -363,6 +417,19 @@ void SaJoinIndex::OnSegmentTouched(Segment* segment, bool created, int port) {
 
 void SaJoinIndex::OnSegmentPurged(Segment* segment, int port) {
   indexes_[port].Remove(segment);
+}
+
+void SaJoinIndex::OnWindowsRestored() {
+  // Rebuild both SPIndexes from the recovered segments. Segment objects are
+  // freshly allocated by the restore, so the old pointer keys are gone —
+  // start from empty indexes and re-insert in FIFO (front-to-back) order to
+  // preserve the expiry-order property the skipping rule relies on.
+  for (int port = 0; port < 2; ++port) {
+    indexes_[port] = SpIndex(ctx_->roles->size());
+    for (Segment& seg : windows_[port].segments()) {
+      indexes_[port].Insert(&seg);
+    }
+  }
 }
 
 void SaJoinIndex::Probe(const Tuple& t, const PolicyPtr& t_policy,

@@ -54,7 +54,20 @@ class SaJoinBase : public Operator {
   const SegmentedWindow& left_window() const { return windows_[0]; }
   const SegmentedWindow& right_window() const { return windows_[1]; }
 
+  // Durable state: both windows as incremental deltas, both trackers'
+  // batch timestamps (restored FAIL-CLOSED), and the output emitter's
+  // monotone-ts clamp.
+  bool HasDurableState() const override { return true; }
+  void CheckpointState(std::string* out, bool full) override;
+  void OnCheckpointDurable() override;
+  Status RestoreState(std::string_view blob) override;
+  void OnRestoreComplete() override;
+
  protected:
+  /// \brief Hook: the windows were just rebuilt from a checkpoint chain —
+  /// the index variant reconstructs its SPIndexes here.
+  virtual void OnWindowsRestored() {}
+
   void Process(StreamElement elem, int port) override;
   /// Batch kernel: per-tuple invalidation/insert/probe semantics are
   /// identical to Process (window expiry depends on each tuple's ts), but
@@ -108,6 +121,13 @@ class SaJoinBase : public Operator {
   PolicyTracker trackers_[2];
   SegmentedWindow windows_[2];
   OutputPolicyEmitter output_emitter_;
+
+ private:
+  // Checkpoint cursor over the scalar state (the windows keep their own).
+  Timestamp ckpt_tracker_ts_[2] = {kMinTimestamp, kMinTimestamp};
+  Timestamp ckpt_emitter_ts_ = kMinTimestamp;
+  Timestamp pending_tracker_ts_[2] = {kMinTimestamp, kMinTimestamp};
+  Timestamp pending_emitter_ts_ = kMinTimestamp;
 };
 
 /// \brief Nested-loop SAJoin (§V.B.1).
@@ -197,6 +217,7 @@ class SaJoinIndex : public SaJoinBase {
              int from_port) override;
   void OnSegmentTouched(Segment* segment, bool created, int port) override;
   void OnSegmentPurged(Segment* segment, int port) override;
+  void OnWindowsRestored() override;
 
  private:
   SpIndex indexes_[2];  // one SPIndex per input window

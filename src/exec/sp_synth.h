@@ -41,6 +41,17 @@ class OutputPolicyEmitter {
 
   const RoleSet& current_roles() const { return current_; }
 
+  /// \brief Checkpoint: only the monotone clamp survives a restart. The
+  /// "last emitted roles" memo is deliberately dropped on restore so the
+  /// first post-recovery result re-emits its sp — downstream consumers may
+  /// have missed the pre-crash one (at-most-once delivery).
+  Timestamp last_ts() const { return last_ts_; }
+  void Restore(Timestamp last_ts) {
+    last_ts_ = last_ts;
+    has_current_ = false;
+    current_ = RoleSet();
+  }
+
  private:
   bool has_current_ = false;
   RoleSet current_;

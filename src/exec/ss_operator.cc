@@ -4,6 +4,7 @@
 
 #include "common/audit_log.h"
 #include "common/trace.h"
+#include "security/sp_codec.h"
 
 namespace {
 /// Deterministic trace id of the sp-batch, or 0 while tracing is off (audit
@@ -302,6 +303,33 @@ void SsOperator::HandleTuple(StreamElement& elem) {
     pending_sps_.clear();
   }
   EmitTuple(std::move(t));
+}
+
+// ---- durable state (docs/DURABILITY.md) ------------------------------------
+
+void SsOperator::CheckpointState(std::string* out, bool full) {
+  const Timestamp ts = tracker_.current_ts();
+  pending_ckpt_ts_ = ts;
+  if (!full && ts == ckpt_ts_) return;  // nothing changed: elide the entry
+  PutVarint(ZigZagEncode(ts), out);
+}
+
+void SsOperator::OnCheckpointDurable() { ckpt_ts_ = pending_ckpt_ts_; }
+
+Status SsOperator::RestoreState(std::string_view blob) {
+  size_t offset = 0;
+  SP_ASSIGN_OR_RETURN(uint64_t raw, GetVarint(blob, &offset));
+  tracker_.RestoreFailClosed(ZigZagDecode(raw));
+  pending_sps_.clear();
+  pending_emitted_ = true;
+  pending_ts_.reset();
+  memo_valid_ = false;
+  memo_policy_.reset();
+  first_enforce_ts_ = -1;
+  seen_fail_closed_installs_ = tracker_.fail_closed_installs();
+  ckpt_ts_ = pending_ckpt_ts_ = tracker_.current_ts();
+  UpdateStateBytes();
+  return Status::OK();
 }
 
 }  // namespace spstream

@@ -72,6 +72,14 @@ class SsOperator : public Operator {
 
   const SsState& state() const { return state_; }
 
+  // Durable state: only the tracker's batch timestamp survives a restart —
+  // the SS restores FAIL-CLOSED (deny-all at that ts) and drops the sp/memo
+  // buffers, so recovered tuples are denied until a fresh sp-batch arrives.
+  bool HasDurableState() const override { return true; }
+  void CheckpointState(std::string* out, bool full) override;
+  void OnCheckpointDurable() override;
+  Status RestoreState(std::string_view blob) override;
+
  protected:
   void Process(StreamElement elem, int port) override;
   /// Batch kernel: one timer per batch, one policy-match memo per tuple run
@@ -107,6 +115,10 @@ class SsOperator : public Operator {
   bool memo_valid_ = false;
   bool memo_authorized_ = false;
   PolicyPtr memo_policy_;
+  // Checkpoint cursor: tracker batch ts at the last durable checkpoint and
+  // the ts staged by the last CheckpointState call.
+  Timestamp ckpt_ts_ = kMinTimestamp;
+  Timestamp pending_ckpt_ts_ = kMinTimestamp;
   // Sp-batch timestamp whose first enforcement decision has not been traced
   // yet (-1 when none): set on install, cleared when the next tuple's
   // decision emits the "ss.first_enforce" trace mark — the last milestone

@@ -1,6 +1,36 @@
 #include "exec/window.h"
 
+#include <algorithm>
+
+#include "security/sp_codec.h"
+#include "storage/state_codec.h"
+
 namespace spstream {
+
+namespace {
+
+// Record kinds inside a window delta (docs/DURABILITY.md).
+constexpr uint8_t kRecNewSegment = 0;   // segment created since the cursor
+constexpr uint8_t kRecTailAppend = 1;   // new tuples of the old tail segment
+
+void PutSegmentFull(const Segment& s, std::string* out) {
+  PutVarint(s.seq, out);
+  out->push_back(static_cast<char>(kRecNewSegment));
+  out->push_back(s.policy ? 1 : 0);
+  if (s.policy) {
+    storage::PutRoleSet(s.policy->allowed(), out);
+    PutVarint(ZigZagEncode(s.policy->ts()), out);
+  }
+  PutVarint(s.sps.size(), out);
+  for (const SecurityPunctuation& sp : s.sps) EncodeSp(sp, out);
+  PutVarint(s.appended, out);
+  // Surviving tuples only: expired ones are gone and the restore side never
+  // needs them (expiry is re-derived from the watermark).
+  PutVarint(s.tuples.size(), out);
+  for (const Tuple& t : s.tuples) storage::PutTuple(t, out);
+}
+
+}  // namespace
 
 size_t Segment::MemoryBytes() const {
   size_t bytes = sizeof(Segment);
@@ -28,13 +58,15 @@ std::pair<Segment*, bool> SegmentedWindow::InsertTuple(
     if (tail.policy == policy ||
         (tail.policy && policy && *tail.policy == *policy)) {
       tail.tuples.push_back(std::move(t));
+      ++tail.appended;
       bytes_ += tail.tuples.back().MemoryBytes();
       return {&tail, false};
     }
   }
-  segments_.push_back(Segment{policy, batch_sps, {}});
+  segments_.push_back(Segment{policy, batch_sps, {}, next_seq_++, 0});
   Segment& created = segments_.back();
   created.tuples.push_back(std::move(t));
+  ++created.appended;
   bytes_ += SegmentOverheadBytes(created) + created.tuples.back().MemoryBytes();
   return {&created, true};
 }
@@ -42,6 +74,7 @@ std::pair<Segment*, bool> SegmentedWindow::InsertTuple(
 SegmentedWindow::InvalidationStats SegmentedWindow::Invalidate(
     Timestamp now, const std::function<void(Segment*)>& on_purge) {
   InvalidationStats stats;
+  if (now > watermark_) watermark_ = now;
   const Timestamp cutoff = now - window_size_;
   while (!segments_.empty()) {
     Segment& head = segments_.front();
@@ -61,6 +94,157 @@ SegmentedWindow::InvalidationStats SegmentedWindow::Invalidate(
     segments_.pop_front();
   }
   return stats;
+}
+
+// ---- incremental checkpointing -------------------------------------------
+
+void SegmentedWindow::SetCursorToTail(uint64_t* seq, uint64_t* appended) const {
+  if (segments_.empty()) {
+    // Nothing resident: park the cursor on the last id ever created so a
+    // future segment (seq >= next_seq_) still reads as "new".
+    *seq = next_seq_ - 1;
+    *appended = 0;
+  } else {
+    *seq = segments_.back().seq;
+    *appended = segments_.back().appended;
+  }
+}
+
+bool SegmentedWindow::CheckpointClean() const {
+  for (const Segment& s : segments_) {
+    if (s.seq > ckpt_seq_) return false;
+    if (s.seq == ckpt_seq_ && s.appended > ckpt_appended_) return false;
+  }
+  return true;
+}
+
+void SegmentedWindow::CheckpointDelta(std::string* out, bool full) {
+  out->push_back(full ? 1 : 0);
+  PutVarint(ZigZagEncode(watermark_), out);
+  PutVarint(next_seq_, out);
+
+  size_t count = 0;
+  std::string body;
+  for (const Segment& s : segments_) {
+    if (full || s.seq > ckpt_seq_) {
+      PutSegmentFull(s, &body);
+      ++count;
+    } else if (s.seq == ckpt_seq_ && s.appended > ckpt_appended_) {
+      // The segment that was the tail at the last durable checkpoint grew.
+      // Only the tail ever takes appends, so there is at most one of these.
+      PutVarint(s.seq, &body);
+      body.push_back(static_cast<char>(kRecTailAppend));
+      PutVarint(s.appended, &body);
+      const uint64_t new_since = s.appended - ckpt_appended_;
+      const uint64_t n =
+          std::min<uint64_t>(new_since, s.tuples.size());  // some may have expired
+      PutVarint(n, &body);
+      for (size_t i = s.tuples.size() - static_cast<size_t>(n);
+           i < s.tuples.size(); ++i) {
+        storage::PutTuple(s.tuples[i], &body);
+      }
+      ++count;
+    }
+  }
+  PutVarint(count, out);
+  out->append(body);
+  SetCursorToTail(&pending_seq_, &pending_appended_);
+}
+
+void SegmentedWindow::CommitCheckpointCursor() {
+  ckpt_seq_ = pending_seq_;
+  ckpt_appended_ = pending_appended_;
+}
+
+Status SegmentedWindow::ApplyCheckpoint(std::string_view data,
+                                        size_t* offset) {
+  if (*offset >= data.size()) {
+    return Status::Internal("window delta: truncated header");
+  }
+  const bool full = data[*offset] != 0;
+  ++*offset;
+  SP_ASSIGN_OR_RETURN(uint64_t wm_raw, GetVarint(data, offset));
+  const Timestamp watermark = ZigZagDecode(wm_raw);
+  SP_ASSIGN_OR_RETURN(uint64_t next_seq, GetVarint(data, offset));
+  SP_ASSIGN_OR_RETURN(uint64_t count, GetVarint(data, offset));
+
+  if (full) {
+    segments_.clear();
+    tuple_count_ = 0;
+    bytes_ = 0;
+  }
+
+  for (uint64_t r = 0; r < count; ++r) {
+    SP_ASSIGN_OR_RETURN(uint64_t seq, GetVarint(data, offset));
+    if (*offset >= data.size()) {
+      return Status::Internal("window delta: truncated record");
+    }
+    const uint8_t kind = static_cast<uint8_t>(data[*offset]);
+    ++*offset;
+    if (kind == kRecNewSegment) {
+      if (*offset >= data.size()) {
+        return Status::Internal("window delta: truncated segment");
+      }
+      const bool has_policy = data[*offset] != 0;
+      ++*offset;
+      PolicyPtr policy;
+      if (has_policy) {
+        SP_ASSIGN_OR_RETURN(RoleSet roles, storage::GetRoleSet(data, offset));
+        SP_ASSIGN_OR_RETURN(uint64_t ts_raw, GetVarint(data, offset));
+        policy = MakePolicy(std::move(roles), ZigZagDecode(ts_raw));
+      }
+      SP_ASSIGN_OR_RETURN(uint64_t n_sps, GetVarint(data, offset));
+      std::vector<SecurityPunctuation> sps;
+      sps.reserve(n_sps);
+      for (uint64_t i = 0; i < n_sps; ++i) {
+        SP_ASSIGN_OR_RETURN(SecurityPunctuation sp, DecodeSp(data, offset));
+        sps.push_back(std::move(sp));
+      }
+      SP_ASSIGN_OR_RETURN(uint64_t appended, GetVarint(data, offset));
+      SP_ASSIGN_OR_RETURN(uint64_t n_tuples, GetVarint(data, offset));
+      if (!segments_.empty() && segments_.back().seq >= seq) {
+        return Status::Internal("window delta: segment seq out of order");
+      }
+      segments_.push_back(
+          Segment{std::move(policy), std::move(sps), {}, seq, appended});
+      Segment& created = segments_.back();
+      for (uint64_t i = 0; i < n_tuples; ++i) {
+        SP_ASSIGN_OR_RETURN(Tuple t, storage::GetTuple(data, offset));
+        created.tuples.push_back(std::move(t));
+        bytes_ += created.tuples.back().MemoryBytes();
+        ++tuple_count_;
+      }
+      bytes_ += SegmentOverheadBytes(created);
+    } else if (kind == kRecTailAppend) {
+      SP_ASSIGN_OR_RETURN(uint64_t appended, GetVarint(data, offset));
+      SP_ASSIGN_OR_RETURN(uint64_t n_new, GetVarint(data, offset));
+      if (segments_.empty() || segments_.back().seq != seq) {
+        return Status::Internal("window delta: tail-append targets seq " +
+                                std::to_string(seq) +
+                                " which is not the resident tail");
+      }
+      Segment& tail = segments_.back();
+      tail.appended = appended;
+      for (uint64_t i = 0; i < n_new; ++i) {
+        SP_ASSIGN_OR_RETURN(Tuple t, storage::GetTuple(data, offset));
+        tail.tuples.push_back(std::move(t));
+        bytes_ += tail.tuples.back().MemoryBytes();
+        ++tuple_count_;
+      }
+    } else {
+      return Status::Internal("window delta: unknown record kind " +
+                              std::to_string(kind));
+    }
+  }
+
+  next_seq_ = std::max(next_seq_, next_seq);
+  // Re-derive expiry: the live run invalidated up to `watermark` before
+  // this delta was cut, and expiry is a monotone threshold on tuple ts.
+  if (watermark > kMinTimestamp) Invalidate(watermark);
+  SetCursorToTail(&ckpt_seq_, &ckpt_appended_);
+  pending_seq_ = ckpt_seq_;
+  pending_appended_ = ckpt_appended_;
+  return Status::OK();
 }
 
 }  // namespace spstream

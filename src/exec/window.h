@@ -6,8 +6,11 @@
 
 #include <deque>
 #include <functional>
+#include <string>
+#include <string_view>
 #include <vector>
 
+#include "common/status.h"
 #include "common/types.h"
 #include "security/policy.h"
 #include "security/security_punctuation.h"
@@ -21,6 +24,13 @@ struct Segment {
   PolicyPtr policy;
   std::vector<SecurityPunctuation> sps;
   std::deque<Tuple> tuples;
+  /// Stable creation id within one window (1-based, ascending front to
+  /// back) — the address space of incremental checkpoint records.
+  uint64_t seq = 0;
+  /// Tuples ever appended to this segment, including ones already expired;
+  /// the checkpoint cursor counts in this coordinate so expiry between two
+  /// checkpoints cannot shift what "new since last delta" means.
+  uint64_t appended = 0;
 
   size_t MemoryBytes() const;
 };
@@ -63,6 +73,29 @@ class SegmentedWindow {
   size_t segment_count() const { return segments_.size(); }
   Timestamp window_size() const { return window_size_; }
 
+  // ---- incremental checkpointing (docs/DURABILITY.md) --------------------
+  // The delta records only what changed since the last DURABLE checkpoint:
+  // segments created since then in full, plus the surviving new tuples of
+  // the segment that was the tail at that checkpoint. Expiry is never
+  // recorded — it is a monotone function of the watermark, so the restore
+  // side re-derives it by invalidating at the serialized watermark.
+
+  /// \brief Append the delta (or a complete snapshot when `full`) to `out`.
+  /// Does NOT advance the checkpoint cursor; call CommitCheckpointCursor()
+  /// once the delta is durable.
+  void CheckpointDelta(std::string* out, bool full);
+
+  /// \brief The last CheckpointDelta's interval is durable: future deltas
+  /// start after it.
+  void CommitCheckpointCursor();
+
+  /// \brief True when CheckpointDelta would record nothing.
+  bool CheckpointClean() const;
+
+  /// \brief Apply one delta blob starting at `*offset` (chain order,
+  /// oldest first). Leaves the checkpoint cursor at the applied state.
+  Status ApplyCheckpoint(std::string_view data, size_t* offset);
+
   /// O(1): maintained incrementally by InsertTuple/Invalidate — the window
   /// used to be walked in full (every segment, tuple and value) on every
   /// call, which made per-tuple state accounting O(window) and dominated
@@ -77,10 +110,24 @@ class SegmentedWindow {
   /// accounted at segment creation and purge.
   static size_t SegmentOverheadBytes(const Segment& s);
 
+  /// Reset the checkpoint cursor to the current tail (or "nothing new"
+  /// when the window is empty).
+  void SetCursorToTail(uint64_t* seq, uint64_t* appended) const;
+
   Timestamp window_size_;
   std::deque<Segment> segments_;
   size_t tuple_count_ = 0;
   size_t bytes_ = 0;  // contents: segment overheads + resident tuples
+
+  uint64_t next_seq_ = 1;  // id of the next segment created
+  /// Highest invalidation timestamp seen (the serialized expiry horizon).
+  Timestamp watermark_ = kMinTimestamp;
+  // Committed cursor: tail position at the last durable checkpoint.
+  uint64_t ckpt_seq_ = 0;
+  uint64_t ckpt_appended_ = 0;
+  // Staged cursor: tail position at the last CheckpointDelta call.
+  uint64_t pending_seq_ = 0;
+  uint64_t pending_appended_ = 0;
 };
 
 }  // namespace spstream

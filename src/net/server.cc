@@ -31,6 +31,30 @@ StreamServer::~StreamServer() { Stop(); }
 
 Status StreamServer::Start(uint16_t port) {
   if (started_) return Status::InvalidArgument("server already started");
+  // Adopt the engine's durable session table (if any): sessions that were
+  // attached or lingering when the previous process died come back as
+  // detached-as-of-now, so their clients get a full linger window to
+  // reconnect and resume across the restart.
+  service_->WithEngine([this](SpStreamEngine* engine) {
+    durability_ = engine->durability();
+    if (durability_ == nullptr) return;
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    const int64_t now = NowMillis();
+    for (const storage::DurableSession& d : engine->recovered_sessions()) {
+      Session s;
+      s.id = d.id;
+      s.token = d.token;
+      s.client_name = d.client_name;
+      for (uint32_t q : d.subscriptions) {
+        s.subscriptions.push_back(static_cast<QueryId>(q));
+      }
+      s.detached_at_ms = now;
+      next_session_id_ = std::max(next_session_id_, s.id + 1);
+      sessions_.emplace(s.id, std::move(s));
+    }
+    next_session_id_ =
+        std::max(next_session_id_, engine->recovered_next_session_id());
+  });
   SP_ASSIGN_OR_RETURN(listen_fd_, TcpListen(port));
   SP_ASSIGN_OR_RETURN(port_, TcpLocalPort(listen_fd_));
   started_ = true;
@@ -99,10 +123,33 @@ void StreamServer::ReleaseSessionLocked(Connection* conn, bool preserve) {
   if (preserve) {
     it->second.subscriptions = conn->subscriptions;
     it->second.detached_at_ms = NowMillis();
+    PersistSessionLocked(it->second, &it->second.subscriptions,
+                         it->second.detached_at_ms);
   } else {
+    if (durability_ != nullptr) {
+      (void)durability_->LogSessionErase(it->first);
+    }
     sessions_.erase(it);
   }
   conn->session_id = 0;
+}
+
+void StreamServer::PersistSessionLocked(
+    const Session& session, const std::vector<QueryId>* subscriptions,
+    int64_t detached_at_ms) {
+  if (durability_ == nullptr) return;
+  storage::DurableSession d;
+  d.id = session.id;
+  d.token = session.token;
+  d.client_name = session.client_name;
+  if (subscriptions != nullptr) {
+    d.subscriptions.reserve(subscriptions->size());
+    for (QueryId q : *subscriptions) {
+      d.subscriptions.push_back(static_cast<uint32_t>(q));
+    }
+  }
+  d.detached_at_ms = detached_at_ms;
+  (void)durability_->LogSessionUpsert(d);
 }
 
 void StreamServer::AcceptLoop() {
@@ -199,6 +246,7 @@ void StreamServer::ReaderLoop(Connection* conn) {
           ack.resumed = 1;
           ack.session_id = resumed->id;
           ack.session_token = resumed->token;
+          PersistSessionLocked(*resumed, &conn->subscriptions, -1);
         } else {
           Session fresh;
           fresh.id = next_session_id_++;
@@ -207,7 +255,9 @@ void StreamServer::ReaderLoop(Connection* conn) {
           conn->session_id = fresh.id;
           ack.session_id = fresh.id;
           ack.session_token = fresh.token;
-          sessions_.emplace(fresh.id, std::move(fresh));
+          auto [sit, inserted] = sessions_.emplace(fresh.id, std::move(fresh));
+          (void)inserted;
+          PersistSessionLocked(sit->second, nullptr, -1);
         }
       }
       std::string payload;
@@ -327,7 +377,18 @@ Status StreamServer::HandleFrame(Connection* conn, const Frame& frame) {
         std::lock_guard<std::mutex> lock(conns_mu_);
         auto [it, inserted] = subscribers_.emplace(id, conn);
         taken = !inserted && it->second != conn;
-        if (inserted) conn->subscriptions.push_back(id);
+        if (inserted) {
+          conn->subscriptions.push_back(id);
+          // Mirror eagerly: the subscription must be in the WAL before the
+          // client can observe the OK, or a crash right after the ack would
+          // lose the resume linkage.
+          if (conn->session_id != 0) {
+            auto sit = sessions_.find(conn->session_id);
+            if (sit != sessions_.end()) {
+              PersistSessionLocked(sit->second, &conn->subscriptions, -1);
+            }
+          }
+        }
       }
       if (taken) {
         return SendError(
@@ -521,6 +582,9 @@ void StreamServer::ServeLoop() {
       for (auto it = sessions_.begin(); it != sessions_.end();) {
         if (it->second.detached_at_ms >= 0 &&
             now - it->second.detached_at_ms > options_.session_linger_ms) {
+          if (durability_ != nullptr) {
+            (void)durability_->LogSessionErase(it->first);
+          }
           it = sessions_.erase(it);
           ++sessions_expired_;
         } else {
@@ -602,6 +666,11 @@ void StreamServer::Evict(Connection* conn, const std::string& reason,
   e.detail = "evicted '" + conn->name + "': " + reason;
   e.trace_id = evict_trace;
   service_->audit()->Append(std::move(e));
+  if (durability_ != nullptr) {
+    // Incident dump: the eviction just snapshotted the flight recorder;
+    // persist the audit tail (including the event above) alongside it.
+    (void)durability_->FlushAuditTail(*service_->audit());
+  }
   PublishConnGauges(conn);
   // Wake the reader; it closes the fd on its way out. Guarded by write_mu
   // so we never shut down an fd number the reader has already closed (and

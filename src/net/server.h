@@ -159,10 +159,22 @@ class StreamServer {
   /// conns_mu_; the connection's subscriptions must not yet be cleared.
   void ReleaseSessionLocked(Connection* conn, bool preserve);
 
+  /// Mirror a session into the WAL (docs/DURABILITY.md) so a client can
+  /// resume across a server RESTART, not just a dropped connection. Caller
+  /// holds conns_mu_; the durability manager has its own leaf mutex and
+  /// never takes engine locks, so reader threads may call this directly.
+  void PersistSessionLocked(const Session& session,
+                            const std::vector<QueryId>* subscriptions,
+                            int64_t detached_at_ms);
+
   void PublishConnGauges(Connection* conn);
 
   EngineService* service_;
   StreamServerOptions options_;
+  /// Raw pointer grabbed once at Start() under the engine lock; null when
+  /// the engine runs without a data dir. Outlives the server (the engine
+  /// owns it and `service_` must outlive us).
+  storage::DurabilityManager* durability_ = nullptr;
 
   int listen_fd_ = -1;
   uint16_t port_ = 0;

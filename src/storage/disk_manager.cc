@@ -1,0 +1,202 @@
+#include "storage/disk_manager.h"
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace spstream::storage {
+
+namespace {
+
+Status Errno(const std::string& op, const std::string& path) {
+  return Status::Internal(op + " " + path + ": " + std::strerror(errno));
+}
+
+Status WriteFully(int fd, std::string_view data, const std::string& path) {
+  const char* p = data.data();
+  size_t left = data.size();
+  while (left > 0) {
+    ssize_t n = ::write(fd, p, left);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Errno("write", path);
+    }
+    p += n;
+    left -= static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+Status EnsureDir(const std::string& path) {
+  if (::mkdir(path.c_str(), 0755) == 0 || errno == EEXIST) return Status::OK();
+  return Errno("mkdir", path);
+}
+
+}  // namespace
+
+// ---- AppendFile ----------------------------------------------------------
+
+Result<std::unique_ptr<AppendFile>> AppendFile::Open(const std::string& path) {
+  int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+  if (fd < 0) return Errno("open", path);
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    return Errno("fstat", path);
+  }
+  return std::unique_ptr<AppendFile>(
+      new AppendFile(fd, static_cast<uint64_t>(st.st_size)));
+}
+
+AppendFile::~AppendFile() {
+  // Best-effort: buffered bytes not Sync()ed are intentionally allowed to
+  // be lost (they were never acknowledged as durable).
+  if (!buffer_.empty()) (void)Flush();
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Status AppendFile::Append(std::string_view data) {
+  buffer_.append(data.data(), data.size());
+  if (buffer_.size() >= kPageBytes) {
+    // Write through the whole-page prefix, keep the partial tail buffered.
+    const size_t whole = (buffer_.size() / kPageBytes) * kPageBytes;
+    SP_RETURN_NOT_OK(WriteFully(fd_, std::string_view(buffer_).substr(0, whole),
+                                "<append>"));
+    synced_size_ += whole;
+    buffer_.erase(0, whole);
+  }
+  return Status::OK();
+}
+
+Status AppendFile::Flush() {
+  if (buffer_.empty()) return Status::OK();
+  SP_RETURN_NOT_OK(WriteFully(fd_, buffer_, "<append>"));
+  synced_size_ += buffer_.size();
+  buffer_.clear();
+  return Status::OK();
+}
+
+Status AppendFile::Sync() {
+  SP_RETURN_NOT_OK(Flush());
+  if (::fdatasync(fd_) != 0) return Errno("fdatasync", "<append>");
+  return Status::OK();
+}
+
+Status AppendFile::TruncateTo(uint64_t len) {
+  buffer_.clear();
+  if (::ftruncate(fd_, static_cast<off_t>(len)) != 0) {
+    return Errno("ftruncate", "<append>");
+  }
+  synced_size_ = len;
+  return Status::OK();
+}
+
+// ---- DiskManager ---------------------------------------------------------
+
+Result<std::unique_ptr<DiskManager>> DiskManager::Open(std::string root) {
+  SP_RETURN_NOT_OK(EnsureDir(root));
+  SP_RETURN_NOT_OK(EnsureDir(root + "/wal"));
+  SP_RETURN_NOT_OK(EnsureDir(root + "/ckpt"));
+  return std::unique_ptr<DiskManager>(new DiskManager(std::move(root)));
+}
+
+std::string DiskManager::Path(std::string_view rel) const {
+  if (rel.empty()) return root_;
+  return root_ + "/" + std::string(rel);
+}
+
+Result<std::vector<std::string>> DiskManager::ListDir(
+    std::string_view rel) const {
+  const std::string path = Path(rel);
+  DIR* dir = ::opendir(path.c_str());
+  if (dir == nullptr) return Errno("opendir", path);
+  std::vector<std::string> names;
+  while (struct dirent* ent = ::readdir(dir)) {
+    const std::string name = ent->d_name;
+    if (name == "." || name == "..") continue;
+    names.push_back(name);
+  }
+  ::closedir(dir);
+  return names;
+}
+
+Result<std::string> DiskManager::ReadFile(std::string_view rel) const {
+  const std::string path = Path(rel);
+  int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) return Errno("open", path);
+  std::string out;
+  char buf[1 << 16];
+  for (;;) {
+    ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      return Errno("read", path);
+    }
+    if (n == 0) break;
+    out.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  return out;
+}
+
+bool DiskManager::Exists(std::string_view rel) const {
+  struct stat st;
+  return ::stat(Path(rel).c_str(), &st) == 0;
+}
+
+Status DiskManager::RemoveFile(std::string_view rel) {
+  const std::string path = Path(rel);
+  if (::unlink(path.c_str()) != 0 && errno != ENOENT) {
+    return Errno("unlink", path);
+  }
+  return Status::OK();
+}
+
+Status DiskManager::TruncateFile(std::string_view rel, uint64_t len) {
+  const std::string path = Path(rel);
+  if (::truncate(path.c_str(), static_cast<off_t>(len)) != 0) {
+    return Errno("truncate", path);
+  }
+  return Status::OK();
+}
+
+Status DiskManager::AtomicWriteFile(std::string_view rel,
+                                    std::string_view data) {
+  const std::string path = Path(rel);
+  const std::string tmp = path + ".tmp";
+  int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return Errno("open", tmp);
+  Status st = WriteFully(fd, data, tmp);
+  if (st.ok() && ::fsync(fd) != 0) st = Errno("fsync", tmp);
+  ::close(fd);
+  if (!st.ok()) {
+    ::unlink(tmp.c_str());
+    return st;
+  }
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    ::unlink(tmp.c_str());
+    return Errno("rename", path);
+  }
+  // Durable only once the parent directory entry is synced.
+  const size_t slash = rel.find_last_of('/');
+  return SyncDir(slash == std::string_view::npos ? std::string_view()
+                                                 : rel.substr(0, slash));
+}
+
+Status DiskManager::SyncDir(std::string_view rel) const {
+  const std::string path = Path(rel);
+  int fd = ::open(path.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) return Errno("open", path);
+  Status st;
+  if (::fsync(fd) != 0) st = Errno("fsync", path);
+  ::close(fd);
+  return st;
+}
+
+}  // namespace spstream::storage

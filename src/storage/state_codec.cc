@@ -1,0 +1,156 @@
+#include "storage/state_codec.h"
+
+#include <cstring>
+
+#include "security/sp_codec.h"
+
+namespace spstream::storage {
+
+namespace {
+
+// Durable field counts are bounded by the same hostile-input cap as the
+// wire: a corrupt length must not drive a giant allocation.
+constexpr uint64_t kMaxFields = 1u << 16;
+constexpr uint64_t kMaxRoles = kMaxWireRoleId;
+
+}  // namespace
+
+void PutValue(const Value& v, std::string* out) {
+  out->push_back(static_cast<char>(v.type()));
+  switch (v.type()) {
+    case ValueType::kNull:
+      break;
+    case ValueType::kInt64:
+      PutVarint(ZigZagEncode(v.int64()), out);
+      break;
+    case ValueType::kDouble: {
+      uint64_t bits;
+      double d = v.dbl();
+      std::memcpy(&bits, &d, sizeof(bits));
+      for (int i = 0; i < 8; ++i) {
+        out->push_back(static_cast<char>((bits >> (8 * i)) & 0xff));
+      }
+      break;
+    }
+    case ValueType::kString:
+      PutLengthPrefixed(v.str(), out);
+      break;
+    case ValueType::kBool:
+      out->push_back(v.boolean() ? 1 : 0);
+      break;
+  }
+}
+
+Result<Value> GetValue(std::string_view data, size_t* offset) {
+  if (*offset >= data.size()) {
+    return Status::OutOfRange("value: truncated type byte");
+  }
+  const auto type = static_cast<ValueType>(data[(*offset)++]);
+  switch (type) {
+    case ValueType::kNull:
+      return Value::Null();
+    case ValueType::kInt64: {
+      SP_ASSIGN_OR_RETURN(uint64_t raw, GetVarint(data, offset));
+      return Value(ZigZagDecode(raw));
+    }
+    case ValueType::kDouble: {
+      if (*offset + 8 > data.size()) {
+        return Status::OutOfRange("value: truncated double");
+      }
+      uint64_t bits = 0;
+      for (int i = 0; i < 8; ++i) {
+        bits |= static_cast<uint64_t>(
+                    static_cast<uint8_t>(data[*offset + static_cast<size_t>(i)]))
+                << (8 * i);
+      }
+      *offset += 8;
+      double d;
+      std::memcpy(&d, &bits, sizeof(d));
+      return Value(d);
+    }
+    case ValueType::kString: {
+      SP_ASSIGN_OR_RETURN(std::string s, GetLengthPrefixed(data, offset));
+      return Value(std::move(s));
+    }
+    case ValueType::kBool: {
+      if (*offset >= data.size()) {
+        return Status::OutOfRange("value: truncated bool");
+      }
+      return Value(data[(*offset)++] != 0);
+    }
+  }
+  return Status::InvalidArgument("value: unknown type byte");
+}
+
+void PutTuple(const Tuple& t, std::string* out) {
+  PutVarint(t.sid, out);
+  PutVarint(ZigZagEncode(t.tid), out);
+  PutVarint(ZigZagEncode(t.ts), out);
+  PutVarint(t.values.size(), out);
+  for (const Value& v : t.values) PutValue(v, out);
+}
+
+Result<Tuple> GetTuple(std::string_view data, size_t* offset) {
+  Tuple t;
+  SP_ASSIGN_OR_RETURN(uint64_t sid, GetVarint(data, offset));
+  t.sid = static_cast<StreamId>(sid);
+  SP_ASSIGN_OR_RETURN(uint64_t tid, GetVarint(data, offset));
+  t.tid = ZigZagDecode(tid);
+  SP_ASSIGN_OR_RETURN(uint64_t ts, GetVarint(data, offset));
+  t.ts = ZigZagDecode(ts);
+  SP_ASSIGN_OR_RETURN(uint64_t n, GetVarint(data, offset));
+  if (n > kMaxFields) return Status::InvalidArgument("tuple: field count");
+  t.values.reserve(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    SP_ASSIGN_OR_RETURN(Value v, GetValue(data, offset));
+    t.values.push_back(std::move(v));
+  }
+  return t;
+}
+
+void PutRoleSet(const RoleSet& roles, std::string* out) {
+  const std::vector<RoleId> ids = roles.ToIds();
+  PutVarint(ids.size(), out);
+  for (RoleId id : ids) PutVarint(id, out);
+}
+
+Result<RoleSet> GetRoleSet(std::string_view data, size_t* offset) {
+  SP_ASSIGN_OR_RETURN(uint64_t n, GetVarint(data, offset));
+  if (n > kMaxRoles) return Status::InvalidArgument("roleset: member count");
+  RoleSet s;
+  for (uint64_t i = 0; i < n; ++i) {
+    SP_ASSIGN_OR_RETURN(uint64_t id, GetVarint(data, offset));
+    if (id > kMaxWireRoleId) return Status::InvalidArgument("roleset: role id");
+    s.Insert(static_cast<RoleId>(id));
+  }
+  return s;
+}
+
+void PutSchema(const Schema& schema, std::string* out) {
+  PutLengthPrefixed(schema.stream_name(), out);
+  PutVarint(schema.num_fields(), out);
+  for (const Field& f : schema.fields()) {
+    PutLengthPrefixed(f.name, out);
+    out->push_back(static_cast<char>(f.type));
+  }
+}
+
+Result<SchemaPtr> GetSchema(std::string_view data, size_t* offset) {
+  SP_ASSIGN_OR_RETURN(std::string name, GetLengthPrefixed(data, offset));
+  SP_ASSIGN_OR_RETURN(uint64_t n, GetVarint(data, offset));
+  if (n > kMaxFields) return Status::InvalidArgument("schema: field count");
+  std::vector<Field> fields;
+  fields.reserve(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    Field f;
+    SP_ASSIGN_OR_RETURN(f.name, GetLengthPrefixed(data, offset));
+    if (*offset >= data.size()) {
+      return Status::OutOfRange("schema: truncated field type");
+    }
+    f.type = static_cast<ValueType>(data[(*offset)++]);
+    fields.push_back(std::move(f));
+  }
+  return MakeSchema(std::move(name), std::move(fields));
+}
+
+}  // namespace spstream::storage

@@ -1,0 +1,37 @@
+// Binary serde for the engine state that survives a restart: tuple values,
+// role bitmaps and stream schemas, built on the same varint/zigzag
+// primitives as the sp wire codec (security/sp_codec.h) so durable bytes
+// and network bytes share one encoding vocabulary.
+//
+// Decoders are bounds-checked and return Status on malformed input — a
+// half-written checkpoint must surface as a recovery error, never as UB.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+#include "common/value.h"
+#include "security/role_set.h"
+#include "stream/schema.h"
+#include "stream/tuple.h"
+
+namespace spstream::storage {
+
+/// \brief Append one Value: type byte + type-dependent payload.
+void PutValue(const Value& v, std::string* out);
+Result<Value> GetValue(std::string_view data, size_t* offset);
+
+/// \brief Append one tuple: sid, tid, ts, field count, values.
+void PutTuple(const Tuple& t, std::string* out);
+Result<Tuple> GetTuple(std::string_view data, size_t* offset);
+
+/// \brief Append a role bitmap as varint count + ascending member ids.
+void PutRoleSet(const RoleSet& roles, std::string* out);
+Result<RoleSet> GetRoleSet(std::string_view data, size_t* offset);
+
+/// \brief Append a stream schema: name + field (name, type) list.
+void PutSchema(const Schema& schema, std::string* out);
+Result<SchemaPtr> GetSchema(std::string_view data, size_t* offset);
+
+}  // namespace spstream::storage

@@ -1,0 +1,184 @@
+#include "storage/wal.h"
+
+#include <algorithm>
+#include <array>
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/fault.h"
+
+namespace spstream::storage {
+
+namespace {
+
+std::array<uint32_t, 256> BuildCrcTable() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : (c >> 1);
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+void PutFixed32(uint32_t v, std::string* out) {
+  for (int i = 0; i < 4; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+uint32_t GetFixed32(std::string_view data, size_t offset) {
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<uint32_t>(static_cast<uint8_t>(data[offset + static_cast<size_t>(i)]))
+         << (8 * i);
+  }
+  return v;
+}
+
+// Largest frame replay will accept; anything bigger is corruption (the
+// engine never writes multi-hundred-MB records).
+constexpr uint32_t kMaxFrameBytes = 64u << 20;
+
+}  // namespace
+
+uint32_t Crc32(std::string_view data) {
+  static const std::array<uint32_t, 256> kTable = BuildCrcTable();
+  uint32_t c = 0xFFFFFFFFu;
+  for (char ch : data) {
+    c = kTable[(c ^ static_cast<uint8_t>(ch)) & 0xff] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+void AppendWalFrame(WalRecordType type, std::string_view payload,
+                    std::string* out) {
+  // len counts the type byte + payload (not itself, not the crc).
+  PutFixed32(static_cast<uint32_t>(payload.size() + 1), out);
+  const size_t body_start = out->size();
+  out->push_back(static_cast<char>(type));
+  out->append(payload.data(), payload.size());
+  PutFixed32(Crc32(std::string_view(*out).substr(body_start)), out);
+}
+
+std::string WalSegmentName(uint64_t seq) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%06llu.wal",
+                static_cast<unsigned long long>(seq));
+  return buf;
+}
+
+// ---- WalWriter -----------------------------------------------------------
+
+Result<std::unique_ptr<WalWriter>> WalWriter::Open(DiskManager* disk,
+                                                   uint64_t seq) {
+  SP_ASSIGN_OR_RETURN(std::unique_ptr<AppendFile> file,
+                      AppendFile::Open(disk->Path("wal/" + WalSegmentName(seq))));
+  return std::unique_ptr<WalWriter>(new WalWriter(disk, seq, std::move(file)));
+}
+
+void WalWriter::Append(WalRecordType type, std::string_view payload) {
+  AppendWalFrame(type, payload, &staged_);
+  ++staged_records_;
+}
+
+Status WalWriter::Commit() {
+  if (staged_.empty()) return Status::OK();
+  std::string batch = std::move(staged_);
+  staged_.clear();
+  staged_records_ = 0;
+  if (needs_heal_) {
+    // A previous commit tore this segment's tail; chop back to the valid
+    // prefix so the new frames are reachable by replay.
+    SP_RETURN_NOT_OK(file_->TruncateTo(known_good_size_));
+    needs_heal_ = false;
+  }
+  if (SP_FAULT_FIRED(fault::kStorageWalAppend)) {
+    // Tear the write: half the batch reaches the file, nothing is synced.
+    // This is the on-disk shape replay's CRC-stop rule exists for.
+    (void)file_->Append(std::string_view(batch).substr(0, batch.size() / 2));
+    (void)file_->Flush();
+    needs_heal_ = true;
+    return Status::Internal("injected fault: storage.wal_append");
+  }
+  SP_RETURN_NOT_OK(file_->Append(batch));
+  SP_RETURN_NOT_OK(file_->Sync());
+  known_good_size_ = file_->size();
+  return Status::OK();
+}
+
+Status WalWriter::Rotate(uint64_t seq) {
+  SP_ASSIGN_OR_RETURN(std::unique_ptr<AppendFile> file,
+                      AppendFile::Open(disk_->Path("wal/" + WalSegmentName(seq))));
+  file_ = std::move(file);
+  seq_ = seq;
+  known_good_size_ = file_->size();
+  needs_heal_ = false;
+  staged_.clear();
+  staged_records_ = 0;
+  return Status::OK();
+}
+
+// ---- replay --------------------------------------------------------------
+
+Result<WalReplay> ReplayWal(const DiskManager& disk, uint64_t floor_seq) {
+  SP_ASSIGN_OR_RETURN(std::vector<std::string> names, disk.ListDir("wal"));
+  std::vector<uint64_t> seqs;
+  for (const std::string& name : names) {
+    if (name.size() != 10 || name.substr(6) != ".wal") continue;
+    seqs.push_back(std::strtoull(name.c_str(), nullptr, 10));
+  }
+  std::sort(seqs.begin(), seqs.end());
+
+  WalReplay out;
+  if (!seqs.empty()) out.max_seq = seqs.back();
+  for (uint64_t seq : seqs) {
+    if (seq < floor_seq) continue;
+    SP_ASSIGN_OR_RETURN(std::string data,
+                        disk.ReadFile("wal/" + WalSegmentName(seq)));
+    ++out.segments_read;
+    size_t off = 0;
+    bool first_in_segment = true;
+    while (off < data.size()) {
+      if (off + 4 > data.size()) {
+        out.tail_torn = true;
+        out.torn_seq = seq;
+        out.torn_valid_bytes = off;
+        return out;
+      }
+      const uint32_t len = GetFixed32(data, off);
+      if (len == 0 || len > kMaxFrameBytes || off + 4 + len + 4 > data.size()) {
+        out.tail_torn = true;
+        out.torn_seq = seq;
+        out.torn_valid_bytes = off;
+        return out;
+      }
+      const std::string_view body = std::string_view(data).substr(off + 4, len);
+      const uint32_t crc = GetFixed32(data, off + 4 + len);
+      if (crc != Crc32(body)) {
+        out.tail_torn = true;
+        out.torn_seq = seq;
+        out.torn_valid_bytes = off;
+        return out;
+      }
+      const auto type = static_cast<WalRecordType>(body[0]);
+      if (type == WalRecordType::kRebaseReplica && first_in_segment &&
+          seq > floor_seq) {
+        // An uncommitted compaction segment: the manifest that would have
+        // made it live was never renamed into place. Ignore it and
+        // everything after it.
+        out.stale_replica_seq = seq;
+        return out;
+      }
+      out.records.push_back(
+          WalRecord{type, std::string(body.substr(1))});
+      off += 4 + len + 4;
+      first_in_segment = false;
+    }
+  }
+  return out;
+}
+
+}  // namespace spstream::storage

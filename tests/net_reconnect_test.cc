@@ -7,6 +7,8 @@
 #include <gtest/gtest.h>
 
 #include <chrono>
+#include <filesystem>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
@@ -350,6 +352,119 @@ TEST_F(NetReconnectTest, NetWriteFaultLosesEpochButNeverDuplicatesOrLeaks) {
   std::vector<Tuple> rows = client.TakeResults(qid);
   ASSERT_EQ(rows.size(), 1u);
   EXPECT_EQ(rows[0].tid, 102);
+}
+
+// ROLLING RESTART (docs/DURABILITY.md): the whole server PROCESS goes away
+// — engine included — and a new one comes up over the same data dir and
+// port. The catalog, the query, the client's session and its subscription
+// all recover from the WAL, so the client's ordinary Reconnect resumes
+// (resumed=true) against the NEW process with no re-registration and no
+// re-Subscribe; at-most-once holds across the restart (nothing re-sent,
+// nothing duplicated), and the recovered stream stays fail-closed until a
+// fresh sp-batch re-authorizes it.
+TEST(NetServerRestartTest, RestartedServerResumesSessionNoDupFailClosed) {
+  FaultInjector::Global().DisarmAll();
+  // Pid-qualified: the named ctest entries run this suite in several
+  // concurrent processes, which must not share data dirs.
+  const std::string dir = ::testing::TempDir() + "spstream_net_restart_" +
+                          std::to_string(::getpid());
+  std::error_code ec;
+  std::filesystem::remove_all(dir, ec);
+
+  EngineOptions eopts;
+  eopts.data_dir = dir;
+  auto service = std::make_unique<EngineService>(std::move(eopts));
+  auto server = std::make_unique<StreamServer>(service.get());
+  ASSERT_TRUE(server->Start(0).ok());
+  const uint16_t port = server->port();
+
+  StreamClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", port, "restartee").ok());
+  ASSERT_TRUE(client.RegisterRole("GP").ok());
+  ASSERT_TRUE(client.RegisterStream(VitalsSchema()).ok());
+  ASSERT_TRUE(client.RegisterSubject("dr", {"GP"}).ok());
+  Result<uint64_t> qid =
+      client.RegisterQuery("dr", "SELECT patient_id, bpm FROM Vitals");
+  ASSERT_TRUE(qid.ok()) << qid.status().ToString();
+  ASSERT_TRUE(client.Subscribe(*qid).ok());
+  ASSERT_TRUE(client
+                  .InsertSp("INSERT SP INTO STREAM Vitals LET DDP = "
+                            "(Vitals, [100-139], *), SRP = (RBAC, GP), "
+                            "TS = 1")
+                  .ok());
+  ReconnectOptions ro;
+  ro.enabled = true;
+  ro.max_attempts = 20;
+  ro.base_backoff_ms = 20;
+  ro.max_backoff_ms = 100;
+  client.ConfigureReconnect(ro);
+
+  // Epoch 1 delivers normally (and commits durably before delivery).
+  std::vector<StreamElement> batch1;
+  batch1.emplace_back(Vital(100, 2, 100, 72));
+  batch1.emplace_back(Vital(101, 3, 101, 95));
+  ASSERT_TRUE(client.Push("Vitals", std::move(batch1)).ok());
+  ASSERT_TRUE(client.Run().ok());
+  ASSERT_TRUE(client.PollResults(*qid, 2, 5000).ok());
+  ASSERT_EQ(client.TakeResults(*qid).size(), 2u);
+  const uint64_t session_before = client.session_id();
+  ASSERT_NE(session_before, 0u);
+
+  // The restart: stop the server, destroy the ENTIRE process state (server
+  // and engine), and bring a fresh process up over the same dir + port.
+  server->Stop();
+  server.reset();
+  service.reset();
+
+  service = std::make_unique<EngineService>([&] {
+    EngineOptions o;
+    o.data_dir = dir;
+    return o;
+  }());
+  server = std::make_unique<StreamServer>(service.get());
+  ASSERT_TRUE(server->Start(port).ok());
+
+  // The ordinary reconnect path resumes against the NEW process: the
+  // session (id + token) and subscription came back from the WAL.
+  Status st = client.Reconnect();
+  ASSERT_TRUE(st.ok()) << st.ToString();
+  EXPECT_TRUE(client.last_connect_resumed());
+  EXPECT_EQ(client.session_id(), session_before);
+  EXPECT_EQ(server->sessions_resumed(), 1);
+
+  // At-most-once across the restart: nothing is re-sent.
+  EXPECT_FALSE(client.PollResults(*qid, 1, 300).ok());
+  EXPECT_EQ(client.TakeResults(*qid).size(), 0u);
+
+  // Fail-closed: the recovered stream denies even previously authorized
+  // patients until a fresh sp-batch arrives...
+  std::vector<StreamElement> denied;
+  denied.emplace_back(Vital(102, 20, 110, 70));
+  ASSERT_TRUE(client.Push("Vitals", std::move(denied)).ok());
+  ASSERT_TRUE(client.Run().ok());
+  EXPECT_FALSE(client.PollResults(*qid, 1, 300).ok());
+
+  // ...and the fresh sp re-converges it: the recovered subscription then
+  // delivers exactly the new epoch's authorized tuple, end-to-end, with no
+  // client-side re-registration of anything.
+  ASSERT_TRUE(client
+                  .InsertSp("INSERT SP INTO STREAM Vitals LET DDP = "
+                            "(Vitals, [100-139], *), SRP = (RBAC, GP), "
+                            "TS = 50")
+                  .ok());
+  std::vector<StreamElement> batch2;
+  batch2.emplace_back(Vital(103, 51, 111, 64));
+  ASSERT_TRUE(client.Push("Vitals", std::move(batch2)).ok());
+  ASSERT_TRUE(client.Run().ok());
+  ASSERT_TRUE(client.PollResults(*qid, 1, 5000).ok());
+  std::vector<Tuple> rows = client.TakeResults(*qid);
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0].tid, 103);
+
+  server->Stop();
+  server.reset();
+  service.reset();
+  std::filesystem::remove_all(dir, ec);
 }
 
 }  // namespace

@@ -41,6 +41,7 @@
 //
 // Example:   build/tools/spstream_cli examples/demo.sps
 #include <chrono>
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <memory>
@@ -96,6 +97,28 @@ Result<ValueType> ParseTypeName(std::string_view name) {
 
 class Shell {
  public:
+  explicit Shell(EngineOptions options = {}) : service_(std::move(options)) {
+    // With a data dir the engine may have recovered a catalog; rehydrate
+    // the shell's stream caches so `tuple` works against recovered streams.
+    const Status& rec = engine_.recovery_error();
+    if (!rec.ok()) {
+      std::cerr << "recovery failed (running without durability): "
+                << rec.ToString() << "\n";
+    } else if (engine_.durable_epochs() > 0) {
+      std::cout << "recovered durable epoch " << engine_.durable_epochs()
+                << "\n";
+    }
+    for (auto& [sid, schema] : service_.ListStreams()) {
+      stream_sids_[schema->stream_name()] = sid;
+      schemas_[schema->stream_name()] = schema;
+    }
+    // Recovered queries keep their dense ids but lose the script-side
+    // aliases; expose them under the registry's own q<id> names.
+    for (QueryId qid = 0; qid < (QueryId)engine_.query_count(); ++qid) {
+      query_ids_.emplace("q" + std::to_string(qid), qid);
+    }
+  }
+
   int RunScript(std::istream& in) {
     std::string line;
     int lineno = 0;
@@ -607,11 +630,34 @@ class Shell {
 }  // namespace spstream
 
 int main(int argc, char** argv) {
-  spstream::Shell shell;
-  if (argc > 1) {
-    std::ifstream file(argv[1]);
+  spstream::EngineOptions options;
+  // --data-dir <path> (or SPSTREAM_DATA_DIR) switches on the durable state
+  // subsystem: WAL + checkpoints live there and a restart recovers from it.
+  if (const char* env = std::getenv("SPSTREAM_DATA_DIR")) {
+    options.data_dir = env;
+  }
+  std::string script;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--data-dir" && i + 1 < argc) {
+      options.data_dir = argv[++i];
+    } else if (arg.rfind("--data-dir=", 0) == 0) {
+      options.data_dir = arg.substr(std::string("--data-dir=").size());
+    } else if (arg == "--help" || arg == "-h") {
+      std::cout << "usage: spstream_cli [--data-dir <dir>] [script.sps]\n"
+                   "  --data-dir <dir>  durable state directory (WAL + "
+                   "checkpoints); also SPSTREAM_DATA_DIR\n"
+                   "  without a script, commands are read from stdin\n";
+      return 0;
+    } else {
+      script = arg;
+    }
+  }
+  spstream::Shell shell(std::move(options));
+  if (!script.empty()) {
+    std::ifstream file(script);
     if (!file) {
-      std::cerr << "cannot open " << argv[1] << "\n";
+      std::cerr << "cannot open " << script << "\n";
       return 1;
     }
     return shell.RunScript(file);
