@@ -24,7 +24,7 @@ namespace spstream::bench {
 namespace {
 
 constexpr size_t kEpochs = 3;
-constexpr int kReps = 3;  // timed repetitions after one warmup epoch
+constexpr int kReps = 5;  // timed repetitions after one warmup epoch
 constexpr size_t kTuplesPerEpoch = 20000;  // per stream, per epoch
 constexpr int kTuplesPerSp = 400;
 constexpr int64_t kWindow = 4000;  // RANGE in ts units; ts advances 1/tuple

@@ -753,6 +753,10 @@ Status SpStreamEngine::RunSolo(ExecContext* ctx, QueryState* qs) {
       // per-element path did; a fault mid-assembly discards the partial
       // batch (nothing from it is fed — the epoch quarantines anyway).
       ElementBatch batch;
+      // Feed columnar above batch size 1 so the kernels engage from the
+      // source on; size 1 keeps the legacy row transport (a one-row
+      // columnar batch costs more than the element it carries).
+      if (batch_size > 1) batch.BeginColumnar();
       const size_t end = std::min(pending.size(), i + batch_size);
       batch.reserve(end - i);
       int64_t tuples_in_batch = 0;
@@ -770,7 +774,7 @@ Status SpStreamEngine::RunSolo(ExecContext* ctx, QueryState* qs) {
           traced_sp_ts = pending[i].ts();
         }
         // copy: several queries read the same pending input
-        batch.push_back(pending[i]);
+        batch.Append(pending[i]);
       }
       if (!fault_reason.empty() || batch.empty()) break;
       // Batches carrying a sampled sp run under that sp-batch's trace (the
@@ -900,20 +904,24 @@ Status SpStreamEngine::RunSharded(QueryState* qs) {
     // and tuples only in their hash target's. A shard's batch is handed off
     // whole when it fills or when the leaf's input is exhausted.
     std::vector<ElementBatch> bufs(num_shards);
+    if (batch_size > 1) {
+      for (ElementBatch& b : bufs) b.BeginColumnar();
+    }
     auto flush = [&](size_t s) {
       if (bufs[s].empty()) return;
       shard_manager_->RouteBatch(
           s, shards.physicals[s].sources[leaf].second, std::move(bufs[s]));
       bufs[s] = ElementBatch();
+      if (batch_size > 1) bufs[s].BeginColumnar();
     };
     for (const StreamElement& e : stream_states_.at(stream).pending) {
       if (e.is_tuple()) {
         const size_t target = ShardOf(e.tuple(), key, num_shards);
-        bufs[target].push_back(e);
+        bufs[target].Append(e);
         if (bufs[target].size() >= batch_size) flush(target);
       } else {
         for (size_t s = 0; s < num_shards; ++s) {
-          bufs[s].push_back(e);
+          bufs[s].Append(e);
           if (bufs[s].size() >= batch_size) flush(s);
         }
       }

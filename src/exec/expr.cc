@@ -56,6 +56,9 @@ class ColumnExpr final : public Expr {
   void CollectColumns(std::vector<int>* out) const override {
     out->push_back(index_);
   }
+  int CompileColumnar(ColumnarPredicateBuilder* builder) const override {
+    return builder->AddColumn(index_);
+  }
 
  private:
   int index_;
@@ -69,6 +72,9 @@ class LiteralExpr final : public Expr {
   Value Eval(const Tuple&) const override { return value_; }
   std::string ToString() const override { return value_.ToString(); }
   void CollectColumns(std::vector<int>*) const override {}
+  int CompileColumnar(ColumnarPredicateBuilder* builder) const override {
+    return builder->AddLiteral(value_);
+  }
 
  private:
   Value value_;
@@ -104,6 +110,13 @@ class CompareExpr final : public Expr {
   void CollectColumns(std::vector<int>* out) const override {
     lhs_->CollectColumns(out);
     rhs_->CollectColumns(out);
+  }
+  int CompileColumnar(ColumnarPredicateBuilder* builder) const override {
+    const int l = lhs_->CompileColumnar(builder);
+    if (l < 0) return -1;
+    const int r = rhs_->CompileColumnar(builder);
+    if (r < 0) return -1;
+    return builder->AddCompare(op_, l, r);
   }
 
  private:
@@ -141,6 +154,16 @@ class LogicalExpr final : public Expr {
   void CollectColumns(std::vector<int>* out) const override {
     lhs_->CollectColumns(out);
     if (rhs_) rhs_->CollectColumns(out);
+  }
+  int CompileColumnar(ColumnarPredicateBuilder* builder) const override {
+    const int l = lhs_->CompileColumnar(builder);
+    if (l < 0) return -1;
+    int r = -1;
+    if (rhs_) {
+      r = rhs_->CompileColumnar(builder);
+      if (r < 0) return -1;
+    }
+    return builder->AddLogical(op_, l, r);
   }
 
  private:

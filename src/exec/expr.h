@@ -15,6 +15,7 @@ namespace spstream {
 
 class Expr;
 using ExprPtr = std::shared_ptr<const Expr>;
+class ColumnarPredicateBuilder;
 
 /// \brief Immutable scalar expression node.
 class Expr {
@@ -61,6 +62,27 @@ class Expr {
   /// \brief Append referenced column indexes to `out` (implementation hook
   /// for ReferencedColumns; public so sibling nodes can recurse).
   virtual void CollectColumns(std::vector<int>* out) const = 0;
+
+  /// \brief Register this subtree with a columnar predicate compiler
+  /// (exec/vector_eval.h) and return its node id, or -1 when the node kind
+  /// has no vectorized form (arithmetic, distance) — the caller then keeps
+  /// the scalar per-element path. Compiled programs must reproduce
+  /// Eval/EvalBool (and therefore Value::Compare) semantics exactly.
+  virtual int CompileColumnar(ColumnarPredicateBuilder* builder) const {
+    (void)builder;
+    return -1;
+  }
+};
+
+/// \brief Sink interface CompileColumnar implementations register nodes
+/// with. Every Add* returns the new node's id or -1 (unsupported operand).
+class ColumnarPredicateBuilder {
+ public:
+  virtual ~ColumnarPredicateBuilder() = default;
+  virtual int AddColumn(int index) = 0;
+  virtual int AddLiteral(const Value& v) = 0;
+  virtual int AddCompare(Expr::CmpOp op, int lhs, int rhs) = 0;
+  virtual int AddLogical(Expr::LogicalOp op, int lhs, int rhs) = 0;
 };
 
 const char* CmpOpToString(Expr::CmpOp op);

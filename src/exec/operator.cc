@@ -70,7 +70,11 @@ void Operator::PushBatch(ElementBatch batch, int port) {
                  traced ? Tracer::CurrentTrace() : 0,
                  static_cast<int64_t>(batch.size()));
   ElementBatch out;
-  {
+  if (!batch.has_eos() && batch.is_columnar() &&
+      ProcessColumnar(batch, &out, port)) {
+    // Columnar kernel: `out` was built directly (no collect-mode
+    // per-element re-wrap) and forwards below like any collected batch.
+  } else {
     CollectScope scope(&collect_, &out);
     if (batch.has_eos()) {
       // Rare, terminal: route through Push so the finished-port accounting
@@ -111,8 +115,11 @@ void Operator::ForwardBatch(ElementBatch batch) {
 size_t SourceOperator::Poll(size_t max_elements) {
   // One poll = one batch: downstream operators get their batch kernels even
   // for pre-materialized runs (Pipeline::Run's batch_per_poll is the batch
-  // size). Order is exactly the per-element order.
+  // size). Order is exactly the per-element order. Multi-element polls ship
+  // columnar so the SoA kernels engage; a one-element poll keeps the row
+  // transport (same trade-off as the engine feed).
   ElementBatch batch;
+  if (max_elements > 1) batch.BeginColumnar();
   batch.reserve(std::min(max_elements, elements_.size() - next_) + 1);
   size_t pushed = 0;
   while (pushed < max_elements && next_ < elements_.size()) {
@@ -139,18 +146,50 @@ size_t SourceOperator::Poll(size_t max_elements) {
   return pushed;
 }
 
+const std::vector<StreamElement>& CollectorSink::elements() const {
+  if (!flat_valid_) {
+    flat_.clear();
+    for (const ElementBatch& chunk : chunks_) {
+      for (const StreamElement& e : chunk.elements()) {
+        flat_.push_back(e);
+      }
+    }
+    flat_valid_ = true;
+  }
+  return flat_;
+}
+
 std::vector<Tuple> CollectorSink::Tuples() const {
   std::vector<Tuple> out;
-  for (const StreamElement& e : elements_) {
-    if (e.is_tuple()) out.push_back(e.tuple());
+  for (const ElementBatch& chunk : chunks_) {
+    if (chunk.is_columnar()) {
+      // Columnar fast path: rebuild Tuples straight from the columns —
+      // the sink never touches a StreamElement for these results.
+      const size_t live = chunk.num_live_rows();
+      for (size_t k = 0; k < live; ++k) {
+        out.push_back(chunk.MaterializeTuple(chunk.live_row(k)));
+      }
+    } else {
+      for (const StreamElement& e : chunk.elements()) {
+        if (e.is_tuple()) out.push_back(e.tuple());
+      }
+    }
   }
   return out;
 }
 
 std::vector<SecurityPunctuation> CollectorSink::Sps() const {
   std::vector<SecurityPunctuation> out;
-  for (const StreamElement& e : elements_) {
-    if (e.is_sp()) out.push_back(e.sp());
+  for (const ElementBatch& chunk : chunks_) {
+    if (chunk.is_columnar()) {
+      for (const ElementBatch::Special& s : chunk.specials()) {
+        if (s.elem.is_sp()) out.push_back(s.elem.sp());
+      }
+    } else {
+      for (const StreamElement& e : chunk.elements()) {
+        if (e.is_sp()) out.push_back(e.sp());
+      }
+    }
   }
   return out;
 }

@@ -110,6 +110,21 @@ class Operator {
   /// exact output sequence the per-element loop would.
   virtual void ProcessBatch(ElementBatch& batch, int port);
 
+  /// \brief Columnar kernel hook, tried by PushBatch for columnar non-EOS
+  /// batches before the collect-mode row path. An override either returns
+  /// false WITHOUT side effects (PushBatch falls back to ProcessBatch,
+  /// which decays the batch to rows) or fully consumes `batch`, builds the
+  /// complete output batch in `*out` — columnar where possible, so results
+  /// are never re-wrapped element by element — and returns true. Output
+  /// must be sequence-identical to the per-element path.
+  virtual bool ProcessColumnar(ElementBatch& batch, ElementBatch* out,
+                               int port) {
+    (void)batch;
+    (void)out;
+    (void)port;
+    return false;
+  }
+
   /// \brief Called when a port sees end-of-stream. Default: nothing.
   virtual void OnPortFinished(int port) { (void)port; }
 
@@ -206,15 +221,13 @@ class PushSource : public Operator {
     if (batch.empty()) return;
     ++metrics_.batches_in;
     metrics_.batch_elements_in += static_cast<int64_t>(batch.size());
-    for (const StreamElement& e : batch.elements()) {
-      if (e.is_tuple()) {
-        ++metrics_.tuples_in;
-        ++metrics_.tuples_out;
-      } else if (e.is_sp()) {
-        ++metrics_.sps_in;
-        ++metrics_.sps_out;
-      }
-    }
+    // Counts without materializing a columnar batch into rows.
+    int64_t tuples = 0, sps = 0;
+    batch.CountLive(&tuples, &sps);
+    metrics_.tuples_in += tuples;
+    metrics_.tuples_out += tuples;
+    metrics_.sps_in += sps;
+    metrics_.sps_out += sps;
     ForwardBatch(std::move(batch));
   }
 
@@ -236,13 +249,18 @@ class PushSource : public Operator {
   bool finished_ = false;
 };
 
-/// \brief Terminal operator collecting results for inspection.
+/// \brief Terminal operator collecting results for inspection. Results
+/// arrive as row elements or whole columnar chunks; chunks stay columnar
+/// until an element-level view is requested, so the engine's Tuple-only
+/// result pull (TakeTuples) never materializes a StreamElement per result.
 class CollectorSink : public Operator {
  public:
   explicit CollectorSink(ExecContext* ctx, std::string label = "sink")
       : Operator(ctx, std::move(label)) {}
 
-  const std::vector<StreamElement>& elements() const { return elements_; }
+  /// \brief Flat element view (built lazily from the chunks; chunks are
+  /// left intact).
+  const std::vector<StreamElement>& elements() const;
 
   /// \brief Only the data tuples, in arrival order.
   std::vector<Tuple> Tuples() const;
@@ -253,11 +271,30 @@ class CollectorSink : public Operator {
   /// long-lived pipelines between result pulls).
   std::vector<Tuple> TakeTuples() {
     std::vector<Tuple> out = Tuples();
-    elements_.clear();
+    Clear();
     return out;
   }
 
-  void Clear() { elements_.clear(); }
+  void Clear() {
+    chunks_.clear();
+    flat_.clear();
+    flat_valid_ = true;
+  }
+
+  /// \brief Chunks retained in columnar form (regression observability for
+  /// the no-per-element-re-wrap contract).
+  size_t columnar_chunks() const {
+    size_t n = 0;
+    for (const ElementBatch& c : chunks_) n += c.is_columnar() ? 1 : 0;
+    return n;
+  }
+
+  /// \brief Retained bytes across all chunks.
+  size_t RetainedBytes() const {
+    size_t n = 0;
+    for (const ElementBatch& c : chunks_) n += c.MemoryBytes();
+    return n;
+  }
 
  protected:
   void Process(StreamElement elem, int) override {
@@ -266,24 +303,51 @@ class CollectorSink : public Operator {
     } else if (elem.is_sp()) {
       ++metrics_.sps_in;
     }
-    elements_.push_back(std::move(elem));
+    TailRowChunk().push_back(std::move(elem));
+    flat_valid_ = false;
   }
 
   void ProcessBatch(ElementBatch& batch, int) override {
     // No reserve: an exact-fit reserve per batch would defeat push_back's
     // geometric growth (quadratic re-copying at small batch sizes).
+    ElementBatch& tail = TailRowChunk();
     for (StreamElement& e : batch.elements()) {
       if (e.is_tuple()) {
         ++metrics_.tuples_in;
       } else if (e.is_sp()) {
         ++metrics_.sps_in;
       }
-      elements_.push_back(std::move(e));
+      tail.push_back(std::move(e));
     }
+    flat_valid_ = false;
+  }
+
+  bool ProcessColumnar(ElementBatch& batch, ElementBatch* out,
+                       int) override {
+    (void)out;  // terminal: nothing flows downstream
+    int64_t tuples = 0, sps = 0;
+    batch.CountLive(&tuples, &sps);
+    metrics_.tuples_in += tuples;
+    metrics_.sps_in += sps;
+    chunks_.push_back(std::move(batch));
+    flat_valid_ = false;
+    return true;
   }
 
  private:
-  std::vector<StreamElement> elements_;
+  /// \brief The trailing row-representation chunk, created on demand.
+  ElementBatch& TailRowChunk() {
+    if (chunks_.empty() || chunks_.back().is_columnar()) {
+      chunks_.emplace_back();
+    }
+    return chunks_.back();
+  }
+
+  std::vector<ElementBatch> chunks_;
+  // Lazily flattened element view for callers that inspect the raw
+  // sequence (tests, benches); invalidated by every arrival.
+  mutable std::vector<StreamElement> flat_;
+  mutable bool flat_valid_ = true;
 };
 
 /// \brief Owns a DAG of operators plus its sources, and drives them.

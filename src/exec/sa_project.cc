@@ -45,6 +45,56 @@ void SaProject::ProcessBatch(ElementBatch& batch, int) {
   }
 }
 
+bool SaProject::ProcessColumnar(ElementBatch& batch, ElementBatch* out, int) {
+  ScopedTimer timer(&metrics_.total_nanos);
+  // Specials: sps irrelevant after the projection are discarded; controls
+  // keep their anchors.
+  std::vector<ElementBatch::Special>& specials = batch.specials();
+  std::vector<ElementBatch::Special> kept;
+  kept.reserve(specials.size());
+  for (ElementBatch::Special& s : specials) {
+    if (s.elem.is_sp()) {
+      ++metrics_.sps_in;
+      if (SpIrrelevantAfterProjection(s.elem.sp())) continue;
+      ++metrics_.sps_out;
+    }
+    kept.push_back(std::move(s));
+  }
+  const size_t live = batch.num_live_rows();
+  metrics_.tuples_in += static_cast<int64_t>(live);
+  metrics_.tuples_out += static_cast<int64_t>(live);
+  // Columns: move each retained array into output position; a repeated
+  // source column is copied until its last use.
+  std::vector<ColumnVector>& cols = batch.mutable_columns();
+  std::vector<ColumnVector> projected;
+  projected.reserve(keep_columns_.size());
+  for (size_t j = 0; j < keep_columns_.size(); ++j) {
+    const int col = keep_columns_[j];
+    if (col >= 0 && static_cast<size_t>(col) < cols.size()) {
+      bool last_use = true;
+      for (size_t j2 = j + 1; j2 < keep_columns_.size(); ++j2) {
+        if (keep_columns_[j2] == col) {
+          last_use = false;
+          break;
+        }
+      }
+      if (last_use) {
+        projected.push_back(std::move(cols[static_cast<size_t>(col)]));
+      } else {
+        projected.push_back(cols[static_cast<size_t>(col)]);
+      }
+    } else {
+      ColumnVector null_col;
+      null_col.AppendNulls(batch.num_rows());
+      projected.push_back(std::move(null_col));
+    }
+  }
+  batch.ReplaceColumns(std::move(projected));
+  batch.ReplaceSpecials(std::move(kept));
+  *out = std::move(batch);
+  return true;
+}
+
 void SaProject::ProcessElement(StreamElement& elem) {
   if (elem.is_sp()) {
     ++metrics_.sps_in;
@@ -61,9 +111,24 @@ void SaProject::ProcessElement(StreamElement& elem) {
   Tuple& t = elem.tuple();
   std::vector<Value> projected;
   projected.reserve(keep_columns_.size());
-  for (int col : keep_columns_) {
+  for (size_t j = 0; j < keep_columns_.size(); ++j) {
+    const int col = keep_columns_[j];
     if (col >= 0 && static_cast<size_t>(col) < t.values.size()) {
-      projected.push_back(std::move(t.values[static_cast<size_t>(col)]));
+      // A repeated source column is copied until its last use — moving on
+      // the first use would hand later uses a moved-from Value.
+      bool last_use = true;
+      for (size_t j2 = j + 1; j2 < keep_columns_.size(); ++j2) {
+        if (keep_columns_[j2] == col) {
+          last_use = false;
+          break;
+        }
+      }
+      Value& v = t.values[static_cast<size_t>(col)];
+      if (last_use) {
+        projected.push_back(std::move(v));
+      } else {
+        projected.push_back(v);
+      }
     } else {
       projected.push_back(Value::Null());
     }

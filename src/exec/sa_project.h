@@ -25,6 +25,11 @@ class SaProject : public Operator {
   void Process(StreamElement elem, int) override;
   /// Batch kernel: one timer and dispatch per batch, tight column loop.
   void ProcessBatch(ElementBatch& batch, int) override;
+  /// Columnar kernel: move whole column arrays into the output order — no
+  /// per-row work at all. Out-of-range keep columns become null columns
+  /// (the per-element path's Value::Null() behaviour).
+  bool ProcessColumnar(ElementBatch& batch, ElementBatch* out,
+                       int port) override;
 
  private:
   void ProcessElement(StreamElement& elem);

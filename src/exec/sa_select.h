@@ -7,6 +7,7 @@
 
 #include "exec/expr.h"
 #include "exec/operator.h"
+#include "exec/vector_eval.h"
 
 namespace spstream {
 
@@ -21,11 +22,21 @@ class SaSelect : public Operator {
   void Process(StreamElement elem, int) override;
   /// Batch kernel: one timer and dispatch per batch, tight eval loop.
   void ProcessBatch(ElementBatch& batch, int) override;
+  /// Columnar kernel: compile the predicate once (row fallback when it has
+  /// no vectorized form), then narrow the batch's selection vector in
+  /// place — dropped rows are never copied or materialized.
+  bool ProcessColumnar(ElementBatch& batch, ElementBatch* out,
+                       int port) override;
 
  private:
   void ProcessElement(StreamElement& elem);
 
   ExprPtr predicate_;
+  // Compiled-once vector form of predicate_ (the expression is immutable
+  // after construction); nullopt until first ProcessColumnar, which falls
+  // back to the scalar path permanently when compilation fails.
+  std::optional<VectorPredicate> vector_pred_;
+  bool vector_pred_tried_ = false;
   // Sps of the current batch, buffered until a covered tuple passes.
   std::vector<SecurityPunctuation> pending_sps_;
   bool pending_emitted_ = true;

@@ -75,6 +75,14 @@ class SaJoinBase : public Operator {
   /// memory incrementally, yet not free — and the dispatch happen once per
   /// batch.
   void ProcessBatch(ElementBatch& batch, int port) override;
+  /// Columnar kernel: input rows still materialize one Tuple each (the
+  /// windows store Tuples), but every join result is appended straight
+  /// into the output batch's columns by EmitJoinResult — the per-match
+  /// Tuple + StreamElement construction that dominated the batch>1
+  /// regression (docs/PERFORMANCE.md) never happens, and downstream
+  /// operators receive a columnar batch.
+  bool ProcessColumnar(ElementBatch& batch, ElementBatch* out,
+                       int port) override;
 
   /// \brief Shared tuple path of Process/ProcessBatch: invalidate the
   /// opposite window, resolve the policy, insert, probe. Does NOT refresh
@@ -121,6 +129,10 @@ class SaJoinBase : public Operator {
   PolicyTracker trackers_[2];
   SegmentedWindow windows_[2];
   OutputPolicyEmitter output_emitter_;
+  // Non-null while ProcessColumnar runs: EmitJoinResult appends results
+  // (and synthesized sps) straight to this columnar output batch instead
+  // of going through Emit's per-element collect path.
+  ElementBatch* col_out_ = nullptr;
 
  private:
   // Checkpoint cursor over the scalar state (the windows keep their own).

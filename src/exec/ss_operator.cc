@@ -124,6 +124,79 @@ void SsOperator::ProcessBatch(ElementBatch& batch, int) {
   }
 }
 
+bool SsOperator::ProcessColumnar(ElementBatch& batch, ElementBatch* out,
+                                 int) {
+  ScopedTimer timer(&metrics_.total_nanos);
+  std::vector<ElementBatch::Special> kept;
+  std::vector<uint32_t> sel;
+  sel.reserve(batch.num_live_rows());
+  std::vector<ElementBatch::Special>& specials = batch.specials();
+  size_t si = 0;
+  auto flush_pending = [&](uint32_t before_row) {
+    pending_emitted_ = true;
+    for (SecurityPunctuation& sp : pending_sps_) {
+      ++metrics_.sps_out;
+      kept.push_back(
+          ElementBatch::Special{before_row, StreamElement(std::move(sp))});
+    }
+    pending_sps_.clear();
+  };
+  auto handle_special = [&](ElementBatch::Special& s) {
+    if (s.elem.is_sp()) {
+      HandleSp(s.elem);  // consumes: the sp moves into pending_sps_
+    } else {
+      kept.push_back(std::move(s));  // control passes through in place
+    }
+  };
+  const size_t live = batch.num_live_rows();
+  for (size_t k = 0; k < live; ++k) {
+    const uint32_t r = batch.live_row(k);
+    while (si < specials.size() && specials[si].before_row <= r) {
+      handle_special(specials[si]);
+      ++si;
+    }
+    ++metrics_.tuples_in;
+    if (memo_valid_) {
+      // Memo hit (§III.B): no materialization at all — the whole run
+      // between sps shares this boolean. Denials still count and audit
+      // identically to the slow path.
+      if (!memo_authorized_) {
+        ++metrics_.tuples_dropped_security;
+        if (audit() != nullptr) {
+          AuditDenial(batch.MaterializeTuple(r), *memo_policy_);
+        }
+        continue;
+      }
+      if (!pending_emitted_) flush_pending(r);
+      ++metrics_.tuples_out;
+      sel.push_back(r);
+      continue;
+    }
+    // Slow path: materialize this row, decide exactly as the per-element
+    // path would, and write any masking nulls back into the validity
+    // bitmap (masking only ever nulls values, so SetNull covers it).
+    Tuple t = batch.MaterializeTuple(r);
+    const bool authorized = DecideTupleSlowPath(t);
+    if (!authorized) continue;
+    if (options_.mask_attributes) {
+      std::vector<ColumnVector>& cols = batch.mutable_columns();
+      for (size_t i = 0; i < t.values.size() && i < cols.size(); ++i) {
+        if (t.values[i].is_null()) cols[i].SetNull(r);
+      }
+    }
+    if (!pending_emitted_) flush_pending(r);
+    ++metrics_.tuples_out;
+    sel.push_back(r);
+  }
+  for (; si < specials.size(); ++si) {
+    handle_special(specials[si]);
+  }
+  batch.ReplaceSpecials(std::move(kept));
+  batch.SetSelection(std::move(sel));
+  *out = std::move(batch);
+  return true;
+}
+
 void SsOperator::ProcessElement(StreamElement& elem) {
   if (elem.is_sp()) {
     HandleSp(elem);
@@ -242,6 +315,18 @@ void SsOperator::HandleTuple(StreamElement& elem) {
     return;
   }
 
+  if (!DecideTupleSlowPath(t)) return;
+  if (!pending_emitted_) {
+    pending_emitted_ = true;
+    for (SecurityPunctuation& sp : pending_sps_) {
+      EmitSp(std::move(sp));
+    }
+    pending_sps_.clear();
+  }
+  EmitTuple(std::move(t));
+}
+
+bool SsOperator::DecideTupleSlowPath(Tuple& t) {
   // PolicyFor finalizes any open sp-batch (and thereby decides whether the
   // batch carries attribute-granularity policies).
   const PolicyPtr policy = tracker_.PolicyFor(t);
@@ -293,16 +378,9 @@ void SsOperator::HandleTuple(StreamElement& elem) {
   if (!authorized) {
     ++metrics_.tuples_dropped_security;
     AuditDenial(t, *policy);
-    return;
+    return false;
   }
-  if (!pending_emitted_) {
-    pending_emitted_ = true;
-    for (SecurityPunctuation& sp : pending_sps_) {
-      EmitSp(std::move(sp));
-    }
-    pending_sps_.clear();
-  }
-  EmitTuple(std::move(t));
+  return true;
 }
 
 // ---- durable state (docs/DURABILITY.md) ------------------------------------

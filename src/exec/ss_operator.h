@@ -85,11 +85,22 @@ class SsOperator : public Operator {
   /// Batch kernel: one timer per batch, one policy-match memo per tuple run
   /// between sps — per-tuple work between sps is a cached boolean.
   void ProcessBatch(ElementBatch& batch, int port) override;
+  /// Columnar kernel: sps in the specials list delimit tuple runs; each
+  /// run's first tuple decides via the slow path and the rest of the run
+  /// rides the memo without ever being materialized. Passing rows narrow
+  /// the selection vector in place; attribute masking clears validity bits.
+  bool ProcessColumnar(ElementBatch& batch, ElementBatch* out,
+                       int port) override;
 
  private:
   void ProcessElement(StreamElement& elem);
   void HandleSp(StreamElement& elem);
   void HandleTuple(StreamElement& elem);
+  /// Shared decision slow path (memo invalid): resolve the policy, check
+  /// fail-closed installs, apply attribute masking (mutates `t`), refresh
+  /// the memo and trace/audit/drop accounting. Returns whether `t` passes.
+  /// Does NOT count tuples_in and does NOT emit.
+  bool DecideTupleSlowPath(Tuple& t);
   void UpdateStateBytes();
   /// Null out attributes of `t` the predicate roles may not read; returns
   /// false when nothing remains visible (tuple must drop).

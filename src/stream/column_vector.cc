@@ -1,0 +1,132 @@
+#include "stream/column_vector.h"
+
+namespace spstream {
+
+namespace {
+size_t ValidityWords(size_t rows) { return (rows + 63) / 64; }
+}  // namespace
+
+bool ColumnVector::TryAppend(const Value& v) {
+  if (v.is_null()) {
+    AppendNull();
+    return true;
+  }
+  if (type_ == ValueType::kNull) {
+    // First non-null value latches the type; rows appended before it were
+    // all null, so the payload array just needs placeholders for them.
+    type_ = v.type();
+    switch (type_) {
+      case ValueType::kInt64:
+      case ValueType::kBool:
+        ints_.assign(size_, 0);
+        break;
+      case ValueType::kDouble:
+        doubles_.assign(size_, 0.0);
+        break;
+      case ValueType::kString:
+        offsets_.assign(size_ + 1, 0);
+        break;
+      case ValueType::kNull:
+        break;
+    }
+  } else if (v.type() != type_) {
+    return false;
+  }
+  switch (type_) {
+    case ValueType::kInt64:
+      ints_.push_back(v.int64());
+      break;
+    case ValueType::kBool:
+      ints_.push_back(v.boolean() ? 1 : 0);
+      break;
+    case ValueType::kDouble:
+      doubles_.push_back(v.dbl());
+      break;
+    case ValueType::kString:
+      chars_.append(v.str());
+      offsets_.push_back(static_cast<uint32_t>(chars_.size()));
+      break;
+    case ValueType::kNull:
+      break;
+  }
+  validity_.resize(ValidityWords(size_ + 1), 0);
+  validity_[size_ >> 6] |= uint64_t{1} << (size_ & 63);
+  ++size_;
+  return true;
+}
+
+void ColumnVector::AppendNull() {
+  switch (type_) {
+    case ValueType::kInt64:
+    case ValueType::kBool:
+      ints_.push_back(0);
+      break;
+    case ValueType::kDouble:
+      doubles_.push_back(0.0);
+      break;
+    case ValueType::kString:
+      if (offsets_.empty()) offsets_.push_back(0);
+      offsets_.push_back(static_cast<uint32_t>(chars_.size()));
+      break;
+    case ValueType::kNull:
+      break;
+  }
+  validity_.resize(ValidityWords(size_ + 1), 0);
+  ++size_;
+}
+
+Value ColumnVector::ValueAt(size_t row) const {
+  if (!IsValid(row)) return Value::Null();
+  switch (type_) {
+    case ValueType::kInt64:
+      return Value(ints_[row]);
+    case ValueType::kBool:
+      return Value(ints_[row] != 0);
+    case ValueType::kDouble:
+      return Value(doubles_[row]);
+    case ValueType::kString:
+      return Value(std::string(StringAt(row)));
+    case ValueType::kNull:
+      break;
+  }
+  return Value::Null();
+}
+
+void ColumnVector::reserve(size_t n) {
+  validity_.reserve(ValidityWords(n));
+  switch (type_) {
+    case ValueType::kInt64:
+    case ValueType::kBool:
+      ints_.reserve(n);
+      break;
+    case ValueType::kDouble:
+      doubles_.reserve(n);
+      break;
+    case ValueType::kString:
+      offsets_.reserve(n + 1);
+      break;
+    case ValueType::kNull:
+      // Type unknown yet: reserve the common int64 payload speculatively.
+      ints_.reserve(n);
+      break;
+  }
+}
+
+size_t ColumnVector::MemoryBytes() const {
+  return sizeof(ColumnVector) + ints_.capacity() * sizeof(int64_t) +
+         doubles_.capacity() * sizeof(double) +
+         offsets_.capacity() * sizeof(uint32_t) + chars_.capacity() +
+         validity_.capacity() * sizeof(uint64_t);
+}
+
+void ColumnVector::clear() {
+  type_ = ValueType::kNull;
+  size_ = 0;
+  ints_.clear();
+  doubles_.clear();
+  offsets_.clear();
+  chars_.clear();
+  validity_.clear();
+}
+
+}  // namespace spstream

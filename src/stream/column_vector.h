@@ -1,0 +1,83 @@
+// One column of a columnar (SoA) ElementBatch: a typed array plus a
+// validity bitmap. The type is latched by the first non-null append, so a
+// column round-trips Values exactly (kind and nullness included) — the
+// batch-equivalence contract compares result sequences byte for byte, so
+// the columnar representation must never widen, narrow or otherwise
+// re-type a value.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/value.h"
+
+namespace spstream {
+
+/// \brief A typed value array with per-row validity. Bools share the int64
+/// storage (0/1); strings live in one arena addressed by offsets.
+class ColumnVector {
+ public:
+  ColumnVector() = default;
+
+  size_t size() const { return size_; }
+
+  /// \brief The latched value type; kNull until the first non-null append
+  /// (an all-null column stays kNull and every row reads back as Null).
+  ValueType type() const { return type_; }
+
+  /// \brief Append `v`; false (and no state change) when `v` is non-null
+  /// and its kind conflicts with the latched type — the caller then decays
+  /// the whole batch to the row representation.
+  bool TryAppend(const Value& v);
+
+  void AppendNull();
+  void AppendNulls(size_t n) {
+    for (size_t i = 0; i < n; ++i) AppendNull();
+  }
+
+  /// \brief True when `v` could be appended without a type conflict.
+  bool Accepts(const Value& v) const {
+    return v.is_null() || type_ == ValueType::kNull || v.type() == type_;
+  }
+
+  /// \brief Mask row `row`: clears its validity bit so it reads back as
+  /// Null. The stored payload is left in place (masking is how the SS
+  /// enforces attribute-granularity policies on a shared batch).
+  void SetNull(size_t row) {
+    validity_[row >> 6] &= ~(uint64_t{1} << (row & 63));
+  }
+
+  bool IsValid(size_t row) const {
+    return (validity_[row >> 6] >> (row & 63)) & 1;
+  }
+
+  // Typed accessors; only meaningful when IsValid(row) and type() matches.
+  int64_t Int64At(size_t row) const { return ints_[row]; }
+  double DoubleAt(size_t row) const { return doubles_[row]; }
+  bool BoolAt(size_t row) const { return ints_[row] != 0; }
+  std::string_view StringAt(size_t row) const {
+    return std::string_view(chars_).substr(offsets_[row],
+                                           offsets_[row + 1] - offsets_[row]);
+  }
+
+  /// \brief Exact round-trip of the value appended at `row` (Null when the
+  /// row is invalid — appended null or masked).
+  Value ValueAt(size_t row) const;
+
+  void reserve(size_t n);
+  size_t MemoryBytes() const;
+  void clear();
+
+ private:
+  ValueType type_ = ValueType::kNull;
+  size_t size_ = 0;
+  std::vector<int64_t> ints_;       // kInt64 and kBool payloads
+  std::vector<double> doubles_;     // kDouble payloads
+  std::vector<uint32_t> offsets_;   // kString: size_+1 arena offsets
+  std::string chars_;               // kString arena
+  std::vector<uint64_t> validity_;  // bit per row, 1 = value present
+};
+
+}  // namespace spstream

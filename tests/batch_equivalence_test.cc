@@ -46,8 +46,13 @@ std::vector<size_t> BatchSizesUnderTest() {
 // batched subject engine.
 class BatchWorkloadDriver {
  public:
-  BatchWorkloadDriver(uint64_t seed, size_t batch_size, size_t num_shards)
-      : rng_(seed) {
+  /// `hardened` switches to the columnar-hostile workload: string-keyed
+  /// streams C/D, null-heavy values, attribute-granular sps with SS
+  /// masking enabled — the fields the SoA layer represents via validity
+  /// bits and the string arena instead of inline Values.
+  BatchWorkloadDriver(uint64_t seed, size_t batch_size, size_t num_shards,
+                      bool hardened = false)
+      : rng_(seed), hardened_(hardened) {
     oracle_ = MakeEngine(/*batch_size=*/1, num_shards);
     batched_ = MakeEngine(batch_size, num_shards);
   }
@@ -63,9 +68,22 @@ class BatchWorkloadDriver {
         "SELECT A.k, B.u FROM A [RANGE 64], B [RANGE 64] WHERE A.k = B.k",
         "SELECT u FROM B WHERE u > 10",
     };
+    // Null-heavy / masking-heavy / string-keyed pool: string equijoins,
+    // distinct over the string key, selections over nullable columns.
+    static const char* kHardenedPool[] = {
+        "SELECT sk, s, x FROM C",
+        "SELECT x FROM C WHERE x > 40",
+        "SELECT DISTINCT sk FROM C [RANGE 64]",
+        "SELECT C.s FROM C [RANGE 80], D [RANGE 80] WHERE C.sk = D.sk",
+        "SELECT C.sk, D.y FROM C [RANGE 64], D [RANGE 64] WHERE C.sk = D.sk",
+        "SELECT y FROM D WHERE y > 10",
+    };
     const size_t n = 1 + rng_.NextBounded(3);
     for (size_t i = 0; i < n; ++i) {
-      const char* sql = kQueryPool[rng_.NextBounded(std::size(kQueryPool))];
+      const char* sql =
+          hardened_
+              ? kHardenedPool[rng_.NextBounded(std::size(kHardenedPool))]
+              : kQueryPool[rng_.NextBounded(std::size(kQueryPool))];
       const std::string subject =
           subjects_[rng_.NextBounded(subjects_.size())];
       auto q1 = oracle_->RegisterQuery(subject, sql);
@@ -82,8 +100,13 @@ class BatchWorkloadDriver {
     const size_t epochs = 3 + rng_.NextBounded(3);
     for (size_t e = 0; e < epochs; ++e) {
       MaybeChurnRoles();
-      PushStream("A", /*cols=*/3, 40 + rng_.NextBounded(120));
-      PushStream("B", /*cols=*/2, 30 + rng_.NextBounded(80));
+      if (hardened_) {
+        PushStream("C", /*cols=*/3, 40 + rng_.NextBounded(120));
+        PushStream("D", /*cols=*/2, 30 + rng_.NextBounded(80));
+      } else {
+        PushStream("A", /*cols=*/3, 40 + rng_.NextBounded(120));
+        PushStream("B", /*cols=*/2, 30 + rng_.NextBounded(80));
+      }
       ASSERT_TRUE(oracle_->Run().ok());
       ASSERT_TRUE(batched_->Run().ok());
       CompareResults(e);
@@ -97,6 +120,9 @@ class BatchWorkloadDriver {
     EngineOptions opts;
     opts.batch_size = batch_size;
     opts.num_shards = num_shards;
+    // The hardened workload ships attribute-granular sps: masking must be
+    // on so they rewrite tuples (validity bits in the columnar form).
+    opts.physical.ss_mask_attributes = hardened_;
     auto engine = std::make_unique<SpStreamEngine>(std::move(opts));
     for (size_t r = 0; r < kRolePool; ++r) {
       engine->RegisterRole("R" + std::to_string(r));
@@ -111,6 +137,17 @@ class BatchWorkloadDriver {
                     ->RegisterStream(MakeSchema(
                         "B", {Field{"k", ValueType::kInt64},
                               Field{"u", ValueType::kInt64}}))
+                    .ok());
+    EXPECT_TRUE(engine
+                    ->RegisterStream(MakeSchema(
+                        "C", {Field{"sk", ValueType::kString},
+                              Field{"s", ValueType::kString},
+                              Field{"x", ValueType::kInt64}}))
+                    .ok());
+    EXPECT_TRUE(engine
+                    ->RegisterStream(MakeSchema(
+                        "D", {Field{"sk", ValueType::kString},
+                              Field{"y", ValueType::kInt64}}))
                     .ok());
     if (subjects_.empty()) {
       subjects_ = {"alice", "bob"};
@@ -143,6 +180,60 @@ class BatchWorkloadDriver {
     ASSERT_EQ(s1.ok(), s2.ok());
   }
 
+  /// Sp for one segment. Hardened mode makes a third of them
+  /// attribute-granular (random field of `stream`), so with masking on,
+  /// batches carry masked-null fields through every operator.
+  SecurityPunctuation SegmentSp(const std::string& stream,
+                                std::vector<RoleId> roles, Timestamp ts,
+                                Sign sign) {
+    if (!hardened_ || !rng_.NextBool(0.33)) {
+      return sptest::MakeSp(stream, std::move(roles), ts, sign);
+    }
+    static const std::map<std::string, std::vector<std::string>> kFields = {
+        {"C", {"sk", "s", "x"}}, {"D", {"sk", "y"}}};
+    const std::vector<std::string>& fields = kFields.at(stream);
+    SecurityPunctuation sp(
+        Pattern::Literal(stream), Pattern::Any(),
+        Pattern::Literal(fields[rng_.NextBounded(fields.size())]),
+        Pattern::Any(), sign, /*immutable=*/false, ts);
+    sp.SetResolvedRoles(RoleSet::FromIds(roles));
+    return sp;
+  }
+
+  /// One random tuple value row for `stream`. The int-keyed streams (A/B)
+  /// are all-int64; the hardened streams (C/D) draw string keys from a
+  /// small pool (join/distinct collisions) and null out ~25% of non-key
+  /// fields (plus the occasional null key).
+  std::vector<Value> RandomRow(const std::string& stream, int cols) {
+    std::vector<Value> vals;
+    if (stream == "C" || stream == "D") {
+      static const char* kKeys[] = {"ga", "ka", "na", "ra", "sa", "ta"};
+      if (rng_.NextBool(0.05)) {
+        vals.emplace_back();  // null join key
+      } else {
+        vals.emplace_back(std::string(kKeys[rng_.NextBounded(6)]));
+      }
+      if (stream == "C") {
+        if (rng_.NextBool(0.25)) {
+          vals.emplace_back();
+        } else {
+          vals.emplace_back("s" + std::to_string(rng_.NextBounded(12)));
+        }
+      }
+      if (rng_.NextBool(0.25)) {
+        vals.emplace_back();
+      } else {
+        vals.emplace_back(static_cast<int64_t>(rng_.NextBounded(100)));
+      }
+      return vals;
+    }
+    vals.emplace_back(static_cast<int64_t>(rng_.NextBounded(8)));  // key
+    for (int c = 1; c < cols; ++c) {
+      vals.emplace_back(static_cast<int64_t>(rng_.NextBounded(100)));
+    }
+    return vals;
+  }
+
   // A punctuated random segment of `stream`: policy changes every few
   // tuples, so batches of any size straddle sp boundaries in every
   // workload; keys are drawn from a small range so joins/groups collide.
@@ -157,18 +248,13 @@ class BatchWorkloadDriver {
       for (size_t i = 0; i < nr; ++i) {
         roles.push_back(static_cast<RoleId>(rng_.NextBounded(kRolePool)));
       }
-      elems.emplace_back(sptest::MakeSp(stream, roles, ts,
-                                        rng_.NextBool(0.15)
-                                            ? Sign::kNegative
-                                            : Sign::kPositive));
+      elems.emplace_back(SegmentSp(stream, roles, ts,
+                                   rng_.NextBool(0.15) ? Sign::kNegative
+                                                       : Sign::kPositive));
       const size_t seg = 1 + rng_.NextBounded(8);
       for (size_t i = 0; i < seg && emitted < n; ++i, ++emitted) {
-        std::vector<int64_t> vals;
-        vals.push_back(static_cast<int64_t>(rng_.NextBounded(8)));  // key
-        for (int c = 1; c < cols; ++c) {
-          vals.push_back(static_cast<int64_t>(rng_.NextBounded(100)));
-        }
-        elems.emplace_back(sptest::MakeTuple(tid++, vals, ts));
+        elems.emplace_back(
+            Tuple(0, tid++, RandomRow(stream, cols), ts));
         ts += 1 + rng_.NextBounded(3);
       }
     }
@@ -197,6 +283,7 @@ class BatchWorkloadDriver {
   }
 
   Rng rng_;
+  bool hardened_ = false;
   std::vector<std::string> subjects_;
   std::vector<std::vector<std::string>> subject_roles_;
   std::unique_ptr<SpStreamEngine> oracle_;
@@ -228,6 +315,35 @@ TEST_P(BatchEquivalenceTest, ShardedMatchesPerElementShardedOracle) {
     // 4-shard vs 4-shard: both merges are deterministic (shard id, then
     // per-shard arrival order), so sequences must still match exactly.
     BatchWorkloadDriver driver(seed, batch_size, /*num_shards=*/4);
+    driver.RegisterQueries();
+    if (::testing::Test::HasFatalFailure()) return;
+    driver.RunEpochs();
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+}
+
+// Columnar-hostile variants: string join keys (arena-backed columns),
+// null-heavy rows (validity bitmap), attribute-granular sps with SS
+// masking on (SetNull write-back) — still sequence-exact at every size.
+TEST_P(BatchEquivalenceTest, NullMaskStringWorkloadMatchesOracle) {
+  const uint64_t seed = GetParam();
+  for (size_t batch_size : BatchSizesUnderTest()) {
+    SCOPED_TRACE("batch_size=" + std::to_string(batch_size));
+    BatchWorkloadDriver driver(seed, batch_size, /*num_shards=*/1,
+                               /*hardened=*/true);
+    driver.RegisterQueries();
+    if (::testing::Test::HasFatalFailure()) return;
+    driver.RunEpochs();
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+}
+
+TEST_P(BatchEquivalenceTest, NullMaskStringWorkloadMatchesShardedOracle) {
+  const uint64_t seed = GetParam();
+  for (size_t batch_size : BatchSizesUnderTest()) {
+    SCOPED_TRACE("batch_size=" + std::to_string(batch_size));
+    BatchWorkloadDriver driver(seed, batch_size, /*num_shards=*/4,
+                               /*hardened=*/true);
     driver.RegisterQueries();
     if (::testing::Test::HasFatalFailure()) return;
     driver.RunEpochs();
