@@ -1,0 +1,270 @@
+// Overload resilience cost/benefit (docs/ROBUSTNESS.md, "Overload and
+// self-healing") — what tiered load shedding buys when the offered load
+// exceeds capacity, and what the watchdog-era self-healing round trip
+// costs:
+//
+//  * goodput under overload: capacity is pinned by the controller's
+//    pending-backlog watermark; the same punctuated workload is offered at
+//    1x/2x/4x capacity against (a) a shedding engine and (b) a no-shed
+//    oracle. Goodput = delivered data tuples / offered. The invariant
+//    *shed data, never shed security* is checked per multiplier: both
+//    engines must install byte-identical policy sequences (equal
+//    kPolicyInstall audit counts), i.e. sps_shed == 0 even in kShed;
+//  * self-healing: a seeded exec.operator_process fault quarantines one
+//    query mid-run; the next epoch recovers it from the durable checkpoint
+//    (backoff 0), and the bench times that recovery epoch.
+//
+// Emits BENCH_overload.json (stdout, and into SPSTREAM_BENCH_JSON_DIR when
+// set) so the bench trajectory can be tracked across commits.
+#include <chrono>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <algorithm>
+#include <sstream>
+
+#include "bench_util.h"
+#include "common/fault.h"
+#include "engine/engine.h"
+
+namespace spstream::bench {
+namespace {
+
+constexpr int kTicks = 6;            // epochs per rep
+constexpr int kChunk = 512;          // data tuples per push
+constexpr int kChunksPerCapacity = 8;  // capacity = 8 chunks = watermark
+constexpr size_t kPendingHigh = static_cast<size_t>(kChunk) *
+                                kChunksPerCapacity;
+constexpr double kShedFraction = 0.3;
+constexpr int kReps = 3;
+
+int64_t NowUs() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+SchemaPtr BenchSchema() {
+  return MakeSchema("Feed", {Field{"k", ValueType::kInt64},
+                             Field{"v", ValueType::kInt64}});
+}
+
+std::unique_ptr<SpStreamEngine> BuildEngine(bool shedding, QueryId* qid,
+                                            const std::string& data_dir = "",
+                                            int max_recovery_attempts = 0) {
+  EngineOptions opts;
+  opts.data_dir = data_dir;
+  if (shedding) {
+    opts.overload.enable_shedding = true;
+    opts.overload.pending_high_watermark = kPendingHigh;
+    opts.overload.pending_low_watermark = kPendingHigh / 2;
+    opts.overload.shed_fraction = kShedFraction;
+  }
+  opts.overload.max_recovery_attempts = max_recovery_attempts;
+  opts.overload.recovery_backoff_base_ms = 0;
+  auto engine = std::make_unique<SpStreamEngine>(std::move(opts));
+  engine->RegisterRole("analyst");
+  (void)engine->RegisterStream(BenchSchema());
+  (void)engine->RegisterSubject("bench", {"analyst"});
+  // Stateless pass-through: with a full grant, delivered rows == admitted
+  // data tuples, so goodput falls straight out of the result count.
+  *qid = engine->RegisterQuery("bench", "SELECT k, v FROM Feed").value();
+  return engine;
+}
+
+/// One offered-load rep: kTicks epochs, each offering `multiplier` x
+/// capacity as kChunk-sized pushes (an sp heads every chunk, so sps keep
+/// arriving while the tier is kShed). Returns elapsed seconds.
+double OneRep(SpStreamEngine* engine, QueryId qid, int multiplier,
+              size_t* delivered, size_t* sps_offered, int ticks = kTicks,
+              std::vector<double>* epoch_ms = nullptr) {
+  *delivered = 0;
+  *sps_offered = 0;
+  int64_t ts = 1;
+  TupleId tid = 0;
+  const int64_t start = NowUs();
+  for (int t = 0; t < ticks; ++t) {
+    for (int c = 0; c < multiplier * kChunksPerCapacity; ++c) {
+      std::vector<StreamElement> chunk;
+      chunk.reserve(kChunk + 1);
+      SecurityPunctuation sp(Pattern::Literal("Feed"), Pattern::Any(),
+                             Pattern::Any(), Pattern::Any(), Sign::kPositive,
+                             /*immutable=*/false, ts);
+      sp.SetResolvedRoles(RoleSet::FromIds({0}));
+      chunk.emplace_back(std::move(sp));
+      ++*sps_offered;
+      for (int i = 0; i < kChunk; ++i) {
+        chunk.emplace_back(
+            Tuple(0, tid, {Value(tid % 1024), Value(tid)}, ts));
+        ++tid;
+        ++ts;
+      }
+      (void)engine->Push("Feed", std::move(chunk));
+    }
+    const int64_t run_start = NowUs();
+    (void)engine->Run();
+    if (epoch_ms != nullptr) {
+      epoch_ms->push_back(static_cast<double>(NowUs() - run_start) / 1e3);
+    }
+    *delivered += engine->TakeResults(qid)->size();
+  }
+  return static_cast<double>(NowUs() - start) / 1e6;
+}
+
+/// p99 of the collected per-epoch Run() times (ms); with few samples this
+/// degrades to the max, which is the conservative bound anyway.
+double P99(std::vector<double> v) {
+  if (v.empty()) return 0;
+  std::sort(v.begin(), v.end());
+  const size_t idx =
+      std::min(v.size() - 1, static_cast<size_t>(0.99 * v.size()));
+  return v[idx];
+}
+
+struct LoadResult {
+  int multiplier = 1;
+  RepStats stats;
+  size_t offered = 0;
+  size_t delivered = 0;
+  double goodput = 0;        // delivered / offered
+  int64_t tuples_shed = 0;   // admission-shed data tuples (last rep)
+  int64_t sps_shed = 0;      // MUST stay 0: install-count delta vs oracle
+  double epoch_p99_ms = 0;   // per-epoch Run() wall time, last rep
+};
+
+struct SelfHealResult {
+  bool recovered = false;
+  double recovery_seconds = 0;
+  int64_t recoveries = 0;
+};
+
+std::string ToJson(const std::vector<LoadResult>& loads,
+                   const SelfHealResult& heal) {
+  std::ostringstream os;
+  os << "{\"bench\":\"overload\",\"config\":{\"ticks\":" << kTicks
+     << ",\"chunk\":" << kChunk
+     << ",\"capacity_tuples\":" << kPendingHigh
+     << ",\"shed_fraction\":" << kShedFraction << ",\"reps\":" << kReps
+     << "},\"results\":[";
+  for (size_t i = 0; i < loads.size(); ++i) {
+    const LoadResult& r = loads[i];
+    if (i) os << ",";
+    os << "{\"multiplier\":" << r.multiplier << ",";
+    AppendRepStatsJson(os, r.stats);
+    os << ",\"offered\":" << r.offered << ",\"delivered\":" << r.delivered
+       << ",\"goodput\":" << r.goodput
+       << ",\"epoch_p99_ms\":" << r.epoch_p99_ms
+       << ",\"tuples_shed\":" << r.tuples_shed
+       << ",\"sps_shed\":" << r.sps_shed << "}";
+  }
+  os << "],\"self_heal\":{\"recovered\":" << (heal.recovered ? "true" : "false")
+     << ",\"recovery_seconds\":" << heal.recovery_seconds
+     << ",\"recoveries\":" << heal.recoveries << "}}";
+  return os.str();
+}
+
+}  // namespace
+}  // namespace spstream::bench
+
+int main() {
+  using namespace spstream;
+  using namespace spstream::bench;
+  namespace fs = std::filesystem;
+
+  std::cout << "Overload resilience: goodput at 1x/2x/4x capacity ("
+            << kPendingHigh << " tuples/epoch) with shed_fraction="
+            << kShedFraction << ", plus the self-healing round trip\n";
+
+  std::vector<LoadResult> loads;
+  for (int multiplier : {1, 2, 4}) {
+    LoadResult r;
+    r.multiplier = multiplier;
+    size_t sps_offered = 0;
+    int64_t shed_installs = 0;
+    auto one_rep = [&] {
+      QueryId qid = 0;
+      auto engine = BuildEngine(/*shedding=*/true, &qid);
+      std::vector<double> epoch_ms;
+      const double sec = OneRep(engine.get(), qid, multiplier, &r.delivered,
+                                &sps_offered, kTicks, &epoch_ms);
+      r.epoch_p99_ms = P99(std::move(epoch_ms));
+      r.tuples_shed = engine->overload().tuples_shed();
+      shed_installs = engine->audit()->CountOf(AuditEventKind::kPolicyInstall);
+      return sec;
+    };
+    r.stats = MeasureReps(kReps, [&] { (void)one_rep(); }, one_rep);
+    r.offered = static_cast<size_t>(kTicks) * multiplier *
+                kChunksPerCapacity * kChunk;
+    r.goodput = static_cast<double>(r.delivered) /
+                static_cast<double>(r.offered);
+    // sp-losslessness oracle: a no-shed engine over the identical offered
+    // load must install the same number of policies; any delta would mean
+    // an sp was shed.
+    {
+      QueryId qid = 0;
+      auto oracle = BuildEngine(/*shedding=*/false, &qid);
+      size_t delivered = 0, sps = 0;
+      (void)OneRep(oracle.get(), qid, multiplier, &delivered, &sps);
+      r.sps_shed =
+          oracle->audit()->CountOf(AuditEventKind::kPolicyInstall) -
+          shed_installs;
+    }
+    loads.push_back(std::move(r));
+  }
+
+  // Self-healing: durable engine, seeded one-shot operator fault, watchdog
+  // off so the recovery lands deterministically at the next Run safe point.
+  SelfHealResult heal;
+  {
+    const std::string dir =
+        (fs::temp_directory_path() / "spstream_bench_overload").string();
+    std::error_code ec;
+    fs::remove_all(dir, ec);
+    QueryId qid = 0;
+    auto engine =
+        BuildEngine(/*shedding=*/false, &qid, dir, /*max_attempts=*/3);
+    size_t delivered = 0, sps = 0;
+    // Single epochs: with backoff 0 the very next Run recovers, so the
+    // quarantined window is exactly one epoch wide.
+    (void)OneRep(engine.get(), qid, 1, &delivered, &sps, /*ticks=*/1);
+    {
+      FaultSpec spec;
+      spec.trigger_on_hit = 1;
+      ScopedFault armed(fault::kOperatorProcess, spec);
+      (void)OneRep(engine.get(), qid, 1, &delivered, &sps, /*ticks=*/1);
+    }
+    const bool was_quarantined = engine->quarantined_count() == 1;
+    const int64_t t0 = NowUs();
+    (void)OneRep(engine.get(), qid, 1, &delivered, &sps, /*ticks=*/1);
+    heal.recovery_seconds = static_cast<double>(NowUs() - t0) / 1e6;
+    heal.recoveries =
+        engine->metrics()->CounterValue("engine.query_recoveries");
+    heal.recovered = was_quarantined && engine->quarantined_count() == 0 &&
+                     heal.recoveries >= 1;
+    fs::remove_all(dir, ec);
+  }
+
+  PrintHeader("Overload", "goodput under offered load");
+  PrintLegend("load",
+              {"sec(min)", "goodput", "p99(ms)", "shed", "sps_shed"});
+  for (const LoadResult& r : loads) {
+    PrintRow(std::to_string(r.multiplier) + "x",
+             {r.stats.Min(), r.goodput, r.epoch_p99_ms,
+              static_cast<double>(r.tuples_shed),
+              static_cast<double>(r.sps_shed)},
+             3);
+  }
+  std::cout << "self-heal: " << (heal.recovered ? "recovered" : "FAILED")
+            << " in " << heal.recovery_seconds << "s ("
+            << heal.recoveries << " recoveries)\n";
+
+  const std::string json = ToJson(loads, heal);
+  std::cout << "\nJSON: " << json << "\n";
+  if (const char* jdir = std::getenv("SPSTREAM_BENCH_JSON_DIR")) {
+    const std::string path = std::string(jdir) + "/BENCH_overload.json";
+    std::ofstream out(path);
+    out << json << "\n";
+    std::cout << "wrote " << path << "\n";
+  }
+  return 0;
+}

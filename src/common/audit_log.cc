@@ -15,6 +15,8 @@ const char* AuditEventKindName(AuditEventKind kind) {
     case AuditEventKind::kNetEviction: return "net_eviction";
     case AuditEventKind::kQueryQuarantine: return "query_quarantined";
     case AuditEventKind::kStorage: return "storage";
+    case AuditEventKind::kShed: return "shed";
+    case AuditEventKind::kRecovery: return "recovery";
   }
   return "unknown";
 }

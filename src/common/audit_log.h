@@ -26,8 +26,10 @@ enum class AuditEventKind : uint8_t {
   kNetEviction,        ///< the stream server evicted a connection
   kQueryQuarantine,    ///< a faulted shard/operator failed the query closed
   kStorage,            ///< durability lifecycle: commit, recovery, rebase
+  kShed,               ///< overload control dropped data tuples at admission
+  kRecovery,           ///< watchdog retried (or gave up on) a quarantine
 };
-constexpr int kNumAuditEventKinds = 7;
+constexpr int kNumAuditEventKinds = 9;
 
 const char* AuditEventKindName(AuditEventKind kind);
 

@@ -35,7 +35,8 @@ SpStreamEngine::SpStreamEngine(EngineOptions options)
     : options_(std::move(options)),
       audit_(options_.audit_log_capacity),
       exec_ctx_{&roles_, &streams_, &metrics_,
-                options_.enable_audit ? &audit_ : nullptr} {
+                options_.enable_audit ? &audit_ : nullptr},
+      overload_(OverloadOptions::FromEnv(options_.overload)) {
   // Tracing is process-global and sticky (the CLI's \trace and other
   // engines share the Tracer); an engine only ever switches it ON.
   if (options_.trace_sample_n > 0) {
@@ -44,6 +45,26 @@ SpStreamEngine::SpStreamEngine(EngineOptions options)
   if (options_.num_shards > 1) {
     shard_manager_ = std::make_unique<ShardManager>(
         options_.num_shards, options_.shard_queue_capacity);
+  }
+  if (overload_.options().watchdog && shard_manager_) {
+    // Liveness observer only: it samples the shards' progress counters
+    // (atomics — safe off-thread) and flags wedges; all recovery happens at
+    // the engine's own safe points.
+    watchdog_ = std::make_unique<Watchdog>(
+        overload_.options(),
+        [this] {
+          std::vector<ShardProgressSample> out;
+          for (size_t i = 0; i < shard_manager_->num_shards(); ++i) {
+            const ShardManager::ShardStats s = shard_manager_->Stats(i);
+            ShardProgressSample p;
+            p.progress = s.tuples_processed + s.sps_processed + s.epochs;
+            p.queue_depth = s.queue_depth;
+            out.push_back(p);
+          }
+          return out;
+        },
+        &metrics_);
+    watchdog_->Start();
   }
   if (!options_.data_dir.empty()) {
     storage::DurabilityManager::Options dopts;
@@ -80,6 +101,8 @@ SpStreamEngine::SpStreamEngine(EngineOptions options)
 SpStreamEngine::~SpStreamEngine() { Shutdown(); }
 
 void SpStreamEngine::Shutdown() {
+  // Join the watchdog before any member it probes can die.
+  if (watchdog_) watchdog_->Stop();
   if (!durability_) return;
   // Clean shutdown flushes the audit ring's tail into the WAL so the trail
   // survives the process (docs/DURABILITY.md).
@@ -158,6 +181,12 @@ spstream::MetricsSnapshot SpStreamEngine::SnapshotMetrics() {
   metrics_.SetGauge("engine.adaptations", adaptations_);
   metrics_.SetGauge("engine.queries_quarantined", quarantined_count_);
   metrics_.SetGauge("engine.audit_events", audit_.total());
+  metrics_.SetGauge("engine.overload_state",
+                    static_cast<int64_t>(overload_.state()));
+  metrics_.SetGauge("engine.shed_decisions", overload_.shed_decisions());
+  if (watchdog_) {
+    metrics_.SetGauge("engine.watchdog_running", watchdog_->running() ? 1 : 0);
+  }
   if (shard_manager_) {
     metrics_.SetGauge("engine.shards",
                       static_cast<int64_t>(shard_manager_->num_shards()));
@@ -368,6 +397,13 @@ Status SpStreamEngine::DeregisterQuery(QueryId id) {
         storage::WalRecordType::kQueryDeregister, std::move(payload)));
   }
   qs->active = false;
+  if (qs->quarantined) {
+    // The gauge tracks quarantined queries still registered; a deregistered
+    // one no longer needs operator attention. (The per-query flag stays set
+    // for history — IsQuarantined on a dead id still answers truthfully.)
+    --quarantined_count_;
+    metrics_.SetGauge("engine.queries_quarantined", quarantined_count_);
+  }
   ResetPipelines(qs);
   auto sub_it = subjects_.find(qs->subject);
   if (sub_it != subjects_.end()) sub_it->second.Unfreeze();
@@ -461,11 +497,35 @@ void RenderAnalyzedPlan(const LogicalNodePtr& node,
 Result<std::string> SpStreamEngine::ExplainQuery(QueryId id,
                                                  bool analyze) const {
   SP_ASSIGN_OR_RETURN(const QueryState* qs, FindQuery(id));
+  // Self-healing annotation (docs/ROBUSTNESS.md): how many watchdog-driven
+  // recovery attempts this query has consumed, and whether it is now beyond
+  // automatic help.
+  std::string recovery_note;
+  if (qs->quarantined) {
+    const int max_attempts = overload_.options().max_recovery_attempts;
+    if (qs->permanently_quarantined) {
+      recovery_note = "recovery: PERMANENT after " +
+                      std::to_string(qs->recovery_attempts) +
+                      " attempts (only \\recover can resurrect)\n";
+    } else if (max_attempts > 0) {
+      recovery_note = "recovery: attempt " +
+                      std::to_string(qs->recovery_attempts) + "/" +
+                      std::to_string(max_attempts) +
+                      (qs->next_recovery_nanos > 0 ? " scheduled (backoff)\n"
+                                                   : " pending\n");
+    }
+  } else if (qs->recovery_attempts > 0) {
+    recovery_note = "recovery: healthy after " +
+                    std::to_string(qs->recovery_attempts) +
+                    " attempt(s); state restored from the last durable "
+                    "checkpoint\n";
+  }
   if (!analyze) {
     std::string out = qs->plan->ToString();
     if (qs->quarantined) {
       out += "QUARANTINED (fail-closed): " + qs->quarantine_reason + "\n";
     }
+    out += recovery_note;
     return out;
   }
   if (!qs->pipeline && !qs->shards) {
@@ -474,13 +534,14 @@ Result<std::string> SpStreamEngine::ExplainQuery(QueryId id,
     out += qs->quarantined
                ? "QUARANTINED (fail-closed): " + qs->quarantine_reason + "\n"
                : "(analyze: query has not executed yet)\n";
+    out += recovery_note;
     if (qs->shard_decision_made && !qs->shard_fallback.empty()) {
       out += "sharding: fallback to single-threaded (" + qs->shard_fallback +
              ")\n";
     }
     return out;
   }
-  std::string out;
+  std::string out = recovery_note;
   if (!qs->shards) {
     // Single-threaded path (possibly a sharding fallback).
     const NodeMetricsMap solo = CollectNodeMetrics(qs->physical.node_ops);
@@ -545,6 +606,14 @@ Status SpStreamEngine::Push(const std::string& stream_name,
     return Status::NotFound("unknown stream: " + stream_name);
   }
   StreamState& state = it->second;
+  if (overload_.options().enable_shedding) {
+    // Admission control: sample pressure against this stream's backlog,
+    // then (in kShed only) drop data tuples. Sps/controls are never shed —
+    // the PolicyTracker state downstream must track every revocation even
+    // while the data plane degrades.
+    ObservePressure(state.pending.size());
+    (void)ShedAtAdmission(stream_name, &elements);
+  }
   for (StreamElement& e : elements) {
     // Sp-batch lifecycle: the admission decision is the first engine-side
     // span of the batch's trace (the wire decode span, when the push came
@@ -588,6 +657,10 @@ Status SpStreamEngine::Run() {
   TraceSpan run_span(TraceCat::kEngine, "engine.run", epoch_trace,
                      run_epoch_seq_, static_cast<int64_t>(queries_.size()));
   epoch_had_quarantine_ = false;
+  // Self-healing pass: quarantined queries whose backoff elapsed get one
+  // recovery attempt before this epoch executes (safe point — no pipeline
+  // is mid-flight).
+  MaybeRecoverQuarantined();
   // Flush analyzer tails so trailing sps are visible to the queries.
   for (auto& [name, state] : stream_states_) {
     (void)name;
@@ -671,7 +744,17 @@ Status SpStreamEngine::Run() {
   }
   SyncAnalyzerStats();
   metrics_.AddCounter("engine.run_epochs");
-  metrics_.RecordLatency("engine.run", NowNanos() - run_start);
+  last_epoch_nanos_ = NowNanos() - run_start;
+  metrics_.RecordLatency("engine.run", last_epoch_nanos_);
+  if (options_.epoch_deadline_ms > 0 &&
+      last_epoch_nanos_ > options_.epoch_deadline_ms * 1000000) {
+    metrics_.AddCounter("engine.epoch_deadline_misses");
+  }
+  // Re-sample pressure with the fresh epoch duration: a deadline miss holds
+  // the controller in kThrottle/kShed even though the backlog just drained.
+  if (overload_.options().enable_shedding || options_.epoch_deadline_ms > 0) {
+    ObservePressure(0);
+  }
   // The epoch trace stays published after the run: the serve loop delivers
   // this epoch's RESULT frames after the engine lock drops, and those sends
   // belong to this epoch's trace. The next Run() overwrites it.
@@ -742,7 +825,10 @@ Status SpStreamEngine::RunSolo(ExecContext* ctx, QueryState* qs) {
   // locally and merge into the registry in one lock hold.
   Histogram tuple_latency;
   std::string fault_reason;
-  const size_t batch_size = std::max<size_t>(1, options_.batch_size);
+  // Tier-1 degradation: under pressure the source poll batches shrink so
+  // sinks drain (and results deliver) at a finer granularity.
+  const size_t batch_size =
+      overload_.EffectiveBatchSize(std::max<size_t>(1, options_.batch_size));
   for (auto& [stream, src] : qs->physical.sources) {
     const std::vector<StreamElement>& pending =
         stream_states_.at(stream).pending;
@@ -895,7 +981,10 @@ Status SpStreamEngine::RunSharded(QueryState* qs) {
   // hash-partitioned on the leaf's shard key; sps and controls broadcast to
   // every shard so each clone's policy state converges identically.
   const size_t num_leaves = shards.physicals[0].sources.size();
-  const size_t batch_size = std::max<size_t>(1, options_.batch_size);
+  // Same tier-1 throttle as the solo path: smaller hand-off batches bound
+  // how much one shard queue can lag the barrier under pressure.
+  const size_t batch_size =
+      overload_.EffectiveBatchSize(std::max<size_t>(1, options_.batch_size));
   for (size_t leaf = 0; leaf < num_leaves; ++leaf) {
     const std::string& stream = shards.physicals[0].sources[leaf].first;
     const LeafShardKey key = shards.routing.leaf_keys[leaf];
@@ -978,10 +1067,40 @@ void SpStreamEngine::QuarantineQuery(QueryState* qs,
   qs->quarantined = true;
   qs->quarantine_reason = reason;
   ++quarantined_count_;
-  // A quarantine poisons the whole epoch's durable commit: the quarantined
-  // query's in-memory state diverged from what its last checkpoint says, so
-  // committing any query's delta this epoch could orphan shared progress.
-  epoch_had_quarantine_ = true;
+  // Commit poisoning is narrowed to the shared-plans mode: solo pipelines
+  // hold no cross-query state, this query's staged output was just
+  // discarded and CommitEpochDurable skips its deltas, so every other
+  // query's epoch commits normally. With share_plans ON the epoch-wide
+  // commit still aborts — staged shared-trunk output of sibling queries may
+  // depend on this query's group, and partial shared progress must not
+  // commit (Run() audits the engine-wide discard).
+  if (options_.share_plans) epoch_had_quarantine_ = true;
+  // Self-healing: schedule a backoff-gated recovery attempt, or give up
+  // permanently once the attempt budget is spent.
+  const OverloadOptions& oo = overload_.options();
+  if (oo.max_recovery_attempts > 0 && !qs->permanently_quarantined) {
+    if (qs->recovery_attempts >= oo.max_recovery_attempts) {
+      qs->permanently_quarantined = true;
+      qs->next_recovery_nanos = 0;
+      metrics_.AddCounter("engine.permanent_quarantines");
+      if (options_.enable_audit) {
+        AuditEvent e;
+        e.kind = AuditEventKind::kRecovery;
+        e.scope = QueryTag(qs);
+        e.roles = qs->roles.ToString(roles_);
+        e.detail = "permanently quarantined after " +
+                   std::to_string(qs->recovery_attempts) +
+                   " failed recovery attempts";
+        audit_.Append(std::move(e));
+      }
+    } else {
+      int64_t backoff_ms =
+          oo.recovery_backoff_base_ms *
+          (int64_t{1} << std::min(qs->recovery_attempts, 20));
+      backoff_ms = std::min(backoff_ms, oo.recovery_backoff_max_ms);
+      qs->next_recovery_nanos = NowNanos() + backoff_ms * 1000000;
+    }
+  }
   // Incident: snapshot the flight recorder with the epoch's trace id so the
   // spans leading into the quarantine survive for post-mortem.
   const TraceId quarantine_trace = Tracer::Global().epoch_trace();
@@ -1011,6 +1130,265 @@ void SpStreamEngine::QuarantineQuery(QueryState* qs,
 Result<bool> SpStreamEngine::IsQuarantined(QueryId id) const {
   SP_ASSIGN_OR_RETURN(const QueryState* qs, FindQuery(id));
   return qs->quarantined;
+}
+
+// ---- overload resilience (docs/ROBUSTNESS.md) ------------------------------
+
+void SpStreamEngine::ObservePressure(size_t pending_backlog) {
+  size_t max_queue = 0;
+  if (shard_manager_) {
+    for (size_t i = 0; i < shard_manager_->num_shards(); ++i) {
+      max_queue = std::max(max_queue, shard_manager_->Stats(i).queue_depth);
+    }
+  }
+  const OverloadState prev = overload_.state();
+  const OverloadState now = overload_.Observe(
+      pending_backlog, max_queue, last_epoch_nanos_, options_.epoch_deadline_ms);
+  metrics_.SetGauge("engine.overload_state", static_cast<int64_t>(now));
+  if (now != prev) {
+    metrics_.AddCounter("engine.overload_transitions");
+    // Tier changes are rare lifecycle events — always in the flight
+    // recorder, so an incident dump shows when degradation engaged.
+    Tracer::Global().FlightMark(TraceCat::kIncident, "overload_state",
+                                Tracer::Global().epoch_trace(),
+                                static_cast<int64_t>(now),
+                                static_cast<int64_t>(pending_backlog));
+  }
+}
+
+int SpStreamEngine::StreamPriority(const std::string& stream_name) const {
+  bool any = false;
+  int best = 0;
+  for (const QueryState& qs : queries_) {
+    if (!qs.active || qs.quarantined) continue;
+    if (std::find(qs.source_streams.begin(), qs.source_streams.end(),
+                  stream_name) == qs.source_streams.end()) {
+      continue;
+    }
+    best = any ? std::max(best, qs.priority) : qs.priority;
+    any = true;
+  }
+  return best;
+}
+
+int SpStreamEngine::TopPriority() const {
+  bool any = false;
+  int best = 0;
+  for (const QueryState& qs : queries_) {
+    if (!qs.active || qs.quarantined) continue;
+    best = any ? std::max(best, qs.priority) : qs.priority;
+    any = true;
+  }
+  return best;
+}
+
+size_t SpStreamEngine::ShedAtAdmission(const std::string& stream_name,
+                                       std::vector<StreamElement>* elements) {
+  if (overload_.state() != OverloadState::kShed) return 0;
+  const int stream_pri = StreamPriority(stream_name);
+  const int top_pri = TopPriority();
+  size_t shed = 0;
+  elements->erase(
+      std::remove_if(elements->begin(), elements->end(),
+                     [&](const StreamElement& e) {
+                       // The invariant: only data tuples are ever shed.
+                       // Sps, control boundaries and revocations pass
+                       // unconditionally, so downstream policy state never
+                       // goes stale-permissive under load.
+                       if (!e.is_tuple()) return false;
+                       if (!overload_.ShouldShed(stream_pri, top_pri)) {
+                         return false;
+                       }
+                       ++shed;
+                       return true;
+                     }),
+      elements->end());
+  if (shed == 0) return 0;
+  metrics_.AddCounter("engine.tuples_shed", static_cast<int64_t>(shed));
+  Tracer::Global().FlightMark(TraceCat::kIncident, "overload_shed",
+                              Tracer::Global().epoch_trace(),
+                              static_cast<int64_t>(shed));
+  if (options_.enable_audit) {
+    // One event per Push call, naming the queries whose input just thinned:
+    // a shed is an overload decision, never confusable with a policy
+    // denial (those stay AuditEventKind::kDenial, per tuple).
+    AuditEvent e;
+    e.kind = AuditEventKind::kShed;
+    e.stream = stream_name;
+    std::string scope;
+    for (const QueryState& qs : queries_) {
+      if (!qs.active || qs.quarantined) continue;
+      if (std::find(qs.source_streams.begin(), qs.source_streams.end(),
+                    stream_name) == qs.source_streams.end()) {
+        continue;
+      }
+      if (!scope.empty()) scope += ",";
+      scope += QueryTag(&qs);
+    }
+    e.scope = scope.empty() ? "engine" : scope;
+    e.detail =
+        "overload shed " + std::to_string(shed) +
+        " data tuples at admission (policy=" +
+        (overload_.options().shed_policy == ShedPolicy::kPriority ? "priority"
+                                                                  : "random") +
+        "); sps admitted losslessly";
+    audit_.Append(std::move(e));
+  }
+  return shed;
+}
+
+Status SpStreamEngine::SetQueryPriority(QueryId id, int priority) {
+  SP_ASSIGN_OR_RETURN(QueryState * qs, FindQuery(id));
+  qs->priority = priority;
+  return Status::OK();
+}
+
+void SpStreamEngine::MaybeRecoverQuarantined() {
+  if (overload_.options().max_recovery_attempts <= 0) return;
+  const int64_t now = NowNanos();
+  for (QueryState& qs : queries_) {
+    if (!qs.active || !qs.quarantined || qs.permanently_quarantined) continue;
+    if (qs.next_recovery_nanos == 0 || now < qs.next_recovery_nanos) continue;
+    // A failed attempt re-arms its own backoff (or goes permanent) inside
+    // RecoverQueryState; the engine keeps serving either way.
+    (void)RecoverQueryState(&qs, /*manual=*/false);
+  }
+}
+
+Status SpStreamEngine::RecoverQuery(QueryId id) {
+  SP_ASSIGN_OR_RETURN(QueryState * qs, FindQuery(id));
+  if (!qs->active) {
+    return Status::InvalidArgument("query is deregistered");
+  }
+  return RecoverQueryState(qs, /*manual=*/true);
+}
+
+Status SpStreamEngine::RecoverQueryState(QueryState* qs, bool manual) {
+  const std::string tag = QueryTag(qs);
+  if (!qs->quarantined) {
+    return Status::InvalidArgument("query " + tag + " is not quarantined");
+  }
+  if (!manual) ++qs->recovery_attempts;
+  qs->next_recovery_nanos = 0;
+  const QueryId qid = static_cast<QueryId>(qs - queries_.data());
+  TraceSpan span(TraceCat::kEngine, "engine.recover",
+                 Tracer::Global().epoch_trace(), qid, qs->recovery_attempts);
+
+  auto fail = [&](Status st) {
+    // Don't leave a half-built pipeline behind; the query stays
+    // quarantined (fail closed) and the attempt is on the record.
+    ResetPipelines(qs);
+    metrics_.AddCounter("engine.recovery_failures");
+    const OverloadOptions& oo = overload_.options();
+    if (!manual && qs->recovery_attempts >= oo.max_recovery_attempts) {
+      qs->permanently_quarantined = true;
+      metrics_.AddCounter("engine.permanent_quarantines");
+    }
+    if (options_.enable_audit) {
+      AuditEvent e;
+      e.kind = AuditEventKind::kRecovery;
+      e.scope = tag;
+      e.roles = qs->roles.ToString(roles_);
+      e.detail = (manual ? std::string("manual recovery")
+                         : "recovery attempt " +
+                               std::to_string(qs->recovery_attempts)) +
+                 " failed: " + st.ToString() +
+                 (qs->permanently_quarantined ? " (now permanent)" : "");
+      e.trace_id = Tracer::Global().epoch_trace();
+      audit_.Append(std::move(e));
+    }
+    return st;
+  };
+
+  // 1. Rebuild the pipelines torn down at quarantine time. Fresh operators
+  //    start with deny-all policy trackers — fail closed by construction.
+  if (shard_manager_) {
+    Status st = EnsureShardDecision(&exec_ctx_, qs);
+    if (!st.ok()) return fail(st);
+  }
+  if (!qs->shards) {
+    Status st = EnsurePipeline(&exec_ctx_, qs);
+    if (!st.ok()) return fail(st);
+  }
+
+  // 2. Restore operator state from the last durable checkpoint — the same
+  //    delta chain a process restart would replay, filtered to this query —
+  //    so windows/aggregates resume where the last commit left them instead
+  //    of refilling. SS operators restore FAIL-CLOSED by contract (deny-all
+  //    at the checkpointed ts until a fresh sp-batch arrives).
+  size_t restored = 0;
+  if (durability_) {
+    auto blobs = durability_->ReadQueryCheckpoint(qid);
+    if (!blobs.ok()) return fail(blobs.status());
+    for (const storage::StateEntry& e : *blobs) {
+      Pipeline* pipeline = nullptr;
+      if (qs->shards) {
+        if (e.key.shard >= qs->shards->pipelines.size()) {
+          return fail(Status::Internal("checkpoint names unknown shard " +
+                                       std::to_string(e.key.shard)));
+        }
+        pipeline = qs->shards->pipelines[e.key.shard].get();
+      } else {
+        if (e.key.shard != 0 || !qs->pipeline) {
+          return fail(Status::Internal(
+              "checkpoint/shard-decision mismatch during recovery"));
+        }
+        pipeline = qs->pipeline.get();
+      }
+      const auto& ops = pipeline->operators();
+      if (e.key.op_index >= ops.size()) {
+        return fail(Status::Internal("checkpoint names unknown operator " +
+                                     std::to_string(e.key.op_index)));
+      }
+      Operator* op = ops[e.key.op_index].get();
+      if (!op->HasDurableState() || op->label() != e.label) {
+        return fail(Status::Internal(
+            "checkpoint/plan mismatch: expected operator '" + e.label +
+            "', found '" + op->label() + "'"));
+      }
+      Status st = op->RestoreState(e.blob);
+      if (!st.ok()) return fail(st);
+      ++restored;
+    }
+    auto finish = [](Pipeline* pipeline) {
+      for (const auto& op : pipeline->operators()) {
+        if (op->HasDurableState()) op->OnRestoreComplete();
+      }
+    };
+    if (qs->shards) {
+      for (const auto& pipeline : qs->shards->pipelines) finish(pipeline.get());
+    } else if (qs->pipeline) {
+      finish(qs->pipeline.get());
+    }
+  }
+
+  // 3. Back in service. A manual recover also clears the permanent flag
+  //    (operator override).
+  qs->quarantined = false;
+  qs->quarantine_reason.clear();
+  qs->permanently_quarantined = false;
+  --quarantined_count_;
+  metrics_.SetGauge("engine.queries_quarantined", quarantined_count_);
+  metrics_.AddCounter("engine.query_recoveries");
+  Tracer::Global().FlightMark(TraceCat::kIncident, "query_recovered",
+                              Tracer::Global().epoch_trace(), qid,
+                              qs->recovery_attempts);
+  if (options_.enable_audit) {
+    AuditEvent e;
+    e.kind = AuditEventKind::kRecovery;
+    e.scope = tag;
+    e.roles = qs->roles.ToString(roles_);
+    e.detail = (manual ? std::string("manual recovery")
+                       : "recovery attempt " +
+                             std::to_string(qs->recovery_attempts)) +
+               " succeeded (" + std::to_string(restored) +
+               " state blobs restored); policy trackers fail closed until "
+               "the next sp-batch";
+    e.trace_id = Tracer::Global().epoch_trace();
+    audit_.Append(std::move(e));
+  }
+  if (durability_) (void)durability_->FlushAuditTail(audit_);
+  return Status::OK();
 }
 
 Status SpStreamEngine::SubscribeResults(

@@ -17,6 +17,7 @@
 #include "common/audit_log.h"
 #include "common/metrics_registry.h"
 #include "common/status.h"
+#include "engine/overload.h"
 #include "engine/shard_manager.h"
 #include "exec/exec_context.h"
 #include "exec/plan_builder.h"
@@ -100,6 +101,16 @@ struct EngineOptions {
   std::string data_dir;
   /// Durable commits between WAL compactions (full-snapshot rebases).
   size_t checkpoint_rebase_every = 16;
+  /// Soft wall-clock budget for one Run() epoch, in milliseconds. A
+  /// finished epoch that exceeded it saturates the overload controller's
+  /// deadline signal (state escalates to kShed), so the next epoch admits
+  /// less. 0 = no deadline.
+  int64_t epoch_deadline_ms = 0;
+  /// Overload resilience: admission-shedding watermarks and policy, the
+  /// shard watchdog, and quarantine self-healing (docs/ROBUSTNESS.md,
+  /// "Overload and self-healing"). The invariant is *shed data, never shed
+  /// security*: sps/controls are always admitted losslessly.
+  OverloadOptions overload;
 };
 
 /// \brief The integrated stream engine.
@@ -177,6 +188,27 @@ class SpStreamEngine {
   /// use TakeResults to keep memory bounded, or rely on the callback only
   /// and Drain).
   Status SubscribeResults(QueryId id, std::function<void(const Tuple&)> cb);
+
+  // ---- overload / self-healing (docs/ROBUSTNESS.md) ---------------------
+  /// \brief Current degradation tier. Safe to read from other threads (the
+  /// net serve loop caches it for shed-before-decode).
+  OverloadState overload_state() const { return overload_.state(); }
+  /// \brief The controller (watermarks, shed counters) for introspection.
+  const OverloadController& overload() const { return overload_; }
+
+  /// \brief Shed priority of a query (ShedPolicy::kPriority protects the
+  /// streams feeding the highest-priority queries; default 0). Streams
+  /// consumed by a top-priority query are never shed under that policy.
+  Status SetQueryPriority(QueryId id, int priority);
+
+  /// \brief Retry a quarantined query NOW (the CLI's `\recover`): rebuild
+  /// its pipelines, restore operator state from the last durable checkpoint
+  /// when durability is on, and re-arm its policy trackers fail-closed so
+  /// nothing delivers until a fresh sp-batch authorizes it. A manual call
+  /// is always allowed — including on a permanently-quarantined query
+  /// (operator override) — and does not count against
+  /// OverloadOptions::max_recovery_attempts.
+  Status RecoverQuery(QueryId id);
 
   // ---- observability ----------------------------------------------------
   /// \brief Engine-wide metrics: per-query/per-operator counters and
@@ -281,6 +313,17 @@ class SpStreamEngine {
     // accumulated stay readable.
     bool quarantined = false;
     std::string quarantine_reason;
+    // Self-healing (docs/ROBUSTNESS.md): with max_recovery_attempts > 0 the
+    // engine retries a quarantined query at the top of Run() once its
+    // capped-exponential backoff elapses, restoring operator state from the
+    // last durable checkpoint and re-arming policy trackers fail-closed.
+    // After max_recovery_attempts re-quarantines it goes dark permanently
+    // (only a manual RecoverQuery can resurrect it).
+    int recovery_attempts = 0;
+    int64_t next_recovery_nanos = 0;  // backoff gate; 0 = no retry scheduled
+    bool permanently_quarantined = false;
+    // ShedPolicy::kPriority protection rank (SetQueryPriority).
+    int priority = 0;
   };
 
   /// Execute one group of share-compatible queries through a shared trunk.
@@ -311,6 +354,25 @@ class SpStreamEngine {
   /// already drained the shard barrier), audit + count it, and stop
   /// executing it. The engine itself keeps running.
   void QuarantineQuery(QueryState* qs, const std::string& reason);
+  /// Self-healing pass at the top of Run(): retry quarantined queries whose
+  /// backoff elapsed; mark the attempts-exhausted ones permanent.
+  void MaybeRecoverQuarantined();
+  /// One recovery attempt for `qs` (shared by the backoff loop and the
+  /// manual RecoverQuery). Rebuilds pipelines, restores the last durable
+  /// checkpoint, re-arms fail-closed, audits the outcome.
+  Status RecoverQueryState(QueryState* qs, bool manual);
+  /// Admission-time load shedding: returns the number of data tuples
+  /// dropped from `elements` (sps/controls are never touched). Audits and
+  /// meters the shed when non-zero.
+  size_t ShedAtAdmission(const std::string& stream_name,
+                         std::vector<StreamElement>* elements);
+  /// Feed the overload controller one pressure sample and publish the
+  /// state gauge.
+  void ObservePressure(size_t pending_backlog);
+  /// Highest shed priority among active queries consuming `stream` (and
+  /// the highest across all active queries, for the priority shed policy).
+  int StreamPriority(const std::string& stream_name) const;
+  int TopPriority() const;
   /// Registry key of one shard's pipeline clone ("q0.shard1").
   static std::string ShardTag(const std::string& query_tag, size_t shard);
   /// Adaptive mode: re-optimize plans against measured statistics.
@@ -355,9 +417,14 @@ class SpStreamEngine {
   /// True while the constructor replays WAL catalog records — suppresses
   /// re-logging the mutations being replayed.
   bool replaying_ = false;
-  /// Any query quarantined during the current Run() epoch: the whole
-  /// epoch's durable commit is aborted (partial state must not commit) and
-  /// staged output is discarded; the restart heals the quarantine.
+  /// A quarantine poisoned the current Run() epoch's durable commit. With
+  /// share_plans OFF this stays false on a quarantine: solo pipelines hold
+  /// no cross-query state, the quarantined query's staged output is
+  /// discarded by QuarantineQuery itself and its deltas are skipped by
+  /// CommitEpochDurable, so every other query's epoch commits normally.
+  /// With share_plans ON a quarantine still aborts the engine-wide commit —
+  /// shared-trunk output staged for sibling queries may depend on the
+  /// faulted query's group.
   bool epoch_had_quarantine_ = false;
   std::vector<storage::DurableSession> recovered_sessions_;
   uint64_t recovered_next_session_id_ = 1;
@@ -365,6 +432,14 @@ class SpStreamEngine {
   /// queries_ so destruction joins the workers BEFORE the pipelines they
   /// feed are torn down.
   std::unique_ptr<ShardManager> shard_manager_;
+  /// Overload resilience (docs/ROBUSTNESS.md): pressure state machine fed
+  /// by Push/Run, and the optional shard-liveness observer thread. The
+  /// watchdog probes shard_manager_, so it is declared after it (destroyed
+  /// first) and additionally stopped in Shutdown().
+  OverloadController overload_;
+  std::unique_ptr<Watchdog> watchdog_;
+  /// Wall-clock of the last completed Run() epoch (the deadline signal).
+  int64_t last_epoch_nanos_ = 0;
 };
 
 }  // namespace spstream

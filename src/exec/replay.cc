@@ -47,11 +47,16 @@ double ReplayWithLatency(Pipeline* pipeline,
   bool progressed = true;
   while (progressed) {
     progressed = false;
+    // Re-read the throttle each round: the controller's tier can change
+    // between rounds as pressure samples arrive.
+    const size_t batch =
+        options.overload
+            ? options.overload->EffectiveBatchSize(options.batch_per_poll)
+            : options.batch_per_poll;
     for (SourceOperator* src : sources) {
       if (src->exhausted()) continue;
       progressed = true;
-      for (size_t i = 0; i < options.batch_per_poll && !src->exhausted();
-           ++i) {
+      for (size_t i = 0; i < batch && !src->exhausted(); ++i) {
         if (gap_nanos > 0) {
           // Busy-wait to the simulated arrival instant (sub-ms gaps; a
           // sleep would be far coarser than the latencies measured).

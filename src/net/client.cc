@@ -27,6 +27,8 @@ StreamClient::StreamClient(StreamClient&& other) noexcept
       credits_(other.credits_),
       credit_window_(other.credit_window_),
       credit_stalls_(other.credit_stalls_),
+      shed_notices_(other.shed_notices_),
+      tuples_shed_reported_(other.tuples_shed_reported_),
       streams_(std::move(other.streams_)),
       results_(std::move(other.results_)),
       host_(std::move(other.host_)),
@@ -52,6 +54,8 @@ StreamClient& StreamClient::operator=(StreamClient&& other) noexcept {
   credits_ = other.credits_;
   credit_window_ = other.credit_window_;
   credit_stalls_ = other.credit_stalls_;
+  shed_notices_ = other.shed_notices_;
+  tuples_shed_reported_ = other.tuples_shed_reported_;
   streams_ = std::move(other.streams_);
   results_ = std::move(other.results_);
   host_ = std::move(other.host_);
@@ -222,6 +226,18 @@ void StreamClient::BankFrame(const Frame& frame) {
     if (n.ok()) credits_ += *n;
     return;
   }
+  if (frame.type == FrameType::kShedNotice) {
+    // The overloaded server discarded a whole pushed frame at admission
+    // (data tuples only — sps are never shed). Informational: meter it so
+    // producers can distinguish "shed under overload" from "denied by
+    // policy"; the credit refund rides a separate CREDIT frame.
+    Result<ShedNoticePayload> sn = DecodeShedNotice(frame.payload);
+    if (sn.ok()) {
+      ++shed_notices_;
+      tuples_shed_reported_ += static_cast<int64_t>(sn->dropped);
+    }
+    return;
+  }
   if (frame.type == FrameType::kResult) {
     Result<ResultPayload> rp = DecodeResult(frame.payload);
     if (!rp.ok()) return;  // corrupt result frame: drop, not our request
@@ -234,7 +250,8 @@ Result<Frame> StreamClient::PumpOne() {
   for (;;) {
     SP_ASSIGN_OR_RETURN(Frame frame, ReadFrame(fd_));
     if (frame.type == FrameType::kCredit ||
-        frame.type == FrameType::kResult) {
+        frame.type == FrameType::kResult ||
+        frame.type == FrameType::kShedNotice) {
       BankFrame(frame);
       continue;
     }

@@ -134,6 +134,11 @@ class StreamClient {
   uint64_t credits() const { return credits_; }
   /// \brief Times Push() had to block waiting for the window to refill.
   int64_t credit_stalls() const { return credit_stalls_; }
+  /// \brief SHED_NOTICE frames received: pushes the overloaded server
+  /// discarded whole at admission (data only; sps are never shed).
+  int64_t shed_notices() const { return shed_notices_; }
+  /// \brief Total data tuples those notices reported dropped.
+  int64_t tuples_shed_reported() const { return tuples_shed_reported_; }
   /// \brief Protocol version the server announced in HELLO_ACK (0 before
   /// the handshake). Trace context rides on PUSH only when this is >= 3.
   uint32_t peer_version() const { return peer_version_; }
@@ -166,6 +171,8 @@ class StreamClient {
   uint64_t credits_ = 0;
   uint64_t credit_window_ = 0;  // initial grant == hard batch ceiling
   int64_t credit_stalls_ = 0;
+  int64_t shed_notices_ = 0;
+  int64_t tuples_shed_reported_ = 0;
   std::map<std::string, std::pair<StreamId, SchemaPtr>> streams_;
   std::unordered_map<uint64_t, std::vector<Tuple>> results_;
   // Reconnect state: the dial target, the resumable session identity, and

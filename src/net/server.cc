@@ -116,6 +116,10 @@ size_t StreamServer::session_count() const {
   return sessions_.size();
 }
 
+int64_t StreamServer::frames_shed() const {
+  return frames_shed_.load(std::memory_order_relaxed);
+}
+
 void StreamServer::ReleaseSessionLocked(Connection* conn, bool preserve) {
   if (conn->session_id == 0) return;
   auto it = sessions_.find(conn->session_id);
@@ -424,6 +428,36 @@ Status StreamServer::HandleFrame(Connection* conn, const Frame& frame) {
 }
 
 Status StreamServer::HandlePush(Connection* conn, std::string_view payload) {
+  // Shed-before-decode: while the engine is in kShed, pure-data PUSH frames
+  // are discarded wholesale before a single Tuple is materialized. The scan
+  // walks kind bytes + varint skips only, and any frame carrying an sp or a
+  // control boundary is exempt — *shed data, never shed security*. The
+  // frame never consumes server-side credits (it never reaches the engine,
+  // so no epoch would replenish them); the companion CREDIT frame makes the
+  // client's window whole again.
+  const auto shed_state =
+      static_cast<OverloadState>(overload_state_.load(std::memory_order_relaxed));
+  if (shed_state == OverloadState::kShed) {
+    Result<PushScan> scan = ScanPush(payload);
+    if (scan.ok() && !scan->carries_security) {
+      frames_shed_.fetch_add(1, std::memory_order_relaxed);
+      service_->metrics()->AddCounter("net.frames_shed");
+      service_->metrics()->AddCounter(
+          "net.tuples_shed", static_cast<int64_t>(scan->element_count));
+      ShedNoticePayload notice;
+      notice.dropped = scan->element_count;
+      notice.state = static_cast<uint8_t>(shed_state);
+      std::string np;
+      EncodeShedNotice(notice, &np);
+      SP_RETURN_NOT_OK(SendFrame(conn, FrameType::kShedNotice, np));
+      std::string cp;
+      PutVarint(scan->element_count, &cp);
+      return SendFrame(conn, FrameType::kCredit, cp);
+    }
+    // A scan error falls through to the full decoder for its proper
+    // malformed-frame error path; a security-carrying frame is admitted
+    // losslessly below.
+  }
   Result<PushPayload> push = DecodePush(payload);
   if (!push.ok()) return push.status();  // malformed data plane: disconnect
   const uint64_t cost = push->elements.size();
@@ -507,6 +541,10 @@ void StreamServer::ServeLoop() {
   while (service_->WaitWork()) {
     std::vector<Outbound> out;
     const uint64_t epoch = service_->RunEpoch([&](SpStreamEngine* engine) {
+      // Cache the overload tier for the reader threads' shed-before-decode
+      // fast path (the controller itself is engine-lock territory).
+      overload_state_.store(static_cast<uint8_t>(engine->overload_state()),
+                            std::memory_order_relaxed);
       // Still under the engine lock: drain each subscriber's results and
       // snapshot credit consumption, atomically with the epoch.
       std::lock_guard<std::mutex> lock(conns_mu_);

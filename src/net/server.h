@@ -90,6 +90,9 @@ class StreamServer {
   /// \brief Sessions currently tracked (attached + detached).
   size_t session_count() const;
 
+  /// \brief PUSH frames discarded whole by shed-before-decode.
+  int64_t frames_shed() const;
+
  private:
   struct Connection {
     int id = 0;
@@ -202,6 +205,13 @@ class StreamServer {
   Rng session_rng_;
   int64_t sessions_resumed_ = 0;
   int64_t sessions_expired_ = 0;
+
+  /// Engine overload tier, cached by the serve loop after every epoch (the
+  /// controller is only consulted under the engine lock; reader threads
+  /// need a lock-free read for shed-before-decode). Staleness is bounded by
+  /// one epoch and errs on whatever tier the last epoch saw.
+  std::atomic<uint8_t> overload_state_{0};
+  std::atomic<int64_t> frames_shed_{0};
 };
 
 }  // namespace spstream

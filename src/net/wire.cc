@@ -36,7 +36,83 @@ Result<uint64_t> GetCount(std::string_view data, size_t* offset,
   return count;
 }
 
+// ---- allocation-free skips for ScanPush ------------------------------------
+// Mirror the Decode* walkers byte-for-byte but never materialize anything.
+
+Status SkipLengthPrefixed(std::string_view data, size_t* offset,
+                          const char* what) {
+  SP_ASSIGN_OR_RETURN(uint64_t len, GetVarint(data, offset));
+  if (len > data.size() - *offset) return Truncated(what);
+  *offset += len;
+  return Status::OK();
+}
+
+Status SkipValue(std::string_view data, size_t* offset) {
+  SP_ASSIGN_OR_RETURN(uint8_t tag, GetByte(data, offset, "value tag"));
+  switch (static_cast<ValueType>(tag)) {
+    case ValueType::kNull:
+      return Status::OK();
+    case ValueType::kInt64:
+      return GetVarint(data, offset).status();
+    case ValueType::kDouble:
+      if (*offset + 8 > data.size()) return Truncated("double value");
+      *offset += 8;
+      return Status::OK();
+    case ValueType::kString:
+      return SkipLengthPrefixed(data, offset, "string value");
+    case ValueType::kBool:
+      return GetByte(data, offset, "bool value").status();
+  }
+  return Status::ParseError("wire: unknown value tag " + std::to_string(tag));
+}
+
+Status SkipTuple(std::string_view data, size_t* offset) {
+  SP_RETURN_NOT_OK(GetVarint(data, offset).status());  // sid
+  SP_RETURN_NOT_OK(GetVarint(data, offset).status());  // tid
+  SP_RETURN_NOT_OK(GetVarint(data, offset).status());  // ts
+  SP_ASSIGN_OR_RETURN(uint64_t arity,
+                      GetCount(data, offset, /*min_item_bytes=*/1, "value"));
+  for (uint64_t i = 0; i < arity; ++i) {
+    SP_RETURN_NOT_OK(SkipValue(data, offset));
+  }
+  return Status::OK();
+}
+
 }  // namespace
+
+Result<PushScan> ScanPush(std::string_view payload) {
+  size_t off = 0;
+  PushScan scan;
+  SP_RETURN_NOT_OK(GetVarint(payload, &off).status());  // stream id
+  SP_ASSIGN_OR_RETURN(
+      scan.element_count,
+      GetCount(payload, &off, /*min_item_bytes=*/1, "element"));
+  for (uint64_t i = 0; i < scan.element_count; ++i) {
+    SP_ASSIGN_OR_RETURN(uint8_t kind, GetByte(payload, &off, "element kind"));
+    if (kind != kElemTuple) {
+      // First sp or control boundary: this frame carries security content
+      // and is exempt from shedding. No need to look further (or to
+      // validate the rest — the full decoder will).
+      scan.carries_security = true;
+      return scan;
+    }
+    SP_RETURN_NOT_OK(SkipTuple(payload, &off));
+  }
+  return scan;
+}
+
+void EncodeShedNotice(const ShedNoticePayload& p, std::string* out) {
+  PutVarint(p.dropped, out);
+  out->push_back(static_cast<char>(p.state));
+}
+
+Result<ShedNoticePayload> DecodeShedNotice(std::string_view payload) {
+  size_t off = 0;
+  ShedNoticePayload p;
+  SP_ASSIGN_OR_RETURN(p.dropped, GetVarint(payload, &off));
+  SP_ASSIGN_OR_RETURN(p.state, GetByte(payload, &off, "shed state"));
+  return p;
+}
 
 const char* FrameTypeName(FrameType type) {
   switch (type) {
@@ -57,6 +133,7 @@ const char* FrameTypeName(FrameType type) {
     case FrameType::kError: return "ERROR";
     case FrameType::kPing: return "PING";
     case FrameType::kPong: return "PONG";
+    case FrameType::kShedNotice: return "SHED_NOTICE";
   }
   return "UNKNOWN";
 }

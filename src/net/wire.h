@@ -65,6 +65,9 @@ enum class FrameType : uint8_t {
   // liveness (v2)
   kPing = 15,   ///< c->s: heartbeat probe (also resets the idle timer)
   kPong = 16,   ///< s->c: heartbeat reply, payload echoed
+  // overload (v3; tolerated-unknown by older clients is NOT assumed, the
+  // server only emits it after negotiating v3)
+  kShedNotice = 17,  ///< s->c: data tuples shed at admission + current tier
 };
 
 const char* FrameTypeName(FrameType type);
@@ -181,6 +184,38 @@ Result<ResultPayload> DecodeResult(std::string_view payload);
 std::vector<std::string> EncodeResultChunks(
     uint64_t query, const std::vector<Tuple>& tuples,
     size_t max_payload_bytes = kMaxFrameBytes - 1);
+
+/// \brief What a cheap PUSH-payload scan learned without building a single
+/// StreamElement (see ScanPush).
+struct PushScan {
+  /// True when the payload contains at least one security punctuation or
+  /// control boundary. Such frames must NEVER be shed before decode: dropping
+  /// an sp would leave every downstream PolicyTracker stale.
+  bool carries_security = false;
+  uint64_t element_count = 0;  ///< total elements in the frame
+};
+
+/// \brief Scan a kPush payload for security content without decoding it.
+///
+/// This is the server's shed-before-decode fast path: while the engine is in
+/// OverloadState::kShed, pure-data PUSH frames are dropped wholesale before
+/// any Tuple is materialized — the scan only walks varint/length skips over
+/// tuple bodies and early-returns `carries_security = true` at the first
+/// sp/control kind byte (sp bodies are never parsed at all). Bounds-checked
+/// like the real decoder: malformed payloads yield a Status and the caller
+/// falls through to the full decoder for a proper error reply.
+Result<PushScan> ScanPush(std::string_view payload);
+
+/// \brief s->c notice that the server shed an entire PUSH frame at
+/// admission: how many data tuples were dropped and the overload tier
+/// (OverloadState as a byte) that caused it. Informational — the client
+/// meters it (SpStreamClient::tuples_shed_reported) but needs no reply.
+struct ShedNoticePayload {
+  uint64_t dropped = 0;  ///< data tuples in the discarded frame
+  uint8_t state = 0;     ///< OverloadState at shed time (2 = kShed)
+};
+void EncodeShedNotice(const ShedNoticePayload& p, std::string* out);
+Result<ShedNoticePayload> DecodeShedNotice(std::string_view payload);
 
 struct ErrorPayload {
   StatusCode code = StatusCode::kInternal;

@@ -374,6 +374,41 @@ uint64_t DurabilityManager::committed_epoch() const {
   return have_manifest_ ? manifest_.meta.epoch : 0;
 }
 
+Result<std::vector<StateEntry>> DurabilityManager::ReadQueryCheckpoint(
+    uint32_t query) {
+  std::lock_guard<std::mutex> lock(mu_);
+  // Same walk as Recover(): the manifest's delta chain, oldest first, so a
+  // caller applying the entries in order ends at the last committed epoch.
+  // Only files the current manifest references are read — an in-flight or
+  // failed commit can never leak into a recovery.
+  std::vector<StateEntry> out;
+  for (uint64_t epoch : manifest_.delta_epochs) {
+    SP_ASSIGN_OR_RETURN(std::string raw, disk_->ReadFile(DeltaName(epoch)));
+    SP_ASSIGN_OR_RETURN(std::string_view body, CheckCrcFrame(raw, "delta"));
+    if (body.substr(0, 4) != kDeltaMagic) {
+      return Status::Internal("delta: bad magic");
+    }
+    size_t off = 4;
+    SP_RETURN_NOT_OK(GetVarint(body, &off).status());  // full flag
+    SP_ASSIGN_OR_RETURN(uint64_t delta_epoch, GetVarint(body, &off));
+    if (delta_epoch != epoch) return Status::Internal("delta: epoch mismatch");
+    SP_ASSIGN_OR_RETURN(uint64_t n, GetVarint(body, &off));
+    if (n > kMaxDeltaEntries) return Status::Internal("delta: entry count");
+    for (uint64_t i = 0; i < n; ++i) {
+      StateEntry entry;
+      SP_ASSIGN_OR_RETURN(uint64_t q, GetVarint(body, &off));
+      SP_ASSIGN_OR_RETURN(uint64_t shard, GetVarint(body, &off));
+      SP_ASSIGN_OR_RETURN(uint64_t op, GetVarint(body, &off));
+      entry.key = {static_cast<uint32_t>(q), static_cast<uint32_t>(shard),
+                   static_cast<uint32_t>(op)};
+      SP_ASSIGN_OR_RETURN(entry.label, GetLengthPrefixed(body, &off));
+      SP_ASSIGN_OR_RETURN(entry.blob, GetLengthPrefixed(body, &off));
+      if (entry.key.query == query) out.push_back(std::move(entry));
+    }
+  }
+  return out;
+}
+
 Status DurabilityManager::CommitEpoch(const EpochMeta& meta, bool full,
                                       const std::vector<StateEntry>& entries) {
   std::lock_guard<std::mutex> lock(mu_);

@@ -138,6 +138,13 @@ class DurabilityManager {
 
   uint64_t committed_epoch() const;
 
+  /// \brief Re-read the committed delta chain and return one query's state
+  /// entries, oldest first — the same blobs a process restart would replay,
+  /// filtered to `query`. Used by in-process quarantine recovery
+  /// (SpStreamEngine::RecoverQuery) to rewind a single query to its last
+  /// durable checkpoint without restarting the engine. Thread-safe.
+  Result<std::vector<StateEntry>> ReadQueryCheckpoint(uint32_t query);
+
  private:
   struct Manifest {
     EpochMeta meta;

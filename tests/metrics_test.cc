@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include "common/audit_log.h"
+#include "common/fault.h"
 #include "common/histogram.h"
 #include "common/metrics.h"
 #include "common/metrics_registry.h"
@@ -430,6 +431,52 @@ TEST_F(EngineObservabilityTest, MetricsSurviveDeregistration) {
   const QueryMetricsSnapshot* qs = snap.FindQuery("q" + std::to_string(*q));
   ASSERT_NE(qs, nullptr);
   EXPECT_GT(qs->totals.tuples_in, 0);
+}
+
+TEST_F(EngineObservabilityTest, QuarantineGaugeTracksLifecycleExactly) {
+  // Regression: `engine.queries_quarantined` is a live population gauge.
+  // It must fall back to zero when a quarantined query is recovered AND
+  // when one is deregistered — before this fix, deregistering a
+  // quarantined query leaked the gauge high forever.
+  EngineOptions opts;
+  opts.num_shards = 2;
+  SpStreamEngine engine(opts);
+  engine.RegisterRole("GP");
+  ASSERT_TRUE(engine.RegisterStream(HeartRateSchema()).ok());
+  ASSERT_TRUE(engine.RegisterSubject("dr_house", {"GP"}).ok());
+  auto q = engine.RegisterQuery("dr_house",
+                                "SELECT patient_id FROM HeartRate");
+  ASSERT_TRUE(q.ok());
+  ASSERT_TRUE(engine
+                  .ExecuteInsertSp(
+                      "INSERT SP INTO STREAM HeartRate "
+                      "LET DDP = (HeartRate, *, *), SRP = (RBAC, GP), TS = 1")
+                  .ok());
+
+  auto quarantine_once = [&] {
+    FaultSpec spec;
+    spec.trigger_on_hit = 1;  // deterministic: first worker hit faults
+    ScopedFault armed(fault::kOperatorProcess, spec);
+    ASSERT_TRUE(
+        engine.Push("HeartRate", {StreamElement(Beat(120, 72, 2))}).ok());
+    ASSERT_TRUE(engine.Run().ok());
+    ASSERT_TRUE(*engine.IsQuarantined(*q));
+  };
+
+  quarantine_once();
+  EXPECT_EQ(engine.metrics()->GaugeValue("engine.queries_quarantined"), 1);
+
+  // Manual recovery releases the gauge.
+  ASSERT_TRUE(engine.RecoverQuery(*q).ok());
+  EXPECT_FALSE(*engine.IsQuarantined(*q));
+  EXPECT_EQ(engine.metrics()->GaugeValue("engine.queries_quarantined"), 0);
+
+  // Deregistering while quarantined releases it too.
+  quarantine_once();
+  EXPECT_EQ(engine.metrics()->GaugeValue("engine.queries_quarantined"), 1);
+  ASSERT_TRUE(engine.DeregisterQuery(*q).ok());
+  EXPECT_EQ(engine.metrics()->GaugeValue("engine.queries_quarantined"), 0);
+  EXPECT_EQ(engine.quarantined_count(), 0);
 }
 
 TEST_F(EngineObservabilityTest, ExplainAnalyzeAnnotatesPlan) {

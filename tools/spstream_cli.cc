@@ -18,6 +18,11 @@
 //   metrics [<id>|json|prom]                  # engine metrics (optionally
 //                                             #   one query, or an exporter)
 //   audit [n]                                 # last n security audit events
+//   overload                                  # overload tier, watermarks,
+//                                             #   shed counters, quarantine
+//   recover <id>                              # manually recover a
+//                                             #   quarantined query (clears
+//                                             #   a permanent quarantine)
 //   faults                                    # fault-site hit/failure stats
 //   faults arm <site> <prob> [hit] [max]      # arm a fault site (chaos)
 //   faults seed <n>                           # reseed the fault injector
@@ -257,7 +262,45 @@ class Shell {
     if (EqualsIgnoreCase(cmd, "audit")) {
       return CmdAudit(&words);
     }
+    if (EqualsIgnoreCase(cmd, "overload")) {
+      return CmdOverload();
+    }
+    if (EqualsIgnoreCase(cmd, "recover")) {
+      std::string id;
+      words >> id;
+      auto it = query_ids_.find(id);
+      if (it == query_ids_.end()) {
+        return Status::NotFound("recover: unknown query id: " + id);
+      }
+      SP_RETURN_NOT_OK(engine_.RecoverQuery(it->second));
+      std::cout << "query " << id << " recovered\n";
+      return Status::OK();
+    }
     return Status::ParseError("unknown command: " + cmd);
+  }
+
+  Status CmdOverload() {
+    const OverloadController& ctl = engine_.overload();
+    const OverloadOptions& opt = ctl.options();
+    std::cout << "overload state: "
+              << OverloadStateName(engine_.overload_state()) << "\n"
+              << "  shedding: " << (opt.enable_shedding ? "on" : "off")
+              << " policy="
+              << (opt.shed_policy == ShedPolicy::kPriority ? "priority"
+                                                           : "random")
+              << " fraction=" << opt.shed_fraction
+              << " throttle_divisor=" << opt.throttle_divisor << "\n"
+              << "  watermarks: pending=" << opt.pending_low_watermark << "/"
+              << opt.pending_high_watermark
+              << " queue=" << opt.queue_high_watermark << "\n"
+              << "  shed: tuples=" << ctl.tuples_shed()
+              << " decisions=" << ctl.shed_decisions() << "\n"
+              << "  quarantined: " << engine_.quarantined_count()
+              << " (max_recovery_attempts=" << opt.max_recovery_attempts
+              << " backoff=" << opt.recovery_backoff_base_ms << ".."
+              << opt.recovery_backoff_max_ms << "ms watchdog="
+              << (opt.watchdog ? "on" : "off") << ")\n";
+    return Status::OK();
   }
 
   Status CmdFaults(std::istringstream* words) {
