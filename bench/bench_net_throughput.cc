@@ -11,6 +11,7 @@
 #include <cstdlib>
 #include <fstream>
 #include <sstream>
+#include <sys/resource.h>
 
 #include "bench_util.h"
 #include "engine/engine_service.h"
@@ -23,6 +24,13 @@ namespace {
 constexpr int kTuples = 20000;
 constexpr int kBatch = 64;
 constexpr int kReps = 3;
+
+// fan_in mode: many producer connections funneling into one query. The
+// point is the reactor's scaling claim — 10k concurrent connections on
+// O(net_loops) threads — so the connection count is the workload.
+constexpr int kFanConnsTarget = 10000;
+constexpr int kFanBatch = 8;   // tuples per producer push
+constexpr int kFanGroup = 64;  // producers pushed between epochs
 
 SchemaPtr BenchSchema() {
   return MakeSchema("Feed", {Field{"object_id", ValueType::kInt64},
@@ -49,7 +57,46 @@ struct NetBenchResult {
   double tuples_per_sec = 0;  // from the min (headline) repetition
   double p50_us = 0;          // per-batch latency of the last repetition
   double p99_us = 0;
+  // fan_in only: the scaling evidence.
+  int conns = 0;
+  int threads_peak = 0;       // whole process, at 10k live connections
+  int threads_old_model = 0;  // thread-per-connection estimate: conns + 2
 };
+
+/// Threads of this process per /proc/self/status — the reactor's headline
+/// number next to the old thread-per-connection architecture's conns + 2
+/// (one reader per connection, plus the accept and serve loops).
+int CountThreads() {
+  std::ifstream status("/proc/self/status");
+  std::string line;
+  while (std::getline(status, line)) {
+    if (line.rfind("Threads:", 0) == 0) return std::atoi(line.c_str() + 8);
+  }
+  return -1;
+}
+
+/// 10k connections need ~20k fds (client + server end per connection).
+/// Raise RLIMIT_NOFILE when the process may; otherwise scale the fan-in
+/// down to what the limit allows rather than failing.
+int ResolveFanConns() {
+  rlimit rl{};
+  if (getrlimit(RLIMIT_NOFILE, &rl) != 0) return 1000;
+  const rlim_t want = 65536;
+  if (rl.rlim_cur < want) {
+    rlimit raised = rl;
+    raised.rlim_cur = rl.rlim_max < want ? rl.rlim_max : want;
+    if (raised.rlim_max < want) raised.rlim_max = want;  // root may raise
+    if (setrlimit(RLIMIT_NOFILE, &raised) != 0) {
+      raised.rlim_max = rl.rlim_max;  // not root: stay under the hard cap
+      raised.rlim_cur = rl.rlim_max < want ? rl.rlim_max : want;
+      (void)setrlimit(RLIMIT_NOFILE, &raised);
+    }
+    (void)getrlimit(RLIMIT_NOFILE, &rl);
+  }
+  const rlim_t headroom = rl.rlim_cur > 256 ? rl.rlim_cur - 256 : 0;
+  const int max_conns = static_cast<int>(headroom / 2);
+  return std::min(kFanConnsTarget, max_conns);
+}
 
 double Percentile(std::vector<double>& us, double p) {
   if (us.empty()) return 0;
@@ -132,6 +179,63 @@ double OneLoopbackRep(std::vector<double>* batch_us, size_t* received) {
   return seconds;
 }
 
+// One fan-in repetition: `conns` producer connections each push one
+// kFanBatch-tuple batch, pipelined in groups of kFanGroup between epochs;
+// a single subscriber drains the aggregate. Latency samples are per epoch
+// cycle (push group -> RUN -> results back).
+double OneFanInRep(int conns, std::vector<double>* batch_us, size_t* received,
+                   int* threads_peak) {
+  EngineService service;
+  SetupCatalog(&service);
+  StreamServer server(&service);
+  if (!server.Start(0).ok()) return 0;
+
+  StreamClient subscriber;
+  if (!subscriber.Connect("127.0.0.1", server.port(), "fan-sub").ok()) {
+    return 0;
+  }
+  const uint64_t qid =
+      subscriber.RegisterQuery("bench", "SELECT object_id, x FROM Feed")
+          .value();
+  (void)subscriber.Subscribe(qid);
+  (void)subscriber.InsertSp(
+      "INSERT SP INTO STREAM Feed LET DDP = (Feed, *, *), SRP = "
+      "(RBAC, analyst), TS = 0");
+
+  std::vector<StreamClient> producers(static_cast<size_t>(conns));
+  for (int i = 0; i < conns; ++i) {
+    if (!producers[static_cast<size_t>(i)]
+             .Connect("127.0.0.1", server.port(), "fan")
+             .ok()) {
+      return 0;
+    }
+  }
+  *threads_peak = CountThreads();
+
+  batch_us->clear();
+  *received = 0;
+  const size_t total = static_cast<size_t>(conns) * kFanBatch;
+  const int64_t start = NowUs();
+  for (int g = 0; g < conns; g += kFanGroup) {
+    const int64_t t0 = NowUs();
+    const int end = std::min(g + kFanGroup, conns);
+    for (int i = g; i < end; ++i) {
+      (void)producers[static_cast<size_t>(i)].Push(
+          "Feed", MakeBatch(i * kFanBatch, kFanBatch));
+    }
+    (void)subscriber.Run();
+    *received += subscriber.TakeResults(qid).size();
+    batch_us->push_back(static_cast<double>(NowUs() - t0));
+  }
+  for (int tries = 0; *received < total && tries < 16; ++tries) {
+    (void)subscriber.Run();
+    *received += subscriber.TakeResults(qid).size();
+  }
+  const double seconds = static_cast<double>(NowUs() - start) / 1e6;
+  server.Stop();
+  return seconds;
+}
+
 NetBenchResult MeasureMode(
     const std::string& mode,
     const std::function<double(std::vector<double>*, size_t*)>& one_rep) {
@@ -158,8 +262,12 @@ std::string ToJson(const std::vector<NetBenchResult>& results) {
     os << "{\"mode\":\"" << r.mode << "\",";
     AppendRepStatsJson(os, r.stats);
     os << ",\"tuples_per_sec\":" << r.tuples_per_sec
-       << ",\"batch_p50_us\":" << r.p50_us << ",\"batch_p99_us\":" << r.p99_us
-       << "}";
+       << ",\"batch_p50_us\":" << r.p50_us << ",\"batch_p99_us\":" << r.p99_us;
+    if (r.conns > 0) {
+      os << ",\"conns\":" << r.conns << ",\"threads_peak\":" << r.threads_peak
+         << ",\"threads_old_model\":" << r.threads_old_model;
+    }
+    os << "}";
   }
   os << "]}";
   return os.str();
@@ -178,12 +286,30 @@ int main() {
   results.push_back(MeasureMode("in_process", OneInProcessRep));
   results.push_back(MeasureMode("loopback", OneLoopbackRep));
 
+  const int fan_conns = ResolveFanConns();
+  std::cout << "fan_in: " << fan_conns << " producer connections ("
+            << kFanBatch << " tuples each, epochs every " << kFanGroup
+            << " producers)\n";
+  int threads_peak = 0;
+  NetBenchResult fan = MeasureMode(
+      "fan_in", [&](std::vector<double>* batch_us, size_t* received) {
+        return OneFanInRep(fan_conns, batch_us, received, &threads_peak);
+      });
+  fan.conns = fan_conns;
+  fan.threads_peak = threads_peak;
+  fan.threads_old_model = fan_conns + 2;
+  results.push_back(fan);
+
   PrintHeader("Net", "tuples/sec and per-batch latency (us)");
   PrintLegend("mode", {"tuples/s", "p50", "p99", "stddev_s"});
   for (const NetBenchResult& r : results) {
     PrintRow(r.mode,
              {r.tuples_per_sec, r.p50_us, r.p99_us, r.stats.Stddev()}, 1);
   }
+  std::cout << "fan_in threads at " << fan.conns
+            << " live connections: " << fan.threads_peak
+            << " (thread-per-connection model would need "
+            << fan.threads_old_model << ")\n";
 
   const std::string json = ToJson(results);
   std::cout << "\nJSON: " << json << "\n";

@@ -21,7 +21,8 @@ enum class StatusCode : int {
   kOutOfRange,
   kUnimplemented,
   kInternal,
-  kCancelled,  ///< operation refused because the target is shutting down
+  kCancelled,    ///< operation refused because the target is shutting down
+  kUnavailable,  ///< try again later (queue full, would-block)
 };
 
 /// \brief Human-readable name of a StatusCode (e.g. "InvalidArgument").
@@ -65,6 +66,9 @@ class Status {
   }
   static Status Cancelled(std::string msg) {
     return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return rep_ == nullptr; }

@@ -34,11 +34,16 @@ Status EngineService::ExecuteInsertSp(const std::string& sql) {
     st = engine_.ExecuteInsertSp(sql);
   }
   if (st.ok()) {
-    std::lock_guard<std::mutex> lock(pace_mu_);
-    work_pending_ = true;
-    work_cv_.notify_one();
+    if (auto notify = MarkWorkPending()) notify();
   }
   return st;
+}
+
+std::function<void()> EngineService::MarkWorkPending() {
+  std::lock_guard<std::mutex> lock(pace_mu_);
+  work_pending_ = true;
+  work_cv_.notify_one();
+  return work_notifier_;
 }
 
 Status EngineService::Push(const std::string& stream_name,
@@ -51,9 +56,7 @@ Status EngineService::Push(const std::string& stream_name,
     if (st.ok() && on_admitted) on_admitted();
   }
   if (st.ok()) {
-    std::lock_guard<std::mutex> lock(pace_mu_);
-    work_pending_ = true;
-    work_cv_.notify_one();
+    if (auto notify = MarkWorkPending()) notify();
   }
   return st;
 }
@@ -88,13 +91,20 @@ Result<std::string> EngineService::StreamName(StreamId id) {
 }
 
 uint64_t EngineService::RequestEpoch() {
-  std::lock_guard<std::mutex> lock(pace_mu_);
-  work_pending_ = true;
-  work_cv_.notify_one();
-  // An epoch currently in flight (started > completed) may have begun
-  // before the caller's pushes; the first epoch that starts from now on is
-  // epochs_started_ + 1, and it drains everything already admitted.
-  return epochs_started_ + 1;
+  uint64_t target;
+  std::function<void()> notify;
+  {
+    std::lock_guard<std::mutex> lock(pace_mu_);
+    work_pending_ = true;
+    work_cv_.notify_one();
+    notify = work_notifier_;
+    // An epoch currently in flight (started > completed) may have begun
+    // before the caller's pushes; the first epoch that starts from now on is
+    // epochs_started_ + 1, and it drains everything already admitted.
+    target = epochs_started_ + 1;
+  }
+  if (notify) notify();
+  return target;
 }
 
 void EngineService::WaitEpoch(uint64_t target) {
@@ -109,6 +119,18 @@ bool EngineService::WaitWork() {
   if (stopped_) return false;
   work_pending_ = false;
   return true;
+}
+
+bool EngineService::PollWork() {
+  std::lock_guard<std::mutex> lock(pace_mu_);
+  if (stopped_ || !work_pending_) return false;
+  work_pending_ = false;
+  return true;
+}
+
+void EngineService::SetWorkNotifier(std::function<void()> notify) {
+  std::lock_guard<std::mutex> lock(pace_mu_);
+  work_notifier_ = std::move(notify);
 }
 
 uint64_t EngineService::RunEpoch(
@@ -136,10 +158,15 @@ void EngineService::MarkEpochComplete(uint64_t epoch) {
 }
 
 void EngineService::Stop() {
-  std::lock_guard<std::mutex> lock(pace_mu_);
-  stopped_ = true;
-  work_cv_.notify_all();
-  epoch_cv_.notify_all();
+  std::function<void()> notify;
+  {
+    std::lock_guard<std::mutex> lock(pace_mu_);
+    stopped_ = true;
+    work_cv_.notify_all();
+    epoch_cv_.notify_all();
+    notify = work_notifier_;
+  }
+  if (notify) notify();
 }
 
 uint64_t EngineService::epochs_completed() const {

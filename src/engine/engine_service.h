@@ -68,6 +68,18 @@ class EngineService {
   /// false on Stop. Consumes the work-pending mark.
   bool WaitWork();
 
+  /// \brief Non-blocking WaitWork for a serve thread that multiplexes other
+  /// wake sources (the reactor's engine thread waits on its own condition
+  /// variable, woken by the notifier below as well as by ingress queues).
+  /// Consumes the work-pending mark; true when an epoch should run.
+  bool PollWork();
+
+  /// \brief Install a callback invoked (outside all service locks) whenever
+  /// work becomes pending or Stop() is called — the reactor's engine thread
+  /// registers its wakeup here. Pass nullptr to clear. Must not be changed
+  /// while producers are live.
+  void SetWorkNotifier(std::function<void()> notify);
+
   /// \brief Serve thread: run one engine epoch. `after_run` (optional) is
   /// invoked with the engine still locked, right after Run() — the server
   /// drains subscriber results and snapshots credit consumption there,
@@ -105,13 +117,27 @@ class EngineService {
   MetricsRegistry* metrics() { return engine_.metrics(); }
   AuditLog* audit() { return engine_.audit(); }
 
+  /// \brief Current degradation tier, lock-free: the controller publishes
+  /// its state atomically (OverloadController::state()) before the gauge is
+  /// set, so the reactor's loop threads can gate shed-before-decode on it
+  /// per-frame without touching the engine lock — and the tier a test (or
+  /// operator) observes via `engine.overload_state` is never fresher than
+  /// what this returns.
+  OverloadState overload_state() const { return engine_.overload_state(); }
+
  private:
   SpStreamEngine engine_;
   mutable std::mutex engine_mu_;  // guards every engine_ access
 
+  /// Mark work pending under pace_mu_ and return the notifier to invoke
+  /// after the lock is dropped (never call it under pace_mu_: the reactor's
+  /// wakeup takes its own mutex).
+  std::function<void()> MarkWorkPending();
+
   mutable std::mutex pace_mu_;  // guards the epoch/work state below
   std::condition_variable work_cv_;   // serve thread waits here
   std::condition_variable epoch_cv_;  // clients wait for completions here
+  std::function<void()> work_notifier_;  // guarded by pace_mu_
   bool work_pending_ = false;
   bool stopped_ = false;
   uint64_t epochs_started_ = 0;

@@ -1,0 +1,152 @@
+// The reactor's event-loop layer (docs/NETWORK.md "Threading model").
+//
+// An EventLoop owns one readiness-notification instance (epoll today; the
+// EventBackend interface keeps the syscall surface narrow enough that an
+// io_uring proactor can slot in without touching session logic), a set of
+// non-blocking fds registered by the server, a cross-thread task queue
+// woken through an eventfd, and a coarse timer wheel for idle/linger/flush
+// deadlines. The loop thread is the ONLY thread that touches its fds —
+// other threads communicate exclusively via Post()/Wakeup().
+//
+// Edge-triggered contract: the backend registers fds EPOLLET, so the
+// io_handler must drain reads to EAGAIN and re-arm write interest itself;
+// readiness events are hints keyed by fd (never pointers), which makes a
+// stale event for a closed-and-recycled fd a harmless no-op lookup miss.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "common/status.h"
+
+namespace spstream {
+
+/// \brief Readiness-notification syscall surface. Implementations must be
+/// usable from one loop thread with Add/Mod/Del, plus Wait from that same
+/// thread; cross-thread wakeup goes through an fd registered like any other.
+class EventBackend {
+ public:
+  struct Ready {
+    int fd = -1;
+    bool readable = false;
+    bool writable = false;
+    /// Peer hangup / error: the fd needs a read pass (to observe EOF) and
+    /// then teardown.
+    bool hangup = false;
+  };
+
+  virtual ~EventBackend() = default;
+
+  /// \brief Register `fd` for read (always) and, when `want_write`, write
+  /// readiness. Edge-triggered by default; `edge_triggered=false` registers
+  /// level-triggered — used for the wakeup eventfd, where level semantics
+  /// make lost wakeups structurally impossible (an undrained write keeps
+  /// the next Wait from blocking).
+  virtual Status Add(int fd, bool want_write, bool edge_triggered = true) = 0;
+  /// \brief Change write-readiness interest for a registered fd.
+  virtual Status Mod(int fd, bool want_write) = 0;
+  /// \brief Unregister; callers close the fd afterwards.
+  virtual Status Del(int fd) = 0;
+  /// \brief Block up to `timeout_ms` (-1 = forever) and append readiness
+  /// records to `out` (cleared first). Returns the number delivered; 0 on
+  /// timeout. EINTR is retried internally.
+  virtual Result<size_t> Wait(std::vector<Ready>* out, int timeout_ms) = 0;
+};
+
+/// \brief The epoll(7) backend (EPOLLET | EPOLLRDHUP).
+Result<std::unique_ptr<EventBackend>> MakeEpollBackend();
+
+/// \brief Coarse hashed timer wheel: deadlines bucketed into `tick_ms`
+/// slots, fired from the loop thread by Advance(). One-shot callbacks; a
+/// deadline further out than the wheel's horizon simply re-buckets as the
+/// cursor passes it (classic hashed wheel), so precision is ~one tick and
+/// cost is O(1) per schedule/fire. Loop-thread only.
+class TimerWheel {
+ public:
+  explicit TimerWheel(int64_t now_ms, int tick_ms = 5, size_t slots = 512);
+
+  /// \brief Fire `fn` once, ~`delay_ms` from now (rounded up to a tick).
+  void Schedule(int64_t delay_ms, std::function<void()> fn);
+
+  /// \brief Fire everything due at `now_ms`.
+  void Advance(int64_t now_ms);
+
+  /// \brief Poll timeout for the owning loop: -1 when nothing is armed,
+  /// else the ms until the next tick boundary.
+  int NextTimeoutMs(int64_t now_ms) const;
+
+  size_t armed() const { return armed_; }
+
+ private:
+  struct Entry {
+    int64_t due_ms;
+    std::function<void()> fn;
+  };
+
+  const int tick_ms_;
+  std::vector<std::vector<Entry>> slots_;
+  int64_t last_tick_;  // wheel time in ticks, already advanced through
+  size_t armed_ = 0;
+};
+
+/// \brief Steady-clock milliseconds (the loop's and wheel's time base).
+int64_t EventLoopNowMs();
+
+class EventLoop {
+ public:
+  /// Called on the loop thread for every readiness event on a registered
+  /// fd (the wakeup eventfd is filtered out internally).
+  using IoHandler = std::function<void(const EventBackend::Ready&)>;
+
+  explicit EventLoop(std::unique_ptr<EventBackend> backend);
+  ~EventLoop();
+
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  /// \brief Create the wakeup eventfd and register it; call before Run().
+  Status Init();
+
+  void set_io_handler(IoHandler handler) { io_handler_ = std::move(handler); }
+  /// \brief Invoked once per loop iteration after events and timers — the
+  /// server retries ingress overflow and stalled reads here.
+  void set_tick_handler(std::function<void()> handler) {
+    tick_handler_ = std::move(handler);
+  }
+
+  /// \brief The loop body; returns when RequestStop() was called. Runs on
+  /// the loop's dedicated thread.
+  void Run();
+
+  /// \brief Cross-thread: make Run() return after the current iteration.
+  void RequestStop();
+
+  /// \brief Cross-thread: run `task` on the loop thread (FIFO, before the
+  /// next poll's events are handled).
+  void Post(std::function<void()> task);
+
+  /// \brief Cross-thread: force the loop out of Wait().
+  void Wakeup();
+
+  EventBackend* backend() { return backend_.get(); }
+  /// Loop-thread only.
+  TimerWheel& timers() { return timers_; }
+
+ private:
+  void DrainWakeupFd();
+
+  std::unique_ptr<EventBackend> backend_;
+  IoHandler io_handler_;
+  std::function<void()> tick_handler_;
+  TimerWheel timers_;
+  int wakeup_fd_ = -1;
+
+  std::mutex task_mu_;
+  std::vector<std::function<void()>> tasks_;  // guarded by task_mu_
+  bool stop_requested_ = false;               // guarded by task_mu_
+};
+
+}  // namespace spstream

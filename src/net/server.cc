@@ -1,9 +1,12 @@
 #include "net/server.h"
 
+#include <algorithm>
 #include <chrono>
+#include <cstdlib>
+#include <utility>
 
-#include "common/fault.h"
 #include "common/trace.h"
+#include "engine/overload.h"
 #include "net/socket.h"
 #include "security/sp_codec.h"
 
@@ -11,10 +14,23 @@ namespace spstream {
 
 namespace {
 
-int64_t NowMillis() {
-  return std::chrono::duration_cast<std::chrono::milliseconds>(
-             std::chrono::steady_clock::now().time_since_epoch())
-      .count();
+int ResolveNetLoops(int configured) {
+  if (configured > 0) return configured;
+  if (const char* env = std::getenv("SPSTREAM_NET_LOOPS")) {
+    char* end = nullptr;
+    const long v = std::strtol(env, &end, 10);
+    if (end != env && v > 0 && v <= 256) return static_cast<int>(v);
+  }
+  const unsigned hc = std::thread::hardware_concurrency();
+  return hc > 0 ? static_cast<int>(hc) : 1;
+}
+
+bool ResolveReusePort(bool configured) {
+  if (const char* env = std::getenv("SPSTREAM_NET_REUSEPORT")) {
+    return !(env[0] == '0' || env[0] == 'f' || env[0] == 'F' ||
+             env[0] == 'n' || env[0] == 'N');
+  }
+  return configured;
 }
 
 }  // namespace
@@ -31,6 +47,7 @@ StreamServer::~StreamServer() { Stop(); }
 
 Status StreamServer::Start(uint16_t port) {
   if (started_) return Status::InvalidArgument("server already started");
+  stopping_.store(false, std::memory_order_release);
   // Adopt the engine's durable session table (if any): sessions that were
   // attached or lingering when the previous process died come back as
   // detached-as-of-now, so their clients get a full linger window to
@@ -38,8 +55,8 @@ Status StreamServer::Start(uint16_t port) {
   service_->WithEngine([this](SpStreamEngine* engine) {
     durability_ = engine->durability();
     if (durability_ == nullptr) return;
-    std::lock_guard<std::mutex> lock(conns_mu_);
-    const int64_t now = NowMillis();
+    std::lock_guard<std::mutex> lock(sessions_mu_);
+    const int64_t now = EventLoopNowMs();
     for (const storage::DurableSession& d : engine->recovered_sessions()) {
       Session s;
       s.id = d.id;
@@ -55,64 +72,184 @@ Status StreamServer::Start(uint16_t port) {
     next_session_id_ =
         std::max(next_session_id_, engine->recovered_next_session_id());
   });
-  SP_ASSIGN_OR_RETURN(listen_fd_, TcpListen(port));
-  SP_ASSIGN_OR_RETURN(port_, TcpLocalPort(listen_fd_));
+
+  const int nloops = ResolveNetLoops(options_.net_loops);
+  shards_.clear();
+  for (int i = 0; i < nloops; ++i) {
+    Result<std::unique_ptr<EventBackend>> backend = MakeEpollBackend();
+    if (!backend.ok()) {
+      shards_.clear();
+      return backend.status();
+    }
+    auto shard = std::make_unique<LoopShard>(options_.ingress_capacity);
+    shard->loop = std::make_unique<EventLoop>(std::move(*backend));
+    Status st = shard->loop->Init();
+    if (!st.ok()) {
+      shards_.clear();
+      return st;
+    }
+    shards_.push_back(std::move(shard));
+  }
+
+  auto close_listeners = [&] {
+    for (auto& shard : shards_) {
+      if (shard->listen_fd >= 0) {
+        CloseSocket(shard->listen_fd);
+        shard->listen_fd = -1;
+      }
+    }
+  };
+
+  // One SO_REUSEPORT listener per loop when available, so the kernel
+  // spreads incoming connections across loops with no cross-thread handoff;
+  // otherwise shard 0 accepts alone and round-robins connections out.
+  bool reuse_ok = ResolveReusePort(options_.so_reuseport);
+  single_acceptor_ = true;
+  if (reuse_ok) {
+    ListenOptions lo;
+    lo.backlog = options_.listen_backlog;
+    lo.reuse_port = true;
+    lo.non_blocking = true;
+    Result<int> fd0 = TcpListenWith(port, lo);
+    if (fd0.ok()) {
+      shards_[0]->listen_fd = *fd0;
+      Result<uint16_t> bound = TcpLocalPort(*fd0);
+      if (!bound.ok()) {
+        close_listeners();
+        shards_.clear();
+        return bound.status();
+      }
+      port_ = *bound;
+      for (int i = 1; i < nloops; ++i) {
+        Result<int> fdi = TcpListenWith(port_, lo);
+        if (!fdi.ok()) {
+          reuse_ok = false;
+          break;
+        }
+        shards_[static_cast<size_t>(i)]->listen_fd = *fdi;
+      }
+      if (reuse_ok) {
+        single_acceptor_ = false;
+      } else {
+        close_listeners();
+      }
+    } else {
+      reuse_ok = false;
+    }
+  }
+  if (!reuse_ok) {
+    ListenOptions lo;
+    lo.backlog = options_.listen_backlog;
+    lo.reuse_port = false;
+    lo.non_blocking = true;
+    Result<int> fd = TcpListenWith(port, lo);
+    if (!fd.ok()) {
+      shards_.clear();
+      return fd.status();
+    }
+    shards_[0]->listen_fd = *fd;
+    Result<uint16_t> bound = TcpLocalPort(*fd);
+    if (!bound.ok()) {
+      close_listeners();
+      shards_.clear();
+      return bound.status();
+    }
+    port_ = *bound;
+  }
+
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    LoopShard* shard = shards_[i].get();
+    if (shard->listen_fd >= 0) {
+      Status st = shard->loop->backend()->Add(shard->listen_fd,
+                                              /*want_write=*/false);
+      if (!st.ok()) {
+        close_listeners();
+        shards_.clear();
+        return st;
+      }
+    }
+    shard->loop->set_io_handler(
+        [this, i](const EventBackend::Ready& r) { LoopIo(i, r); });
+    shard->loop->set_tick_handler([this, i] { LoopTick(i); });
+  }
+
   started_ = true;
-  accept_thread_ = std::thread([this] { AcceptLoop(); });
-  serve_thread_ = std::thread([this] { ServeLoop(); });
+  for (auto& shard : shards_) {
+    EventLoop* loop = shard->loop.get();
+    shard->thread = std::thread([loop] { loop->Run(); });
+  }
+  service_->SetWorkNotifier([this] { NotifyEngine(); });
+  engine_thread_ = std::thread([this] { EngineMain(); });
+  // Recovered sessions start their linger clock now.
+  bool any_recovered;
+  {
+    std::lock_guard<std::mutex> lock(sessions_mu_);
+    any_recovered = !sessions_.empty();
+  }
+  if (any_recovered) ScheduleSessionSweep(options_.session_linger_ms + 6);
   return Status::OK();
 }
 
 void StreamServer::Stop() {
   if (!started_) return;
   started_ = false;
-  // Order matters: raise the stop flag BEFORE waking anything, so an
-  // accept racing this call either registers its connection in time for
-  // the shutdown pass below or sees the flag and closes the fd itself.
   stopping_.store(true, std::memory_order_release);
-  // Wake the accept loop, the serve loop, and every blocked reader.
-  ShutdownSocket(listen_fd_);
+  // Wake WaitEpoch/PollResults waiters and the engine thread, join it, then
+  // stop the loops. Engine first: it Posts to loops, never the reverse
+  // while stopping.
   service_->Stop();
   {
-    std::lock_guard<std::mutex> lock(conns_mu_);
-    for (auto& conn : conns_) {
-      // write_mu guards the fd's validity: never shut down a number the
-      // reader has already closed (the kernel may have recycled it).
-      std::lock_guard<std::mutex> wlock(conn->write_mu);
-      if (conn->fd >= 0) ShutdownSocket(conn->fd);
+    std::lock_guard<std::mutex> lock(wake_mu_);
+    engine_stop_ = true;
+  }
+  wake_cv_.notify_all();
+  if (engine_thread_.joinable()) engine_thread_.join();
+  service_->SetWorkNotifier(nullptr);
+  for (auto& shard : shards_) shard->loop->RequestStop();
+  for (auto& shard : shards_) {
+    if (shard->thread.joinable()) shard->thread.join();
+  }
+  // Single-threaded from here: close every fd (the FIN/RST unblocks any
+  // client still parked in a read).
+  for (auto& shard : shards_) {
+    for (auto& [fd, conn] : shard->conns) {
+      conn->phase = ConnState::Phase::kClosed;
+      conn->closed.store(true, std::memory_order_release);
+      CloseSocket(fd);
     }
+    shard->conns.clear();
+    shard->egress.clear();
+    shard->pending_reads.clear();
+    if (shard->listen_fd >= 0) {
+      CloseSocket(shard->listen_fd);
+      shard->listen_fd = -1;
+    }
+    shard->ingress.Close();
   }
-  if (accept_thread_.joinable()) accept_thread_.join();
-  if (serve_thread_.joinable()) serve_thread_.join();
-  for (auto& conn : conns_) {
-    if (conn->reader.joinable()) conn->reader.join();
-  }
-  CloseSocket(listen_fd_);
-  listen_fd_ = -1;
+  engine_conns_.clear();
+  subscribers_.clear();
 }
 
 int64_t StreamServer::connections_accepted() const {
-  std::lock_guard<std::mutex> lock(conns_mu_);
-  return connections_accepted_;
+  return connections_accepted_.load(std::memory_order_relaxed);
 }
 
 int64_t StreamServer::evictions() const {
-  std::lock_guard<std::mutex> lock(conns_mu_);
-  return evictions_;
+  return evictions_.load(std::memory_order_relaxed);
 }
 
 int64_t StreamServer::sessions_resumed() const {
-  std::lock_guard<std::mutex> lock(conns_mu_);
+  std::lock_guard<std::mutex> lock(sessions_mu_);
   return sessions_resumed_;
 }
 
 int64_t StreamServer::sessions_expired() const {
-  std::lock_guard<std::mutex> lock(conns_mu_);
+  std::lock_guard<std::mutex> lock(sessions_mu_);
   return sessions_expired_;
 }
 
 size_t StreamServer::session_count() const {
-  std::lock_guard<std::mutex> lock(conns_mu_);
+  std::lock_guard<std::mutex> lock(sessions_mu_);
   return sessions_.size();
 }
 
@@ -120,22 +257,886 @@ int64_t StreamServer::frames_shed() const {
   return frames_shed_.load(std::memory_order_relaxed);
 }
 
-void StreamServer::ReleaseSessionLocked(Connection* conn, bool preserve) {
-  if (conn->session_id == 0) return;
-  auto it = sessions_.find(conn->session_id);
-  if (it == sessions_.end()) return;
-  if (preserve) {
-    it->second.subscriptions = conn->subscriptions;
-    it->second.detached_at_ms = NowMillis();
-    PersistSessionLocked(it->second, &it->second.subscriptions,
-                         it->second.detached_at_ms);
-  } else {
-    if (durability_ != nullptr) {
-      (void)durability_->LogSessionErase(it->first);
+// ---- loop-thread side ------------------------------------------------------
+
+void StreamServer::LoopIo(size_t shard_index, const EventBackend::Ready& r) {
+  LoopShard& shard = *shards_[shard_index];
+  if (r.fd == shard.listen_fd) {
+    AcceptReady(shard_index);
+    return;
+  }
+  auto it = shard.conns.find(r.fd);
+  if (it == shard.conns.end()) return;  // stale event for a recycled fd
+  std::shared_ptr<ConnState> conn = it->second;
+  if (r.writable && conn->phase != ConnState::Phase::kClosed) LoopFlush(conn);
+  if ((r.readable || r.hangup) && conn->phase == ConnState::Phase::kOpen) {
+    HandleReadable(shard_index, conn);
+  }
+}
+
+void StreamServer::LoopTick(size_t shard_index) { FlushEgress(shard_index); }
+
+void StreamServer::AcceptReady(size_t shard_index) {
+  LoopShard& shard = *shards_[shard_index];
+  for (;;) {
+    Result<int> fd = TcpAcceptNonBlocking(shard.listen_fd);
+    if (!fd.ok()) return;  // listener broken: shutting down
+    if (*fd < 0) return;   // drained
+    if (stopping_.load(std::memory_order_acquire)) {
+      CloseSocket(*fd);
+      return;
     }
-    sessions_.erase(it);
+    const int id = next_conn_id_.fetch_add(1, std::memory_order_relaxed);
+    connections_accepted_.fetch_add(1, std::memory_order_relaxed);
+    service_->metrics()->AddCounter("net.connections_total");
+    size_t target = shard_index;
+    if (single_acceptor_ && shards_.size() > 1) {
+      target = static_cast<size_t>(id) % shards_.size();
+    }
+    if (target == shard_index) {
+      AdoptConnection(shard_index, *fd, id);
+    } else {
+      const int handoff_fd = *fd;
+      shards_[target]->loop->Post([this, target, handoff_fd, id] {
+        AdoptConnection(target, handoff_fd, id);
+      });
+    }
+  }
+}
+
+void StreamServer::AdoptConnection(size_t shard_index, int fd, int id) {
+  if (stopping_.load(std::memory_order_acquire)) {
+    CloseSocket(fd);
+    return;
+  }
+  LoopShard& shard = *shards_[shard_index];
+  auto conn = std::make_shared<ConnState>(id, fd, static_cast<int>(shard_index),
+                                          shard.loop.get());
+  conn->last_activity_ms = EventLoopNowMs();
+  Status st = shard.loop->backend()->Add(fd, /*want_write=*/false);
+  if (!st.ok()) {
+    CloseSocket(fd);
+    return;
+  }
+  shard.conns.emplace(fd, std::move(conn));
+  if (options_.idle_timeout_ms > 0) {
+    ScheduleIdleCheck(shard.conns[fd], options_.idle_timeout_ms);
+  }
+}
+
+void StreamServer::HandleReadable(size_t shard_index,
+                                  const std::shared_ptr<ConnState>& conn) {
+  LoopShard& shard = *shards_[shard_index];
+  if (shard.stalled) {
+    // Ingress is full: pause this read (edge-triggered, so remember it) and
+    // resume once the engine drains the queue.
+    if (!conn->read_pending) {
+      conn->read_pending = true;
+      shard.pending_reads.push_back(conn);
+    }
+    return;
+  }
+  std::vector<Frame> frames;
+  const bool keep = conn->ReadFrames(&frames);
+  if (!frames.empty()) conn->last_activity_ms = EventLoopNowMs();
+  for (Frame& frame : frames) {
+    if (conn->phase != ConnState::Phase::kOpen) break;
+    LoopDispatch(shard_index, conn, std::move(frame));
+  }
+  if (conn->phase == ConnState::Phase::kOpen) {
+    MaterializeShedCredit(conn);
+    if (!keep) {
+      // Clean EOF / reset / broken framing: detach, resumable.
+      LoopClose(shard_index, conn, "disconnect", /*evicted=*/false,
+                /*preserve_session=*/true);
+    }
+  }
+}
+
+void StreamServer::LoopDispatch(size_t shard_index,
+                                const std::shared_ptr<ConnState>& conn,
+                                Frame frame) {
+  const bool registered = conn->registered.load(std::memory_order_acquire);
+  switch (frame.type) {
+    case FrameType::kBye:
+      // Graceful goodbye forfeits the session.
+      LoopClose(shard_index, conn, "bye", /*evicted=*/false,
+                /*preserve_session=*/false);
+      return;
+    case FrameType::kPing:
+      if (registered) {
+        // Any coalesced shed CREDIT ships first: the heartbeat reply must
+        // not overtake the credits that make the client's window whole.
+        MaterializeShedCredit(conn);
+        LoopEnqueue(shard_index, conn, FrameType::kPong, frame.payload);
+        return;
+      }
+      break;  // pre-handshake PING: the engine rejects the bad first frame
+    case FrameType::kPush: {
+      if (!registered) break;
+      // Shed-before-decode: while the engine is in kShed, pure-data PUSH
+      // frames are discarded on the loop thread before a single Tuple is
+      // materialized. The scan walks kind bytes + varint skips only, and
+      // any frame carrying an sp or a control boundary is exempt — *shed
+      // data, never shed security*. The frame never consumes server-side
+      // credits; the coalesced CREDIT below makes the client whole again.
+      // The tier read is the controller's own atomic (no cached copy): the
+      // moment the engine publishes kShed, every loop thread's gate is
+      // armed — no stale window between the epoch that tripped the
+      // deadline and the next frame off the socket.
+      const OverloadState state = service_->overload_state();
+      if (state == OverloadState::kShed) {
+        Result<PushScan> scan = ScanPush(frame.payload);
+        if (scan.ok() && !scan->carries_security) {
+          frames_shed_.fetch_add(1, std::memory_order_relaxed);
+          service_->metrics()->AddCounter("net.frames_shed");
+          service_->metrics()->AddCounter(
+              "net.tuples_shed", static_cast<int64_t>(scan->element_count));
+          ShedNoticePayload notice;
+          notice.dropped = scan->element_count;
+          notice.state = static_cast<uint8_t>(state);
+          std::string np;
+          EncodeShedNotice(notice, &np);
+          LoopEnqueue(shard_index, conn, FrameType::kShedNotice, np);
+          conn->shed_credit_owed += scan->element_count;
+          return;
+        }
+        // A scan error falls through to the full decoder for its proper
+        // malformed-frame error path; a security-carrying frame is
+        // admitted losslessly below.
+      }
+      Result<PushPayload> push = DecodePush(frame.payload);
+      if (!push.ok()) {
+        // Malformed data plane: protocol violation, session forfeited.
+        LoopClose(shard_index, conn, push.status().message(),
+                  /*evicted=*/true, /*preserve_session=*/false);
+        return;
+      }
+      IngressEvent ev;
+      ev.kind = IngressEvent::Kind::kPush;
+      ev.conn = conn;
+      ev.push = std::make_unique<PushPayload>(std::move(*push));
+      shards_[shard_index]->egress.push_back(std::move(ev));
+      return;
+    }
+    default:
+      break;
+  }
+  IngressEvent ev;
+  ev.kind = IngressEvent::Kind::kFrame;
+  ev.conn = conn;
+  ev.frame = std::move(frame);
+  shards_[shard_index]->egress.push_back(std::move(ev));
+}
+
+void StreamServer::MaterializeShedCredit(
+    const std::shared_ptr<ConnState>& conn) {
+  if (conn->shed_credit_owed == 0) return;
+  std::string payload;
+  PutVarint(conn->shed_credit_owed, &payload);
+  conn->shed_credit_owed = 0;
+  LoopEnqueue(static_cast<size_t>(conn->loop_index), conn, FrameType::kCredit,
+              payload);
+}
+
+void StreamServer::LoopEnqueue(size_t shard_index,
+                               const std::shared_ptr<ConnState>& conn,
+                               FrameType type, std::string_view payload) {
+  switch (conn->Enqueue(type, payload, options_.max_outbound_bytes)) {
+    case ConnState::EnqueueStatus::kQueued:
+      ScheduleFlush(conn);
+      return;
+    case ConnState::EnqueueStatus::kOverflow:
+      LoopClose(shard_index, conn, "slow subscriber: outbound buffer overflow",
+                /*evicted=*/true, /*preserve_session=*/true);
+      return;
+    case ConnState::EnqueueStatus::kClosed:
+      return;
+  }
+}
+
+void StreamServer::ScheduleFlush(const std::shared_ptr<ConnState>& conn) {
+  if (conn->flush_scheduled.exchange(true, std::memory_order_acq_rel)) return;
+  conn->loop->Post([this, conn] {
+    conn->flush_scheduled.store(false, std::memory_order_release);
+    if (!conn->closed.load(std::memory_order_acquire)) LoopFlush(conn);
+  });
+}
+
+void StreamServer::LoopFlush(const std::shared_ptr<ConnState>& conn) {
+  if (conn->phase == ConnState::Phase::kClosed) return;
+  const size_t shard_index = static_cast<size_t>(conn->loop_index);
+  std::string err;
+  switch (conn->Flush(&err)) {
+    case ConnState::FlushStatus::kDrained:
+      conn->blocked_since_ms = -1;
+      if (conn->want_write) {
+        conn->want_write = false;
+        (void)shards_[shard_index]->loop->backend()->Mod(conn->fd,
+                                                         /*want_write=*/false);
+      }
+      if (conn->phase == ConnState::Phase::kDraining) {
+        LoopClose(shard_index, conn, conn->pending_close_reason,
+                  conn->pending_close_evicted, conn->pending_close_preserve);
+      }
+      return;
+    case ConnState::FlushStatus::kBlocked:
+      if (conn->blocked_since_ms < 0) conn->blocked_since_ms = EventLoopNowMs();
+      if (!conn->want_write) {
+        conn->want_write = true;
+        (void)shards_[shard_index]->loop->backend()->Mod(conn->fd,
+                                                         /*want_write=*/true);
+      }
+      ArmBlockedTimer(conn);
+      return;
+    case ConnState::FlushStatus::kError:
+      // A failed delivery is the peer's (or the network's) fault, not a
+      // protocol violation — keep the session resumable. The frames that
+      // failed are dropped, never re-sent: at-most-once delivery.
+      LoopClose(shard_index, conn, "slow subscriber: " + err,
+                /*evicted=*/true, /*preserve_session=*/true);
+      return;
+  }
+}
+
+void StreamServer::ArmBlockedTimer(const std::shared_ptr<ConnState>& conn) {
+  if (conn->blocked_timer_armed) return;
+  conn->blocked_timer_armed = true;
+  const size_t shard_index = static_cast<size_t>(conn->loop_index);
+  const int64_t deadline = conn->blocked_since_ms + options_.send_timeout_ms;
+  std::weak_ptr<ConnState> weak = conn;
+  shards_[shard_index]->loop->timers().Schedule(
+      deadline - EventLoopNowMs(), [this, shard_index, weak] {
+        std::shared_ptr<ConnState> c = weak.lock();
+        if (!c) return;
+        c->blocked_timer_armed = false;
+        if (c->phase == ConnState::Phase::kClosed) return;
+        if (c->blocked_since_ms < 0) return;  // drained in the meantime
+        if (EventLoopNowMs() - c->blocked_since_ms >=
+            options_.send_timeout_ms) {
+          LoopClose(shard_index, c,
+                    "slow subscriber: send timed out after " +
+                        std::to_string(options_.send_timeout_ms) + "ms",
+                    /*evicted=*/true, /*preserve_session=*/true);
+        } else {
+          ArmBlockedTimer(c);  // re-blocked later; wait out the remainder
+        }
+      });
+}
+
+void StreamServer::LoopClose(size_t shard_index,
+                             const std::shared_ptr<ConnState>& conn,
+                             std::string reason, bool evicted,
+                             bool preserve_session) {
+  if (conn->phase == ConnState::Phase::kClosed) return;
+  conn->phase = ConnState::Phase::kClosed;
+  conn->closed.store(true, std::memory_order_release);
+  LoopShard& shard = *shards_[shard_index];
+  (void)shard.loop->backend()->Del(conn->fd);
+  CloseSocket(conn->fd);
+  shard.conns.erase(conn->fd);
+  IngressEvent ev;
+  ev.kind = IngressEvent::Kind::kClosed;
+  ev.conn = conn;
+  ev.reason = std::move(reason);
+  ev.evicted = evicted;
+  ev.preserve_session = preserve_session;
+  shard.egress.push_back(std::move(ev));
+}
+
+void StreamServer::LoopDrainAndClose(const std::shared_ptr<ConnState>& conn) {
+  if (conn->phase == ConnState::Phase::kClosed) return;
+  // The engine already did the eviction bookkeeping; the kClosed event this
+  // eventually stages is deduped by `finalized`, so the verdict is inert.
+  conn->phase = ConnState::Phase::kDraining;
+  conn->pending_close_reason = "evicted";
+  conn->pending_close_evicted = false;
+  conn->pending_close_preserve = false;
+  LoopFlush(conn);
+}
+
+void StreamServer::FlushEgress(size_t shard_index) {
+  LoopShard& shard = *shards_[shard_index];
+  if (shard.egress.empty()) return;
+  Status st = shard.ingress.TryPushBatch(&shard.egress);
+  if (st.ok()) {
+    shard.stalled = false;
+    NotifyEngine();
+    if (!shard.pending_reads.empty()) {
+      std::vector<std::shared_ptr<ConnState>> pending;
+      pending.swap(shard.pending_reads);
+      for (auto& conn : pending) {
+        conn->read_pending = false;
+        if (conn->phase == ConnState::Phase::kOpen) {
+          HandleReadable(shard_index, conn);
+        }
+      }
+      // Resumed reads may have staged fresh egress; try once more now
+      // rather than waiting out a poll.
+      if (!shard.egress.empty()) {
+        st = shard.ingress.TryPushBatch(&shard.egress);
+        if (st.ok()) {
+          NotifyEngine();
+        } else if (st.code() != StatusCode::kCancelled) {
+          shard.stalled = true;
+          ArmEgressRetry(shard_index);
+        }
+      }
+    }
+    return;
+  }
+  if (st.code() == StatusCode::kCancelled) {
+    shard.egress.clear();  // queue closed: shutting down
+    return;
+  }
+  shard.stalled = true;
+  ArmEgressRetry(shard_index);
+}
+
+void StreamServer::ArmEgressRetry(size_t shard_index) {
+  LoopShard& shard = *shards_[shard_index];
+  if (shard.retry_armed) return;
+  shard.retry_armed = true;
+  shard.loop->timers().Schedule(1, [this, shard_index] {
+    shards_[shard_index]->retry_armed = false;
+    FlushEgress(shard_index);
+  });
+}
+
+void StreamServer::ScheduleIdleCheck(const std::shared_ptr<ConnState>& conn,
+                                     int64_t delay_ms) {
+  const size_t shard_index = static_cast<size_t>(conn->loop_index);
+  std::weak_ptr<ConnState> weak = conn;
+  shards_[shard_index]->loop->timers().Schedule(
+      delay_ms, [this, shard_index, weak] {
+        std::shared_ptr<ConnState> c = weak.lock();
+        if (!c || c->phase != ConnState::Phase::kOpen) return;
+        const int64_t idle = EventLoopNowMs() - c->last_activity_ms;
+        if (idle >= options_.idle_timeout_ms) {
+          // Heartbeat supervision: any frame (PING included) resets the
+          // clock; silence past the deadline detaches the session.
+          LoopClose(shard_index, c,
+                    "idle timeout (" +
+                        std::to_string(options_.idle_timeout_ms) +
+                        "ms without a frame)",
+                    /*evicted=*/true, /*preserve_session=*/true);
+        } else {
+          ScheduleIdleCheck(c, options_.idle_timeout_ms - idle);
+        }
+      });
+}
+
+// ---- engine-thread side ----------------------------------------------------
+
+void StreamServer::NotifyEngine() {
+  {
+    std::lock_guard<std::mutex> lock(wake_mu_);
+    wake_pending_ = true;
+  }
+  wake_cv_.notify_one();
+}
+
+void StreamServer::EngineMain() {
+  std::vector<IngressEvent> batch;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(wake_mu_);
+      wake_cv_.wait(lock, [&] { return wake_pending_ || engine_stop_; });
+      if (engine_stop_) return;
+      wake_pending_ = false;
+    }
+    DrainAndRun(&batch);
+  }
+}
+
+void StreamServer::DrainAndRun(std::vector<IngressEvent>* batch) {
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    for (auto& shard : shards_) {
+      while (shard->ingress.TryDrainInto(batch)) {
+        progress = true;
+        for (IngressEvent& ev : *batch) ProcessEvent(ev);
+      }
+    }
+    if (service_->PollWork()) {
+      RunEpochAndFlush();
+      progress = true;
+    }
+  }
+}
+
+void StreamServer::ProcessEvent(IngressEvent& ev) {
+  switch (ev.kind) {
+    case IngressEvent::Kind::kClosed:
+      if (!ev.conn->finalized.exchange(true, std::memory_order_acq_rel)) {
+        FinalizeBookkeeping(ev.conn, ev.reason, ev.evicted,
+                            ev.preserve_session);
+      }
+      return;
+    case IngressEvent::Kind::kPush: {
+      if (ev.conn->finalized.load(std::memory_order_acquire)) return;
+      Status st = HandlePush(ev.conn, std::move(*ev.push));
+      if (!st.ok()) {
+        EvictFromEngine(ev.conn, st.message(), /*preserve_session=*/false);
+      }
+      return;
+    }
+    case IngressEvent::Kind::kFrame: {
+      if (ev.conn->finalized.load(std::memory_order_acquire)) return;
+      if (!ev.conn->registered.load(std::memory_order_acquire)) {
+        Handshake(ev.conn, ev.frame);
+        return;
+      }
+      Status st = HandleFrame(ev.conn, ev.frame);
+      if (!st.ok()) {
+        EvictFromEngine(ev.conn, st.message(), /*preserve_session=*/false);
+      }
+      return;
+    }
+  }
+}
+
+void StreamServer::Handshake(const std::shared_ptr<ConnState>& conn,
+                             const Frame& frame) {
+  // The first frame must be HELLO; the ack carries the stream catalog
+  // (schema negotiation), this connection's credit window, and the session
+  // it is attached to (fresh, or a resumed detached one).
+  auto fail = [&](const std::string& why) {
+    if (!conn->finalized.exchange(true, std::memory_order_acq_rel)) {
+      FinalizeBookkeeping(conn, why, /*evicted=*/false,
+                          /*preserve_session=*/false);
+      conn->loop->Post([this, conn] { LoopDrainAndClose(conn); });
+    }
+  };
+  if (frame.type != FrameType::kHello) {
+    fail("handshake violation");
+    return;
+  }
+  Result<HelloPayload> h = DecodeHello(frame.payload);
+  if (!h.ok()) {
+    EnqueueError(conn, Status::ParseError("malformed HELLO: " +
+                                          h.status().message()));
+    fail("malformed HELLO");
+    return;
+  }
+  if (h->version < kMinWireProtocolVersion ||
+      h->version > kWireProtocolVersion) {
+    EnqueueError(conn, Status::InvalidArgument(
+                           "unsupported protocol version " +
+                           std::to_string(h->version) + " (server speaks " +
+                           std::to_string(kWireProtocolVersion) + ")"));
+    fail("unsupported protocol version");
+    return;
+  }
+  conn->name = h->client_name;
+  HelloAckPayload ack;
+  ack.initial_credits = options_.initial_credits;
+  ack.streams = service_->ListStreams();
+  {
+    std::lock_guard<std::mutex> lock(sessions_mu_);
+    Session* resumed = nullptr;
+    if (h->session_id != 0) {
+      auto it = sessions_.find(h->session_id);
+      // The token gates resume; a detached_at_ms < 0 session still has a
+      // live connection attached and cannot be hijacked. An unknown /
+      // expired / mismatched id falls through to a fresh session
+      // (resumed=0): the client learns its old identity is gone and
+      // re-subscribes itself.
+      if (it != sessions_.end() && it->second.token == h->session_token &&
+          it->second.detached_at_ms >= 0) {
+        resumed = &it->second;
+      }
+    }
+    if (resumed != nullptr) {
+      resumed->detached_at_ms = -1;
+      conn->session_id = resumed->id;
+      if (!resumed->client_name.empty()) conn->name = resumed->client_name;
+      // Reinstate the session's result routing, skipping any query a newer
+      // subscriber claimed during the gap.
+      for (QueryId q : resumed->subscriptions) {
+        auto [it2, inserted] = subscribers_.emplace(q, conn);
+        (void)it2;
+        if (inserted) conn->subscriptions.push_back(q);
+      }
+      resumed->subscriptions.clear();
+      ++sessions_resumed_;
+      ack.resumed = 1;
+      ack.session_id = resumed->id;
+      ack.session_token = resumed->token;
+      PersistSessionLocked(*resumed, &conn->subscriptions, -1);
+    } else {
+      Session fresh;
+      fresh.id = next_session_id_++;
+      fresh.token = session_rng_.Next();
+      fresh.client_name = conn->name;
+      conn->session_id = fresh.id;
+      ack.session_id = fresh.id;
+      ack.session_token = fresh.token;
+      auto [sit, inserted] = sessions_.emplace(fresh.id, std::move(fresh));
+      (void)inserted;
+      PersistSessionLocked(sit->second, nullptr, -1);
+    }
+  }
+  conn->credits = options_.initial_credits;
+  conn->registered.store(true, std::memory_order_release);
+  engine_conns_.emplace(conn->id, conn);
+  std::string payload;
+  EncodeHelloAck(ack, &payload);
+  EnqueueFrame(conn, FrameType::kHelloAck, payload);
+  if (ack.resumed != 0) {
+    service_->metrics()->AddCounter("net.sessions_resumed");
+  }
+}
+
+Status StreamServer::HandleFrame(const std::shared_ptr<ConnState>& conn,
+                                 const Frame& frame) {
+  switch (frame.type) {
+    case FrameType::kRegisterRole: {
+      size_t off = 0;
+      Result<std::string> name = GetLengthPrefixed(frame.payload, &off);
+      if (!name.ok()) return name.status();
+      const RoleId id = service_->RegisterRole(*name);
+      EnqueueOk(conn, id);
+      return Status::OK();
+    }
+    case FrameType::kRegisterStream: {
+      size_t off = 0;
+      Result<SchemaPtr> schema = DecodeSchema(frame.payload, &off);
+      if (!schema.ok()) return schema.status();
+      Result<StreamId> sid = service_->RegisterStream(std::move(*schema));
+      if (!sid.ok()) {
+        EnqueueError(conn, sid.status());
+        return Status::OK();
+      }
+      EnqueueOk(conn, *sid);
+      return Status::OK();
+    }
+    case FrameType::kRegisterSubject: {
+      Result<RegisterSubjectPayload> p = DecodeRegisterSubject(frame.payload);
+      if (!p.ok()) return p.status();
+      Status st = service_->RegisterSubject(p->name, p->roles);
+      if (!st.ok()) {
+        EnqueueError(conn, st);
+        return Status::OK();
+      }
+      EnqueueOk(conn, 0);
+      return Status::OK();
+    }
+    case FrameType::kRegisterQuery: {
+      Result<RegisterQueryPayload> p = DecodeRegisterQuery(frame.payload);
+      if (!p.ok()) return p.status();
+      Result<QueryId> qid = service_->RegisterQuery(p->subject, p->sql);
+      if (!qid.ok()) {
+        EnqueueError(conn, qid.status());
+        return Status::OK();
+      }
+      EnqueueOk(conn, *qid);
+      return Status::OK();
+    }
+    case FrameType::kSubscribe: {
+      size_t off = 0;
+      Result<uint64_t> qid = GetVarint(frame.payload, &off);
+      if (!qid.ok()) return qid.status();
+      const QueryId id = static_cast<QueryId>(*qid);
+      const size_t nqueries = service_->WithEngine(
+          [](SpStreamEngine* e) { return e->query_count(); });
+      if (id >= nqueries) {
+        EnqueueError(conn, Status::NotFound("subscribe: no query with id " +
+                                            std::to_string(id)));
+        return Status::OK();
+      }
+      auto [it, inserted] = subscribers_.emplace(id, conn);
+      const bool taken = !inserted && it->second != conn;
+      if (inserted) {
+        conn->subscriptions.push_back(id);
+        // Mirror eagerly: the subscription must be in the WAL before the
+        // client can observe the OK, or a crash right after the ack would
+        // lose the resume linkage.
+        if (conn->session_id != 0) {
+          std::lock_guard<std::mutex> lock(sessions_mu_);
+          auto sit = sessions_.find(conn->session_id);
+          if (sit != sessions_.end()) {
+            PersistSessionLocked(sit->second, &conn->subscriptions, -1);
+          }
+        }
+      }
+      if (taken) {
+        EnqueueError(conn,
+                     Status::AlreadyExists(
+                         "query " + std::to_string(id) +
+                         " already has a subscriber (results are drained; "
+                         "one subscriber per query)"));
+        return Status::OK();
+      }
+      EnqueueOk(conn, id);
+      return Status::OK();
+    }
+    case FrameType::kInsertSp: {
+      size_t off = 0;
+      Result<std::string> sql = GetLengthPrefixed(frame.payload, &off);
+      if (!sql.ok()) return sql.status();
+      Status st = service_->ExecuteInsertSp(*sql);
+      if (!st.ok()) {
+        EnqueueError(conn, st);
+        return Status::OK();
+      }
+      EnqueueOk(conn, 0);
+      return Status::OK();
+    }
+    case FrameType::kPush: {
+      // Normally decoded on the loop; a PUSH that raced the handshake (same
+      // read pass as HELLO) arrives here still encoded.
+      Result<PushPayload> push = DecodePush(frame.payload);
+      if (!push.ok()) return push.status();
+      return HandlePush(conn, std::move(*push));
+    }
+    case FrameType::kRun:
+      return HandleRun(conn);
+    case FrameType::kPing:
+      // Heartbeat racing the handshake (the loop answers once registered).
+      EnqueueFrame(conn, FrameType::kPong, frame.payload);
+      return Status::OK();
+    default:
+      // Anything else from a client is a protocol violation.
+      EnqueueError(conn, Status::InvalidArgument(
+                             std::string("unexpected frame ") +
+                             FrameTypeName(frame.type)));
+      return Status::InvalidArgument("protocol violation: unexpected frame");
+  }
+}
+
+Status StreamServer::HandlePush(const std::shared_ptr<ConnState>& conn,
+                                PushPayload push) {
+  const uint64_t cost = push.elements.size();
+  // Join the client's trace when the frame carries v3 context; otherwise
+  // (older client, or client-side tracing off) derive the sp-batch trace
+  // server-side so the push still connects to the engine's install spans.
+  TraceId push_trace = push.trace_id;
+  if (push_trace == 0 && SP_TRACE_ENABLED()) {
+    for (const StreamElement& e : push.elements) {
+      if (e.is_sp() && Tracer::Global().SampleSpBatch(e.ts())) {
+        push_trace = SpBatchTraceId(e.ts());
+        break;
+      }
+    }
+  }
+  TraceSpan push_span(TraceCat::kNet, "server.push", push_trace,
+                      static_cast<int64_t>(cost),
+                      static_cast<int64_t>(push.stream),
+                      /*parent=*/push.span_id != 0 ? push.span_id
+                                                   : kInheritParent);
+  ScopedTraceContext push_ctx(push_trace);
+  if (cost > conn->credits) {
+    EnqueueError(conn, Status::InvalidArgument(
+                           "credit overdraft: pushed " + std::to_string(cost) +
+                           " elements with " + std::to_string(conn->credits) +
+                           " credits"));
+    return Status::InvalidArgument("credit overdraft");
+  }
+  conn->credits -= cost;
+  if (conn->credits == 0) {
+    conn->credit_stalls.fetch_add(1, std::memory_order_relaxed);
+  }
+  // Credits were reserved above; a rejected batch refunds them (the
+  // elements never reached the engine, so no epoch will replenish them).
+  Result<std::string> stream = service_->StreamName(push.stream);
+  if (!stream.ok()) {
+    conn->credits += cost;
+    EnqueueError(conn, stream.status());
+    return Status::OK();
+  }
+  // unacked is bumped inside the engine lock, atomically with admission:
+  // the replenish pass runs under the same lock, so a CREDIT frame can only
+  // ever cover elements an epoch has actually drained — never elements
+  // still queued behind a running epoch.
+  Status st = service_->Push(*stream, std::move(push.elements),
+                             [&] { conn->unacked += cost; });
+  if (!st.ok()) {
+    conn->credits += cost;
+    EnqueueError(conn, st);
+    return Status::OK();
+  }
+  service_->metrics()->AddCounter("net.elements_pushed",
+                                  static_cast<int64_t>(cost));
+  return Status::OK();  // pipelined: no per-push ack, credits are the flow
+}
+
+Status StreamServer::HandleRun(const std::shared_ptr<ConnState>& conn) {
+  const uint64_t target = service_->RequestEpoch();
+  // The engine thread is the sole epoch runner: consume the work mark and
+  // run the requested epoch inline, then ack. Per-socket FIFO guarantees
+  // the RUN ack never overtakes the epoch's RESULT frames.
+  if (service_->PollWork()) RunEpochAndFlush();
+  EnqueueOk(conn, target);
+  return Status::OK();
+}
+
+void StreamServer::RunEpochAndFlush() {
+  struct Outbound {
+    std::shared_ptr<ConnState> conn;
+    FrameType type;
+    std::string payload;
+  };
+  std::vector<Outbound> out;
+  const uint64_t epoch = service_->RunEpoch([&](SpStreamEngine* engine) {
+    // Under the engine lock: drain each subscriber's results and
+    // snapshot credit consumption, atomically with the epoch.
+    for (auto& [qid, conn] : subscribers_) {
+      Result<std::vector<Tuple>> rows = engine->TakeResults(qid);
+      if (!rows.ok() || rows->empty()) continue;
+      // Chunked: an epoch whose output amplifies past the frame limit
+      // ships as several RESULT frames the subscriber banks by query id.
+      for (std::string& payload : EncodeResultChunks(qid, *rows)) {
+        out.push_back({conn, FrameType::kResult, std::move(payload)});
+      }
+    }
+    // Coalesced replenishment: ONE CREDIT frame per connection per epoch,
+    // covering every element the epoch drained across all of its batches.
+    for (auto& [id, conn] : engine_conns_) {
+      if (conn->unacked == 0) continue;
+      std::string payload;
+      PutVarint(conn->unacked, &payload);
+      conn->credits += conn->unacked;
+      conn->unacked = 0;
+      out.push_back({conn, FrameType::kCredit, std::move(payload)});
+    }
+  });
+  // Enqueues happen outside the engine lock: a slow subscriber stalls only
+  // itself (until the write-block timer or outbound cap evicts it), never
+  // the epoch loop.
+  for (Outbound& ob : out) {
+    // Delivery spans attach to the trace of the epoch that produced the
+    // frames (still published by the engine after Run() returns).
+    TraceSpan send_span(TraceCat::kNet,
+                        ob.type == FrameType::kResult ? "server.send_result"
+                                                      : "server.send_credit",
+                        Tracer::Global().epoch_trace(),
+                        static_cast<int64_t>(ob.payload.size()),
+                        static_cast<int64_t>(ob.conn->id));
+    EnqueueFrame(ob.conn, ob.type, ob.payload);
+    if (ob.type == FrameType::kResult) {
+      service_->metrics()->AddCounter("net.result_frames");
+    } else {
+      service_->metrics()->AddCounter("net.credit_frames");
+    }
+  }
+  service_->MarkEpochComplete(epoch);
+  // Refresh per-connection observability gauges once per epoch.
+  for (auto& [id, conn] : engine_conns_) PublishConnGauges(*conn);
+  service_->metrics()->SetGauge("net.connections_active",
+                                static_cast<int64_t>(engine_conns_.size()));
+  {
+    std::lock_guard<std::mutex> lock(sessions_mu_);
+    service_->metrics()->SetGauge("net.sessions",
+                                  static_cast<int64_t>(sessions_.size()));
+  }
+}
+
+void StreamServer::EnqueueFrame(const std::shared_ptr<ConnState>& conn,
+                                FrameType type, std::string_view payload) {
+  switch (conn->Enqueue(type, payload, options_.max_outbound_bytes)) {
+    case ConnState::EnqueueStatus::kQueued:
+      ScheduleFlush(conn);
+      return;
+    case ConnState::EnqueueStatus::kOverflow:
+      EvictFromEngine(conn,
+                      "slow subscriber: outbound buffer overflow (>" +
+                          std::to_string(options_.max_outbound_bytes) +
+                          " bytes buffered)",
+                      /*preserve_session=*/true);
+      return;
+    case ConnState::EnqueueStatus::kClosed:
+      return;  // at-most-once: frames racing a close are dropped
+  }
+}
+
+void StreamServer::EnqueueOk(const std::shared_ptr<ConnState>& conn,
+                             uint64_t value) {
+  std::string payload;
+  PutVarint(value, &payload);
+  EnqueueFrame(conn, FrameType::kOk, payload);
+}
+
+void StreamServer::EnqueueError(const std::shared_ptr<ConnState>& conn,
+                                const Status& error) {
+  std::string payload;
+  EncodeError(error, &payload);
+  EnqueueFrame(conn, FrameType::kError, payload);
+}
+
+void StreamServer::EvictFromEngine(const std::shared_ptr<ConnState>& conn,
+                                   const std::string& reason,
+                                   bool preserve_session) {
+  if (conn->finalized.exchange(true, std::memory_order_acq_rel)) return;
+  // Bookkeeping runs NOW, synchronously: counters and the audit trail are
+  // visible the moment the decision is made, even though the loop flushes
+  // the farewell ERROR frame and closes the fd asynchronously.
+  FinalizeBookkeeping(conn, reason, /*evicted=*/true, preserve_session);
+  conn->loop->Post([this, conn] { LoopDrainAndClose(conn); });
+}
+
+void StreamServer::FinalizeBookkeeping(const std::shared_ptr<ConnState>& conn,
+                                       const std::string& reason, bool evicted,
+                                       bool preserve_session) {
+  for (QueryId q : conn->subscriptions) {
+    auto it = subscribers_.find(q);
+    if (it != subscribers_.end() && it->second == conn) subscribers_.erase(it);
+  }
+  // BYE / protocol violations forfeit the session (preserve=false); abrupt
+  // disconnects and preserved evictions detach it for resume.
+  ReleaseSession(conn, preserve_session);
+  conn->subscriptions.clear();
+  engine_conns_.erase(conn->id);
+  if (evicted) {
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+    service_->metrics()->AddCounter("net.evictions");
+    // Flight-recorder dump: an eviction (slow subscriber, idle timeout,
+    // protocol violation) is an incident worth the recent span history.
+    const TraceId evict_trace = Tracer::Global().epoch_trace();
+    Tracer::Global().NoteIncident("net_eviction", evict_trace);
+    AuditEvent e;
+    e.kind = AuditEventKind::kNetEviction;
+    e.scope = "net.conn" + std::to_string(conn->id);
+    e.detail = "evicted '" + conn->name + "': " + reason;
+    e.trace_id = evict_trace;
+    service_->audit()->Append(std::move(e));
+    if (durability_ != nullptr) {
+      // Incident dump: the eviction just snapshotted the flight recorder;
+      // persist the audit tail (including the event above) alongside it.
+      (void)durability_->FlushAuditTail(*service_->audit());
+    }
+  }
+  // Retire the connection's gauge namespace. Without this a server with
+  // connection churn grows the metrics registry forever.
+  service_->metrics()->RemoveGaugesWithPrefix(
+      "net.conn" + std::to_string(conn->id) + ".");
+}
+
+void StreamServer::ReleaseSession(const std::shared_ptr<ConnState>& conn,
+                                  bool preserve) {
+  if (conn->session_id == 0) return;
+  bool schedule_sweep = false;
+  {
+    std::lock_guard<std::mutex> lock(sessions_mu_);
+    auto it = sessions_.find(conn->session_id);
+    if (it != sessions_.end()) {
+      if (preserve) {
+        it->second.subscriptions = conn->subscriptions;
+        it->second.detached_at_ms = EventLoopNowMs();
+        PersistSessionLocked(it->second, &it->second.subscriptions,
+                             it->second.detached_at_ms);
+        schedule_sweep = true;
+      } else {
+        if (durability_ != nullptr) {
+          (void)durability_->LogSessionErase(it->first);
+        }
+        sessions_.erase(it);
+      }
+    }
   }
   conn->session_id = 0;
+  if (schedule_sweep) ScheduleSessionSweep(options_.session_linger_ms + 6);
 }
 
 void StreamServer::PersistSessionLocked(
@@ -156,588 +1157,63 @@ void StreamServer::PersistSessionLocked(
   (void)durability_->LogSessionUpsert(d);
 }
 
-void StreamServer::AcceptLoop() {
-  for (;;) {
-    // Poll-bounded accept: a blocked TcpAccept can miss the listener
-    // shutdown on some kernels/paths, and — worse — a connection accepted
-    // an instant before Stop()'s shutdown pass would sit unregistered with
-    // its reader blocked in the HELLO read forever. Bounding the wait and
-    // re-checking stopping_ (again under conns_mu_ below) closes both.
-    Result<bool> readable = WaitReadable(listen_fd_, options_.accept_poll_ms);
-    if (stopping_.load(std::memory_order_acquire)) return;
-    if (!readable.ok()) return;  // listener closed: shutting down
-    if (!*readable) continue;    // poll tick; re-check the stop flag
-    Result<int> fd = TcpAccept(listen_fd_);
-    if (!fd.ok()) return;  // listener closed: shutting down
-    Status st = SetSendTimeoutMs(*fd, options_.send_timeout_ms);
-    if (!st.ok()) {
-      CloseSocket(*fd);
-      continue;
-    }
-    std::lock_guard<std::mutex> lock(conns_mu_);
-    if (stopping_.load(std::memory_order_acquire)) {
-      // Stop()'s shutdown pass has run (or is about to, which is fine: it
-      // only touches registered connections). Registering now would leave
-      // a reader nobody wakes; close the socket instead.
-      CloseSocket(*fd);
-      return;
-    }
-    auto conn = std::make_unique<Connection>();
-    conn->id = next_conn_id_++;
-    conn->fd = *fd;
-    conn->credits = options_.initial_credits;
-    ++connections_accepted_;
-    service_->metrics()->AddCounter("net.connections_total");
-    Connection* raw = conn.get();
-    conns_.push_back(std::move(conn));
-    raw->reader = std::thread([this, raw] { ReaderLoop(raw); });
-  }
-}
-
-void StreamServer::ReaderLoop(Connection* conn) {
-  // Handshake: the first frame must be HELLO; the ack carries the stream
-  // catalog (schema negotiation), this connection's credit window, and the
-  // session it is attached to (fresh, or a resumed detached one).
-  Result<Frame> hello = ReadFrame(conn->fd);
-  bool ok = hello.ok() && hello->type == FrameType::kHello;
-  if (ok) {
-    Result<HelloPayload> h = DecodeHello(hello->payload);
-    if (!h.ok()) {
-      (void)SendError(conn, Status::ParseError("malformed HELLO: " +
-                                               h.status().message()));
-      ok = false;
-    } else if (h->version < kMinWireProtocolVersion ||
-               h->version > kWireProtocolVersion) {
-      (void)SendError(
-          conn, Status::InvalidArgument(
-                    "unsupported protocol version " +
-                    std::to_string(h->version) + " (server speaks " +
-                    std::to_string(kWireProtocolVersion) + ")"));
-      ok = false;
-    } else {
-      conn->name = h->client_name;
-      HelloAckPayload ack;
-      ack.initial_credits = options_.initial_credits;
-      ack.streams = service_->ListStreams();
-      {
-        std::lock_guard<std::mutex> lock(conns_mu_);
-        Session* resumed = nullptr;
-        if (h->session_id != 0) {
-          auto it = sessions_.find(h->session_id);
-          // The token gates resume; a detached_at_ms < 0 session still has
-          // a live connection attached and cannot be hijacked.
-          if (it != sessions_.end() && it->second.token == h->session_token &&
-              it->second.detached_at_ms >= 0) {
-            resumed = &it->second;
-          }
-          // An unknown/expired/mismatched id falls through to a fresh
-          // session (resumed=0): the client learns its old identity is
-          // gone and re-subscribes itself.
-        }
-        if (resumed != nullptr) {
-          resumed->detached_at_ms = -1;
-          conn->session_id = resumed->id;
-          if (!resumed->client_name.empty()) conn->name = resumed->client_name;
-          // Reinstate the session's result routing, skipping any query a
-          // newer subscriber claimed during the gap.
-          for (QueryId q : resumed->subscriptions) {
-            auto [it2, inserted] = subscribers_.emplace(q, conn);
-            (void)it2;
-            if (inserted) conn->subscriptions.push_back(q);
-          }
-          resumed->subscriptions.clear();
-          ++sessions_resumed_;
-          ack.resumed = 1;
-          ack.session_id = resumed->id;
-          ack.session_token = resumed->token;
-          PersistSessionLocked(*resumed, &conn->subscriptions, -1);
-        } else {
-          Session fresh;
-          fresh.id = next_session_id_++;
-          fresh.token = session_rng_.Next();
-          fresh.client_name = conn->name;
-          conn->session_id = fresh.id;
-          ack.session_id = fresh.id;
-          ack.session_token = fresh.token;
-          auto [sit, inserted] = sessions_.emplace(fresh.id, std::move(fresh));
-          (void)inserted;
-          PersistSessionLocked(sit->second, nullptr, -1);
-        }
-      }
-      std::string payload;
-      EncodeHelloAck(ack, &payload);
-      ok = SendFrame(conn, FrameType::kHelloAck, payload).ok();
-      if (ack.resumed != 0) {
-        service_->metrics()->AddCounter("net.sessions_resumed");
-      }
-    }
-  }
-
-  bool bye = false;
-  while (ok) {
-    if (options_.idle_timeout_ms > 0) {
-      // Heartbeat supervision: any frame (PING included) resets the clock.
-      Result<bool> readable = WaitReadable(conn->fd, options_.idle_timeout_ms);
-      if (!readable.ok()) break;
-      if (!*readable) {
-        Evict(conn,
-              "idle timeout (" + std::to_string(options_.idle_timeout_ms) +
-                  "ms without a frame)",
-              /*preserve_session=*/true);
-        break;
-      }
-    }
-    Result<Frame> frame = ReadFrame(conn->fd);
-    if (!frame.ok()) break;  // disconnect (clean close or torn frame)
-    {
-      std::lock_guard<std::mutex> lock(conns_mu_);
-      if (!conn->alive) break;
-      ++conn->frames_in;
-      conn->bytes_in += static_cast<int64_t>(frame->payload.size()) + 2;
-    }
-    if (frame->type == FrameType::kBye) {
-      bye = true;
-      break;
-    }
-    Status st = HandleFrame(conn, *frame);
-    if (!st.ok()) {
-      Evict(conn, st.message());
-      break;
-    }
-  }
-
-  bool was_alive;
+void StreamServer::SweepSessions() {
+  const int64_t now = EventLoopNowMs();
+  int64_t next_delay = -1;
   {
-    std::lock_guard<std::mutex> lock(conns_mu_);
-    was_alive = conn->alive;
-    if (conn->alive) {
-      conn->alive = false;
-      for (QueryId q : conn->subscriptions) subscribers_.erase(q);
-      // BYE forfeits the session (graceful goodbye); an abrupt disconnect
-      // detaches it so the client can resume within the linger window.
-      ReleaseSessionLocked(conn, /*preserve=*/!bye);
-      conn->subscriptions.clear();
-    }
-  }
-  if (was_alive) PublishConnGauges(conn);
-  // Single closer: the reader owns the fd's lifetime. Close under write_mu
-  // and poison the fd so an in-flight SendFrame can never write to the fd
-  // number after the kernel recycles it for a new connection — that would
-  // deliver this subscriber's authorized results to a stranger.
-  {
-    std::lock_guard<std::mutex> wlock(conn->write_mu);
-    CloseSocket(conn->fd);
-    conn->fd = -1;
-  }
-  conn->reader_done.store(true, std::memory_order_release);
-}
-
-Status StreamServer::HandleFrame(Connection* conn, const Frame& frame) {
-  switch (frame.type) {
-    case FrameType::kRegisterRole: {
-      size_t off = 0;
-      Result<std::string> name = GetLengthPrefixed(frame.payload, &off);
-      if (!name.ok()) return name.status();
-      const RoleId id = service_->RegisterRole(*name);
-      return SendOk(conn, id);
-    }
-    case FrameType::kRegisterStream: {
-      size_t off = 0;
-      Result<SchemaPtr> schema = DecodeSchema(frame.payload, &off);
-      if (!schema.ok()) return schema.status();
-      Result<StreamId> sid = service_->RegisterStream(std::move(*schema));
-      if (!sid.ok()) return SendError(conn, sid.status());
-      return SendOk(conn, *sid);
-    }
-    case FrameType::kRegisterSubject: {
-      Result<RegisterSubjectPayload> p =
-          DecodeRegisterSubject(frame.payload);
-      if (!p.ok()) return p.status();
-      Status st = service_->RegisterSubject(p->name, p->roles);
-      if (!st.ok()) return SendError(conn, st);
-      return SendOk(conn, 0);
-    }
-    case FrameType::kRegisterQuery: {
-      Result<RegisterQueryPayload> p = DecodeRegisterQuery(frame.payload);
-      if (!p.ok()) return p.status();
-      Result<QueryId> qid = service_->RegisterQuery(p->subject, p->sql);
-      if (!qid.ok()) return SendError(conn, qid.status());
-      return SendOk(conn, *qid);
-    }
-    case FrameType::kSubscribe: {
-      size_t off = 0;
-      Result<uint64_t> qid = GetVarint(frame.payload, &off);
-      if (!qid.ok()) return qid.status();
-      const QueryId id = static_cast<QueryId>(*qid);
-      const size_t nqueries = service_->WithEngine(
-          [](SpStreamEngine* e) { return e->query_count(); });
-      if (id >= nqueries) {
-        return SendError(conn,
-                         Status::NotFound("subscribe: no query with id " +
-                                          std::to_string(id)));
-      }
-      bool taken = false;
-      {
-        std::lock_guard<std::mutex> lock(conns_mu_);
-        auto [it, inserted] = subscribers_.emplace(id, conn);
-        taken = !inserted && it->second != conn;
-        if (inserted) {
-          conn->subscriptions.push_back(id);
-          // Mirror eagerly: the subscription must be in the WAL before the
-          // client can observe the OK, or a crash right after the ack would
-          // lose the resume linkage.
-          if (conn->session_id != 0) {
-            auto sit = sessions_.find(conn->session_id);
-            if (sit != sessions_.end()) {
-              PersistSessionLocked(sit->second, &conn->subscriptions, -1);
-            }
-          }
+    std::lock_guard<std::mutex> lock(sessions_mu_);
+    sweep_armed_ = false;
+    for (auto it = sessions_.begin(); it != sessions_.end();) {
+      if (it->second.detached_at_ms >= 0 &&
+          now - it->second.detached_at_ms > options_.session_linger_ms) {
+        // Expired: the resume token is gone and a later HELLO presenting
+        // it starts fresh.
+        if (durability_ != nullptr) {
+          (void)durability_->LogSessionErase(it->first);
         }
-      }
-      if (taken) {
-        return SendError(
-            conn, Status::AlreadyExists(
-                      "query " + std::to_string(id) +
-                      " already has a subscriber (results are drained; "
-                      "one subscriber per query)"));
-      }
-      return SendOk(conn, id);
-    }
-    case FrameType::kInsertSp: {
-      size_t off = 0;
-      Result<std::string> sql = GetLengthPrefixed(frame.payload, &off);
-      if (!sql.ok()) return sql.status();
-      Status st = service_->ExecuteInsertSp(*sql);
-      if (!st.ok()) return SendError(conn, st);
-      return SendOk(conn, 0);
-    }
-    case FrameType::kPush:
-      return HandlePush(conn, frame.payload);
-    case FrameType::kRun:
-      return HandleRun(conn);
-    case FrameType::kPing:
-      // Heartbeat: echo the payload so the client can correlate probes.
-      return SendFrame(conn, FrameType::kPong, frame.payload);
-    default:
-      // Anything else from a client is a protocol violation.
-      (void)SendError(conn, Status::InvalidArgument(
-                                std::string("unexpected frame ") +
-                                FrameTypeName(frame.type)));
-      return Status::InvalidArgument("protocol violation: unexpected frame");
-  }
-}
-
-Status StreamServer::HandlePush(Connection* conn, std::string_view payload) {
-  // Shed-before-decode: while the engine is in kShed, pure-data PUSH frames
-  // are discarded wholesale before a single Tuple is materialized. The scan
-  // walks kind bytes + varint skips only, and any frame carrying an sp or a
-  // control boundary is exempt — *shed data, never shed security*. The
-  // frame never consumes server-side credits (it never reaches the engine,
-  // so no epoch would replenish them); the companion CREDIT frame makes the
-  // client's window whole again.
-  const auto shed_state =
-      static_cast<OverloadState>(overload_state_.load(std::memory_order_relaxed));
-  if (shed_state == OverloadState::kShed) {
-    Result<PushScan> scan = ScanPush(payload);
-    if (scan.ok() && !scan->carries_security) {
-      frames_shed_.fetch_add(1, std::memory_order_relaxed);
-      service_->metrics()->AddCounter("net.frames_shed");
-      service_->metrics()->AddCounter(
-          "net.tuples_shed", static_cast<int64_t>(scan->element_count));
-      ShedNoticePayload notice;
-      notice.dropped = scan->element_count;
-      notice.state = static_cast<uint8_t>(shed_state);
-      std::string np;
-      EncodeShedNotice(notice, &np);
-      SP_RETURN_NOT_OK(SendFrame(conn, FrameType::kShedNotice, np));
-      std::string cp;
-      PutVarint(scan->element_count, &cp);
-      return SendFrame(conn, FrameType::kCredit, cp);
-    }
-    // A scan error falls through to the full decoder for its proper
-    // malformed-frame error path; a security-carrying frame is admitted
-    // losslessly below.
-  }
-  Result<PushPayload> push = DecodePush(payload);
-  if (!push.ok()) return push.status();  // malformed data plane: disconnect
-  const uint64_t cost = push->elements.size();
-  // Join the client's trace when the frame carries v3 context; otherwise
-  // (older client, or client-side tracing off) derive the sp-batch trace
-  // server-side so the push still connects to the engine's install spans.
-  TraceId push_trace = push->trace_id;
-  if (push_trace == 0 && SP_TRACE_ENABLED()) {
-    for (const StreamElement& e : push->elements) {
-      if (e.is_sp() && Tracer::Global().SampleSpBatch(e.ts())) {
-        push_trace = SpBatchTraceId(e.ts());
-        break;
-      }
-    }
-  }
-  TraceSpan push_span(TraceCat::kNet, "server.push", push_trace,
-                      static_cast<int64_t>(cost),
-                      static_cast<int64_t>(push->stream),
-                      /*parent=*/push->span_id != 0 ? push->span_id
-                                                    : kInheritParent);
-  ScopedTraceContext push_ctx(push_trace);
-  uint64_t available = 0;
-  bool overdraft = false;
-  {
-    std::lock_guard<std::mutex> lock(conns_mu_);
-    available = conn->credits;
-    overdraft = cost > conn->credits;
-    if (!overdraft) {
-      conn->credits -= cost;
-      if (conn->credits == 0) ++conn->credit_stalls;
-    }
-  }
-  if (overdraft) {
-    (void)SendError(
-        conn, Status::InvalidArgument(
-                  "credit overdraft: pushed " + std::to_string(cost) +
-                  " elements with " + std::to_string(available) +
-                  " credits"));
-    return Status::InvalidArgument("credit overdraft");
-  }
-  // Credits were reserved above; a rejected batch refunds them (the
-  // elements never reached the engine, so no epoch will replenish them).
-  auto refund = [&] {
-    std::lock_guard<std::mutex> lock(conns_mu_);
-    conn->credits += cost;
-  };
-  Result<std::string> stream = service_->StreamName(push->stream);
-  if (!stream.ok()) {
-    refund();
-    return SendError(conn, stream.status());
-  }
-  // unacked is bumped inside the engine lock, atomically with admission:
-  // the serve loop's replenish pass runs under the same lock, so a CREDIT
-  // frame can only ever cover elements an epoch has actually drained —
-  // never elements still queued behind a running epoch.
-  Status st = service_->Push(*stream, std::move(push->elements), [&] {
-    std::lock_guard<std::mutex> lock(conns_mu_);
-    conn->unacked += cost;
-  });
-  if (!st.ok()) {
-    refund();
-    return SendError(conn, st);
-  }
-  service_->metrics()->AddCounter("net.elements_pushed",
-                                  static_cast<int64_t>(cost));
-  return Status::OK();  // pipelined: no per-push ack, credits are the flow
-}
-
-Status StreamServer::HandleRun(Connection* conn) {
-  const uint64_t target = service_->RequestEpoch();
-  service_->WaitEpoch(target);
-  return SendOk(conn, target);
-}
-
-void StreamServer::ServeLoop() {
-  struct Outbound {
-    Connection* conn;
-    FrameType type;
-    std::string payload;
-  };
-  while (service_->WaitWork()) {
-    std::vector<Outbound> out;
-    const uint64_t epoch = service_->RunEpoch([&](SpStreamEngine* engine) {
-      // Cache the overload tier for the reader threads' shed-before-decode
-      // fast path (the controller itself is engine-lock territory).
-      overload_state_.store(static_cast<uint8_t>(engine->overload_state()),
-                            std::memory_order_relaxed);
-      // Still under the engine lock: drain each subscriber's results and
-      // snapshot credit consumption, atomically with the epoch.
-      std::lock_guard<std::mutex> lock(conns_mu_);
-      for (auto& [qid, conn] : subscribers_) {
-        if (!conn->alive) continue;
-        Result<std::vector<Tuple>> rows = engine->TakeResults(qid);
-        if (!rows.ok() || rows->empty()) continue;
-        // Chunked: an epoch whose output amplifies past the frame limit
-        // ships as several RESULT frames the subscriber banks by query id.
-        for (std::string& payload : EncodeResultChunks(qid, *rows)) {
-          out.push_back({conn, FrameType::kResult, std::move(payload)});
-        }
-      }
-      for (auto& conn : conns_) {
-        if (!conn->alive || conn->unacked == 0) continue;
-        std::string payload;
-        PutVarint(conn->unacked, &payload);
-        conn->credits += conn->unacked;
-        conn->unacked = 0;
-        out.push_back({conn.get(), FrameType::kCredit, std::move(payload)});
-      }
-    });
-    // Sends happen outside the engine lock: a slow subscriber stalls only
-    // itself (until the send timeout evicts it), never the epoch loop. The
-    // epoch is marked complete only after these sends, so the per-socket
-    // write order guarantees a RUN ack never overtakes its epoch's results.
-    for (Outbound& ob : out) {
-      // Delivery spans attach to the trace of the epoch that produced the
-      // frames (still published by the engine after Run() returns).
-      TraceSpan send_span(TraceCat::kNet,
-                          ob.type == FrameType::kResult ? "server.send_result"
-                                                        : "server.send_credit",
-                          Tracer::Global().epoch_trace(),
-                          static_cast<int64_t>(ob.payload.size()),
-                          static_cast<int64_t>(ob.conn->id));
-      Status st = SendFrame(ob.conn, ob.type, ob.payload);
-      if (!st.ok()) {
-        // A failed delivery is the peer's (or the network's) fault, not a
-        // protocol violation — keep the session resumable. The frame that
-        // failed is dropped, never re-sent: at-most-once delivery.
-        Evict(ob.conn,
-              (ob.type == FrameType::kResult ? "slow subscriber: "
-                                             : "credit delivery failed: ") +
-                  st.message(),
-              /*preserve_session=*/true);
-      } else if (ob.type == FrameType::kResult) {
-        service_->metrics()->AddCounter("net.result_frames");
+        it = sessions_.erase(it);
+        ++sessions_expired_;
       } else {
-        service_->metrics()->AddCounter("net.credit_frames");
-      }
-    }
-    service_->MarkEpochComplete(epoch);
-    // Refresh per-connection observability gauges once per epoch, and reap
-    // connections whose reader has exited: join the thread, retire the
-    // net.conn<id>.* gauge namespace, free the Connection. Without this a
-    // server with connection churn grows memory (and this scan) forever.
-    std::vector<Connection*> live;
-    std::vector<std::unique_ptr<Connection>> dead;
-    {
-      std::lock_guard<std::mutex> lock(conns_mu_);
-      for (auto it = conns_.begin(); it != conns_.end();) {
-        if ((*it)->reader_done.load(std::memory_order_acquire)) {
-          dead.push_back(std::move(*it));
-          it = conns_.erase(it);
-        } else {
-          if ((*it)->alive) live.push_back(it->get());
-          ++it;
+        if (it->second.detached_at_ms >= 0) {
+          const int64_t due = it->second.detached_at_ms +
+                              options_.session_linger_ms + 1 - now;
+          if (next_delay < 0 || due < next_delay) next_delay = due;
         }
+        ++it;
       }
-      // Expire detached sessions past the linger window; their resume
-      // token is gone and a later HELLO presenting it starts fresh.
-      const int64_t now = NowMillis();
-      for (auto it = sessions_.begin(); it != sessions_.end();) {
-        if (it->second.detached_at_ms >= 0 &&
-            now - it->second.detached_at_ms > options_.session_linger_ms) {
-          if (durability_ != nullptr) {
-            (void)durability_->LogSessionErase(it->first);
-          }
-          it = sessions_.erase(it);
-          ++sessions_expired_;
-        } else {
-          ++it;
-        }
-      }
-      service_->metrics()->SetGauge("net.connections_active",
-                                    static_cast<int64_t>(live.size()));
-      service_->metrics()->SetGauge("net.sessions",
-                                    static_cast<int64_t>(sessions_.size()));
-    }
-    for (Connection* conn : live) PublishConnGauges(conn);
-    for (auto& conn : dead) {
-      if (conn->reader.joinable()) conn->reader.join();
-      service_->metrics()->RemoveGaugesWithPrefix(
-          "net.conn" + std::to_string(conn->id) + ".");
     }
   }
+  if (next_delay >= 0) ScheduleSessionSweep(next_delay + 5);
 }
 
-Status StreamServer::SendFrame(Connection* conn, FrameType type,
-                               std::string_view payload) {
-  Status st;
+void StreamServer::ScheduleSessionSweep(int64_t delay_ms) {
   {
-    std::lock_guard<std::mutex> lock(conn->write_mu);
-    // The reader closes the fd (and poisons it to -1) under write_mu, so
-    // this re-check is what keeps a queued frame off a recycled fd.
-    if (conn->fd < 0) {
-      return Status::Internal("net: connection already closed");
-    }
-    if (SP_FAULT_FIRED(fault::kNetWrite)) {
-      st = Status::Internal("injected fault: net.write");
-    } else {
-      st = WriteFrame(conn->fd, type, payload);
-    }
+    std::lock_guard<std::mutex> lock(sessions_mu_);
+    if (sweep_armed_) return;
+    sweep_armed_ = true;
   }
-  // Counter upkeep outside write_mu: conns_mu_ must never nest inside
-  // write_mu (Stop/Evict take them in the opposite order).
-  if (st.ok()) {
-    std::lock_guard<std::mutex> lock(conns_mu_);
-    ++conn->frames_out;
-    conn->bytes_out += static_cast<int64_t>(payload.size()) + 2;
-  }
-  return st;
+  if (shards_.empty()) return;
+  // The linger timer lives on shard 0's wheel; SweepSessions() itself is
+  // safe from any thread (sessions_mu_).
+  EventLoop* loop = shards_[0]->loop.get();
+  loop->Post([this, loop, delay_ms] {
+    loop->timers().Schedule(delay_ms, [this] { SweepSessions(); });
+  });
 }
 
-Status StreamServer::SendOk(Connection* conn, uint64_t value) {
-  std::string payload;
-  PutVarint(value, &payload);
-  return SendFrame(conn, FrameType::kOk, payload);
-}
-
-Status StreamServer::SendError(Connection* conn, const Status& error) {
-  std::string payload;
-  EncodeError(error, &payload);
-  SP_RETURN_NOT_OK(SendFrame(conn, FrameType::kError, payload));
-  return Status::OK();
-}
-
-void StreamServer::Evict(Connection* conn, const std::string& reason,
-                         bool preserve_session) {
-  {
-    std::lock_guard<std::mutex> lock(conns_mu_);
-    if (!conn->alive) return;
-    conn->alive = false;
-    for (QueryId q : conn->subscriptions) subscribers_.erase(q);
-    ReleaseSessionLocked(conn, preserve_session);
-    conn->subscriptions.clear();
-    ++evictions_;
-  }
-  service_->metrics()->AddCounter("net.evictions");
-  // Flight-recorder dump: an eviction (slow subscriber, idle timeout,
-  // protocol violation) is an incident worth the recent span history.
-  const TraceId evict_trace = Tracer::Global().epoch_trace();
-  Tracer::Global().NoteIncident("net_eviction", evict_trace);
-  AuditEvent e;
-  e.kind = AuditEventKind::kNetEviction;
-  e.scope = "net.conn" + std::to_string(conn->id);
-  e.detail = "evicted '" + conn->name + "': " + reason;
-  e.trace_id = evict_trace;
-  service_->audit()->Append(std::move(e));
-  if (durability_ != nullptr) {
-    // Incident dump: the eviction just snapshotted the flight recorder;
-    // persist the audit tail (including the event above) alongside it.
-    (void)durability_->FlushAuditTail(*service_->audit());
-  }
-  PublishConnGauges(conn);
-  // Wake the reader; it closes the fd on its way out. Guarded by write_mu
-  // so we never shut down an fd number the reader has already closed (and
-  // the kernel may have recycled).
-  {
-    std::lock_guard<std::mutex> wlock(conn->write_mu);
-    if (conn->fd >= 0) ShutdownSocket(conn->fd);
-  }
-}
-
-void StreamServer::PublishConnGauges(Connection* conn) {
-  int64_t frames_in, frames_out, bytes_in, bytes_out, credit_stalls;
-  int id;
-  {
-    std::lock_guard<std::mutex> lock(conns_mu_);
-    id = conn->id;
-    frames_in = conn->frames_in;
-    frames_out = conn->frames_out;
-    bytes_in = conn->bytes_in;
-    bytes_out = conn->bytes_out;
-    credit_stalls = conn->credit_stalls;
-  }
+void StreamServer::PublishConnGauges(const ConnState& conn) {
   MetricsRegistry* m = service_->metrics();
-  const std::string prefix = "net.conn" + std::to_string(id) + ".";
-  m->SetGauge(prefix + "frames_in", frames_in);
-  m->SetGauge(prefix + "frames_out", frames_out);
-  m->SetGauge(prefix + "bytes_in", bytes_in);
-  m->SetGauge(prefix + "bytes_out", bytes_out);
-  m->SetGauge(prefix + "credit_stalls", credit_stalls);
+  const std::string prefix = "net.conn" + std::to_string(conn.id) + ".";
+  m->SetGauge(prefix + "frames_in",
+              conn.frames_in.load(std::memory_order_relaxed));
+  m->SetGauge(prefix + "frames_out",
+              conn.frames_out.load(std::memory_order_relaxed));
+  m->SetGauge(prefix + "bytes_in",
+              conn.bytes_in.load(std::memory_order_relaxed));
+  m->SetGauge(prefix + "bytes_out",
+              conn.bytes_out.load(std::memory_order_relaxed));
+  m->SetGauge(prefix + "credit_stalls",
+              conn.credit_stalls.load(std::memory_order_relaxed));
 }
 
 }  // namespace spstream

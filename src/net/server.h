@@ -3,30 +3,34 @@
 // queries and result subscriptions, all over the binary wire protocol
 // (net/wire.h, docs/NETWORK.md).
 //
-// Concurrency model (documented choice): ONE READER THREAD PER CONNECTION
-// feeding a MUTEX-GUARDED ENGINE, plus one serve-loop thread that runs
-// epochs. Rationale: the engine is shared mutable state that admission
-// (SP Analyzer), catalog ops and epoch execution all touch, so a single
-// engine mutex with short holds is the whole synchronization story — easy
-// to reason about, easy for TSan to verify, and the lock is not the
-// bottleneck at the connection counts a security-punctuation middleware
-// front-end sees (the epoch CPU is). An epoll reactor would shave threads,
-// not locks; it can replace the reader layer later without touching the
-// protocol or the service.
+// Concurrency model (documented choice): an EPOLL REACTOR with a SHARDED
+// SESSION ENGINE. N event-loop threads (`net_loops`, one per core by
+// default) each own an epoll instance, a timer wheel and a shard of the
+// connections; sockets are non-blocking and edge-triggered, and each
+// connection is a small state machine (net/conn_state.h) instead of a
+// dedicated reader thread — 10k connections cost O(net_loops) threads.
+// Loops never touch the engine: they stage decoded frames into a per-loop
+// MPSC ingress queue drained by ONE engine thread, which owns every
+// session/credit/subscription decision and runs epochs. The engine thread
+// is woken by the loops and by EngineService's work notifier, so accepting,
+// parsing and writing scale across cores while the engine's single-threaded
+// invariant holds trivially. The syscall surface lives behind EventBackend
+// (net/event_loop.h), sized so an io_uring proactor can slot in later.
 //
 // Backpressure is credit-based: every connection is granted
 // `options.initial_credits` element credits at HELLO_ACK; each element in a
-// PUSH frame consumes one. The serve loop replenishes exactly the credits
-// an epoch consumed (CREDIT frames after the epoch), so a connection can
-// never have more than `initial_credits` elements buffered inside the
-// engine — the engine's pending input stays bounded no matter how fast
-// clients push. A client that overdraws its window is a protocol violator
-// and is disconnected. Subscribers that cannot drain their results within
-// `send_timeout_ms` are evicted (connection closed, audit event, counter)
-// so one stalled consumer cannot wedge the epoch loop.
+// PUSH frame consumes one. After each epoch the engine thread replenishes
+// exactly the credits that epoch drained — coalesced into ONE CREDIT frame
+// per connection per epoch, not one per admitted batch — so a connection
+// can never have more than `initial_credits` elements buffered inside the
+// engine. A client that overdraws its window is a protocol violator and is
+// disconnected. Subscribers whose socket stays write-blocked longer than
+// `send_timeout_ms` (or whose buffered output exceeds `max_outbound_bytes`)
+// are evicted so one stalled consumer cannot wedge the epoch loop.
 #pragma once
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -38,25 +42,39 @@
 #include "common/rng.h"
 #include "common/status.h"
 #include "engine/engine_service.h"
+#include "net/conn_state.h"
+#include "net/event_loop.h"
 #include "net/wire.h"
+#include "stream/element_queue.h"
 
 namespace spstream {
 
 struct StreamServerOptions {
   /// Element credits granted to each connection at HELLO_ACK.
   uint64_t initial_credits = 256;
-  /// A blocked send to a subscriber longer than this evicts it.
+  /// A subscriber whose socket stays write-blocked this long is evicted.
   int send_timeout_ms = 5000;
   /// A connection that sends no frame (not even a PING heartbeat) for this
   /// long is evicted with its session preserved for resume. 0 disables.
   int idle_timeout_ms = 0;
-  /// The accept loop polls the listener at this period so Stop() can never
-  /// race a freshly accepted, not-yet-registered connection (see
-  /// docs/ROBUSTNESS.md).
-  int accept_poll_ms = 100;
   /// How long a detached session (abrupt disconnect / preserved eviction)
-  /// stays resumable before the serve loop expires it.
+  /// stays resumable before the linger timer expires it.
   int session_linger_ms = 10000;
+  /// Event-loop threads. 0 = auto: SPSTREAM_NET_LOOPS env var if set, else
+  /// one per hardware thread.
+  int net_loops = 0;
+  /// Bind one SO_REUSEPORT listener per loop so the kernel spreads accepts;
+  /// falls back to a single accepting loop (round-robin handoff) when the
+  /// platform refuses. SPSTREAM_NET_REUSEPORT=0 disables.
+  bool so_reuseport = true;
+  /// listen(2) backlog per listener.
+  int listen_backlog = 128;
+  /// Capacity of each loop's ingress queue (events staged for the engine
+  /// thread); a full queue pauses that loop's reads, never drops events.
+  size_t ingress_capacity = 4096;
+  /// Buffered outbound bytes per connection before the subscriber is
+  /// declared dead and evicted. 0 = uncapped.
+  size_t max_outbound_bytes = 64u << 20;
 };
 
 class StreamServer {
@@ -68,12 +86,11 @@ class StreamServer {
   StreamServer(const StreamServer&) = delete;
   StreamServer& operator=(const StreamServer&) = delete;
 
-  /// \brief Bind the loopback listener (port 0 = kernel-chosen) and start
-  /// the accept + serve threads.
+  /// \brief Bind the loopback listener(s) (port 0 = kernel-chosen) and
+  /// start the event-loop and engine threads.
   Status Start(uint16_t port);
 
-  /// \brief Stop serving: close the listener and every connection, join all
-  /// threads. Idempotent.
+  /// \brief Stop serving: join every thread, close every fd. Idempotent.
   void Stop();
 
   /// \brief The bound port (after Start; resolves port-0 binds).
@@ -93,32 +110,40 @@ class StreamServer {
   /// \brief PUSH frames discarded whole by shed-before-decode.
   int64_t frames_shed() const;
 
+  /// \brief Event-loop threads actually running (after Start).
+  int net_loops() const { return static_cast<int>(shards_.size()); }
+
  private:
-  struct Connection {
-    int id = 0;
-    // The reader thread owns the fd's lifetime: it alone closes it (under
-    // write_mu, poisoning it to -1), so no send or shutdown can ever touch
-    // an fd number the kernel has recycled for a newer connection.
-    int fd = -1;               // guarded by write_mu once the reader runs
-    std::string name;          // client-announced, for audit events
-    std::mutex write_mu;       // frames interleave: reader replies + serve
-    uint64_t credits = 0;      // remaining element window
-    uint64_t unacked = 0;      // elements drained by the next epoch
-    std::vector<QueryId> subscriptions;
-    bool alive = true;
-    // Set as ReaderLoop's final act; the serve loop only reaps (joins +
-    // frees) a connection once this is true, so the join can never block
-    // on a reader that is itself waiting for the serve loop's next epoch.
-    std::atomic<bool> reader_done{false};
-    // per-connection counters (published as gauges at epoch boundaries)
-    int64_t frames_in = 0;
-    int64_t frames_out = 0;
-    int64_t bytes_in = 0;
-    int64_t bytes_out = 0;
-    int64_t credit_stalls = 0;  // pushes that drained the window to zero
-    /// Session this connection is attached to (0 until HELLO completes).
-    uint64_t session_id = 0;
-    std::thread reader;
+  /// One staged unit of work for the engine thread. Loops decode what they
+  /// can without the engine (frame boundaries, PUSH payloads) and forward
+  /// the rest; a kClosed event is the single handoff of a dead connection.
+  struct IngressEvent {
+    enum class Kind : uint8_t { kFrame, kPush, kClosed };
+    Kind kind = Kind::kFrame;
+    std::shared_ptr<ConnState> conn;
+    Frame frame;                              // kFrame
+    std::unique_ptr<PushPayload> push;        // kPush (decoded on the loop)
+    std::string reason;                       // kClosed
+    bool evicted = false;                     // kClosed: count + audit
+    bool preserve_session = false;            // kClosed: detach vs erase
+  };
+
+  /// Per-event-loop state. Everything except `ingress` is owned by the
+  /// loop's thread.
+  struct LoopShard {
+    std::unique_ptr<EventLoop> loop;
+    std::thread thread;
+    int listen_fd = -1;
+    BoundedQueue<IngressEvent> ingress;
+    // fd -> connection; stale epoll events miss harmlessly after erase.
+    std::unordered_map<int, std::shared_ptr<ConnState>> conns;
+    // Events staged since the last tick, flushed to `ingress` in one batch.
+    std::vector<IngressEvent> egress;
+    bool stalled = false;      ///< ingress was full; reads are paused
+    bool retry_armed = false;  ///< egress retry timer scheduled
+    std::vector<std::shared_ptr<ConnState>> pending_reads;
+
+    explicit LoopShard(size_t capacity) : ingress(capacity) {}
   };
 
   /// A client identity that survives its TCP connection. Created at HELLO,
@@ -136,41 +161,94 @@ class StreamServer {
     int64_t detached_at_ms = -1;  // -1 while a connection is attached
   };
 
-  void AcceptLoop();
-  void ServeLoop();
-  void ReaderLoop(Connection* conn);
+  // ---- loop-thread side ---------------------------------------------------
+  void LoopIo(size_t shard_index, const EventBackend::Ready& ready);
+  void LoopTick(size_t shard_index);
+  void AcceptReady(size_t shard_index);
+  void AdoptConnection(size_t shard_index, int fd, int id);
+  void HandleReadable(size_t shard_index,
+                      const std::shared_ptr<ConnState>& conn);
+  /// Dispatch one parsed frame on the loop: PING/BYE/shed fast paths stay
+  /// here, PUSH is decoded here, everything else is staged for the engine.
+  void LoopDispatch(size_t shard_index, const std::shared_ptr<ConnState>& conn,
+                    Frame frame);
+  /// Enqueue the coalesced CREDIT frame covering frames shed this pass.
+  void MaterializeShedCredit(const std::shared_ptr<ConnState>& conn);
+  /// Loop-thread Enqueue + flush-or-evict (PONG, SHED_NOTICE, CREDIT).
+  void LoopEnqueue(size_t shard_index, const std::shared_ptr<ConnState>& conn,
+                   FrameType type, std::string_view payload);
+  /// Queue exactly one flush task on the connection's loop (deduped).
+  void ScheduleFlush(const std::shared_ptr<ConnState>& conn);
+  /// Arm the write-blocked eviction timer (send_timeout_ms).
+  void ArmBlockedTimer(const std::shared_ptr<ConnState>& conn);
+  /// Arm the 1ms retry timer for a stalled ingress queue.
+  void ArmEgressRetry(size_t shard_index);
+  /// Flush the connection's outbound queue; manages EPOLLOUT interest and
+  /// the write-blocked eviction timer.
+  void LoopFlush(const std::shared_ptr<ConnState>& conn);
+  /// Close the fd, unregister the connection and stage the kClosed event
+  /// (the engine does the bookkeeping exactly once).
+  void LoopClose(size_t shard_index, const std::shared_ptr<ConnState>& conn,
+                 std::string reason, bool evicted, bool preserve_session);
+  /// Engine-evicted connection: flush what is queued (the ERROR frame),
+  /// then close — bounded by `send_timeout_ms`.
+  void LoopDrainAndClose(const std::shared_ptr<ConnState>& conn);
+  /// Push staged egress events into the ingress queue (all-or-nothing to
+  /// keep per-connection FIFO); on a full queue pause reads and retry.
+  void FlushEgress(size_t shard_index);
+  void ScheduleIdleCheck(const std::shared_ptr<ConnState>& conn,
+                         int64_t delay_ms);
 
-  /// Handle one frame from `conn`; non-OK return disconnects the client.
-  Status HandleFrame(Connection* conn, const Frame& frame);
-  Status HandlePush(Connection* conn, std::string_view payload);
-  Status HandleRun(Connection* conn);
+  // ---- engine-thread side -------------------------------------------------
+  void EngineMain();
+  /// Drain every shard's ingress queue and run any pending epochs until
+  /// both are quiet.
+  void DrainAndRun(std::vector<IngressEvent>* batch);
+  void ProcessEvent(IngressEvent& event);
+  void Handshake(const std::shared_ptr<ConnState>& conn, const Frame& frame);
+  /// Handle one post-handshake frame; non-OK return evicts the client.
+  Status HandleFrame(const std::shared_ptr<ConnState>& conn,
+                     const Frame& frame);
+  Status HandlePush(const std::shared_ptr<ConnState>& conn, PushPayload push);
+  Status HandleRun(const std::shared_ptr<ConnState>& conn);
+  /// Run one epoch, ship RESULT frames to subscribers and the per-epoch
+  /// coalesced CREDIT replenishment, then publish gauges.
+  void RunEpochAndFlush();
 
-  /// Locked framed write + counter upkeep; marks the connection dead on
-  /// failure (send timeout = slow peer).
-  Status SendFrame(Connection* conn, FrameType type, std::string_view payload);
-  Status SendOk(Connection* conn, uint64_t value);
-  Status SendError(Connection* conn, const Status& error);
+  /// Buffer a frame on the connection and schedule a flush on its loop;
+  /// an outbound-cap overflow evicts the subscriber.
+  void EnqueueFrame(const std::shared_ptr<ConnState>& conn, FrameType type,
+                    std::string_view payload);
+  void EnqueueOk(const std::shared_ptr<ConnState>& conn, uint64_t value);
+  void EnqueueError(const std::shared_ptr<ConnState>& conn,
+                    const Status& error);
 
-  /// Close the connection and record why (audit event + counter). With
-  /// `preserve_session` the session detaches (resumable within the linger
-  /// window: slow subscriber, idle timeout, net faults); without, it is
-  /// erased (protocol violations forfeit the session).
-  void Evict(Connection* conn, const std::string& reason,
-             bool preserve_session = false);
-
-  /// Detach (preserve=true) or erase the connection's session. Caller holds
-  /// conns_mu_; the connection's subscriptions must not yet be cleared.
-  void ReleaseSessionLocked(Connection* conn, bool preserve);
+  /// Engine-initiated eviction: bookkeeping now (synchronously, so counters
+  /// and audit trail are visible the moment the decision is made), then the
+  /// loop flushes pending frames and closes.
+  void EvictFromEngine(const std::shared_ptr<ConnState>& conn,
+                       const std::string& reason, bool preserve_session);
+  /// Shared close bookkeeping; runs exactly once per connection (guarded by
+  /// ConnState::finalized).
+  void FinalizeBookkeeping(const std::shared_ptr<ConnState>& conn,
+                           const std::string& reason, bool evicted,
+                           bool preserve_session);
+  /// Detach (preserve=true) or erase the connection's session.
+  void ReleaseSession(const std::shared_ptr<ConnState>& conn, bool preserve);
 
   /// Mirror a session into the WAL (docs/DURABILITY.md) so a client can
   /// resume across a server RESTART, not just a dropped connection. Caller
-  /// holds conns_mu_; the durability manager has its own leaf mutex and
-  /// never takes engine locks, so reader threads may call this directly.
+  /// holds sessions_mu_; the durability manager has its own leaf mutex.
   void PersistSessionLocked(const Session& session,
                             const std::vector<QueryId>* subscriptions,
                             int64_t detached_at_ms);
+  /// Expire detached sessions past the linger window; re-arms itself while
+  /// any detached session remains. Runs on shard 0's timer wheel.
+  void SweepSessions();
+  void ScheduleSessionSweep(int64_t delay_ms);
 
-  void PublishConnGauges(Connection* conn);
+  void PublishConnGauges(const ConnState& conn);
+  void NotifyEngine();
 
   EngineService* service_;
   StreamServerOptions options_;
@@ -179,38 +257,40 @@ class StreamServer {
   /// owns it and `service_` must outlive us).
   storage::DurabilityManager* durability_ = nullptr;
 
-  int listen_fd_ = -1;
+  std::vector<std::unique_ptr<LoopShard>> shards_;
+  bool single_acceptor_ = false;  ///< SO_REUSEPORT unavailable: shard 0
+                                  ///< accepts and round-robins handoffs
   uint16_t port_ = 0;
-  std::thread accept_thread_;
-  std::thread serve_thread_;
   bool started_ = false;
-  /// Set first thing in Stop(); the accept loop re-checks it under
-  /// conns_mu_ after every accept, so a connection racing Stop() is either
-  /// registered (and shut down by Stop's pass) or closed unregistered —
-  /// never left with a reader blocked in the HELLO read forever.
   std::atomic<bool> stopping_{false};
 
-  mutable std::mutex conns_mu_;  // guards conns_ and per-conn credit state
-  std::vector<std::unique_ptr<Connection>> conns_;
+  std::thread engine_thread_;
+  std::mutex wake_mu_;
+  std::condition_variable wake_cv_;
+  bool wake_pending_ = false;  // guarded by wake_mu_
+  bool engine_stop_ = false;   // guarded by wake_mu_
+
+  // ---- engine-thread state (no lock needed) -------------------------------
+  /// Registered (post-HELLO) connections by id, for replenish + gauges.
+  std::unordered_map<int, std::shared_ptr<ConnState>> engine_conns_;
   /// query id -> subscribed connection (one subscriber per query: results
   /// are drained, so a second subscriber would silently split the stream).
-  std::unordered_map<QueryId, Connection*> subscribers_;
-  int next_conn_id_ = 0;
-  int64_t connections_accepted_ = 0;
-  int64_t evictions_ = 0;
-  /// Session table (guarded by conns_mu_). Tokens come from an Rng seeded
-  /// at construction; they gate resume, not cryptographic identity.
+  std::unordered_map<QueryId, std::shared_ptr<ConnState>> subscribers_;
+
+  /// Session table. Guarded by sessions_mu_: mutated by the engine thread
+  /// (HELLO/detach) and the linger timer; read by accessor threads.
+  mutable std::mutex sessions_mu_;
   std::unordered_map<uint64_t, Session> sessions_;
   uint64_t next_session_id_ = 1;
-  Rng session_rng_;
+  Rng session_rng_;  // tokens gate resume, not cryptographic identity
   int64_t sessions_resumed_ = 0;
   int64_t sessions_expired_ = 0;
+  bool sweep_armed_ = false;
 
-  /// Engine overload tier, cached by the serve loop after every epoch (the
-  /// controller is only consulted under the engine lock; reader threads
-  /// need a lock-free read for shed-before-decode). Staleness is bounded by
-  /// one epoch and errs on whatever tier the last epoch saw.
-  std::atomic<uint8_t> overload_state_{0};
+  std::atomic<int> next_conn_id_{0};
+  std::atomic<int64_t> connections_accepted_{0};
+  std::atomic<int64_t> evictions_{0};
+
   std::atomic<int64_t> frames_shed_{0};
 };
 

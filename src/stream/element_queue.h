@@ -66,6 +66,42 @@ class BoundedQueue {
     return Status::OK();
   }
 
+  /// \brief Non-blocking PushBatch for event-loop producers: enqueue the
+  /// whole batch if the queue is below capacity, else return kUnavailable
+  /// WITHOUT consuming the batch (the caller parks it and retries after the
+  /// consumer drains — an event loop must never block on a full queue).
+  /// Status::Cancelled after Close(), like Push.
+  Status TryPushBatch(std::vector<T>* batch) {
+    if (batch->empty()) return Status::OK();
+    std::lock_guard<std::mutex> lock(mu_);
+    if (closed_) return Status::Cancelled("queue closed");
+    if (items_.size() >= capacity_) {
+      return Status::Unavailable("queue full");
+    }
+    if (items_.empty()) {
+      items_.swap(*batch);
+    } else {
+      items_.insert(items_.end(), std::make_move_iterator(batch->begin()),
+                    std::make_move_iterator(batch->end()));
+      batch->clear();
+    }
+    NotePeakLocked();
+    not_empty_.notify_one();
+    return Status::OK();
+  }
+
+  /// \brief Non-blocking drain: move everything queued into `out` (cleared
+  /// first) and return true, or return false immediately when the queue is
+  /// empty (closed or not) — the consumer polls many queues per wake.
+  bool TryDrainInto(std::vector<T>* out) {
+    out->clear();
+    std::lock_guard<std::mutex> lock(mu_);
+    if (items_.empty()) return false;
+    out->swap(items_);
+    not_full_.notify_all();
+    return true;
+  }
+
   /// \brief Block until items are available (or the queue is closed), then
   /// move everything queued into `out` (cleared first). Returns false when
   /// the queue is closed AND empty — the consumer's exit condition.

@@ -9,6 +9,10 @@
 
 #include <atomic>
 #include <chrono>
+#include <cctype>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
 #include <thread>
 
 #include "net/client.h"
@@ -40,6 +44,32 @@ SchemaPtr VitalsSchema() {
 
 Tuple Vital(TupleId tid, Timestamp ts, int64_t patient, int64_t bpm) {
   return Tuple(0, tid, {Value(patient), Value(bpm)}, ts);
+}
+
+/// Open file descriptors of this process (leak detector for the churn
+/// test). The directory iterator itself holds one fd, but it does so on
+/// both sides of a comparison, so deltas are exact.
+int CountOpenFds() {
+  int n = 0;
+  for (const auto& entry :
+       std::filesystem::directory_iterator("/proc/self/fd")) {
+    (void)entry;
+    ++n;
+  }
+  return n;
+}
+
+/// Threads of this process, per /proc/self/status. The reactor's core
+/// claim is O(net_loops) threads regardless of connection count.
+int CountThreads() {
+  std::ifstream status("/proc/self/status");
+  std::string line;
+  while (std::getline(status, line)) {
+    if (line.rfind("Threads:", 0) == 0) {
+      return std::atoi(line.c_str() + 8);
+    }
+  }
+  return -1;
 }
 
 class NetServerTest : public ::testing::Test {
@@ -450,8 +480,8 @@ TEST_F(NetServerTest, ServerStopUnblocksClients) {
 }
 
 // Shed-before-decode at the wire boundary (docs/ROBUSTNESS.md "Overload
-// and self-healing"): once an epoch blows its deadline the serve loop
-// caches kShed, and the reader threads discard pure-data PUSH frames
+// and self-healing"): once an epoch blows its deadline the controller
+// publishes kShed, and the loop threads discard pure-data PUSH frames
 // before decoding a single tuple — answering each with a SHED_NOTICE plus
 // a CREDIT refund so the client's window stays whole — while a frame
 // carrying an sp is admitted losslessly no matter the tier.
@@ -501,10 +531,9 @@ TEST_F(NetServerTest, ShedModeDropsDataFramesButAdmitsSecurityFrames) {
         5000);
   }
   ASSERT_TRUE(shed_cached) << "epoch never missed a 1 ms deadline";
-  // The miss counter becomes visible mid-epoch; the tier gauge is set by
-  // the same locked section that precedes the serve loop's cache store,
-  // so seeing kShed here means the reader-thread gate is armed (or will
-  // be microseconds before the next frame can cross the socket).
+  // The loop threads read the controller's atomic tier directly, and the
+  // controller stores it before the gauge is set — so once this WaitFor
+  // sees kShed, the shed gate is armed for the very next frame.
   ASSERT_TRUE(WaitFor(
       [&] {
         return service.metrics()->GaugeValue("engine.overload_state") ==
@@ -538,6 +567,146 @@ TEST_F(NetServerTest, ShedModeDropsDataFramesButAdmitsSecurityFrames) {
             installs_before);
 
   server.Stop();
+}
+
+// Connection churn across every loop: 500 connect/subscribe/kill cycles
+// (half abrupt, half graceful) must leak no file descriptors, leave no
+// dead connection's gauges in the metrics registry, and sweep the killed
+// connections' lingering sessions.
+TEST_F(NetServerTest, ConnectionChurnLeaksNothing) {
+  StreamServerOptions options;
+  options.net_loops = 4;  // the CI box reports one core; force real sharding
+  options.session_linger_ms = 25;
+  StartServer(options);
+
+  StreamClient setup = Connect("setup");  // conn 0; stays for the duration
+  ASSERT_TRUE(setup.RegisterRole("GP").ok());
+  ASSERT_TRUE(setup.RegisterStream(VitalsSchema()).ok());
+  ASSERT_TRUE(setup.RegisterSubject("doctor", {"GP"}).ok());
+  Result<uint64_t> qid =
+      setup.RegisterQuery("doctor", "SELECT patient_id, bpm FROM Vitals");
+  ASSERT_TRUE(qid.ok());
+
+  const int fd_baseline = CountOpenFds();
+  for (int i = 0; i < 500; ++i) {
+    StreamClient churn = Connect("churn" + std::to_string(i));
+    ASSERT_TRUE(churn.connected());
+    // The previous cycle's subscriber may still be finalizing; one
+    // subscriber per query means we retry until its slot frees up.
+    ASSERT_TRUE(WaitFor([&] { return churn.Subscribe(*qid).ok(); }, 5000));
+    if (i % 2 == 0) {
+      churn.DebugKillConnection();  // crash: session lingers, then sweeps
+    } else {
+      churn.Close();  // BYE: session erased immediately
+    }
+    if (i % 100 == 0) {
+      // Drive an epoch now and then so per-connection gauges actually get
+      // published (and must therefore be removed on finalize).
+      std::vector<StreamElement> one;
+      one.emplace_back(Vital(i, i + 1, 1, 60));
+      ASSERT_TRUE(setup.Push("Vitals", std::move(one)).ok());
+      ASSERT_TRUE(setup.Run().ok());
+    }
+  }
+
+  // Server-side fds close as each loop notices the hangup; client fds are
+  // already gone. The only steady-state fds are the baseline's.
+  EXPECT_TRUE(WaitFor([&] { return CountOpenFds() <= fd_baseline; }, 5000))
+      << "fd leak: " << CountOpenFds() << " open, baseline " << fd_baseline;
+
+  // Every dead connection's gauge namespace must leave the registry; only
+  // the setup connection (conn 0) may keep gauges.
+  const bool gauges_clean = WaitFor(
+      [&] {
+        for (const auto& [key, value] : service_.metrics()->Snapshot().gauges) {
+          // Per-connection gauges are "net.conn<digits>."; skip aggregates
+          // like net.connections_active.
+          if (key.rfind("net.conn", 0) == 0 && key.size() > 8 &&
+              std::isdigit(static_cast<unsigned char>(key[8])) &&
+              key.rfind("net.conn0.", 0) != 0) {
+            return false;
+          }
+        }
+        return true;
+      },
+      5000);
+  EXPECT_TRUE(gauges_clean);
+
+  // The 250 abrupt kills detached sessions; the linger sweep must reclaim
+  // all of them, leaving just the setup client's.
+  EXPECT_TRUE(WaitFor([&] { return server_->session_count() <= 1; }, 5000))
+      << server_->session_count() << " sessions still tracked";
+  EXPECT_GT(server_->sessions_expired(), 0);
+  EXPECT_EQ(server_->evictions(), 0) << "churn must not count as eviction";
+}
+
+// 1000 concurrent connections fan tuples into one query on O(net_loops)
+// threads. StreamClient is single-threaded and blocking, so every thread
+// counted beyond the baseline belongs to the server: net_loops event loops
+// plus one engine thread, no matter how many sockets are open.
+TEST_F(NetServerTest, ThousandConnectionFanIn) {
+  const int threads_before = CountThreads();
+  StreamServerOptions options;
+  options.net_loops = 4;
+  StartServer(options);
+
+  StreamClient subscriber = Connect("subscriber");
+  ASSERT_TRUE(subscriber.RegisterRole("GP").ok());
+  ASSERT_TRUE(subscriber.RegisterStream(VitalsSchema()).ok());
+  ASSERT_TRUE(subscriber.RegisterSubject("doctor", {"GP"}).ok());
+  Result<uint64_t> qid =
+      subscriber.RegisterQuery("doctor", "SELECT patient_id, bpm FROM Vitals");
+  ASSERT_TRUE(qid.ok());
+  ASSERT_TRUE(subscriber.Subscribe(*qid).ok());
+  ASSERT_TRUE(subscriber
+                  .InsertSp("INSERT SP INTO STREAM Vitals LET DDP = "
+                            "(Vitals, [0-1999], *), SRP = (RBAC, GP), "
+                            "TS = 1")
+                  .ok());
+
+  constexpr int kConns = 1000;
+  std::vector<StreamClient> producers(kConns);
+  for (int i = 0; i < kConns; ++i) {
+    ASSERT_TRUE(producers[i]
+                    .Connect("127.0.0.1", server_->port(),
+                             "fan" + std::to_string(i))
+                    .ok())
+        << "connection " << i;
+  }
+
+  const int threads_with_1k = CountThreads();
+  EXPECT_LE(threads_with_1k - threads_before, options.net_loops + 1 + 2)
+      << "thread count must be O(net_loops), not O(connections)";
+
+  for (int i = 0; i < kConns; ++i) {
+    std::vector<StreamElement> batch;
+    batch.emplace_back(Vital(i, i + 1, i, 60 + i % 40));
+    ASSERT_TRUE(producers[i].Push("Vitals", std::move(batch)).ok())
+        << "push " << i;
+  }
+
+  // Drive epochs until every producer's tuple has fanned in.
+  std::vector<Tuple> rows;
+  ASSERT_TRUE(WaitFor(
+      [&] {
+        EXPECT_TRUE(subscriber.Run().ok());
+        std::vector<Tuple> got = subscriber.TakeResults(*qid);
+        rows.insert(rows.end(), got.begin(), got.end());
+        return rows.size() >= static_cast<size_t>(kConns);
+      },
+      10000))
+      << "received " << rows.size() << " of " << kConns;
+  ASSERT_EQ(rows.size(), static_cast<size_t>(kConns));
+  std::vector<bool> seen(kConns, false);
+  for (const Tuple& row : rows) {
+    ASSERT_GE(row.tid, 0);
+    ASSERT_LT(row.tid, static_cast<TupleId>(kConns));
+    EXPECT_FALSE(seen[static_cast<size_t>(row.tid)])
+        << "duplicate tuple " << row.tid;
+    seen[static_cast<size_t>(row.tid)] = true;
+  }
+  EXPECT_EQ(server_->connections_accepted(), kConns + 1);
+  EXPECT_EQ(server_->net_loops(), 4);
 }
 
 }  // namespace
